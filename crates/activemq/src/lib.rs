@@ -1,0 +1,34 @@
+//! # dista-activemq — a mini ActiveMQ on the instrumented mini-JRE
+//!
+//! The paper's first message-middleware subject (Table III): "ActiveMQ —
+//! TCP, UDP, NIO, HTTP(S), WebSocket, STOMP — Long text message
+//! distribution". The reproduction implements the broker/producer/
+//! consumer triangle over instrumented JRE TCP with OpenWire-style
+//! framed records:
+//!
+//! * [`Broker`] — accepts producer and consumer sessions, queues
+//!   messages per destination, and dispatches round-robin to
+//!   subscribers.
+//! * [`Producer`] / [`Consumer`] — client sessions on their own nodes.
+//!
+//! Taint scenarios (Table IV):
+//! * **SDT** — source: the producer's text-message variable
+//!   (`ActiveMQProducer.createTextMessage`); sink: the `Message` received
+//!   on the consumer (`ActiveMQConsumer.receive`).
+//! * **SIM** — source: the broker's config file read; sink: `LOG.info`
+//!   on the consumer (which logs the broker name it connected to).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+pub mod stomp;
+mod client;
+
+pub use broker::{seed_config, Broker};
+pub use client::{send_udp, Consumer, Message, Producer};
+
+/// SDT source descriptor class.
+pub const PRODUCER_CLASS: &str = "ActiveMQProducer";
+/// SDT sink descriptor class.
+pub const CONSUMER_CLASS: &str = "ActiveMQConsumer";

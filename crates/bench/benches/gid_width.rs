@@ -1,0 +1,50 @@
+//! Ablation: Global ID wire width (2/4/8 bytes) — §III-D notes the
+//! bandwidth overhead "depends on the length of the Global ID". Each
+//! width runs the raw-socket round trip end-to-end; wall-clock and wire
+//! bytes both scale with `1 + width`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dista_core::{Cluster, Mode};
+use dista_microbench::{all_cases, run_case_on};
+
+const SIZE: usize = 16 * 1024;
+
+fn bench_gid_width(c: &mut Criterion) {
+    let cases = all_cases();
+    let raw = &cases[0];
+    let mut group = c.benchmark_group("gid_width");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for width in [2usize, 4, 8] {
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("gid", 2)
+            .gid_width(width)
+            .build()
+            .expect("cluster");
+        // Report the measured wire expansion once per width.
+        cluster.net().metrics().reset();
+        run_case_on(raw.as_ref(), cluster.vm(0), cluster.vm(1), SIZE).expect("probe");
+        let bytes = cluster.net().metrics().snapshot().total_bytes();
+        // Data crossing the wire: SIZE out, 2×SIZE back (the combined
+        // reply), so the expected expansion is (1 + width)×.
+        println!(
+            "gid_width={width}: {bytes} wire bytes for {} data bytes (~{:.1}X, expect {}X)",
+            SIZE * 3,
+            bytes as f64 / (SIZE * 3) as f64,
+            1 + width
+        );
+        group.bench_with_input(BenchmarkId::new("roundtrip", width), &cluster, |b, cluster| {
+            b.iter(|| {
+                run_case_on(raw.as_ref(), cluster.vm(0), cluster.vm(1), SIZE).expect("case")
+            });
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gid_width);
+criterion_main!(benches);

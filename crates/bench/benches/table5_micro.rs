@@ -1,0 +1,44 @@
+//! Criterion version of Table V: representative micro-benchmark cases in
+//! all three modes. (The full 30-case table is printed by the
+//! `table5_overhead` bin target; criterion here gives statistically
+//! sound per-mode comparisons on one case per family.)
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dista_core::Cluster;
+use dista_microbench::{all_cases, run_case_on, Mode};
+
+const SIZE: usize = 16 * 1024;
+
+fn bench_modes(c: &mut Criterion) {
+    let cases = all_cases();
+    // One representative per family + the two socket extremes.
+    let picks: Vec<usize> = vec![0, 1, 14, 22, 23, 24, 25, 26, 27, 28, 29];
+    let mut group = c.benchmark_group("table5_micro");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for idx in picks {
+        let case = &cases[idx];
+        for mode in [Mode::Original, Mode::Phosphor, Mode::Dista] {
+            let cluster = Cluster::builder(mode).nodes("bench", 2).build().expect("cluster");
+            group.bench_with_input(
+                BenchmarkId::new(case.name(), mode),
+                &cluster,
+                |b, cluster| {
+                    b.iter(|| {
+                        run_case_on(case.as_ref(), cluster.vm(0), cluster.vm(1), SIZE)
+                            .expect("case run")
+                    });
+                },
+            );
+            cluster.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

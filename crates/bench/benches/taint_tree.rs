@@ -1,0 +1,93 @@
+//! Ablation: Phosphor's interned singleton taint tree vs a naive
+//! per-value tag-set representation — the design §II-B justifies with
+//! "avoiding storing the same tags repeatedly".
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dista_taint::{LocalId, TagValue, Taint, TaintStore};
+
+/// The strawman: every taint owns its full tag set.
+#[derive(Clone, Default)]
+struct NaiveTaint(BTreeSet<u32>);
+
+impl NaiveTaint {
+    fn union(&self, other: &NaiveTaint) -> NaiveTaint {
+        let mut out = self.0.clone();
+        out.extend(other.0.iter().copied());
+        NaiveTaint(out)
+    }
+}
+
+/// The workload both representations run: `tags` base taints, then a
+/// left fold of unions over `rounds` pseudo-random pairs (the shape of
+/// combining taints along a dataflow).
+fn interned_workload(tags: u32, rounds: usize) -> Taint {
+    let store = TaintStore::new(LocalId::default());
+    let base: Vec<Taint> = (0..tags)
+        .map(|i| store.mint_source_taint(TagValue::Int(i64::from(i))))
+        .collect();
+    let mut acc = Taint::EMPTY;
+    for i in 0..rounds {
+        acc = store.union(acc, base[i % base.len()]);
+        let other = base[(i * 7 + 3) % base.len()];
+        acc = store.union(acc, other);
+    }
+    acc
+}
+
+fn naive_workload(tags: u32, rounds: usize) -> NaiveTaint {
+    let base: Vec<NaiveTaint> = (0..tags)
+        .map(|i| NaiveTaint(BTreeSet::from([i])))
+        .collect();
+    let mut acc = NaiveTaint::default();
+    for i in 0..rounds {
+        acc = acc.union(&base[i % base.len()]);
+        let other = &base[(i * 7 + 3) % base.len()];
+        acc = acc.union(other);
+    }
+    acc
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taint_tree");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for tags in [8u32, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("interned", tags), &tags, |b, &tags| {
+            b.iter(|| interned_workload(tags, 2000));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", tags), &tags, |b, &tags| {
+            b.iter(|| naive_workload(tags, 2000));
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    use dista_taint::{deserialize_taint, serialize_taint};
+    let mut group = c.benchmark_group("taint_codec");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
+    for tags in [1usize, 8, 64] {
+        let sender = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let taint = sender.union_all(
+            (0..tags).map(|i| sender.mint_source_taint(TagValue::Int(i as i64))),
+        );
+        let wire = serialize_taint(sender.tree(), taint);
+        group.bench_with_input(BenchmarkId::new("serialize", tags), &tags, |b, _| {
+            b.iter(|| serialize_taint(sender.tree(), taint).len());
+        });
+        group.bench_with_input(BenchmarkId::new("deserialize", tags), &tags, |b, _| {
+            let receiver = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+            b.iter(|| deserialize_taint(&receiver, &wire).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree, bench_serialization);
+criterion_main!(benches);

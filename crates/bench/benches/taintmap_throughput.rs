@@ -1,0 +1,47 @@
+//! Ablation: the Taint Map as a single-point bottleneck (§III-D: "the
+//! limit on the throughput of Taint Map may cause performance
+//! degradation … our evaluation shows the performance degradation is
+//! acceptable"). The service's per-request delay is varied; because each
+//! distinct taint is registered/resolved exactly once, even a slow
+//! service barely moves end-to-end time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dista_core::{Cluster, Mode};
+use dista_microbench::{all_cases, run_case_on};
+use dista_taintmap::TaintMapConfig;
+
+const SIZE: usize = 16 * 1024;
+
+fn bench_throttle(c: &mut Criterion) {
+    let cases = all_cases();
+    let raw = &cases[0];
+    let mut group = c.benchmark_group("taintmap_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for delay_us in [0u64, 200, 1000] {
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("tm", 2)
+            .taint_map_config(TaintMapConfig {
+                service_delay: Duration::from_micros(delay_us),
+            })
+            .build()
+            .expect("cluster");
+        group.bench_with_input(
+            BenchmarkId::new("service_delay_us", delay_us),
+            &cluster,
+            |b, cluster| {
+                b.iter(|| {
+                    run_case_on(raw.as_ref(), cluster.vm(0), cluster.vm(1), SIZE).expect("case")
+                });
+            },
+        );
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throttle);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Ablation: DisTA's interleaved per-byte `[data][GID]` records vs a
+//! trailer-block layout (`[data block][taint block]`) under fragmented
+//! delivery — the "mismatched serialized taint length" rationale of
+//! §III-D-2. The interleaved format decodes any record-aligned prefix;
+//! the trailer format must buffer the whole message before *any* byte's
+//! taint is known.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const GID_WIDTH: usize = 4;
+
+/// Interleaved encode: `[b][gid]` per byte.
+fn encode_interleaved(data: &[u8], gid: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * (1 + GID_WIDTH));
+    for &b in data {
+        out.push(b);
+        out.extend_from_slice(&gid.to_be_bytes());
+    }
+    out
+}
+
+/// Trailer encode: all data, then all gids.
+fn encode_trailer(data: &[u8], gid: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + data.len() * (1 + GID_WIDTH));
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(data);
+    for _ in data {
+        out.extend_from_slice(&gid.to_be_bytes());
+    }
+    out
+}
+
+/// Streaming decode of interleaved records from `chunk_size` fragments:
+/// bytes become available (data, gid) as soon as each record completes.
+fn decode_interleaved_chunked(wire: &[u8], chunk_size: usize) -> (usize, u64) {
+    let rs = 1 + GID_WIDTH;
+    let mut rem: Vec<u8> = Vec::with_capacity(rs * 2 + chunk_size);
+    let mut bytes = 0usize;
+    let mut gid_sum = 0u64;
+    for chunk in wire.chunks(chunk_size) {
+        rem.extend_from_slice(chunk);
+        let whole = rem.len() - rem.len() % rs;
+        for record in rem[..whole].chunks_exact(rs) {
+            bytes += 1;
+            gid_sum += u64::from(u32::from_be_bytes([
+                record[1], record[2], record[3], record[4],
+            ]));
+        }
+        rem.drain(..whole);
+    }
+    (bytes, gid_sum)
+}
+
+/// Streaming decode of the trailer format: nothing can be emitted until
+/// the full message arrived, so every fragment is buffered.
+fn decode_trailer_chunked(wire: &[u8], chunk_size: usize) -> (usize, u64) {
+    let mut buf: Vec<u8> = Vec::new();
+    for chunk in wire.chunks(chunk_size) {
+        buf.extend_from_slice(chunk);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let data = &buf[4..4 + len];
+    let gids = &buf[4 + len..];
+    let mut gid_sum = 0u64;
+    for record in gids.chunks_exact(GID_WIDTH) {
+        gid_sum += u64::from(u32::from_be_bytes([
+            record[0], record[1], record[2], record[3],
+        ]));
+    }
+    (data.len(), gid_sum)
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let data = vec![0x5Au8; 64 * 1024];
+    let interleaved = encode_interleaved(&data, 7);
+    let trailer = encode_trailer(&data, 7);
+
+    let mut group = c.benchmark_group("wire_format");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for chunk in [128usize, 1024, 8192] {
+        group.bench_with_input(
+            BenchmarkId::new("interleaved_decode", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    let (n, _) = decode_interleaved_chunked(&interleaved, chunk);
+                    assert_eq!(n, data.len());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trailer_decode", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    let (n, _) = decode_trailer_chunked(&trailer, chunk);
+                    assert_eq!(n, data.len());
+                });
+            },
+        );
+    }
+    group.bench_function("interleaved_encode", |b| {
+        b.iter(|| encode_interleaved(&data, 7).len());
+    });
+    group.bench_function("trailer_encode", |b| {
+        b.iter(|| encode_trailer(&data, 7).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

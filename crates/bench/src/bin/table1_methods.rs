@@ -1,0 +1,22 @@
+//! Regenerates **Table I**: the instrumented JNI methods and their
+//! instrumentation types.
+
+use dista_core::registry::{self, InstrumentationType};
+
+fn main() {
+    println!("Table I — instrumented JNI methods ({} total)\n", registry::instrumented_methods().len());
+    print!("{}", registry::render_table());
+    println!();
+    for ty in [
+        InstrumentationType::Stream,
+        InstrumentationType::Packet,
+        InstrumentationType::DirectBuffer,
+    ] {
+        println!(
+            "type {} ({:?}): {} methods",
+            ty.number(),
+            ty,
+            registry::methods_of_type(ty).len()
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Regenerates **Table V**: micro-benchmark runtime overhead —
+//! Original vs Phosphor (intra-node only) vs DisTA (full inter-node),
+//! including the paper's `JRE Socket-Best/-Worst/-Avg` summary rows.
+
+use std::time::Duration;
+
+use dista_bench::bench_link_model;
+use dista_bench::table::{fmt_ms, fmt_ratio, Table};
+use dista_microbench::{all_cases, run_case_with, Family, Mode};
+
+struct Row {
+    name: String,
+    family: Family,
+    original: Duration,
+    phosphor: Duration,
+    dista: Duration,
+}
+
+/// Samples all three modes interleaved (O,P,D, O,P,D, …) so transient
+/// machine load perturbs every mode equally, then takes per-mode
+/// medians.
+fn medians_of(
+    case: &dyn dista_microbench::MicroCase,
+    size: usize,
+    reps: usize,
+) -> (Duration, Duration, Duration) {
+    let mut samples: [Vec<Duration>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..reps {
+        for (slot, mode) in [Mode::Original, Mode::Phosphor, Mode::Dista].iter().enumerate() {
+            let d = run_case_with(case, *mode, size, bench_link_model())
+                .unwrap_or_else(|e| panic!("{} [{mode}] failed: {e}", case.name()))
+                .duration;
+            samples[slot].push(d);
+        }
+    }
+    let median = |v: &mut Vec<Duration>| {
+        v.sort();
+        v[v.len() / 2]
+    };
+    (
+        median(&mut samples[0]),
+        median(&mut samples[1]),
+        median(&mut samples[2]),
+    )
+}
+
+fn main() {
+    let size: usize = std::env::var("DISTA_MICRO_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64 * 1024);
+    let reps: usize = std::env::var("DISTA_MICRO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    println!("Table V — micro benchmark runtime overhead ({size} B/side, median of {reps})\n");
+
+    let cases = all_cases();
+    let mut rows = Vec::new();
+    for case in &cases {
+        let (original, phosphor, dista) = medians_of(case.as_ref(), size, reps);
+        rows.push(Row {
+            name: case.name().to_string(),
+            family: case.family(),
+            original,
+            phosphor,
+            dista,
+        });
+    }
+
+    let mut table = Table::new(&[
+        "Case",
+        "Original (ms)",
+        "Phosphor (ms)",
+        "Phosphor OH",
+        "DisTA (ms)",
+        "DisTA OH",
+    ]);
+    let emit = |table: &mut Table, label: String, o: Duration, p: Duration, d: Duration| {
+        table.row(vec![
+            label,
+            fmt_ms(o),
+            fmt_ms(p),
+            fmt_ratio(o, p),
+            fmt_ms(d),
+            fmt_ratio(o, d),
+        ]);
+    };
+
+    // The paper lists the socket family as Best/Worst/Avg summary rows.
+    let sockets: Vec<&Row> = rows.iter().filter(|r| r.family == Family::JreSocket).collect();
+    let ratio = |r: &Row| r.dista.as_secs_f64() / r.original.as_secs_f64().max(1e-9);
+    let best = sockets
+        .iter()
+        .min_by(|a, b| ratio(a).total_cmp(&ratio(b)))
+        .expect("socket cases exist");
+    let worst = sockets
+        .iter()
+        .max_by(|a, b| ratio(a).total_cmp(&ratio(b)))
+        .expect("socket cases exist");
+    let avg = |f: fn(&Row) -> Duration| -> Duration {
+        sockets.iter().map(|r| f(r)).sum::<Duration>() / sockets.len() as u32
+    };
+    emit(
+        &mut table,
+        format!("JRE Socket-Best ({})", best.name),
+        best.original,
+        best.phosphor,
+        best.dista,
+    );
+    emit(
+        &mut table,
+        format!("JRE Socket-Worst ({})", worst.name),
+        worst.original,
+        worst.phosphor,
+        worst.dista,
+    );
+    emit(
+        &mut table,
+        "JRE Socket-Avg (22 cases)".to_string(),
+        avg(|r| r.original),
+        avg(|r| r.phosphor),
+        avg(|r| r.dista),
+    );
+    for row in rows.iter().filter(|r| r.family != Family::JreSocket) {
+        emit(
+            &mut table,
+            row.family.to_string(),
+            row.original,
+            row.phosphor,
+            row.dista,
+        );
+    }
+    // Overall average row, like the paper's final row.
+    let n = rows.len() as u32;
+    emit(
+        &mut table,
+        "Average (30 cases)".to_string(),
+        rows.iter().map(|r| r.original).sum::<Duration>() / n,
+        rows.iter().map(|r| r.phosphor).sum::<Duration>() / n,
+        rows.iter().map(|r| r.dista).sum::<Duration>() / n,
+    );
+    table.print();
+    println!("\nExpected shape (paper): Phosphor ≈2.6X, DisTA ≈3.9X on average;");
+    println!("the *inter-node* increment (DisTA vs Phosphor) stays small.");
+}

@@ -1,0 +1,97 @@
+//! Regenerates **Table VI**: real-world system runtime overhead —
+//! Original vs Phosphor vs DisTA, under both SDT and SIM scenarios.
+
+use std::time::Duration;
+
+use dista_bench::table::{fmt_ms, fmt_ratio, Table};
+use dista_bench::{bench_link_model, run_system_with, Mode, Scenario, SystemId};
+
+/// Samples all five mode/scenario columns interleaved so transient load
+/// perturbs every column equally, then takes per-column medians.
+fn medians(system: SystemId, reps: usize) -> [Duration; 5] {
+    const COLUMNS: [(Mode, Scenario); 5] = [
+        (Mode::Original, Scenario::None),
+        (Mode::Phosphor, Scenario::Sdt),
+        (Mode::Dista, Scenario::Sdt),
+        (Mode::Phosphor, Scenario::Sim),
+        (Mode::Dista, Scenario::Sim),
+    ];
+    let mut samples: [Vec<Duration>; 5] = Default::default();
+    for _ in 0..reps {
+        for (slot, (mode, scenario)) in COLUMNS.iter().enumerate() {
+            let d = run_system_with(system, *mode, *scenario, bench_link_model())
+                .unwrap_or_else(|e| {
+                    panic!("{} [{mode}/{scenario:?}] failed: {e}", system.name())
+                })
+                .duration;
+            samples[slot].push(d);
+        }
+    }
+    samples.map(|mut v| {
+        v.sort();
+        v[v.len() / 2]
+    })
+}
+
+fn main() {
+    let reps: usize = std::env::var("DISTA_SYSTEM_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    println!("Table VI — real-world system runtime overhead (median of {reps})\n");
+    let mut table = Table::new(&[
+        "System",
+        "Original (ms)",
+        "Phosphor-SDT",
+        "OH",
+        "DisTA-SDT",
+        "OH",
+        "Phosphor-SIM",
+        "OH",
+        "DisTA-SIM",
+        "OH",
+    ]);
+    let mut sums = [Duration::ZERO; 5];
+    for system in SystemId::ALL {
+        let [original, phosphor_sdt, dista_sdt, phosphor_sim, dista_sim] =
+            medians(system, reps);
+        for (slot, d) in sums.iter_mut().zip([
+            original,
+            phosphor_sdt,
+            dista_sdt,
+            phosphor_sim,
+            dista_sim,
+        ]) {
+            *slot += d;
+        }
+        table.row(vec![
+            system.name().to_string(),
+            fmt_ms(original),
+            fmt_ms(phosphor_sdt),
+            fmt_ratio(original, phosphor_sdt),
+            fmt_ms(dista_sdt),
+            fmt_ratio(original, dista_sdt),
+            fmt_ms(phosphor_sim),
+            fmt_ratio(original, phosphor_sim),
+            fmt_ms(dista_sim),
+            fmt_ratio(original, dista_sim),
+        ]);
+    }
+    let n = SystemId::ALL.len() as u32;
+    let avg: Vec<Duration> = sums.iter().map(|s| *s / n).collect();
+    table.row(vec![
+        "Average".to_string(),
+        fmt_ms(avg[0]),
+        fmt_ms(avg[1]),
+        fmt_ratio(avg[0], avg[1]),
+        fmt_ms(avg[2]),
+        fmt_ratio(avg[0], avg[2]),
+        fmt_ms(avg[3]),
+        fmt_ratio(avg[0], avg[3]),
+        fmt_ms(avg[4]),
+        fmt_ratio(avg[0], avg[4]),
+    ]);
+    table.print();
+    println!("\nExpected shape (paper): DisTA-SDT adds ~0.3X over Phosphor-SDT,");
+    println!("DisTA-SIM adds ~0.6X over Phosphor-SIM; SIM ≥ SDT.");
+}

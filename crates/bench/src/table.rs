@@ -1,0 +1,116 @@
+//! Plain-text table rendering for the bin targets.
+
+use std::time::Duration;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Milliseconds with two decimals.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Overhead ratio in the paper's `N.NNX` style.
+pub fn fmt_ratio(base: Duration, x: Duration) -> String {
+    if base.is_zero() {
+        return "-".to_string();
+    }
+    format!("{:.2}X", x.as_secs_f64() / base.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["Case", "Time"]);
+        t.row(vec!["a".into(), "1".into()])
+            .row(vec!["longer-name".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Case"));
+        assert!(lines[2].starts_with("a "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(&["A"]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(
+            fmt_ratio(Duration::from_millis(100), Duration::from_millis(250)),
+            "2.50X"
+        );
+        assert_eq!(fmt_ratio(Duration::ZERO, Duration::from_millis(1)), "-");
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.50");
+    }
+}

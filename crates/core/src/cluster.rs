@@ -1,0 +1,245 @@
+//! Cluster construction: one network, a Taint Map, N VMs.
+
+use dista_jre::{JreError, Mode, Vm};
+use dista_simnet::{NodeAddr, SimNet};
+use dista_taint::{SinkReport, SourceSinkSpec};
+use dista_taintmap::{TaintMapConfig, TaintMapServer};
+
+/// Builder for [`Cluster`].
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    mode: Mode,
+    nodes: Vec<(String, [u8; 4])>,
+    spec: SourceSinkSpec,
+    gid_width: usize,
+    taint_map_addr: NodeAddr,
+    taint_map_config: TaintMapConfig,
+    net: Option<SimNet>,
+}
+
+impl ClusterBuilder {
+    /// Adds a node with a name and IP; one VM is built per node.
+    pub fn node(mut self, name: impl Into<String>, ip: [u8; 4]) -> Self {
+        self.nodes.push((name.into(), ip));
+        self
+    }
+
+    /// Adds `n` nodes named `prefix1..prefixN` on `10.0.0.1..N`.
+    pub fn nodes(mut self, prefix: &str, n: usize) -> Self {
+        for i in 1..=n {
+            self.nodes
+                .push((format!("{prefix}{i}"), [10, 0, 0, i as u8]));
+        }
+        self
+    }
+
+    /// Installs the source/sink specification on every VM.
+    pub fn spec(mut self, spec: SourceSinkSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Overrides the Global ID wire width.
+    pub fn gid_width(mut self, width: usize) -> Self {
+        self.gid_width = width;
+        self
+    }
+
+    /// Overrides where the Taint Map service binds.
+    pub fn taint_map_addr(mut self, addr: NodeAddr) -> Self {
+        self.taint_map_addr = addr;
+        self
+    }
+
+    /// Tunes the Taint Map service (throttling ablations).
+    pub fn taint_map_config(mut self, config: TaintMapConfig) -> Self {
+        self.taint_map_config = config;
+        self
+    }
+
+    /// Reuses an existing network instead of creating one.
+    pub fn net(mut self, net: SimNet) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Builds the cluster: network, Taint Map (always started so any VM
+    /// may be switched to DisTA mode later), and the VMs.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors while standing up the Taint Map or clients.
+    pub fn build(self) -> Result<Cluster, JreError> {
+        let net = self.net.unwrap_or_default();
+        let taint_map =
+            TaintMapServer::spawn_with(&net, self.taint_map_addr, self.taint_map_config)
+                .map_err(JreError::TaintMap)?;
+        let mut vms = Vec::with_capacity(self.nodes.len());
+        for (name, ip) in self.nodes {
+            vms.push(
+                Vm::builder(name, &net)
+                    .mode(self.mode)
+                    .ip(ip)
+                    .spec(self.spec.clone())
+                    .gid_width(self.gid_width)
+                    .taint_map(taint_map.addr())
+                    .build()?,
+            );
+        }
+        Ok(Cluster {
+            net,
+            mode: self.mode,
+            taint_map: Some(taint_map),
+            vms,
+        })
+    }
+}
+
+/// A running simulated cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    net: SimNet,
+    mode: Mode,
+    taint_map: Option<TaintMapServer>,
+    vms: Vec<Vm>,
+}
+
+impl Cluster {
+    /// Starts building a cluster in `mode`.
+    pub fn builder(mode: Mode) -> ClusterBuilder {
+        ClusterBuilder {
+            mode,
+            nodes: Vec::new(),
+            spec: SourceSinkSpec::new(),
+            gid_width: 4,
+            taint_map_addr: NodeAddr::new([10, 0, 0, 99], 7777),
+            taint_map_config: TaintMapConfig::default(),
+            net: None,
+        }
+    }
+
+    /// The cluster's tracking mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The shared network.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The `i`-th VM (panics if out of range — cluster shape is static).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn vm(&self, i: usize) -> &Vm {
+        &self.vms[i]
+    }
+
+    /// VM by node name.
+    pub fn vm_named(&self, name: &str) -> Option<&Vm> {
+        self.vms.iter().find(|v| v.name() == name)
+    }
+
+    /// All VMs.
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// The Taint Map service handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster was already shut down.
+    pub fn taint_map(&self) -> &TaintMapServer {
+        self.taint_map.as_ref().expect("cluster already shut down")
+    }
+
+    /// Sink reports from every VM, in node order.
+    pub fn sink_reports(&self) -> Vec<(String, SinkReport)> {
+        self.vms
+            .iter()
+            .map(|vm| (vm.name().to_string(), vm.sink_report()))
+            .collect()
+    }
+
+    /// Total sink events that observed tainted data, across all nodes.
+    pub fn total_tainted_sink_events(&self) -> usize {
+        self.vms
+            .iter()
+            .map(|vm| vm.sink_report().tainted_count())
+            .sum()
+    }
+
+    /// Stops the Taint Map service.
+    pub fn shutdown(mut self) {
+        if let Some(tm) = self.taint_map.take() {
+            tm.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_taint::TagValue;
+
+    #[test]
+    fn builder_creates_named_nodes() {
+        let cluster = Cluster::builder(Mode::Dista).nodes("node", 3).build().unwrap();
+        assert_eq!(cluster.len(), 3);
+        assert!(!cluster.is_empty());
+        assert_eq!(cluster.vm(0).name(), "node1");
+        assert_eq!(cluster.vm(2).ip(), [10, 0, 0, 3]);
+        assert!(cluster.vm_named("node2").is_some());
+        assert!(cluster.vm_named("nodeX").is_none());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn all_modes_build() {
+        for mode in [Mode::Original, Mode::Phosphor, Mode::Dista] {
+            let cluster = Cluster::builder(mode).node("n", [10, 0, 0, 1]).build().unwrap();
+            assert_eq!(cluster.mode(), mode);
+            assert_eq!(cluster.vm(0).mode(), mode);
+            cluster.shutdown();
+        }
+    }
+
+    #[test]
+    fn taints_resolve_through_cluster_taint_map() {
+        let cluster = Cluster::builder(Mode::Dista).nodes("n", 2).build().unwrap();
+        let t = cluster.vm(0).store().mint_source_taint(TagValue::str("x"));
+        let gid = cluster.vm(0).taint_map().unwrap().global_id_for(t).unwrap();
+        let resolved = cluster.vm(1).taint_map().unwrap().taint_for(gid).unwrap();
+        assert_eq!(
+            cluster.vm(1).store().tag_values(resolved),
+            vec!["x".to_string()]
+        );
+        assert_eq!(cluster.taint_map().stats().global_taints, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sink_reports_aggregate() {
+        let cluster = Cluster::builder(Mode::Phosphor).nodes("n", 2).build().unwrap();
+        let t = cluster.vm(1).store().mint_source_taint(TagValue::str("s"));
+        cluster.vm(1).taint_sink("check", t);
+        let reports = cluster.sink_reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[1].1.events.len(), 1);
+        assert_eq!(cluster.total_tainted_sink_events(), 1);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,184 @@
+//! Launch-script configuration — the usability surface (paper §V-E).
+//!
+//! Applying DisTA to a system means editing its launch script: point
+//! `JAVA` at the instrumented JRE and add two JVM flags
+//! (`-Xbootclasspath/a:DisTA.jar` and `-javaagent:DisTA.jar`), plus the
+//! source/sink spec files. The paper reports ~10 modified LOC per system
+//! (3 for ZooKeeper). [`DistaConfig`] produces those script lines so the
+//! usability experiment can *count* them rather than assert them.
+
+use dista_taint::{ParseSpecError, SourceSinkSpec};
+
+/// The per-system DisTA deployment configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DistaConfig {
+    system: String,
+    server_roles: Vec<String>,
+    client_roles: Vec<String>,
+    scripts: Vec<String>,
+    sources: String,
+    sinks: String,
+}
+
+impl DistaConfig {
+    /// Starts a configuration for the named system.
+    pub fn new(system: impl Into<String>) -> Self {
+        DistaConfig {
+            system: system.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Registers a launch script whose `JAVA` binary line must point at
+    /// the instrumented JRE. Systems that split their environment setup
+    /// over several scripts pay one such line per script (the bulk of
+    /// the paper's ~10-LOC average).
+    pub fn script(mut self, name: impl Into<String>) -> Self {
+        self.scripts.push(name.into());
+        self
+    }
+
+    /// Registers a server-side launch role (e.g. `SERVER_JVMFLAGS`).
+    pub fn server_role(mut self, role: impl Into<String>) -> Self {
+        self.server_roles.push(role.into());
+        self
+    }
+
+    /// Registers a client-side launch role (e.g. `CLIENT_JVMFLAGS`).
+    pub fn client_role(mut self, role: impl Into<String>) -> Self {
+        self.client_roles.push(role.into());
+        self
+    }
+
+    /// Sets the taint-source spec file contents.
+    pub fn sources(mut self, spec: impl Into<String>) -> Self {
+        self.sources = spec.into();
+        self
+    }
+
+    /// Sets the taint-sink spec file contents.
+    pub fn sinks(mut self, spec: impl Into<String>) -> Self {
+        self.sinks = spec.into();
+        self
+    }
+
+    /// The system name.
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    /// Parses the source/sink files into a [`SourceSinkSpec`].
+    ///
+    /// # Errors
+    ///
+    /// The first malformed descriptor line.
+    pub fn spec(&self) -> Result<SourceSinkSpec, ParseSpecError> {
+        SourceSinkSpec::parse(&self.sources, &self.sinks)
+    }
+
+    /// Generates the launch-script modification — the exact lines a user
+    /// adds to the system's environment script (cf. the `zkEnv.sh`
+    /// listing in §V-E).
+    pub fn launch_script(&self) -> LaunchScript {
+        let mut lines = Vec::new();
+        let scripts = if self.scripts.is_empty() {
+            &["env.sh".to_string()][..]
+        } else {
+            &self.scripts[..]
+        };
+        for script in scripts {
+            lines.push(format!("JAVA=\"$INST_JAVA_HOME/bin/java\"  # {script}"));
+        }
+        let flags = "-Xbootclasspath/a:DisTA.jar \
+                     -javaagent:DisTA.jar=taintSources=sources.txt,taintSinks=sinks.txt";
+        for role in &self.server_roles {
+            lines.push(format!("{role}=\"{flags}\""));
+        }
+        for role in &self.client_roles {
+            lines.push(format!("{role}=\"{flags}\""));
+        }
+        LaunchScript {
+            system: self.system.clone(),
+            lines,
+        }
+    }
+}
+
+/// The generated launch-script modification for one system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchScript {
+    /// System name.
+    pub system: String,
+    /// The added/modified script lines.
+    pub lines: Vec<String>,
+}
+
+impl LaunchScript {
+    /// Modified lines of code — the usability metric of Table `U1`.
+    pub fn loc(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Renders the script fragment.
+    pub fn render(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zookeeper_config() -> DistaConfig {
+        DistaConfig::new("ZooKeeper")
+            .server_role("SERVER_JVMFLAGS")
+            .client_role("CLIENT_JVMFLAGS")
+            .sources("FileInputStream.read\n")
+            .sinks("LOG.info\n")
+    }
+
+    #[test]
+    fn zookeeper_needs_3_loc() {
+        // §V-E: "we only modify 3 LOC in ZooKeeper's environment
+        // configuration script file zkEnv.sh".
+        let script = zookeeper_config().launch_script();
+        assert_eq!(script.loc(), 3);
+        assert!(script.lines[0].contains("INST_JAVA_HOME"));
+        assert!(script.lines[1].contains("-javaagent:DisTA.jar"));
+        assert!(script.lines[1].contains("-Xbootclasspath/a:DisTA.jar"));
+    }
+
+    #[test]
+    fn multi_script_systems_pay_one_java_line_each() {
+        let cfg = DistaConfig::new("Yarn")
+            .script("hadoop-env.sh")
+            .script("yarn-env.sh")
+            .script("mapred-env.sh")
+            .server_role("YARN_RESOURCEMANAGER_OPTS");
+        let script = cfg.launch_script();
+        assert_eq!(script.loc(), 4);
+        assert_eq!(
+            script.lines.iter().filter(|l| l.contains("INST_JAVA_HOME")).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn spec_parses_from_files() {
+        let spec = zookeeper_config().spec().unwrap();
+        assert!(spec.is_source("FileInputStream", "read"));
+        assert!(spec.is_sink("LOG", "info"));
+    }
+
+    #[test]
+    fn bad_spec_is_reported() {
+        let cfg = DistaConfig::new("X").sources("notadescriptor\n");
+        assert!(cfg.spec().is_err());
+    }
+
+    #[test]
+    fn render_joins_lines() {
+        let script = zookeeper_config().launch_script();
+        assert_eq!(script.render().lines().count(), 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! The inventory of instrumented JNI methods (paper §III-B, Table I).
+//!
+//! DisTA inspects every JNI method in HotSpot OpenJDK 1.8, keeps the ones
+//! used for network communication, and instruments **23 methods** across
+//! three instrumentation types. This module is the machine-readable form
+//! of that inventory; the Table I bench target prints it and the test
+//! suite pins its shape (23 methods, 3 types, the classes named in the
+//! paper).
+
+use std::fmt;
+
+/// The three instrumentation strategies of §III-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrumentationType {
+    /// Type 1: stream-oriented (TCP byte/array I/O).
+    Stream,
+    /// Type 2: packet-oriented (UDP `DatagramPacket`).
+    Packet,
+    /// Type 3: direct-buffer-oriented (NIO/AIO `DirectBuffer`).
+    DirectBuffer,
+}
+
+impl InstrumentationType {
+    /// The numeric label used by Table I.
+    pub fn number(self) -> u8 {
+        match self {
+            InstrumentationType::Stream => 1,
+            InstrumentationType::Packet => 2,
+            InstrumentationType::DirectBuffer => 3,
+        }
+    }
+}
+
+impl fmt::Display for InstrumentationType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.number())
+    }
+}
+
+/// One instrumented JNI method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrumentedMethod {
+    /// Owning JRE class.
+    pub class: &'static str,
+    /// JNI method name.
+    pub method: &'static str,
+    /// Instrumentation strategy.
+    pub inst_type: InstrumentationType,
+}
+
+impl fmt::Display for InstrumentedMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} (type {})", self.class, self.method, self.inst_type)
+    }
+}
+
+use InstrumentationType::{DirectBuffer, Packet, Stream};
+
+macro_rules! m {
+    ($class:literal, $method:literal, $ty:expr) => {
+        InstrumentedMethod {
+            class: $class,
+            method: $method,
+            inst_type: $ty,
+        }
+    };
+}
+
+/// The 23 instrumented methods.
+///
+/// Composition per §III-B: 2 TCP stream methods, 3 UDP packet methods,
+/// 8 dispatcher methods for NIO/AIO (4 in `FileDispatcherImpl`, 4 in
+/// `DatagramDispatcher`), plus the supporting direct-buffer and
+/// platform-specific methods listed in Table I.
+pub const INSTRUMENTED_METHODS: [InstrumentedMethod; 23] = [
+    // TCP stream I/O (SocketInputStream / SocketOutputStream)
+    m!("SocketInputStream", "socketRead0", Stream),
+    m!("SocketOutputStream", "socketWrite0", Stream),
+    // Attach-API transport, Table I
+    m!("LinuxVirtualMachine", "read", Stream),
+    m!("LinuxVirtualMachine", "write", Stream),
+    // UDP packet I/O (PlainDatagramSocketImpl)
+    m!("PlainDatagramSocketImpl", "send", Packet),
+    m!("PlainDatagramSocketImpl", "receive0", Packet),
+    m!("PlainDatagramSocketImpl", "peekData", Packet),
+    // NIO/AIO socket dispatchers (SocketDispatcher extends
+    // FileDispatcherImpl on Linux)
+    m!("FileDispatcherImpl", "read0", DirectBuffer),
+    m!("FileDispatcherImpl", "readv0", DirectBuffer),
+    m!("FileDispatcherImpl", "write0", DirectBuffer),
+    m!("FileDispatcherImpl", "writev0", DirectBuffer),
+    // NIO datagram dispatchers
+    m!("DatagramDispatcher", "read0", DirectBuffer),
+    m!("DatagramDispatcher", "readv0", DirectBuffer),
+    m!("DatagramDispatcher", "write0", DirectBuffer),
+    m!("DatagramDispatcher", "writev0", DirectBuffer),
+    // Direct buffer accessors
+    m!("DirectByteBuffer", "get", DirectBuffer),
+    m!("DirectByteBuffer", "put", DirectBuffer),
+    // Native-buffer copy helpers
+    m!("IOUtil", "writeFromNativeBuffer", DirectBuffer),
+    m!("IOUtil", "readIntoNativeBuffer", DirectBuffer),
+    // Windows AIO implementation (Table I)
+    m!("WindowsAsynchronousSocketChannelImpl", "implRead", DirectBuffer),
+    m!("WindowsAsynchronousSocketChannelImpl", "implWrite", DirectBuffer),
+    // Socket channel connect-time drain (carries handshake bytes)
+    m!("SocketChannelImpl", "checkConnect", Stream),
+    // Urgent-data path on socket channels
+    m!("SocketChannelImpl", "sendOutOfBandData", Stream),
+];
+
+/// All instrumented methods.
+pub fn instrumented_methods() -> &'static [InstrumentedMethod] {
+    &INSTRUMENTED_METHODS
+}
+
+/// Methods of one instrumentation type.
+pub fn methods_of_type(ty: InstrumentationType) -> Vec<&'static InstrumentedMethod> {
+    INSTRUMENTED_METHODS
+        .iter()
+        .filter(|m| m.inst_type == ty)
+        .collect()
+}
+
+/// Whether `class.method` is in the instrumented set.
+pub fn is_instrumented(class: &str, method: &str) -> bool {
+    INSTRUMENTED_METHODS
+        .iter()
+        .any(|m| m.class == class && m.method == method)
+}
+
+/// Renders the inventory as an aligned text table (the Table I bench
+/// target's output).
+pub fn render_table() -> String {
+    let mut out = String::from(
+        "Class                                    Method                   Type\n\
+         ---------------------------------------- ------------------------ ----\n",
+    );
+    for m in &INSTRUMENTED_METHODS {
+        out.push_str(&format!(
+            "{:<40} {:<24} {}\n",
+            m.class, m.method, m.inst_type
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_23_methods() {
+        // §IV: "As mentioned above, we instrument 23 methods."
+        assert_eq!(instrumented_methods().len(), 23);
+    }
+
+    #[test]
+    fn type_composition_matches_section_3b() {
+        // "Two methods in SocketInputStream and SocketOutputStream are
+        // used for TCP communication. Three methods in
+        // PlainDatagramSocketImpl are used for UDP communication. Eight
+        // methods in FileDispatcherImpl and DatagramDispatcherImpl are
+        // used to implement NIO and AIO communication."
+        let tcp: Vec<_> = instrumented_methods()
+            .iter()
+            .filter(|m| {
+                matches!(m.class, "SocketInputStream" | "SocketOutputStream")
+                    && m.inst_type == Stream
+            })
+            .collect();
+        assert_eq!(tcp.len(), 2);
+        assert_eq!(methods_of_type(Packet).len(), 3);
+        let dispatchers = instrumented_methods()
+            .iter()
+            .filter(|m| m.class == "FileDispatcherImpl" || m.class == "DatagramDispatcher")
+            .count();
+        assert_eq!(dispatchers, 8);
+    }
+
+    #[test]
+    fn table1_rows_present() {
+        // Every row of the paper's (partial) Table I is in the registry.
+        for (class, method) in [
+            ("SocketInputStream", "socketRead0"),
+            ("SocketOutputStream", "socketWrite0"),
+            ("LinuxVirtualMachine", "read"),
+            ("LinuxVirtualMachine", "write"),
+            ("PlainDatagramSocketImpl", "send"),
+            ("PlainDatagramSocketImpl", "receive0"),
+            ("DirectByteBuffer", "get"),
+            ("DirectByteBuffer", "put"),
+            ("IOUtil", "writeFromNativeBuffer"),
+            ("IOUtil", "readIntoNativeBuffer"),
+            ("WindowsAsynchronousSocketChannelImpl", "implRead"),
+            ("WindowsAsynchronousSocketChannelImpl", "implWrite"),
+        ] {
+            assert!(is_instrumented(class, method), "{class}.{method} missing");
+        }
+        assert!(!is_instrumented("FileInputStream", "read"), "file I/O excluded");
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for m in instrumented_methods() {
+            assert!(seen.insert((m.class, m.method)), "duplicate {m}");
+        }
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let table = render_table();
+        assert_eq!(table.lines().count(), 2 + 23);
+        assert!(table.contains("socketRead0"));
+    }
+
+    #[test]
+    fn type_numbers() {
+        assert_eq!(Stream.number(), 1);
+        assert_eq!(Packet.number(), 2);
+        assert_eq!(DirectBuffer.number(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # dista-hbase — a mini HBase coordinated through mini ZooKeeper
+//!
+//! The paper's database subject (Table III): "HBase — JRE NIO, protobuf
+//! RPC — Get data from a table", explicitly a **cross-system** workload:
+//! "HBase's workload must run within two systems, i.e., HBase and
+//! ZooKeeper."
+//!
+//! The reproduction wires the same shape:
+//! * Each HBase node co-hosts a mini-ZooKeeper peer
+//!   ([`dista_zookeeper::ZkEnsemble`]); the [`HMaster`] records table →
+//!   RegionServer assignments in the ZooKeeper data tree.
+//! * [`RegionServer`]s store table regions and serve Get/Put over a
+//!   protobuf-style tag/length/value RPC ([`pbrpc`]) on NIO channels.
+//! * [`HTable`] clients resolve the table's RegionServer *through
+//!   ZooKeeper* (the cross-system hop) and then issue the Get RPC.
+//!
+//! Taint scenarios (Table IV):
+//! * **SDT** — source: the client's `TableName` variable
+//!   (`HTable.tableName`); sink: the `Result` returned by the get
+//!   (`HTable.getResult`). The taint crosses client → ZK → client →
+//!   RegionServer → client.
+//! * **SIM** — source: each RegionServer's `conf/hbase-site.xml` read;
+//!   sink: `LOG.info` on the HMaster (which logs RS registrations it
+//!   discovers through ZooKeeper — a two-system taint path).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod master;
+pub mod pbrpc;
+mod region_server;
+
+pub use client::{HTable, KeyValue, ResultRow};
+pub use master::HMaster;
+pub use region_server::{seed_config, RegionServer};
+
+/// SDT source/sink descriptor class.
+pub const HTABLE_CLASS: &str = "HTable";

@@ -1,0 +1,73 @@
+//! Property tests for the protobuf-style wire codec.
+
+use dista_hbase::pbrpc::PbMessage;
+use dista_jre::{Mode, Vm};
+use dista_simnet::SimNet;
+use dista_taint::{TagValue, TaintedBytes};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum FieldSpec {
+    Varint(u64),
+    Bytes(Vec<u8>, Option<u8>),
+}
+
+fn field_strategy() -> impl Strategy<Value = (u64, FieldSpec)> {
+    let field_no = 1u64..64;
+    let value = prop_oneof![
+        any::<u64>().prop_map(FieldSpec::Varint),
+        (prop::collection::vec(any::<u8>(), 0..64), prop::option::of(0u8..4))
+            .prop_map(|(b, t)| FieldSpec::Bytes(b, t)),
+    ];
+    (field_no, value)
+}
+
+proptest! {
+    /// Arbitrary field sequences round-trip exactly, values and taints.
+    #[test]
+    fn pb_roundtrip(fields in prop::collection::vec(field_strategy(), 0..16)) {
+        let vm = Vm::builder("t", &SimNet::new())
+            .mode(Mode::Phosphor)
+            .build()
+            .unwrap();
+        let mut msg = PbMessage::new();
+        for (field, spec) in &fields {
+            match spec {
+                FieldSpec::Varint(v) => {
+                    msg.push_varint(*field, *v);
+                }
+                FieldSpec::Bytes(bytes, tag) => {
+                    let taint = match tag {
+                        Some(t) => vm.store().mint_source_taint(TagValue::Int(i64::from(*t))),
+                        None => dista_taint::Taint::EMPTY,
+                    };
+                    msg.push_bytes(*field, TaintedBytes::uniform(bytes.clone(), taint));
+                }
+            }
+        }
+        let decoded = PbMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(&decoded, &msg);
+        // Spot-check taints survived for every bytes field.
+        for (field, spec) in &fields {
+            if let FieldSpec::Bytes(bytes, Some(tag)) = spec {
+                if !bytes.is_empty() {
+                    let got = decoded
+                        .bytes_repeated(*field)
+                        .iter()
+                        .any(|b| {
+                            vm.store()
+                                .tag_values(b.taint_union(vm.store()))
+                                .contains(&tag.to_string())
+                        });
+                    prop_assert!(got, "taint {tag} lost on field {field}");
+                }
+            }
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn pb_decode_never_panics(junk in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = PbMessage::decode(&TaintedBytes::from_plain(junk));
+    }
+}

@@ -1,0 +1,611 @@
+//! The DisTA JNI boundary wrappers (paper §III-C, §III-D).
+//!
+//! Everything below this module is taint-oblivious native code
+//! ([`dista_simnet::native`]). This module is the *only* place where
+//! taints cross that boundary, and only in [`Mode::Dista`]:
+//!
+//! * **Senders** interleave a fixed-width Global ID after every data
+//!   byte: `[b0][gid0][b1][gid1]…`. With the default 4-byte IDs this is
+//!   the paper's ≈5× wire expansion. Because every `(1 + width)`-byte
+//!   record is self-contained, *any* prefix that ends on a record
+//!   boundary is decodable — which is what makes stream partial reads and
+//!   datagram truncation safe (§III-D-2).
+//! * **Receivers** enlarge their buffers by the record factor, strip the
+//!   IDs, resolve them through the Taint Map client (cached), and
+//!   re-attach taints byte-for-byte. A trailing partial record is kept in
+//!   a per-connection remainder buffer until the next read.
+//!
+//! In [`Mode::Phosphor`] the wrappers reproduce the paper's Fig.-4
+//! baseline semantics instead: data crosses, and the received bytes get
+//! the *parameter buffer's* prior taint — i.e. nothing — so inter-node
+//! taints are silently lost. In [`Mode::Original`] payloads stay plain.
+
+use std::collections::HashMap;
+
+use dista_simnet::{native, NodeAddr, TcpEndpoint, UdpEndpoint};
+use dista_taint::{GlobalId, Payload, Taint, TaintedBytes};
+use parking_lot::Mutex;
+
+use crate::error::JreError;
+use crate::vm::{Mode, Vm};
+
+/// Size in bytes of one wire record (`1` data byte + the Global ID).
+pub fn wire_record_size(gid_width: usize) -> usize {
+    1 + gid_width
+}
+
+/// Encodes a tainted buffer into DisTA wire records.
+pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes) -> Result<Vec<u8>, JreError> {
+    let width = vm.gid_width();
+    let client = vm
+        .taint_map()
+        .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
+    let mut out = Vec::with_capacity(bytes.len() * wire_record_size(width));
+    // Runs of identically-tainted bytes are the overwhelmingly common
+    // case: a one-entry cache covers them, with a per-call memo behind
+    // it so distinct taints still avoid the client's lock.
+    let mut last: Option<(Taint, [u8; 8])> = None;
+    let mut memo: HashMap<Taint, GlobalId> = HashMap::new();
+    for (byte, taint) in bytes.iter() {
+        let gid_bytes = match &last {
+            Some((t, g)) if *t == taint => *g,
+            _ => {
+                let gid = match memo.get(&taint) {
+                    Some(&g) => g,
+                    None => {
+                        let g = client.global_id_for(taint)?;
+                        memo.insert(taint, g);
+                        g
+                    }
+                };
+                let wire = gid.try_to_wire(width).ok_or(JreError::Protocol(
+                    "global id exceeds the configured wire width",
+                ))?;
+                let mut buf = [0u8; 8];
+                buf[..width].copy_from_slice(&wire);
+                last = Some((taint, buf));
+                buf
+            }
+        };
+        out.push(byte);
+        out.extend_from_slice(&gid_bytes[..width]);
+    }
+    Ok(out)
+}
+
+/// Decodes DisTA wire records back into a tainted buffer.
+///
+/// `wire.len()` must be a whole number of records.
+pub(crate) fn decode_wire(vm: &Vm, wire: &[u8]) -> Result<TaintedBytes, JreError> {
+    let rs = wire_record_size(vm.gid_width());
+    debug_assert_eq!(wire.len() % rs, 0, "caller must pass whole records");
+    let client = vm
+        .taint_map()
+        .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
+    let mut out = TaintedBytes::with_capacity(wire.len() / rs);
+    let mut last: Option<(GlobalId, Taint)> = None;
+    let mut memo: HashMap<GlobalId, Taint> = HashMap::new();
+    for record in wire.chunks_exact(rs) {
+        let byte = record[0];
+        let gid = GlobalId::from_wire(&record[1..]);
+        let taint = match &last {
+            Some((g, t)) if *g == gid => *t,
+            _ => {
+                let t = match memo.get(&gid) {
+                    Some(&t) => t,
+                    None => {
+                        let t = client.taint_for(gid)?;
+                        memo.insert(gid, t);
+                        t
+                    }
+                };
+                last = Some((gid, t));
+                t
+            }
+        };
+        out.push(byte, taint);
+    }
+    Ok(out)
+}
+
+/// A TCP connection as seen *above* the JNI boundary: the instrumented
+/// `socketWrite0`/`socketRead0` pair plus the receiver-side remainder
+/// buffer for partial wire records.
+///
+/// All higher stream and channel classes ([`crate::SocketOutputStream`],
+/// [`crate::SocketChannel`], HTTP, …) funnel through one of these.
+#[derive(Debug)]
+pub struct BoundaryStream {
+    vm: Vm,
+    ep: TcpEndpoint,
+    /// Trailing partial record carried between reads (DisTA mode only).
+    rx_rem: Mutex<Vec<u8>>,
+}
+
+impl BoundaryStream {
+    /// Wraps an established connection for `vm`.
+    pub fn new(vm: Vm, ep: TcpEndpoint) -> Self {
+        BoundaryStream {
+            vm,
+            ep,
+            rx_rem: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The VM this stream belongs to.
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The underlying transport endpoint.
+    pub fn endpoint(&self) -> &TcpEndpoint {
+        &self.ep
+    }
+
+    /// Instrumented `socketWrite0`: sends a payload across the boundary.
+    ///
+    /// # Errors
+    ///
+    /// Transport or Taint Map errors.
+    pub fn write_payload(&self, payload: &Payload) -> Result<(), JreError> {
+        match self.vm.mode() {
+            Mode::Original | Mode::Phosphor => {
+                // Taints (if any) die here: only the data crosses.
+                native::socket_write0(&self.ep, payload.data())?;
+            }
+            Mode::Dista => {
+                let tainted_view;
+                let tainted = match payload {
+                    Payload::Tainted(t) => t,
+                    Payload::Plain(d) => {
+                        tainted_view = TaintedBytes::from_plain(d.clone());
+                        &tainted_view
+                    }
+                };
+                let wire = encode_wire(&self.vm, tainted)?;
+                native::socket_write0(&self.ep, &wire)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Instrumented `socketRead0`: receives up to `max_data` bytes.
+    ///
+    /// Returns an empty payload on clean EOF. Like the native read, this
+    /// may return fewer bytes than requested.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] if the stream ends inside a wire record;
+    /// transport/Taint Map errors otherwise.
+    pub fn read_payload(&self, max_data: usize) -> Result<Payload, JreError> {
+        if max_data == 0 {
+            return Ok(match self.vm.mode() {
+                Mode::Original => Payload::Plain(Vec::new()),
+                _ => Payload::Tainted(TaintedBytes::new()),
+            });
+        }
+        match self.vm.mode() {
+            Mode::Original => {
+                let mut buf = vec![0u8; max_data];
+                let n = native::socket_read0(&self.ep, &mut buf)?;
+                buf.truncate(n);
+                Ok(Payload::Plain(buf))
+            }
+            Mode::Phosphor => {
+                // Fig. 4: the wrapper assigns the parameter buffer's
+                // taint to the received data — the fresh buffer is
+                // untainted, so the sender's taints are lost.
+                let mut buf = vec![0u8; max_data];
+                let n = native::socket_read0(&self.ep, &mut buf)?;
+                buf.truncate(n);
+                Ok(Payload::Tainted(TaintedBytes::from_plain(buf)))
+            }
+            Mode::Dista => {
+                let rs = wire_record_size(self.vm.gid_width());
+                let mut rem = self.rx_rem.lock();
+                loop {
+                    if rem.len() >= rs {
+                        let whole = rem.len() - rem.len() % rs;
+                        let take = whole.min(max_data * rs);
+                        let records: Vec<u8> = rem.drain(..take).collect();
+                        return Ok(Payload::Tainted(decode_wire(&self.vm, &records)?));
+                    }
+                    // The receiver "enlarges the allocated byte array"
+                    // (§III-D-2): ask the OS for the wire-size equivalent
+                    // of the caller's buffer.
+                    let mut chunk = vec![0u8; max_data * rs - rem.len()];
+                    let n = native::socket_read0(&self.ep, &mut chunk)?;
+                    if n == 0 {
+                        if rem.is_empty() {
+                            return Ok(Payload::Tainted(TaintedBytes::new()));
+                        }
+                        return Err(JreError::Protocol("stream ended inside a wire record"));
+                    }
+                    rem.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// Reads exactly `n` data bytes, looping over partial reads.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Eof`] if the stream ends first.
+    pub fn read_exact_payload(&self, n: usize) -> Result<Payload, JreError> {
+        let mut acc = match self.vm.mode() {
+            Mode::Original => Payload::Plain(Vec::with_capacity(n)),
+            _ => Payload::Tainted(TaintedBytes::with_capacity(n)),
+        };
+        while acc.len() < n {
+            let part = self.read_payload(n - acc.len())?;
+            if part.is_empty() {
+                return Err(JreError::Eof);
+            }
+            match (&mut acc, part) {
+                (Payload::Plain(dst), Payload::Plain(src)) => dst.extend_from_slice(&src),
+                (Payload::Tainted(dst), Payload::Tainted(src)) => dst.extend_tainted(&src),
+                (Payload::Plain(dst), Payload::Tainted(src)) => {
+                    dst.extend_from_slice(src.data())
+                }
+                (Payload::Tainted(dst), Payload::Plain(src)) => dst.extend_plain(&src),
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Closes the connection.
+    pub fn close(&self) {
+        self.ep.close();
+    }
+}
+
+/// Instrumented `PlainDatagramSocketImpl.send` (Type 2): sends one
+/// datagram's payload, wire-wrapped in DisTA mode.
+///
+/// # Errors
+///
+/// Taint Map errors during wire encoding.
+pub(crate) fn send_datagram(
+    vm: &Vm,
+    socket: &UdpEndpoint,
+    dest: NodeAddr,
+    payload: &Payload,
+) -> Result<(), JreError> {
+    match vm.mode() {
+        Mode::Original | Mode::Phosphor => {
+            native::datagram_send(socket, dest, payload.data());
+        }
+        Mode::Dista => {
+            let tainted_view;
+            let tainted = match payload {
+                Payload::Tainted(t) => t,
+                Payload::Plain(d) => {
+                    tainted_view = TaintedBytes::from_plain(d.clone());
+                    &tainted_view
+                }
+            };
+            let wire = encode_wire(vm, tainted)?;
+            native::datagram_send(socket, dest, &wire);
+        }
+    }
+    Ok(())
+}
+
+/// Instrumented `PlainDatagramSocketImpl.receive0` (Type 2): receives one
+/// datagram into a caller buffer of `buf_len` bytes. In DisTA mode the
+/// receive buffer is enlarged by the record factor before the native
+/// call, then stripped; truncation to `buf_len` data bytes matches plain
+/// UDP semantics byte-for-byte.
+///
+/// Returns the payload (≤ `buf_len` data bytes) and the sender address.
+///
+/// # Errors
+///
+/// Transport or Taint Map errors.
+pub(crate) fn recv_datagram(
+    vm: &Vm,
+    socket: &UdpEndpoint,
+    buf_len: usize,
+) -> Result<(Payload, NodeAddr), JreError> {
+    match vm.mode() {
+        Mode::Original => {
+            let mut buf = vec![0u8; buf_len];
+            let (n, from) = native::datagram_receive0(socket, &mut buf)?;
+            buf.truncate(n);
+            Ok((Payload::Plain(buf), from))
+        }
+        Mode::Phosphor => {
+            let mut buf = vec![0u8; buf_len];
+            let (n, from) = native::datagram_receive0(socket, &mut buf)?;
+            buf.truncate(n);
+            Ok((Payload::Tainted(TaintedBytes::from_plain(buf)), from))
+        }
+        Mode::Dista => {
+            let rs = wire_record_size(vm.gid_width());
+            let mut buf = vec![0u8; buf_len * rs];
+            let (n, from) = native::datagram_receive0(socket, &mut buf)?;
+            let whole = n - n % rs;
+            let decoded = decode_wire(vm, &buf[..whole])?;
+            Ok((Payload::Tainted(decoded), from))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_simnet::SimNet;
+    use dista_taint::TagValue;
+    use dista_taintmap::TaintMapServer;
+
+    fn cluster(mode: Mode) -> (SimNet, TaintMapServer, Vm, Vm) {
+        let net = SimNet::new();
+        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let vm1 = Vm::builder("n1", &net)
+            .mode(mode)
+            .ip([10, 0, 0, 1])
+            .taint_map(tm.addr())
+            .build()
+            .unwrap();
+        let vm2 = Vm::builder("n2", &net)
+            .mode(mode)
+            .ip([10, 0, 0, 2])
+            .taint_map(tm.addr())
+            .build()
+            .unwrap();
+        (net, tm, vm1, vm2)
+    }
+
+    fn stream_pair(net: &SimNet, vm1: &Vm, vm2: &Vm, port: u16) -> (BoundaryStream, BoundaryStream) {
+        let addr = NodeAddr::new([10, 0, 0, 2], port);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect_from(vm1.ip(), addr).unwrap();
+        let s = l.accept().unwrap();
+        (
+            BoundaryStream::new(vm1.clone(), c),
+            BoundaryStream::new(vm2.clone(), s),
+        )
+    }
+
+    #[test]
+    fn dista_taints_cross_the_boundary() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Dista);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 80);
+        let taint = vm1.store().mint_source_taint(TagValue::str("vote"));
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"data", taint)))
+            .unwrap();
+        let got = rx.read_exact_payload(4).unwrap();
+        assert_eq!(got.data(), b"data");
+        let u = got.taint_union(vm2.store());
+        assert_eq!(vm2.store().tag_values(u), vec!["vote".to_string()]);
+        tm.shutdown();
+    }
+
+    #[test]
+    fn phosphor_loses_taints_at_the_boundary() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Phosphor);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 81);
+        let taint = vm1.store().mint_source_taint(TagValue::str("vote"));
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"data", taint)))
+            .unwrap();
+        let got = rx.read_exact_payload(4).unwrap();
+        assert_eq!(got.data(), b"data");
+        assert!(
+            got.taint_union(vm2.store()).is_empty(),
+            "paper Fig. 4: Phosphor drops inter-node taints"
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn original_mode_moves_plain_bytes() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Original);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 82);
+        tx.write_payload(&Payload::Plain(b"raw".to_vec())).unwrap();
+        let got = rx.read_exact_payload(3).unwrap();
+        assert!(matches!(got, Payload::Plain(_)));
+        assert_eq!(got.data(), b"raw");
+        tm.shutdown();
+    }
+
+    #[test]
+    fn wire_expansion_is_five_x() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Dista);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 83);
+        let taint = vm1.store().mint_source_taint(TagValue::str("t"));
+        // Pre-register so the Taint Map RPC doesn't land in the window
+        // we measure (it is a one-time cost per distinct taint).
+        vm1.taint_map().unwrap().global_id_for(taint).unwrap();
+        let base = net.metrics().snapshot().tcp_bytes;
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(
+            vec![7u8; 1000],
+            taint,
+        )))
+        .unwrap();
+        let after = net.metrics().snapshot().tcp_bytes;
+        assert_eq!(after - base, 5000, "1 data byte + 4-byte GID per byte");
+        let got = rx.read_exact_payload(1000).unwrap();
+        assert_eq!(got.len(), 1000);
+        tm.shutdown();
+    }
+
+    #[test]
+    fn per_byte_taints_are_preserved_exactly() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Dista);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 84);
+        let ta = vm1.store().mint_source_taint(TagValue::str("a"));
+        let tb = vm1.store().mint_source_taint(TagValue::str("b"));
+        let mut buf = TaintedBytes::uniform(b"aa", ta);
+        buf.extend_plain(b"--");
+        buf.extend_uniform(b"bb", tb);
+        tx.write_payload(&Payload::Tainted(buf)).unwrap();
+        let got = rx.read_exact_payload(6).unwrap().into_tainted();
+        let tags_at = |i: usize| vm2.store().tag_values(got.taint_at(i).unwrap());
+        assert_eq!(tags_at(0), vec!["a"]);
+        assert_eq!(tags_at(1), vec!["a"]);
+        assert!(tags_at(2).is_empty());
+        assert!(tags_at(3).is_empty());
+        assert_eq!(tags_at(4), vec!["b"]);
+        assert_eq!(tags_at(5), vec!["b"]);
+        tm.shutdown();
+    }
+
+    #[test]
+    fn partial_reads_keep_record_remainders() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Dista);
+        // Force the OS to deliver 3 bytes at a time — never a whole
+        // 5-byte record.
+        net.set_faults(dista_simnet::FaultConfig {
+            max_read_chunk: 3,
+            ..Default::default()
+        });
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 85);
+        let taint = vm1.store().mint_source_taint(TagValue::str("frag"));
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"fragmented!", taint)))
+            .unwrap();
+        let got = rx.read_exact_payload(11).unwrap();
+        assert_eq!(got.data(), b"fragmented!");
+        assert_eq!(
+            vm2.store().tag_values(got.taint_union(vm2.store())),
+            vec!["frag".to_string()]
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn eof_inside_record_is_protocol_error() {
+        let (net, tm, _vm1, vm2) = cluster(Mode::Dista);
+        let addr = NodeAddr::new([10, 0, 0, 2], 86);
+        let l = net.tcp_listen(addr).unwrap();
+        let raw = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        let rx = BoundaryStream::new(vm2.clone(), s);
+        raw.write(&[1, 2, 3]).unwrap(); // 3 bytes of a 5-byte record
+        raw.close();
+        assert!(matches!(
+            rx.read_payload(4),
+            Err(JreError::Protocol(_))
+        ));
+        tm.shutdown();
+    }
+
+    #[test]
+    fn clean_eof_returns_empty_payload() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Dista);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 87);
+        tx.close();
+        let got = rx.read_payload(8).unwrap();
+        assert!(got.is_empty());
+        tm.shutdown();
+    }
+
+    #[test]
+    fn datagram_roundtrip_with_taints() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Dista);
+        let a = net.udp_bind(NodeAddr::new([10, 0, 0, 1], 53)).unwrap();
+        let b = net.udp_bind(NodeAddr::new([10, 0, 0, 2], 53)).unwrap();
+        let taint = vm1.store().mint_source_taint(TagValue::str("dgram"));
+        send_datagram(
+            &vm1,
+            &a,
+            b.local_addr(),
+            &Payload::Tainted(TaintedBytes::uniform(b"packet", taint)),
+        )
+        .unwrap();
+        let (payload, from) = recv_datagram(&vm2, &b, 64).unwrap();
+        assert_eq!(payload.data(), b"packet");
+        assert_eq!(from, a.local_addr());
+        assert_eq!(
+            vm2.store().tag_values(payload.taint_union(vm2.store())),
+            vec!["dgram".to_string()]
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn datagram_truncation_matches_plain_udp() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Dista);
+        let a = net.udp_bind(NodeAddr::new([10, 0, 0, 1], 54)).unwrap();
+        let b = net.udp_bind(NodeAddr::new([10, 0, 0, 2], 54)).unwrap();
+        let taint = vm1.store().mint_source_taint(TagValue::str("t"));
+        send_datagram(
+            &vm1,
+            &a,
+            b.local_addr(),
+            &Payload::Tainted(TaintedBytes::uniform(b"0123456789", taint)),
+        )
+        .unwrap();
+        // Receiver only has room for 4 data bytes.
+        let (payload, _) = recv_datagram(&vm2, &b, 4).unwrap();
+        assert_eq!(payload.data(), b"0123", "same truncation as plain UDP");
+        assert_eq!(
+            vm2.store().tag_values(payload.taint_union(vm2.store())),
+            vec!["t".to_string()],
+            "the surviving bytes keep their taints"
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn register_once_even_for_megabyte_payloads() {
+        let (net, tm, vm1, vm2) = cluster(Mode::Dista);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 88);
+        let taint = vm1.store().mint_source_taint(TagValue::str("big"));
+        let reader = std::thread::spawn(move || rx.read_exact_payload(100_000).unwrap());
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(
+            vec![1u8; 100_000],
+            taint,
+        )))
+        .unwrap();
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), 100_000);
+        // One distinct taint => exactly one register RPC, one lookup RPC.
+        assert_eq!(vm1.taint_map().unwrap().stats().register_rpcs, 1);
+        assert_eq!(vm2.taint_map().unwrap().stats().lookup_rpcs, 1);
+        assert_eq!(tm.stats().global_taints, 1);
+        tm.shutdown();
+    }
+
+    #[test]
+    fn gid_width_2_reduces_expansion() {
+        let net = SimNet::new();
+        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7778)).unwrap();
+        let vm1 = Vm::builder("n1", &net)
+            .mode(Mode::Dista)
+            .ip([10, 0, 0, 1])
+            .taint_map(tm.addr())
+            .gid_width(2)
+            .build()
+            .unwrap();
+        let vm2 = Vm::builder("n2", &net)
+            .mode(Mode::Dista)
+            .ip([10, 0, 0, 2])
+            .taint_map(tm.addr())
+            .gid_width(2)
+            .build()
+            .unwrap();
+        let addr = NodeAddr::new([10, 0, 0, 2], 89);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        let tx = BoundaryStream::new(vm1.clone(), c);
+        let rx = BoundaryStream::new(vm2.clone(), s);
+        net.metrics().reset();
+        let taint = vm1.store().mint_source_taint(TagValue::str("w"));
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(
+            vec![0u8; 1000],
+            taint,
+        )))
+        .unwrap();
+        // 1000 * (1 + 2) data+gid bytes, plus the taint-map RPC traffic.
+        let got = rx.read_exact_payload(1000).unwrap();
+        assert_eq!(got.len(), 1000);
+        assert_eq!(
+            vm2.store().tag_values(got.taint_union(vm2.store())),
+            vec!["w".to_string()]
+        );
+        tm.shutdown();
+    }
+}

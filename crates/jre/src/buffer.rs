@@ -1,0 +1,412 @@
+//! `java.nio.ByteBuffer` and `DirectByteBuffer` (Type 3, direct-buffer
+//! instrumentation, paper §III-C).
+//!
+//! A direct buffer "manages a memory block out of Java heap … it does not
+//! directly store an object or bytes carrying the message data, but the
+//! data's address in the physical memory". Here, that native block lives
+//! in the VM's `native_mem` slab (plain bytes — taint-free by
+//! construction), and the instrumented `get`/`put` maintain a *separate*
+//! shadow array in `native_shadows`. `IOUtil.writeFromNativeBuffer` /
+//! `readIntoNativeBuffer` (used by the channel classes) consult both.
+
+use dista_taint::{Payload, Taint, TaintedBytes};
+
+use crate::error::JreError;
+use crate::vm::Vm;
+
+/// A heap `ByteBuffer`: position/limit cursor over a tainted byte store.
+#[derive(Debug, Clone)]
+pub struct ByteBuffer {
+    data: TaintedBytes,
+    plain: Vec<u8>,
+    tracked: bool,
+    position: usize,
+    limit: usize,
+    capacity: usize,
+}
+
+impl ByteBuffer {
+    /// `ByteBuffer.allocate(capacity)`.
+    pub fn allocate(vm: &Vm, capacity: usize) -> Self {
+        ByteBuffer {
+            data: TaintedBytes::new(),
+            plain: Vec::new(),
+            tracked: vm.mode().tracks_taints(),
+            position: 0,
+            limit: capacity,
+            capacity,
+        }
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Current limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes between position and limit.
+    pub fn remaining(&self) -> usize {
+        self.limit.saturating_sub(self.position)
+    }
+
+    fn stored_len(&self) -> usize {
+        if self.tracked {
+            self.data.len()
+        } else {
+            self.plain.len()
+        }
+    }
+
+    /// `put`: appends a payload at the position.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] on overflow.
+    pub fn put(&mut self, payload: &Payload) -> Result<(), JreError> {
+        if self.position + payload.len() > self.limit {
+            return Err(JreError::Protocol("buffer overflow"));
+        }
+        if self.tracked {
+            match payload {
+                Payload::Plain(d) => self.data.extend_plain(d),
+                Payload::Tainted(t) => self.data.extend_tainted(t),
+            }
+        } else {
+            self.plain.extend_from_slice(payload.data());
+        }
+        self.position += payload.len();
+        Ok(())
+    }
+
+    /// `flip`: limit = position, position = 0 (write → read mode).
+    pub fn flip(&mut self) {
+        self.limit = self.position;
+        self.position = 0;
+    }
+
+    /// `clear`: empties the buffer for reuse.
+    pub fn clear(&mut self) {
+        self.data = TaintedBytes::new();
+        self.plain.clear();
+        self.position = 0;
+        self.limit = self.capacity;
+    }
+
+    /// `get`: reads up to `n` bytes from the position.
+    pub fn get(&mut self, n: usize) -> Payload {
+        let n = n.min(self.remaining()).min(self.stored_len() - self.position.min(self.stored_len()));
+        let start = self.position;
+        let end = start + n;
+        let out = if self.tracked {
+            Payload::Tainted(self.data.slice(start, end))
+        } else {
+            Payload::Plain(self.plain[start..end].to_vec())
+        };
+        self.position = end;
+        out
+    }
+
+    /// Everything between position and the stored end, without moving
+    /// the cursor.
+    pub fn peek_remaining(&self) -> Payload {
+        let end = self.stored_len();
+        let start = self.position.min(end);
+        if self.tracked {
+            Payload::Tainted(self.data.slice(start, end))
+        } else {
+            Payload::Plain(self.plain[start..end].to_vec())
+        }
+    }
+}
+
+/// An NIO direct buffer backed by simulated native memory.
+///
+/// Dropping the buffer frees the native block (and its shadow array).
+#[derive(Debug)]
+pub struct DirectByteBuffer {
+    vm: Vm,
+    /// The "address" of the native block (key into the VM slab).
+    address: u64,
+    position: usize,
+    limit: usize,
+    capacity: usize,
+}
+
+impl DirectByteBuffer {
+    /// `ByteBuffer.allocateDirect(capacity)`.
+    pub fn allocate_direct(vm: &Vm, capacity: usize) -> Self {
+        let address = vm
+            .inner
+            .next_buffer_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        vm.inner.native_mem.lock().insert(address, Vec::new());
+        if vm.mode().tracks_taints() {
+            vm.inner.native_shadows.lock().insert(address, Vec::new());
+        }
+        DirectByteBuffer {
+            vm: vm.clone(),
+            address,
+            position: 0,
+            limit: capacity,
+            capacity,
+        }
+    }
+
+    /// The simulated native address.
+    pub fn address(&self) -> u64 {
+        self.address
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Current limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes between position and limit.
+    pub fn remaining(&self) -> usize {
+        self.limit.saturating_sub(self.position)
+    }
+
+    fn native_len(&self) -> usize {
+        self.vm
+            .inner
+            .native_mem
+            .lock()
+            .get(&self.address)
+            .map_or(0, Vec::len)
+    }
+
+    /// Instrumented `DirectByteBuffer.put`: copies data into native
+    /// memory and taints into the shadow array.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] on overflow.
+    pub fn put(&mut self, payload: &Payload) -> Result<(), JreError> {
+        if self.position + payload.len() > self.limit {
+            return Err(JreError::Protocol("direct buffer overflow"));
+        }
+        {
+            let mut mem = self.vm.inner.native_mem.lock();
+            let block = mem
+                .get_mut(&self.address)
+                .ok_or(JreError::Protocol("direct buffer freed"))?;
+            block.extend_from_slice(payload.data());
+        }
+        if self.vm.mode().tracks_taints() {
+            let mut shadows = self.vm.inner.native_shadows.lock();
+            let shadow = shadows.entry(self.address).or_default();
+            match payload {
+                Payload::Plain(d) => shadow.extend(std::iter::repeat_n(Taint::EMPTY, d.len())),
+                Payload::Tainted(t) => shadow.extend_from_slice(t.taints()),
+            }
+        }
+        self.position += payload.len();
+        Ok(())
+    }
+
+    /// Instrumented `DirectByteBuffer.get`: reads bytes from native
+    /// memory and re-attaches taints from the shadow array.
+    pub fn get(&mut self, n: usize) -> Payload {
+        let available = self.native_len();
+        let start = self.position.min(available);
+        let end = (start + n).min(available).min(self.limit);
+        let data = {
+            let mem = self.vm.inner.native_mem.lock();
+            mem.get(&self.address).map_or_else(Vec::new, |b| b[start..end].to_vec())
+        };
+        self.position = end;
+        if self.vm.mode().tracks_taints() {
+            let shadows = self.vm.inner.native_shadows.lock();
+            let taints = shadows
+                .get(&self.address)
+                .map_or_else(|| vec![Taint::EMPTY; data.len()], |s| s[start..end].to_vec());
+            Payload::Tainted(TaintedBytes::from_parts(data, taints))
+        } else {
+            Payload::Plain(data)
+        }
+    }
+
+    /// `flip`.
+    pub fn flip(&mut self) {
+        self.limit = self.position;
+        self.position = 0;
+    }
+
+    /// `clear`: resets cursor and empties the native block.
+    pub fn clear(&mut self) {
+        if let Some(block) = self.vm.inner.native_mem.lock().get_mut(&self.address) {
+            block.clear();
+        }
+        if let Some(shadow) = self.vm.inner.native_shadows.lock().get_mut(&self.address) {
+            shadow.clear();
+        }
+        self.position = 0;
+        self.limit = self.capacity;
+    }
+
+    /// `IOUtil.writeFromNativeBuffer` helper: the whole readable window
+    /// with shadows re-attached (cursor untouched).
+    pub fn read_window(&self) -> Payload {
+        let end = self.native_len().min(self.limit);
+        let start = self.position.min(end);
+        let data = {
+            let mem = self.vm.inner.native_mem.lock();
+            mem.get(&self.address).map_or_else(Vec::new, |b| b[start..end].to_vec())
+        };
+        if self.vm.mode().tracks_taints() {
+            let shadows = self.vm.inner.native_shadows.lock();
+            let taints = shadows
+                .get(&self.address)
+                .map_or_else(|| vec![Taint::EMPTY; data.len()], |s| s[start..end].to_vec());
+            Payload::Tainted(TaintedBytes::from_parts(data, taints))
+        } else {
+            Payload::Plain(data)
+        }
+    }
+
+    /// Advances the cursor by `n` (after a successful channel write).
+    pub fn advance(&mut self, n: usize) {
+        self.position = (self.position + n).min(self.limit);
+    }
+}
+
+impl Drop for DirectByteBuffer {
+    fn drop(&mut self) {
+        self.vm.inner.native_mem.lock().remove(&self.address);
+        self.vm.inner.native_shadows.lock().remove(&self.address);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Mode;
+    use dista_simnet::SimNet;
+    use dista_taint::TagValue;
+
+    fn vm(mode: Mode) -> Vm {
+        Vm::builder("t", &SimNet::new()).mode(mode).build().unwrap()
+    }
+
+    #[test]
+    fn heap_buffer_put_flip_get() {
+        let vm = vm(Mode::Phosphor);
+        let t = vm.store().mint_source_taint(TagValue::str("h"));
+        let mut buf = ByteBuffer::allocate(&vm, 16);
+        buf.put(&Payload::Tainted(TaintedBytes::uniform(b"abc", t)))
+            .unwrap();
+        assert_eq!(buf.position(), 3);
+        buf.flip();
+        assert_eq!(buf.remaining(), 3);
+        let got = buf.get(2);
+        assert_eq!(got.data(), b"ab");
+        assert_eq!(vm.store().tag_values(got.taint_union(vm.store())), vec!["h"]);
+        assert_eq!(buf.get(5).data(), b"c");
+    }
+
+    #[test]
+    fn heap_buffer_overflow_errors() {
+        let vm = vm(Mode::Original);
+        let mut buf = ByteBuffer::allocate(&vm, 2);
+        assert!(buf.put(&Payload::Plain(vec![1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn direct_buffer_stores_data_in_native_memory_without_taints() {
+        let vm = vm(Mode::Phosphor);
+        let t = vm.store().mint_source_taint(TagValue::str("d"));
+        let mut buf = DirectByteBuffer::allocate_direct(&vm, 16);
+        buf.put(&Payload::Tainted(TaintedBytes::uniform(b"xyz", t)))
+            .unwrap();
+        // The native block itself carries only raw bytes.
+        let mem = vm.inner.native_mem.lock();
+        assert_eq!(mem.get(&buf.address()).unwrap(), b"xyz");
+        drop(mem);
+        // The shadow array carries the taints separately.
+        let shadows = vm.inner.native_shadows.lock();
+        assert_eq!(shadows.get(&buf.address()).unwrap().len(), 3);
+        assert_eq!(
+            vm.store().tag_values(shadows.get(&buf.address()).unwrap()[0]),
+            vec!["d"]
+        );
+    }
+
+    #[test]
+    fn direct_buffer_get_reattaches_taints() {
+        let vm = vm(Mode::Phosphor);
+        let t = vm.store().mint_source_taint(TagValue::str("g"));
+        let mut buf = DirectByteBuffer::allocate_direct(&vm, 16);
+        buf.put(&Payload::Tainted(TaintedBytes::uniform(b"hello", t)))
+            .unwrap();
+        buf.flip();
+        let got = buf.get(5);
+        assert_eq!(got.data(), b"hello");
+        assert_eq!(vm.store().tag_values(got.taint_union(vm.store())), vec!["g"]);
+    }
+
+    #[test]
+    fn direct_buffer_untracked_mode_has_no_shadows() {
+        let vm = vm(Mode::Original);
+        let mut buf = DirectByteBuffer::allocate_direct(&vm, 8);
+        buf.put(&Payload::Plain(b"raw".to_vec())).unwrap();
+        assert!(vm.inner.native_shadows.lock().is_empty());
+        buf.flip();
+        assert!(matches!(buf.get(3), Payload::Plain(_)));
+    }
+
+    #[test]
+    fn drop_frees_native_block() {
+        let vm = vm(Mode::Phosphor);
+        let addr;
+        {
+            let buf = DirectByteBuffer::allocate_direct(&vm, 8);
+            addr = buf.address();
+            assert!(vm.inner.native_mem.lock().contains_key(&addr));
+        }
+        assert!(!vm.inner.native_mem.lock().contains_key(&addr));
+        assert!(!vm.inner.native_shadows.lock().contains_key(&addr));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let vm = vm(Mode::Phosphor);
+        let mut buf = DirectByteBuffer::allocate_direct(&vm, 8);
+        buf.put(&Payload::Plain(b"data".to_vec())).unwrap();
+        buf.clear();
+        assert_eq!(buf.position(), 0);
+        assert_eq!(buf.remaining(), 8);
+        buf.flip();
+        assert!(buf.get(8).is_empty());
+    }
+
+    #[test]
+    fn read_window_and_advance() {
+        let vm = vm(Mode::Phosphor);
+        let mut buf = DirectByteBuffer::allocate_direct(&vm, 8);
+        buf.put(&Payload::Plain(b"window".to_vec())).unwrap();
+        buf.flip();
+        assert_eq!(buf.read_window().data(), b"window");
+        buf.advance(3);
+        assert_eq!(buf.read_window().data(), b"dow");
+    }
+}

@@ -1,0 +1,230 @@
+//! `java.io.BufferedInputStream` / `BufferedOutputStream` — buffering
+//! wrappers. Shadows are buffered in lock-step with the data so taints
+//! survive coalescing and chunked refills.
+
+use dista_taint::Payload;
+use parking_lot::Mutex;
+
+use crate::error::JreError;
+use crate::stream::{InputStream, OutputStream};
+use crate::vm::Vm;
+
+/// Default buffer capacity, matching Java's 8 KiB.
+pub const DEFAULT_BUFFER_SIZE: usize = 8192;
+
+/// Write-coalescing wrapper.
+#[derive(Debug)]
+pub struct BufferedOutputStream<S> {
+    inner: S,
+    capacity: usize,
+    buf: Mutex<Payload>,
+}
+
+impl<S: OutputStream> BufferedOutputStream<S> {
+    /// Wraps `inner` with the default capacity.
+    pub fn new(inner: S) -> Self {
+        Self::with_capacity(inner, DEFAULT_BUFFER_SIZE)
+    }
+
+    /// Wraps `inner` with an explicit capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(inner: S, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        BufferedOutputStream {
+            inner,
+            capacity,
+            buf: Mutex::new(Payload::default()),
+        }
+    }
+
+    /// Flushes and unwraps the inner stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn into_inner(self) -> Result<S, JreError> {
+        self.flush()?;
+        Ok(self.inner)
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.lock().len()
+    }
+}
+
+impl<S: OutputStream> OutputStream for BufferedOutputStream<S> {
+    fn write(&self, payload: &Payload) -> Result<(), JreError> {
+        let mut buf = self.buf.lock();
+        buf.append(payload.clone());
+        if buf.len() >= self.capacity {
+            let full = std::mem::take(&mut *buf);
+            drop(buf);
+            self.inner.write(&full)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), JreError> {
+        let pending = std::mem::take(&mut *self.buf.lock());
+        if !pending.is_empty() {
+            self.inner.write(&pending)?;
+        }
+        self.inner.flush()
+    }
+
+    fn vm(&self) -> &Vm {
+        self.inner.vm()
+    }
+}
+
+/// Read-ahead wrapper.
+#[derive(Debug)]
+pub struct BufferedInputStream<S> {
+    inner: S,
+    capacity: usize,
+    buf: Mutex<Payload>,
+}
+
+impl<S: InputStream> BufferedInputStream<S> {
+    /// Wraps `inner` with the default capacity.
+    pub fn new(inner: S) -> Self {
+        Self::with_capacity(inner, DEFAULT_BUFFER_SIZE)
+    }
+
+    /// Wraps `inner` with an explicit capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(inner: S, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        BufferedInputStream {
+            inner,
+            capacity,
+            buf: Mutex::new(Payload::default()),
+        }
+    }
+
+    /// Unwraps the inner stream, discarding any read-ahead data.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: InputStream> InputStream for BufferedInputStream<S> {
+    fn read(&self, max: usize) -> Result<Payload, JreError> {
+        if max == 0 {
+            return Ok(Payload::default());
+        }
+        let mut buf = self.buf.lock();
+        if buf.is_empty() {
+            // Refill with one big read — the point of buffering.
+            *buf = self.inner.read(self.capacity.max(max))?;
+            if buf.is_empty() {
+                return Ok(Payload::default()); // EOF
+            }
+        }
+        Ok(buf.drain_front(max))
+    }
+
+    fn vm(&self) -> &Vm {
+        self.inner.vm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::PipedStream;
+    use crate::vm::{Mode, Vm};
+    use dista_simnet::SimNet;
+    use dista_taint::{TagValue, TaintedBytes};
+
+    fn vm() -> Vm {
+        Vm::builder("t", &SimNet::new())
+            .mode(Mode::Phosphor)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn output_coalesces_until_capacity() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        let out = BufferedOutputStream::with_capacity(pipe.clone(), 4);
+        out.write(&Payload::Plain(b"ab".to_vec())).unwrap();
+        assert_eq!(out.buffered(), 2);
+        out.write(&Payload::Plain(b"cd".to_vec())).unwrap();
+        assert_eq!(out.buffered(), 0, "capacity reached -> flushed");
+        let got = pipe.read(8).unwrap();
+        assert_eq!(got.data(), b"abcd");
+    }
+
+    #[test]
+    fn flush_pushes_partial_buffer() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        let out = BufferedOutputStream::with_capacity(pipe.clone(), 100);
+        out.write(&Payload::Plain(b"xy".to_vec())).unwrap();
+        out.flush().unwrap();
+        assert_eq!(pipe.read(8).unwrap().data(), b"xy");
+    }
+
+    #[test]
+    fn taints_survive_coalescing() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        let out = BufferedOutputStream::with_capacity(pipe.clone(), 4);
+        let ta = vm.store().mint_source_taint(TagValue::str("a"));
+        let tb = vm.store().mint_source_taint(TagValue::str("b"));
+        out.write(&Payload::Tainted(TaintedBytes::uniform(b"aa", ta)))
+            .unwrap();
+        out.write(&Payload::Tainted(TaintedBytes::uniform(b"bb", tb)))
+            .unwrap();
+        let got = pipe.read(8).unwrap().into_tainted();
+        assert_eq!(vm.store().tag_values(got.taint_at(0).unwrap()), vec!["a"]);
+        assert_eq!(vm.store().tag_values(got.taint_at(3).unwrap()), vec!["b"]);
+    }
+
+    #[test]
+    fn input_reads_ahead_and_slices() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        let t = vm.store().mint_source_taint(TagValue::str("r"));
+        use crate::stream::OutputStream as _;
+        pipe.write(&Payload::Tainted(TaintedBytes::uniform(b"abcdef", t)))
+            .unwrap();
+        let input = BufferedInputStream::with_capacity(pipe, 16);
+        let first = input.read(2).unwrap();
+        assert_eq!(first.data(), b"ab");
+        let rest = input.read(10).unwrap();
+        assert_eq!(rest.data(), b"cdef");
+        assert_eq!(
+            vm.store().tag_values(rest.taint_union(vm.store())),
+            vec!["r"]
+        );
+    }
+
+    #[test]
+    fn input_eof() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        pipe.close();
+        let input = BufferedInputStream::new(pipe);
+        assert!(input.read(4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn into_inner_flushes() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        let out = BufferedOutputStream::with_capacity(pipe.clone(), 100);
+        out.write(&Payload::Plain(b"tail".to_vec())).unwrap();
+        let _inner = out.into_inner().unwrap();
+        assert_eq!(pipe.read(8).unwrap().data(), b"tail");
+    }
+}

@@ -1,0 +1,218 @@
+//! `java.net.DatagramSocket` / `DatagramPacket` — UDP (Type 2,
+//! packet-oriented instrumentation, paper §III-C Fig. 7).
+//!
+//! The instrumented send fetches the packet's data *and* its per-byte
+//! taints, wire-wraps them, and sends the wrapped bytes in a **new**
+//! packet object — the original packet is not mutated because "packet may
+//! be used by the following code". The instrumented receive allocates an
+//! enlarged buffer, receives the full wire bytes, and places data and
+//! taints back into the caller's packet.
+
+use dista_simnet::{NodeAddr, UdpEndpoint};
+use dista_taint::Payload;
+
+use crate::boundary::{recv_datagram, send_datagram};
+use crate::error::JreError;
+use crate::vm::Vm;
+
+/// A datagram: payload plus peer address, with a receive capacity.
+#[derive(Debug, Clone)]
+pub struct DatagramPacket {
+    data: Payload,
+    capacity: usize,
+    addr: Option<NodeAddr>,
+}
+
+impl DatagramPacket {
+    /// A packet ready to send `data` to `dest`.
+    pub fn for_send(data: Payload, dest: NodeAddr) -> Self {
+        let capacity = data.len();
+        DatagramPacket {
+            data,
+            capacity,
+            addr: Some(dest),
+        }
+    }
+
+    /// An empty packet able to receive up to `capacity` bytes.
+    pub fn for_receive(capacity: usize) -> Self {
+        DatagramPacket {
+            data: Payload::default(),
+            capacity,
+            addr: None,
+        }
+    }
+
+    /// The packet payload (`DatagramPacket.getData`).
+    pub fn data(&self) -> &Payload {
+        &self.data
+    }
+
+    /// Receive capacity in data bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Peer address: destination for sends, source after a receive.
+    pub fn addr(&self) -> Option<NodeAddr> {
+        self.addr
+    }
+
+    /// Consumes the packet, returning its payload.
+    pub fn into_data(self) -> Payload {
+        self.data
+    }
+}
+
+/// A bound UDP socket.
+#[derive(Debug, Clone)]
+pub struct DatagramSocket {
+    vm: Vm,
+    ep: UdpEndpoint,
+}
+
+impl DatagramSocket {
+    /// Binds at `addr` on the VM's network.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors (address in use).
+    pub fn bind(vm: &Vm, addr: NodeAddr) -> Result<Self, JreError> {
+        Ok(DatagramSocket {
+            vm: vm.clone(),
+            ep: vm.net().udp_bind(addr)?,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> NodeAddr {
+        self.ep.local_addr()
+    }
+
+    /// The VM that owns this socket.
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// Instrumented `send`: transmits the packet to its address.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] if the packet has no destination; Taint Map
+    /// errors during wire wrapping.
+    pub fn send(&self, packet: &DatagramPacket) -> Result<(), JreError> {
+        let dest = packet
+            .addr
+            .ok_or(JreError::Protocol("send packet has no destination"))?;
+        send_datagram(&self.vm, &self.ep, dest, &packet.data)
+    }
+
+    /// Instrumented `receive0`: blocks for a datagram and fills the
+    /// packet (truncating to its capacity).
+    ///
+    /// # Errors
+    ///
+    /// Transport or Taint Map errors.
+    pub fn receive(&self, packet: &mut DatagramPacket) -> Result<(), JreError> {
+        let (payload, from) = recv_datagram(&self.vm, &self.ep, packet.capacity)?;
+        packet.data = payload;
+        packet.addr = Some(from);
+        Ok(())
+    }
+
+    /// Closes the socket and unbinds the address.
+    pub fn close(&self) {
+        self.ep.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Mode;
+    use dista_simnet::SimNet;
+    use dista_taint::{TagValue, TaintedBytes};
+    use dista_taintmap::TaintMapServer;
+
+    fn cluster(mode: Mode) -> (TaintMapServer, Vm, Vm) {
+        let net = SimNet::new();
+        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let mk = |name: &str, ip: [u8; 4]| {
+            Vm::builder(name, &net)
+                .mode(mode)
+                .ip(ip)
+                .taint_map(tm.addr())
+                .build()
+                .unwrap()
+        };
+        let vm1 = mk("n1", [10, 0, 0, 1]);
+        let vm2 = mk("n2", [10, 0, 0, 2]);
+        (tm, vm1, vm2)
+    }
+
+    #[test]
+    fn packet_roundtrip_with_taints() {
+        let (tm, vm1, vm2) = cluster(Mode::Dista);
+        let a = DatagramSocket::bind(&vm1, NodeAddr::new([10, 0, 0, 1], 53)).unwrap();
+        let b = DatagramSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 53)).unwrap();
+        let t = vm1.store().mint_source_taint(TagValue::str("udp"));
+        a.send(&DatagramPacket::for_send(
+            Payload::Tainted(TaintedBytes::uniform(b"packet", t)),
+            b.local_addr(),
+        ))
+        .unwrap();
+        let mut rx = DatagramPacket::for_receive(64);
+        b.receive(&mut rx).unwrap();
+        assert_eq!(rx.data().data(), b"packet");
+        assert_eq!(rx.addr(), Some(a.local_addr()));
+        assert_eq!(
+            vm2.store().tag_values(rx.data().taint_union(vm2.store())),
+            vec!["udp".to_string()]
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn phosphor_drops_packet_taints() {
+        let (tm, vm1, vm2) = cluster(Mode::Phosphor);
+        let a = DatagramSocket::bind(&vm1, NodeAddr::new([10, 0, 0, 1], 54)).unwrap();
+        let b = DatagramSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 54)).unwrap();
+        let t = vm1.store().mint_source_taint(TagValue::str("udp"));
+        a.send(&DatagramPacket::for_send(
+            Payload::Tainted(TaintedBytes::uniform(b"x", t)),
+            b.local_addr(),
+        ))
+        .unwrap();
+        let mut rx = DatagramPacket::for_receive(8);
+        b.receive(&mut rx).unwrap();
+        assert!(rx.data().taint_union(vm2.store()).is_empty());
+        tm.shutdown();
+    }
+
+    #[test]
+    fn send_without_destination_errors() {
+        let (tm, vm1, _) = cluster(Mode::Dista);
+        let a = DatagramSocket::bind(&vm1, NodeAddr::new([10, 0, 0, 1], 55)).unwrap();
+        let pkt = DatagramPacket::for_receive(8);
+        assert!(matches!(a.send(&pkt), Err(JreError::Protocol(_))));
+        tm.shutdown();
+    }
+
+    #[test]
+    fn original_packet_not_mutated_by_send() {
+        // Fig. 7: "we do not directly replace packet's data field by
+        // serialized bytes, because packet may be used by the following
+        // code."
+        let (tm, vm1, vm2) = cluster(Mode::Dista);
+        let a = DatagramSocket::bind(&vm1, NodeAddr::new([10, 0, 0, 1], 56)).unwrap();
+        let b = DatagramSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 56)).unwrap();
+        let t = vm1.store().mint_source_taint(TagValue::str("keep"));
+        let pkt = DatagramPacket::for_send(
+            Payload::Tainted(TaintedBytes::uniform(b"body", t)),
+            b.local_addr(),
+        );
+        a.send(&pkt).unwrap();
+        assert_eq!(pkt.data().data(), b"body", "packet unchanged after send");
+        tm.shutdown();
+    }
+}

@@ -1,0 +1,158 @@
+//! `java.io.FileInputStream` over the node's simulated file system.
+//!
+//! This is the standard SIM-scenario *source point* (paper §V-B): "we
+//! uniformly set file reading methods as source points for all systems …
+//! Once the method is invoked at runtime, we mark the return value as
+//! tainted." When `FileInputStream.read` is registered as a source, each
+//! invocation mints a fresh tag — the ZooKeeper walkthrough of Fig. 11
+//! (three files read → three distinct taints) depends on exactly this.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dista_taint::{Payload, TagValue, TaintedBytes};
+
+use crate::error::JreError;
+use crate::vm::Vm;
+
+/// The descriptor class name used in source/sink spec files.
+pub const FILE_INPUT_STREAM_CLASS: &str = "FileInputStream";
+
+static READ_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A read handle on one simulated file.
+#[derive(Debug, Clone)]
+pub struct FileInputStream {
+    vm: Vm,
+    path: Arc<str>,
+}
+
+impl FileInputStream {
+    /// Opens `path` on the VM's file system.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::File`] if the path does not exist.
+    pub fn open(vm: &Vm, path: &str) -> Result<Self, JreError> {
+        if !vm.fs().exists(path) {
+            return Err(JreError::File(dista_simnet::FileNotFound(path.into())));
+        }
+        Ok(FileInputStream {
+            vm: vm.clone(),
+            path: Arc::from(path),
+        })
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// `read`: returns the whole file. If `FileInputStream.read` is a
+    /// registered source point, every byte of the result carries a fresh
+    /// tag naming the file and the invocation sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::File`] if the file vanished.
+    pub fn read(&self) -> Result<Payload, JreError> {
+        let bytes = self.vm.fs().read(&self.path)?;
+        let taint = self.vm.source_point(
+            FILE_INPUT_STREAM_CLASS,
+            "read",
+            TagValue::str(format!(
+                "{}#r{}",
+                self.path,
+                READ_SEQ.fetch_add(1, Ordering::Relaxed)
+            )),
+        );
+        Ok(if self.vm.mode().tracks_taints() {
+            Payload::Tainted(TaintedBytes::uniform(bytes, taint))
+        } else {
+            Payload::Plain(bytes)
+        })
+    }
+
+    /// `read` as a UTF-8 string with the file's taint.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::File`] or [`JreError::Protocol`] on invalid UTF-8.
+    pub fn read_to_string(&self) -> Result<dista_taint::Tainted<String>, JreError> {
+        let payload = self.read()?;
+        let taint = payload.taint_union(self.vm.store());
+        let s = String::from_utf8(payload.into_plain())
+            .map_err(|_| JreError::Protocol("file is not valid UTF-8"))?;
+        Ok(dista_taint::Tainted::new(s, taint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Mode;
+    use dista_simnet::SimNet;
+    use dista_taint::{MethodDesc, SourceSinkSpec};
+
+    fn vm_with_source() -> Vm {
+        let net = SimNet::new();
+        let mut spec = SourceSinkSpec::new();
+        spec.add_source(MethodDesc::new(FILE_INPUT_STREAM_CLASS, "read"));
+        let vm = Vm::builder("n", &net)
+            .mode(Mode::Phosphor)
+            .spec(spec)
+            .build()
+            .unwrap();
+        vm.fs().write("conf/zoo.cfg", b"tickTime=2000".to_vec());
+        vm.fs().write("logs/txn.1", b"zxid1".to_vec());
+        vm
+    }
+
+    #[test]
+    fn missing_file_errors_at_open() {
+        let vm = vm_with_source();
+        assert!(matches!(
+            FileInputStream::open(&vm, "nope"),
+            Err(JreError::File(_))
+        ));
+    }
+
+    #[test]
+    fn registered_source_taints_contents() {
+        let vm = vm_with_source();
+        let f = FileInputStream::open(&vm, "conf/zoo.cfg").unwrap();
+        let payload = f.read().unwrap();
+        assert_eq!(payload.data(), b"tickTime=2000");
+        let tags = vm.store().tag_values(payload.taint_union(vm.store()));
+        assert_eq!(tags.len(), 1);
+        assert!(tags[0].starts_with("conf/zoo.cfg#r"));
+    }
+
+    #[test]
+    fn each_read_mints_a_fresh_tag() {
+        // Fig. 11: three reads -> three distinct taints.
+        let vm = vm_with_source();
+        let f = FileInputStream::open(&vm, "logs/txn.1").unwrap();
+        let t1 = f.read().unwrap().taint_union(vm.store());
+        let t2 = f.read().unwrap().taint_union(vm.store());
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn unregistered_source_is_untainted() {
+        let net = SimNet::new();
+        let vm = Vm::builder("n", &net).mode(Mode::Phosphor).build().unwrap();
+        vm.fs().write("f", b"data".to_vec());
+        let f = FileInputStream::open(&vm, "f").unwrap();
+        assert!(f.read().unwrap().taint_union(vm.store()).is_empty());
+    }
+
+    #[test]
+    fn read_to_string_carries_taint() {
+        let vm = vm_with_source();
+        let f = FileInputStream::open(&vm, "conf/zoo.cfg").unwrap();
+        let s = f.read_to_string().unwrap();
+        assert_eq!(s.value(), "tickTime=2000");
+        assert!(s.is_tainted());
+    }
+}

@@ -1,0 +1,123 @@
+//! The `LOG.info` sink (paper §V-B).
+//!
+//! SIM scenarios "set LOG.info method as sink points for all systems, and
+//! check if any log statement prints a tainted variable." [`Logger`]
+//! formats log lines like any logging facade, but when `LOG.info` is a
+//! registered sink it first checks the taint of every argument and
+//! records the observation in the VM's [`dista_taint::SinkRecorder`].
+
+use std::sync::Arc;
+
+use dista_taint::{Payload, Taint, Tainted};
+use parking_lot::Mutex;
+
+use crate::vm::Vm;
+
+/// The descriptor class name used in source/sink spec files.
+pub const LOGGER_CLASS: &str = "LOG";
+
+/// A per-VM logger whose `info` is instrumentable as a taint sink.
+#[derive(Debug, Clone)]
+pub struct Logger {
+    vm: Vm,
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl Logger {
+    /// Creates a logger for `vm`.
+    pub fn new(vm: &Vm) -> Self {
+        Logger {
+            vm: vm.clone(),
+            lines: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// `LOG.info(msg)` with an explicit argument taint. Returns whether
+    /// the sink flagged tainted data.
+    pub fn info_taint(&self, message: &str, taint: Taint) -> bool {
+        self.lines
+            .lock()
+            .push(format!("[{}] INFO {}", self.vm.name(), message));
+        self.vm.sink_point(LOGGER_CLASS, "info", taint)
+    }
+
+    /// `LOG.info(msg, payload)` — checks the payload's byte taints.
+    pub fn info_payload(&self, message: &str, payload: &Payload) -> bool {
+        let taint = payload.taint_union(self.vm.store());
+        self.info_taint(message, taint)
+    }
+
+    /// `LOG.info(msg, value)` — checks a tainted value.
+    pub fn info_value<T: std::fmt::Display>(&self, message: &str, value: &Tainted<T>) -> bool {
+        self.lines.lock().push(format!(
+            "[{}] INFO {} {}",
+            self.vm.name(),
+            message,
+            value.value()
+        ));
+        self.vm.sink_point(LOGGER_CLASS, "info", value.taint())
+    }
+
+    /// All formatted lines so far (diagnostics).
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Mode;
+    use dista_simnet::SimNet;
+    use dista_taint::{MethodDesc, SourceSinkSpec, TagValue};
+
+    fn vm_with_sink() -> Vm {
+        let net = SimNet::new();
+        let mut spec = SourceSinkSpec::new();
+        spec.add_sink(MethodDesc::new(LOGGER_CLASS, "info"));
+        Vm::builder("n1", &net)
+            .mode(Mode::Phosphor)
+            .spec(spec)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tainted_argument_is_flagged_and_recorded() {
+        let vm = vm_with_sink();
+        let log = Logger::new(&vm);
+        let t = vm.store().mint_source_taint(TagValue::str("zxid2"));
+        assert!(log.info_taint("new epoch", t));
+        let report = vm.sink_report();
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].sink, "LOG.info");
+        assert_eq!(report.events[0].tags, vec!["zxid2".to_string()]);
+    }
+
+    #[test]
+    fn untainted_argument_is_not_flagged() {
+        let vm = vm_with_sink();
+        let log = Logger::new(&vm);
+        assert!(!log.info_taint("boring", Taint::EMPTY));
+        assert_eq!(vm.sink_report().tainted_count(), 0);
+    }
+
+    #[test]
+    fn unregistered_sink_records_nothing() {
+        let net = SimNet::new();
+        let vm = Vm::builder("n", &net).mode(Mode::Phosphor).build().unwrap();
+        let log = Logger::new(&vm);
+        let t = vm.store().mint_source_taint(TagValue::str("x"));
+        assert!(!log.info_taint("msg", t));
+        assert!(vm.sink_report().events.is_empty());
+    }
+
+    #[test]
+    fn value_logging_formats_and_checks() {
+        let vm = vm_with_sink();
+        let log = Logger::new(&vm);
+        let t = vm.store().mint_source_taint(TagValue::str("epoch"));
+        assert!(log.info_value("accepted epoch =", &Tainted::new(42, t)));
+        assert!(log.lines()[0].contains("accepted epoch = 42"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Stream traits shared by every I/O class, plus an in-memory pipe used
+//! by tests and by intra-process plumbing.
+//!
+//! These mirror `java.io.InputStream`/`OutputStream`: byte-oriented,
+//! composable by wrapping. Concrete implementations: socket streams
+//! ([`crate::SocketInputStream`]), buffered wrappers, and [`PipedStream`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dista_taint::Payload;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::JreError;
+use crate::vm::Vm;
+
+/// A byte sink (`java.io.OutputStream`).
+pub trait OutputStream {
+    /// Writes the whole payload.
+    ///
+    /// # Errors
+    ///
+    /// Transport or Taint Map errors from the underlying sink.
+    fn write(&self, payload: &Payload) -> Result<(), JreError>;
+
+    /// Flushes buffered data, if any.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the underlying sink.
+    fn flush(&self) -> Result<(), JreError> {
+        Ok(())
+    }
+
+    /// The VM that owns this stream.
+    fn vm(&self) -> &Vm;
+}
+
+/// A byte source (`java.io.InputStream`).
+pub trait InputStream {
+    /// Reads up to `max` bytes; an empty payload means EOF.
+    ///
+    /// # Errors
+    ///
+    /// Transport or Taint Map errors from the underlying source.
+    fn read(&self, max: usize) -> Result<Payload, JreError>;
+
+    /// Reads exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Eof`] if the stream ends first.
+    fn read_exact(&self, n: usize) -> Result<Payload, JreError> {
+        let mut acc: Option<Payload> = None;
+        let mut have = 0;
+        while have < n {
+            let part = self.read(n - have)?;
+            if part.is_empty() {
+                return Err(JreError::Eof);
+            }
+            have += part.len();
+            match &mut acc {
+                Some(p) => p.append(part),
+                None => acc = Some(part),
+            }
+        }
+        Ok(acc.unwrap_or_default())
+    }
+
+    /// The VM that owns this stream.
+    fn vm(&self) -> &Vm;
+}
+
+const PIPE_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Default)]
+struct PipeInner {
+    queue: Mutex<VecDeque<Payload>>,
+    readable: Condvar,
+    closed: Mutex<bool>,
+}
+
+/// An in-process byte pipe implementing both stream traits — the
+/// stand-in for `java.io.PipedInputStream`/`PipedOutputStream`, also
+/// handy in unit tests for the wrapper streams.
+#[derive(Clone)]
+pub struct PipedStream {
+    vm: Vm,
+    inner: Arc<PipeInner>,
+}
+
+impl PipedStream {
+    /// Creates an empty pipe owned by `vm`.
+    pub fn new(vm: &Vm) -> Self {
+        PipedStream {
+            vm: vm.clone(),
+            inner: Arc::new(PipeInner::default()),
+        }
+    }
+
+    /// Marks the writing side closed; readers drain then see EOF.
+    pub fn close(&self) {
+        *self.inner.closed.lock() = true;
+        self.inner.readable.notify_all();
+    }
+}
+
+impl std::fmt::Debug for PipedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipedStream")
+            .field("queued", &self.inner.queue.lock().len())
+            .finish()
+    }
+}
+
+impl OutputStream for PipedStream {
+    fn write(&self, payload: &Payload) -> Result<(), JreError> {
+        self.inner.queue.lock().push_back(payload.clone());
+        self.inner.readable.notify_all();
+        Ok(())
+    }
+
+    fn vm(&self) -> &Vm {
+        &self.vm
+    }
+}
+
+impl InputStream for PipedStream {
+    fn read(&self, max: usize) -> Result<Payload, JreError> {
+        let mut queue = self.inner.queue.lock();
+        loop {
+            if let Some(front) = queue.front_mut() {
+                let take = front.drain_front(max);
+                if front.is_empty() {
+                    queue.pop_front();
+                }
+                if !take.is_empty() {
+                    return Ok(take);
+                }
+                continue; // skip empty chunks
+            }
+            if *self.inner.closed.lock() {
+                return Ok(Payload::default());
+            }
+            if self
+                .inner
+                .readable
+                .wait_for(&mut queue, PIPE_TIMEOUT)
+                .timed_out()
+            {
+                return Err(JreError::Net(dista_simnet::NetError::TimedOut));
+            }
+        }
+    }
+
+    fn vm(&self) -> &Vm {
+        &self.vm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Mode;
+    use dista_simnet::SimNet;
+    use dista_taint::{TagValue, TaintedBytes};
+
+    fn vm() -> Vm {
+        Vm::builder("t", &SimNet::new())
+            .mode(Mode::Phosphor)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipe_roundtrip_preserves_taints() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        let t = vm.store().mint_source_taint(TagValue::str("p"));
+        pipe.write(&Payload::Tainted(TaintedBytes::uniform(b"data", t)))
+            .unwrap();
+        let got = pipe.read(10).unwrap();
+        assert_eq!(got.data(), b"data");
+        assert_eq!(vm.store().tag_values(got.taint_union(vm.store())), vec!["p"]);
+    }
+
+    #[test]
+    fn pipe_read_respects_max() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        pipe.write(&Payload::Plain(b"abcdef".to_vec())).unwrap();
+        let got = pipe.read(2).unwrap();
+        assert_eq!(got.data(), b"ab");
+        let rest = pipe.read(10).unwrap();
+        assert_eq!(rest.data(), b"cdef");
+    }
+
+    #[test]
+    fn read_exact_spans_chunks() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        pipe.write(&Payload::Plain(b"ab".to_vec())).unwrap();
+        pipe.write(&Payload::Plain(b"cd".to_vec())).unwrap();
+        let got = pipe.read_exact(4).unwrap();
+        assert_eq!(got.data(), b"abcd");
+    }
+
+    #[test]
+    fn eof_after_close() {
+        let vm = vm();
+        let pipe = PipedStream::new(&vm);
+        pipe.write(&Payload::Plain(b"x".to_vec())).unwrap();
+        pipe.close();
+        assert_eq!(pipe.read(4).unwrap().data(), b"x");
+        assert!(pipe.read(4).unwrap().is_empty());
+        assert!(matches!(pipe.read_exact(1), Err(JreError::Eof)));
+    }
+}

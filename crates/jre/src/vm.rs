@@ -1,0 +1,404 @@
+//! The simulated JVM process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dista_simnet::{NodeAddr, SimFs, SimNet};
+use dista_taint::{
+    LocalId, SinkRecorder, SinkReport, SourceSinkSpec, TagValue, Taint, TaintStore,
+};
+use dista_taintmap::TaintMapClient;
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::JreError;
+
+/// Taint-tracking mode of one simulated JVM (paper §V-F runs every
+/// workload in all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// No tracking at all — the "Original" column of Tables V/VI.
+    #[default]
+    Original,
+    /// Intra-node tracking only; taints die at the JNI boundary with the
+    /// paper's Fig.-4 wrapper semantics.
+    Phosphor,
+    /// Full DisTA inter-node tracking.
+    Dista,
+}
+
+impl Mode {
+    /// Whether any shadow propagation happens in this mode.
+    pub fn tracks_taints(self) -> bool {
+        !matches!(self, Mode::Original)
+    }
+
+    /// Whether the DisTA JNI wrappers (wire interleaving + Taint Map)
+    /// are active.
+    pub fn tracks_inter_node(self) -> bool {
+        matches!(self, Mode::Dista)
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Original => f.write_str("Original"),
+            Mode::Phosphor => f.write_str("Phosphor"),
+            Mode::Dista => f.write_str("DisTA"),
+        }
+    }
+}
+
+pub(crate) struct VmInner {
+    pub(crate) name: String,
+    pub(crate) mode: Mode,
+    pub(crate) ip: [u8; 4],
+    pub(crate) net: SimNet,
+    pub(crate) fs: SimFs,
+    pub(crate) store: TaintStore,
+    pub(crate) recorder: SinkRecorder,
+    pub(crate) spec: RwLock<SourceSinkSpec>,
+    pub(crate) taint_map: Option<TaintMapClient>,
+    pub(crate) gid_width: usize,
+    /// Simulated off-heap ("native") memory for direct buffers. Shadows
+    /// live in a *separate* map — native memory itself is taint-free,
+    /// which is exactly why Type-3 methods need instrumented get/put.
+    pub(crate) native_mem: Mutex<HashMap<u64, Vec<u8>>>,
+    pub(crate) native_shadows: Mutex<HashMap<u64, Vec<Taint>>>,
+    pub(crate) next_buffer_id: AtomicU64,
+}
+
+/// A simulated JVM process: the owner of everything per-process — mode,
+/// taint store, Taint Map client, file system view, source/sink spec and
+/// sink recorder. All mini-JRE I/O classes are constructed through a
+/// `Vm`. Clones share the process (cheap `Arc`).
+#[derive(Clone)]
+pub struct Vm {
+    pub(crate) inner: Arc<VmInner>,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("name", &self.inner.name)
+            .field("mode", &self.inner.mode)
+            .field("ip", &self.inner.ip)
+            .finish()
+    }
+}
+
+static NEXT_PID: AtomicU64 = AtomicU64::new(1);
+
+/// Builder for [`Vm`] (see [`Vm::builder`]).
+pub struct VmBuilder {
+    name: String,
+    net: SimNet,
+    mode: Mode,
+    ip: [u8; 4],
+    fs: SimFs,
+    spec: SourceSinkSpec,
+    taint_map_addr: Option<NodeAddr>,
+    gid_width: usize,
+}
+
+impl VmBuilder {
+    /// Sets the tracking mode (default [`Mode::Original`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the node IP this process runs on (default 127.0.0.1).
+    pub fn ip(mut self, ip: [u8; 4]) -> Self {
+        self.ip = ip;
+        self
+    }
+
+    /// Provides the node's file system (default: empty).
+    pub fn fs(mut self, fs: SimFs) -> Self {
+        self.fs = fs;
+        self
+    }
+
+    /// Installs the source/sink specification.
+    pub fn spec(mut self, spec: SourceSinkSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Points the VM at a running Taint Map service (required for
+    /// [`Mode::Dista`]).
+    pub fn taint_map(mut self, addr: NodeAddr) -> Self {
+        self.taint_map_addr = Some(addr);
+        self
+    }
+
+    /// Overrides the Global ID wire width in bytes (default 4; the paper
+    /// notes overhead "depends on the length of the Global ID").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 2, 4 or 8.
+    pub fn gid_width(mut self, width: usize) -> Self {
+        assert!(matches!(width, 2 | 4 | 8), "gid width must be 2, 4 or 8");
+        self.gid_width = width;
+        self
+    }
+
+    /// Builds the VM, connecting to the Taint Map when configured.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] if [`Mode::Dista`] was requested without a
+    /// Taint Map address; transport errors if the connection fails.
+    pub fn build(self) -> Result<Vm, JreError> {
+        let pid = NEXT_PID.fetch_add(1, Ordering::Relaxed) as u32;
+        let store = TaintStore::new(LocalId::new(self.ip, pid));
+        let taint_map = match (self.mode, self.taint_map_addr) {
+            (Mode::Dista, None) => {
+                return Err(JreError::Protocol("DisTA mode requires a taint map address"))
+            }
+            (_, Some(addr)) => Some(TaintMapClient::connect(&self.net, addr, store.clone())?),
+            (_, None) => None,
+        };
+        Ok(Vm {
+            inner: Arc::new(VmInner {
+                name: self.name,
+                mode: self.mode,
+                ip: self.ip,
+                net: self.net,
+                fs: self.fs,
+                store,
+                recorder: SinkRecorder::new(),
+                spec: RwLock::new(self.spec),
+                taint_map,
+                gid_width: self.gid_width,
+                native_mem: Mutex::new(HashMap::new()),
+                native_shadows: Mutex::new(HashMap::new()),
+                next_buffer_id: AtomicU64::new(1),
+            }),
+        })
+    }
+}
+
+impl Vm {
+    /// Starts building a VM named `name` on network `net`.
+    pub fn builder(name: impl Into<String>, net: &SimNet) -> VmBuilder {
+        VmBuilder {
+            name: name.into(),
+            net: net.clone(),
+            mode: Mode::Original,
+            ip: [127, 0, 0, 1],
+            fs: SimFs::new(),
+            spec: SourceSinkSpec::new(),
+            taint_map_addr: None,
+            gid_width: 4,
+        }
+    }
+
+    /// The process name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The tracking mode.
+    pub fn mode(&self) -> Mode {
+        self.inner.mode
+    }
+
+    /// The node IP.
+    pub fn ip(&self) -> [u8; 4] {
+        self.inner.ip
+    }
+
+    /// The simulated network this process is attached to.
+    pub fn net(&self) -> &SimNet {
+        &self.inner.net
+    }
+
+    /// The node's file system.
+    pub fn fs(&self) -> &SimFs {
+        &self.inner.fs
+    }
+
+    /// The per-process taint store.
+    pub fn store(&self) -> &TaintStore {
+        &self.inner.store
+    }
+
+    /// The Taint Map client, if configured.
+    pub fn taint_map(&self) -> Option<&TaintMapClient> {
+        self.inner.taint_map.as_ref()
+    }
+
+    /// Global ID wire width in bytes.
+    pub fn gid_width(&self) -> usize {
+        self.inner.gid_width
+    }
+
+    /// The sink recorder (what the evaluation inspects).
+    pub fn recorder(&self) -> &SinkRecorder {
+        &self.inner.recorder
+    }
+
+    /// Snapshot of all sink events observed by this process.
+    pub fn sink_report(&self) -> SinkReport {
+        self.inner.recorder.report()
+    }
+
+    /// Replaces the source/sink specification at runtime.
+    pub fn set_spec(&self, spec: SourceSinkSpec) {
+        *self.inner.spec.write() = spec;
+    }
+
+    /// Source-point hook: if `class.method` is a registered source and
+    /// the mode tracks taints, mints and returns a fresh taint tagged
+    /// `tag_value`; otherwise returns [`Taint::EMPTY`].
+    pub fn source_point(&self, class: &str, method: &str, tag_value: TagValue) -> Taint {
+        if self.inner.mode.tracks_taints() && self.inner.spec.read().is_source(class, method) {
+            self.inner.store.mint_source_taint(tag_value)
+        } else {
+            Taint::EMPTY
+        }
+    }
+
+    /// Unconditional source-point: mints a taint regardless of the spec
+    /// (for programmatic SDT scenarios), unless the mode is untracked.
+    pub fn taint_source(&self, tag_value: TagValue) -> Taint {
+        if self.inner.mode.tracks_taints() {
+            self.inner.store.mint_source_taint(tag_value)
+        } else {
+            Taint::EMPTY
+        }
+    }
+
+    /// Sink-point hook: if `class.method` is a registered sink, records
+    /// the check. Returns whether the data was tainted (false when the
+    /// sink is not registered or mode is untracked).
+    pub fn sink_point(&self, class: &str, method: &str, taint: Taint) -> bool {
+        if self.inner.mode.tracks_taints() && self.inner.spec.read().is_sink(class, method) {
+            self.inner
+                .recorder
+                .check(&format!("{class}.{method}"), taint, &self.inner.store)
+        } else {
+            false
+        }
+    }
+
+    /// Unconditional sink-point: always records (programmatic SDT
+    /// scenarios), unless the mode is untracked.
+    pub fn taint_sink(&self, sink_name: &str, taint: Taint) -> bool {
+        if self.inner.mode.tracks_taints() {
+            self.inner
+                .recorder
+                .check(sink_name, taint, &self.inner.store)
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_taint::MethodDesc;
+
+    fn vm(mode: Mode) -> Vm {
+        let net = SimNet::new();
+        Vm::builder("test", &net).mode(mode).build().unwrap()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let v = vm(Mode::Original);
+        assert_eq!(v.mode(), Mode::Original);
+        assert_eq!(v.ip(), [127, 0, 0, 1]);
+        assert_eq!(v.gid_width(), 4);
+        assert!(v.taint_map().is_none());
+    }
+
+    #[test]
+    fn dista_requires_taint_map() {
+        let net = SimNet::new();
+        let err = Vm::builder("x", &net).mode(Mode::Dista).build().unwrap_err();
+        assert!(matches!(err, JreError::Protocol(_)));
+    }
+
+    #[test]
+    fn pids_are_unique() {
+        let v1 = vm(Mode::Phosphor);
+        let v2 = vm(Mode::Phosphor);
+        assert_ne!(v1.store().local_id(), v2.store().local_id());
+    }
+
+    #[test]
+    fn source_point_respects_spec_and_mode() {
+        let net = SimNet::new();
+        let mut spec = SourceSinkSpec::new();
+        spec.add_source(MethodDesc::new("FileInputStream", "read"));
+        let v = Vm::builder("n", &net)
+            .mode(Mode::Phosphor)
+            .spec(spec.clone())
+            .build()
+            .unwrap();
+        assert!(!v
+            .source_point("FileInputStream", "read", TagValue::str("t"))
+            .is_empty());
+        assert!(v
+            .source_point("Other", "read", TagValue::str("t"))
+            .is_empty());
+
+        let original = Vm::builder("n", &net)
+            .mode(Mode::Original)
+            .spec(spec)
+            .build()
+            .unwrap();
+        assert!(original
+            .source_point("FileInputStream", "read", TagValue::str("t"))
+            .is_empty());
+    }
+
+    #[test]
+    fn sink_point_records_only_registered() {
+        let net = SimNet::new();
+        let mut spec = SourceSinkSpec::new();
+        spec.add_sink(MethodDesc::new("LOG", "info"));
+        let v = Vm::builder("n", &net)
+            .mode(Mode::Phosphor)
+            .spec(spec)
+            .build()
+            .unwrap();
+        let t = v.store().mint_source_taint(TagValue::str("x"));
+        assert!(v.sink_point("LOG", "info", t));
+        assert!(!v.sink_point("LOG", "debug", t));
+        assert_eq!(v.sink_report().events.len(), 1);
+    }
+
+    #[test]
+    fn unconditional_helpers() {
+        let v = vm(Mode::Phosphor);
+        let t = v.taint_source(TagValue::str("s"));
+        assert!(!t.is_empty());
+        assert!(v.taint_sink("check", t));
+        assert_eq!(v.sink_report().events[0].tags, vec!["s".to_string()]);
+    }
+
+    #[test]
+    fn original_mode_mints_nothing() {
+        let v = vm(Mode::Original);
+        assert!(v.taint_source(TagValue::str("s")).is_empty());
+        assert!(!v.taint_sink("check", Taint::EMPTY));
+        assert!(v.sink_report().events.is_empty());
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!Mode::Original.tracks_taints());
+        assert!(Mode::Phosphor.tracks_taints());
+        assert!(Mode::Dista.tracks_taints());
+        assert!(!Mode::Phosphor.tracks_inter_node());
+        assert!(Mode::Dista.tracks_inter_node());
+        assert_eq!(Mode::Dista.to_string(), "DisTA");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the object-stream codec: arbitrary object trees
+//! round-trip exactly, including nested structure and per-leaf taints.
+
+use dista_jre::{Mode, ObjValue, Vm};
+use dista_simnet::SimNet;
+use dista_taint::{TagValue, Taint, TaintedBytes};
+use proptest::prelude::*;
+
+/// A taint-free blueprint for an object tree (taints are minted against
+/// a concrete VM when the tree is materialized).
+#[derive(Debug, Clone)]
+enum Blueprint {
+    Str(String, Option<u8>),
+    Int(i64, Option<u8>),
+    Bytes(Vec<u8>, Option<u8>),
+    List(Vec<Blueprint>),
+    Record(String, Vec<(String, Blueprint)>),
+}
+
+fn blueprint_strategy() -> impl Strategy<Value = Blueprint> {
+    let leaf = prop_oneof![
+        ("[a-z ]{0,24}", prop::option::of(0u8..4)).prop_map(|(s, t)| Blueprint::Str(s, t)),
+        (any::<i64>(), prop::option::of(0u8..4)).prop_map(|(i, t)| Blueprint::Int(i, t)),
+        (prop::collection::vec(any::<u8>(), 0..24), prop::option::of(0u8..4))
+            .prop_map(|(b, t)| Blueprint::Bytes(b, t)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Blueprint::List),
+            ("[A-Z][a-z]{0,8}", prop::collection::vec(("[a-z]{1,8}", inner), 0..4))
+                .prop_map(|(class, fields)| Blueprint::Record(class, fields)),
+        ]
+    })
+}
+
+fn materialize(bp: &Blueprint, vm: &Vm) -> ObjValue {
+    let taint = |tag: &Option<u8>| -> Taint {
+        match tag {
+            Some(t) => vm.store().mint_source_taint(TagValue::Int(i64::from(*t))),
+            None => Taint::EMPTY,
+        }
+    };
+    match bp {
+        // Byte-level tracking means a zero-length value has no byte to
+        // carry its taint — normalize empty leaves to untainted, which
+        // is exactly what the codec preserves.
+        Blueprint::Str(s, t) if s.is_empty() => ObjValue::Str(s.clone(), Taint::EMPTY),
+        Blueprint::Str(s, t) => ObjValue::Str(s.clone(), taint(t)),
+        Blueprint::Int(i, t) => ObjValue::Int(*i, taint(t)),
+        Blueprint::Bytes(b, t) if b.is_empty() => {
+            ObjValue::Bytes(TaintedBytes::uniform(b.clone(), Taint::EMPTY))
+        }
+        Blueprint::Bytes(b, t) => ObjValue::Bytes(TaintedBytes::uniform(b.clone(), taint(t))),
+        Blueprint::List(items) => {
+            ObjValue::List(items.iter().map(|i| materialize(i, vm)).collect())
+        }
+        Blueprint::Record(class, fields) => ObjValue::Record(
+            class.clone(),
+            fields
+                .iter()
+                .map(|(name, value)| (name.clone(), materialize(value, vm)))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity on arbitrary object trees.
+    #[test]
+    fn objvalue_roundtrip(bp in blueprint_strategy()) {
+        let vm = Vm::builder("t", &SimNet::new())
+            .mode(Mode::Phosphor)
+            .build()
+            .unwrap();
+        let obj = materialize(&bp, &vm);
+        let decoded = ObjValue::decode(&obj.encode(), &vm).unwrap();
+        prop_assert_eq!(decoded, obj);
+    }
+
+    /// Decoding arbitrary bytes never panics (errors are fine).
+    #[test]
+    fn objvalue_decode_never_panics(junk in prop::collection::vec(any::<u8>(), 0..256)) {
+        let vm = Vm::builder("t", &SimNet::new())
+            .mode(Mode::Phosphor)
+            .build()
+            .unwrap();
+        let _ = ObjValue::decode(&TaintedBytes::from_plain(junk), &vm);
+    }
+}

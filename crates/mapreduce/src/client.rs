@@ -1,0 +1,480 @@
+//! The Yarn client and the end-to-end Pi workload.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
+
+use dista_jre::{JreError, ObjValue, Vm};
+use dista_simnet::NodeAddr;
+use dista_taint::{TagValue, Taint, Tainted};
+
+use crate::node_manager::NodeManager;
+use crate::resource_manager::ResourceManager;
+use crate::rpc::RpcClient;
+use crate::wordcount::{decode_cells, WordCount};
+use crate::YARN_CLIENT_CLASS;
+use dista_taint::TaintedBytes;
+
+static NEXT_APP_ID: AtomicI64 = AtomicI64::new(1);
+
+/// The application report returned by `getApplicationReport`.
+#[derive(Debug, Clone)]
+pub struct ApplicationReport {
+    /// The application id, with whatever taint survived the round trip.
+    pub app_id: Tainted<i64>,
+    /// `RUNNING` or `FINISHED`.
+    pub state: String,
+    /// The π estimate (taint mirrors the application's).
+    pub pi: Tainted<String>,
+    /// WordCount results (empty for Pi jobs).
+    pub word_counts: Vec<WordCount>,
+}
+
+/// A client session against a ResourceManager.
+#[derive(Debug)]
+pub struct YarnClient {
+    vm: Vm,
+    rpc: RpcClient,
+}
+
+impl YarnClient {
+    /// Connects to the RM.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn connect(vm: &Vm, rm_addr: NodeAddr) -> Result<Self, JreError> {
+        Ok(YarnClient {
+            vm: vm.clone(),
+            rpc: RpcClient::connect(vm, rm_addr)?,
+        })
+    }
+
+    /// `createApplication`: allocates a fresh ApplicationID — the SDT
+    /// source point ("ApplicationID of the job generated on the client",
+    /// Table IV).
+    pub fn create_application(&self) -> Tainted<i64> {
+        let id = NEXT_APP_ID.fetch_add(1, Ordering::Relaxed);
+        let taint = self.vm.source_point(
+            YARN_CLIENT_CLASS,
+            "createApplication",
+            TagValue::str(format!("application_{id}")),
+        );
+        Tainted::new(id, taint)
+    }
+
+    /// Submits a WordCount job over `input` (tainted bytes flow through
+    /// map, shuffle and reduce back into the report).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn submit_wordcount(
+        &self,
+        app_id: &Tainted<i64>,
+        input: TaintedBytes,
+        maps: u64,
+        reducers: u64,
+    ) -> Result<(), JreError> {
+        self.rpc.call(&ObjValue::Record(
+            "SubmitApplication".into(),
+            vec![
+                ("appId".into(), ObjValue::Int(*app_id.value(), app_id.taint())),
+                ("jobType".into(), ObjValue::str_plain("wordcount")),
+                ("input".into(), ObjValue::Bytes(input)),
+                ("maps".into(), ObjValue::int_plain(maps as i64)),
+                ("reducers".into(), ObjValue::int_plain(reducers as i64)),
+            ],
+        ))?;
+        Ok(())
+    }
+
+    /// Submits a Pi job.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn submit_pi(
+        &self,
+        app_id: &Tainted<i64>,
+        maps: u64,
+        samples: u64,
+    ) -> Result<(), JreError> {
+        self.rpc.call(&ObjValue::Record(
+            "SubmitApplication".into(),
+            vec![
+                ("appId".into(), ObjValue::Int(*app_id.value(), app_id.taint())),
+                ("maps".into(), ObjValue::int_plain(maps as i64)),
+                ("samples".into(), ObjValue::int_plain(samples as i64)),
+            ],
+        ))?;
+        Ok(())
+    }
+
+    /// `getApplicationReport` — the SDT sink point: the received report's
+    /// taint is checked before the report is returned.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`JreError::Protocol`] on a malformed report.
+    pub fn get_application_report(
+        &self,
+        app_id: &Tainted<i64>,
+    ) -> Result<ApplicationReport, JreError> {
+        let response = self.rpc.call(&ObjValue::Record(
+            "GetApplicationReport".into(),
+            vec![(
+                "appId".into(),
+                ObjValue::Int(*app_id.value(), app_id.taint()),
+            )],
+        ))?;
+        if response.class_name() != Some("ApplicationReport") {
+            return Err(JreError::Protocol("bad application report"));
+        }
+        let (id, id_taint) = match response.field("appId") {
+            Some(ObjValue::Int(v, t)) => (*v, *t),
+            _ => return Err(JreError::Protocol("report missing appId")),
+        };
+        let state = response
+            .field("state")
+            .and_then(ObjValue::as_str)
+            .ok_or(JreError::Protocol("report missing state"))?
+            .to_string();
+        let (pi, pi_taint) = match response.field("pi") {
+            Some(ObjValue::Str(s, t)) => (s.clone(), *t),
+            _ => return Err(JreError::Protocol("report missing pi")),
+        };
+        let word_counts = match response.field("wordCounts") {
+            Some(cells) => decode_cells(cells)?,
+            None => Vec::new(),
+        };
+        // Sink: check the report's taint (Table IV row 2) — the id, the
+        // result value and any word-count taints that arrived with it.
+        let mut combined = self.vm.store().union(id_taint, pi_taint);
+        for cell in &word_counts {
+            combined = self.vm.store().union(combined, cell.word.taint());
+        }
+        self.vm
+            .sink_point(YARN_CLIENT_CLASS, "getApplicationReport", combined);
+        Ok(ApplicationReport {
+            app_id: Tainted::new(id, id_taint),
+            state,
+            pi: Tainted::new(pi, pi_taint),
+            word_counts,
+        })
+    }
+
+    /// Polls until the application finishes.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`JreError::Protocol`] if the job never
+    /// finishes within the poll budget.
+    pub fn await_finished(
+        &self,
+        app_id: &Tainted<i64>,
+    ) -> Result<ApplicationReport, JreError> {
+        for _ in 0..5000 {
+            let report = self.get_application_report(app_id)?;
+            if report.state == "FINISHED" {
+                return Ok(report);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Err(JreError::Protocol("pi job never finished"))
+    }
+
+    /// Closes the session.
+    pub fn close(&self) {
+        self.rpc.close();
+    }
+}
+
+/// Result of the end-to-end Pi workload.
+#[derive(Debug, Clone)]
+pub struct PiJobResult {
+    /// The final report.
+    pub report: ApplicationReport,
+    /// Parsed π estimate.
+    pub pi: f64,
+    /// The taint observed at the sink, for assertions.
+    pub sink_taint: Taint,
+}
+
+/// Runs the full Table III workload: stand up RM + NMs, register them,
+/// submit the Pi job from the client, poll to completion, tear down.
+///
+/// `vms` layout: `vms[0]` = ResourceManager, `vms[1..n-1]` = NodeManagers,
+/// `vms[n-1]` = client (matching the paper's "1 RM, 1 NM, 1 task
+/// container + an extra client node" deployment).
+///
+/// # Errors
+///
+/// Any role's transport or protocol error.
+///
+/// # Panics
+///
+/// Panics if fewer than three VMs are supplied.
+pub fn run_pi_job(vms: &[Vm], maps: u64, samples: u64) -> Result<PiJobResult, JreError> {
+    assert!(vms.len() >= 3, "need RM, >=1 NM and a client VM");
+    let rm_vm = &vms[0];
+    let nm_vms = &vms[1..vms.len() - 1];
+    let client_vm = &vms[vms.len() - 1];
+
+    let rm = ResourceManager::start(rm_vm, NodeAddr::new(rm_vm.ip(), 8032))?;
+    let mut nms = Vec::new();
+    for (i, nm_vm) in nm_vms.iter().enumerate() {
+        let nm = NodeManager::start(nm_vm, NodeAddr::new(nm_vm.ip(), 8041 + i as u16))?;
+        nm.register_with(rm.addr())?;
+        rm.attach_nm(RpcClient::connect(rm_vm, nm.addr())?, nm.addr());
+        nms.push(nm);
+    }
+
+    let client = YarnClient::connect(client_vm, rm.addr())?;
+    let app_id = client.create_application();
+    client.submit_pi(&app_id, maps, samples)?;
+    let report = client.await_finished(&app_id)?;
+    let pi: f64 = report
+        .pi
+        .value()
+        .parse()
+        .map_err(|_| JreError::Protocol("unparsable pi"))?;
+    let sink_taint = client_vm
+        .store()
+        .union(report.app_id.taint(), report.pi.taint());
+
+    client.close();
+    for nm in nms {
+        nm.shutdown();
+    }
+    rm.shutdown();
+    Ok(PiJobResult {
+        report,
+        pi,
+        sink_taint,
+    })
+}
+
+/// Result of the end-to-end WordCount workload.
+#[derive(Debug, Clone)]
+pub struct WordCountJobResult {
+    /// The final report (including `word_counts`).
+    pub report: ApplicationReport,
+    /// The taint observed at the sink.
+    pub sink_taint: Taint,
+}
+
+/// Runs a WordCount job end-to-end: RM + NMs + client, map → NM↔NM
+/// shuffle → reduce → report. Same VM layout as [`run_pi_job`].
+///
+/// # Errors
+///
+/// Any role's transport or protocol error.
+///
+/// # Panics
+///
+/// Panics if fewer than three VMs are supplied.
+pub fn run_wordcount_job(
+    vms: &[Vm],
+    input: TaintedBytes,
+    maps: u64,
+    reducers: u64,
+) -> Result<WordCountJobResult, JreError> {
+    assert!(vms.len() >= 3, "need RM, >=1 NM and a client VM");
+    let rm_vm = &vms[0];
+    let nm_vms = &vms[1..vms.len() - 1];
+    let client_vm = &vms[vms.len() - 1];
+
+    let rm = ResourceManager::start(rm_vm, NodeAddr::new(rm_vm.ip(), 8032))?;
+    let mut nms = Vec::new();
+    for (i, nm_vm) in nm_vms.iter().enumerate() {
+        let nm = NodeManager::start(nm_vm, NodeAddr::new(nm_vm.ip(), 8041 + i as u16))?;
+        nm.register_with(rm.addr())?;
+        rm.attach_nm(RpcClient::connect(rm_vm, nm.addr())?, nm.addr());
+        nms.push(nm);
+    }
+
+    let client = YarnClient::connect(client_vm, rm.addr())?;
+    let app_id = client.create_application();
+    client.submit_wordcount(&app_id, input, maps, reducers)?;
+    let report = client.await_finished(&app_id)?;
+    let mut sink_taint = report.app_id.taint();
+    for cell in &report.word_counts {
+        sink_taint = client_vm.store().union(sink_taint, cell.word.taint());
+    }
+    client.close();
+    for nm in nms {
+        nm.shutdown();
+    }
+    rm.shutdown();
+    Ok(WordCountJobResult { report, sink_taint })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_core::{Cluster, Mode};
+    use dista_jre::{FILE_INPUT_STREAM_CLASS, LOGGER_CLASS};
+    use dista_taint::{MethodDesc, SourceSinkSpec};
+
+    fn sdt_spec() -> SourceSinkSpec {
+        let mut spec = SourceSinkSpec::new();
+        spec.add_source(MethodDesc::new(YARN_CLIENT_CLASS, "createApplication"))
+            .add_sink(MethodDesc::new(YARN_CLIENT_CLASS, "getApplicationReport"));
+        spec
+    }
+
+    #[test]
+    fn pi_job_computes_pi() {
+        let cluster = Cluster::builder(Mode::Dista).nodes("yarn", 3).build().unwrap();
+        let result = run_pi_job(cluster.vms(), 4, 20_000).unwrap();
+        assert!(
+            (result.pi - std::f64::consts::PI).abs() < 0.05,
+            "pi ≈ {}",
+            result.pi
+        );
+        assert_eq!(result.report.state, "FINISHED");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sdt_application_id_taint_round_trips() {
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("yarn", 3)
+            .spec(sdt_spec())
+            .build()
+            .unwrap();
+        let result = run_pi_job(cluster.vms(), 2, 5_000).unwrap();
+        let client_vm = cluster.vm(2);
+        let tags = client_vm.store().tag_values(result.sink_taint);
+        assert_eq!(tags.len(), 1);
+        assert!(tags[0].starts_with("application_"), "got {tags:?}");
+        // The sink recorded the observation.
+        let report = client_vm.sink_report();
+        let events = report.at("YarnClient.getApplicationReport");
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|e| e.is_tainted()));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn phosphor_loses_the_application_id_taint() {
+        let cluster = Cluster::builder(Mode::Phosphor)
+            .nodes("yarn", 3)
+            .spec(sdt_spec())
+            .build()
+            .unwrap();
+        let result = run_pi_job(cluster.vms(), 2, 5_000).unwrap();
+        assert!((result.pi - std::f64::consts::PI).abs() < 0.1);
+        assert!(
+            result.sink_taint.is_empty(),
+            "intra-node tracking cannot carry the id across RPC"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sim_config_taint_reaches_rm_log() {
+        let mut spec = SourceSinkSpec::new();
+        spec.add_source(MethodDesc::new(FILE_INPUT_STREAM_CLASS, "read"))
+            .add_sink(MethodDesc::new(LOGGER_CLASS, "info"));
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("yarn", 3)
+            .spec(spec)
+            .build()
+            .unwrap();
+        // NM's config file.
+        cluster
+            .vm(1)
+            .fs()
+            .write("etc/hadoop/yarn-site.xml", b"hostname=worker-1".to_vec());
+        run_pi_job(cluster.vms(), 1, 1_000).unwrap();
+        // The RM's LOG.info observed the NM's file taint.
+        let rm_report = cluster.vm(0).sink_report();
+        let events = rm_report.at("LOG.info");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].tags.len(), 1);
+        assert!(events[0].tags[0].starts_with("etc/hadoop/yarn-site.xml#r"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn wordcount_job_counts_words_through_shuffle() {
+        let cluster = Cluster::builder(Mode::Dista).nodes("yarn", 4).build().unwrap();
+        let input = TaintedBytes::from_plain(
+            b"the quick brown fox jumps over the lazy dog the fox".to_vec(),
+        );
+        let result = run_wordcount_job(cluster.vms(), input, 3, 2).unwrap();
+        let counts: std::collections::HashMap<&str, u64> = result
+            .report
+            .word_counts
+            .iter()
+            .map(|c| (c.word.value().as_str(), c.count))
+            .collect();
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["fox"], 2);
+        assert_eq!(counts["dog"], 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn wordcount_taint_survives_map_shuffle_reduce() {
+        // The Kakute contrast: the input's taint reaches the reducer
+        // output with no shuffle-specific instrumentation — it crossed
+        // client→RM→mapper-NM→reducer-NM→RM→client.
+        let mut spec = SourceSinkSpec::new();
+        spec.add_source(MethodDesc::new(YARN_CLIENT_CLASS, "createApplication"))
+            .add_sink(MethodDesc::new(YARN_CLIENT_CLASS, "getApplicationReport"));
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("yarn", 4)
+            .spec(spec)
+            .build()
+            .unwrap();
+        let client_vm = cluster.vm(3).clone();
+        let secret = client_vm
+            .store()
+            .mint_source_taint(dista_taint::TagValue::str("secret-doc"));
+        let mut input = TaintedBytes::uniform(b"classified report ", secret);
+        input.extend_plain(b"public appendix public notes");
+        let result = run_wordcount_job(cluster.vms(), input, 2, 2).unwrap();
+
+        let find = |w: &str| {
+            result
+                .report
+                .word_counts
+                .iter()
+                .find(|c| c.word.value() == w)
+                .unwrap_or_else(|| panic!("{w} missing"))
+                .clone()
+        };
+        // Soundness: words from the tainted span carry the tag...
+        assert_eq!(
+            client_vm.store().tag_values(find("classified").word.taint()),
+            vec!["secret-doc"]
+        );
+        assert_eq!(
+            client_vm.store().tag_values(find("report").word.taint()),
+            vec!["secret-doc"]
+        );
+        // ...precision: words from the plain span do not.
+        assert!(find("public").word.taint().is_empty());
+        assert!(find("appendix").word.taint().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn wordcount_loses_taint_in_phosphor_mode() {
+        let cluster = Cluster::builder(Mode::Phosphor).nodes("yarn", 4).build().unwrap();
+        let client_vm = cluster.vm(3).clone();
+        let secret = client_vm
+            .store()
+            .mint_source_taint(dista_taint::TagValue::str("gone"));
+        let input = TaintedBytes::uniform(b"secret words here", secret);
+        let result = run_wordcount_job(cluster.vms(), input, 2, 2).unwrap();
+        assert!(result
+            .report
+            .word_counts
+            .iter()
+            .all(|c| c.word.taint().is_empty()));
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,39 @@
+//! # dista-mapreduce — a mini MapReduce/Yarn on the instrumented mini-JRE
+//!
+//! The paper's computing-framework subject (Table III): "MapReduce/Yarn —
+//! JRE NIO, Yarn RPC — Calculate the value of Pi". This crate reproduces
+//! the moving parts the evaluation touches:
+//!
+//! * **Yarn-style RPC** over NIO socket channels with length-prefixed
+//!   object frames ([`rpc`]).
+//! * **ResourceManager / NodeManager / Task Container** roles: the client
+//!   submits a job to the RM, the RM schedules map tasks onto registered
+//!   NMs, containers execute and report back, and the client polls
+//!   `getApplicationReport` until the job finishes.
+//! * **The Pi job**: Hadoop's quasi-Monte-Carlo estimator with a
+//!   deterministic Halton sequence ([`pi`]).
+//!
+//! Taint scenarios (Table IV):
+//! * **SDT** — source: the `ApplicationID` generated on the client
+//!   (`YarnClient.createApplication`); sink: `getApplicationReport`. The
+//!   id rides client → RM → NM → container → RM → client.
+//! * **SIM** — source: `FileInputStream.read` (the NM's configuration
+//!   file); sink: `LOG.info` (the RM logs node registrations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pi;
+pub mod rpc;
+pub mod wordcount;
+
+mod client;
+mod node_manager;
+mod resource_manager;
+
+pub use client::{run_pi_job, run_wordcount_job, ApplicationReport, PiJobResult, WordCountJobResult, YarnClient};
+pub use node_manager::NodeManager;
+pub use resource_manager::ResourceManager;
+
+/// Descriptor class for the SDT source and sink points.
+pub const YARN_CLIENT_CLASS: &str = "YarnClient";

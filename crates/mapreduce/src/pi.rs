@@ -1,0 +1,98 @@
+//! The Pi estimator — Hadoop's `QuasiMonteCarlo` example, which the
+//! paper uses as the MapReduce workload ("a job to calculate the value
+//! of Pi").
+//!
+//! Each map task draws points from a 2-D Halton sequence and counts how
+//! many fall inside the unit circle; the reduce step combines the counts
+//! into `4 * inside / total`. Deterministic by construction — no RNG.
+
+/// One dimension of the Halton low-discrepancy sequence.
+fn halton(index: u64, base: u64) -> f64 {
+    let mut f = 1.0;
+    let mut r = 0.0;
+    let mut i = index + 1; // skip the origin
+    while i > 0 {
+        f /= base as f64;
+        r += f * (i % base) as f64;
+        i /= base;
+    }
+    r
+}
+
+/// Result of one map task: points inside / outside the quarter circle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MapResult {
+    /// Points that landed inside.
+    pub inside: u64,
+    /// Points that landed outside.
+    pub outside: u64,
+}
+
+/// Runs one map task: `samples` Halton points starting at `offset`.
+pub fn run_map_task(offset: u64, samples: u64) -> MapResult {
+    let mut result = MapResult::default();
+    for i in offset..offset + samples {
+        let x = halton(i, 2) - 0.5;
+        let y = halton(i, 3) - 0.5;
+        if x * x + y * y <= 0.25 {
+            result.inside += 1;
+        } else {
+            result.outside += 1;
+        }
+    }
+    result
+}
+
+/// The reduce step: combine map outputs into an estimate of π.
+pub fn reduce(results: &[MapResult]) -> f64 {
+    let inside: u64 = results.iter().map(|r| r.inside).sum();
+    let total: u64 = results.iter().map(|r| r.inside + r.outside).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    4.0 * inside as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halton_is_in_unit_interval() {
+        for i in 0..1000 {
+            let h2 = halton(i, 2);
+            let h3 = halton(i, 3);
+            assert!((0.0..1.0).contains(&h2));
+            assert!((0.0..1.0).contains(&h3));
+        }
+    }
+
+    #[test]
+    fn estimate_converges_to_pi() {
+        let maps: Vec<MapResult> = (0..4)
+            .map(|m| run_map_task(m * 25_000, 25_000))
+            .collect();
+        let pi = reduce(&maps);
+        assert!((pi - std::f64::consts::PI).abs() < 0.01, "pi ≈ {pi}");
+    }
+
+    #[test]
+    fn map_tasks_are_deterministic() {
+        assert_eq!(run_map_task(0, 1000), run_map_task(0, 1000));
+        assert_ne!(run_map_task(0, 1000), run_map_task(1000, 1000));
+    }
+
+    #[test]
+    fn reduce_of_nothing_is_zero() {
+        assert_eq!(reduce(&[]), 0.0);
+    }
+
+    #[test]
+    fn split_equals_whole() {
+        let whole = run_map_task(0, 2000);
+        let a = run_map_task(0, 1000);
+        let b = run_map_task(1000, 1000);
+        assert_eq!(whole.inside, a.inside + b.inside);
+        assert_eq!(whole.outside, a.outside + b.outside);
+    }
+}

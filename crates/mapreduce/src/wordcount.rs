@@ -1,0 +1,222 @@
+//! WordCount with a real shuffle phase.
+//!
+//! The paper positions DisTA against Kakute, which instruments Spark's
+//! *shuffle APIs* specifically; DisTA needs no such system-specific hooks
+//! because shuffle traffic bottoms out in the same JNI methods as
+//! everything else. This job makes that point executable: map tasks
+//! partition their output by word hash, reducers fetch partitions
+//! **directly from the mapper NodeManagers** over the instrumented RPC
+//! channel, and the input's taints arrive at the reducers' output with
+//! no shuffle-specific instrumentation anywhere.
+
+use std::collections::HashMap;
+
+use dista_jre::{JreError, ObjValue, Vm};
+use dista_taint::{Taint, Tainted, TaintedBytes};
+
+/// One `(word, count)` output cell, with the taint the word carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordCount {
+    /// The word.
+    pub word: Tainted<String>,
+    /// Number of occurrences.
+    pub count: u64,
+}
+
+fn word_partition(word: &str, reducers: u64) -> u64 {
+    // Deterministic FNV-1a so mappers and the scheduler always agree.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in word.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash % reducers
+}
+
+/// Runs one map task: tokenizes the split and partitions `(word, count)`
+/// pairs by hash. Each word's taint is the union of its bytes' taints in
+/// the split (byte-level precision all the way into the shuffle).
+pub fn run_wordcount_map(
+    split: &TaintedBytes,
+    reducers: u64,
+    vm: &Vm,
+) -> HashMap<u64, Vec<WordCount>> {
+    let mut per_word: HashMap<String, (u64, Taint)> = HashMap::new();
+    let data = split.data();
+    let mut start = None;
+    for i in 0..=data.len() {
+        let boundary = i == data.len() || !data[i].is_ascii_alphanumeric();
+        match (start, boundary) {
+            (None, false) => start = Some(i),
+            (Some(s), true) => {
+                let word = String::from_utf8_lossy(&data[s..i]).to_ascii_lowercase();
+                let taint = split.slice(s, i).taint_union(vm.store());
+                let entry = per_word.entry(word).or_insert((0, Taint::EMPTY));
+                entry.0 += 1;
+                entry.1 = vm.store().union(entry.1, taint);
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    let mut partitions: HashMap<u64, Vec<WordCount>> = HashMap::new();
+    for (word, (count, taint)) in per_word {
+        partitions
+            .entry(word_partition(&word, reducers))
+            .or_default()
+            .push(WordCount {
+                word: Tainted::new(word, taint),
+                count,
+            });
+    }
+    partitions
+}
+
+/// The reduce step: merges fetched partition fragments.
+pub fn run_wordcount_reduce(fragments: Vec<Vec<WordCount>>, vm: &Vm) -> Vec<WordCount> {
+    let mut merged: HashMap<String, (u64, Taint)> = HashMap::new();
+    for fragment in fragments {
+        for cell in fragment {
+            let (word, taint) = cell.word.into_parts();
+            let entry = merged.entry(word).or_insert((0, Taint::EMPTY));
+            entry.0 += cell.count;
+            entry.1 = vm.store().union(entry.1, taint);
+        }
+    }
+    let mut out: Vec<WordCount> = merged
+        .into_iter()
+        .map(|(word, (count, taint))| WordCount {
+            word: Tainted::new(word, taint),
+            count,
+        })
+        .collect();
+    out.sort_by(|a, b| b.count.cmp(&a.count).then(a.word.value().cmp(b.word.value())));
+    out
+}
+
+/// Encodes a partition fragment for the shuffle wire.
+pub fn encode_cells(cells: &[WordCount]) -> ObjValue {
+    ObjValue::List(
+        cells
+            .iter()
+            .map(|cell| {
+                ObjValue::Record(
+                    "Cell".into(),
+                    vec![
+                        (
+                            "word".into(),
+                            ObjValue::Str(cell.word.value().clone(), cell.word.taint()),
+                        ),
+                        ("count".into(), ObjValue::int_plain(cell.count as i64)),
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a partition fragment from the shuffle wire.
+///
+/// # Errors
+///
+/// [`JreError::Protocol`] on malformed fragments.
+pub fn decode_cells(obj: &ObjValue) -> Result<Vec<WordCount>, JreError> {
+    let ObjValue::List(items) = obj else {
+        return Err(JreError::Protocol("expected a cell list"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let word = match item.field("word") {
+                Some(ObjValue::Str(s, t)) => Tainted::new(s.clone(), *t),
+                _ => return Err(JreError::Protocol("cell missing word")),
+            };
+            let count = item
+                .field("count")
+                .and_then(ObjValue::as_int)
+                .ok_or(JreError::Protocol("cell missing count"))? as u64;
+            Ok(WordCount { word, count })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_jre::Mode;
+    use dista_simnet::SimNet;
+    use dista_taint::TagValue;
+
+    fn vm() -> Vm {
+        Vm::builder("t", &SimNet::new())
+            .mode(Mode::Phosphor)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn map_counts_and_partitions() {
+        let vm = vm();
+        let t = vm.store().mint_source_taint(TagValue::str("doc"));
+        let split = TaintedBytes::uniform(b"the cat and the hat", t);
+        let partitions = run_wordcount_map(&split, 4, &vm);
+        let all: Vec<&WordCount> = partitions.values().flatten().collect();
+        let the = all.iter().find(|c| c.word.value() == "the").unwrap();
+        assert_eq!(the.count, 2);
+        assert_eq!(vm.store().tag_values(the.word.taint()), vec!["doc"]);
+        // Every word landed in its hash partition.
+        for (p, cells) in &partitions {
+            for cell in cells {
+                assert_eq!(word_partition(cell.word.value(), 4), *p);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_merges_fragments() {
+        let vm = vm();
+        let ta = vm.store().mint_source_taint(TagValue::str("a"));
+        let tb = vm.store().mint_source_taint(TagValue::str("b"));
+        let out = run_wordcount_reduce(
+            vec![
+                vec![WordCount { word: Tainted::new("x".into(), ta), count: 2 }],
+                vec![WordCount { word: Tainted::new("x".into(), tb), count: 3 }],
+            ],
+            &vm,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].count, 5);
+        assert_eq!(vm.store().tag_values(out[0].word.taint()), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn cells_roundtrip_through_wire_encoding() {
+        let vm = vm();
+        let t = vm.store().mint_source_taint(TagValue::str("w"));
+        let cells = vec![
+            WordCount { word: Tainted::new("alpha".into(), t), count: 7 },
+            WordCount { word: Tainted::new("beta".into(), Taint::EMPTY), count: 1 },
+        ];
+        let decoded = decode_cells(&encode_cells(&cells)).unwrap();
+        assert_eq!(decoded, cells);
+    }
+
+    #[test]
+    fn split_then_merge_equals_whole() {
+        let vm = vm();
+        let text = b"a b c a b a";
+        let whole = run_wordcount_map(&TaintedBytes::from_plain(text.to_vec()), 1, &vm);
+        let left = run_wordcount_map(&TaintedBytes::from_plain(b"a b c".to_vec()), 1, &vm);
+        let right = run_wordcount_map(&TaintedBytes::from_plain(b"a b a".to_vec()), 1, &vm);
+        let merged = run_wordcount_reduce(
+            vec![
+                left.into_values().flatten().collect(),
+                right.into_values().flatten().collect(),
+            ],
+            &vm,
+        );
+        let whole_reduced =
+            run_wordcount_reduce(vec![whole.into_values().flatten().collect()], &vm);
+        assert_eq!(merged, whole_reduced);
+    }
+}

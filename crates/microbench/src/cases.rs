@@ -1,0 +1,521 @@
+//! The 30 case definitions and their transports.
+
+use std::sync::Arc;
+
+use dista_jre::{
+    AsyncServerSocketChannel, AsyncSocketChannel, DatagramPacket, DatagramSocket,
+    DirectByteBuffer, HttpClient, HttpResponse, HttpServer, JreError, ServerSocket,
+    ServerSocketChannel, Socket, SocketChannel, Vm,
+};
+use dista_netty::{
+    decode_http_request, decode_http_response, encode_http_request, encode_http_response,
+    Bootstrap, DatagramBootstrap, ServerBootstrap,
+};
+use dista_simnet::NodeAddr;
+use dista_taint::Payload;
+
+use crate::socket_codecs::{
+    Buffered, BufferedData, BufferedObj, ChunkedExact, DataBool, DataByte, DataChars, DataDouble,
+    DataFloat, DataInt, DataIntArray, DataLong, DataShort, DataUtf, LineWriter, ObjBytes,
+    ObjList, ObjRecord, ObjString, RawArray, SingleByte, SocketCodec,
+};
+
+/// Protocol family of a case (the row groups of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// JRE `Socket` stream I/O (22 cases).
+    JreSocket,
+    /// JRE `DatagramSocket` (UDP).
+    JreDatagram,
+    /// JRE NIO `SocketChannel`.
+    JreSocketChannel,
+    /// JRE NIO `DatagramChannel`.
+    JreDatagramChannel,
+    /// JRE AIO `AsynchronousSocketChannel`.
+    JreAsyncSocketChannel,
+    /// JRE HTTP.
+    JreHttp,
+    /// Netty TCP.
+    NettySocket,
+    /// Netty UDP.
+    NettyDatagram,
+    /// Netty HTTP.
+    NettyHttp,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            Family::JreSocket => "JRE Socket",
+            Family::JreDatagram => "JRE Datagram",
+            Family::JreSocketChannel => "JRE SocketChannel",
+            Family::JreDatagramChannel => "JRE DatagramChannel",
+            Family::JreAsyncSocketChannel => "JRE AsyncSocketChannel",
+            Family::JreHttp => "JRE HTTP",
+            Family::NettySocket => "Netty Socket",
+            Family::NettyDatagram => "Netty DatagramSocket",
+            Family::NettyHttp => "Netty HTTP",
+        };
+        f.write_str(label)
+    }
+}
+
+/// Everything a case needs to run the Fig.-10 round trip.
+#[derive(Debug)]
+pub struct CaseCtx {
+    /// Node 1 (the checker).
+    pub vm1: Vm,
+    /// Node 2 (the combiner).
+    pub vm2: Vm,
+    /// Port for the case's server on node 2's IP.
+    pub port: u16,
+    /// Node 1's source data (`Data1`-tainted in tracked modes).
+    pub data1: Payload,
+    /// Node 2's source data (`Data2`-tainted in tracked modes).
+    pub data2: Payload,
+}
+
+/// One Table II test case.
+pub trait MicroCase: Sync + Send {
+    /// Case name (unique).
+    fn name(&self) -> &'static str;
+    /// Protocol family.
+    fn family(&self) -> Family;
+    /// Runs the round trip, returning what node 1 received back.
+    ///
+    /// # Errors
+    ///
+    /// Transport, Taint Map or protocol errors.
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError>;
+}
+
+// ------------------------------------------------------- JRE Socket
+
+struct SocketCase {
+    name: &'static str,
+    codec: &'static dyn SocketCodec,
+}
+
+impl MicroCase for SocketCase {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn family(&self) -> Family {
+        Family::JreSocket
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let server = ServerSocket::bind(&ctx.vm2, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        let codec = self.codec;
+        let data2 = ctx.data2.clone();
+        let server_thread = std::thread::spawn(move || -> Result<(), JreError> {
+            let conn = server.accept()?;
+            let mut combined = codec.recv(&conn)?;
+            combined.append(data2);
+            codec.send(&conn, &combined)?;
+            conn.close();
+            server.close();
+            Ok(())
+        });
+        let client = Socket::connect(&ctx.vm1, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        codec.send(&client, &ctx.data1)?;
+        let back = codec.recv(&client)?;
+        client.close();
+        server_thread.join().expect("server thread panicked")?;
+        Ok(back)
+    }
+}
+
+// ------------------------------------------------------ JRE Datagram
+
+struct DatagramCase;
+
+impl MicroCase for DatagramCase {
+    fn name(&self) -> &'static str {
+        "jre_datagram"
+    }
+
+    fn family(&self) -> Family {
+        Family::JreDatagram
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let capacity = ctx.data1.len() + ctx.data2.len() + 64;
+        let server = DatagramSocket::bind(&ctx.vm2, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        let data2 = ctx.data2.clone();
+        let server_thread = std::thread::spawn(move || -> Result<(), JreError> {
+            let mut packet = DatagramPacket::for_receive(capacity);
+            server.receive(&mut packet)?;
+            let from = packet.addr().expect("receive sets sender");
+            let mut combined = packet.into_data();
+            combined.append(data2);
+            server.send(&DatagramPacket::for_send(combined, from))?;
+            server.close();
+            Ok(())
+        });
+        let client = DatagramSocket::bind(&ctx.vm1, NodeAddr::new(ctx.vm1.ip(), ctx.port))?;
+        client.send(&DatagramPacket::for_send(
+            ctx.data1.clone(),
+            NodeAddr::new(ctx.vm2.ip(), ctx.port),
+        ))?;
+        let mut reply = DatagramPacket::for_receive(capacity);
+        client.receive(&mut reply)?;
+        client.close();
+        server_thread.join().expect("server thread panicked")?;
+        Ok(reply.into_data())
+    }
+}
+
+// ------------------------------------------------- JRE SocketChannel
+
+fn frame_payload(vm: &Vm, body: &Payload) -> Payload {
+    let mut framed = match vm.mode().tracks_taints() {
+        true => Payload::Tainted(dista_taint::TaintedBytes::with_capacity(4 + body.len())),
+        false => Payload::Plain(Vec::with_capacity(4 + body.len())),
+    };
+    framed.append(Payload::Plain((body.len() as u32).to_be_bytes().to_vec()));
+    framed.append(body.clone());
+    framed
+}
+
+fn channel_send(vm: &Vm, channel: &SocketChannel, body: &Payload) -> Result<(), JreError> {
+    let framed = frame_payload(vm, body);
+    let mut buf = DirectByteBuffer::allocate_direct(vm, framed.len());
+    buf.put(&framed)?;
+    buf.flip();
+    while buf.remaining() > 0 {
+        channel.write(&mut buf)?;
+    }
+    Ok(())
+}
+
+fn channel_recv(vm: &Vm, channel: &SocketChannel) -> Result<Payload, JreError> {
+    let header = channel.read_exact_payload(4)?;
+    let d = header.data();
+    let len = u32::from_be_bytes([d[0], d[1], d[2], d[3]]) as usize;
+    let mut buf = DirectByteBuffer::allocate_direct(vm, len);
+    while buf.position() < len {
+        if channel.read(&mut buf)? == 0 {
+            return Err(JreError::Eof);
+        }
+    }
+    buf.flip();
+    Ok(buf.get(len))
+}
+
+struct SocketChannelCase;
+
+impl MicroCase for SocketChannelCase {
+    fn name(&self) -> &'static str {
+        "jre_socket_channel"
+    }
+
+    fn family(&self) -> Family {
+        Family::JreSocketChannel
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let server = ServerSocketChannel::bind(&ctx.vm2, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        let vm2 = ctx.vm2.clone();
+        let data2 = ctx.data2.clone();
+        let server_thread = std::thread::spawn(move || -> Result<(), JreError> {
+            let channel = server.accept()?;
+            let mut combined = channel_recv(&vm2, &channel)?;
+            combined.append(data2);
+            channel_send(&vm2, &channel, &combined)?;
+            channel.close();
+            server.close();
+            Ok(())
+        });
+        let channel = SocketChannel::connect(&ctx.vm1, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        channel_send(&ctx.vm1, &channel, &ctx.data1)?;
+        let back = channel_recv(&ctx.vm1, &channel)?;
+        channel.close();
+        server_thread.join().expect("server thread panicked")?;
+        Ok(back)
+    }
+}
+
+// ----------------------------------------------- JRE DatagramChannel
+
+struct DatagramChannelCase;
+
+impl MicroCase for DatagramChannelCase {
+    fn name(&self) -> &'static str {
+        "jre_datagram_channel"
+    }
+
+    fn family(&self) -> Family {
+        Family::JreDatagramChannel
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let capacity = ctx.data1.len() + ctx.data2.len() + 64;
+        let server = dista_jre::DatagramChannel::bind(
+            &ctx.vm2,
+            NodeAddr::new(ctx.vm2.ip(), ctx.port),
+        )?;
+        let vm2 = ctx.vm2.clone();
+        let data2 = ctx.data2.clone();
+        let server_thread = std::thread::spawn(move || -> Result<(), JreError> {
+            let mut inbuf = DirectByteBuffer::allocate_direct(&vm2, capacity);
+            let from = server.receive(&mut inbuf)?;
+            inbuf.flip();
+            let mut combined = inbuf.get(capacity);
+            combined.append(data2);
+            let mut outbuf = DirectByteBuffer::allocate_direct(&vm2, combined.len());
+            outbuf.put(&combined)?;
+            outbuf.flip();
+            server.send(&mut outbuf, from)?;
+            server.close();
+            Ok(())
+        });
+        let client = dista_jre::DatagramChannel::bind(
+            &ctx.vm1,
+            NodeAddr::new(ctx.vm1.ip(), ctx.port),
+        )?;
+        let mut outbuf = DirectByteBuffer::allocate_direct(&ctx.vm1, ctx.data1.len());
+        outbuf.put(&ctx.data1)?;
+        outbuf.flip();
+        client.send(&mut outbuf, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        let mut inbuf = DirectByteBuffer::allocate_direct(&ctx.vm1, capacity);
+        client.receive(&mut inbuf)?;
+        inbuf.flip();
+        let back = inbuf.get(capacity);
+        client.close();
+        server_thread.join().expect("server thread panicked")?;
+        Ok(back)
+    }
+}
+
+// ------------------------------------------------------------ JRE AIO
+
+struct AioCase;
+
+impl MicroCase for AioCase {
+    fn name(&self) -> &'static str {
+        "jre_async_socket_channel"
+    }
+
+    fn family(&self) -> Family {
+        Family::JreAsyncSocketChannel
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let server =
+            AsyncServerSocketChannel::bind(&ctx.vm2, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        let accept = server.accept_async();
+        let client = AsyncSocketChannel::connect(&ctx.vm1, NodeAddr::new(ctx.vm2.ip(), ctx.port))
+            .get()?;
+        let served = accept.get()?;
+
+        let vm1 = ctx.vm1.clone();
+        let data2 = ctx.data2.clone();
+        let server_side = std::thread::spawn(move || -> Result<(), JreError> {
+            let header = served.read_exact_async(4).get()?;
+            let d = header.data();
+            let len = u32::from_be_bytes([d[0], d[1], d[2], d[3]]) as usize;
+            let mut combined = served.read_exact_async(len).get()?;
+            combined.append(data2);
+            let vm = served.vm().clone();
+            served.write_async(frame_payload(&vm, &combined)).get()?;
+            served.close();
+            Ok(())
+        });
+
+        client.write_async(frame_payload(&vm1, &ctx.data1)).get()?;
+        let header = client.read_exact_async(4).get()?;
+        let d = header.data();
+        let len = u32::from_be_bytes([d[0], d[1], d[2], d[3]]) as usize;
+        let back = client.read_exact_async(len).get()?;
+        client.close();
+        server.close();
+        server_side.join().expect("server side panicked")?;
+        Ok(back)
+    }
+}
+
+// ----------------------------------------------------------- JRE HTTP
+
+struct HttpCase;
+
+impl MicroCase for HttpCase {
+    fn name(&self) -> &'static str {
+        "jre_http"
+    }
+
+    fn family(&self) -> Family {
+        Family::JreHttp
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let server = HttpServer::bind(&ctx.vm2, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        let addr = server.local_addr();
+        let data2 = ctx.data2.clone();
+        let server_thread = std::thread::spawn(move || -> Result<(), JreError> {
+            server.serve_once(move |request| {
+                let mut combined = request.body;
+                combined.append(data2);
+                HttpResponse::ok(combined)
+            })?;
+            server.close();
+            Ok(())
+        });
+        let response = HttpClient::new(&ctx.vm1).post(addr, "/combine", ctx.data1.clone())?;
+        server_thread.join().expect("server thread panicked")?;
+        if response.status != 200 {
+            return Err(JreError::Protocol("http case failed"));
+        }
+        Ok(response.body)
+    }
+}
+
+// -------------------------------------------------------------- Netty
+
+struct NettySocketCase;
+
+impl MicroCase for NettySocketCase {
+    fn name(&self) -> &'static str {
+        "netty_socket"
+    }
+
+    fn family(&self) -> Family {
+        Family::NettySocket
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let data2 = Arc::new(ctx.data2.clone());
+        let server = ServerBootstrap::new(&ctx.vm2)
+            .child_handler(move |handler_ctx, msg| {
+                let mut combined = msg;
+                combined.append((*data2).clone());
+                let _ = handler_ctx.write(&combined);
+            })
+            .bind(NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        let channel = Bootstrap::new(&ctx.vm1).connect(server.local_addr())?;
+        let back = channel.call(&ctx.data1)?;
+        channel.close();
+        server.shutdown();
+        Ok(back)
+    }
+}
+
+struct NettyDatagramCase;
+
+impl MicroCase for NettyDatagramCase {
+    fn name(&self) -> &'static str {
+        "netty_datagram"
+    }
+
+    fn family(&self) -> Family {
+        Family::NettyDatagram
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let capacity = ctx.data1.len() + ctx.data2.len() + 64;
+        let server = DatagramBootstrap::bind(&ctx.vm2, NodeAddr::new(ctx.vm2.ip(), ctx.port))?
+            .recv_capacity(capacity);
+        let data2 = ctx.data2.clone();
+        let server_thread = std::thread::spawn(move || -> Result<(), JreError> {
+            let (msg, from) = server.receive()?;
+            let mut combined = msg;
+            combined.append(data2);
+            server.send(from, &combined)?;
+            server.close();
+            Ok(())
+        });
+        let client = DatagramBootstrap::bind(&ctx.vm1, NodeAddr::new(ctx.vm1.ip(), ctx.port))?
+            .recv_capacity(capacity);
+        client.send(NodeAddr::new(ctx.vm2.ip(), ctx.port), &ctx.data1)?;
+        let (back, _) = client.receive()?;
+        client.close();
+        server_thread.join().expect("server thread panicked")?;
+        Ok(back)
+    }
+}
+
+struct NettyHttpCase;
+
+impl MicroCase for NettyHttpCase {
+    fn name(&self) -> &'static str {
+        "netty_http"
+    }
+
+    fn family(&self) -> Family {
+        Family::NettyHttp
+    }
+
+    fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
+        let data2 = Arc::new(ctx.data2.clone());
+        let server = ServerBootstrap::new(&ctx.vm2)
+            .child_handler(move |handler_ctx, frame| {
+                let Ok(request) = decode_http_request(&frame) else {
+                    return;
+                };
+                let mut combined = request.body;
+                combined.append((*data2).clone());
+                let response = encode_http_response(&HttpResponse::ok(combined));
+                let _ = handler_ctx.write(&response);
+            })
+            .bind(NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
+        let channel = Bootstrap::new(&ctx.vm1).connect(server.local_addr())?;
+        let request = dista_jre::HttpRequest::post("/combine", ctx.data1.clone());
+        let reply = channel.call(&encode_http_request(&request))?;
+        let response = decode_http_response(&reply)?;
+        channel.close();
+        server.shutdown();
+        if response.status != 200 {
+            return Err(JreError::Protocol("netty http case failed"));
+        }
+        Ok(response.body)
+    }
+}
+
+// ------------------------------------------------------------ roster
+
+macro_rules! socket_case {
+    ($name:literal, $codec:expr) => {
+        Box::new(SocketCase {
+            name: $name,
+            codec: &$codec,
+        }) as Box<dyn MicroCase>
+    };
+}
+
+/// All 30 micro-benchmark cases, in Table II order: the 22 JRE Socket
+/// variants first, then one case per remaining protocol family.
+pub fn all_cases() -> Vec<Box<dyn MicroCase>> {
+    vec![
+        socket_case!("socket_raw_array", RawArray),
+        socket_case!("socket_single_byte", SingleByte),
+        socket_case!("socket_buffered_8k", Buffered(8192)),
+        socket_case!("socket_buffered_64", Buffered(64)),
+        socket_case!("socket_data_int", DataInt),
+        socket_case!("socket_data_long", DataLong),
+        socket_case!("socket_data_short", DataShort),
+        socket_case!("socket_data_byte", DataByte),
+        socket_case!("socket_data_bool", DataBool),
+        socket_case!("socket_data_float", DataFloat),
+        socket_case!("socket_data_double", DataDouble),
+        socket_case!("socket_data_utf", DataUtf),
+        socket_case!("socket_data_chars", DataChars),
+        socket_case!("socket_data_int_array", DataIntArray),
+        socket_case!("socket_obj_string", ObjString),
+        socket_case!("socket_obj_record", ObjRecord),
+        socket_case!("socket_obj_list", ObjList),
+        socket_case!("socket_obj_bytes", ObjBytes),
+        socket_case!("socket_buffered_data", BufferedData),
+        socket_case!("socket_buffered_obj", BufferedObj),
+        socket_case!("socket_chunked_exact", ChunkedExact),
+        socket_case!("socket_line_writer", LineWriter),
+        Box::new(DatagramCase),
+        Box::new(SocketChannelCase),
+        Box::new(DatagramChannelCase),
+        Box::new(AioCase),
+        Box::new(HttpCase),
+        Box::new(NettySocketCase),
+        Box::new(NettyDatagramCase),
+        Box::new(NettyHttpCase),
+    ]
+}

@@ -1,0 +1,85 @@
+//! # dista-microbench — the 30-case micro benchmark (paper Table II)
+//!
+//! "We implement 30 test cases for different network communication APIs
+//! and protocols" (§V-A): 22 JRE Socket cases exercising different
+//! stream classes and data kinds, plus JRE Datagram, JRE SocketChannel,
+//! JRE DatagramChannel, JRE AsyncSocketChannel (AIO), JRE HTTP, and three
+//! Netty cases (Socket, DatagramSocket, HTTP).
+//!
+//! Every case runs the Fig.-10 workload: Node 1 sends `Data1` to Node 2;
+//! Node 2 combines it with its own `Data2` and sends the combination
+//! back; Node 1 runs `check()` on what it received. `Data1`/`Data2` are
+//! the taint sources and `check()` is the sink — a sound and precise run
+//! observes exactly the two tags `{Data1, Data2}` at the sink.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dista_microbench::{all_cases, run_case, Mode};
+//!
+//! let cases = all_cases();
+//! assert_eq!(cases.len(), 30);
+//! let result = run_case(cases[0].as_ref(), Mode::Dista, 4 * 1024)?;
+//! assert!(result.sound_and_precise());
+//! # Ok::<(), dista_jre::JreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cases;
+mod runner;
+mod socket_codecs;
+
+pub use cases::{all_cases, Family, MicroCase};
+pub use runner::{run_case, run_case_on, run_case_with, CaseResult};
+
+pub use dista_jre::Mode;
+
+/// The tag value given to Node 1's source data.
+pub const DATA1_TAG: &str = "Data1";
+/// The tag value given to Node 2's source data.
+pub const DATA2_TAG: &str = "Data2";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_30_cases() {
+        // Table II: 22 JRE Socket + 8 other protocol cases.
+        let cases = all_cases();
+        assert_eq!(cases.len(), 30);
+        let sockets = cases
+            .iter()
+            .filter(|c| c.family() == Family::JreSocket)
+            .count();
+        assert_eq!(sockets, 22);
+        for family in [
+            Family::JreDatagram,
+            Family::JreSocketChannel,
+            Family::JreDatagramChannel,
+            Family::JreAsyncSocketChannel,
+            Family::JreHttp,
+            Family::NettySocket,
+            Family::NettyDatagram,
+            Family::NettyHttp,
+        ] {
+            assert_eq!(
+                cases.iter().filter(|c| c.family() == family).count(),
+                1,
+                "{family:?} should have exactly one case"
+            );
+        }
+    }
+
+    #[test]
+    fn case_names_are_unique() {
+        let cases = all_cases();
+        let mut names: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

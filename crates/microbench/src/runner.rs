@@ -1,0 +1,179 @@
+//! Case execution and verification.
+
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::time::{Duration, Instant};
+
+use dista_core::Cluster;
+use dista_jre::{JreError, Mode, Vm};
+use dista_taint::{Payload, TagValue, TaintedBytes};
+
+use crate::cases::{CaseCtx, Family, MicroCase};
+use crate::{DATA1_TAG, DATA2_TAG};
+
+/// Outcome of one case execution.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case name.
+    pub name: &'static str,
+    /// Protocol family.
+    pub family: Family,
+    /// Mode the case ran in.
+    pub mode: Mode,
+    /// Wall-clock duration of the round trip.
+    pub duration: Duration,
+    /// Tag values observed by `check()` at node 1, sorted.
+    pub tags_at_check: Vec<String>,
+    /// Whether the returned bytes equal `Data1 ++ Data2`.
+    pub data_ok: bool,
+    /// Payload size used for `Data1` (bytes).
+    pub size: usize,
+}
+
+impl CaseResult {
+    /// The paper's RQ1 criterion: in DisTA mode, `check()` must observe
+    /// exactly `{Data1, Data2}` — no tag dropped (sound), none invented
+    /// (precise) — and the data must be intact. In Phosphor/Original
+    /// modes the data must be intact and no taint may appear.
+    pub fn sound_and_precise(&self) -> bool {
+        if !self.data_ok {
+            return false;
+        }
+        match self.mode {
+            Mode::Dista => {
+                self.tags_at_check == vec![DATA1_TAG.to_string(), DATA2_TAG.to_string()]
+            }
+            _ => self.tags_at_check.is_empty(),
+        }
+    }
+}
+
+/// Deterministic ASCII payload (valid UTF-8 for the text codecs).
+fn generate_ascii(size: usize) -> Vec<u8> {
+    const ALPHABET: &[u8] = b"the quick brown fox jumps over the lazy dog 0123456789 ";
+    (0..size).map(|i| ALPHABET[i % ALPHABET.len()]).collect()
+}
+
+fn make_data(vm: &Vm, tag: &str, size: usize) -> Payload {
+    let bytes = generate_ascii(size);
+    if vm.mode().tracks_taints() {
+        let taint = vm.taint_source(TagValue::str(tag));
+        Payload::Tainted(TaintedBytes::uniform(bytes, taint))
+    } else {
+        Payload::Plain(bytes)
+    }
+}
+
+static NEXT_PORT: AtomicU16 = AtomicU16::new(20_000);
+
+/// Runs one case on an existing two-node cluster (used by benches to
+/// amortize cluster setup). `size` is the `Data1` byte count; `Data2`
+/// has the same size.
+///
+/// # Errors
+///
+/// The case's transport/protocol errors.
+pub fn run_case_on(
+    case: &dyn MicroCase,
+    vm1: &Vm,
+    vm2: &Vm,
+    size: usize,
+) -> Result<CaseResult, JreError> {
+    let port = NEXT_PORT.fetch_add(1, Ordering::Relaxed);
+    let ctx = CaseCtx {
+        vm1: vm1.clone(),
+        vm2: vm2.clone(),
+        port,
+        data1: make_data(vm1, DATA1_TAG, size),
+        data2: make_data(vm2, DATA2_TAG, size),
+    };
+    let expected: Vec<u8> = {
+        let mut e = generate_ascii(size);
+        e.extend(generate_ascii(size));
+        e
+    };
+    let start = Instant::now();
+    let back = case.round_trip(&ctx)?;
+    let duration = start.elapsed();
+
+    // check(): the sink point on node 1.
+    let taint = back.taint_union(vm1.store());
+    vm1.taint_sink("check", taint);
+    let mut tags = vm1.store().tag_values(taint);
+    tags.sort();
+    Ok(CaseResult {
+        name: case.name(),
+        family: case.family(),
+        mode: vm1.mode(),
+        duration,
+        tags_at_check: tags,
+        data_ok: back.data() == expected,
+        size,
+    })
+}
+
+/// Runs one case on a fresh two-node cluster in the given mode.
+///
+/// # Errors
+///
+/// Cluster setup or case errors.
+pub fn run_case(case: &dyn MicroCase, mode: Mode, size: usize) -> Result<CaseResult, JreError> {
+    run_case_with(case, mode, size, dista_simnet::FaultConfig::default())
+}
+
+/// Runs one case on a fresh two-node cluster with an explicit network
+/// model (fragmentation, drops, link bandwidth).
+///
+/// # Errors
+///
+/// Cluster setup or case errors.
+pub fn run_case_with(
+    case: &dyn MicroCase,
+    mode: Mode,
+    size: usize,
+    faults: dista_simnet::FaultConfig,
+) -> Result<CaseResult, JreError> {
+    let cluster = Cluster::builder(mode).nodes("micro", 2).build()?;
+    cluster.net().set_faults(faults);
+    let result = run_case_on(case, cluster.vm(0), cluster.vm(1), size);
+    cluster.shutdown();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_cases;
+
+    #[test]
+    fn raw_case_sound_in_dista_mode() {
+        let cases = all_cases();
+        let result = run_case(cases[0].as_ref(), Mode::Dista, 2048).unwrap();
+        assert!(result.data_ok);
+        assert_eq!(result.tags_at_check, vec!["Data1", "Data2"]);
+        assert!(result.sound_and_precise());
+    }
+
+    #[test]
+    fn raw_case_unsound_in_phosphor_mode() {
+        let cases = all_cases();
+        let result = run_case(cases[0].as_ref(), Mode::Phosphor, 2048).unwrap();
+        assert!(result.data_ok);
+        assert!(result.tags_at_check.is_empty());
+        assert!(result.sound_and_precise(), "phosphor criterion: no taint");
+    }
+
+    #[test]
+    fn original_mode_moves_plain_data() {
+        let cases = all_cases();
+        let result = run_case(cases[0].as_ref(), Mode::Original, 2048).unwrap();
+        assert!(result.data_ok);
+        assert!(result.tags_at_check.is_empty());
+    }
+
+    #[test]
+    fn generated_payload_is_ascii() {
+        let data = generate_ascii(1000);
+        assert!(std::str::from_utf8(&data).is_ok());
+        assert_eq!(data.len(), 1000);
+    }
+}

@@ -1,0 +1,654 @@
+//! The 22 JRE-Socket codecs: each sends/receives the case payload
+//! through a different stream-class / data-kind combination, mirroring
+//! Table II's "users can invoke different I/O interfaces in different
+//! stream classes to read / write different kinds of data".
+//!
+//! All payloads are ASCII text (the paper uses large int arrays, long
+//! text strings and HTML pages), so every codec can round-trip the same
+//! generator output.
+
+use dista_jre::{
+    BufferedInputStream, BufferedOutputStream, InputStream, JreError, ObjValue,
+    ObjectInputStream, ObjectOutputStream, OutputStream, Socket, Vm,
+};
+use dista_taint::Tainted;
+use dista_taint::{Payload, Taint, TaintedBytes};
+
+pub(crate) use dista_jre::{DataInputStream, DataOutputStream};
+
+/// A strategy for moving one payload across a socket.
+pub(crate) trait SocketCodec: Sync + Send {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError>;
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError>;
+}
+
+/// Mode-aware payload accumulator: plain runs never allocate shadows.
+struct PayloadBuilder {
+    tracked: bool,
+    tainted: TaintedBytes,
+    plain: Vec<u8>,
+}
+
+impl PayloadBuilder {
+    fn new(vm: &Vm, capacity: usize) -> Self {
+        let tracked = vm.mode().tracks_taints();
+        PayloadBuilder {
+            tracked,
+            tainted: if tracked {
+                TaintedBytes::with_capacity(capacity)
+            } else {
+                TaintedBytes::new()
+            },
+            plain: if tracked {
+                Vec::new()
+            } else {
+                Vec::with_capacity(capacity)
+            },
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8], taint: Taint) {
+        if self.tracked {
+            self.tainted.extend_uniform(bytes, taint);
+        } else {
+            self.plain.extend_from_slice(bytes);
+        }
+    }
+
+    fn push_payload(&mut self, payload: Payload) {
+        if self.tracked {
+            match payload {
+                Payload::Plain(d) => self.tainted.extend_plain(&d),
+                Payload::Tainted(t) => self.tainted.extend_tainted(&t),
+            }
+        } else {
+            self.plain.extend_from_slice(payload.data());
+        }
+    }
+
+    fn finish(self) -> Payload {
+        if self.tracked {
+            Payload::Tainted(self.tainted)
+        } else {
+            Payload::Plain(self.plain)
+        }
+    }
+}
+
+/// Taint of `data[start..end]` (empty for plain payloads).
+fn span_taint(data: &Payload, start: usize, end: usize, vm: &Vm) -> Taint {
+    match data {
+        Payload::Plain(_) => Taint::EMPTY,
+        Payload::Tainted(t) => t.slice(start, end).taint_union(vm.store()),
+    }
+}
+
+fn write_len(out: &impl OutputStream, len: usize) -> Result<(), JreError> {
+    out.write(&Payload::Plain((len as u32).to_be_bytes().to_vec()))
+}
+
+fn read_len(input: &impl InputStream) -> Result<usize, JreError> {
+    let header = input.read_exact(4)?;
+    let d = header.data();
+    Ok(u32::from_be_bytes([d[0], d[1], d[2], d[3]]) as usize)
+}
+
+// ---------------------------------------------------------------- raw
+
+/// `OutputStream.write(byte[])` / `InputStream.read(byte[])`.
+pub(crate) struct RawArray;
+
+impl SocketCodec for RawArray {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = socket.output_stream();
+        write_len(&out, data.len())?;
+        out.write(data)
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = socket.input_stream();
+        let len = read_len(&input)?;
+        input.read_exact(len)
+    }
+}
+
+/// `OutputStream.write(int)` — one byte per call.
+pub(crate) struct SingleByte;
+
+impl SocketCodec for SingleByte {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = socket.output_stream();
+        write_len(&out, data.len())?;
+        match data {
+            Payload::Plain(d) => {
+                for &b in d {
+                    out.write_u8(Tainted::untainted(b))?;
+                }
+            }
+            Payload::Tainted(t) => {
+                for (b, taint) in t.iter() {
+                    out.write_u8(Tainted::new(b, taint))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = socket.input_stream();
+        let len = read_len(&input)?;
+        let mut builder = PayloadBuilder::new(socket.vm(), len);
+        for _ in 0..len {
+            let byte = input.read_u8()?.ok_or(JreError::Eof)?;
+            builder.push(&[*byte.value()], byte.taint());
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// Buffered writes/reads with a configurable buffer size.
+pub(crate) struct Buffered(pub usize);
+
+impl SocketCodec for Buffered {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = BufferedOutputStream::with_capacity(socket.output_stream(), self.0);
+        write_len(&out, data.len())?;
+        // Write in 1 KiB slices so the buffer actually coalesces.
+        let mut pos = 0;
+        while pos < data.len() {
+            let end = (pos + 1024).min(data.len());
+            out.write(&data.slice(pos, end))?;
+            pos = end;
+        }
+        out.flush()
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = BufferedInputStream::with_capacity(socket.input_stream(), self.0);
+        let len = read_len(&input)?;
+        input.read_exact(len)
+    }
+}
+
+// ------------------------------------------------------ data streams
+
+macro_rules! numeric_codec {
+    ($name:ident, $width:literal, $write:ident, $read:ident, $to:expr, $from:expr) => {
+        /// `DataOutputStream` numeric codec (fixed-width chunks).
+        pub(crate) struct $name;
+
+        impl SocketCodec for $name {
+            fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+                let out = DataOutputStream::new(socket.output_stream());
+                let vm = socket.vm();
+                write_len(&out, data.len())?;
+                let bytes = data.data();
+                let mut pos = 0;
+                while pos < bytes.len() {
+                    let end = (pos + $width).min(bytes.len());
+                    let mut chunk = [0u8; $width];
+                    chunk[..end - pos].copy_from_slice(&bytes[pos..end]);
+                    let taint = span_taint(data, pos, end, vm);
+                    #[allow(clippy::redundant_closure_call)]
+                    out.$write(Tainted::new(($to)(chunk), taint))?;
+                    pos = end;
+                }
+                Ok(())
+            }
+
+            fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+                let input = DataInputStream::new(socket.input_stream());
+                let len = read_len(&input)?;
+                let mut builder = PayloadBuilder::new(socket.vm(), len);
+                let mut remaining = len;
+                while remaining > 0 {
+                    let value = input.$read()?;
+                    #[allow(clippy::redundant_closure_call)]
+                    let chunk: [u8; $width] = ($from)(*value.value());
+                    let take = remaining.min($width);
+                    builder.push(&chunk[..take], value.taint());
+                    remaining -= take;
+                }
+                Ok(builder.finish())
+            }
+        }
+    };
+}
+
+numeric_codec!(DataInt, 4, write_i32, read_i32, |c: [u8; 4]| i32::from_be_bytes(c), |v: i32| v.to_be_bytes());
+numeric_codec!(DataLong, 8, write_i64, read_i64, |c: [u8; 8]| i64::from_be_bytes(c), |v: i64| v.to_be_bytes());
+numeric_codec!(DataShort, 2, write_i16, read_i16, |c: [u8; 2]| i16::from_be_bytes(c), |v: i16| v.to_be_bytes());
+numeric_codec!(DataFloat, 4, write_f32, read_f32, |c: [u8; 4]| f32::from_bits(u32::from_be_bytes(c)), |v: f32| v.to_bits().to_be_bytes());
+numeric_codec!(DataDouble, 8, write_f64, read_f64, |c: [u8; 8]| f64::from_bits(u64::from_be_bytes(c)), |v: f64| v.to_bits().to_be_bytes());
+
+/// `DataOutputStream.writeByte` per byte.
+pub(crate) struct DataByte;
+
+impl SocketCodec for DataByte {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = DataOutputStream::new(socket.output_stream());
+        let vm = socket.vm();
+        write_len(&out, data.len())?;
+        for (i, &b) in data.data().iter().enumerate() {
+            out.write_u8(Tainted::new(b, span_taint(data, i, i + 1, vm)))?;
+        }
+        Ok(())
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = DataInputStream::new(socket.input_stream());
+        let len = read_len(&input)?;
+        let mut builder = PayloadBuilder::new(socket.vm(), len);
+        for _ in 0..len {
+            let b = input.read_u8()?;
+            builder.push(&[*b.value()], b.taint());
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// `DataOutputStream.writeBoolean` — eight booleans per data byte.
+pub(crate) struct DataBool;
+
+impl SocketCodec for DataBool {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = DataOutputStream::new(socket.output_stream());
+        let vm = socket.vm();
+        write_len(&out, data.len())?;
+        for (i, &b) in data.data().iter().enumerate() {
+            let taint = span_taint(data, i, i + 1, vm);
+            for bit in 0..8 {
+                out.write_bool(Tainted::new(b & (1 << bit) != 0, taint))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = DataInputStream::new(socket.input_stream());
+        let len = read_len(&input)?;
+        let vm = socket.vm().clone();
+        let mut builder = PayloadBuilder::new(&vm, len);
+        for _ in 0..len {
+            let mut byte = 0u8;
+            let mut taint = Taint::EMPTY;
+            for bit in 0..8 {
+                let flag = input.read_bool()?;
+                if *flag.value() {
+                    byte |= 1 << bit;
+                }
+                taint = vm.store().union(taint, flag.taint());
+            }
+            builder.push(&[byte], taint);
+        }
+        Ok(builder.finish())
+    }
+}
+
+const TEXT_CHUNK: usize = 4096;
+
+/// `DataOutputStream.writeUTF` in ≤4 KiB chunks.
+pub(crate) struct DataUtf;
+
+impl SocketCodec for DataUtf {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = DataOutputStream::new(socket.output_stream());
+        let vm = socket.vm();
+        write_len(&out, data.len())?;
+        let bytes = data.data();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let end = (pos + TEXT_CHUNK).min(bytes.len());
+            let text = std::str::from_utf8(&bytes[pos..end])
+                .map_err(|_| JreError::Protocol("payload is not utf-8"))?
+                .to_string();
+            out.write_utf(&Tainted::new(text, span_taint(data, pos, end, vm)))?;
+            pos = end;
+        }
+        Ok(())
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = DataInputStream::new(socket.input_stream());
+        let len = read_len(&input)?;
+        let mut builder = PayloadBuilder::new(socket.vm(), len);
+        let mut got = 0;
+        while got < len {
+            let chunk = input.read_utf()?;
+            got += chunk.value().len();
+            builder.push(chunk.value().as_bytes(), chunk.taint());
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// `DataOutputStream.writeChars` — the whole payload as one char run.
+pub(crate) struct DataChars;
+
+impl SocketCodec for DataChars {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = DataOutputStream::new(socket.output_stream());
+        let vm = socket.vm();
+        let text = std::str::from_utf8(data.data())
+            .map_err(|_| JreError::Protocol("payload is not utf-8"))?
+            .to_string();
+        write_len(&out, text.len())?; // ASCII: chars == bytes
+        out.write_chars(&Tainted::new(text, span_taint(data, 0, data.len(), vm)))
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = DataInputStream::new(socket.input_stream());
+        let len = read_len(&input)?;
+        let chunk = input.read_chars(len)?;
+        let mut builder = PayloadBuilder::new(socket.vm(), len);
+        builder.push(chunk.value().as_bytes(), chunk.taint());
+        Ok(builder.finish())
+    }
+}
+
+/// `DataOutputStream.writeInt` on an int array (`write_i32_array`).
+pub(crate) struct DataIntArray;
+
+impl SocketCodec for DataIntArray {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = DataOutputStream::new(socket.output_stream());
+        let vm = socket.vm();
+        write_len(&out, data.len())?;
+        let bytes = data.data();
+        let mut values = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let end = (pos + 4).min(bytes.len());
+            let mut chunk = [0u8; 4];
+            chunk[..end - pos].copy_from_slice(&bytes[pos..end]);
+            values.push(Tainted::new(
+                i32::from_be_bytes(chunk),
+                span_taint(data, pos, end, vm),
+            ));
+            pos = end;
+        }
+        out.write_i32_array(&values)
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = DataInputStream::new(socket.input_stream());
+        let len = read_len(&input)?;
+        let values = input.read_i32_array()?;
+        let mut builder = PayloadBuilder::new(socket.vm(), len);
+        let mut remaining = len;
+        for value in values {
+            let chunk = value.value().to_be_bytes();
+            let take = remaining.min(4);
+            builder.push(&chunk[..take], value.taint());
+            remaining -= take;
+        }
+        Ok(builder.finish())
+    }
+}
+
+// ---------------------------------------------------- object streams
+
+fn payload_to_obj_bytes(data: &Payload) -> TaintedBytes {
+    match data {
+        Payload::Plain(d) => TaintedBytes::from_plain(d.clone()),
+        Payload::Tainted(t) => t.clone(),
+    }
+}
+
+fn obj_bytes_to_payload(bytes: TaintedBytes, vm: &Vm) -> Payload {
+    if vm.mode().tracks_taints() {
+        Payload::Tainted(bytes)
+    } else {
+        Payload::Plain(bytes.into_plain())
+    }
+}
+
+/// `ObjectOutputStream.writeObject` of a single String.
+pub(crate) struct ObjString;
+
+impl SocketCodec for ObjString {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = ObjectOutputStream::new(socket.output_stream());
+        let vm = socket.vm();
+        let text = String::from_utf8(data.data().to_vec())
+            .map_err(|_| JreError::Protocol("payload is not utf-8"))?;
+        out.write_object(&ObjValue::Str(text, span_taint(data, 0, data.len(), vm)))
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = ObjectInputStream::new(socket.input_stream());
+        let obj = input.read_object()?;
+        match obj {
+            ObjValue::Str(s, taint) => {
+                let mut builder = PayloadBuilder::new(socket.vm(), s.len());
+                builder.push(s.as_bytes(), taint);
+                Ok(builder.finish())
+            }
+            _ => Err(JreError::Protocol("expected a String object")),
+        }
+    }
+}
+
+/// `writeObject` of a record with a long text field (the paper's
+/// "object with a long text String field").
+pub(crate) struct ObjRecord;
+
+impl SocketCodec for ObjRecord {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = ObjectOutputStream::new(socket.output_stream());
+        out.write_object(&ObjValue::Record(
+            "Document".into(),
+            vec![
+                ("title".into(), ObjValue::str_plain("micro-benchmark")),
+                ("body".into(), ObjValue::Bytes(payload_to_obj_bytes(data))),
+            ],
+        ))
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = ObjectInputStream::new(socket.input_stream());
+        let obj = input.read_object()?;
+        match obj.field("body") {
+            Some(ObjValue::Bytes(b)) => Ok(obj_bytes_to_payload(b.clone(), socket.vm())),
+            _ => Err(JreError::Protocol("expected a Document record")),
+        }
+    }
+}
+
+/// `writeObject` of a list of String chunks.
+pub(crate) struct ObjList;
+
+impl SocketCodec for ObjList {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = ObjectOutputStream::new(socket.output_stream());
+        let vm = socket.vm();
+        let bytes = data.data();
+        let mut items = Vec::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let end = (pos + TEXT_CHUNK).min(bytes.len());
+            let text = std::str::from_utf8(&bytes[pos..end])
+                .map_err(|_| JreError::Protocol("payload is not utf-8"))?
+                .to_string();
+            items.push(ObjValue::Str(text, span_taint(data, pos, end, vm)));
+            pos = end;
+        }
+        out.write_object(&ObjValue::List(items))
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = ObjectInputStream::new(socket.input_stream());
+        let obj = input.read_object()?;
+        let ObjValue::List(items) = obj else {
+            return Err(JreError::Protocol("expected a List object"));
+        };
+        let mut builder = PayloadBuilder::new(socket.vm(), items.len() * TEXT_CHUNK);
+        for item in items {
+            match item {
+                ObjValue::Str(s, taint) => builder.push(s.as_bytes(), taint),
+                _ => return Err(JreError::Protocol("expected String items")),
+            }
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// `writeObject` of a raw byte-array object.
+pub(crate) struct ObjBytes;
+
+impl SocketCodec for ObjBytes {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = ObjectOutputStream::new(socket.output_stream());
+        out.write_object(&ObjValue::Bytes(payload_to_obj_bytes(data)))
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = ObjectInputStream::new(socket.input_stream());
+        match input.read_object()? {
+            ObjValue::Bytes(b) => Ok(obj_bytes_to_payload(b, socket.vm())),
+            _ => Err(JreError::Protocol("expected a byte-array object")),
+        }
+    }
+}
+
+// --------------------------------------------------- stacked streams
+
+/// `DataOutputStream` over `BufferedOutputStream` (stacked wrappers).
+pub(crate) struct BufferedData;
+
+impl SocketCodec for BufferedData {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = DataOutputStream::new(BufferedOutputStream::new(socket.output_stream()));
+        let vm = socket.vm();
+        write_len(&out, data.len())?;
+        let bytes = data.data();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let end = (pos + 4).min(bytes.len());
+            let mut chunk = [0u8; 4];
+            chunk[..end - pos].copy_from_slice(&bytes[pos..end]);
+            out.write_i32(Tainted::new(
+                i32::from_be_bytes(chunk),
+                span_taint(data, pos, end, vm),
+            ))?;
+            pos = end;
+        }
+        out.flush()
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = DataInputStream::new(BufferedInputStream::new(socket.input_stream()));
+        let len = read_len(&input)?;
+        let mut builder = PayloadBuilder::new(socket.vm(), len);
+        let mut remaining = len;
+        while remaining > 0 {
+            let value = input.read_i32()?;
+            let chunk = value.value().to_be_bytes();
+            let take = remaining.min(4);
+            builder.push(&chunk[..take], value.taint());
+            remaining -= take;
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// `ObjectOutputStream` over `BufferedOutputStream`.
+pub(crate) struct BufferedObj;
+
+impl SocketCodec for BufferedObj {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = ObjectOutputStream::new(BufferedOutputStream::new(socket.output_stream()));
+        out.write_object(&ObjValue::Bytes(payload_to_obj_bytes(data)))
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = ObjectInputStream::new(BufferedInputStream::new(socket.input_stream()));
+        match input.read_object()? {
+            ObjValue::Bytes(b) => Ok(obj_bytes_to_payload(b, socket.vm())),
+            _ => Err(JreError::Protocol("expected a byte-array object")),
+        }
+    }
+}
+
+/// Many small `write(byte[], off, len)` slices; reads in ≤512-byte
+/// chunks (partial-read heavy).
+pub(crate) struct ChunkedExact;
+
+impl SocketCodec for ChunkedExact {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = socket.output_stream();
+        write_len(&out, data.len())?;
+        let mut pos = 0;
+        while pos < data.len() {
+            let end = (pos + 1024).min(data.len());
+            out.write(&data.slice(pos, end))?;
+            pos = end;
+        }
+        Ok(())
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = socket.input_stream();
+        let len = read_len(&input)?;
+        let mut builder = PayloadBuilder::new(socket.vm(), len);
+        let mut got = 0;
+        while got < len {
+            let chunk = input.read((len - got).min(512))?;
+            if chunk.is_empty() {
+                return Err(JreError::Eof);
+            }
+            got += chunk.len();
+            builder.push_payload(chunk);
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// Newline-terminated text lines (PrintWriter-style I/O).
+pub(crate) struct LineWriter;
+
+impl SocketCodec for LineWriter {
+    fn send(&self, socket: &Socket, data: &Payload) -> Result<(), JreError> {
+        let out = socket.output_stream();
+        let vm = socket.vm();
+        write_len(&out, data.len())?;
+        let bytes = data.data();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let end = (pos + 80).min(bytes.len());
+            let taint = span_taint(data, pos, end, vm);
+            let mut line = bytes[pos..end].to_vec();
+            line.push(b'\n');
+            if vm.mode().tracks_taints() {
+                let mut tb = TaintedBytes::uniform(line, taint);
+                // The terminator itself is protocol scaffolding.
+                tb.truncate(end - pos);
+                tb.extend_plain(b"\n");
+                out.write(&Payload::Tainted(tb))?;
+            } else {
+                out.write(&Payload::Plain(line))?;
+            }
+            pos = end;
+        }
+        Ok(())
+    }
+
+    fn recv(&self, socket: &Socket) -> Result<Payload, JreError> {
+        let input = socket.input_stream();
+        let len = read_len(&input)?;
+        let mut builder = PayloadBuilder::new(socket.vm(), len);
+        let mut got = 0;
+        while got < len {
+            // Read one line byte-by-byte (readLine semantics).
+            loop {
+                let byte = input.read_u8()?.ok_or(JreError::Eof)?;
+                if *byte.value() == b'\n' {
+                    break;
+                }
+                builder.push(&[*byte.value()], byte.taint());
+                got += 1;
+            }
+        }
+        Ok(builder.finish())
+    }
+}

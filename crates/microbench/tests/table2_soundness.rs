@@ -1,0 +1,47 @@
+//! RQ1 over the whole micro benchmark (paper Table II / §V-D): every
+//! case must be sound and precise in DisTA mode, must lose inter-node
+//! taints in Phosphor mode, and must move data intact in Original mode.
+
+use dista_microbench::{all_cases, run_case, Mode};
+
+const SIZE: usize = 4 * 1024;
+
+#[test]
+fn all_30_cases_sound_and_precise_in_dista_mode() {
+    for case in all_cases() {
+        let result = run_case(case.as_ref(), Mode::Dista, SIZE)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", case.name()));
+        assert!(result.data_ok, "{}: data corrupted", result.name);
+        assert_eq!(
+            result.tags_at_check,
+            vec!["Data1".to_string(), "Data2".to_string()],
+            "{}: wrong tag set at check()",
+            result.name
+        );
+    }
+}
+
+#[test]
+fn all_30_cases_lose_taints_in_phosphor_mode() {
+    for case in all_cases() {
+        let result = run_case(case.as_ref(), Mode::Phosphor, SIZE)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", case.name()));
+        assert!(result.data_ok, "{}: data corrupted", result.name);
+        assert!(
+            result.tags_at_check.is_empty(),
+            "{}: phosphor should drop inter-node taints, saw {:?}",
+            result.name,
+            result.tags_at_check
+        );
+    }
+}
+
+#[test]
+fn all_30_cases_run_clean_in_original_mode() {
+    for case in all_cases() {
+        let result = run_case(case.as_ref(), Mode::Original, SIZE)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", case.name()));
+        assert!(result.data_ok, "{}: data corrupted", result.name);
+        assert!(result.tags_at_check.is_empty(), "{}: untracked mode", result.name);
+    }
+}

@@ -1,0 +1,114 @@
+//! `LengthFieldPrepender` / `LengthFieldBasedFrameDecoder` — Netty's
+//! standard length-prefixed framing over a byte stream.
+//!
+//! The 4-byte length prefix is protocol scaffolding (untainted); the
+//! frame body keeps its per-byte taints.
+
+use dista_jre::{JreError, SocketChannel};
+use dista_taint::{Payload, TaintedBytes};
+
+/// Writes one frame: `u32` big-endian length + body.
+///
+/// # Errors
+///
+/// Transport or Taint Map errors.
+pub fn write_frame(channel: &SocketChannel, body: &Payload) -> Result<(), JreError> {
+    let framed = if channel.vm().mode().tracks_taints() {
+        let mut f = TaintedBytes::with_capacity(4 + body.len());
+        f.extend_plain(&(body.len() as u32).to_be_bytes());
+        match body {
+            Payload::Plain(d) => f.extend_plain(d),
+            Payload::Tainted(t) => f.extend_tainted(t),
+        }
+        Payload::Tainted(f)
+    } else {
+        let mut f = Vec::with_capacity(4 + body.len());
+        f.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        f.extend_from_slice(body.data());
+        Payload::Plain(f)
+    };
+    channel.write_payload(&framed)
+}
+
+/// Reads one frame; `None` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// [`JreError::Eof`] if the stream ends mid-frame; transport errors
+/// otherwise.
+pub fn read_frame(channel: &SocketChannel) -> Result<Option<Payload>, JreError> {
+    let first = channel.read_payload(1)?;
+    if first.is_empty() {
+        return Ok(None);
+    }
+    let mut header = first.into_plain();
+    while header.len() < 4 {
+        let more = channel.read_exact_payload(4 - header.len())?;
+        header.extend_from_slice(more.data());
+    }
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len == 0 {
+        return Ok(Some(Payload::default()));
+    }
+    Ok(Some(channel.read_exact_payload(len)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_jre::{Mode, ServerSocketChannel, Vm};
+    use dista_simnet::{NodeAddr, SimNet};
+    use dista_taint::TagValue;
+    use dista_taintmap::TaintMapServer;
+
+    fn rig() -> (TaintMapServer, Vm, Vm, SocketChannel, SocketChannel) {
+        let net = SimNet::new();
+        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let mk = |n: &str, ip: [u8; 4]| {
+            Vm::builder(n, &net)
+                .mode(Mode::Dista)
+                .ip(ip)
+                .taint_map(tm.addr())
+                .build()
+                .unwrap()
+        };
+        let vm1 = mk("c", [10, 0, 0, 1]);
+        let vm2 = mk("s", [10, 0, 0, 2]);
+        let server = ServerSocketChannel::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 9999)).unwrap();
+        let c = SocketChannel::connect(&vm1, server.local_addr()).unwrap();
+        let s = server.accept().unwrap();
+        (tm, vm1, vm2, c, s)
+    }
+
+    #[test]
+    fn frames_preserve_boundaries_and_taints() {
+        let (tm, vm1, vm2, c, s) = rig();
+        let t = vm1.store().mint_source_taint(TagValue::str("f"));
+        write_frame(&c, &Payload::Tainted(TaintedBytes::uniform(b"one", t))).unwrap();
+        write_frame(&c, &Payload::Plain(b"twotwo".to_vec())).unwrap();
+        let f1 = read_frame(&s).unwrap().unwrap();
+        assert_eq!(f1.data(), b"one");
+        assert_eq!(vm2.store().tag_values(f1.taint_union(vm2.store())), vec!["f"]);
+        let f2 = read_frame(&s).unwrap().unwrap();
+        assert_eq!(f2.data(), b"twotwo");
+        assert!(f2.taint_union(vm2.store()).is_empty());
+        tm.shutdown();
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let (tm, _vm1, _vm2, c, s) = rig();
+        write_frame(&c, &Payload::default()).unwrap();
+        let f = read_frame(&s).unwrap().unwrap();
+        assert!(f.is_empty());
+        tm.shutdown();
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none() {
+        let (tm, _vm1, _vm2, c, s) = rig();
+        c.close();
+        assert!(read_frame(&s).unwrap().is_none());
+        tm.shutdown();
+    }
+}

@@ -1,0 +1,317 @@
+//! Producer and consumer clients (pull model).
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
+
+use dista_jre::{JreError, ObjValue, Vm};
+use dista_netty::{Bootstrap, NettyChannel};
+use dista_simnet::NodeAddr;
+use dista_taint::{Payload, TagValue, Taint, TaintedBytes};
+
+use crate::{CONSUMER_CLASS, PRODUCER_CLASS};
+
+static NEXT_MSG_ID: AtomicI64 = AtomicI64::new(1);
+
+fn lookup_route(vm: &Vm, nameserver: NodeAddr, topic: &str) -> Result<NodeAddr, JreError> {
+    let channel = Bootstrap::new(vm).connect(nameserver)?;
+    let request = ObjValue::Record(
+        "GetRouteInfo".into(),
+        vec![("topic".into(), ObjValue::str_plain(topic))],
+    );
+    let reply = channel.call(&Payload::Tainted(request.encode()))?;
+    channel.close();
+    let decoded = ObjValue::decode(&reply.into_tainted(), vm)?;
+    if decoded.class_name() != Some("RouteInfo") {
+        return Err(JreError::Protocol("no route for topic"));
+    }
+    let addr = decoded
+        .field("brokerAddr")
+        .and_then(ObjValue::as_str)
+        .ok_or(JreError::Protocol("route missing broker addr"))?;
+    NodeAddr::from_str(addr).map_err(|_| JreError::Protocol("malformed broker addr"))
+}
+
+/// A message received by a consumer (RocketMQ's `MessageExt`).
+#[derive(Debug, Clone)]
+pub struct MessageExt {
+    /// Producer-assigned id.
+    pub msg_id: i64,
+    /// Topic it was pulled from.
+    pub topic: String,
+    /// Body with per-byte taints.
+    pub body: TaintedBytes,
+}
+
+impl MessageExt {
+    /// Union of the body's taints.
+    pub fn taint(&self, vm: &Vm) -> Taint {
+        self.body.taint_union(vm.store())
+    }
+}
+
+/// A producer client.
+#[derive(Debug)]
+pub struct MqProducer {
+    vm: Vm,
+    broker: NettyChannel,
+}
+
+impl MqProducer {
+    /// Resolves `topic` through the nameserver and connects to its
+    /// broker.
+    ///
+    /// # Errors
+    ///
+    /// Route-lookup or transport errors.
+    pub fn start(vm: &Vm, nameserver: NodeAddr, topic: &str) -> Result<Self, JreError> {
+        let broker_addr = lookup_route(vm, nameserver, topic)?;
+        Ok(MqProducer {
+            vm: vm.clone(),
+            broker: Bootstrap::new(vm).connect(broker_addr)?,
+        })
+    }
+
+    /// `createMessage` — the SDT source point: the body is tainted with
+    /// a fresh message tag when registered.
+    pub fn create_message(&self, text: &str) -> TaintedBytes {
+        let id = NEXT_MSG_ID.load(Ordering::Relaxed);
+        let taint = self.vm.source_point(
+            PRODUCER_CLASS,
+            "createMessage",
+            TagValue::str(format!("mq_message_{id}")),
+        );
+        TaintedBytes::uniform(text.as_bytes().to_vec(), taint)
+    }
+
+    /// Sends a message body to `topic`; returns the message id.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn send(&self, topic: &str, body: TaintedBytes) -> Result<i64, JreError> {
+        let id = NEXT_MSG_ID.fetch_add(1, Ordering::Relaxed);
+        let request = ObjValue::Record(
+            "SendMessage".into(),
+            vec![
+                ("topic".into(), ObjValue::str_plain(topic)),
+                ("id".into(), ObjValue::int_plain(id)),
+                ("body".into(), ObjValue::Bytes(body)),
+            ],
+        );
+        let reply = self.broker.call(&Payload::Tainted(request.encode()))?;
+        let decoded = ObjValue::decode(&reply.into_tainted(), &self.vm)?;
+        if decoded.class_name() != Some("SendAck") {
+            return Err(JreError::Protocol("send not acknowledged"));
+        }
+        Ok(id)
+    }
+
+    /// Closes the broker channel.
+    pub fn close(&self) {
+        self.broker.close();
+    }
+}
+
+/// A pull-model consumer client.
+#[derive(Debug)]
+pub struct MqConsumer {
+    vm: Vm,
+    broker: NettyChannel,
+    topic: String,
+    offset: AtomicI64,
+}
+
+impl MqConsumer {
+    /// Resolves `topic` and connects to its broker.
+    ///
+    /// # Errors
+    ///
+    /// Route-lookup or transport errors.
+    pub fn start(vm: &Vm, nameserver: NodeAddr, topic: &str) -> Result<Self, JreError> {
+        let broker_addr = lookup_route(vm, nameserver, topic)?;
+        Ok(MqConsumer {
+            vm: vm.clone(),
+            broker: Bootstrap::new(vm).connect(broker_addr)?,
+            topic: topic.to_string(),
+            offset: AtomicI64::new(0),
+        })
+    }
+
+    /// One pull attempt; `None` if no message at the current offset.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn try_pull(&self) -> Result<Option<MessageExt>, JreError> {
+        let offset = self.offset.load(Ordering::Relaxed);
+        let request = ObjValue::Record(
+            "PullMessage".into(),
+            vec![
+                ("topic".into(), ObjValue::str_plain(self.topic.clone())),
+                ("offset".into(), ObjValue::int_plain(offset)),
+            ],
+        );
+        let reply = self.broker.call(&Payload::Tainted(request.encode()))?;
+        let decoded = ObjValue::decode(&reply.into_tainted(), &self.vm)?;
+        if decoded.field("found").and_then(ObjValue::as_int) != Some(1) {
+            return Ok(None);
+        }
+        self.offset.fetch_add(1, Ordering::Relaxed);
+        let msg_id = decoded
+            .field("msgId")
+            .and_then(ObjValue::as_int)
+            .unwrap_or(0);
+        let body = match decoded.field("body") {
+            Some(ObjValue::Bytes(b)) => b.clone(),
+            _ => TaintedBytes::new(),
+        };
+        let message = MessageExt {
+            msg_id,
+            topic: self.topic.clone(),
+            body,
+        };
+        // The SDT sink: consumeMessage on the received MessageExt.
+        self.vm.sink_point(
+            CONSUMER_CLASS,
+            "consumeMessage",
+            message.taint(&self.vm),
+        );
+        Ok(Some(message))
+    }
+
+    /// Polls until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`JreError::Protocol`] after the poll budget.
+    pub fn pull_blocking(&self) -> Result<MessageExt, JreError> {
+        for _ in 0..5000 {
+            if let Some(message) = self.try_pull()? {
+                return Ok(message);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Err(JreError::Protocol("no message arrived"))
+    }
+
+    /// Closes the broker channel.
+    pub fn close(&self) {
+        self.broker.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::{seed_config, BrokerServer};
+    use crate::nameserver::NameServer;
+    use dista_core::{Cluster, Mode};
+    use dista_jre::{FILE_INPUT_STREAM_CLASS, LOGGER_CLASS};
+    use dista_taint::{MethodDesc, SourceSinkSpec};
+
+    fn sdt_spec() -> SourceSinkSpec {
+        let mut spec = SourceSinkSpec::new();
+        spec.add_source(MethodDesc::new(PRODUCER_CLASS, "createMessage"))
+            .add_sink(MethodDesc::new(CONSUMER_CLASS, "consumeMessage"));
+        spec
+    }
+
+    /// Nameserver on node 1, broker on node 2, producer/consumer on
+    /// node 3 (the paper's three-peer deployment + client).
+    fn stack(mode: Mode, spec: SourceSinkSpec) -> (Cluster, NameServer, BrokerServer) {
+        let cluster = Cluster::builder(mode).nodes("mq", 3).spec(spec).build().unwrap();
+        seed_config(cluster.vm(1), "broker-a");
+        let ns = NameServer::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 9876)).unwrap();
+        let broker = BrokerServer::start(
+            cluster.vm(1),
+            NodeAddr::new([10, 0, 0, 2], 10911),
+            &["TopicTest"],
+        )
+        .unwrap();
+        broker.register_with(ns.addr()).unwrap();
+        (cluster, ns, broker)
+    }
+
+    #[test]
+    fn sdt_message_taint_reaches_consumer() {
+        let (cluster, ns, broker) = stack(Mode::Dista, sdt_spec());
+        let producer = MqProducer::start(cluster.vm(2), ns.addr(), "TopicTest").unwrap();
+        let long_text = "rocketmq payload ".repeat(300);
+        let body = producer.create_message(&long_text);
+        producer.send("TopicTest", body).unwrap();
+
+        let consumer = MqConsumer::start(cluster.vm(2), ns.addr(), "TopicTest").unwrap();
+        let message = consumer.pull_blocking().unwrap();
+        assert_eq!(message.body.len(), long_text.len());
+        let tags = cluster.vm(2).store().tag_values(message.taint(cluster.vm(2)));
+        assert_eq!(tags.len(), 1);
+        assert!(tags[0].starts_with("mq_message_"), "got {tags:?}");
+        let report = cluster.vm(2).sink_report();
+        assert!(report
+            .at("DefaultMQPushConsumer.consumeMessage")
+            .iter()
+            .any(|e| e.is_tainted()));
+        producer.close();
+        consumer.close();
+        broker.shutdown();
+        ns.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn phosphor_drops_the_message_taint() {
+        let (cluster, ns, broker) = stack(Mode::Phosphor, sdt_spec());
+        let producer = MqProducer::start(cluster.vm(2), ns.addr(), "TopicTest").unwrap();
+        let body = producer.create_message("text");
+        assert!(!body.taint_union(cluster.vm(2).store()).is_empty());
+        producer.send("TopicTest", body).unwrap();
+        let consumer = MqConsumer::start(cluster.vm(2), ns.addr(), "TopicTest").unwrap();
+        let message = consumer.pull_blocking().unwrap();
+        assert!(message.taint(cluster.vm(2)).is_empty());
+        producer.close();
+        consumer.close();
+        broker.shutdown();
+        ns.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sim_broker_config_taint_reaches_nameserver_log() {
+        let mut spec = SourceSinkSpec::new();
+        spec.add_source(MethodDesc::new(FILE_INPUT_STREAM_CLASS, "read"))
+            .add_sink(MethodDesc::new(LOGGER_CLASS, "info"));
+        let (cluster, ns, broker) = stack(Mode::Dista, spec);
+        let report = cluster.vm(0).sink_report();
+        let events = report.at("LOG.info");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].tags.len(), 1);
+        assert!(events[0].tags[0].starts_with("conf/broker.conf#r"));
+        broker.shutdown();
+        ns.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pull_on_empty_topic_is_none() {
+        let (cluster, ns, broker) = stack(Mode::Dista, SourceSinkSpec::new());
+        let consumer = MqConsumer::start(cluster.vm(2), ns.addr(), "TopicTest").unwrap();
+        assert!(consumer.try_pull().unwrap().is_none());
+        consumer.close();
+        broker.shutdown();
+        ns.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unknown_topic_has_no_route() {
+        let (cluster, ns, broker) = stack(Mode::Dista, SourceSinkSpec::new());
+        assert!(matches!(
+            MqProducer::start(cluster.vm(2), ns.addr(), "NoSuchTopic"),
+            Err(JreError::Protocol(_))
+        ));
+        broker.shutdown();
+        ns.shutdown();
+        cluster.shutdown();
+    }
+}

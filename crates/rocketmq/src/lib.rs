@@ -1,0 +1,37 @@
+//! # dista-rocketmq — a mini RocketMQ on the Netty-like transport
+//!
+//! The paper's second message-middleware subject (Table III): "RocketMQ —
+//! TCP, UDP, HTTP(S) — Long text message distribution". RocketMQ's real
+//! remoting layer is built on Netty, so this reproduction runs on
+//! `dista-netty` — every hop (producer→nameserver, producer→broker,
+//! consumer→broker) crosses the instrumented NIO boundary.
+//!
+//! Roles:
+//! * [`NameServer`] — topic-route registry; brokers register, clients
+//!   look up routes.
+//! * [`BrokerServer`] — per-topic message store with send/pull RPCs.
+//! * [`MqProducer`] / [`MqConsumer`] — clients on their own nodes;
+//!   consumers use RocketMQ's pull model.
+//!
+//! Taint scenarios (Table IV):
+//! * **SDT** — source: the producer's `Message`
+//!   (`DefaultMQProducer.createMessage`); sink: the `MessageExt` received
+//!   on the consumer (`DefaultMQPushConsumer.consumeMessage`).
+//! * **SIM** — source: the broker's `conf/broker.conf` read; sink:
+//!   `LOG.info` on the nameserver (broker registration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod client;
+mod nameserver;
+
+pub use broker::{seed_config, BrokerServer};
+pub use client::{MessageExt, MqConsumer, MqProducer};
+pub use nameserver::NameServer;
+
+/// SDT source descriptor class.
+pub const PRODUCER_CLASS: &str = "DefaultMQProducer";
+/// SDT sink descriptor class.
+pub const CONSUMER_CLASS: &str = "DefaultMQPushConsumer";

@@ -1,0 +1,111 @@
+//! Node addresses on the simulated network.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4-style address + port identifying one endpoint on the
+/// simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeAddr {
+    ip: [u8; 4],
+    port: u16,
+}
+
+impl NodeAddr {
+    /// Creates an address.
+    pub fn new(ip: [u8; 4], port: u16) -> Self {
+        NodeAddr { ip, port }
+    }
+
+    /// The IP component.
+    pub fn ip(&self) -> [u8; 4] {
+        self.ip
+    }
+
+    /// The port component.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Same IP, different port.
+    pub fn with_port(self, port: u16) -> Self {
+        NodeAddr { ip: self.ip, port }
+    }
+}
+
+impl Default for NodeAddr {
+    fn default() -> Self {
+        NodeAddr::new([127, 0, 0, 1], 0)
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}:{}",
+            self.ip[0], self.ip[1], self.ip[2], self.ip[3], self.port
+        )
+    }
+}
+
+/// Error from [`NodeAddr::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddrError;
+
+impl fmt::Display for ParseAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid node address syntax (expected a.b.c.d:port)")
+    }
+}
+
+impl std::error::Error for ParseAddrError {}
+
+impl FromStr for NodeAddr {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (host, port) = s.rsplit_once(':').ok_or(ParseAddrError)?;
+        let port: u16 = port.parse().map_err(|_| ParseAddrError)?;
+        let mut ip = [0u8; 4];
+        let mut parts = host.split('.');
+        for slot in &mut ip {
+            *slot = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or(ParseAddrError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseAddrError);
+        }
+        Ok(NodeAddr::new(ip, port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = NodeAddr::new([10, 1, 2, 3], 8080);
+        assert_eq!(a.to_string(), "10.1.2.3:8080");
+        assert_eq!("10.1.2.3:8080".parse::<NodeAddr>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("nope".parse::<NodeAddr>().is_err());
+        assert!("1.2.3:80".parse::<NodeAddr>().is_err());
+        assert!("1.2.3.4.5:80".parse::<NodeAddr>().is_err());
+        assert!("1.2.3.4:notaport".parse::<NodeAddr>().is_err());
+    }
+
+    #[test]
+    fn with_port_changes_only_port() {
+        let a = NodeAddr::new([1, 2, 3, 4], 1);
+        let b = a.with_port(99);
+        assert_eq!(b.ip(), [1, 2, 3, 4]);
+        assert_eq!(b.port(), 99);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for simulated network operations.
+
+use std::fmt;
+
+use crate::addr::NodeAddr;
+
+/// Errors surfaced by the simulated OS network layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Bind target already has a listener/mailbox.
+    AddrInUse(NodeAddr),
+    /// No listener at the connect target.
+    ConnectionRefused(NodeAddr),
+    /// The peer closed the connection and all buffered data is consumed.
+    Closed,
+    /// A blocking operation exceeded the simulator's safety timeout —
+    /// almost always a protocol deadlock in the code under test.
+    TimedOut,
+    /// Operation on an address that is not bound.
+    NotBound(NodeAddr),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::AddrInUse(a) => write!(f, "address already in use: {a}"),
+            NetError::ConnectionRefused(a) => write!(f, "connection refused: {a}"),
+            NetError::Closed => f.write_str("connection closed by peer"),
+            NetError::TimedOut => f.write_str("simulated i/o timed out (likely deadlock)"),
+            NetError::NotBound(a) => write!(f, "address not bound: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let a = NodeAddr::new([10, 0, 0, 1], 80);
+        assert!(NetError::AddrInUse(a).to_string().contains("10.0.0.1:80"));
+        assert!(NetError::Closed.to_string().contains("closed"));
+        assert!(NetError::TimedOut.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-node in-memory file system.
+//!
+//! The SIM (system input/output monitor) scenarios of the paper taint
+//! "data input functions, e.g., reading from a configuration file"
+//! (§V-B). Each simulated node owns a `SimFs` holding its configuration
+//! and transaction-log files; the instrumented file-read API in
+//! `dista-jre` marks returned bytes as tainted when file reads are
+//! registered as source points.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Error returned for operations on missing files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileNotFound(pub String);
+
+impl fmt::Display for FileNotFound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file not found: {}", self.0)
+    }
+}
+
+impl std::error::Error for FileNotFound {}
+
+/// An in-memory file system for one simulated node.
+///
+/// # Example
+///
+/// ```rust
+/// use dista_simnet::SimFs;
+///
+/// let fs = SimFs::new();
+/// fs.write("conf/zoo.cfg", b"tickTime=2000".to_vec());
+/// assert_eq!(fs.read("conf/zoo.cfg")?, b"tickTime=2000".to_vec());
+/// # Ok::<(), dista_simnet::SimFsError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimFs {
+    files: Arc<RwLock<BTreeMap<String, Vec<u8>>>>,
+}
+
+/// Alias used in doc examples.
+pub type SimFsError = FileNotFound;
+
+impl SimFs {
+    /// Creates an empty file system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates or replaces a file.
+    pub fn write(&self, path: impl Into<String>, contents: Vec<u8>) {
+        self.files.write().insert(path.into(), contents);
+    }
+
+    /// Appends to a file, creating it if absent.
+    pub fn append(&self, path: impl Into<String>, contents: &[u8]) {
+        self.files
+            .write()
+            .entry(path.into())
+            .or_default()
+            .extend_from_slice(contents);
+    }
+
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    ///
+    /// [`FileNotFound`] if the path does not exist.
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, FileNotFound> {
+        self.files
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| FileNotFound(path.to_string()))
+    }
+
+    /// Whether the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// Deletes a file; returns whether it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.files.write().remove(path).is_some()
+    }
+
+    /// Paths under a prefix, sorted (directory-listing stand-in).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Whether the file system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fs = SimFs::new();
+        fs.write("a.txt", b"hello".to_vec());
+        assert_eq!(fs.read("a.txt").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn read_missing_errors() {
+        let fs = SimFs::new();
+        let err = fs.read("nope").unwrap_err();
+        assert_eq!(err, FileNotFound("nope".into()));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let fs = SimFs::new();
+        fs.append("log", b"ab");
+        fs.append("log", b"cd");
+        assert_eq!(fs.read("log").unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let fs = SimFs::new();
+        fs.write("logs/2", vec![]);
+        fs.write("logs/1", vec![]);
+        fs.write("conf/x", vec![]);
+        assert_eq!(fs.list("logs/"), vec!["logs/1", "logs/2"]);
+        assert_eq!(fs.list(""), vec!["conf/x", "logs/1", "logs/2"]);
+    }
+
+    #[test]
+    fn remove_and_exists() {
+        let fs = SimFs::new();
+        fs.write("f", vec![1]);
+        assert!(fs.exists("f"));
+        assert!(fs.remove("f"));
+        assert!(!fs.exists("f"));
+        assert!(!fs.remove("f"));
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let fs = SimFs::new();
+        let clone = fs.clone();
+        clone.write("shared", vec![9]);
+        assert_eq!(fs.len(), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! # dista-simnet — the simulated operating system under DisTA
+//!
+//! DisTA instruments the JNI boundary: "network communication in
+//! Java-based distributed systems utilizes JNI to bridge Java APIs and the
+//! underlying operating system" (§I). This crate *is* that underlying
+//! operating system for the reproduction: an in-memory, multi-threaded
+//! network + file-system simulator whose entire API is **taint-oblivious**
+//! — every function moves `&[u8]`, never shadow data. Anything the
+//! instrumented wrappers above (crates `dista-jre` / `dista-core`) do not
+//! explicitly re-encode into those bytes is lost at this boundary, exactly
+//! as taints are lost inside native code on a real JVM.
+//!
+//! Provided subsystems:
+//!
+//! * [`SimNet`] — TCP-like reliable duplex byte streams (with genuine
+//!   partial-read semantics) and UDP-like datagram mailboxes (with
+//!   truncation and optional drops).
+//! * [`native`] — the "JNI surface": free functions named after the JNI
+//!   methods DisTA instruments (`socket_write0`, `socket_read0`,
+//!   `datagram_send`, …).
+//! * [`SimFs`] — a per-node in-memory file system (taint sources in the
+//!   SIM scenarios read configuration/transaction files from here).
+//! * [`NetMetrics`] — byte accounting used by the ≈5× network-overhead
+//!   experiment.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dista_simnet::{SimNet, NodeAddr};
+//!
+//! let net = SimNet::new();
+//! let server = net.tcp_listen(NodeAddr::new([10, 0, 0, 1], 2181))?;
+//! let client = net.tcp_connect(NodeAddr::new([10, 0, 0, 1], 2181))?;
+//! let served = server.accept()?;
+//! client.write(b"ruok")?;
+//! let mut buf = [0u8; 16];
+//! let n = served.read(&mut buf)?;
+//! assert_eq!(&buf[..n], b"ruok");
+//! # Ok::<(), dista_simnet::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod error;
+mod fs;
+mod metrics;
+pub mod native;
+mod net;
+mod tcp;
+mod udp;
+
+pub use addr::NodeAddr;
+pub use error::NetError;
+pub use fs::{FileNotFound, SimFs, SimFsError};
+pub use metrics::{MetricsSnapshot, NetMetrics};
+pub use net::{FaultConfig, SimNet};
+pub use tcp::{TcpEndpoint, TcpListener};
+pub use udp::UdpEndpoint;

@@ -1,0 +1,134 @@
+//! Byte accounting for the network-overhead experiments.
+//!
+//! The paper asserts (§V-F) that DisTA's wire format — one 4-byte Global
+//! ID after every data byte — costs about 5× network bandwidth. The
+//! simulator counts every byte that crosses the "OS", so the claim can be
+//! measured rather than assumed: run the same workload with and without
+//! instrumentation and compare [`MetricsSnapshot::total_bytes`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe counters for one simulated network.
+#[derive(Debug, Clone, Default)]
+pub struct NetMetrics {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    tcp_bytes: AtomicU64,
+    udp_bytes: AtomicU64,
+    tcp_connections: AtomicU64,
+    udp_datagrams: AtomicU64,
+    udp_dropped: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_tcp_bytes(&self, n: usize) {
+        self.inner.tcp_bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Rolls back an optimistic count when the write failed.
+    pub(crate) fn record_tcp_bytes_undo(&self, n: usize) {
+        self.inner.tcp_bytes.fetch_sub(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_udp_datagram(&self, n: usize) {
+        self.inner.udp_bytes.fetch_add(n as u64, Ordering::Relaxed);
+        self.inner.udp_datagrams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_udp_drop(&self) {
+        self.inner.udp_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_tcp_connection(&self) {
+        self.inner.tcp_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tcp_bytes: self.inner.tcp_bytes.load(Ordering::Relaxed),
+            udp_bytes: self.inner.udp_bytes.load(Ordering::Relaxed),
+            tcp_connections: self.inner.tcp_connections.load(Ordering::Relaxed),
+            udp_datagrams: self.inner.udp_datagrams.load(Ordering::Relaxed),
+            udp_dropped: self.inner.udp_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters (between benchmark phases).
+    pub fn reset(&self) {
+        self.inner.tcp_bytes.store(0, Ordering::Relaxed);
+        self.inner.udp_bytes.store(0, Ordering::Relaxed);
+        self.inner.tcp_connections.store(0, Ordering::Relaxed);
+        self.inner.udp_datagrams.store(0, Ordering::Relaxed);
+        self.inner.udp_dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of the network counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Bytes written into TCP streams.
+    pub tcp_bytes: u64,
+    /// Bytes carried by delivered UDP datagrams.
+    pub udp_bytes: u64,
+    /// TCP connections established.
+    pub tcp_connections: u64,
+    /// UDP datagrams delivered.
+    pub udp_datagrams: u64,
+    /// UDP datagrams dropped by fault injection.
+    pub udp_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// All payload bytes that crossed the simulated wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.tcp_bytes + self.udp_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = NetMetrics::new();
+        m.record_tcp_bytes(10);
+        m.record_tcp_bytes(5);
+        m.record_udp_datagram(8);
+        m.record_udp_drop();
+        m.record_tcp_connection();
+        let s = m.snapshot();
+        assert_eq!(s.tcp_bytes, 15);
+        assert_eq!(s.udp_bytes, 8);
+        assert_eq!(s.udp_datagrams, 1);
+        assert_eq!(s.udp_dropped, 1);
+        assert_eq!(s.tcp_connections, 1);
+        assert_eq!(s.total_bytes(), 23);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = NetMetrics::new();
+        m.record_tcp_bytes(10);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let m = NetMetrics::new();
+        let c = m.clone();
+        c.record_udp_datagram(3);
+        assert_eq!(m.snapshot().udp_bytes, 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! The "JNI surface" — taint-oblivious native I/O entry points.
+//!
+//! On a real JVM, every network-communication method in the JRE bottoms
+//! out in a handful of JNI methods (`socketWrite0`, `socketRead0`, …)
+//! whose C implementations call the OS. Phosphor's bytecode rewriting
+//! cannot see inside them, so taints die there (paper §II-C). These free
+//! functions are this reproduction's equivalent boundary: they move raw
+//! bytes only, and their *names* mirror the JNI methods DisTA instruments
+//! (Table I) so the wrapper layer in `dista-jre`/`dista-core` reads like
+//! the paper.
+//!
+//! Nothing in this module knows the word "taint" — that is the point.
+
+use crate::addr::NodeAddr;
+use crate::error::NetError;
+use crate::tcp::TcpEndpoint;
+use crate::udp::UdpEndpoint;
+
+/// `SocketOutputStream.socketWrite0` — Type 1 (stream-oriented) JNI write.
+///
+/// # Errors
+///
+/// Propagates [`NetError::Closed`] from the endpoint.
+pub fn socket_write0(socket: &TcpEndpoint, buf: &[u8]) -> Result<(), NetError> {
+    socket.write(buf)
+}
+
+/// `SocketInputStream.socketRead0` — Type 1 (stream-oriented) JNI read.
+///
+/// Blocks for ≥1 byte; returns 0 on EOF.
+///
+/// # Errors
+///
+/// Propagates endpoint errors such as [`NetError::TimedOut`].
+pub fn socket_read0(socket: &TcpEndpoint, buf: &mut [u8]) -> Result<usize, NetError> {
+    socket.read(buf)
+}
+
+/// `PlainDatagramSocketImpl.send` — Type 2 (packet-oriented) JNI send.
+pub fn datagram_send(socket: &UdpEndpoint, dest: NodeAddr, buf: &[u8]) {
+    socket.send_to(dest, buf)
+}
+
+/// `PlainDatagramSocketImpl.receive0` — Type 2 (packet-oriented) JNI
+/// receive. Copies at most `buf.len()` bytes (datagram truncation).
+///
+/// # Errors
+///
+/// Propagates endpoint errors.
+pub fn datagram_receive0(
+    socket: &UdpEndpoint,
+    buf: &mut [u8],
+) -> Result<(usize, NodeAddr), NetError> {
+    socket.receive(buf)
+}
+
+/// `FileDispatcherImpl.write0` — Type 3 JNI write used by NIO/AIO socket
+/// channels on Linux (`SocketDispatcher` extends `FileDispatcherImpl`).
+///
+/// # Errors
+///
+/// Propagates [`NetError::Closed`].
+pub fn dispatcher_write0(socket: &TcpEndpoint, buf: &[u8]) -> Result<usize, NetError> {
+    socket.write(buf)?;
+    Ok(buf.len())
+}
+
+/// `FileDispatcherImpl.read0` — Type 3 JNI read used by NIO/AIO socket
+/// channels.
+///
+/// # Errors
+///
+/// Propagates endpoint errors.
+pub fn dispatcher_read0(socket: &TcpEndpoint, buf: &mut [u8]) -> Result<usize, NetError> {
+    socket.read(buf)
+}
+
+/// `FileDispatcherImpl.writev0` — vectored variant of
+/// [`dispatcher_write0`]; writes the buffers in order.
+///
+/// # Errors
+///
+/// Propagates [`NetError::Closed`].
+pub fn dispatcher_writev0(socket: &TcpEndpoint, bufs: &[&[u8]]) -> Result<usize, NetError> {
+    let mut total = 0;
+    for buf in bufs {
+        socket.write(buf)?;
+        total += buf.len();
+    }
+    Ok(total)
+}
+
+/// `DatagramDispatcher.write0` — Type 3 JNI datagram-channel send.
+pub fn datagram_dispatcher_write0(socket: &UdpEndpoint, dest: NodeAddr, buf: &[u8]) {
+    socket.send_to(dest, buf)
+}
+
+/// `DatagramDispatcher.read0` — Type 3 JNI datagram-channel receive.
+///
+/// # Errors
+///
+/// Propagates endpoint errors.
+pub fn datagram_dispatcher_read0(
+    socket: &UdpEndpoint,
+    buf: &mut [u8],
+) -> Result<(usize, NodeAddr), NetError> {
+    socket.receive(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::SimNet;
+
+    #[test]
+    fn stream_jni_roundtrip() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 1000);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        socket_write0(&c, b"vote").unwrap();
+        let mut buf = [0u8; 8];
+        let n = socket_read0(&s, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"vote");
+    }
+
+    #[test]
+    fn packet_jni_roundtrip() {
+        let net = SimNet::new();
+        let a = net.udp_bind(NodeAddr::new([10, 0, 0, 1], 1)).unwrap();
+        let b = net.udp_bind(NodeAddr::new([10, 0, 0, 2], 1)).unwrap();
+        datagram_send(&a, b.local_addr(), b"dgram");
+        let mut buf = [0u8; 8];
+        let (n, from) = datagram_receive0(&b, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"dgram");
+        assert_eq!(from, a.local_addr());
+    }
+
+    #[test]
+    fn vectored_write_concatenates() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 1001);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        let n = dispatcher_writev0(&c, &[b"ab", b"cd", b"ef"]).unwrap();
+        assert_eq!(n, 6);
+        let mut buf = [0u8; 6];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+}

@@ -1,0 +1,383 @@
+//! TCP-like reliable duplex byte streams.
+//!
+//! Streams have *genuine* stream semantics: writes are concatenated into
+//! one byte sequence and reads return an arbitrary prefix of the buffered
+//! bytes — at most the caller's buffer, at most what is buffered, and at
+//! most the fault-injected chunk limit. This is what makes the paper's
+//! "mismatched serialized taint length" problem (§III-D-2) real in the
+//! simulator: a receiver genuinely can get half of a DisTA wire record
+//! and must carry the remainder to the next read.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::addr::NodeAddr;
+use crate::error::NetError;
+use crate::metrics::NetMetrics;
+use crate::net::FaultsShared;
+
+/// Safety timeout for blocking operations — long enough for any real
+/// workload in this repo, short enough to fail fast on deadlocks.
+const BLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+/// One direction of a connection: a byte queue with blocking reads.
+#[derive(Debug, Default)]
+pub(crate) struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+impl Pipe {
+    fn write(&self, bytes: &[u8]) -> Result<(), NetError> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(NetError::Closed);
+        }
+        st.buf.extend(bytes);
+        drop(st);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    /// Blocking read of 1..=max bytes; `Ok(0)` only on clean EOF.
+    fn read(&self, out: &mut [u8], max_chunk: usize) -> Result<usize, NetError> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.state.lock();
+        while st.buf.is_empty() {
+            if st.closed {
+                return Ok(0); // EOF
+            }
+            if self
+                .readable
+                .wait_for(&mut st, BLOCK_TIMEOUT)
+                .timed_out()
+            {
+                return Err(NetError::TimedOut);
+            }
+        }
+        let n = out.len().min(st.buf.len()).min(max_chunk.max(1));
+        let (front, back) = st.buf.as_slices();
+        if n <= front.len() {
+            out[..n].copy_from_slice(&front[..n]);
+        } else {
+            out[..front.len()].copy_from_slice(front);
+            out[front.len()..n].copy_from_slice(&back[..n - front.len()]);
+        }
+        st.buf.drain(..n);
+        Ok(n)
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.readable.notify_all();
+    }
+
+    fn buffered(&self) -> usize {
+        self.state.lock().buf.len()
+    }
+}
+
+/// One end of an established TCP-like connection.
+///
+/// Dropping the endpoint closes both directions (half-close is not
+/// modeled; none of the reproduced systems need it).
+#[derive(Debug, Clone)]
+pub struct TcpEndpoint {
+    inner: Arc<EndpointInner>,
+}
+
+#[derive(Debug)]
+struct EndpointInner {
+    local: NodeAddr,
+    peer: NodeAddr,
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    metrics: NetMetrics,
+    faults: FaultsShared,
+    closed: AtomicBool,
+}
+
+impl TcpEndpoint {
+    pub(crate) fn pair(
+        a_addr: NodeAddr,
+        b_addr: NodeAddr,
+        metrics: NetMetrics,
+        faults: FaultsShared,
+    ) -> (TcpEndpoint, TcpEndpoint) {
+        let ab = Arc::new(Pipe::default());
+        let ba = Arc::new(Pipe::default());
+        let a = TcpEndpoint {
+            inner: Arc::new(EndpointInner {
+                local: a_addr,
+                peer: b_addr,
+                rx: ba.clone(),
+                tx: ab.clone(),
+                metrics: metrics.clone(),
+                faults: faults.clone(),
+                closed: AtomicBool::new(false),
+            }),
+        };
+        let b = TcpEndpoint {
+            inner: Arc::new(EndpointInner {
+                local: b_addr,
+                peer: a_addr,
+                rx: ab,
+                tx: ba,
+                metrics,
+                faults,
+                closed: AtomicBool::new(false),
+            }),
+        };
+        (a, b)
+    }
+
+    /// Local address of this end.
+    pub fn local_addr(&self) -> NodeAddr {
+        self.inner.local
+    }
+
+    /// Address of the peer.
+    pub fn peer_addr(&self) -> NodeAddr {
+        self.inner.peer
+    }
+
+    /// Writes all bytes to the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if either side has closed the connection.
+    pub fn write(&self, bytes: &[u8]) -> Result<(), NetError> {
+        if self.inner.closed.load(Ordering::Relaxed) {
+            return Err(NetError::Closed);
+        }
+        self.inner.faults.charge_wire_time(bytes.len());
+        // Count before the bytes become readable: observers who woke up
+        // on this write must already see it in the metrics.
+        self.inner.metrics.record_tcp_bytes(bytes.len());
+        match self.inner.tx.write(bytes) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.inner.metrics.record_tcp_bytes_undo(bytes.len());
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads into `buf`, blocking until ≥1 byte is available.
+    ///
+    /// Returns the number of bytes read; `Ok(0)` means EOF (peer closed
+    /// and the buffer is drained). The read may return fewer bytes than
+    /// both `buf.len()` and the amount buffered — real TCP semantics,
+    /// further constrained by [`crate::FaultConfig::max_read_chunk`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TimedOut`] if no data arrives within the simulator's
+    /// safety timeout.
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize, NetError> {
+        let chunk = self.inner.faults.max_read_chunk();
+        self.inner.rx.read(buf, chunk)
+    }
+
+    /// Reads exactly `buf.len()` bytes, looping over partial reads.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] on EOF before the buffer is full;
+    /// [`NetError::TimedOut`] on stall.
+    pub fn read_exact(&self, buf: &mut [u8]) -> Result<(), NetError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read(&mut buf[filled..])?;
+            if n == 0 {
+                return Err(NetError::Closed);
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+
+    /// Bytes currently buffered for reading.
+    pub fn available(&self) -> usize {
+        self.inner.rx.buffered()
+    }
+
+    /// Closes both directions.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Relaxed);
+        self.inner.tx.close();
+        self.inner.rx.close();
+    }
+}
+
+impl Drop for EndpointInner {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+/// A listening socket; yields one [`TcpEndpoint`] per accepted connection.
+#[derive(Debug)]
+pub struct TcpListener {
+    addr: NodeAddr,
+    incoming: Receiver<TcpEndpoint>,
+}
+
+impl TcpListener {
+    pub(crate) fn new(addr: NodeAddr) -> (TcpListener, Sender<TcpEndpoint>) {
+        let (tx, rx) = unbounded();
+        (
+            TcpListener {
+                addr,
+                incoming: rx,
+            },
+            tx,
+        )
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Blocks until a client connects.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TimedOut`] if nothing connects within the safety
+    /// timeout; [`NetError::Closed`] if the network shut down.
+    pub fn accept(&self) -> Result<TcpEndpoint, NetError> {
+        match self.incoming.recv_timeout(BLOCK_TIMEOUT) {
+            Ok(ep) => Ok(ep),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::TimedOut),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    /// Non-blocking accept.
+    pub fn try_accept(&self) -> Option<TcpEndpoint> {
+        self.incoming.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::SimNet;
+
+    fn pair() -> (TcpEndpoint, TcpEndpoint) {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 80);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        (c, s)
+    }
+
+    #[test]
+    fn bytes_flow_both_ways() {
+        let (c, s) = pair();
+        c.write(b"ping").unwrap();
+        let mut buf = [0u8; 8];
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        s.write(b"pong").unwrap();
+        let n = c.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"pong");
+    }
+
+    #[test]
+    fn writes_concatenate_as_stream() {
+        let (c, s) = pair();
+        c.write(b"ab").unwrap();
+        c.write(b"cd").unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+    }
+
+    #[test]
+    fn read_returns_at_most_buf_len() {
+        let (c, s) = pair();
+        c.write(b"0123456789").unwrap();
+        let mut buf = [0u8; 3];
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(&buf, b"012");
+        assert_eq!(s.available(), 7);
+    }
+
+    #[test]
+    fn eof_after_close() {
+        let (c, s) = pair();
+        c.write(b"x").unwrap();
+        c.close();
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(&mut buf).unwrap(), 1);
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "EOF after drain");
+        assert_eq!(s.write(b"y"), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn read_exact_errors_on_short_stream() {
+        let (c, s) = pair();
+        c.write(b"ab").unwrap();
+        c.close();
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read_exact(&mut buf), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_write() {
+        let (c, s) = pair();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            let n = s.read(&mut buf).unwrap();
+            buf[..n].to_vec()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        c.write(b"late").unwrap();
+        assert_eq!(t.join().unwrap(), b"late");
+    }
+
+    #[test]
+    fn empty_read_buffer_is_noop() {
+        let (c, s) = pair();
+        c.write(b"x").unwrap();
+        let mut empty: [u8; 0] = [];
+        assert_eq!(s.read(&mut empty).unwrap(), 0);
+        assert_eq!(s.available(), 1);
+    }
+
+    #[test]
+    fn partial_read_fault_limits_chunks() {
+        let net = SimNet::new();
+        net.set_faults(crate::FaultConfig {
+            max_read_chunk: 2,
+            ..Default::default()
+        });
+        let addr = NodeAddr::new([10, 0, 0, 1], 81);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        c.write(b"abcdef").unwrap();
+        let mut buf = [0u8; 6];
+        assert_eq!(s.read(&mut buf).unwrap(), 2, "chunk limit applies");
+        s.read_exact(&mut buf[2..]).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+}

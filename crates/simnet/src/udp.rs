@@ -1,0 +1,219 @@
+//! UDP-like datagram mailboxes.
+//!
+//! Datagrams preserve message boundaries and are **truncated** when the
+//! receiver's buffer is smaller than the datagram — the exact behaviour
+//! that forces DisTA's packet-oriented instrumentation to enlarge receive
+//! buffers (paper §III-C Type 2, §III-D-2). Fault injection can also drop
+//! datagrams with a seeded probability.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::addr::NodeAddr;
+use crate::error::NetError;
+use crate::metrics::NetMetrics;
+use crate::net::FaultsShared;
+
+const BLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Debug, Default)]
+pub(crate) struct Mailbox {
+    state: Mutex<MailboxState>,
+    readable: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct MailboxState {
+    queue: VecDeque<(NodeAddr, Vec<u8>)>,
+    closed: bool,
+}
+
+impl Mailbox {
+    pub(crate) fn deliver(&self, from: NodeAddr, datagram: Vec<u8>) {
+        let mut st = self.state.lock();
+        if st.closed {
+            return;
+        }
+        st.queue.push_back((from, datagram));
+        drop(st);
+        self.readable.notify_all();
+    }
+
+    fn receive(&self, out: &mut [u8]) -> Result<(usize, NodeAddr), NetError> {
+        let mut st = self.state.lock();
+        while st.queue.is_empty() {
+            if st.closed {
+                return Err(NetError::Closed);
+            }
+            if self.readable.wait_for(&mut st, BLOCK_TIMEOUT).timed_out() {
+                return Err(NetError::TimedOut);
+            }
+        }
+        let (from, datagram) = st.queue.pop_front().expect("queue length checked");
+        let n = out.len().min(datagram.len()); // truncation: excess is lost
+        out[..n].copy_from_slice(&datagram[..n]);
+        Ok((n, from))
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// A bound UDP-like socket.
+#[derive(Debug, Clone)]
+pub struct UdpEndpoint {
+    inner: Arc<UdpInner>,
+}
+
+#[derive(Debug)]
+struct UdpInner {
+    addr: NodeAddr,
+    mailbox: Arc<Mailbox>,
+    net: crate::net::SimNet,
+    metrics: NetMetrics,
+    faults: FaultsShared,
+}
+
+impl UdpEndpoint {
+    pub(crate) fn new(
+        addr: NodeAddr,
+        mailbox: Arc<Mailbox>,
+        net: crate::net::SimNet,
+        metrics: NetMetrics,
+        faults: FaultsShared,
+    ) -> Self {
+        UdpEndpoint {
+            inner: Arc::new(UdpInner {
+                addr,
+                mailbox,
+                net,
+                metrics,
+                faults,
+            }),
+        }
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> NodeAddr {
+        self.inner.addr
+    }
+
+    /// Sends one datagram to `dest`. Silently dropped (like real UDP) if
+    /// nothing is bound there or fault injection discards it.
+    pub fn send_to(&self, dest: NodeAddr, datagram: &[u8]) {
+        if self.inner.faults.should_drop_udp() {
+            self.inner.metrics.record_udp_drop();
+            return;
+        }
+        self.inner.faults.charge_wire_time(datagram.len());
+        if self
+            .inner
+            .net
+            .deliver_datagram(self.inner.addr, dest, datagram)
+        {
+            self.inner.metrics.record_udp_datagram(datagram.len());
+        }
+    }
+
+    /// Blocks for the next datagram; copies at most `buf.len()` bytes
+    /// (the rest of the datagram is **discarded** — UDP truncation).
+    ///
+    /// Returns `(bytes_copied, sender)`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TimedOut`] if no datagram arrives in time,
+    /// [`NetError::Closed`] if the socket was closed.
+    pub fn receive(&self, buf: &mut [u8]) -> Result<(usize, NodeAddr), NetError> {
+        self.inner.mailbox.receive(buf)
+    }
+
+    /// Closes the socket and unbinds the address.
+    pub fn close(&self) {
+        self.inner.mailbox.close();
+        self.inner.net.unbind_udp(self.inner.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{FaultConfig, SimNet};
+
+    fn two() -> (UdpEndpoint, UdpEndpoint) {
+        let net = SimNet::new();
+        let a = net.udp_bind(NodeAddr::new([10, 0, 0, 1], 53)).unwrap();
+        let b = net.udp_bind(NodeAddr::new([10, 0, 0, 2], 53)).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn datagram_roundtrip() {
+        let (a, b) = two();
+        a.send_to(b.local_addr(), b"hello");
+        let mut buf = [0u8; 16];
+        let (n, from) = b.receive(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+        assert_eq!(from, a.local_addr());
+    }
+
+    #[test]
+    fn message_boundaries_preserved() {
+        let (a, b) = two();
+        a.send_to(b.local_addr(), b"one");
+        a.send_to(b.local_addr(), b"twotwo");
+        let mut buf = [0u8; 16];
+        let (n, _) = b.receive(&mut buf).unwrap();
+        assert_eq!(n, 3);
+        let (n, _) = b.receive(&mut buf).unwrap();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn truncation_discards_excess() {
+        let (a, b) = two();
+        a.send_to(b.local_addr(), b"0123456789");
+        let mut small = [0u8; 4];
+        let (n, _) = b.receive(&mut small).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(&small, b"0123");
+        // The truncated tail is gone; next receive would block.
+        a.send_to(b.local_addr(), b"next");
+        let (n, _) = b.receive(&mut small).unwrap();
+        assert_eq!(&small[..n], b"next");
+    }
+
+    #[test]
+    fn send_to_unbound_is_silent() {
+        let (a, _) = two();
+        a.send_to(NodeAddr::new([9, 9, 9, 9], 1), b"void"); // must not panic
+    }
+
+    #[test]
+    fn drop_faults_lose_datagrams() {
+        let net = SimNet::new();
+        net.set_faults(FaultConfig {
+            udp_drop_probability: 1.0,
+            ..Default::default()
+        });
+        let a = net.udp_bind(NodeAddr::new([10, 0, 0, 1], 1)).unwrap();
+        let b = net.udp_bind(NodeAddr::new([10, 0, 0, 2], 1)).unwrap();
+        a.send_to(b.local_addr(), b"lost");
+        assert_eq!(net.metrics().snapshot().udp_dropped, 1);
+        assert_eq!(net.metrics().snapshot().udp_datagrams, 0);
+    }
+
+    #[test]
+    fn close_unbinds() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 7);
+        let a = net.udp_bind(addr).unwrap();
+        a.close();
+        assert!(net.udp_bind(addr).is_ok(), "address reusable after close");
+    }
+}

@@ -1,0 +1,199 @@
+//! Sink-point recording (paper §V-D).
+//!
+//! The evaluation checks "at sink points if any taint is dropped or
+//! appears unexpectedly". [`SinkRecorder`] is the per-VM component that
+//! records every sink invocation together with the tag sets observed, so
+//! tests and benches can assert exact soundness (no expected tag missing)
+//! and precision (no unexpected tag present).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::store::TaintStore;
+use crate::tree::Taint;
+
+/// One observed sink invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkEvent {
+    /// `Class.method` of the sink point.
+    pub sink: String,
+    /// Rendered tag values present on the checked data, sorted.
+    pub tags: Vec<String>,
+    /// The raw taint handle (valid in the recording VM's tree).
+    pub taint: Taint,
+}
+
+impl SinkEvent {
+    /// Whether the checked data carried any taint.
+    pub fn is_tainted(&self) -> bool {
+        !self.tags.is_empty()
+    }
+}
+
+/// Aggregated view of everything a VM's sinks observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SinkReport {
+    /// All events in invocation order.
+    pub events: Vec<SinkEvent>,
+}
+
+impl SinkReport {
+    /// Events at a particular sink point.
+    pub fn at(&self, sink: &str) -> Vec<&SinkEvent> {
+        self.events.iter().filter(|e| e.sink == sink).collect()
+    }
+
+    /// Distinct tag values observed anywhere, sorted.
+    pub fn observed_tags(&self) -> Vec<String> {
+        let mut tags: Vec<String> = self
+            .events
+            .iter()
+            .flat_map(|e| e.tags.iter().cloned())
+            .collect();
+        tags.sort();
+        tags.dedup();
+        tags
+    }
+
+    /// True if some event observed exactly this tag set (sorted compare).
+    pub fn saw_exactly(&self, sink: &str, mut expected: Vec<String>) -> bool {
+        expected.sort();
+        self.at(sink).iter().any(|e| {
+            let mut got = e.tags.clone();
+            got.sort();
+            got == expected
+        })
+    }
+
+    /// Number of tainted events (events whose data carried ≥1 tag).
+    pub fn tainted_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_tainted()).count()
+    }
+}
+
+/// Thread-safe per-VM sink recorder.
+///
+/// # Example
+///
+/// ```rust
+/// use dista_taint::{TaintStore, LocalId, TagValue, SinkRecorder};
+///
+/// let store = TaintStore::new(LocalId::default());
+/// let recorder = SinkRecorder::new();
+/// let t = store.mint_source_taint(TagValue::str("secret"));
+/// recorder.check("Logger.info", t, &store);
+/// let report = recorder.report();
+/// assert_eq!(report.events.len(), 1);
+/// assert_eq!(report.events[0].tags, vec!["secret".to_string()]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SinkRecorder {
+    events: Arc<Mutex<Vec<SinkEvent>>>,
+}
+
+impl SinkRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sink invocation that checked data with taint `taint`.
+    ///
+    /// Returns `true` if the data was tainted (useful for inline asserts).
+    pub fn check(&self, sink: &str, taint: Taint, store: &TaintStore) -> bool {
+        let tags = store.tag_values(taint);
+        let tainted = !tags.is_empty();
+        self.events.lock().push(SinkEvent {
+            sink: sink.to_string(),
+            tags,
+            taint,
+        });
+        tainted
+    }
+
+    /// Snapshot of all events so far.
+    pub fn report(&self) -> SinkReport {
+        SinkReport {
+            events: self.events.lock().clone(),
+        }
+    }
+
+    /// Clears recorded events (between benchmark iterations).
+    pub fn reset(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::{LocalId, TagValue};
+
+    #[test]
+    fn records_in_order() {
+        let store = TaintStore::new(LocalId::default());
+        let rec = SinkRecorder::new();
+        let a = store.mint_source_taint(TagValue::str("a"));
+        rec.check("S.one", a, &store);
+        rec.check("S.two", Taint::EMPTY, &store);
+        let report = rec.report();
+        assert_eq!(report.events.len(), 2);
+        assert!(report.events[0].is_tainted());
+        assert!(!report.events[1].is_tainted());
+        assert_eq!(report.tainted_count(), 1);
+    }
+
+    #[test]
+    fn saw_exactly_matches_tag_sets() {
+        let store = TaintStore::new(LocalId::default());
+        let rec = SinkRecorder::new();
+        let a = store.mint_source_taint(TagValue::str("a"));
+        let b = store.mint_source_taint(TagValue::str("b"));
+        rec.check("check", store.union(a, b), &store);
+        let report = rec.report();
+        assert!(report.saw_exactly("check", vec!["b".into(), "a".into()]));
+        assert!(!report.saw_exactly("check", vec!["a".into()]));
+        assert!(!report.saw_exactly("other", vec!["a".into()]));
+    }
+
+    #[test]
+    fn observed_tags_dedup() {
+        let store = TaintStore::new(LocalId::default());
+        let rec = SinkRecorder::new();
+        let a = store.mint_source_taint(TagValue::str("a"));
+        rec.check("s", a, &store);
+        rec.check("s", a, &store);
+        assert_eq!(rec.report().observed_tags(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let store = TaintStore::new(LocalId::default());
+        let rec = SinkRecorder::new();
+        rec.check("s", Taint::EMPTY, &store);
+        assert!(!rec.is_empty());
+        rec.reset();
+        assert!(rec.is_empty());
+        assert_eq!(rec.len(), 0);
+    }
+
+    #[test]
+    fn clones_share_event_log() {
+        let store = TaintStore::new(LocalId::default());
+        let rec = SinkRecorder::new();
+        let clone = rec.clone();
+        clone.check("s", Taint::EMPTY, &store);
+        assert_eq!(rec.len(), 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! Taint serialization — the wire form a taint takes when it is shipped
+//! to the Taint Map (paper §III-D-2).
+//!
+//! The paper observes that "a serialized taint with one tag can be over
+//! 200 bytes" (Java serialization is verbose: class descriptors, field
+//! tables, object headers) and that length grows linearly with the tag
+//! count. This codec reproduces those size characteristics — a
+//! self-describing header, per-tag class/field metadata and an object
+//! header pad — so the bandwidth experiments (claim C1/C2 in DESIGN.md)
+//! measure realistic byte counts.
+
+use std::fmt;
+
+use crate::store::TaintStore;
+use crate::tag::{GlobalId, LocalId, TagValue};
+use crate::tree::{Taint, TaintTree};
+
+const MAGIC: [u8; 4] = [0xAC, 0xED, 0xD1, 0x5A];
+const STREAM_CLASS: &str = "dista.taint.SerializedTaint";
+const TAG_CLASS: &str = "dista.taint.TaintTag";
+const FIELD_NAMES: [&str; 4] = ["id", "value", "localId", "globalId"];
+/// Pad emulating the JVM object header + type metadata per serialized tag.
+const OBJECT_HEADER_PAD: usize = 96;
+
+const KIND_STR: u8 = 1;
+const KIND_BYTES: u8 = 2;
+const KIND_INT: u8 = 3;
+
+/// Fixed per-tag overhead in bytes (excludes the tag value itself).
+///
+/// One serialized single-tag taint is `header + SERIALIZED_TAG_OVERHEAD +
+/// value_len` bytes, which lands above 200 — matching the paper's
+/// bandwidth motivation for the Taint Map.
+pub const SERIALIZED_TAG_OVERHEAD: usize =
+    2 + TAG_CLASS.len() + field_table_len() + 4 + 1 + 4 + 8 + 4 + OBJECT_HEADER_PAD;
+
+const fn field_table_len() -> usize {
+    // u8 length prefix + name, for each of the four quad fields.
+    let mut total = 0;
+    let mut i = 0;
+    while i < FIELD_NAMES.len() {
+        total += 1 + FIELD_NAMES[i].len();
+        i += 1;
+    }
+    total
+}
+
+/// Errors produced when decoding a serialized taint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaintCodecError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// The magic prefix did not match.
+    BadMagic,
+    /// The stream or tag class name did not match.
+    BadClass,
+    /// Unknown tag-value kind byte.
+    BadValueKind(u8),
+    /// A string tag value was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for TaintCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaintCodecError::Truncated => f.write_str("serialized taint is truncated"),
+            TaintCodecError::BadMagic => f.write_str("serialized taint has a bad magic prefix"),
+            TaintCodecError::BadClass => f.write_str("serialized taint names an unknown class"),
+            TaintCodecError::BadValueKind(k) => {
+                write!(f, "serialized taint has unknown value kind {k}")
+            }
+            TaintCodecError::BadUtf8 => {
+                f.write_str("serialized taint string value is not valid utf-8")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaintCodecError {}
+
+/// Serializes a taint (all of its tag quads) for transfer to the Taint
+/// Map.
+///
+/// # Example
+///
+/// ```rust
+/// use dista_taint::{TaintStore, LocalId, TagValue};
+/// use dista_taint::{serialize_taint, deserialize_taint};
+///
+/// let sender = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+/// let t = sender.mint_source_taint(TagValue::str("vote"));
+/// let wire = serialize_taint(sender.tree(), t);
+/// assert!(wire.len() > 200); // paper: one tag serializes to >200 bytes
+///
+/// let receiver = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+/// let rt = deserialize_taint(&receiver, &wire)?;
+/// assert_eq!(receiver.tag_values(rt), vec!["vote".to_string()]);
+/// # Ok::<(), dista_taint::TaintCodecError>(())
+/// ```
+pub fn serialize_taint(tree: &TaintTree, taint: Taint) -> Vec<u8> {
+    let tags = tree.tags_of(taint);
+    let mut out = Vec::with_capacity(64 + tags.len() * (SERIALIZED_TAG_OVERHEAD + 16));
+    out.extend_from_slice(&MAGIC);
+    write_str16(&mut out, STREAM_CLASS);
+    out.extend_from_slice(&(tags.len() as u16).to_be_bytes());
+    for tag in tags {
+        write_str16(&mut out, TAG_CLASS);
+        for name in FIELD_NAMES {
+            out.push(name.len() as u8);
+            out.extend_from_slice(name.as_bytes());
+        }
+        // The rank (`ID`) and `GlobalID` fields are written as zero so the
+        // serialized form is *canonical*: the same tag set always produces
+        // byte-identical output no matter which VM serializes it or
+        // whether a global id has been assigned yet. The Taint Map dedups
+        // registrations by byte identity, so canonicality is what makes
+        // "one Global ID per unique global taint" hold across VMs.
+        out.extend_from_slice(&0u32.to_be_bytes());
+        match &tag.value {
+            TagValue::Str(s) => {
+                out.push(KIND_STR);
+                out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            TagValue::Bytes(b) => {
+                out.push(KIND_BYTES);
+                out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+                out.extend_from_slice(b);
+            }
+            TagValue::Int(i) => {
+                out.push(KIND_INT);
+                out.extend_from_slice(&8u32.to_be_bytes());
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+        }
+        out.extend_from_slice(&tag.local_id.to_bytes());
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out.extend(std::iter::repeat_n(0xEE, OBJECT_HEADER_PAD));
+    }
+    out
+}
+
+/// Decodes a serialized taint into the receiving VM's store.
+///
+/// Tags are re-interned locally, preserving their foreign `LocalId` so
+/// that identically-named local tags remain distinct, and the resulting
+/// taint is the union of all decoded tags.
+///
+/// # Errors
+///
+/// Returns a [`TaintCodecError`] if the buffer is truncated, corrupted or
+/// names an unknown class or value kind.
+pub fn deserialize_taint(store: &TaintStore, bytes: &[u8]) -> Result<Taint, TaintCodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(TaintCodecError::BadMagic);
+    }
+    if r.read_str16()? != STREAM_CLASS {
+        return Err(TaintCodecError::BadClass);
+    }
+    let count = r.read_u16()? as usize;
+    let mut taint = Taint::EMPTY;
+    for _ in 0..count {
+        if r.read_str16()? != TAG_CLASS {
+            return Err(TaintCodecError::BadClass);
+        }
+        for _ in FIELD_NAMES {
+            let len = r.read_u8()? as usize;
+            r.take(len)?;
+        }
+        let _origin_rank = r.read_u32()?; // rank in the origin tree; informational
+        let kind = r.read_u8()?;
+        let len = r.read_u32()? as usize;
+        let raw = r.take(len)?;
+        let value = match kind {
+            KIND_STR => TagValue::Str(
+                std::str::from_utf8(raw)
+                    .map_err(|_| TaintCodecError::BadUtf8)?
+                    .into(),
+            ),
+            KIND_BYTES => TagValue::bytes(raw),
+            KIND_INT => {
+                if raw.len() != 8 {
+                    return Err(TaintCodecError::Truncated);
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(raw);
+                TagValue::Int(i64::from_be_bytes(b))
+            }
+            other => return Err(TaintCodecError::BadValueKind(other)),
+        };
+        let mut lid = [0u8; 8];
+        lid.copy_from_slice(r.take(8)?);
+        let local_id = LocalId::from_bytes(lid);
+        let gid = GlobalId(r.read_u32()?);
+        r.take(OBJECT_HEADER_PAD)?;
+        let tag = store.intern_foreign_tag(value, local_id);
+        if gid.is_tainted() {
+            store.tree().set_tag_global_id(tag, gid);
+        }
+        taint = store.union(taint, store.tree().taint_of_tag(tag));
+    }
+    Ok(taint)
+}
+
+fn write_str16(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TaintCodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(TaintCodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, TaintCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u16(&mut self) -> Result<u16, TaintCodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn read_u32(&mut self) -> Result<u32, TaintCodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn read_str16(&mut self) -> Result<&'a str, TaintCodecError> {
+        let len = self.read_u16()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| TaintCodecError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stores() -> (TaintStore, TaintStore) {
+        (
+            TaintStore::new(LocalId::new([10, 0, 0, 1], 1)),
+            TaintStore::new(LocalId::new([10, 0, 0, 2], 2)),
+        )
+    }
+
+    #[test]
+    fn single_tag_exceeds_200_bytes() {
+        let (s, _) = stores();
+        let t = s.mint_source_taint(TagValue::str("a_tag"));
+        let wire = serialize_taint(s.tree(), t);
+        assert!(
+            wire.len() > 200,
+            "paper: single-tag serialized taint > 200 bytes, got {}",
+            wire.len()
+        );
+    }
+
+    #[test]
+    fn length_grows_linearly_with_tags() {
+        let (s, _) = stores();
+        let mut taint = Taint::EMPTY;
+        let mut sizes = Vec::new();
+        for i in 0..4 {
+            taint = s.union(taint, s.mint_source_taint(TagValue::Int(i)));
+            sizes.push(serialize_taint(s.tree(), taint).len());
+        }
+        let d1 = sizes[1] - sizes[0];
+        let d2 = sizes[2] - sizes[1];
+        let d3 = sizes[3] - sizes[2];
+        assert_eq!(d1, d2);
+        assert_eq!(d2, d3);
+    }
+
+    #[test]
+    fn roundtrip_preserves_tags_and_origin() {
+        let (sender, receiver) = stores();
+        let a = sender.mint_source_taint(TagValue::str("a_tag"));
+        let b = sender.mint_source_taint(TagValue::bytes([1, 2, 3]));
+        let ab = sender.union(a, b);
+        let wire = serialize_taint(sender.tree(), ab);
+        let rt = deserialize_taint(&receiver, &wire).unwrap();
+        let tags = receiver.tree().tags_of(rt);
+        assert_eq!(tags.len(), 2);
+        assert!(tags
+            .iter()
+            .all(|t| t.local_id == LocalId::new([10, 0, 0, 1], 1)));
+    }
+
+    #[test]
+    fn roundtrip_int_value() {
+        let (sender, receiver) = stores();
+        let t = sender.mint_source_taint(TagValue::Int(-99));
+        let wire = serialize_taint(sender.tree(), t);
+        let rt = deserialize_taint(&receiver, &wire).unwrap();
+        assert_eq!(receiver.tag_values(rt), vec!["-99".to_string()]);
+    }
+
+    #[test]
+    fn foreign_tag_does_not_conflict_with_local() {
+        // Paper §III-D-1: Node2 has its own "a_tag" before receiving
+        // Node1's "a_tag"; they must remain distinguishable.
+        let (sender, receiver) = stores();
+        let local = receiver.mint_source_taint(TagValue::str("a_tag"));
+        let remote = sender.mint_source_taint(TagValue::str("a_tag"));
+        let wire = serialize_taint(sender.tree(), remote);
+        let rt = deserialize_taint(&receiver, &wire).unwrap();
+        assert_ne!(local, rt, "tags from different nodes must not merge");
+        let u = receiver.union(local, rt);
+        assert_eq!(receiver.tree().tag_count(u), 2);
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let (s, r) = stores();
+        let t = s.mint_source_taint(TagValue::str("x"));
+        let wire = serialize_taint(s.tree(), t);
+        for cut in [0, 3, 10, wire.len() - 1] {
+            assert_eq!(
+                deserialize_taint(&r, &wire[..cut]),
+                Err(TaintCodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_errors() {
+        let (s, r) = stores();
+        let t = s.mint_source_taint(TagValue::str("x"));
+        let mut wire = serialize_taint(s.tree(), t);
+        wire[0] = 0;
+        assert_eq!(deserialize_taint(&r, &wire), Err(TaintCodecError::BadMagic));
+    }
+
+    #[test]
+    fn empty_taint_roundtrips() {
+        let (s, r) = stores();
+        let wire = serialize_taint(s.tree(), Taint::EMPTY);
+        let rt = deserialize_taint(&r, &wire).unwrap();
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn serialization_is_canonical() {
+        // Assigning a global id must not change the serialized bytes —
+        // the Taint Map dedups registrations by byte identity.
+        let (sender, receiver) = stores();
+        let t = sender.mint_source_taint(TagValue::str("g"));
+        let before = serialize_taint(sender.tree(), t);
+        let tag = sender.tree().tag_ids(t)[0];
+        sender.tree().set_tag_global_id(tag, GlobalId(7));
+        let after = serialize_taint(sender.tree(), t);
+        assert_eq!(before, after);
+
+        // And a receiver re-serializing the decoded taint reproduces the
+        // sender's bytes exactly.
+        let rt = deserialize_taint(&receiver, &before).unwrap();
+        let reserialized = serialize_taint(receiver.tree(), rt);
+        assert_eq!(reserialized, before);
+    }
+}

@@ -1,0 +1,257 @@
+//! Source/sink specification files (paper §V-E).
+//!
+//! DisTA users list taint sources and sinks "in the form of Java method
+//! descriptors" in two files passed on the agent command line. This module
+//! parses that format: one descriptor per line, `Class.method` with an
+//! optional `(signature)` suffix; `#` starts a comment.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A method descriptor such as `org/apache/zookeeper/FileTxnLog.read`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodDesc {
+    class: String,
+    method: String,
+    signature: Option<String>,
+}
+
+impl MethodDesc {
+    /// Builds a descriptor from class and method names.
+    pub fn new(class: impl Into<String>, method: impl Into<String>) -> Self {
+        MethodDesc {
+            class: class.into(),
+            method: method.into(),
+            signature: None,
+        }
+    }
+
+    /// Adds an explicit JVM-style signature.
+    pub fn with_signature(mut self, sig: impl Into<String>) -> Self {
+        self.signature = Some(sig.into());
+        self
+    }
+
+    /// The class component.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The method component.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The optional signature component.
+    pub fn signature(&self) -> Option<&str> {
+        self.signature.as_deref()
+    }
+
+    /// Whether a runtime invocation `class.method` matches this
+    /// descriptor (signature, when present, must match exactly).
+    pub fn matches(&self, class: &str, method: &str) -> bool {
+        self.class == class && self.method == method
+    }
+}
+
+impl fmt::Display for MethodDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.class, self.method)?;
+        if let Some(sig) = &self.signature {
+            write!(f, "{sig}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when a descriptor line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    line: String,
+    reason: &'static str,
+}
+
+impl ParseSpecError {
+    /// The offending line.
+    pub fn line(&self) -> &str {
+        &self.line
+    }
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad method descriptor {:?}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl FromStr for MethodDesc {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (body, signature) = match s.find('(') {
+            Some(i) => (&s[..i], Some(s[i..].to_string())),
+            None => (s, None),
+        };
+        let dot = body.rfind('.').ok_or(ParseSpecError {
+            line: s.to_string(),
+            reason: "expected Class.method",
+        })?;
+        let (class, method) = (&body[..dot], &body[dot + 1..]);
+        if class.is_empty() || method.is_empty() {
+            return Err(ParseSpecError {
+                line: s.to_string(),
+                reason: "empty class or method name",
+            });
+        }
+        Ok(MethodDesc {
+            class: class.to_string(),
+            method: method.to_string(),
+            signature,
+        })
+    }
+}
+
+/// A parsed pair of source/sink descriptor lists.
+///
+/// # Example
+///
+/// ```rust
+/// use dista_taint::SourceSinkSpec;
+///
+/// let spec = SourceSinkSpec::parse(
+///     "# sources\nFileTxnLog.read\n",
+///     "Logger.info\n",
+/// )?;
+/// assert!(spec.is_source("FileTxnLog", "read"));
+/// assert!(spec.is_sink("Logger", "info"));
+/// # Ok::<(), dista_taint::ParseSpecError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceSinkSpec {
+    sources: Vec<MethodDesc>,
+    sinks: Vec<MethodDesc>,
+}
+
+impl SourceSinkSpec {
+    /// An empty specification (nothing is a source or sink).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses the two spec files' contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed descriptor line.
+    pub fn parse(sources: &str, sinks: &str) -> Result<Self, ParseSpecError> {
+        Ok(SourceSinkSpec {
+            sources: parse_lines(sources)?,
+            sinks: parse_lines(sinks)?,
+        })
+    }
+
+    /// Adds a source descriptor.
+    pub fn add_source(&mut self, desc: MethodDesc) -> &mut Self {
+        self.sources.push(desc);
+        self
+    }
+
+    /// Adds a sink descriptor.
+    pub fn add_sink(&mut self, desc: MethodDesc) -> &mut Self {
+        self.sinks.push(desc);
+        self
+    }
+
+    /// Whether `class.method` is registered as a taint source.
+    pub fn is_source(&self, class: &str, method: &str) -> bool {
+        self.sources.iter().any(|d| d.matches(class, method))
+    }
+
+    /// Whether `class.method` is registered as a taint sink.
+    pub fn is_sink(&self, class: &str, method: &str) -> bool {
+        self.sinks.iter().any(|d| d.matches(class, method))
+    }
+
+    /// All source descriptors.
+    pub fn sources(&self) -> &[MethodDesc] {
+        &self.sources
+    }
+
+    /// All sink descriptors.
+    pub fn sinks(&self) -> &[MethodDesc] {
+        &self.sinks
+    }
+}
+
+fn parse_lines(text: &str) -> Result<Vec<MethodDesc>, ParseSpecError> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(MethodDesc::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_descriptor() {
+        let d: MethodDesc = "SocketInputStream.socketRead0".parse().unwrap();
+        assert_eq!(d.class(), "SocketInputStream");
+        assert_eq!(d.method(), "socketRead0");
+        assert!(d.signature().is_none());
+    }
+
+    #[test]
+    fn parse_with_signature() {
+        let d: MethodDesc = "Logger.info(Ljava/lang/String;)V".parse().unwrap();
+        assert_eq!(d.method(), "info");
+        assert_eq!(d.signature(), Some("(Ljava/lang/String;)V"));
+    }
+
+    #[test]
+    fn parse_dotted_package() {
+        let d: MethodDesc = "org.apache.zookeeper.FileTxnLog.read".parse().unwrap();
+        assert_eq!(d.class(), "org.apache.zookeeper.FileTxnLog");
+        assert_eq!(d.method(), "read");
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!("nodotshere".parse::<MethodDesc>().is_err());
+        assert!(".method".parse::<MethodDesc>().is_err());
+        assert!("Class.".parse::<MethodDesc>().is_err());
+    }
+
+    #[test]
+    fn spec_skips_comments_and_blanks() {
+        let spec = SourceSinkSpec::parse("# c\n\nA.read\nB.recv\n", "C.info\n").unwrap();
+        assert_eq!(spec.sources().len(), 2);
+        assert_eq!(spec.sinks().len(), 1);
+        assert!(spec.is_source("A", "read"));
+        assert!(spec.is_source("B", "recv"));
+        assert!(!spec.is_source("C", "info"));
+        assert!(spec.is_sink("C", "info"));
+    }
+
+    #[test]
+    fn spec_builder_api() {
+        let mut spec = SourceSinkSpec::new();
+        spec.add_source(MethodDesc::new("X", "read"))
+            .add_sink(MethodDesc::new("Y", "log"));
+        assert!(spec.is_source("X", "read"));
+        assert!(spec.is_sink("Y", "log"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let d = MethodDesc::new("A.B.C", "m").with_signature("(I)V");
+        let printed = d.to_string();
+        let back: MethodDesc = printed.parse().unwrap();
+        assert_eq!(back, d);
+    }
+}

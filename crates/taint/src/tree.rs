@@ -1,0 +1,479 @@
+//! The singleton taint tree (paper §II-B, Fig. 3).
+//!
+//! Phosphor stores every taint as a reference into one per-VM tree whose
+//! nodes are `<ID, Tag>` pairs; the tag *set* of a taint is the set of
+//! tags on the path from the root to the referenced node. Combining two
+//! taints unions their tag sets and the union is interned so that equal
+//! sets share a single node — "if two variables have the same taint tag,
+//! their taints can refer to the same node in the tree, thus avoiding
+//! storing the same tags repeatedly".
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use crate::tag::{GlobalId, LocalId, TagId, TagValue, TaintTag};
+
+/// A taint: a cheap, copyable handle to an interned tag set.
+///
+/// `Taint::EMPTY` is the root of the tree and denotes "no tags". Handles
+/// are only meaningful relative to the [`TaintTree`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Taint(pub(crate) u32);
+
+impl Taint {
+    /// The empty taint (no tags); the root node of every tree.
+    pub const EMPTY: Taint = Taint(0);
+
+    /// Whether this taint carries no tags.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw node index (diagnostics only).
+    pub fn node_index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Taint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            f.write_str("{}")
+        } else {
+            write!(f, "{{n{}}}", self.0)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TagEntry {
+    value: TagValue,
+    local_id: LocalId,
+    global_id: GlobalId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    parent: u32,
+    tag: TagId,
+    depth: u32,
+}
+
+#[derive(Debug, Default)]
+struct TreeInner {
+    /// Tag table; index = `TagId`.
+    tags: Vec<TagEntry>,
+    /// Interning map for tags, keyed by (value, minting VM).
+    tag_intern: HashMap<(TagValue, LocalId), TagId>,
+    /// Node table; index 0 is the root. Node 0's fields are unused.
+    nodes: Vec<Node>,
+    /// Child lookup: (parent node, tag) -> child node.
+    children: HashMap<(u32, TagId), u32>,
+    /// Memoized unions keyed by (smaller node, larger node).
+    union_memo: HashMap<(u32, u32), u32>,
+}
+
+impl TreeInner {
+    fn new() -> Self {
+        TreeInner {
+            nodes: vec![Node {
+                parent: 0,
+                tag: TagId(u32::MAX),
+                depth: 0,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// Path of tag ids from root to `node`, sorted ascending.
+    ///
+    /// The tree maintains the invariant that every interned path is sorted
+    /// by `TagId`, so reading the path bottom-up and reversing yields the
+    /// canonical sorted set.
+    fn path(&self, node: u32) -> Vec<TagId> {
+        let mut out = Vec::with_capacity(self.nodes[node as usize].depth as usize);
+        let mut cur = node;
+        while cur != 0 {
+            let n = self.nodes[cur as usize];
+            out.push(n.tag);
+            cur = n.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Interns the canonical (sorted, deduplicated) path, returning its node.
+    fn intern_path(&mut self, path: &[TagId]) -> u32 {
+        let mut cur = 0u32;
+        for &tag in path {
+            cur = match self.children.get(&(cur, tag)) {
+                Some(&child) => child,
+                None => {
+                    let depth = self.nodes[cur as usize].depth + 1;
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node {
+                        parent: cur,
+                        tag,
+                        depth,
+                    });
+                    self.children.insert((cur, tag), idx);
+                    idx
+                }
+            };
+        }
+        cur
+    }
+}
+
+/// A per-VM singleton taint tree.
+///
+/// All operations take `&self`; the tree is internally synchronized so a
+/// single instance can be shared by all threads of a simulated JVM.
+///
+/// # Example
+///
+/// ```rust
+/// use dista_taint::{TaintTree, TagValue, LocalId, Taint};
+///
+/// let tree = TaintTree::new();
+/// let a = tree.mint_tag(TagValue::str("a"), LocalId::default());
+/// let b = tree.mint_tag(TagValue::str("b"), LocalId::default());
+/// let ta = tree.taint_of_tag(a);
+/// let tb = tree.taint_of_tag(b);
+/// let tc = tree.union(ta, tb);
+/// assert_eq!(tree.tag_ids(tc), vec![a, b]);
+/// assert_eq!(tree.union(tc, ta), tc); // idempotent
+/// ```
+#[derive(Debug)]
+pub struct TaintTree {
+    inner: RwLock<TreeInner>,
+}
+
+impl TaintTree {
+    /// Creates an empty tree containing only the root (empty taint).
+    pub fn new() -> Self {
+        TaintTree {
+            inner: RwLock::new(TreeInner::new()),
+        }
+    }
+
+    /// Interns a tag, returning its id. Minting the same `(value,
+    /// local_id)` twice yields the same id.
+    pub fn mint_tag(&self, value: TagValue, local_id: LocalId) -> TagId {
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.tag_intern.get(&(value.clone(), local_id)) {
+            return id;
+        }
+        let id = TagId(inner.tags.len() as u32);
+        inner.tags.push(TagEntry {
+            value: value.clone(),
+            local_id,
+            global_id: GlobalId::UNTAINTED,
+        });
+        inner.tag_intern.insert((value, local_id), id);
+        id
+    }
+
+    /// The singleton taint `{tag}` (a direct child of the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` was not minted by this tree.
+    pub fn taint_of_tag(&self, tag: TagId) -> Taint {
+        let mut inner = self.inner.write();
+        assert!(
+            tag.index() < inner.tags.len(),
+            "tag {tag} not minted by this tree"
+        );
+        Taint(inner.intern_path(&[tag]))
+    }
+
+    /// Unions the tag sets of two taints (paper: `c_t = a_t ∪ b_t`).
+    ///
+    /// The result is interned: calling `union` with the same operands (in
+    /// either order) always returns the same handle, and
+    /// `union(x, EMPTY) == x`.
+    pub fn union(&self, a: Taint, b: Taint) -> Taint {
+        if a == b || b.is_empty() {
+            return a;
+        }
+        if a.is_empty() {
+            return b;
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        {
+            let inner = self.inner.read();
+            if let Some(&n) = inner.union_memo.get(&key) {
+                return Taint(n);
+            }
+        }
+        let mut inner = self.inner.write();
+        if let Some(&n) = inner.union_memo.get(&key) {
+            return Taint(n);
+        }
+        let pa = inner.path(a.0);
+        let pb = inner.path(b.0);
+        let merged = merge_sorted(&pa, &pb);
+        let node = inner.intern_path(&merged);
+        inner.union_memo.insert(key, node);
+        Taint(node)
+    }
+
+    /// Unions an arbitrary collection of taints.
+    pub fn union_all<I: IntoIterator<Item = Taint>>(&self, taints: I) -> Taint {
+        taints
+            .into_iter()
+            .fold(Taint::EMPTY, |acc, t| self.union(acc, t))
+    }
+
+    /// The sorted tag ids of a taint.
+    pub fn tag_ids(&self, taint: Taint) -> Vec<TagId> {
+        self.inner.read().path(taint.0)
+    }
+
+    /// Number of tags in a taint (its depth in the tree).
+    pub fn tag_count(&self, taint: Taint) -> usize {
+        self.inner.read().nodes[taint.0 as usize].depth as usize
+    }
+
+    /// Full quad for one tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` was not minted by this tree.
+    pub fn tag(&self, tag: TagId) -> TaintTag {
+        let inner = self.inner.read();
+        let entry = &inner.tags[tag.index()];
+        TaintTag {
+            id: tag.0,
+            value: entry.value.clone(),
+            local_id: entry.local_id,
+            global_id: entry.global_id,
+        }
+    }
+
+    /// Full quads for every tag of a taint, sorted by tag id.
+    pub fn tags_of(&self, taint: Taint) -> Vec<TaintTag> {
+        let ids = self.tag_ids(taint);
+        ids.into_iter().map(|id| self.tag(id)).collect()
+    }
+
+    /// Records the Taint-Map-assigned global id on a tag quad.
+    pub fn set_tag_global_id(&self, tag: TagId, gid: GlobalId) {
+        let mut inner = self.inner.write();
+        inner.tags[tag.index()].global_id = gid;
+    }
+
+    /// True if `taint` carries `tag`.
+    pub fn has_tag(&self, taint: Taint, tag: TagId) -> bool {
+        self.tag_ids(taint).contains(&tag)
+    }
+
+    /// True if the tag set of `needle` is a subset of `haystack`'s.
+    pub fn is_subset(&self, needle: Taint, haystack: Taint) -> bool {
+        let n = self.tag_ids(needle);
+        let h = self.tag_ids(haystack);
+        let mut hi = h.iter();
+        'outer: for t in &n {
+            for cand in hi.by_ref() {
+                if cand == t {
+                    continue 'outer;
+                }
+                if cand > t {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Number of distinct tags minted so far.
+    pub fn num_tags(&self) -> usize {
+        self.inner.read().tags.len()
+    }
+
+    /// Number of tree nodes (distinct interned tag sets, including root).
+    pub fn num_nodes(&self) -> usize {
+        self.inner.read().nodes.len()
+    }
+}
+
+impl Default for TaintTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn merge_sorted(a: &[TagId], b: &[TagId]) -> Vec<TagId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_ab() -> (TaintTree, Taint, Taint) {
+        let tree = TaintTree::new();
+        let a = tree.mint_tag(TagValue::str("a"), LocalId::default());
+        let b = tree.mint_tag(TagValue::str("b"), LocalId::default());
+        let ta = tree.taint_of_tag(a);
+        let tb = tree.taint_of_tag(b);
+        (tree, ta, tb)
+    }
+
+    #[test]
+    fn empty_taint_has_no_tags() {
+        let tree = TaintTree::new();
+        assert!(Taint::EMPTY.is_empty());
+        assert!(tree.tag_ids(Taint::EMPTY).is_empty());
+        assert_eq!(tree.tag_count(Taint::EMPTY), 0);
+    }
+
+    #[test]
+    fn union_matches_paper_example() {
+        // Fig. 2/3: c = a + b  =>  c_t = {a_tag, b_tag}
+        let (tree, ta, tb) = tree_ab();
+        let tc = tree.union(ta, tb);
+        let values: Vec<String> = tree
+            .tags_of(tc)
+            .into_iter()
+            .map(|t| t.value.render())
+            .collect();
+        assert_eq!(values, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn union_is_interned() {
+        let (tree, ta, tb) = tree_ab();
+        let c1 = tree.union(ta, tb);
+        let c2 = tree.union(tb, ta);
+        assert_eq!(c1, c2, "union must be order-insensitive and interned");
+        let nodes_before = tree.num_nodes();
+        let _ = tree.union(ta, tb);
+        assert_eq!(tree.num_nodes(), nodes_before, "no new nodes on repeat");
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let (tree, ta, _) = tree_ab();
+        assert_eq!(tree.union(ta, Taint::EMPTY), ta);
+        assert_eq!(tree.union(Taint::EMPTY, ta), ta);
+        assert_eq!(tree.union(Taint::EMPTY, Taint::EMPTY), Taint::EMPTY);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let (tree, ta, tb) = tree_ab();
+        let tc = tree.union(ta, tb);
+        assert_eq!(tree.union(tc, ta), tc);
+        assert_eq!(tree.union(tc, tc), tc);
+    }
+
+    #[test]
+    fn mint_same_tag_twice_is_interned() {
+        let tree = TaintTree::new();
+        let t1 = tree.mint_tag(TagValue::str("x"), LocalId::default());
+        let t2 = tree.mint_tag(TagValue::str("x"), LocalId::default());
+        assert_eq!(t1, t2);
+        assert_eq!(tree.num_tags(), 1);
+    }
+
+    #[test]
+    fn same_value_different_local_id_is_distinct() {
+        // The paper's tag-conflict scenario: same value, two nodes.
+        let tree = TaintTree::new();
+        let n1 = LocalId::new([10, 0, 0, 1], 1);
+        let n2 = LocalId::new([10, 0, 0, 2], 1);
+        let t1 = tree.mint_tag(TagValue::str("a_tag"), n1);
+        let t2 = tree.mint_tag(TagValue::str("a_tag"), n2);
+        assert_ne!(t1, t2);
+        let u = tree.union(tree.taint_of_tag(t1), tree.taint_of_tag(t2));
+        assert_eq!(tree.tag_count(u), 2);
+    }
+
+    #[test]
+    fn has_tag_and_subset() {
+        let (tree, ta, tb) = tree_ab();
+        let tc = tree.union(ta, tb);
+        let a_id = tree.tag_ids(ta)[0];
+        assert!(tree.has_tag(tc, a_id));
+        assert!(tree.is_subset(ta, tc));
+        assert!(tree.is_subset(Taint::EMPTY, ta));
+        assert!(!tree.is_subset(tc, ta));
+    }
+
+    #[test]
+    fn union_all_folds() {
+        let tree = TaintTree::new();
+        let taints: Vec<Taint> = (0..5)
+            .map(|i| {
+                let tag = tree.mint_tag(TagValue::Int(i), LocalId::default());
+                tree.taint_of_tag(tag)
+            })
+            .collect();
+        let u = tree.union_all(taints.iter().copied());
+        assert_eq!(tree.tag_count(u), 5);
+    }
+
+    #[test]
+    fn union_is_associative() {
+        let tree = TaintTree::new();
+        let ts: Vec<Taint> = ["x", "y", "z"]
+            .iter()
+            .map(|v| {
+                let tag = tree.mint_tag(TagValue::str(*v), LocalId::default());
+                tree.taint_of_tag(tag)
+            })
+            .collect();
+        let left = tree.union(tree.union(ts[0], ts[1]), ts[2]);
+        let right = tree.union(ts[0], tree.union(ts[1], ts[2]));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn set_global_id_visible_in_quad() {
+        let tree = TaintTree::new();
+        let tag = tree.mint_tag(TagValue::str("g"), LocalId::default());
+        assert_eq!(tree.tag(tag).global_id, GlobalId::UNTAINTED);
+        tree.set_tag_global_id(tag, GlobalId(42));
+        assert_eq!(tree.tag(tag).global_id, GlobalId(42));
+    }
+
+    #[test]
+    fn paths_share_prefixes() {
+        // {a}, {a,b} and {a,b,c} should reuse nodes: root + 3 nodes total.
+        let tree = TaintTree::new();
+        let a = tree.mint_tag(TagValue::str("a"), LocalId::default());
+        let b = tree.mint_tag(TagValue::str("b"), LocalId::default());
+        let c = tree.mint_tag(TagValue::str("c"), LocalId::default());
+        let ta = tree.taint_of_tag(a);
+        let tab = tree.union(ta, tree.taint_of_tag(b));
+        let tabc = tree.union(tab, tree.taint_of_tag(c));
+        assert_eq!(tree.tag_count(tabc), 3);
+        assert_eq!(tree.num_nodes(), 1 + 3 + 2); // root, a, ab, abc, b, c
+    }
+}

@@ -1,0 +1,186 @@
+//! Shadow-value wrapper: a value plus its taint (paper §II-B).
+//!
+//! Phosphor attaches a shadow variable to every Java variable via bytecode
+//! rewriting. In Rust the same observable semantics are obtained by an
+//! explicit wrapper type: [`Tainted<T>`] pairs a value with its [`Taint`]
+//! and every derived value combines the taints of its inputs.
+
+use std::fmt;
+
+use crate::store::TaintStore;
+use crate::tree::Taint;
+
+/// A value and its shadow taint.
+///
+/// # Example
+///
+/// ```rust
+/// use dista_taint::{TaintStore, LocalId, TagValue, Tainted};
+///
+/// let store = TaintStore::new(LocalId::default());
+/// let a = Tainted::new(2i64, store.mint_source_taint(TagValue::str("a")));
+/// let b = Tainted::new(3i64, store.mint_source_taint(TagValue::str("b")));
+/// // c = a + b: value 5, taint {a, b}
+/// let c = a.combine(&b, &store, |x, y| x + y);
+/// assert_eq!(*c.value(), 5);
+/// assert_eq!(store.tag_values(c.taint()), vec!["a".to_string(), "b".to_string()]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Tainted<T> {
+    value: T,
+    taint: Taint,
+}
+
+impl<T> Tainted<T> {
+    /// Wraps `value` with an explicit taint.
+    pub fn new(value: T, taint: Taint) -> Self {
+        Tainted { value, taint }
+    }
+
+    /// Wraps `value` with the empty taint.
+    pub fn untainted(value: T) -> Self {
+        Tainted {
+            value,
+            taint: Taint::EMPTY,
+        }
+    }
+
+    /// The wrapped value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Mutable access to the wrapped value (taint unchanged).
+    pub fn value_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+
+    /// The shadow taint.
+    pub fn taint(&self) -> Taint {
+        self.taint
+    }
+
+    /// Replaces the taint, keeping the value.
+    pub fn with_taint(self, taint: Taint) -> Self {
+        Tainted {
+            value: self.value,
+            taint,
+        }
+    }
+
+    /// Adds `extra` tags to the current taint.
+    pub fn add_taint(self, store: &TaintStore, extra: Taint) -> Self {
+        let taint = store.union(self.taint, extra);
+        Tainted {
+            value: self.value,
+            taint,
+        }
+    }
+
+    /// Unwraps into `(value, taint)`.
+    pub fn into_parts(self) -> (T, Taint) {
+        (self.value, self.taint)
+    }
+
+    /// Transforms the value; the result inherits this taint
+    /// (assignment-style propagation).
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Tainted<U> {
+        Tainted {
+            value: f(self.value),
+            taint: self.taint,
+        }
+    }
+
+    /// Combines two tainted values; the result's taint is the union of
+    /// both operands' taints (binary-operation propagation).
+    pub fn combine<U, V>(
+        &self,
+        other: &Tainted<U>,
+        store: &TaintStore,
+        f: impl FnOnce(&T, &U) -> V,
+    ) -> Tainted<V> {
+        Tainted {
+            value: f(&self.value, &other.value),
+            taint: store.union(self.taint, other.taint),
+        }
+    }
+
+    /// Whether the shadow taint is empty.
+    pub fn is_tainted(&self) -> bool {
+        !self.taint.is_empty()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Tainted<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.value, self.taint)
+    }
+}
+
+impl<T> From<T> for Tainted<T> {
+    fn from(value: T) -> Self {
+        Tainted::untainted(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::{LocalId, TagValue};
+
+    fn store() -> TaintStore {
+        TaintStore::new(LocalId::default())
+    }
+
+    #[test]
+    fn untainted_has_empty_taint() {
+        let v: Tainted<u32> = Tainted::untainted(7);
+        assert!(!v.is_tainted());
+        assert_eq!(*v.value(), 7);
+    }
+
+    #[test]
+    fn map_preserves_taint() {
+        let s = store();
+        let t = s.mint_source_taint(TagValue::str("src"));
+        let v = Tainted::new(10u32, t).map(|x| x * 2);
+        assert_eq!(*v.value(), 20);
+        assert_eq!(v.taint(), t);
+    }
+
+    #[test]
+    fn combine_unions_taints() {
+        let s = store();
+        let ta = s.mint_source_taint(TagValue::str("a"));
+        let tb = s.mint_source_taint(TagValue::str("b"));
+        let a = Tainted::new(1i32, ta);
+        let b = Tainted::new(2i32, tb);
+        let c = a.combine(&b, &s, |x, y| x + y);
+        assert_eq!(*c.value(), 3);
+        assert_eq!(s.tag_values(c.taint()), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn add_taint_accumulates() {
+        let s = store();
+        let ta = s.mint_source_taint(TagValue::str("a"));
+        let tb = s.mint_source_taint(TagValue::str("b"));
+        let v = Tainted::untainted(0u8).add_taint(&s, ta).add_taint(&s, tb);
+        assert_eq!(s.tag_values(v.taint()).len(), 2);
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let s = store();
+        let t = s.mint_source_taint(TagValue::str("x"));
+        let (v, taint) = Tainted::new("hello", t).into_parts();
+        assert_eq!(v, "hello");
+        assert_eq!(taint, t);
+    }
+
+    #[test]
+    fn from_plain_value() {
+        let v: Tainted<i64> = 5i64.into();
+        assert!(!v.is_tainted());
+    }
+}

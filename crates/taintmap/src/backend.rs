@@ -1,0 +1,128 @@
+//! Pluggable Taint Map storage (paper §IV: "Taint Map can be replaced by
+//! other mature K-V store systems such as ZooKeeper and etcd").
+//!
+//! The service's protocol and caching live in [`crate::TaintMapServer`] /
+//! [`crate::TaintMapClient`]; the id↔taint storage behind it is a
+//! [`TaintMapBackend`]. The default is the paper's "simplest
+//! implementation" — an in-memory map — and `dista-zookeeper` provides a
+//! ZooKeeper-backed implementation.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Storage for global taints: serialized-taint bytes keyed by Global ID,
+/// with byte-identity dedup on registration.
+pub trait TaintMapBackend: Send + Sync + 'static {
+    /// Registers a serialized taint, returning its Global ID. The same
+    /// bytes must always yield the same id (dedup); ids are positive.
+    fn register(&self, serialized: &[u8]) -> u32;
+
+    /// Resolves a Global ID; `None` if it was never assigned.
+    fn lookup(&self, gid: u32) -> Option<Vec<u8>>;
+
+    /// Inserts a taint under an externally-assigned id (standby
+    /// replication). Later [`TaintMapBackend::register`] calls must not
+    /// reuse `gid`.
+    fn insert_replicated(&self, gid: u32, serialized: &[u8]);
+
+    /// Number of distinct global taints stored.
+    fn len(&self) -> u64;
+
+    /// Whether no global taints have been stored yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Default)]
+struct MemState {
+    by_bytes: HashMap<Vec<u8>, u32>,
+    by_id: HashMap<u32, Vec<u8>>,
+    next_id: u32,
+}
+
+/// The default in-memory backend.
+#[derive(Default)]
+pub struct InMemoryBackend {
+    state: Mutex<MemState>,
+}
+
+impl InMemoryBackend {
+    /// Creates an empty backend; the first id assigned is 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for InMemoryBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InMemoryBackend")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl TaintMapBackend for InMemoryBackend {
+    fn register(&self, serialized: &[u8]) -> u32 {
+        let mut st = self.state.lock();
+        if let Some(&id) = st.by_bytes.get(serialized) {
+            return id;
+        }
+        st.next_id += 1;
+        let id = st.next_id;
+        st.by_bytes.insert(serialized.to_vec(), id);
+        st.by_id.insert(id, serialized.to_vec());
+        id
+    }
+
+    fn lookup(&self, gid: u32) -> Option<Vec<u8>> {
+        self.state.lock().by_id.get(&gid).cloned()
+    }
+
+    fn insert_replicated(&self, gid: u32, serialized: &[u8]) {
+        let mut st = self.state.lock();
+        st.next_id = st.next_id.max(gid);
+        st.by_bytes.insert(serialized.to_vec(), gid);
+        st.by_id.insert(gid, serialized.to_vec());
+    }
+
+    fn len(&self) -> u64 {
+        self.state.lock().by_id.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_dedups_and_counts() {
+        let b = InMemoryBackend::new();
+        let id1 = b.register(b"a");
+        let id2 = b.register(b"b");
+        assert_eq!(b.register(b"a"), id1);
+        assert_ne!(id1, id2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.lookup(id1).as_deref(), Some(b"a".as_ref()));
+        assert_eq!(b.lookup(999), None);
+    }
+
+    #[test]
+    fn ids_start_at_one() {
+        let b = InMemoryBackend::new();
+        assert_eq!(b.register(b"x"), 1);
+    }
+
+    #[test]
+    fn replication_advances_the_counter() {
+        let b = InMemoryBackend::new();
+        b.insert_replicated(7, b"seven");
+        assert_eq!(b.lookup(7).as_deref(), Some(b"seven".as_ref()));
+        // A fresh registration must not collide with the replicated id.
+        let id = b.register(b"new");
+        assert_eq!(id, 8);
+        // Replicated bytes dedup against future registrations too.
+        assert_eq!(b.register(b"seven"), 7);
+    }
+}

@@ -1,0 +1,404 @@
+//! Per-VM Taint Map client with the two caches of paper Fig. 9, plus
+//! optional failover across a primary/standby pair (§IV).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dista_simnet::{NodeAddr, SimNet, TcpEndpoint};
+use dista_taint::{deserialize_taint, serialize_taint, GlobalId, Taint, TaintStore};
+use parking_lot::Mutex;
+
+use crate::error::TaintMapError;
+use crate::proto::{read_frame, write_frame, OP_LOOKUP, OP_REGISTER, RESP_OK};
+
+/// Client-side RPC counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Register RPCs actually sent (cache misses).
+    pub register_rpcs: u64,
+    /// Lookup RPCs actually sent (cache misses).
+    pub lookup_rpcs: u64,
+    /// Requests satisfied from either cache.
+    pub cache_hits: u64,
+    /// Times the client failed over to another service address.
+    pub failovers: u64,
+}
+
+struct Connection {
+    conn: TcpEndpoint,
+    /// Index into `addrs` this connection points at.
+    target: usize,
+}
+
+struct ClientInner {
+    net: SimNet,
+    addrs: Vec<NodeAddr>,
+    src_ip: [u8; 4],
+    conn: Mutex<Connection>,
+    store: TaintStore,
+    /// taint -> global id: "Node1 does not need to request a Global ID
+    /// again if it sends b2 out later" (step ② of Fig. 9).
+    gid_of: Mutex<HashMap<Taint, GlobalId>>,
+    /// global id -> taint: a received id is resolved at most once.
+    taint_of: Mutex<HashMap<GlobalId, Taint>>,
+    register_rpcs: AtomicU64,
+    lookup_rpcs: AtomicU64,
+    cache_hits: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// A VM's handle to the Taint Map service.
+///
+/// One client is shared by all threads of a simulated JVM; it keeps one
+/// persistent connection and both direction caches. With multiple
+/// service addresses, an RPC that hits a dead primary reconnects to the
+/// next address and retries once. See the crate docs for an end-to-end
+/// example.
+#[derive(Clone)]
+pub struct TaintMapClient {
+    inner: Arc<ClientInner>,
+}
+
+impl std::fmt::Debug for TaintMapClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaintMapClient")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl TaintMapClient {
+    /// Connects to the service at `addr`, resolving taints into `store`.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if the service is not reachable.
+    pub fn connect(
+        net: &SimNet,
+        addr: NodeAddr,
+        store: TaintStore,
+    ) -> Result<Self, TaintMapError> {
+        Self::connect_with_failover(net, vec![addr], store)
+    }
+
+    /// Connects with an ordered list of service addresses (primary
+    /// first, standbys after).
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if no address is reachable;
+    /// [`TaintMapError::Protocol`] if `addrs` is empty.
+    pub fn connect_with_failover(
+        net: &SimNet,
+        addrs: Vec<NodeAddr>,
+        store: TaintStore,
+    ) -> Result<Self, TaintMapError> {
+        if addrs.is_empty() {
+            return Err(TaintMapError::Protocol("no taint map addresses"));
+        }
+        let src_ip = store.local_id().ip();
+        let (conn, target) = dial_any(net, &addrs, src_ip, 0)?;
+        Ok(TaintMapClient {
+            inner: Arc::new(ClientInner {
+                net: net.clone(),
+                addrs,
+                src_ip,
+                conn: Mutex::new(Connection { conn, target }),
+                store,
+                gid_of: Mutex::new(HashMap::new()),
+                taint_of: Mutex::new(HashMap::new()),
+                register_rpcs: AtomicU64::new(0),
+                lookup_rpcs: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The store this client resolves into.
+    pub fn store(&self) -> &TaintStore {
+        &self.inner.store
+    }
+
+    /// One RPC round trip with failover: on a transport error the client
+    /// reconnects to the next service address and retries once.
+    fn rpc(&self, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), TaintMapError> {
+        let mut guard = self.inner.conn.lock();
+        match rpc_on(&guard.conn, op, payload) {
+            Ok(reply) => Ok(reply),
+            Err(TaintMapError::Net(_)) => {
+                // Primary gone: dial the next address and retry.
+                let start = (guard.target + 1) % self.inner.addrs.len();
+                let (conn, target) =
+                    dial_any(&self.inner.net, &self.inner.addrs, self.inner.src_ip, start)?;
+                guard.conn = conn;
+                guard.target = target;
+                self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+                rpc_on(&guard.conn, op, payload)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Returns the Global ID for `taint`, registering it with the service
+    /// on first use (steps ①-② of Fig. 9). The empty taint maps to
+    /// [`GlobalId::UNTAINTED`] without any RPC.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the RPC.
+    pub fn global_id_for(&self, taint: Taint) -> Result<GlobalId, TaintMapError> {
+        if taint.is_empty() {
+            return Ok(GlobalId::UNTAINTED);
+        }
+        if let Some(&gid) = self.inner.gid_of.lock().get(&taint) {
+            self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(gid);
+        }
+        let serialized = serialize_taint(self.inner.store.tree(), taint);
+        let (op, payload) = self.rpc(OP_REGISTER, &serialized)?;
+        self.inner.register_rpcs.fetch_add(1, Ordering::Relaxed);
+        if op != RESP_OK || payload.len() != 4 {
+            return Err(TaintMapError::Protocol("bad register response"));
+        }
+        let gid = GlobalId(u32::from_be_bytes([
+            payload[0], payload[1], payload[2], payload[3],
+        ]));
+        // Record the id on each tag quad (the GlobalID field of §III-D-1)
+        for tag_id in self.inner.store.tree().tag_ids(taint) {
+            if !self.inner.store.tree().tag(tag_id).global_id.is_tainted() {
+                self.inner.store.tree().set_tag_global_id(tag_id, gid);
+            }
+        }
+        self.inner.gid_of.lock().insert(taint, gid);
+        // Prime the reverse cache too: this VM already knows the taint.
+        self.inner.taint_of.lock().insert(gid, taint);
+        Ok(gid)
+    }
+
+    /// Resolves a Global ID received from the wire back into a local
+    /// taint (steps ④-⑤ of Fig. 9). [`GlobalId::UNTAINTED`] maps to the
+    /// empty taint without any RPC.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::UnknownGlobalId`] if the service never saw the
+    /// id; transport/codec errors otherwise.
+    pub fn taint_for(&self, gid: GlobalId) -> Result<Taint, TaintMapError> {
+        if !gid.is_tainted() {
+            return Ok(Taint::EMPTY);
+        }
+        if let Some(&taint) = self.inner.taint_of.lock().get(&gid) {
+            self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(taint);
+        }
+        let (op, payload) = self.rpc(OP_LOOKUP, &gid.0.to_be_bytes())?;
+        self.inner.lookup_rpcs.fetch_add(1, Ordering::Relaxed);
+        if op != RESP_OK {
+            return Err(TaintMapError::UnknownGlobalId(gid));
+        }
+        let taint = deserialize_taint(&self.inner.store, &payload)?;
+        self.inner.taint_of.lock().insert(gid, taint);
+        self.inner.gid_of.lock().insert(taint, gid);
+        Ok(taint)
+    }
+
+    /// Snapshot of the client's RPC counters.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            register_rpcs: self.inner.register_rpcs.load(Ordering::Relaxed),
+            lookup_rpcs: self.inner.lookup_rpcs.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            failovers: self.inner.failovers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn rpc_on(conn: &TcpEndpoint, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), TaintMapError> {
+    write_frame(conn, op, payload)?;
+    read_frame(conn)?.ok_or(TaintMapError::Net(dista_simnet::NetError::Closed))
+}
+
+fn dial_any(
+    net: &SimNet,
+    addrs: &[NodeAddr],
+    src_ip: [u8; 4],
+    start: usize,
+) -> Result<(TcpEndpoint, usize), TaintMapError> {
+    let mut last = TaintMapError::Protocol("no taint map addresses");
+    for k in 0..addrs.len() {
+        let idx = (start + k) % addrs.len();
+        match net.tcp_connect_from(src_ip, addrs[idx]) {
+            Ok(conn) => return Ok((conn, idx)),
+            Err(e) => last = TaintMapError::Net(e),
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::TaintMapServer;
+    use dista_taint::{LocalId, TagValue};
+
+    fn setup() -> (SimNet, TaintMapServer, TaintMapClient, TaintStore) {
+        let net = SimNet::new();
+        let server = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let store = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client = TaintMapClient::connect(&net, server.addr(), store.clone()).unwrap();
+        (net, server, client, store)
+    }
+
+    #[test]
+    fn empty_taint_never_rpcs() {
+        let (_net, server, client, _store) = setup();
+        assert_eq!(client.global_id_for(Taint::EMPTY).unwrap(), GlobalId::UNTAINTED);
+        assert_eq!(client.taint_for(GlobalId::UNTAINTED).unwrap(), Taint::EMPTY);
+        assert_eq!(client.stats(), ClientStats::default());
+        server.shutdown();
+    }
+
+    #[test]
+    fn register_once_per_taint() {
+        let (_net, server, client, store) = setup();
+        let t = store.mint_source_taint(TagValue::str("t1"));
+        let g1 = client.global_id_for(t).unwrap();
+        let g2 = client.global_id_for(t).unwrap();
+        assert_eq!(g1, g2);
+        let stats = client.stats();
+        assert_eq!(stats.register_rpcs, 1, "second call must hit the cache");
+        assert_eq!(stats.cache_hits, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn register_sets_tag_global_id() {
+        let (_net, server, client, store) = setup();
+        let t = store.mint_source_taint(TagValue::str("g"));
+        let gid = client.global_id_for(t).unwrap();
+        let tag = store.tree().tags_of(t)[0].clone();
+        assert_eq!(tag.global_id, gid);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cross_vm_resolution() {
+        let (net, server, client1, store1) = setup();
+        let t1 = store1.mint_source_taint(TagValue::str("vote"));
+        let gid = client1.global_id_for(t1).unwrap();
+
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = TaintMapClient::connect(&net, server.addr(), store2.clone()).unwrap();
+        let t2 = client2.taint_for(gid).unwrap();
+        assert_eq!(store2.tag_values(t2), vec!["vote".to_string()]);
+        // Resolved tag keeps node 1's identity.
+        assert_eq!(
+            store2.tree().tags_of(t2)[0].local_id,
+            LocalId::new([10, 0, 0, 1], 1)
+        );
+        // Second resolution is cached.
+        let _ = client2.taint_for(gid).unwrap();
+        assert_eq!(client2.stats().lookup_rpcs, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_gid_is_error() {
+        let (_net, server, client, _store) = setup();
+        assert_eq!(
+            client.taint_for(GlobalId(1234)),
+            Err(TaintMapError::UnknownGlobalId(GlobalId(1234)))
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn same_tagset_from_two_vms_gets_one_gid() {
+        let (net, server, client1, store1) = setup();
+        let t = store1.mint_source_taint(TagValue::str("shared"));
+        let g1 = client1.global_id_for(t).unwrap();
+
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = TaintMapClient::connect(&net, server.addr(), store2.clone()).unwrap();
+        let t2 = client2.taint_for(g1).unwrap();
+        let g2 = client2.global_id_for(t2).unwrap();
+        assert_eq!(g1, g2, "round-tripped taint keeps its global id");
+        assert_eq!(server.stats().global_taints, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_connection_each() {
+        let (_net, server, client, store) = setup();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let client = client.clone();
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = store.mint_source_taint(TagValue::Int(i));
+                client.global_id_for(t).unwrap()
+            }));
+        }
+        let mut ids: Vec<GlobalId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn failover_to_standby_preserves_resolution() {
+        // §IV: primary + standby. The primary replicates, dies, and the
+        // client's next lookup transparently lands on the standby.
+        let net = SimNet::new();
+        let primary = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let standby = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 98], 7777)).unwrap();
+        primary.replicate_to(standby.addr()).unwrap();
+
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client1 = TaintMapClient::connect_with_failover(
+            &net,
+            vec![primary.addr(), standby.addr()],
+            store1.clone(),
+        )
+        .unwrap();
+        let t = store1.mint_source_taint(TagValue::str("survivor"));
+        let gid = client1.global_id_for(t).unwrap();
+
+        // Kill the primary (closes all of its connections).
+        primary.shutdown();
+
+        // A *different* VM resolves the id through the standby.
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = TaintMapClient::connect_with_failover(
+            &net,
+            vec![NodeAddr::new([10, 0, 0, 99], 7777), standby.addr()],
+            store2.clone(),
+        );
+        // Connecting may already have failed over (primary refused) —
+        // either way resolution must succeed.
+        let client2 = client2.unwrap();
+        let resolved = client2.taint_for(gid).unwrap();
+        assert_eq!(store2.tag_values(resolved), vec!["survivor".to_string()]);
+
+        // The surviving client's existing connection is dead; its next
+        // RPC fails over and still works.
+        let t2 = store1.mint_source_taint(TagValue::str("after-failover"));
+        let gid2 = client1.global_id_for(t2).unwrap();
+        assert!(gid2.is_tainted());
+        assert!(client1.stats().failovers >= 1);
+        standby.shutdown();
+    }
+
+    #[test]
+    fn empty_address_list_is_rejected() {
+        let net = SimNet::new();
+        let store = TaintStore::new(LocalId::default());
+        assert!(matches!(
+            TaintMapClient::connect_with_failover(&net, vec![], store),
+            Err(TaintMapError::Protocol(_))
+        ));
+    }
+}

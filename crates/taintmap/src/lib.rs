@@ -1,0 +1,60 @@
+//! # dista-taintmap — the Taint Map service (paper §III-D)
+//!
+//! The Taint Map is "an independent process which can communicate with
+//! all nodes, and maintain a map structure to store all global taints and
+//! their Global IDs". It exists to solve two problems with shipping
+//! serialized taints inline:
+//!
+//! 1. **Large bandwidth usage** — a serialized single-tag taint is >200
+//!    bytes and grows linearly with tags; interleaving it per byte would
+//!    cost >200× bandwidth. With the Taint Map, each node uploads every
+//!    distinct global taint *once* and thereafter sends only its
+//!    fixed-width Global ID.
+//! 2. **Mismatched serialized taint length** — receivers allocate
+//!    fixed-size buffers; a variable-length inline taint could be cut
+//!    off. Fixed-width Global IDs make the receiver-side enlargement
+//!    deterministic.
+//!
+//! [`TaintMapServer`] runs the service as its own node on a
+//! [`dista_simnet::SimNet`]; [`TaintMapClient`] is the per-VM handle with
+//! both caches (taint→ID so an ID is requested once, ID→taint so a fetch
+//! happens once — the paper's step ② note about `b2`).
+//!
+//! # Example
+//!
+//! ```rust
+//! use dista_simnet::{SimNet, NodeAddr};
+//! use dista_taint::{TaintStore, LocalId, TagValue};
+//! use dista_taintmap::{TaintMapServer, TaintMapClient};
+//!
+//! let net = SimNet::new();
+//! let server = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777))?;
+//!
+//! // Node 1 registers a taint and gets a Global ID...
+//! let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+//! let client1 = TaintMapClient::connect(&net, server.addr(), store1.clone())?;
+//! let t1 = store1.mint_source_taint(TagValue::str("t1"));
+//! let gid = client1.global_id_for(t1)?;
+//!
+//! // ...Node 2 resolves the ID back into its own tree.
+//! let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+//! let client2 = TaintMapClient::connect(&net, server.addr(), store2.clone())?;
+//! let t2 = client2.taint_for(gid)?;
+//! assert_eq!(store2.tag_values(t2), vec!["t1".to_string()]);
+//! server.shutdown();
+//! # Ok::<(), dista_taintmap::TaintMapError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod client;
+mod error;
+mod proto;
+mod server;
+
+pub use backend::{InMemoryBackend, TaintMapBackend};
+pub use client::{ClientStats, TaintMapClient};
+pub use error::TaintMapError;
+pub use server::{ServerStats, TaintMapConfig, TaintMapServer};

@@ -1,0 +1,92 @@
+//! Framed request/response protocol between VMs and the Taint Map.
+//!
+//! Frame layout (both directions): `op: u8`, `len: u32 BE`, `len` payload
+//! bytes. Requests: `REGISTER` carries a serialized taint, `LOOKUP`
+//! carries a 4-byte Global ID. Responses: `OK` carries the result
+//! payload, `ERR` carries a one-byte reason.
+
+use dista_simnet::{NetError, TcpEndpoint};
+
+use crate::error::TaintMapError;
+
+pub(crate) const OP_REGISTER: u8 = 1;
+pub(crate) const OP_LOOKUP: u8 = 2;
+pub(crate) const OP_SHUTDOWN: u8 = 3;
+pub(crate) const OP_REPLICATE: u8 = 4;
+pub(crate) const RESP_OK: u8 = 0x80;
+pub(crate) const RESP_ERR: u8 = 0x81;
+
+pub(crate) const ERR_UNKNOWN_GID: u8 = 1;
+
+/// Writes one frame.
+pub(crate) fn write_frame(conn: &TcpEndpoint, op: u8, payload: &[u8]) -> Result<(), NetError> {
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.push(op);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    conn.write(&frame)
+}
+
+/// Reads one frame; returns `None` on clean EOF at a frame boundary.
+pub(crate) fn read_frame(conn: &TcpEndpoint) -> Result<Option<(u8, Vec<u8>)>, TaintMapError> {
+    let mut header = [0u8; 5];
+    let n = conn.read(&mut header[..1])?;
+    if n == 0 {
+        return Ok(None);
+    }
+    conn.read_exact(&mut header[1..])?;
+    let op = header[0];
+    let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    let mut payload = vec![0u8; len];
+    conn.read_exact(&mut payload)?;
+    Ok(Some((op, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_simnet::{NodeAddr, SimNet};
+
+    fn pair() -> (TcpEndpoint, TcpEndpoint) {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([1, 1, 1, 1], 9);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        (c, s)
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let (c, s) = pair();
+        write_frame(&c, OP_REGISTER, b"payload").unwrap();
+        let (op, payload) = read_frame(&s).unwrap().unwrap();
+        assert_eq!(op, OP_REGISTER);
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let (c, s) = pair();
+        write_frame(&c, OP_SHUTDOWN, b"").unwrap();
+        let (op, payload) = read_frame(&s).unwrap().unwrap();
+        assert_eq!(op, OP_SHUTDOWN);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none() {
+        let (c, s) = pair();
+        c.close();
+        assert!(read_frame(&s).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_error() {
+        let (c, s) = pair();
+        // one byte of a 5-byte header, then close
+        c.write(&[OP_LOOKUP]).unwrap();
+        c.close();
+        assert!(read_frame(&s).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! The Taint Map server process.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dista_simnet::{NetError, NodeAddr, SimNet, TcpEndpoint};
+use parking_lot::Mutex;
+
+use crate::backend::{InMemoryBackend, TaintMapBackend};
+use crate::error::TaintMapError;
+use crate::proto::{
+    read_frame, write_frame, ERR_UNKNOWN_GID, OP_LOOKUP, OP_REGISTER, OP_REPLICATE, OP_SHUTDOWN,
+    RESP_ERR, RESP_OK,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaintMapConfig {
+    /// Artificial per-request service time, used by the bottleneck
+    /// ablation (`bench/taintmap_throughput`). Zero = no throttle.
+    pub service_delay: Duration,
+}
+
+/// Aggregate server-side statistics (the global-taint census of §V-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Distinct global taints registered.
+    pub global_taints: u64,
+    /// Register requests served (including duplicates).
+    pub register_requests: u64,
+    /// Lookup requests served.
+    pub lookup_requests: u64,
+}
+
+struct ServerShared {
+    backend: Arc<dyn TaintMapBackend>,
+    registers: AtomicU64,
+    lookups: AtomicU64,
+    running: AtomicBool,
+    config: TaintMapConfig,
+    /// Connection to a standby replica, if configured (§IV: "adding a
+    /// standby node to handle the single point failure").
+    standby: Mutex<Option<TcpEndpoint>>,
+    /// Live client connections, severed on shutdown so that "killing"
+    /// the service behaves like a process death, not a graceful drain.
+    live_conns: Mutex<Vec<TcpEndpoint>>,
+}
+
+/// Handle to a running Taint Map service.
+///
+/// The service accepts connections on its own thread and serves each
+/// connection on a worker thread, mirroring "an independent process which
+/// can communicate with all nodes". Storage is a pluggable
+/// [`TaintMapBackend`]; optionally every new registration is replicated
+/// to a standby instance for failover.
+pub struct TaintMapServer {
+    addr: NodeAddr,
+    net: SimNet,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TaintMapServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaintMapServer")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl TaintMapServer {
+    /// Starts the service on `addr` with default configuration and the
+    /// in-memory backend.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if the address is already bound.
+    pub fn spawn(net: &SimNet, addr: NodeAddr) -> Result<Self, TaintMapError> {
+        Self::spawn_with(net, addr, TaintMapConfig::default())
+    }
+
+    /// Starts the service with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if the address is already bound.
+    pub fn spawn_with(
+        net: &SimNet,
+        addr: NodeAddr,
+        config: TaintMapConfig,
+    ) -> Result<Self, TaintMapError> {
+        Self::spawn_with_backend(net, addr, config, Arc::new(InMemoryBackend::new()))
+    }
+
+    /// Starts the service on a custom storage backend (e.g. the
+    /// ZooKeeper-backed one from `dista-zookeeper`).
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if the address is already bound.
+    pub fn spawn_with_backend(
+        net: &SimNet,
+        addr: NodeAddr,
+        config: TaintMapConfig,
+        backend: Arc<dyn TaintMapBackend>,
+    ) -> Result<Self, TaintMapError> {
+        let listener = net.tcp_listen(addr)?;
+        let shared = Arc::new(ServerShared {
+            backend,
+            registers: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            running: AtomicBool::new(true),
+            config,
+            standby: Mutex::new(None),
+            live_conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("taintmap-{addr}"))
+            .spawn(move || {
+                while accept_shared.running.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok(conn) => {
+                            accept_shared.live_conns.lock().push(conn.clone());
+                            let conn_shared = accept_shared.clone();
+                            std::thread::spawn(move || serve_connection(conn, conn_shared));
+                        }
+                        Err(NetError::TimedOut) => continue,
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn taint map accept thread");
+        Ok(TaintMapServer {
+            addr,
+            net: net.clone(),
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Connects this instance to a standby: every *new* registration is
+    /// forwarded so the standby can serve lookups (and continue
+    /// assigning non-colliding ids) if this instance dies.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if the standby is unreachable.
+    pub fn replicate_to(&self, standby: NodeAddr) -> Result<(), TaintMapError> {
+        let conn = self.net.tcp_connect(standby)?;
+        *self.shared.standby.lock() = Some(conn);
+        Ok(())
+    }
+
+    /// The service address clients connect to.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Snapshot of the census counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            global_taints: self.shared.backend.len(),
+            register_requests: self.shared.registers.load(Ordering::Relaxed),
+            lookup_requests: self.shared.lookups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the accept loop and unbinds the address. Established
+    /// connections finish serving and exit on client EOF.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.shared.running.store(false, Ordering::Relaxed);
+            // Poke the accept loop awake with a no-op connection.
+            if let Ok(conn) = self.net.tcp_connect(self.addr) {
+                let _ = write_frame(&conn, OP_SHUTDOWN, b"");
+                conn.close();
+            }
+            self.net.tcp_unlisten(self.addr);
+            for conn in self.shared.live_conns.lock().drain(..) {
+                conn.close();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TaintMapServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(conn: TcpEndpoint, shared: Arc<ServerShared>) {
+    loop {
+        let frame = match read_frame(&conn) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        if shared.config.service_delay > Duration::ZERO {
+            std::thread::sleep(shared.config.service_delay);
+        }
+        let result = match frame {
+            (OP_REGISTER, serialized) => {
+                shared.registers.fetch_add(1, Ordering::Relaxed);
+                let before = shared.backend.len();
+                let id = shared.backend.register(&serialized);
+                if shared.backend.len() > before {
+                    replicate(&shared, id, &serialized);
+                }
+                write_frame(&conn, RESP_OK, &id.to_be_bytes())
+            }
+            (OP_LOOKUP, payload) if payload.len() == 4 => {
+                shared.lookups.fetch_add(1, Ordering::Relaxed);
+                let id = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                match shared.backend.lookup(id).filter(|_| id != 0) {
+                    Some(bytes) => write_frame(&conn, RESP_OK, &bytes),
+                    None => write_frame(&conn, RESP_ERR, &[ERR_UNKNOWN_GID]),
+                }
+            }
+            (OP_REPLICATE, payload) if payload.len() >= 4 => {
+                let id = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                shared.backend.insert_replicated(id, &payload[4..]);
+                write_frame(&conn, RESP_OK, &[])
+            }
+            (OP_SHUTDOWN, _) => return,
+            _ => write_frame(&conn, RESP_ERR, &[0xFF]),
+        };
+        if result.is_err() {
+            return;
+        }
+    }
+}
+
+fn replicate(shared: &ServerShared, id: u32, serialized: &[u8]) {
+    let mut guard = shared.standby.lock();
+    let Some(conn) = guard.as_ref() else { return };
+    let mut payload = Vec::with_capacity(4 + serialized.len());
+    payload.extend_from_slice(&id.to_be_bytes());
+    payload.extend_from_slice(serialized);
+    let healthy = write_frame(conn, OP_REPLICATE, &payload).is_ok()
+        && matches!(read_frame(conn), Ok(Some((RESP_OK, _))));
+    if !healthy {
+        // Standby gone; stop replicating rather than stalling requests.
+        *guard = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{read_frame as rf, write_frame as wf};
+
+    fn setup() -> (SimNet, TaintMapServer) {
+        let net = SimNet::new();
+        let server = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        (net, server)
+    }
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let (net, server) = setup();
+        let conn = net.tcp_connect(server.addr()).unwrap();
+        wf(&conn, OP_REGISTER, b"taint-A").unwrap();
+        let (op, id) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_OK);
+        assert_eq!(id, 1u32.to_be_bytes());
+        wf(&conn, OP_REGISTER, b"taint-B").unwrap();
+        let (_, id) = rf(&conn).unwrap().unwrap();
+        assert_eq!(id, 2u32.to_be_bytes());
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_register_dedups() {
+        let (net, server) = setup();
+        let conn = net.tcp_connect(server.addr()).unwrap();
+        wf(&conn, OP_REGISTER, b"same").unwrap();
+        let (_, first) = rf(&conn).unwrap().unwrap();
+        wf(&conn, OP_REGISTER, b"same").unwrap();
+        let (_, second) = rf(&conn).unwrap().unwrap();
+        assert_eq!(first, second);
+        assert_eq!(server.stats().global_taints, 1);
+        assert_eq!(server.stats().register_requests, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn lookup_returns_registered_bytes() {
+        let (net, server) = setup();
+        let conn = net.tcp_connect(server.addr()).unwrap();
+        wf(&conn, OP_REGISTER, b"payload").unwrap();
+        let (_, id) = rf(&conn).unwrap().unwrap();
+        wf(&conn, OP_LOOKUP, &id).unwrap();
+        let (op, bytes) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_OK);
+        assert_eq!(bytes, b"payload");
+        assert_eq!(server.stats().lookup_requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn lookup_unknown_id_errors() {
+        let (net, server) = setup();
+        let conn = net.tcp_connect(server.addr()).unwrap();
+        wf(&conn, OP_LOOKUP, &99u32.to_be_bytes()).unwrap();
+        let (op, reason) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_ERR);
+        assert_eq!(reason, vec![ERR_UNKNOWN_GID]);
+        // id 0 is reserved and never resolvable
+        wf(&conn, OP_LOOKUP, &0u32.to_be_bytes()).unwrap();
+        let (op, _) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_ERR);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_concurrent_connections() {
+        let (net, server) = setup();
+        let mut handles = Vec::new();
+        for i in 0..8u32 {
+            let net = net.clone();
+            let addr = server.addr();
+            handles.push(std::thread::spawn(move || {
+                let conn = net.tcp_connect(addr).unwrap();
+                wf(&conn, OP_REGISTER, format!("taint-{i}").as_bytes()).unwrap();
+                let (op, id) = rf(&conn).unwrap().unwrap();
+                assert_eq!(op, RESP_OK);
+                u32::from_be_bytes([id[0], id[1], id[2], id[3]])
+            }));
+        }
+        let mut ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "eight distinct taints, eight distinct ids");
+        assert_eq!(server.stats().global_taints, 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unbinds_address() {
+        let (net, server) = setup();
+        let addr = server.addr();
+        server.shutdown();
+        assert!(net.tcp_listen(addr).is_ok());
+    }
+
+    #[test]
+    fn replication_mirrors_new_taints_to_standby() {
+        let net = SimNet::new();
+        let primary = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let standby = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 98], 7777)).unwrap();
+        primary.replicate_to(standby.addr()).unwrap();
+
+        let conn = net.tcp_connect(primary.addr()).unwrap();
+        wf(&conn, OP_REGISTER, b"replicated-taint").unwrap();
+        let (_, id) = rf(&conn).unwrap().unwrap();
+
+        // The standby can serve the lookup itself.
+        let sconn = net.tcp_connect(standby.addr()).unwrap();
+        wf(&sconn, OP_LOOKUP, &id).unwrap();
+        let (op, bytes) = rf(&sconn).unwrap().unwrap();
+        assert_eq!(op, RESP_OK);
+        assert_eq!(bytes, b"replicated-taint");
+
+        // And its own fresh ids never collide with replicated ones.
+        wf(&sconn, OP_REGISTER, b"standby-local").unwrap();
+        let (_, sid) = rf(&sconn).unwrap().unwrap();
+        assert!(u32::from_be_bytes([sid[0], sid[1], sid[2], sid[3]]) > 1);
+        primary.shutdown();
+        standby.shutdown();
+    }
+
+    #[test]
+    fn dead_standby_does_not_stall_the_primary() {
+        let net = SimNet::new();
+        let primary = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let standby = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 98], 7777)).unwrap();
+        primary.replicate_to(standby.addr()).unwrap();
+        standby.shutdown();
+        let conn = net.tcp_connect(primary.addr()).unwrap();
+        wf(&conn, OP_REGISTER, b"after-standby-death").unwrap();
+        let (op, _) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_OK, "primary keeps serving");
+        primary.shutdown();
+    }
+}

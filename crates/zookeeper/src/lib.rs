@@ -1,0 +1,39 @@
+//! # dista-zookeeper — a mini ZooKeeper on the instrumented mini-JRE
+//!
+//! The paper's first real-world subject (Table III): "ZooKeeper — JRE
+//! TCP, Netty — Leader election". This crate reproduces the pieces the
+//! evaluation exercises:
+//!
+//! * **Fast leader election** over JRE TCP socket streams, with the
+//!   `SendWorker`/`RecvWorker` thread structure of the motivating example
+//!   (Fig. 1). Votes are `ObjValue` records serialized through the
+//!   instrumented object streams, so their field taints cross nodes.
+//! * **Transaction-log boot**: each node reads its txn-log files at
+//!   startup to recover the largest zxid — the SIM-scenario source point
+//!   walked through in Fig. 11 (three reads → three taints, only the
+//!   last propagates).
+//! * **A small data tree** served to clients (create/get/set), enough for
+//!   HBase to store its meta location — the cross-system scenario.
+//!
+//! Taint scenarios (Table IV):
+//! * **SDT** — source: the `Vote` variable (`FastLeaderElection.getVote`);
+//!   sink: `FastLeaderElection.checkLeader` on followers.
+//! * **SIM** — source: `FileInputStream.read`; sink: `LOG.info`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod election;
+mod ensemble;
+mod server;
+mod taintmap_backend;
+mod vote;
+
+pub use election::{run_election, ElectionOutcome, PeerConfig};
+pub use ensemble::{ZkEnsemble, ZkEnsembleConfig};
+pub use server::{WatchEvent, ZkClient, ZkError, ZkServerHandle, ZkWatcher};
+pub use taintmap_backend::ZkTaintMapBackend;
+pub use vote::{ServerState, Vote};
+
+/// Descriptor class used for SDT source/sink registration.
+pub const FLE_CLASS: &str = "FastLeaderElection";

@@ -1,0 +1,684 @@
+//! The ZooKeeper data-tree service: create/get/set over instrumented TCP
+//! object streams. This is what HBase talks to in the cross-system
+//! workload (meta-location lookup).
+//!
+//! Replication is leader-mediated, ZAB-style: every server owns its own
+//! tree; followers forward writes to the leader, the leader applies them
+//! and broadcasts commits to all followers over dedicated commit
+//! channels. Reads are served locally, with a read-through to the leader
+//! on miss so clients get read-your-writes no matter which member they
+//! talk to. Every hop is instrumented traffic, so stored taints
+//! replicate with the data.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dista_jre::{
+    JreError, ObjValue, ObjectInputStream, ObjectOutputStream, ServerSocket, Socket, Vm,
+};
+use dista_simnet::NodeAddr;
+use dista_taint::TaintedBytes;
+use parking_lot::{Mutex, RwLock};
+
+/// Errors surfaced by the ZooKeeper client API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkError {
+    /// Node does not exist.
+    NoNode(String),
+    /// Node already exists.
+    NodeExists(String),
+    /// Transport/protocol failure.
+    Io(JreError),
+}
+
+impl std::fmt::Display for ZkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZkError::NoNode(p) => write!(f, "no node: {p}"),
+            ZkError::NodeExists(p) => write!(f, "node exists: {p}"),
+            ZkError::Io(e) => write!(f, "zookeeper i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZkError {}
+
+impl From<JreError> for ZkError {
+    fn from(e: JreError) -> Self {
+        ZkError::Io(e)
+    }
+}
+
+/// One server's local data tree.
+pub(crate) type DataTree = Arc<RwLock<HashMap<String, TaintedBytes>>>;
+
+const STATUS_OK: i64 = 0;
+const STATUS_NO_NODE: i64 = 1;
+const STATUS_NODE_EXISTS: i64 = 2;
+
+/// This member's place in the replication topology.
+pub(crate) enum Role {
+    /// Applies writes and broadcasts commits to followers.
+    Leader {
+        /// Commit channels to followers, added as they attach.
+        followers: Mutex<Vec<ObjectOutputStream<dista_jre::SocketOutputStream>>>,
+    },
+    /// Forwards writes (and read misses) to the leader.
+    Follower {
+        /// A client session to the leader's client port.
+        leader: Mutex<ZkClient>,
+    },
+    /// No ensemble (tests, single-node use).
+    Standalone,
+}
+
+pub(crate) struct ServerCore {
+    tree: DataTree,
+    role: Role,
+    /// Watch channels by client token.
+    watch_channels: Mutex<HashMap<i64, ObjectOutputStream<dista_jre::SocketOutputStream>>>,
+    /// Registered watches: path → watching client tokens (one-shot,
+    /// like real ZooKeeper watches).
+    watches: Mutex<HashMap<String, Vec<i64>>>,
+}
+
+impl ServerCore {
+    pub(crate) fn new(role: Role) -> Arc<Self> {
+        Arc::new(ServerCore {
+            tree: Arc::new(RwLock::new(HashMap::new())),
+            role,
+            watch_channels: Mutex::new(HashMap::new()),
+            watches: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Fires (and clears) the one-shot watches on `path`, pushing a
+    /// `WatchEvent` — with the new value's taints — down each watcher's
+    /// channel.
+    fn fire_watches(&self, path: &str, data: &TaintedBytes) {
+        let tokens = match self.watches.lock().remove(path) {
+            Some(tokens) => tokens,
+            None => return,
+        };
+        let event = ObjValue::Record(
+            "WatchEvent".into(),
+            vec![
+                ("path".into(), ObjValue::str_plain(path)),
+                ("data".into(), ObjValue::Bytes(data.clone())),
+            ],
+        );
+        let mut channels = self.watch_channels.lock();
+        for token in tokens {
+            if let Some(sink) = channels.get(&token) {
+                if sink.write_object(&event).is_err() {
+                    channels.remove(&token);
+                }
+            }
+        }
+    }
+
+    /// Applies a committed write locally (no forwarding, no broadcast)
+    /// and fires any watches on the path.
+    fn apply(&self, op: &str, path: &str, data: TaintedBytes) -> i64 {
+        let status = {
+            let mut tree = self.tree.write();
+            match op {
+                "create" => match tree.entry(path.to_string()) {
+                    std::collections::hash_map::Entry::Occupied(_) => STATUS_NODE_EXISTS,
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(data.clone());
+                        STATUS_OK
+                    }
+                },
+                "set" => match tree.get_mut(path) {
+                    Some(slot) => {
+                        *slot = data.clone();
+                        STATUS_OK
+                    }
+                    None => STATUS_NO_NODE,
+                },
+                _ => STATUS_NO_NODE,
+            }
+        };
+        if status == STATUS_OK {
+            self.fire_watches(path, &data);
+        }
+        status
+    }
+
+    /// Leader-side: apply + broadcast the commit to every follower.
+    fn commit(&self, op: &str, path: &str, data: TaintedBytes) -> i64 {
+        let status = self.apply(op, path, data.clone());
+        if status == STATUS_OK {
+            if let Role::Leader { followers } = &self.role {
+                let commit = ObjValue::Record(
+                    "Commit".into(),
+                    vec![
+                        ("op".into(), ObjValue::str_plain(op)),
+                        ("path".into(), ObjValue::str_plain(path)),
+                        ("data".into(), ObjValue::Bytes(data)),
+                    ],
+                );
+                followers
+                    .lock()
+                    .retain(|sink| sink.write_object(&commit).is_ok());
+            }
+        }
+        status
+    }
+
+    fn handle(&self, request: &ObjValue) -> ObjValue {
+        let op = request.field("op").and_then(ObjValue::as_str).unwrap_or("");
+        let path = request
+            .field("path")
+            .and_then(ObjValue::as_str)
+            .unwrap_or("")
+            .to_string();
+        let data = match request.field("data") {
+            Some(ObjValue::Bytes(b)) => b.clone(),
+            _ => TaintedBytes::new(),
+        };
+        let (status, payload) = match op {
+            "create" | "set" => match &self.role {
+                Role::Follower { leader } => {
+                    // Forward the write to the leader; our own tree gets
+                    // the value through the commit broadcast.
+                    let leader = leader.lock();
+                    match leader.call_raw(op, &path, data) {
+                        Ok((status, _)) => (status, TaintedBytes::new()),
+                        Err(_) => (STATUS_NO_NODE, TaintedBytes::new()),
+                    }
+                }
+                _ => (self.commit(op, &path, data), TaintedBytes::new()),
+            },
+            "get" => match self.read_through(&path) {
+                Some(bytes) => (STATUS_OK, bytes),
+                None => (STATUS_NO_NODE, TaintedBytes::new()),
+            },
+            "exists" => {
+                let found = self.read_through(&path).is_some();
+                (STATUS_OK, TaintedBytes::from_plain(vec![u8::from(found)]))
+            }
+            "watch" => {
+                let token = request
+                    .field("token")
+                    .and_then(ObjValue::as_int)
+                    .unwrap_or(0);
+                self.watches.lock().entry(path).or_default().push(token);
+                (STATUS_OK, TaintedBytes::new())
+            }
+            _ => (STATUS_NO_NODE, TaintedBytes::new()),
+        };
+        ObjValue::Record(
+            "ZkResponse".into(),
+            vec![
+                ("status".into(), ObjValue::int_plain(status)),
+                ("data".into(), ObjValue::Bytes(payload)),
+            ],
+        )
+    }
+
+    /// Local read with leader read-through on miss (read-your-writes for
+    /// clients of lagging followers).
+    fn read_through(&self, path: &str) -> Option<TaintedBytes> {
+        if let Some(bytes) = self.tree.read().get(path) {
+            return Some(bytes.clone());
+        }
+        if let Role::Follower { leader } = &self.role {
+            let leader = leader.lock();
+            if let Ok((status, bytes)) = leader.call_raw("get", path, TaintedBytes::new()) {
+                if status == STATUS_OK {
+                    // Cache the value locally (it is committed state).
+                    self.tree.write().insert(path.to_string(), bytes.clone());
+                    return Some(bytes);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A running ZooKeeper server (one ensemble member's client port).
+pub struct ZkServerHandle {
+    vm: Vm,
+    addr: NodeAddr,
+    core: Arc<ServerCore>,
+    running: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ZkServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZkServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ZkServerHandle {
+    /// Starts serving at `addr` on `vm` with the given replication core.
+    pub(crate) fn start(
+        vm: &Vm,
+        addr: NodeAddr,
+        core: Arc<ServerCore>,
+    ) -> Result<Self, JreError> {
+        let listener = ServerSocket::bind(vm, addr)?;
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_running = running.clone();
+        let accept_core = core.clone();
+        let acceptor = std::thread::Builder::new()
+            .name(format!("zk-server-{addr}"))
+            .spawn(move || {
+                while accept_running.load(Ordering::Relaxed) {
+                    let socket = match listener.accept() {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let core = accept_core.clone();
+                    std::thread::spawn(move || serve_session(socket, core));
+                }
+            })
+            .expect("spawn zk acceptor");
+        Ok(ZkServerHandle {
+            vm: vm.clone(),
+            addr,
+            core,
+            running,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// Starts a standalone (non-replicated) server — used by tests.
+    pub fn start_standalone(vm: &Vm, addr: NodeAddr) -> Result<Self, JreError> {
+        Self::start(vm, addr, ServerCore::new(Role::Standalone))
+    }
+
+    /// The client-port address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Spawns the commit-apply loop for a follower (follower side).
+    pub(crate) fn run_commit_loop(
+        &self,
+        input: ObjectInputStream<dista_jre::SocketInputStream>,
+    ) {
+        let core = self.core.clone();
+        std::thread::spawn(move || loop {
+            let Ok(commit) = input.read_object() else {
+                return;
+            };
+            let op = commit.field("op").and_then(ObjValue::as_str).unwrap_or("");
+            let path = commit
+                .field("path")
+                .and_then(ObjValue::as_str)
+                .unwrap_or("");
+            let data = match commit.field("data") {
+                Some(ObjValue::Bytes(b)) => b.clone(),
+                _ => TaintedBytes::new(),
+            };
+            core.apply(op, path, data);
+        });
+    }
+
+    /// Number of entries in this member's local tree (replication lag
+    /// diagnostics in tests).
+    pub fn local_tree_len(&self) -> usize {
+        self.core.tree.read().len()
+    }
+
+    /// Stops accepting sessions.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            self.running.store(false, Ordering::Relaxed);
+            if let Ok(s) = Socket::connect(&self.vm, self.addr) {
+                s.close();
+            }
+            self.vm.net().tcp_unlisten(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ZkServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_session(socket: Socket, core: Arc<ServerCore>) {
+    let input = ObjectInputStream::new(socket.input_stream());
+    let output = ObjectOutputStream::new(socket.output_stream());
+    loop {
+        let request = match input.read_object() {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        // A follower announcing itself turns this session into a commit
+        // channel (leader side).
+        if request.class_name() == Some("FollowerAttach") {
+            core_attach(&core, output);
+            return keep_reading_until_eof(input);
+        }
+        // A client announcing a watch channel parks this session as an
+        // event push stream.
+        if request.class_name() == Some("WatcherAttach") {
+            let token = request
+                .field("token")
+                .and_then(ObjValue::as_int)
+                .unwrap_or(0);
+            core.watch_channels.lock().insert(token, output);
+            return keep_reading_until_eof(input);
+        }
+        let response = core.handle(&request);
+        if output.write_object(&response).is_err() {
+            return;
+        }
+    }
+}
+
+fn core_attach(
+    core: &Arc<ServerCore>,
+    sink: ObjectOutputStream<dista_jre::SocketOutputStream>,
+) {
+    if let Role::Leader { followers } = &core.role {
+        followers.lock().push(sink);
+    }
+}
+
+fn keep_reading_until_eof(input: ObjectInputStream<dista_jre::SocketInputStream>) {
+    while input.read_object().is_ok() {}
+}
+
+static NEXT_SESSION_TOKEN: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI64::new(1);
+
+/// A change notification pushed to a watcher.
+#[derive(Debug, Clone)]
+pub struct WatchEvent {
+    /// The changed path.
+    pub path: String,
+    /// The new value, taints intact.
+    pub data: TaintedBytes,
+}
+
+/// A client's watch channel: blocks on pushed [`WatchEvent`]s.
+#[derive(Debug)]
+pub struct ZkWatcher {
+    input: ObjectInputStream<dista_jre::SocketInputStream>,
+    socket: Socket,
+}
+
+impl ZkWatcher {
+    /// Blocks until the next watch event arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors (including session close).
+    pub fn await_event(&self) -> Result<WatchEvent, ZkError> {
+        let event = self.input.read_object()?;
+        if event.class_name() != Some("WatchEvent") {
+            return Err(ZkError::Io(JreError::Protocol("expected a WatchEvent")));
+        }
+        let path = event
+            .field("path")
+            .and_then(ObjValue::as_str)
+            .ok_or(JreError::Protocol("event missing path"))?
+            .to_string();
+        let data = match event.field("data") {
+            Some(ObjValue::Bytes(b)) => b.clone(),
+            _ => TaintedBytes::new(),
+        };
+        Ok(WatchEvent { path, data })
+    }
+
+    /// Closes the watch channel.
+    pub fn close(&self) {
+        self.socket.close();
+    }
+}
+
+/// A ZooKeeper client session.
+#[derive(Debug)]
+pub struct ZkClient {
+    vm: Vm,
+    addr: NodeAddr,
+    token: i64,
+    input: ObjectInputStream<dista_jre::SocketInputStream>,
+    output: ObjectOutputStream<dista_jre::SocketOutputStream>,
+    socket: Socket,
+}
+
+impl ZkClient {
+    /// Connects to a server's client port.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn connect(vm: &Vm, addr: NodeAddr) -> Result<Self, ZkError> {
+        let socket = Socket::connect(vm, addr)?;
+        Ok(ZkClient {
+            vm: vm.clone(),
+            addr,
+            token: NEXT_SESSION_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            input: ObjectInputStream::new(socket.input_stream()),
+            output: ObjectOutputStream::new(socket.output_stream()),
+            socket,
+        })
+    }
+
+    /// Opens this session's watch channel. Call before [`ZkClient::watch`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn attach_watcher(&self) -> Result<ZkWatcher, ZkError> {
+        let socket = Socket::connect(&self.vm, self.addr)?;
+        ObjectOutputStream::new(socket.output_stream()).write_object(&ObjValue::Record(
+            "WatcherAttach".into(),
+            vec![("token".into(), ObjValue::int_plain(self.token))],
+        ))?;
+        Ok(ZkWatcher {
+            input: ObjectInputStream::new(socket.input_stream()),
+            socket,
+        })
+    }
+
+    /// Registers a one-shot watch on `path`; the next create/set there
+    /// pushes a [`WatchEvent`] to this session's watcher.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn watch(&self, path: &str) -> Result<(), ZkError> {
+        let request = ObjValue::Record(
+            "ZkRequest".into(),
+            vec![
+                ("op".into(), ObjValue::str_plain("watch")),
+                ("path".into(), ObjValue::str_plain(path)),
+                ("token".into(), ObjValue::int_plain(self.token)),
+                ("data".into(), ObjValue::Bytes(TaintedBytes::new())),
+            ],
+        );
+        self.output.write_object(&request)?;
+        let response = self.input.read_object()?;
+        let status = response
+            .field("status")
+            .and_then(ObjValue::as_int)
+            .ok_or(JreError::Protocol("malformed zk response"))?;
+        Self::check(status, path)
+    }
+
+    pub(crate) fn call_raw(
+        &self,
+        op: &str,
+        path: &str,
+        data: TaintedBytes,
+    ) -> Result<(i64, TaintedBytes), ZkError> {
+        let request = ObjValue::Record(
+            "ZkRequest".into(),
+            vec![
+                ("op".into(), ObjValue::str_plain(op)),
+                ("path".into(), ObjValue::str_plain(path)),
+                ("data".into(), ObjValue::Bytes(data)),
+            ],
+        );
+        self.output.write_object(&request)?;
+        let response = self.input.read_object()?;
+        let status = response
+            .field("status")
+            .and_then(ObjValue::as_int)
+            .ok_or(JreError::Protocol("malformed zk response"))?;
+        let payload = match response.field("data") {
+            Some(ObjValue::Bytes(b)) => b.clone(),
+            _ => TaintedBytes::new(),
+        };
+        Ok((status, payload))
+    }
+
+    fn check(status: i64, path: &str) -> Result<(), ZkError> {
+        match status {
+            STATUS_OK => Ok(()),
+            STATUS_NO_NODE => Err(ZkError::NoNode(path.to_string())),
+            STATUS_NODE_EXISTS => Err(ZkError::NodeExists(path.to_string())),
+            _ => Err(ZkError::Io(JreError::Protocol("unknown zk status"))),
+        }
+    }
+
+    /// Creates a node.
+    ///
+    /// # Errors
+    ///
+    /// [`ZkError::NodeExists`] or transport errors.
+    pub fn create(&self, path: &str, data: TaintedBytes) -> Result<(), ZkError> {
+        let (status, _) = self.call_raw("create", path, data)?;
+        Self::check(status, path)
+    }
+
+    /// Overwrites a node.
+    ///
+    /// # Errors
+    ///
+    /// [`ZkError::NoNode`] or transport errors.
+    pub fn set(&self, path: &str, data: TaintedBytes) -> Result<(), ZkError> {
+        let (status, _) = self.call_raw("set", path, data)?;
+        Self::check(status, path)
+    }
+
+    /// Reads a node (with the stored per-byte taints, which crossed the
+    /// wire both ways — and through replication).
+    ///
+    /// # Errors
+    ///
+    /// [`ZkError::NoNode`] or transport errors.
+    pub fn get(&self, path: &str) -> Result<TaintedBytes, ZkError> {
+        let (status, payload) = self.call_raw("get", path, TaintedBytes::new())?;
+        Self::check(status, path)?;
+        Ok(payload)
+    }
+
+    /// Whether a node exists.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn exists(&self, path: &str) -> Result<bool, ZkError> {
+        let (status, payload) = self.call_raw("exists", path, TaintedBytes::new())?;
+        Self::check(status, path)?;
+        Ok(payload.data() == [1])
+    }
+
+    /// The VM running this client.
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// Closes the session.
+    pub fn close(&self) {
+        self.socket.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_core::{Cluster, Mode};
+    use dista_taint::TagValue;
+
+    fn rig() -> (Cluster, ZkServerHandle) {
+        let cluster = Cluster::builder(Mode::Dista).nodes("zk", 2).build().unwrap();
+        let server =
+            ZkServerHandle::start_standalone(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 2181))
+                .unwrap();
+        (cluster, server)
+    }
+
+    #[test]
+    fn create_get_set_exists() {
+        let (cluster, server) = rig();
+        let client = ZkClient::connect(cluster.vm(1), server.addr()).unwrap();
+        assert!(!client.exists("/a").unwrap());
+        client.create("/a", TaintedBytes::from_plain(b"v1".to_vec())).unwrap();
+        assert!(client.exists("/a").unwrap());
+        assert_eq!(client.get("/a").unwrap().data(), b"v1");
+        client.set("/a", TaintedBytes::from_plain(b"v2".to_vec())).unwrap();
+        assert_eq!(client.get("/a").unwrap().data(), b"v2");
+        client.close();
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn error_statuses() {
+        let (cluster, server) = rig();
+        let client = ZkClient::connect(cluster.vm(1), server.addr()).unwrap();
+        assert_eq!(
+            client.get("/missing"),
+            Err(ZkError::NoNode("/missing".into()))
+        );
+        client.create("/dup", TaintedBytes::new()).unwrap();
+        assert_eq!(
+            client.create("/dup", TaintedBytes::new()),
+            Err(ZkError::NodeExists("/dup".into()))
+        );
+        assert_eq!(client.set("/nope", TaintedBytes::new()), Err(ZkError::NoNode("/nope".into())));
+        client.close();
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn taints_survive_store_and_fetch() {
+        // Client A writes tainted data; client B (different node) reads
+        // it back — the taint crosses client→server→client.
+        let (cluster, server) = rig();
+        let writer = ZkClient::connect(cluster.vm(1), server.addr()).unwrap();
+        let t = cluster
+            .vm(1)
+            .store()
+            .mint_source_taint(TagValue::str("meta"));
+        writer
+            .create("/hbase/meta", TaintedBytes::uniform(b"rs2:16020", t))
+            .unwrap();
+
+        let reader = ZkClient::connect(cluster.vm(1), server.addr()).unwrap();
+        let got = reader.get("/hbase/meta").unwrap();
+        assert_eq!(got.data(), b"rs2:16020");
+        assert_eq!(
+            cluster
+                .vm(1)
+                .store()
+                .tag_values(got.taint_union(cluster.vm(1).store())),
+            vec!["meta".to_string()]
+        );
+        writer.close();
+        reader.close();
+        server.shutdown();
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,211 @@
+//! A ZooKeeper-backed Taint Map storage backend (paper §IV: "Taint Map
+//! can be replaced by other mature K-V store systems such as ZooKeeper
+//! and etcd to improve its performance").
+//!
+//! Global taints live in the ZooKeeper data tree:
+//!
+//! ```text
+//! /dista/taintmap/next          big-endian u32: last assigned id
+//! /dista/taintmap/id-<gid>      the serialized taint bytes
+//! /dista/taintmap/hash-<h>-<k>  dedup index: fnv64(bytes) (+probe) → gid
+//! ```
+//!
+//! Because the state survives the Taint Map *process*, a restarted
+//! service keeps serving previously assigned Global IDs — the durability
+//! upgrade the paper gestures at.
+
+use dista_jre::Vm;
+use dista_simnet::NodeAddr;
+use dista_taint::TaintedBytes;
+use dista_taintmap::TaintMapBackend;
+use parking_lot::Mutex;
+
+use crate::server::{ZkClient, ZkError};
+
+const ROOT: &str = "/dista/taintmap";
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Taint Map storage living in a mini-ZooKeeper ensemble.
+pub struct ZkTaintMapBackend {
+    zk: Mutex<ZkClient>,
+}
+
+impl std::fmt::Debug for ZkTaintMapBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZkTaintMapBackend").finish()
+    }
+}
+
+impl ZkTaintMapBackend {
+    /// Connects the backend to a ZooKeeper client port. The Taint Map
+    /// server process owns this session; all mutation goes through it.
+    ///
+    /// # Errors
+    ///
+    /// ZooKeeper connection errors.
+    pub fn connect(vm: &Vm, zk_addr: NodeAddr) -> Result<Self, ZkError> {
+        Ok(ZkTaintMapBackend {
+            zk: Mutex::new(ZkClient::connect(vm, zk_addr)?),
+        })
+    }
+
+    fn read_u32(zk: &ZkClient, path: &str) -> Option<u32> {
+        let bytes = zk.get(path).ok()?;
+        let d = bytes.data();
+        (d.len() == 4).then(|| u32::from_be_bytes([d[0], d[1], d[2], d[3]]))
+    }
+
+    fn write_u32(zk: &ZkClient, path: &str, value: u32) {
+        let bytes = TaintedBytes::from_plain(value.to_be_bytes().to_vec());
+        if zk.set(path, bytes.clone()).is_err() {
+            let _ = zk.create(path, bytes);
+        }
+    }
+}
+
+impl TaintMapBackend for ZkTaintMapBackend {
+    fn register(&self, serialized: &[u8]) -> u32 {
+        let zk = self.zk.lock();
+        let hash = fnv64(serialized);
+        // Probe the dedup index (collision chain).
+        for k in 0.. {
+            let hash_path = format!("{ROOT}/hash-{hash:016x}-{k}");
+            match Self::read_u32(&zk, &hash_path) {
+                Some(gid) => {
+                    // Verify against the stored bytes (collision guard).
+                    if zk
+                        .get(&format!("{ROOT}/id-{gid}"))
+                        .map(|b| b.data() == serialized)
+                        .unwrap_or(false)
+                    {
+                        return gid;
+                    }
+                    // Different bytes with the same hash: keep probing.
+                }
+                None => {
+                    // Fresh taint: allocate the next id and record it.
+                    let gid = Self::read_u32(&zk, &format!("{ROOT}/next")).unwrap_or(0) + 1;
+                    Self::write_u32(&zk, &format!("{ROOT}/next"), gid);
+                    let _ = zk.create(
+                        &format!("{ROOT}/id-{gid}"),
+                        TaintedBytes::from_plain(serialized.to_vec()),
+                    );
+                    Self::write_u32(&zk, &hash_path, gid);
+                    return gid;
+                }
+            }
+        }
+        unreachable!("probe loop always returns")
+    }
+
+    fn lookup(&self, gid: u32) -> Option<Vec<u8>> {
+        let zk = self.zk.lock();
+        zk.get(&format!("{ROOT}/id-{gid}"))
+            .ok()
+            .map(|b| b.into_plain())
+    }
+
+    fn insert_replicated(&self, gid: u32, serialized: &[u8]) {
+        let zk = self.zk.lock();
+        let next = Self::read_u32(&zk, &format!("{ROOT}/next")).unwrap_or(0);
+        if gid > next {
+            Self::write_u32(&zk, &format!("{ROOT}/next"), gid);
+        }
+        let bytes = TaintedBytes::from_plain(serialized.to_vec());
+        if zk.set(&format!("{ROOT}/id-{gid}"), bytes.clone()).is_err() {
+            let _ = zk.create(&format!("{ROOT}/id-{gid}"), bytes);
+        }
+        let hash = fnv64(serialized);
+        Self::write_u32(&zk, &format!("{ROOT}/hash-{hash:016x}-0"), gid);
+    }
+
+    fn len(&self) -> u64 {
+        let zk = self.zk.lock();
+        Self::read_u32(&zk, &format!("{ROOT}/next")).unwrap_or(0).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ZkEnsemble, ZkEnsembleConfig};
+    use dista_core::{Cluster, Mode};
+    use dista_taint::TagValue;
+    use dista_taintmap::{TaintMapClient, TaintMapConfig, TaintMapServer};
+    use std::sync::Arc;
+
+    #[test]
+    fn backend_dedups_and_roundtrips() {
+        let cluster = Cluster::builder(Mode::Original).nodes("zk", 3).build().unwrap();
+        let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
+        let backend =
+            ZkTaintMapBackend::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap();
+        let a = backend.register(b"taint-a");
+        let b = backend.register(b"taint-b");
+        assert_ne!(a, b);
+        assert_eq!(backend.register(b"taint-a"), a);
+        assert_eq!(backend.lookup(a).as_deref(), Some(b"taint-a".as_ref()));
+        assert_eq!(backend.lookup(999), None);
+        assert_eq!(backend.len(), 2);
+        ensemble.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn taint_map_state_survives_service_restart() {
+        // The durability upgrade of §IV: the Taint Map process dies and
+        // restarts, but its state lives in ZooKeeper.
+        let cluster = Cluster::builder(Mode::Original).nodes("zk", 3).build().unwrap();
+        let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
+        let net = cluster.net().clone();
+        let tm_addr = NodeAddr::new([10, 0, 0, 50], 7700);
+
+        let backend = Arc::new(
+            ZkTaintMapBackend::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap(),
+        );
+        let server = TaintMapServer::spawn_with_backend(
+            &net,
+            tm_addr,
+            TaintMapConfig::default(),
+            backend,
+        )
+        .unwrap();
+
+        let store = dista_taint::TaintStore::new(dista_taint::LocalId::new([10, 0, 0, 1], 1));
+        let client = TaintMapClient::connect(&net, tm_addr, store.clone()).unwrap();
+        let t = store.mint_source_taint(TagValue::str("durable"));
+        let gid = client.global_id_for(t).unwrap();
+        server.shutdown();
+
+        // Restart the service on a fresh backend session — same ZK tree.
+        let backend2 = Arc::new(
+            ZkTaintMapBackend::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap(),
+        );
+        let server2 = TaintMapServer::spawn_with_backend(
+            &net,
+            tm_addr,
+            TaintMapConfig::default(),
+            backend2,
+        )
+        .unwrap();
+        let store2 = dista_taint::TaintStore::new(dista_taint::LocalId::new([10, 0, 0, 2], 2));
+        let client2 = TaintMapClient::connect(&net, tm_addr, store2.clone()).unwrap();
+        let resolved = client2.taint_for(gid).unwrap();
+        assert_eq!(store2.tag_values(resolved), vec!["durable".to_string()]);
+        // And new registrations continue from the persisted counter.
+        let t2 = store2.mint_source_taint(TagValue::str("fresh"));
+        let gid2 = client2.global_id_for(t2).unwrap();
+        assert!(gid2.0 > gid.0);
+        server2.shutdown();
+        ensemble.shutdown();
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,195 @@
+//! Votes and notifications — the messages of fast leader election.
+
+use dista_jre::{JreError, ObjValue, Vm};
+use dista_taint::{Taint, Tainted};
+
+/// Peer states during election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerState {
+    /// Still electing.
+    Looking,
+    /// Elected leader.
+    Leading,
+    /// Following an elected leader.
+    Following,
+}
+
+impl ServerState {
+    fn code(self) -> i64 {
+        match self {
+            ServerState::Looking => 0,
+            ServerState::Leading => 1,
+            ServerState::Following => 2,
+        }
+    }
+
+    fn from_code(code: i64) -> Result<Self, JreError> {
+        Ok(match code {
+            0 => ServerState::Looking,
+            1 => ServerState::Leading,
+            2 => ServerState::Following,
+            _ => return Err(JreError::Protocol("unknown server state")),
+        })
+    }
+}
+
+/// A vote: "I propose `leader` whose log ends at `zxid` in `epoch`".
+///
+/// The `leader` and `zxid` fields carry taints — `leader` is the SDT
+/// source variable, `zxid` inherits the txn-log file taint in SIM runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vote {
+    /// Proposed leader id (the SDT-tainted variable).
+    pub leader: Tainted<i64>,
+    /// Proposer's last zxid (file-tainted in SIM runs).
+    pub zxid: Tainted<i64>,
+    /// Election epoch.
+    pub epoch: i64,
+    /// Sender's server id.
+    pub from: i64,
+    /// Sender's state.
+    pub state: ServerState,
+}
+
+impl Vote {
+    /// Total order used by fast leader election: higher (epoch, zxid,
+    /// leader id) wins.
+    pub fn beats(&self, other: &Vote) -> bool {
+        (self.epoch, *self.zxid.value(), *self.leader.value())
+            > (other.epoch, *other.zxid.value(), *other.leader.value())
+    }
+
+    /// Combined taint of the vote's tracked fields.
+    pub fn taint(&self, vm: &Vm) -> Taint {
+        vm.store().union(self.leader.taint(), self.zxid.taint())
+    }
+
+    /// Serializes to an object-stream record.
+    pub fn to_obj(&self) -> ObjValue {
+        ObjValue::Record(
+            "Vote".into(),
+            vec![
+                (
+                    "leader".into(),
+                    ObjValue::Int(*self.leader.value(), self.leader.taint()),
+                ),
+                (
+                    "zxid".into(),
+                    ObjValue::Int(*self.zxid.value(), self.zxid.taint()),
+                ),
+                ("epoch".into(), ObjValue::int_plain(self.epoch)),
+                ("from".into(), ObjValue::int_plain(self.from)),
+                ("state".into(), ObjValue::int_plain(self.state.code())),
+            ],
+        )
+    }
+
+    /// Deserializes from an object-stream record.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] if the record is not a well-formed vote.
+    pub fn from_obj(obj: &ObjValue) -> Result<Vote, JreError> {
+        if obj.class_name() != Some("Vote") {
+            return Err(JreError::Protocol("not a Vote record"));
+        }
+        let int_field = |name: &str| -> Result<(i64, Taint), JreError> {
+            match obj.field(name) {
+                Some(ObjValue::Int(v, t)) => Ok((*v, *t)),
+                _ => Err(JreError::Protocol("missing vote field")),
+            }
+        };
+        let (leader, leader_t) = int_field("leader")?;
+        let (zxid, zxid_t) = int_field("zxid")?;
+        let (epoch, _) = int_field("epoch")?;
+        let (from, _) = int_field("from")?;
+        let (state, _) = int_field("state")?;
+        Ok(Vote {
+            leader: Tainted::new(leader, leader_t),
+            zxid: Tainted::new(zxid, zxid_t),
+            epoch,
+            from,
+            state: ServerState::from_code(state)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_jre::Mode;
+    use dista_simnet::SimNet;
+    use dista_taint::TagValue;
+
+    fn vm() -> Vm {
+        Vm::builder("t", &SimNet::new())
+            .mode(Mode::Phosphor)
+            .build()
+            .unwrap()
+    }
+
+    fn vote(vm: &Vm, leader: i64, zxid: i64, epoch: i64) -> Vote {
+        let t = vm.store().mint_source_taint(TagValue::str(format!("v{leader}")));
+        Vote {
+            leader: Tainted::new(leader, t),
+            zxid: Tainted::untainted(zxid),
+            epoch,
+            from: leader,
+            state: ServerState::Looking,
+        }
+    }
+
+    #[test]
+    fn ordering_is_epoch_zxid_id() {
+        let vm = vm();
+        let low = vote(&vm, 3, 10, 1);
+        let higher_epoch = vote(&vm, 1, 0, 2);
+        assert!(higher_epoch.beats(&low));
+        let higher_zxid = vote(&vm, 1, 20, 1);
+        assert!(higher_zxid.beats(&low));
+        let higher_id = vote(&vm, 5, 10, 1);
+        assert!(higher_id.beats(&low));
+        assert!(!low.beats(&low));
+    }
+
+    #[test]
+    fn obj_roundtrip_keeps_taints() {
+        let vm = vm();
+        let v = vote(&vm, 2, 0x100, 1);
+        let back = Vote::from_obj(&v.to_obj()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(vm.store().tag_values(back.leader.taint()), vec!["v2"]);
+    }
+
+    #[test]
+    fn malformed_records_error() {
+        assert!(Vote::from_obj(&ObjValue::int_plain(1)).is_err());
+        assert!(Vote::from_obj(&ObjValue::Record("Vote".into(), vec![])).is_err());
+        let bad_state = ObjValue::Record(
+            "Vote".into(),
+            vec![
+                ("leader".into(), ObjValue::int_plain(1)),
+                ("zxid".into(), ObjValue::int_plain(1)),
+                ("epoch".into(), ObjValue::int_plain(1)),
+                ("from".into(), ObjValue::int_plain(1)),
+                ("state".into(), ObjValue::int_plain(99)),
+            ],
+        );
+        assert!(Vote::from_obj(&bad_state).is_err());
+    }
+
+    #[test]
+    fn taint_unions_leader_and_zxid() {
+        let vm = vm();
+        let tl = vm.store().mint_source_taint(TagValue::str("L"));
+        let tz = vm.store().mint_source_taint(TagValue::str("Z"));
+        let v = Vote {
+            leader: Tainted::new(1, tl),
+            zxid: Tainted::new(2, tz),
+            epoch: 0,
+            from: 1,
+            state: ServerState::Looking,
+        };
+        assert_eq!(vm.store().tag_values(v.taint(&vm)), vec!["L", "Z"]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Cross-system taint tracking: HBase + ZooKeeper — paper §V-B: "this
+//! workload can be considered a cross-system taint tracking scenario."
+//!
+//! ```text
+//! cargo run --example cross_system
+//! ```
+//!
+//! A RegionServer's configuration value enters ZooKeeper (system 1),
+//! is consumed by the HMaster and the HBase client (system 2), and the
+//! client's tainted `TableName` rides the protobuf RPC to the
+//! RegionServer and back into the `Result`.
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::hbase::{seed_config, HMaster, HTable, RegionServer, HTABLE_CLASS};
+use dista_repro::jre::{FILE_INPUT_STREAM_CLASS, LOGGER_CLASS};
+use dista_repro::simnet::NodeAddr;
+use dista_repro::taint::{MethodDesc, SourceSinkSpec, TaintedBytes};
+use dista_repro::zookeeper::{ZkClient, ZkEnsemble, ZkEnsembleConfig};
+
+fn main() {
+    let mut spec = SourceSinkSpec::new();
+    spec.add_source(MethodDesc::new(FILE_INPUT_STREAM_CLASS, "read"))
+        .add_source(MethodDesc::new(HTABLE_CLASS, "tableName"))
+        .add_sink(MethodDesc::new(LOGGER_CLASS, "info"))
+        .add_sink(MethodDesc::new(HTABLE_CLASS, "getResult"));
+
+    // VMs: 0 = HMaster, 1-2 = RegionServers, 3 = client; ZooKeeper peers
+    // co-located on VMs 0-2 (the paper's deployment).
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("hb", 4)
+        .spec(spec)
+        .build()
+        .expect("cluster");
+    let zk_vms: Vec<_> = cluster.vms()[..3].to_vec();
+    let ensemble = ZkEnsemble::start(&zk_vms, ZkEnsembleConfig::default()).expect("zk");
+
+    let mut region_servers = Vec::new();
+    for (i, vm) in cluster.vms()[1..3].iter().enumerate() {
+        seed_config(vm, &format!("rs-host-{i}"));
+        let rs = RegionServer::start(vm, NodeAddr::new(vm.ip(), 16020)).expect("rs");
+        let zk = ZkClient::connect(vm, ensemble.any_client_addr()).expect("zk client");
+        rs.register_in_zk(&zk, i).expect("register");
+        zk.close();
+        region_servers.push(rs);
+    }
+    let master = HMaster::start(cluster.vm(0), ensemble.any_client_addr()).expect("master");
+    let servers = master.wait_for_region_servers(2).expect("discovery");
+    master.assign_tables(&["users"], &servers).expect("assign");
+
+    let table = HTable::open(cluster.vm(3), ensemble.any_client_addr(), "users").expect("open");
+    table
+        .put(b"alice", TaintedBytes::from_plain(b"alice@example.org".to_vec()))
+        .expect("put");
+    let result = table.get(b"alice").expect("get");
+    println!("get(users, alice) → {:?}", String::from_utf8_lossy(result.cells[0].value.data()));
+    println!(
+        "result taints (client store): {:?}",
+        cluster.vm(3).store().tag_values(result.taint)
+    );
+
+    println!("\ntaint flows observed across the two systems:");
+    for (node, report) in cluster.sink_reports() {
+        for event in &report.events {
+            if event.is_tainted() {
+                println!("  {node}: {} saw {:?}", event.sink, event.tags);
+            }
+        }
+    }
+    println!("\n→ the RS config taint crossed RegionServer → ZooKeeper → HMaster/client,");
+    println!("  and the client's TableName taint crossed client → RegionServer → client.");
+
+    table.close();
+    master.shutdown();
+    for rs in region_servers {
+        rs.shutdown();
+    }
+    ensemble.shutdown();
+    cluster.shutdown();
+}

@@ -1,0 +1,114 @@
+//! Extending DisTA to a custom native communication library — paper §VI:
+//! "distributed system developers can design their own native
+//! communication libraries and corresponding JNI methods … users can
+//! follow the three instrumentation ways and extend our instrumentation
+//! interfaces to instrument them."
+//!
+//! ```text
+//! cargo run --example custom_jni_extension
+//! ```
+//!
+//! The "vendor library" below talks straight to the taint-oblivious OS
+//! layer (raw `TcpEndpoint`s — our stand-in for bespoke JNI methods), so
+//! out of the box its messages lose their taints. Wrapping each endpoint
+//! in a [`BoundaryStream`] — the Type-1 instrumentation interface — is
+//! the entire integration: ~10 lines, no changes to DisTA itself.
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::jre::{BoundaryStream, JreError, Vm};
+use dista_repro::simnet::{NodeAddr, TcpEndpoint};
+use dista_repro::taint::{Payload, TagValue, TaintedBytes};
+
+/// A third-party transport with its own framing: `0xCAFE` magic, u16
+/// length, body. Its send/recv are "native methods" — they only ever see
+/// raw bytes.
+mod vendor_lib {
+    use super::*;
+
+    pub fn send_native(ep: &TcpEndpoint, body: &[u8]) {
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&0xCAFEu16.to_be_bytes());
+        frame.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        frame.extend_from_slice(body);
+        ep.write(&frame).expect("vendor send");
+    }
+
+    pub fn recv_native(ep: &TcpEndpoint) -> Vec<u8> {
+        let mut header = [0u8; 4];
+        ep.read_exact(&mut header).expect("vendor recv header");
+        assert_eq!(u16::from_be_bytes([header[0], header[1]]), 0xCAFE);
+        let len = u16::from_be_bytes([header[2], header[3]]) as usize;
+        let mut body = vec![0u8; len];
+        ep.read_exact(&mut body).expect("vendor recv body");
+        body
+    }
+}
+
+/// The user's DisTA extension: the same vendor framing, but each side's
+/// endpoint is wrapped in a `BoundaryStream` (Type 1 instrumentation),
+/// so the magic/length scaffolding stays plain while the body's bytes
+/// cross with their Global IDs.
+mod vendor_lib_instrumented {
+    use super::*;
+
+    pub fn send(vm: &Vm, ep: TcpEndpoint, body: &Payload) -> Result<(), JreError> {
+        let boundary = BoundaryStream::new(vm.clone(), ep);
+        let mut header = Vec::with_capacity(4);
+        header.extend_from_slice(&0xCAFEu16.to_be_bytes());
+        header.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        boundary.write_payload(&Payload::Plain(header))?;
+        boundary.write_payload(body)
+    }
+
+    pub fn recv(vm: &Vm, ep: TcpEndpoint) -> Result<Payload, JreError> {
+        let boundary = BoundaryStream::new(vm.clone(), ep);
+        let header = boundary.read_exact_payload(4)?.into_plain();
+        assert_eq!(u16::from_be_bytes([header[0], header[1]]), 0xCAFE);
+        let len = u16::from_be_bytes([header[2], header[3]]) as usize;
+        boundary.read_exact_payload(len)
+    }
+}
+
+fn pipe(cluster: &Cluster, port: u16) -> (TcpEndpoint, TcpEndpoint) {
+    let listener = cluster
+        .net()
+        .tcp_listen(NodeAddr::new([10, 0, 0, 2], port))
+        .expect("listen");
+    let client = cluster
+        .net()
+        .tcp_connect_from([10, 0, 0, 1], NodeAddr::new([10, 0, 0, 2], port))
+        .expect("connect");
+    let served = listener.accept().expect("accept");
+    (client, served)
+}
+
+fn main() {
+    let cluster = Cluster::builder(Mode::Dista).nodes("ext", 2).build().expect("cluster");
+    let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+    let secret = vm1.store().mint_source_taint(TagValue::str("api-key"));
+    let message = Payload::Tainted(TaintedBytes::uniform(b"key=sk-123456", secret));
+
+    // 1) The vendor library as shipped: taints die in "native" code.
+    let (tx, rx) = pipe(&cluster, 9100);
+    vendor_lib::send_native(&tx, message.data());
+    let received = vendor_lib::recv_native(&rx);
+    println!(
+        "uninstrumented vendor lib: bytes ok = {}, taints = (none — lost in native code)",
+        received == message.data()
+    );
+
+    // 2) The ~10-line DisTA extension: same framing, taints survive.
+    let (tx, rx) = pipe(&cluster, 9101);
+    let reader = std::thread::spawn(move || vendor_lib_instrumented::recv(&vm2, rx).expect("recv"));
+    vendor_lib_instrumented::send(&vm1, tx, &message).expect("send");
+    let received = reader.join().expect("join");
+    let receiver = cluster.vm(1);
+    println!(
+        "instrumented vendor lib:   bytes ok = {}, taints = {:?}",
+        received.data() == message.data(),
+        receiver
+            .store()
+            .tag_values(received.taint_union(receiver.store()))
+    );
+    cluster.shutdown();
+}

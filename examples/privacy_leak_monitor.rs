@@ -1,0 +1,56 @@
+//! SIM scenario (data-leak detection): monitor whether configuration
+//! file contents leak into log statements on *other* nodes — paper
+//! Table IV row 2 and the Fig. 11 walkthrough.
+//!
+//! ```text
+//! cargo run --example privacy_leak_monitor
+//! ```
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::jre::{FILE_INPUT_STREAM_CLASS, LOGGER_CLASS};
+use dista_repro::taint::{MethodDesc, SourceSinkSpec};
+use dista_repro::zookeeper::{ZkEnsemble, ZkEnsembleConfig};
+
+fn main() {
+    // SIM spec: every file read is a source, every LOG.info a sink.
+    let mut spec = SourceSinkSpec::new();
+    spec.add_source(MethodDesc::new(FILE_INPUT_STREAM_CLASS, "read"))
+        .add_sink(MethodDesc::new(LOGGER_CLASS, "info"));
+
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("zk", 3)
+        .spec(spec)
+        .build()
+        .expect("cluster");
+
+    // Fig. 11: node 1 has three transaction-log files; only the last
+    // one's zxid flows onward.
+    let ensemble = ZkEnsemble::start(
+        cluster.vms(),
+        ZkEnsembleConfig {
+            txn_logs: vec![vec![10, 20, 30], vec![10], vec![10]],
+            ..Default::default()
+        },
+    )
+    .expect("ensemble");
+    println!("leader elected: zk{}\n", ensemble.leader());
+
+    println!("file-content flows observed at LOG.info sinks:");
+    let mut leaks = 0;
+    for (node, report) in cluster.sink_reports() {
+        for event in report.at("LOG.info") {
+            if event.is_tainted() {
+                leaks += 1;
+                println!("  LEAK on {node}: log statement printed data derived from {:?}",
+                    event.tags);
+            }
+        }
+    }
+    println!(
+        "\n→ {leaks} tainted log statement(s); note only the LAST file read on the"
+    );
+    println!("  leader leaked (the first two taints were minted but never propagated),");
+    println!("  reproducing the precision analysis of the paper's Fig. 11.");
+    ensemble.shutdown();
+    cluster.shutdown();
+}

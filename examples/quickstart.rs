@@ -1,0 +1,62 @@
+//! Quickstart: two nodes, one secret, three tracking modes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Node 1 taints a password and sends it over an ordinary TCP socket;
+//! node 2 checks what arrives. With DisTA the taint crosses the wire;
+//! with plain Phosphor (intra-node only) it silently disappears — the
+//! exact gap the paper closes.
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::jre::{InputStream, OutputStream, ServerSocket, Socket};
+use dista_repro::simnet::NodeAddr;
+use dista_repro::taint::{Payload, TagValue, TaintedBytes};
+
+fn send_secret(mode: Mode) -> Vec<String> {
+    let cluster = Cluster::builder(mode)
+        .node("sender", [10, 0, 0, 1])
+        .node("receiver", [10, 0, 0, 2])
+        .build()
+        .expect("cluster");
+    let (sender, receiver) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+
+    let server = ServerSocket::bind(&receiver, NodeAddr::new([10, 0, 0, 2], 443)).expect("bind");
+    let listener = std::thread::spawn(move || {
+        let conn = server.accept().expect("accept");
+        conn.input_stream().read_exact(8).expect("read")
+    });
+
+    // Taint source: the password read from the operator.
+    let taint = sender.store().mint_source_taint(TagValue::str("password"));
+    let client = Socket::connect(&sender, NodeAddr::new([10, 0, 0, 2], 443)).expect("connect");
+    client
+        .output_stream()
+        .write(&Payload::Tainted(TaintedBytes::uniform(b"hunter2!", taint)))
+        .expect("send");
+
+    // Taint sink: whatever the receiver got.
+    let received = listener.join().expect("listener");
+    assert_eq!(received.data(), b"hunter2!");
+    let tags = receiver
+        .store()
+        .tag_values(received.taint_union(receiver.store()));
+    cluster.shutdown();
+    tags
+}
+
+fn main() {
+    println!("sending a tainted password across two simulated JVMs...\n");
+    for mode in [Mode::Phosphor, Mode::Dista] {
+        let tags = send_secret(mode);
+        println!(
+            "{mode:>8}: receiver sees tags {tags:?} {}",
+            if tags.is_empty() {
+                "→ the taint died at the JNI boundary (paper Fig. 4)"
+            } else {
+                "→ inter-node tracking works"
+            }
+        );
+    }
+}

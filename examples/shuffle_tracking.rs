@@ -1,0 +1,53 @@
+//! Taint tracking through a MapReduce shuffle — the Kakute contrast.
+//!
+//! ```text
+//! cargo run --example shuffle_tracking
+//! ```
+//!
+//! Kakute (the paper's Spark-specific predecessor) instruments Spark's
+//! shuffle APIs by hand. DisTA needs no shuffle-specific hooks: a
+//! WordCount job's map outputs travel mapper-NM → reducer-NM through the
+//! same instrumented NIO channels as everything else, so a classified
+//! document's taint arrives on exactly the words that came from it — and
+//! on nothing else.
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::mapreduce::run_wordcount_job;
+use dista_repro::taint::{TagValue, TaintedBytes};
+
+fn main() {
+    let cluster = Cluster::builder(Mode::Dista).nodes("yarn", 4).build().expect("cluster");
+    let client_vm = cluster.vm(3).clone();
+
+    // A document that mixes classified and public text.
+    let secret = client_vm
+        .store()
+        .mint_source_taint(TagValue::str("dossier-7"));
+    let mut input = TaintedBytes::uniform(
+        b"codename aurora handler meeting aurora ".to_vec(),
+        secret,
+    );
+    input.extend_plain(b"weather report sunny tomorrow weather");
+
+    let result = run_wordcount_job(cluster.vms(), input, 3, 2).expect("job");
+    println!("word counts after map → shuffle → reduce:\n");
+    for cell in &result.report.word_counts {
+        let tags = client_vm.store().tag_values(cell.word.taint());
+        println!(
+            "  {:>10} × {}   {}",
+            cell.word.value(),
+            cell.count,
+            if tags.is_empty() {
+                "(untainted)".to_string()
+            } else {
+                format!("tainted by {tags:?}")
+            }
+        );
+    }
+    println!(
+        "\n→ only the classified document's words carry \"dossier-7\" — byte-level"
+    );
+    println!("  precision survived two network hops and a shuffle, with zero");
+    println!("  shuffle-specific instrumentation.");
+    cluster.shutdown();
+}

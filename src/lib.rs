@@ -1,0 +1,95 @@
+//! # dista-repro — umbrella crate for the DisTA reproduction
+//!
+//! Re-exports every layer of the workspace so examples, integration
+//! tests and downstream users can depend on one crate. See `README.md`
+//! for the architecture overview and `DESIGN.md` for the experiment
+//! index.
+//!
+//! * [`core`] — the DisTA facade ([`core::Cluster`], the instrumented
+//!   method registry, launch-script config).
+//! * [`taint`] — Phosphor-equivalent intra-node taint engine.
+//! * [`jre`] — the instrumented mini-JRE I/O classes.
+//! * [`simnet`] — the simulated OS (network, file system, metrics).
+//! * [`taintmap`] — the Taint Map service.
+//! * [`netty`] — the Netty-like framework.
+//! * [`zookeeper`], [`mapreduce`], [`activemq`], [`rocketmq`],
+//!   [`hbase`] — the five mini distributed systems of the evaluation.
+//! * [`microbench`] — the 30-case micro benchmark.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dista_repro::core::{Cluster, Mode};
+//! use dista_repro::taint::TagValue;
+//!
+//! let cluster = Cluster::builder(Mode::Dista).nodes("node", 2).build()?;
+//! let taint = cluster.vm(0).store().mint_source_taint(TagValue::str("secret"));
+//! let gid = cluster.vm(0).taint_map().unwrap().global_id_for(taint)?;
+//! let resolved = cluster.vm(1).taint_map().unwrap().taint_for(gid)?;
+//! assert_eq!(cluster.vm(1).store().tag_values(resolved), vec!["secret".to_string()]);
+//! # cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The DisTA public API (facade crate).
+pub mod core {
+    pub use dista_core::*;
+}
+
+/// Intra-node taint engine.
+pub mod taint {
+    pub use dista_taint::*;
+}
+
+/// Instrumented mini-JRE.
+pub mod jre {
+    pub use dista_jre::*;
+}
+
+/// Simulated OS substrate.
+pub mod simnet {
+    pub use dista_simnet::*;
+}
+
+/// Taint Map service.
+pub mod taintmap {
+    pub use dista_taintmap::*;
+}
+
+/// Netty-like framework.
+pub mod netty {
+    pub use dista_netty::*;
+}
+
+/// Mini ZooKeeper.
+pub mod zookeeper {
+    pub use dista_zookeeper::*;
+}
+
+/// Mini MapReduce/Yarn.
+pub mod mapreduce {
+    pub use dista_mapreduce::*;
+}
+
+/// Mini ActiveMQ.
+pub mod activemq {
+    pub use dista_activemq::*;
+}
+
+/// Mini RocketMQ.
+pub mod rocketmq {
+    pub use dista_rocketmq::*;
+}
+
+/// Mini HBase.
+pub mod hbase {
+    pub use dista_hbase::*;
+}
+
+/// The 30-case micro benchmark.
+pub mod microbench {
+    pub use dista_microbench::*;
+}

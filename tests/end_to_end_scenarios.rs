@@ -1,0 +1,252 @@
+//! Cross-crate end-to-end tests: every Table III system under every
+//! Table IV scenario, with exact soundness (expected tags present) and
+//! precision (no unexpected tags) assertions — the RQ1 methodology of
+//! §V-D applied to the whole reproduction.
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::jre::{FILE_INPUT_STREAM_CLASS, LOGGER_CLASS};
+use dista_repro::simnet::NodeAddr;
+use dista_repro::taint::{MethodDesc, SourceSinkSpec, TaintedBytes};
+
+fn sim_spec() -> SourceSinkSpec {
+    let mut spec = SourceSinkSpec::new();
+    spec.add_source(MethodDesc::new(FILE_INPUT_STREAM_CLASS, "read"))
+        .add_sink(MethodDesc::new(LOGGER_CLASS, "info"));
+    spec
+}
+
+// ---------------------------------------------------------- ZooKeeper
+
+#[test]
+fn zookeeper_sdt_exact_tag_set_on_both_followers() {
+    use dista_repro::zookeeper::{ZkEnsemble, ZkEnsembleConfig, FLE_CLASS};
+    let mut spec = SourceSinkSpec::new();
+    spec.add_source(MethodDesc::new(FLE_CLASS, "getVote"))
+        .add_sink(MethodDesc::new(FLE_CLASS, "checkLeader"));
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("zk", 3)
+        .spec(spec)
+        .build()
+        .unwrap();
+    let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
+    assert_eq!(ensemble.leader(), 3);
+    for follower in [0usize, 1] {
+        let report = cluster.vm(follower).sink_report();
+        assert!(
+            report.saw_exactly("FastLeaderElection.checkLeader", vec!["vote3".into()]),
+            "follower {follower} must see exactly {{vote3}}: {:?}",
+            report.events
+        );
+    }
+    ensemble.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn zookeeper_sim_only_last_file_taint_propagates() {
+    use dista_repro::zookeeper::{ZkEnsemble, ZkEnsembleConfig};
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("zk", 3)
+        .spec(sim_spec())
+        .build()
+        .unwrap();
+    let ensemble = ZkEnsemble::start(
+        cluster.vms(),
+        ZkEnsembleConfig {
+            txn_logs: vec![vec![1, 2, 9], vec![1], vec![1]],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(ensemble.leader(), 1);
+    for follower in [1usize, 2] {
+        let report = cluster.vm(follower).sink_report();
+        let events = report.at("LOG.info");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].tags.len(), 1, "precision: exactly one tag");
+        assert!(events[0].tags[0].starts_with("version-2/log.2#r"));
+    }
+    ensemble.shutdown();
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------- MapReduce
+
+#[test]
+fn mapreduce_sdt_id_round_trip_and_correct_pi() {
+    use dista_repro::mapreduce::{run_pi_job, YARN_CLIENT_CLASS};
+    let mut spec = SourceSinkSpec::new();
+    spec.add_source(MethodDesc::new(YARN_CLIENT_CLASS, "createApplication"))
+        .add_sink(MethodDesc::new(YARN_CLIENT_CLASS, "getApplicationReport"));
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("yarn", 3)
+        .spec(spec)
+        .build()
+        .unwrap();
+    let result = run_pi_job(cluster.vms(), 4, 25_000).unwrap();
+    assert!((result.pi - std::f64::consts::PI).abs() < 0.05);
+    let tags = cluster.vm(2).store().tag_values(result.sink_taint);
+    assert_eq!(tags.len(), 1, "precision");
+    assert!(tags[0].starts_with("application_"), "soundness");
+    cluster.shutdown();
+}
+
+// --------------------------------------------------- message brokers
+
+#[test]
+fn activemq_sdt_message_tag_sound_and_precise() {
+    use dista_repro::activemq::{seed_config, Broker, Consumer, Producer};
+    use dista_repro::activemq::{CONSUMER_CLASS, PRODUCER_CLASS};
+    let mut spec = SourceSinkSpec::new();
+    spec.add_source(MethodDesc::new(PRODUCER_CLASS, "createTextMessage"))
+        .add_sink(MethodDesc::new(CONSUMER_CLASS, "receive"));
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("amq", 3)
+        .spec(spec)
+        .build()
+        .unwrap();
+    seed_config(cluster.vm(0), "b");
+    let broker = Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616)).unwrap();
+    let consumer = Consumer::subscribe(cluster.vm(2), broker.addr(), "q").unwrap();
+    let producer = Producer::connect(cluster.vm(1), broker.addr()).unwrap();
+    let body = producer.create_text_message(&"payload ".repeat(1000));
+    producer.send("q", body).unwrap();
+    let message = consumer.receive().unwrap();
+    let tags = cluster.vm(2).store().tag_values(message.taint(cluster.vm(2)));
+    assert_eq!(tags.len(), 1);
+    assert!(tags[0].starts_with("message_"));
+    producer.close();
+    consumer.close();
+    broker.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn rocketmq_two_messages_keep_distinct_tags() {
+    use dista_repro::rocketmq::{
+        seed_config, BrokerServer, MqConsumer, MqProducer, NameServer, CONSUMER_CLASS,
+        PRODUCER_CLASS,
+    };
+    let mut spec = SourceSinkSpec::new();
+    spec.add_source(MethodDesc::new(PRODUCER_CLASS, "createMessage"))
+        .add_sink(MethodDesc::new(CONSUMER_CLASS, "consumeMessage"));
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("mq", 3)
+        .spec(spec)
+        .build()
+        .unwrap();
+    seed_config(cluster.vm(1), "b");
+    let ns = NameServer::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 9876)).unwrap();
+    let broker = BrokerServer::start(cluster.vm(1), NodeAddr::new([10, 0, 0, 2], 10911), &["T"])
+        .unwrap();
+    broker.register_with(ns.addr()).unwrap();
+    let producer = MqProducer::start(cluster.vm(2), ns.addr(), "T").unwrap();
+    let m1 = producer.create_message("first");
+    producer.send("T", m1).unwrap();
+    let m2 = producer.create_message("second");
+    producer.send("T", m2).unwrap();
+    let consumer = MqConsumer::start(cluster.vm(2), ns.addr(), "T").unwrap();
+    let first = consumer.pull_blocking().unwrap();
+    let second = consumer.pull_blocking().unwrap();
+    let t1 = cluster.vm(2).store().tag_values(first.taint(cluster.vm(2)));
+    let t2 = cluster.vm(2).store().tag_values(second.taint(cluster.vm(2)));
+    assert_eq!(t1.len(), 1);
+    assert_eq!(t2.len(), 1);
+    assert_ne!(t1, t2, "per-message precision: distinct tags stay distinct");
+    producer.close();
+    consumer.close();
+    broker.shutdown();
+    ns.shutdown();
+    cluster.shutdown();
+}
+
+// -------------------------------------------------------------- HBase
+
+#[test]
+fn hbase_cross_system_sim_and_sdt_combined() {
+    use dista_repro::hbase::{seed_config, HMaster, HTable, RegionServer, HTABLE_CLASS};
+    use dista_repro::zookeeper::{ZkClient, ZkEnsemble, ZkEnsembleConfig};
+    let mut spec = sim_spec();
+    spec.add_source(MethodDesc::new(HTABLE_CLASS, "tableName"))
+        .add_sink(MethodDesc::new(HTABLE_CLASS, "getResult"));
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("hb", 4)
+        .spec(spec)
+        .build()
+        .unwrap();
+    let zk_vms: Vec<_> = cluster.vms()[..3].to_vec();
+    let ensemble = ZkEnsemble::start(&zk_vms, ZkEnsembleConfig::default()).unwrap();
+    let mut region_servers = Vec::new();
+    for (i, vm) in cluster.vms()[1..3].iter().enumerate() {
+        seed_config(vm, &format!("rs{i}"));
+        let rs = RegionServer::start(vm, NodeAddr::new(vm.ip(), 16020)).unwrap();
+        let zk = ZkClient::connect(vm, ensemble.any_client_addr()).unwrap();
+        rs.register_in_zk(&zk, i).unwrap();
+        zk.close();
+        region_servers.push(rs);
+    }
+    let master = HMaster::start(cluster.vm(0), ensemble.any_client_addr()).unwrap();
+    let servers = master.wait_for_region_servers(2).unwrap();
+    master.assign_tables(&["users"], &servers).unwrap();
+
+    let table = HTable::open(cluster.vm(3), ensemble.any_client_addr(), "users").unwrap();
+    table
+        .put(b"k", TaintedBytes::from_plain(b"v".to_vec()))
+        .unwrap();
+    let result = table.get(b"k").unwrap();
+    assert!(result.found);
+
+    // SDT: the TableName tag reached the client's Result, and nothing
+    // else rode along with it at that sink.
+    let client_report = cluster.vm(3).sink_report();
+    let get_events = client_report.at("HTable.getResult");
+    assert!(!get_events.is_empty());
+    assert!(get_events
+        .iter()
+        .any(|e| e.tags == vec!["table:users".to_string()]));
+
+    // SIM: both RS config taints reached the master's LOG.info through
+    // ZooKeeper — the cross-system flow.
+    let master_report = cluster.vm(0).sink_report();
+    let tainted_logs: Vec<_> = master_report
+        .at("LOG.info")
+        .into_iter()
+        .filter(|e| e.is_tainted())
+        .cloned()
+        .collect();
+    assert_eq!(tainted_logs.len(), 2);
+
+    table.close();
+    master.shutdown();
+    for rs in region_servers {
+        rs.shutdown();
+    }
+    ensemble.shutdown();
+    cluster.shutdown();
+}
+
+// -------------------------------------------------- negative control
+
+#[test]
+fn phosphor_mode_is_unsound_across_all_systems() {
+    // The baseline comparison behind the paper's soundness argument:
+    // intra-node-only tracking loses every inter-node flow.
+    use dista_repro::zookeeper::{ZkEnsemble, ZkEnsembleConfig, FLE_CLASS};
+    let mut spec = SourceSinkSpec::new();
+    spec.add_source(MethodDesc::new(FLE_CLASS, "getVote"))
+        .add_sink(MethodDesc::new(FLE_CLASS, "checkLeader"));
+    let cluster = Cluster::builder(Mode::Phosphor)
+        .nodes("zk", 3)
+        .spec(spec)
+        .build()
+        .unwrap();
+    let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
+    assert_eq!(ensemble.leader(), 3, "functionality is unaffected");
+    assert_eq!(
+        cluster.total_tainted_sink_events(),
+        0,
+        "but every cross-node taint is lost"
+    );
+    ensemble.shutdown();
+    cluster.shutdown();
+}

@@ -1,0 +1,200 @@
+//! Failure-injection tests: fragmented delivery, datagram truncation and
+//! loss, concurrent clients, Taint Map contention — the §III-D corner
+//! cases that motivated DisTA's wire format.
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::jre::{
+    DatagramPacket, DatagramSocket, InputStream, OutputStream, ServerSocket, Socket,
+};
+use dista_repro::simnet::{FaultConfig, NodeAddr};
+use dista_repro::taint::{Payload, TagValue, TaintedBytes};
+
+#[test]
+fn taints_survive_pathological_fragmentation() {
+    // Every TCP read returns at most 1 byte — the worst case for the
+    // 5-byte wire records.
+    let cluster = Cluster::builder(Mode::Dista).nodes("frag", 2).build().unwrap();
+    cluster.net().set_faults(FaultConfig {
+        max_read_chunk: 1,
+        ..Default::default()
+    });
+    let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+    let server = ServerSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 80)).unwrap();
+    let reader = std::thread::spawn(move || {
+        let conn = server.accept().unwrap();
+        conn.input_stream().read_exact(100).unwrap()
+    });
+    let taint = vm1.store().mint_source_taint(TagValue::str("frag"));
+    let client = Socket::connect(&vm1, NodeAddr::new([10, 0, 0, 2], 80)).unwrap();
+    client
+        .output_stream()
+        .write(&Payload::Tainted(TaintedBytes::uniform([9u8; 100], taint)))
+        .unwrap();
+    let got = reader.join().unwrap();
+    assert_eq!(got.data(), vec![9u8; 100]);
+    assert_eq!(
+        vm2.store().tag_values(got.taint_union(vm2.store())),
+        vec!["frag".to_string()]
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn truncated_datagram_keeps_prefix_taints_exactly() {
+    let cluster = Cluster::builder(Mode::Dista).nodes("trunc", 2).build().unwrap();
+    let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+    let a = DatagramSocket::bind(&vm1, NodeAddr::new([10, 0, 0, 1], 53)).unwrap();
+    let b = DatagramSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 53)).unwrap();
+
+    // First half tainted "head", second half "tail".
+    let head = vm1.store().mint_source_taint(TagValue::str("head"));
+    let tail = vm1.store().mint_source_taint(TagValue::str("tail"));
+    let mut data = TaintedBytes::uniform(vec![1u8; 50], head);
+    data.extend_uniform(&[2u8; 50], tail);
+    a.send(&DatagramPacket::for_send(
+        Payload::Tainted(data),
+        b.local_addr(),
+    ))
+    .unwrap();
+
+    // The receiver only has room for the head.
+    let mut packet = DatagramPacket::for_receive(50);
+    b.receive(&mut packet).unwrap();
+    let got = packet.into_data();
+    assert_eq!(got.len(), 50);
+    assert_eq!(
+        vm2.store().tag_values(got.taint_union(vm2.store())),
+        vec!["head".to_string()],
+        "precision under truncation: the tail tag must NOT appear"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn dropped_datagrams_do_not_wedge_the_taint_map() {
+    let cluster = Cluster::builder(Mode::Dista).nodes("drop", 2).build().unwrap();
+    cluster.net().set_faults(FaultConfig {
+        udp_drop_probability: 1.0,
+        ..Default::default()
+    });
+    let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+    let a = DatagramSocket::bind(&vm1, NodeAddr::new([10, 0, 0, 1], 54)).unwrap();
+    let _b = DatagramSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 54)).unwrap();
+    let taint = vm1.store().mint_source_taint(TagValue::str("lost"));
+    a.send(&DatagramPacket::for_send(
+        Payload::Tainted(TaintedBytes::uniform(b"gone", taint)),
+        NodeAddr::new([10, 0, 0, 2], 54),
+    ))
+    .unwrap();
+    // The taint was registered even though the datagram was dropped; the
+    // service stays consistent and reusable.
+    assert_eq!(cluster.taint_map().stats().global_taints, 1);
+    cluster.net().set_faults(FaultConfig::default());
+    let t2 = vm1.store().mint_source_taint(TagValue::str("works"));
+    let gid = vm1.taint_map().unwrap().global_id_for(t2).unwrap();
+    assert!(gid.is_tainted());
+    cluster.shutdown();
+}
+
+#[test]
+fn interleaved_connections_do_not_cross_taints() {
+    // Two concurrent client connections with different taints; shadows
+    // must stay with their own stream.
+    let cluster = Cluster::builder(Mode::Dista).nodes("pair", 2).build().unwrap();
+    let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+    let server = ServerSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 81)).unwrap();
+    let vm2_clone = vm2.clone();
+    let serve = std::thread::spawn(move || {
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            let conn = server.accept().unwrap();
+            let vm = vm2_clone.clone();
+            results.push(std::thread::spawn(move || {
+                let got = conn.input_stream().read_exact(1000).unwrap();
+                vm.store().tag_values(got.taint_union(vm.store()))
+            }));
+        }
+        results
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    let mut senders = Vec::new();
+    for name in ["alpha", "beta"] {
+        let vm1 = vm1.clone();
+        senders.push(std::thread::spawn(move || {
+            let taint = vm1.store().mint_source_taint(TagValue::str(name));
+            let client = Socket::connect(&vm1, NodeAddr::new([10, 0, 0, 2], 81)).unwrap();
+            client
+                .output_stream()
+                .write(&Payload::Tainted(TaintedBytes::uniform(
+                    vec![0u8; 1000],
+                    taint,
+                )))
+                .unwrap();
+        }));
+    }
+    for s in senders {
+        s.join().unwrap();
+    }
+    let mut seen = serve.join().unwrap();
+    seen.sort();
+    assert_eq!(
+        seen,
+        vec![vec!["alpha".to_string()], vec!["beta".to_string()]],
+        "each connection carries exactly its own tag"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn many_concurrent_vms_share_one_taint_map() {
+    let cluster = Cluster::builder(Mode::Dista).nodes("many", 8).build().unwrap();
+    let mut handles = Vec::new();
+    for (i, vm) in cluster.vms().iter().enumerate() {
+        let vm = vm.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut gids = Vec::new();
+            for k in 0..10 {
+                let t = vm
+                    .store()
+                    .mint_source_taint(TagValue::str(format!("t{i}-{k}")));
+                gids.push(vm.taint_map().unwrap().global_id_for(t).unwrap());
+            }
+            gids
+        }));
+    }
+    let mut all: Vec<_> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), 80, "80 distinct taints, 80 distinct global ids");
+    assert_eq!(cluster.taint_map().stats().global_taints, 80);
+    cluster.shutdown();
+}
+
+#[test]
+fn server_eof_mid_wire_record_is_detected() {
+    // A raw (uninstrumented) writer sends 3 bytes of a 5-byte record and
+    // hangs up; the instrumented reader must fail loudly, not fabricate
+    // data.
+    let cluster = Cluster::builder(Mode::Dista).nodes("eof", 2).build().unwrap();
+    let vm2 = cluster.vm(1).clone();
+    let listener = cluster
+        .net()
+        .tcp_listen(NodeAddr::new([10, 0, 0, 2], 82))
+        .unwrap();
+    let raw = cluster
+        .net()
+        .tcp_connect(NodeAddr::new([10, 0, 0, 2], 82))
+        .unwrap();
+    let ep = listener.accept().unwrap();
+    let stream = dista_repro::jre::BoundaryStream::new(vm2, ep);
+    raw.write(&[1, 2, 3]).unwrap();
+    raw.close();
+    assert!(stream.read_payload(4).is_err());
+    cluster.shutdown();
+}

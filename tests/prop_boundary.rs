@@ -1,0 +1,89 @@
+//! Property-based end-to-end tests of the instrumented boundary: for
+//! arbitrary payloads, taint spans, fragmentation and Global ID widths,
+//! the bytes and the per-byte taint assignment survive the trip exactly.
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::jre::{InputStream, OutputStream, ServerSocket, Socket};
+use dista_repro::simnet::{FaultConfig, NodeAddr};
+use dista_repro::taint::{Payload, TagValue, Taint, TaintedBytes};
+use proptest::prelude::*;
+
+/// Spans of (byte value, tag id or none, run length).
+type Spans = Vec<(u8, Option<u8>, usize)>;
+
+fn spans_strategy() -> impl Strategy<Value = Spans> {
+    prop::collection::vec((any::<u8>(), prop::option::of(0u8..6), 1usize..64), 1..12)
+}
+
+fn run_roundtrip(spans: &Spans, chunk: usize, gid_width: usize) -> (Vec<String>, Vec<String>) {
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("prop", 2)
+        .gid_width(gid_width)
+        .build()
+        .unwrap();
+    cluster.net().set_faults(FaultConfig {
+        max_read_chunk: chunk,
+        ..Default::default()
+    });
+    let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+
+    // Build the payload with per-span taints.
+    let mut payload = TaintedBytes::new();
+    let mut expected_per_byte: Vec<Option<u8>> = Vec::new();
+    for (byte, tag, len) in spans {
+        let taint = match tag {
+            Some(t) => vm1
+                .store()
+                .mint_source_taint(TagValue::str(format!("tag{t}"))),
+            None => Taint::EMPTY,
+        };
+        payload.extend_uniform(&vec![*byte; *len], taint);
+        expected_per_byte.extend(std::iter::repeat_n(*tag, *len));
+    }
+    let total = payload.len();
+    let expected_bytes = payload.data().to_vec();
+
+    let server = ServerSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 99)).unwrap();
+    let reader = std::thread::spawn(move || {
+        let conn = server.accept().unwrap();
+        conn.input_stream().read_exact(total).unwrap()
+    });
+    let client = Socket::connect(&vm1, NodeAddr::new([10, 0, 0, 2], 99)).unwrap();
+    client
+        .output_stream()
+        .write(&Payload::Tainted(payload))
+        .unwrap();
+    let got = reader.join().unwrap().into_tainted();
+
+    assert_eq!(got.data(), expected_bytes, "byte fidelity");
+    // Per-byte taint fidelity: map each received byte's tag set back to
+    // the span tag that produced it.
+    let mut got_tags = Vec::with_capacity(total);
+    let mut want_tags = Vec::with_capacity(total);
+    for (i, want) in expected_per_byte.iter().enumerate() {
+        let tags = vm2.store().tag_values(got.taint_at(i).unwrap());
+        got_tags.push(tags.join(","));
+        want_tags.push(match want {
+            Some(t) => format!("tag{t}"),
+            None => String::new(),
+        });
+    }
+    cluster.shutdown();
+    (got_tags, want_tags)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary taint spans survive arbitrary fragmentation, byte for
+    /// byte, under every Global ID width.
+    #[test]
+    fn boundary_roundtrip_is_exact(
+        spans in spans_strategy(),
+        chunk in prop_oneof![Just(1usize), Just(3), Just(7), Just(usize::MAX)],
+        gid_width in prop_oneof![Just(2usize), Just(4), Just(8)],
+    ) {
+        let (got, want) = run_roundtrip(&spans, chunk, gid_width);
+        prop_assert_eq!(got, want);
+    }
+}
