@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, and the full test suite.
+# The workspace vendors all third-party crates, so everything runs offline.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "CI OK"

@@ -12,7 +12,7 @@ use dista_jre::{
     ObjectOutputStream, ServerSocket, Socket, SocketOutputStream, Vm,
 };
 use dista_simnet::NodeAddr;
-use dista_taint::{TaintedBytes, Tainted};
+use dista_taint::{Tainted, TaintedBytes};
 use parking_lot::Mutex;
 
 use crate::stomp::{self, StompFrame};
@@ -79,10 +79,8 @@ impl BrokerInner {
             }
             dest.consumers.remove(idx);
         }
-        dest.pending.push_back(std::mem::replace(
-            &mut message,
-            ObjValue::int_plain(0),
-        ));
+        dest.pending
+            .push_back(std::mem::replace(&mut message, ObjValue::int_plain(0)));
     }
 
     /// Registers a subscriber and drains the backlog to it.
@@ -307,10 +305,7 @@ fn serve_openwire_session(socket: Socket, inner: Arc<BrokerInner>) {
                     "BrokerInfo".into(),
                     vec![(
                         "brokerName".into(),
-                        ObjValue::Str(
-                            inner.broker_name.value().clone(),
-                            inner.broker_name.taint(),
-                        ),
+                        ObjValue::Str(inner.broker_name.value().clone(), inner.broker_name.taint()),
                     )],
                 );
                 if sink.write_object(&ack).is_err() {
@@ -405,7 +400,10 @@ mod tests {
 
     #[test]
     fn broker_boots_with_and_without_config() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("amq", 1).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("amq", 1)
+            .build()
+            .unwrap();
         let b1 = Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616)).unwrap();
         assert_eq!(b1.name().value(), "amq1", "fallback to VM name");
         b1.shutdown();
@@ -418,10 +416,12 @@ mod tests {
 
     #[test]
     fn messages_buffer_until_subscribe() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("amq", 2).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("amq", 2)
+            .build()
+            .unwrap();
         let broker = Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616)).unwrap();
-        let producer =
-            crate::client::Producer::connect(cluster.vm(1), broker.addr()).unwrap();
+        let producer = crate::client::Producer::connect(cluster.vm(1), broker.addr()).unwrap();
         producer
             .send("q", TaintedBytes::from_plain(b"early".to_vec()))
             .unwrap();
@@ -445,14 +445,20 @@ mod tests {
 
     #[test]
     fn stomp_listener_shuts_down_with_broker() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("amq", 1).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("amq", 1)
+            .build()
+            .unwrap();
         let broker = Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616)).unwrap();
         let stomp_addr = broker
             .start_stomp_listener(NodeAddr::new([10, 0, 0, 1], 61613))
             .unwrap();
         broker.shutdown();
         // Both ports are free again.
-        assert!(cluster.net().tcp_listen(NodeAddr::new([10, 0, 0, 1], 61616)).is_ok());
+        assert!(cluster
+            .net()
+            .tcp_listen(NodeAddr::new([10, 0, 0, 1], 61616))
+            .is_ok());
         assert!(cluster.net().tcp_listen(stomp_addr).is_ok());
         cluster.shutdown();
     }

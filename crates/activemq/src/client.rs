@@ -2,11 +2,9 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
-use dista_jre::{
-    JreError, Logger, ObjValue, ObjectInputStream, ObjectOutputStream, Socket, Vm,
-};
+use dista_jre::{JreError, Logger, ObjValue, ObjectInputStream, ObjectOutputStream, Socket, Vm};
 use dista_simnet::NodeAddr;
-use dista_taint::{TagValue, Taint, TaintedBytes, Tainted};
+use dista_taint::{TagValue, Taint, Tainted, TaintedBytes};
 
 use crate::{CONSUMER_CLASS, PRODUCER_CLASS};
 
@@ -194,8 +192,10 @@ impl Consumer {
         self.vm
             .sink_point(CONSUMER_CLASS, "receive", message.taint(&self.vm));
         // SIM visibility: message receipt is logged too.
-        self.log
-            .info_payload("received message", &dista_taint::Payload::Tainted(message.body.clone()));
+        self.log.info_payload(
+            "received message",
+            &dista_taint::Payload::Tainted(message.body.clone()),
+        );
         Ok(message)
     }
 
@@ -223,7 +223,11 @@ mod tests {
     /// Broker on node 1, producer on node 2, consumer on node 3 — the
     /// paper's three-peer deployment.
     fn triangle(mode: Mode, spec: SourceSinkSpec) -> (Cluster, Broker) {
-        let cluster = Cluster::builder(mode).nodes("amq", 3).spec(spec).build().unwrap();
+        let cluster = Cluster::builder(mode)
+            .nodes("amq", 3)
+            .spec(spec)
+            .build()
+            .unwrap();
         seed_config(cluster.vm(0), "main-broker");
         let broker = Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616)).unwrap();
         (cluster, broker)
@@ -241,7 +245,10 @@ mod tests {
         let message = consumer.receive().unwrap();
         assert_eq!(message.body.len(), long_text.len());
         // Sound + precise: exactly the producer's message tag.
-        let tags = cluster.vm(2).store().tag_values(message.taint(cluster.vm(2)));
+        let tags = cluster
+            .vm(2)
+            .store()
+            .tag_values(message.taint(cluster.vm(2)));
         assert_eq!(tags.len(), 1);
         assert!(tags[0].starts_with("message_"), "got {tags:?}");
         // Sink recorded on the consumer node.
@@ -295,8 +302,12 @@ mod tests {
         let c1 = Consumer::subscribe(cluster.vm(2), broker.addr(), "rr").unwrap();
         let c2 = Consumer::subscribe(cluster.vm(2), broker.addr(), "rr").unwrap();
         let producer = Producer::connect(cluster.vm(1), broker.addr()).unwrap();
-        producer.send("rr", TaintedBytes::from_plain(b"m1".to_vec())).unwrap();
-        producer.send("rr", TaintedBytes::from_plain(b"m2".to_vec())).unwrap();
+        producer
+            .send("rr", TaintedBytes::from_plain(b"m1".to_vec()))
+            .unwrap();
+        producer
+            .send("rr", TaintedBytes::from_plain(b"m2".to_vec()))
+            .unwrap();
         let m1 = c1.receive().unwrap();
         let m2 = c2.receive().unwrap();
         let mut bodies = vec![m1.body.data().to_vec(), m2.body.data().to_vec()];

@@ -22,8 +22,8 @@
 #![warn(missing_docs)]
 
 mod broker;
-pub mod stomp;
 mod client;
+pub mod stomp;
 
 pub use broker::{seed_config, Broker};
 pub use client::{send_udp, Consumer, Message, Producer};

@@ -139,11 +139,7 @@ pub fn read_frame(input: &impl InputStream) -> Result<Option<StompFrame>, JreErr
 /// # Errors
 ///
 /// Transport or Taint Map errors.
-pub fn write_frame(
-    out: &impl OutputStream,
-    vm: &Vm,
-    frame: &StompFrame,
-) -> Result<(), JreError> {
+pub fn write_frame(out: &impl OutputStream, vm: &Vm, frame: &StompFrame) -> Result<(), JreError> {
     out.write(&frame.encode(vm))
 }
 
@@ -242,9 +238,14 @@ mod tests {
 
     #[test]
     fn frame_roundtrip_preserves_body_taints() {
-        let cluster = Cluster::builder(Mode::Phosphor).nodes("s", 1).build().unwrap();
+        let cluster = Cluster::builder(Mode::Phosphor)
+            .nodes("s", 1)
+            .build()
+            .unwrap();
         let vm = cluster.vm(0);
-        let t = vm.store().mint_source_taint(dista_taint::TagValue::str("st"));
+        let t = vm
+            .store()
+            .mint_source_taint(dista_taint::TagValue::str("st"));
         let frame = StompFrame::new("SEND")
             .header("destination", "/queue/a")
             .body(TaintedBytes::uniform(b"body with \x00 nul", t));
@@ -266,7 +267,10 @@ mod tests {
 
     #[test]
     fn eof_and_malformed_frames() {
-        let cluster = Cluster::builder(Mode::Phosphor).nodes("s", 1).build().unwrap();
+        let cluster = Cluster::builder(Mode::Phosphor)
+            .nodes("s", 1)
+            .build()
+            .unwrap();
         let vm = cluster.vm(0);
         let pipe = PipedStream::new(vm);
         pipe.close();
@@ -291,8 +295,8 @@ mod tests {
             .spec(spec)
             .build()
             .unwrap();
-        let broker = crate::Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616))
-            .unwrap();
+        let broker =
+            crate::Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616)).unwrap();
         let stomp_port = broker
             .start_stomp_listener(NodeAddr::new([10, 0, 0, 1], 61613))
             .unwrap();
@@ -302,7 +306,10 @@ mod tests {
         producer.send("/queue/events", "stomp says hi").unwrap();
         let message = consumer.receive().unwrap();
         assert_eq!(message.body.data(), b"stomp says hi");
-        let tags = cluster.vm(2).store().tag_values(message.taint(cluster.vm(2)));
+        let tags = cluster
+            .vm(2)
+            .store()
+            .tag_values(message.taint(cluster.vm(2)));
         assert_eq!(tags, vec!["stomp:/queue/events".to_string()]);
         producer.close();
         consumer.close();
@@ -312,9 +319,12 @@ mod tests {
 
     #[test]
     fn stomp_subscriber_receives_messages() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("amq", 3).build().unwrap();
-        let broker = crate::Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616))
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("amq", 3)
+            .build()
             .unwrap();
+        let broker =
+            crate::Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616)).unwrap();
         let stomp_port = broker
             .start_stomp_listener(NodeAddr::new([10, 0, 0, 1], 61613))
             .unwrap();
@@ -322,7 +332,10 @@ mod tests {
         subscriber.subscribe("/queue/q").unwrap();
         let producer = crate::Producer::connect(cluster.vm(1), broker.addr()).unwrap();
         producer
-            .send("/queue/q", TaintedBytes::from_plain(b"openwire to stomp".to_vec()))
+            .send(
+                "/queue/q",
+                TaintedBytes::from_plain(b"openwire to stomp".to_vec()),
+            )
             .unwrap();
         let frame = subscriber.receive().unwrap();
         assert_eq!(frame.body.data(), b"openwire to stomp");

@@ -36,11 +36,15 @@ fn bench_gid_width(c: &mut Criterion) {
             bytes as f64 / (SIZE * 3) as f64,
             1 + width
         );
-        group.bench_with_input(BenchmarkId::new("roundtrip", width), &cluster, |b, cluster| {
-            b.iter(|| {
-                run_case_on(raw.as_ref(), cluster.vm(0), cluster.vm(1), SIZE).expect("case")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("roundtrip", width),
+            &cluster,
+            |b, cluster| {
+                b.iter(|| {
+                    run_case_on(raw.as_ref(), cluster.vm(0), cluster.vm(1), SIZE).expect("case")
+                });
+            },
+        );
         cluster.shutdown();
     }
     group.finish();

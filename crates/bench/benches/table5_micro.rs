@@ -23,7 +23,10 @@ fn bench_modes(c: &mut Criterion) {
     for idx in picks {
         let case = &cases[idx];
         for mode in [Mode::Original, Mode::Phosphor, Mode::Dista] {
-            let cluster = Cluster::builder(mode).nodes("bench", 2).build().expect("cluster");
+            let cluster = Cluster::builder(mode)
+                .nodes("bench", 2)
+                .build()
+                .expect("cluster");
             group.bench_with_input(
                 BenchmarkId::new(case.name(), mode),
                 &cluster,

@@ -38,9 +38,7 @@ fn interned_workload(tags: u32, rounds: usize) -> Taint {
 }
 
 fn naive_workload(tags: u32, rounds: usize) -> NaiveTaint {
-    let base: Vec<NaiveTaint> = (0..tags)
-        .map(|i| NaiveTaint(BTreeSet::from([i])))
-        .collect();
+    let base: Vec<NaiveTaint> = (0..tags).map(|i| NaiveTaint(BTreeSet::from([i]))).collect();
     let mut acc = NaiveTaint::default();
     for i in 0..rounds {
         acc = acc.union(&base[i % base.len()]);
@@ -74,9 +72,8 @@ fn bench_serialization(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
     for tags in [1usize, 8, 64] {
         let sender = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
-        let taint = sender.union_all(
-            (0..tags).map(|i| sender.mint_source_taint(TagValue::Int(i as i64))),
-        );
+        let taint =
+            sender.union_all((0..tags).map(|i| sender.mint_source_taint(TagValue::Int(i as i64))));
         let wire = serialize_taint(sender.tree(), taint);
         group.bench_with_input(BenchmarkId::new("serialize", tags), &tags, |b, _| {
             b.iter(|| serialize_taint(sender.tree(), taint).len());

@@ -15,7 +15,10 @@ use dista_taint::{Payload, TagValue, TaintedBytes};
 /// Sends `distinct` chunks, each carrying its own fresh taint, from node
 /// 1 to node 2 and back; returns the wall-clock time.
 fn synthetic_run(distinct: usize, bytes_per_chunk: usize) -> Duration {
-    let cluster = Cluster::builder(Mode::Dista).nodes("sweep", 2).build().expect("cluster");
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("sweep", 2)
+        .build()
+        .expect("cluster");
     let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
     let server = ServerSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 4000)).expect("bind");
     let total = distinct * bytes_per_chunk;

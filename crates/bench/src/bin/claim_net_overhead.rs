@@ -9,7 +9,10 @@ use dista_core::{Cluster, Mode};
 use dista_microbench::{all_cases, run_case_on};
 
 fn bytes_for(mode: Mode, size: usize, case_idx: usize) -> (u64, bool) {
-    let cluster = Cluster::builder(mode).nodes("net", 2).build().expect("cluster");
+    let cluster = Cluster::builder(mode)
+        .nodes("net", 2)
+        .build()
+        .expect("cluster");
     cluster.net().metrics().reset();
     let cases = all_cases();
     let result = run_case_on(cases[case_idx].as_ref(), cluster.vm(0), cluster.vm(1), size)
@@ -25,13 +28,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(64 * 1024);
     println!("§V-F claim — network overhead of the DisTA wire format ({size} B/side)\n");
-    let mut table = Table::new(&[
-        "Case",
-        "Original bytes",
-        "DisTA bytes",
-        "Ratio",
-        "Expected",
-    ]);
+    let mut table = Table::new(&["Case", "Original bytes", "DisTA bytes", "Ratio", "Expected"]);
     // raw socket, datagram, socket channel, netty socket.
     for (label, idx) in [
         ("socket_raw_array", 0usize),

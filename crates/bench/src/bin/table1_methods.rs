@@ -4,7 +4,10 @@
 use dista_core::registry::{self, InstrumentationType};
 
 fn main() {
-    println!("Table I — instrumented JNI methods ({} total)\n", registry::instrumented_methods().len());
+    println!(
+        "Table I — instrumented JNI methods ({} total)\n",
+        registry::instrumented_methods().len()
+    );
     print!("{}", registry::render_table());
     println!();
     for ty in [

@@ -6,7 +6,13 @@ use dista_bench::{run_system, Mode, Scenario, SystemId};
 
 fn main() {
     println!("Table III — real-world distributed systems\n");
-    let mut table = Table::new(&["System", "Communication", "Workload", "Run (DisTA)", "Status"]);
+    let mut table = Table::new(&[
+        "System",
+        "Communication",
+        "Workload",
+        "Run (DisTA)",
+        "Status",
+    ]);
     for system in SystemId::ALL {
         let status = match run_system(system, Mode::Dista, Scenario::None) {
             Ok(run) => (format!("{} ms", fmt_ms(run.duration)), "ok".to_string()),

@@ -8,9 +8,18 @@ use dista_bench::{run_system, Mode, Scenario, SystemId};
 fn sdt_points(system: SystemId) -> (&'static str, &'static str) {
     match system {
         SystemId::ZooKeeper => ("Vote (FastLeaderElection.getVote)", "checkLeader"),
-        SystemId::MapReduce => ("ApplicationID (YarnClient.createApplication)", "getApplicationReport"),
-        SystemId::ActiveMq => ("Message (ActiveMQProducer.createTextMessage)", "Consumer Message (receive)"),
-        SystemId::RocketMq => ("Message (DefaultMQProducer.createMessage)", "MessageExt (consumeMessage)"),
+        SystemId::MapReduce => (
+            "ApplicationID (YarnClient.createApplication)",
+            "getApplicationReport",
+        ),
+        SystemId::ActiveMq => (
+            "Message (ActiveMQProducer.createTextMessage)",
+            "Consumer Message (receive)",
+        ),
+        SystemId::RocketMq => (
+            "Message (DefaultMQProducer.createMessage)",
+            "MessageExt (consumeMessage)",
+        ),
         SystemId::HBase => ("TableName (HTable.tableName)", "Result (getResult)"),
     }
 }

@@ -26,7 +26,10 @@ fn medians_of(
 ) -> (Duration, Duration, Duration) {
     let mut samples: [Vec<Duration>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for _ in 0..reps {
-        for (slot, mode) in [Mode::Original, Mode::Phosphor, Mode::Dista].iter().enumerate() {
+        for (slot, mode) in [Mode::Original, Mode::Phosphor, Mode::Dista]
+            .iter()
+            .enumerate()
+        {
             let d = run_case_with(case, *mode, size, bench_link_model())
                 .unwrap_or_else(|e| panic!("{} [{mode}] failed: {e}", case.name()))
                 .duration;
@@ -88,7 +91,10 @@ fn main() {
     };
 
     // The paper lists the socket family as Best/Worst/Avg summary rows.
-    let sockets: Vec<&Row> = rows.iter().filter(|r| r.family == Family::JreSocket).collect();
+    let sockets: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.family == Family::JreSocket)
+        .collect();
     let ratio = |r: &Row| r.dista.as_secs_f64() / r.original.as_secs_f64().max(1e-9);
     let best = sockets
         .iter()

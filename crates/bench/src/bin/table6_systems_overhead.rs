@@ -20,9 +20,7 @@ fn medians(system: SystemId, reps: usize) -> [Duration; 5] {
     for _ in 0..reps {
         for (slot, (mode, scenario)) in COLUMNS.iter().enumerate() {
             let d = run_system_with(system, *mode, *scenario, bench_link_model())
-                .unwrap_or_else(|e| {
-                    panic!("{} [{mode}/{scenario:?}] failed: {e}", system.name())
-                })
+                .unwrap_or_else(|e| panic!("{} [{mode}/{scenario:?}] failed: {e}", system.name()))
                 .duration;
             samples[slot].push(d);
         }
@@ -53,15 +51,11 @@ fn main() {
     ]);
     let mut sums = [Duration::ZERO; 5];
     for system in SystemId::ALL {
-        let [original, phosphor_sdt, dista_sdt, phosphor_sim, dista_sim] =
-            medians(system, reps);
-        for (slot, d) in sums.iter_mut().zip([
-            original,
-            phosphor_sdt,
-            dista_sdt,
-            phosphor_sim,
-            dista_sim,
-        ]) {
+        let [original, phosphor_sdt, dista_sdt, phosphor_sim, dista_sim] = medians(system, reps);
+        for (slot, d) in
+            sums.iter_mut()
+                .zip([original, phosphor_sdt, dista_sdt, phosphor_sim, dista_sim])
+        {
             *slot += d;
         }
         table.row(vec![

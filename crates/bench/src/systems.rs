@@ -361,11 +361,7 @@ fn run_hbase(cluster: &Cluster) -> Result<(), JreError> {
 /// # Errors
 ///
 /// Any workload failure.
-pub fn run_system(
-    system: SystemId,
-    mode: Mode,
-    scenario: Scenario,
-) -> Result<SystemRun, JreError> {
+pub fn run_system(system: SystemId, mode: Mode, scenario: Scenario) -> Result<SystemRun, JreError> {
     run_system_with(system, mode, scenario, dista_simnet::FaultConfig::default())
 }
 

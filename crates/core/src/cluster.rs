@@ -197,7 +197,10 @@ mod tests {
 
     #[test]
     fn builder_creates_named_nodes() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("node", 3).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("node", 3)
+            .build()
+            .unwrap();
         assert_eq!(cluster.len(), 3);
         assert!(!cluster.is_empty());
         assert_eq!(cluster.vm(0).name(), "node1");
@@ -210,7 +213,10 @@ mod tests {
     #[test]
     fn all_modes_build() {
         for mode in [Mode::Original, Mode::Phosphor, Mode::Dista] {
-            let cluster = Cluster::builder(mode).node("n", [10, 0, 0, 1]).build().unwrap();
+            let cluster = Cluster::builder(mode)
+                .node("n", [10, 0, 0, 1])
+                .build()
+                .unwrap();
             assert_eq!(cluster.mode(), mode);
             assert_eq!(cluster.vm(0).mode(), mode);
             cluster.shutdown();
@@ -233,7 +239,10 @@ mod tests {
 
     #[test]
     fn sink_reports_aggregate() {
-        let cluster = Cluster::builder(Mode::Phosphor).nodes("n", 2).build().unwrap();
+        let cluster = Cluster::builder(Mode::Phosphor)
+            .nodes("n", 2)
+            .build()
+            .unwrap();
         let t = cluster.vm(1).store().mint_source_taint(TagValue::str("s"));
         cluster.vm(1).taint_sink("check", t);
         let reports = cluster.sink_reports();

@@ -158,7 +158,11 @@ mod tests {
         let script = cfg.launch_script();
         assert_eq!(script.loc(), 4);
         assert_eq!(
-            script.lines.iter().filter(|l| l.contains("INST_JAVA_HOME")).count(),
+            script
+                .lines
+                .iter()
+                .filter(|l| l.contains("INST_JAVA_HOME"))
+                .count(),
             3
         );
     }

@@ -50,7 +50,11 @@ pub struct InstrumentedMethod {
 
 impl fmt::Display for InstrumentedMethod {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{} (type {})", self.class, self.method, self.inst_type)
+        write!(
+            f,
+            "{}.{} (type {})",
+            self.class, self.method, self.inst_type
+        )
     }
 }
 
@@ -101,8 +105,16 @@ pub const INSTRUMENTED_METHODS: [InstrumentedMethod; 23] = [
     m!("IOUtil", "writeFromNativeBuffer", DirectBuffer),
     m!("IOUtil", "readIntoNativeBuffer", DirectBuffer),
     // Windows AIO implementation (Table I)
-    m!("WindowsAsynchronousSocketChannelImpl", "implRead", DirectBuffer),
-    m!("WindowsAsynchronousSocketChannelImpl", "implWrite", DirectBuffer),
+    m!(
+        "WindowsAsynchronousSocketChannelImpl",
+        "implRead",
+        DirectBuffer
+    ),
+    m!(
+        "WindowsAsynchronousSocketChannelImpl",
+        "implWrite",
+        DirectBuffer
+    ),
     // Socket channel connect-time drain (carries handshake bytes)
     m!("SocketChannelImpl", "checkConnect", Stream),
     // Urgent-data path on socket channels
@@ -197,7 +209,10 @@ mod tests {
         ] {
             assert!(is_instrumented(class, method), "{class}.{method} missing");
         }
-        assert!(!is_instrumented("FileInputStream", "read"), "file I/O excluded");
+        assert!(
+            !is_instrumented("FileInputStream", "read"),
+            "file I/O excluded"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::str::FromStr;
 
 use dista_jre::{JreError, Logger, SocketChannel, Vm};
 use dista_simnet::NodeAddr;
-use dista_taint::{Payload, TagValue, Taint, TaintedBytes, Tainted};
+use dista_taint::{Payload, TagValue, Taint, Tainted, TaintedBytes};
 use dista_zookeeper::ZkClient;
 
 use crate::pbrpc::{read_message, write_message, PbMessage};
@@ -70,8 +70,7 @@ impl HTable {
         log.info_payload("located region server", &Payload::Tainted(route.clone()));
 
         let rs_addr = NodeAddr::from_str(
-            std::str::from_utf8(route.data())
-                .map_err(|_| JreError::Protocol("malformed route"))?,
+            std::str::from_utf8(route.data()).map_err(|_| JreError::Protocol("malformed route"))?,
         )
         .map_err(|_| JreError::Protocol("malformed route"))?;
         Ok(HTable {
@@ -221,7 +220,11 @@ mod tests {
     /// ZooKeeper process, plus a client node. VM layout: 0 = master,
     /// 1..2 = region servers, 3 = client; ZK runs on VMs 0-2.
     fn stack(mode: Mode, spec: SourceSinkSpec) -> Stack {
-        let cluster = Cluster::builder(mode).nodes("hb", 4).spec(spec).build().unwrap();
+        let cluster = Cluster::builder(mode)
+            .nodes("hb", 4)
+            .spec(spec)
+            .build()
+            .unwrap();
         let zk_vms: Vec<_> = cluster.vms()[..3].to_vec();
         let ensemble = ZkEnsemble::start(&zk_vms, ZkEnsembleConfig::default()).unwrap();
 
@@ -365,7 +368,9 @@ mod tests {
         assert_eq!(cells[1].row, b"b9");
         for cell in &cells {
             assert_eq!(
-                client_vm.store().tag_values(cell.value.taint_union(client_vm.store())),
+                client_vm
+                    .store()
+                    .tag_values(cell.value.taint_union(client_vm.store())),
                 vec!["pii".to_string()],
                 "stored taints come back out of the scan"
             );

@@ -39,10 +39,7 @@ impl HMaster {
     /// # Errors
     ///
     /// ZooKeeper errors, or [`JreError::Protocol`] on timeout.
-    pub fn wait_for_region_servers(
-        &self,
-        expected: usize,
-    ) -> Result<Vec<TaintedBytes>, JreError> {
+    pub fn wait_for_region_servers(&self, expected: usize) -> Result<Vec<TaintedBytes>, JreError> {
         let mut servers = Vec::new();
         for index in 0..expected {
             let path = format!("/hbase/rs/{index}");
@@ -77,11 +74,7 @@ impl HMaster {
     /// # Errors
     ///
     /// ZooKeeper errors.
-    pub fn assign_tables(
-        &self,
-        tables: &[&str],
-        servers: &[TaintedBytes],
-    ) -> Result<(), JreError> {
+    pub fn assign_tables(&self, tables: &[&str], servers: &[TaintedBytes]) -> Result<(), JreError> {
         if servers.is_empty() {
             return Err(JreError::Protocol("no region servers to assign to"));
         }

@@ -46,7 +46,10 @@ impl PbMessage {
 
     /// Appends a string field with a uniform taint.
     pub fn push_str(&mut self, field: u64, value: &str, taint: Taint) -> &mut Self {
-        self.push_bytes(field, TaintedBytes::uniform(value.as_bytes().to_vec(), taint))
+        self.push_bytes(
+            field,
+            TaintedBytes::uniform(value.as_bytes().to_vec(), taint),
+        )
     }
 
     /// First varint with the given field number.

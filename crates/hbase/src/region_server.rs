@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 
 use dista_jre::{FileInputStream, JreError, ServerSocketChannel, SocketChannel, Vm};
 use dista_simnet::{NetError, NodeAddr};
-use dista_taint::{TaintedBytes, Tainted};
+use dista_taint::{Tainted, TaintedBytes};
 use dista_zookeeper::ZkClient;
 use parking_lot::Mutex;
 
@@ -76,9 +76,7 @@ impl RegionServer {
                     };
                     let store = store.clone();
                     let vm = accept_vm.clone();
-                    std::thread::spawn(move ||
-
- serve(channel, store, vm));
+                    std::thread::spawn(move || serve(channel, store, vm));
                 }
             })
             .expect("spawn hbase rs acceptor");
@@ -110,10 +108,8 @@ impl RegionServer {
     ///
     /// ZooKeeper errors.
     pub fn register_in_zk(&self, zk: &ZkClient, index: usize) -> Result<(), JreError> {
-        let value = TaintedBytes::uniform(
-            self.addr.to_string().into_bytes(),
-            self.hostname.taint(),
-        );
+        let value =
+            TaintedBytes::uniform(self.addr.to_string().into_bytes(), self.hostname.taint());
         zk.create(&format!("/hbase/rs/{index}"), value)
             .map_err(|_| JreError::Protocol("zookeeper registration failed"))?;
         Ok(())
@@ -165,7 +161,10 @@ fn serve(channel: SocketChannel, store: Store, vm: Vm) {
             METHOD_SCAN => {
                 // Range scan: [startRow, stopRow); cells are nested pb
                 // messages in repeated field 5.
-                let start = request.bytes(3).map(|b| b.data().to_vec()).unwrap_or_default();
+                let start = request
+                    .bytes(3)
+                    .map(|b| b.data().to_vec())
+                    .unwrap_or_default();
                 let stop = request.bytes(4).map(|b| b.data().to_vec());
                 response.push_varint(1, 1);
                 let store = store.lock();

@@ -16,7 +16,10 @@ fn field_strategy() -> impl Strategy<Value = (u64, FieldSpec)> {
     let field_no = 1u64..64;
     let value = prop_oneof![
         any::<u64>().prop_map(FieldSpec::Varint),
-        (prop::collection::vec(any::<u8>(), 0..64), prop::option::of(0u8..4))
+        (
+            prop::collection::vec(any::<u8>(), 0..64),
+            prop::option::of(0u8..4)
+        )
             .prop_map(|(b, t)| FieldSpec::Bytes(b, t)),
     ];
     (field_no, value)

@@ -162,7 +162,8 @@ mod tests {
         let vm1 = mk("n1", [10, 0, 0, 1]);
         let vm2 = mk("n2", [10, 0, 0, 2]);
 
-        let server = AsyncServerSocketChannel::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 95)).unwrap();
+        let server =
+            AsyncServerSocketChannel::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 95)).unwrap();
         let accept_future = server.accept_async();
         let client = AsyncSocketChannel::connect(&vm1, server.local_addr())
             .get()
@@ -186,7 +187,8 @@ mod tests {
     fn try_get_polls() {
         let net = SimNet::new();
         let vm = Vm::builder("n", &net).build().unwrap();
-        let server = AsyncServerSocketChannel::bind(&vm, NodeAddr::new([127, 0, 0, 1], 96)).unwrap();
+        let server =
+            AsyncServerSocketChannel::bind(&vm, NodeAddr::new([127, 0, 0, 1], 96)).unwrap();
         let fut = server.accept_async();
         assert!(fut.try_get().is_none(), "no client yet");
         let _client = AsyncSocketChannel::connect(&vm, server.local_addr())

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use dista_simnet::{native, NodeAddr, TcpEndpoint, UdpEndpoint};
-use dista_taint::{GlobalId, Payload, Taint, TaintedBytes};
+use dista_taint::{GlobalId, Payload, Taint, TaintRuns, TaintedBytes};
 use parking_lot::Mutex;
 
 use crate::error::JreError;
@@ -41,34 +41,33 @@ pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes) -> Result<Vec<u8>, JreE
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
     let mut out = Vec::with_capacity(bytes.len() * wire_record_size(width));
-    // Runs of identically-tainted bytes are the overwhelmingly common
-    // case: a one-entry cache covers them, with a per-call memo behind
-    // it so distinct taints still avoid the client's lock.
-    let mut last: Option<(Taint, [u8; 8])> = None;
-    let mut memo: HashMap<Taint, GlobalId> = HashMap::new();
-    for (byte, taint) in bytes.iter() {
-        let gid_bytes = match &last {
-            Some((t, g)) if *t == taint => *g,
-            _ => {
-                let gid = match memo.get(&taint) {
-                    Some(&g) => g,
-                    None => {
-                        let g = client.global_id_for(taint)?;
-                        memo.insert(taint, g);
-                        g
-                    }
-                };
+    // The shadow is run-length encoded, so each run costs one Global ID
+    // resolution (memoized across runs) no matter how many bytes it
+    // covers; the records themselves are emitted in a chunked loop that
+    // reuses the run's encoded ID. The wire format is unchanged:
+    // `[b0][gid0][b1][gid1]…`, decodable at any record boundary.
+    let mut memo: HashMap<Taint, [u8; 8]> = HashMap::new();
+    let data = bytes.data();
+    let mut pos = 0;
+    for (run_len, taint) in bytes.shadow().iter_runs() {
+        let gid_bytes = match memo.get(&taint) {
+            Some(&g) => g,
+            None => {
+                let gid = client.global_id_for(taint)?;
                 let wire = gid.try_to_wire(width).ok_or(JreError::Protocol(
                     "global id exceeds the configured wire width",
                 ))?;
                 let mut buf = [0u8; 8];
                 buf[..width].copy_from_slice(&wire);
-                last = Some((taint, buf));
+                memo.insert(taint, buf);
                 buf
             }
         };
-        out.push(byte);
-        out.extend_from_slice(&gid_bytes[..width]);
+        for &byte in &data[pos..pos + run_len] {
+            out.push(byte);
+            out.extend_from_slice(&gid_bytes[..width]);
+        }
+        pos += run_len;
     }
     Ok(out)
 }
@@ -82,30 +81,36 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8]) -> Result<TaintedBytes, JreError
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
-    let mut out = TaintedBytes::with_capacity(wire.len() / rs);
-    let mut last: Option<(GlobalId, Taint)> = None;
+    // Chunked decode: each iteration consumes one stretch of records
+    // carrying the same Global ID, resolves the taint once (memoized),
+    // and appends the stretch to the shadow as a single run.
+    let mut data = Vec::with_capacity(wire.len() / rs);
+    let mut shadow = TaintRuns::new();
     let mut memo: HashMap<GlobalId, Taint> = HashMap::new();
-    for record in wire.chunks_exact(rs) {
-        let byte = record[0];
+    let mut records = wire.chunks_exact(rs).peekable();
+    while let Some(record) = records.next() {
         let gid = GlobalId::from_wire(&record[1..]);
-        let taint = match &last {
-            Some((g, t)) if *g == gid => *t,
-            _ => {
-                let t = match memo.get(&gid) {
-                    Some(&t) => t,
-                    None => {
-                        let t = client.taint_for(gid)?;
-                        memo.insert(gid, t);
-                        t
-                    }
-                };
-                last = Some((gid, t));
+        data.push(record[0]);
+        let mut run_len = 1;
+        while let Some(next) = records.peek() {
+            if GlobalId::from_wire(&next[1..]) != gid {
+                break;
+            }
+            data.push(next[0]);
+            run_len += 1;
+            records.next();
+        }
+        let taint = match memo.get(&gid) {
+            Some(&t) => t,
+            None => {
+                let t = client.taint_for(gid)?;
+                memo.insert(gid, t);
                 t
             }
         };
-        out.push(byte, taint);
+        shadow.push_run(taint, run_len);
     }
-    Ok(out)
+    Ok(TaintedBytes::from_runs(data, shadow))
 }
 
 /// A TCP connection as seen *above* the JNI boundary: the instrumented
@@ -246,9 +251,7 @@ impl BoundaryStream {
             match (&mut acc, part) {
                 (Payload::Plain(dst), Payload::Plain(src)) => dst.extend_from_slice(&src),
                 (Payload::Tainted(dst), Payload::Tainted(src)) => dst.extend_tainted(&src),
-                (Payload::Plain(dst), Payload::Tainted(src)) => {
-                    dst.extend_from_slice(src.data())
-                }
+                (Payload::Plain(dst), Payload::Tainted(src)) => dst.extend_from_slice(src.data()),
                 (Payload::Tainted(dst), Payload::Plain(src)) => dst.extend_plain(&src),
             }
         }
@@ -358,7 +361,12 @@ mod tests {
         (net, tm, vm1, vm2)
     }
 
-    fn stream_pair(net: &SimNet, vm1: &Vm, vm2: &Vm, port: u16) -> (BoundaryStream, BoundaryStream) {
+    fn stream_pair(
+        net: &SimNet,
+        vm1: &Vm,
+        vm2: &Vm,
+        port: u16,
+    ) -> (BoundaryStream, BoundaryStream) {
         let addr = NodeAddr::new([10, 0, 0, 2], port);
         let l = net.tcp_listen(addr).unwrap();
         let c = net.tcp_connect_from(vm1.ip(), addr).unwrap();
@@ -431,6 +439,42 @@ mod tests {
         tm.shutdown();
     }
 
+    /// The run-length shadow is a storage optimization only: the encoder
+    /// must emit wire bytes bit-identical to the per-byte reference
+    /// (the pre-refactor dense encoder), and identical however the runs
+    /// happen to be split.
+    #[test]
+    fn wire_bytes_match_per_byte_reference_encoder() {
+        let (_net, tm, vm1, _vm2) = cluster(Mode::Dista);
+        let ta = vm1.store().mint_source_taint(TagValue::str("a"));
+        let tb = vm1.store().mint_source_taint(TagValue::str("b"));
+        let mut buf = TaintedBytes::uniform(b"aaaa", ta);
+        buf.extend_plain(b"--");
+        buf.extend_uniform(b"bbb", tb);
+
+        let wire = encode_wire(&vm1, &buf).unwrap();
+
+        // Reference: one record per byte, GID resolved per byte.
+        let width = vm1.gid_width();
+        let client = vm1.taint_map().unwrap();
+        let mut reference = Vec::new();
+        for (byte, taint) in buf.iter() {
+            reference.push(byte);
+            let gid = client.global_id_for(taint).unwrap();
+            reference.extend_from_slice(&gid.try_to_wire(width).unwrap());
+        }
+        assert_eq!(wire, reference, "run-chunked encoder changed wire bytes");
+
+        // Re-building the same logical buffer from split pieces (different
+        // internal run history) must not change a single wire byte.
+        let mut split = buf.clone();
+        let front = split.drain_front(3);
+        let mut reglued = front;
+        reglued.extend_tainted(&split);
+        assert_eq!(encode_wire(&vm1, &reglued).unwrap(), wire);
+        tm.shutdown();
+    }
+
     #[test]
     fn per_byte_taints_are_preserved_exactly() {
         let (net, tm, vm1, vm2) = cluster(Mode::Dista);
@@ -463,8 +507,11 @@ mod tests {
         });
         let (tx, rx) = stream_pair(&net, &vm1, &vm2, 85);
         let taint = vm1.store().mint_source_taint(TagValue::str("frag"));
-        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"fragmented!", taint)))
-            .unwrap();
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(
+            b"fragmented!",
+            taint,
+        )))
+        .unwrap();
         let got = rx.read_exact_payload(11).unwrap();
         assert_eq!(got.data(), b"fragmented!");
         assert_eq!(
@@ -484,10 +531,7 @@ mod tests {
         let rx = BoundaryStream::new(vm2.clone(), s);
         raw.write(&[1, 2, 3]).unwrap(); // 3 bytes of a 5-byte record
         raw.close();
-        assert!(matches!(
-            rx.read_payload(4),
-            Err(JreError::Protocol(_))
-        ));
+        assert!(matches!(rx.read_payload(4), Err(JreError::Protocol(_))));
         tm.shutdown();
     }
 

@@ -9,7 +9,7 @@
 //! shadow array in `native_shadows`. `IOUtil.writeFromNativeBuffer` /
 //! `readIntoNativeBuffer` (used by the channel classes) consult both.
 
-use dista_taint::{Payload, Taint, TaintedBytes};
+use dista_taint::{Payload, Taint, TaintRuns, TaintedBytes};
 
 use crate::error::JreError;
 use crate::vm::Vm;
@@ -103,7 +103,9 @@ impl ByteBuffer {
 
     /// `get`: reads up to `n` bytes from the position.
     pub fn get(&mut self, n: usize) -> Payload {
-        let n = n.min(self.remaining()).min(self.stored_len() - self.position.min(self.stored_len()));
+        let n = n
+            .min(self.remaining())
+            .min(self.stored_len() - self.position.min(self.stored_len()));
         let start = self.position;
         let end = start + n;
         let out = if self.tracked {
@@ -150,7 +152,10 @@ impl DirectByteBuffer {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         vm.inner.native_mem.lock().insert(address, Vec::new());
         if vm.mode().tracks_taints() {
-            vm.inner.native_shadows.lock().insert(address, Vec::new());
+            vm.inner
+                .native_shadows
+                .lock()
+                .insert(address, TaintRuns::new());
         }
         DirectByteBuffer {
             vm: vm.clone(),
@@ -216,8 +221,8 @@ impl DirectByteBuffer {
             let mut shadows = self.vm.inner.native_shadows.lock();
             let shadow = shadows.entry(self.address).or_default();
             match payload {
-                Payload::Plain(d) => shadow.extend(std::iter::repeat_n(Taint::EMPTY, d.len())),
-                Payload::Tainted(t) => shadow.extend_from_slice(t.taints()),
+                Payload::Plain(d) => shadow.push_run(Taint::EMPTY, d.len()),
+                Payload::Tainted(t) => shadow.extend_runs(t.shadow()),
             }
         }
         self.position += payload.len();
@@ -232,15 +237,17 @@ impl DirectByteBuffer {
         let end = (start + n).min(available).min(self.limit);
         let data = {
             let mem = self.vm.inner.native_mem.lock();
-            mem.get(&self.address).map_or_else(Vec::new, |b| b[start..end].to_vec())
+            mem.get(&self.address)
+                .map_or_else(Vec::new, |b| b[start..end].to_vec())
         };
         self.position = end;
         if self.vm.mode().tracks_taints() {
             let shadows = self.vm.inner.native_shadows.lock();
-            let taints = shadows
-                .get(&self.address)
-                .map_or_else(|| vec![Taint::EMPTY; data.len()], |s| s[start..end].to_vec());
-            Payload::Tainted(TaintedBytes::from_parts(data, taints))
+            let shadow = shadows.get(&self.address).map_or_else(
+                || TaintRuns::uniform(Taint::EMPTY, data.len()),
+                |s| s.slice(start, end),
+            );
+            Payload::Tainted(TaintedBytes::from_runs(data, shadow))
         } else {
             Payload::Plain(data)
         }
@@ -258,7 +265,7 @@ impl DirectByteBuffer {
             block.clear();
         }
         if let Some(shadow) = self.vm.inner.native_shadows.lock().get_mut(&self.address) {
-            shadow.clear();
+            shadow.truncate(0);
         }
         self.position = 0;
         self.limit = self.capacity;
@@ -271,14 +278,16 @@ impl DirectByteBuffer {
         let start = self.position.min(end);
         let data = {
             let mem = self.vm.inner.native_mem.lock();
-            mem.get(&self.address).map_or_else(Vec::new, |b| b[start..end].to_vec())
+            mem.get(&self.address)
+                .map_or_else(Vec::new, |b| b[start..end].to_vec())
         };
         if self.vm.mode().tracks_taints() {
             let shadows = self.vm.inner.native_shadows.lock();
-            let taints = shadows
-                .get(&self.address)
-                .map_or_else(|| vec![Taint::EMPTY; data.len()], |s| s[start..end].to_vec());
-            Payload::Tainted(TaintedBytes::from_parts(data, taints))
+            let shadow = shadows.get(&self.address).map_or_else(
+                || TaintRuns::uniform(Taint::EMPTY, data.len()),
+                |s| s.slice(start, end),
+            );
+            Payload::Tainted(TaintedBytes::from_runs(data, shadow))
         } else {
             Payload::Plain(data)
         }
@@ -320,7 +329,10 @@ mod tests {
         assert_eq!(buf.remaining(), 3);
         let got = buf.get(2);
         assert_eq!(got.data(), b"ab");
-        assert_eq!(vm.store().tag_values(got.taint_union(vm.store())), vec!["h"]);
+        assert_eq!(
+            vm.store().tag_values(got.taint_union(vm.store())),
+            vec!["h"]
+        );
         assert_eq!(buf.get(5).data(), b"c");
     }
 
@@ -346,7 +358,8 @@ mod tests {
         let shadows = vm.inner.native_shadows.lock();
         assert_eq!(shadows.get(&buf.address()).unwrap().len(), 3);
         assert_eq!(
-            vm.store().tag_values(shadows.get(&buf.address()).unwrap()[0]),
+            vm.store()
+                .tag_values(shadows.get(&buf.address()).unwrap().get(0).unwrap()),
             vec!["d"]
         );
     }
@@ -361,7 +374,10 @@ mod tests {
         buf.flip();
         let got = buf.get(5);
         assert_eq!(got.data(), b"hello");
-        assert_eq!(vm.store().tag_values(got.taint_union(vm.store())), vec!["g"]);
+        assert_eq!(
+            vm.store().tag_values(got.taint_union(vm.store())),
+            vec!["g"]
+        );
     }
 
     #[test]

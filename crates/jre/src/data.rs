@@ -253,7 +253,10 @@ impl<S: InputStream> DataInputStream<S> {
     /// [`JreError::Eof`] on short stream.
     pub fn read_i32(&self) -> Result<Tainted<i32>, JreError> {
         let (b, t) = self.read_raw(4)?;
-        Ok(Tainted::new(i32::from_be_bytes([b[0], b[1], b[2], b[3]]), t))
+        Ok(Tainted::new(
+            i32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            t,
+        ))
     }
 
     /// `readLong`.
@@ -275,7 +278,10 @@ impl<S: InputStream> DataInputStream<S> {
     /// [`JreError::Eof`] on short stream.
     pub fn read_f32(&self) -> Result<Tainted<f32>, JreError> {
         let (b, t) = self.read_raw(4)?;
-        Ok(Tainted::new(f32::from_be_bytes([b[0], b[1], b[2], b[3]]), t))
+        Ok(Tainted::new(
+            f32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            t,
+        ))
     }
 
     /// `readDouble`.
@@ -329,9 +335,12 @@ impl<S: InputStream> DataInputStream<S> {
     /// [`JreError::Eof`] on short stream.
     pub fn read_i32_array(&self) -> Result<Vec<Tainted<i32>>, JreError> {
         let (count_bytes, _) = self.read_raw(4)?;
-        let count =
-            u32::from_be_bytes([count_bytes[0], count_bytes[1], count_bytes[2], count_bytes[3]])
-                as usize;
+        let count = u32::from_be_bytes([
+            count_bytes[0],
+            count_bytes[1],
+            count_bytes[2],
+            count_bytes[3],
+        ]) as usize;
         let payload = self.inner.read_exact(count * 4)?;
         let store = self.vm().store();
         let mut out = Vec::with_capacity(count);
@@ -378,7 +387,11 @@ mod tests {
     use dista_simnet::SimNet;
     use dista_taint::TagValue;
 
-    fn rig() -> (Vm, DataOutputStream<PipedStream>, DataInputStream<PipedStream>) {
+    fn rig() -> (
+        Vm,
+        DataOutputStream<PipedStream>,
+        DataInputStream<PipedStream>,
+    ) {
         let vm = Vm::builder("t", &SimNet::new())
             .mode(Mode::Phosphor)
             .build()

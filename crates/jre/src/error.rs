@@ -83,6 +83,8 @@ mod tests {
         assert!(e.to_string().contains("network"));
         assert!(e.source().is_some());
         assert!(JreError::Eof.to_string().contains("end of stream"));
-        assert!(JreError::Protocol("bad frame").to_string().contains("bad frame"));
+        assert!(JreError::Protocol("bad frame")
+            .to_string()
+            .contains("bad frame"));
     }
 }

@@ -200,7 +200,12 @@ impl HttpClient {
     /// # Errors
     ///
     /// See [`HttpClient::request`].
-    pub fn post(&self, addr: NodeAddr, path: &str, body: Payload) -> Result<HttpResponse, JreError> {
+    pub fn post(
+        &self,
+        addr: NodeAddr,
+        path: &str,
+        body: Payload,
+    ) -> Result<HttpResponse, JreError> {
         self.request(addr, &HttpRequest::post(path, body))
     }
 }
@@ -326,7 +331,9 @@ mod tests {
                 HttpResponse::ok(page)
             })
         });
-        let response = HttpClient::new(&client_vm).get(addr, "/index.html").unwrap();
+        let response = HttpClient::new(&client_vm)
+            .get(addr, "/index.html")
+            .unwrap();
         handle.join().unwrap().unwrap();
         assert_eq!(response.status, 200);
         assert!(response.body.data().starts_with(b"<html>"));

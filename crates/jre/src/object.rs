@@ -50,9 +50,7 @@ impl ObjValue {
     /// Looks up a field of a record by name.
     pub fn field(&self, name: &str) -> Option<&ObjValue> {
         match self {
-            ObjValue::Record(_, fields) => {
-                fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
-            }
+            ObjValue::Record(_, fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -318,7 +316,11 @@ mod tests {
     use dista_simnet::SimNet;
     use dista_taint::TagValue;
 
-    fn rig() -> (Vm, ObjectOutputStream<PipedStream>, ObjectInputStream<PipedStream>) {
+    fn rig() -> (
+        Vm,
+        ObjectOutputStream<PipedStream>,
+        ObjectInputStream<PipedStream>,
+    ) {
         let vm = Vm::builder("t", &SimNet::new())
             .mode(Mode::Phosphor)
             .build()
@@ -338,7 +340,10 @@ mod tests {
             vec![
                 ("leader".into(), ObjValue::Int(2, t)),
                 ("zxid".into(), ObjValue::Int(0x1000, Taint::EMPTY)),
-                ("state".into(), ObjValue::Str("LOOKING".into(), Taint::EMPTY)),
+                (
+                    "state".into(),
+                    ObjValue::Str("LOOKING".into(), Taint::EMPTY),
+                ),
             ],
         )
     }

@@ -182,7 +182,10 @@ mod tests {
             .unwrap();
         let got = pipe.read(10).unwrap();
         assert_eq!(got.data(), b"data");
-        assert_eq!(vm.store().tag_values(got.taint_union(vm.store())), vec!["p"]);
+        assert_eq!(
+            vm.store().tag_values(got.taint_union(vm.store())),
+            vec!["p"]
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use dista_simnet::{NodeAddr, SimFs, SimNet};
 use dista_taint::{
-    LocalId, SinkRecorder, SinkReport, SourceSinkSpec, TagValue, Taint, TaintStore,
+    LocalId, SinkRecorder, SinkReport, SourceSinkSpec, TagValue, Taint, TaintRuns, TaintStore,
 };
 use dista_taintmap::TaintMapClient;
 use parking_lot::{Mutex, RwLock};
@@ -65,7 +65,7 @@ pub(crate) struct VmInner {
     /// live in a *separate* map — native memory itself is taint-free,
     /// which is exactly why Type-3 methods need instrumented get/put.
     pub(crate) native_mem: Mutex<HashMap<u64, Vec<u8>>>,
-    pub(crate) native_shadows: Mutex<HashMap<u64, Vec<Taint>>>,
+    pub(crate) native_shadows: Mutex<HashMap<u64, TaintRuns>>,
     pub(crate) next_buffer_id: AtomicU64,
 }
 
@@ -157,7 +157,9 @@ impl VmBuilder {
         let store = TaintStore::new(LocalId::new(self.ip, pid));
         let taint_map = match (self.mode, self.taint_map_addr) {
             (Mode::Dista, None) => {
-                return Err(JreError::Protocol("DisTA mode requires a taint map address"))
+                return Err(JreError::Protocol(
+                    "DisTA mode requires a taint map address",
+                ))
             }
             (_, Some(addr)) => Some(TaintMapClient::connect(&self.net, addr, store.clone())?),
             (_, None) => None,
@@ -321,7 +323,10 @@ mod tests {
     #[test]
     fn dista_requires_taint_map() {
         let net = SimNet::new();
-        let err = Vm::builder("x", &net).mode(Mode::Dista).build().unwrap_err();
+        let err = Vm::builder("x", &net)
+            .mode(Mode::Dista)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, JreError::Protocol(_)));
     }
 

@@ -21,13 +21,19 @@ fn blueprint_strategy() -> impl Strategy<Value = Blueprint> {
     let leaf = prop_oneof![
         ("[a-z ]{0,24}", prop::option::of(0u8..4)).prop_map(|(s, t)| Blueprint::Str(s, t)),
         (any::<i64>(), prop::option::of(0u8..4)).prop_map(|(i, t)| Blueprint::Int(i, t)),
-        (prop::collection::vec(any::<u8>(), 0..24), prop::option::of(0u8..4))
+        (
+            prop::collection::vec(any::<u8>(), 0..24),
+            prop::option::of(0u8..4)
+        )
             .prop_map(|(b, t)| Blueprint::Bytes(b, t)),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(Blueprint::List),
-            ("[A-Z][a-z]{0,8}", prop::collection::vec(("[a-z]{1,8}", inner), 0..4))
+            (
+                "[A-Z][a-z]{0,8}",
+                prop::collection::vec(("[a-z]{1,8}", inner), 0..4)
+            )
                 .prop_map(|(class, fields)| Blueprint::Record(class, fields)),
         ]
     })

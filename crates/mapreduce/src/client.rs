@@ -78,7 +78,10 @@ impl YarnClient {
         self.rpc.call(&ObjValue::Record(
             "SubmitApplication".into(),
             vec![
-                ("appId".into(), ObjValue::Int(*app_id.value(), app_id.taint())),
+                (
+                    "appId".into(),
+                    ObjValue::Int(*app_id.value(), app_id.taint()),
+                ),
                 ("jobType".into(), ObjValue::str_plain("wordcount")),
                 ("input".into(), ObjValue::Bytes(input)),
                 ("maps".into(), ObjValue::int_plain(maps as i64)),
@@ -102,7 +105,10 @@ impl YarnClient {
         self.rpc.call(&ObjValue::Record(
             "SubmitApplication".into(),
             vec![
-                ("appId".into(), ObjValue::Int(*app_id.value(), app_id.taint())),
+                (
+                    "appId".into(),
+                    ObjValue::Int(*app_id.value(), app_id.taint()),
+                ),
                 ("maps".into(), ObjValue::int_plain(maps as i64)),
                 ("samples".into(), ObjValue::int_plain(samples as i64)),
             ],
@@ -169,10 +175,7 @@ impl YarnClient {
     ///
     /// Transport errors, or [`JreError::Protocol`] if the job never
     /// finishes within the poll budget.
-    pub fn await_finished(
-        &self,
-        app_id: &Tainted<i64>,
-    ) -> Result<ApplicationReport, JreError> {
+    pub fn await_finished(&self, app_id: &Tainted<i64>) -> Result<ApplicationReport, JreError> {
         for _ in 0..5000 {
             let report = self.get_application_report(app_id)?;
             if report.state == "FINISHED" {
@@ -325,7 +328,10 @@ mod tests {
 
     #[test]
     fn pi_job_computes_pi() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("yarn", 3).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("yarn", 3)
+            .build()
+            .unwrap();
         let result = run_pi_job(cluster.vms(), 4, 20_000).unwrap();
         assert!(
             (result.pi - std::f64::consts::PI).abs() < 0.05,
@@ -399,7 +405,10 @@ mod tests {
 
     #[test]
     fn wordcount_job_counts_words_through_shuffle() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("yarn", 4).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("yarn", 4)
+            .build()
+            .unwrap();
         let input = TaintedBytes::from_plain(
             b"the quick brown fox jumps over the lazy dog the fox".to_vec(),
         );
@@ -448,7 +457,9 @@ mod tests {
         };
         // Soundness: words from the tainted span carry the tag...
         assert_eq!(
-            client_vm.store().tag_values(find("classified").word.taint()),
+            client_vm
+                .store()
+                .tag_values(find("classified").word.taint()),
             vec!["secret-doc"]
         );
         assert_eq!(
@@ -463,7 +474,10 @@ mod tests {
 
     #[test]
     fn wordcount_loses_taint_in_phosphor_mode() {
-        let cluster = Cluster::builder(Mode::Phosphor).nodes("yarn", 4).build().unwrap();
+        let cluster = Cluster::builder(Mode::Phosphor)
+            .nodes("yarn", 4)
+            .build()
+            .unwrap();
         let client_vm = cluster.vm(3).clone();
         let secret = client_vm
             .store()

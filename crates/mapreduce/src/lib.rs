@@ -31,7 +31,9 @@ mod client;
 mod node_manager;
 mod resource_manager;
 
-pub use client::{run_pi_job, run_wordcount_job, ApplicationReport, PiJobResult, WordCountJobResult, YarnClient};
+pub use client::{
+    run_pi_job, run_wordcount_job, ApplicationReport, PiJobResult, WordCountJobResult, YarnClient,
+};
 pub use node_manager::NodeManager;
 pub use resource_manager::ResourceManager;
 

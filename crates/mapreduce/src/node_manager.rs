@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use dista_jre::{FileInputStream, JreError, ObjValue, Vm};
 use dista_simnet::NodeAddr;
-use dista_taint::{Taint, TaintedBytes, Tainted};
+use dista_taint::{Taint, Tainted, TaintedBytes};
 use parking_lot::Mutex;
 
 use crate::pi::run_map_task;

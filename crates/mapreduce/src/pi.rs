@@ -69,9 +69,7 @@ mod tests {
 
     #[test]
     fn estimate_converges_to_pi() {
-        let maps: Vec<MapResult> = (0..4)
-            .map(|m| run_map_task(m * 25_000, 25_000))
-            .collect();
+        let maps: Vec<MapResult> = (0..4).map(|m| run_map_task(m * 25_000, 25_000)).collect();
         let pi = reduce(&maps);
         assert!((pi - std::f64::consts::PI).abs() < 0.01, "pi ≈ {pi}");
     }

@@ -70,9 +70,7 @@ impl ResourceManager {
             apps: Mutex::new(HashMap::new()),
         });
         let handler_inner = inner.clone();
-        let server = RpcServer::start(vm, addr, move |request| {
-            handle(&handler_inner, request)
-        })?;
+        let server = RpcServer::start(vm, addr, move |request| handle(&handler_inner, request))?;
         Ok(ResourceManager {
             inner,
             server: Some(server),
@@ -157,11 +155,10 @@ fn handle(rm: &Arc<RmInner>, request: ObjValue) -> ObjValue {
                 }
                 _ => {
                     let maps = int_field(&request, "maps").map_or(1, |(v, _)| v).max(1) as u64;
-                    let samples =
-                        int_field(&request, "samples").map_or(1000, |(v, _)| v).max(1) as u64;
-                    std::thread::spawn(move || {
-                        schedule_pi(&rm, app_id, id_taint, maps, samples)
-                    });
+                    let samples = int_field(&request, "samples")
+                        .map_or(1000, |(v, _)| v)
+                        .max(1) as u64;
+                    std::thread::spawn(move || schedule_pi(&rm, app_id, id_taint, maps, samples));
                 }
             }
             ObjValue::Record("SubmitAck".into(), vec![])

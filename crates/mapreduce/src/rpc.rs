@@ -40,10 +40,7 @@ fn read_obj(channel: &SocketChannel) -> Result<Option<ObjValue>, JreError> {
     }
     let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
     let body = channel.read_exact_payload(len)?;
-    Ok(Some(ObjValue::decode(
-        &body.into_tainted(),
-        channel.vm(),
-    )?))
+    Ok(Some(ObjValue::decode(&body.into_tainted(), channel.vm())?))
 }
 
 type Handler = Arc<dyn Fn(ObjValue) -> ObjValue + Send + Sync>;
@@ -183,7 +180,10 @@ mod tests {
             NodeAddr::new([10, 0, 0, 2], 8030),
             move |request| {
                 // Echo the request's "arg" field back as "result".
-                let arg = request.field("arg").cloned().unwrap_or(ObjValue::int_plain(0));
+                let arg = request
+                    .field("arg")
+                    .cloned()
+                    .unwrap_or(ObjValue::int_plain(0));
                 ObjValue::Record("Response".into(), vec![("result".into(), arg)])
             },
         )

@@ -90,7 +90,11 @@ pub fn run_wordcount_reduce(fragments: Vec<Vec<WordCount>>, vm: &Vm) -> Vec<Word
             count,
         })
         .collect();
-    out.sort_by(|a, b| b.count.cmp(&a.count).then(a.word.value().cmp(b.word.value())));
+    out.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then(a.word.value().cmp(b.word.value()))
+    });
     out
 }
 
@@ -179,8 +183,14 @@ mod tests {
         let tb = vm.store().mint_source_taint(TagValue::str("b"));
         let out = run_wordcount_reduce(
             vec![
-                vec![WordCount { word: Tainted::new("x".into(), ta), count: 2 }],
-                vec![WordCount { word: Tainted::new("x".into(), tb), count: 3 }],
+                vec![WordCount {
+                    word: Tainted::new("x".into(), ta),
+                    count: 2,
+                }],
+                vec![WordCount {
+                    word: Tainted::new("x".into(), tb),
+                    count: 3,
+                }],
             ],
             &vm,
         );
@@ -194,8 +204,14 @@ mod tests {
         let vm = vm();
         let t = vm.store().mint_source_taint(TagValue::str("w"));
         let cells = vec![
-            WordCount { word: Tainted::new("alpha".into(), t), count: 7 },
-            WordCount { word: Tainted::new("beta".into(), Taint::EMPTY), count: 1 },
+            WordCount {
+                word: Tainted::new("alpha".into(), t),
+                count: 7,
+            },
+            WordCount {
+                word: Tainted::new("beta".into(), Taint::EMPTY),
+                count: 1,
+            },
         ];
         let decoded = decode_cells(&encode_cells(&cells)).unwrap();
         assert_eq!(decoded, cells);

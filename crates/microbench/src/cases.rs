@@ -3,9 +3,9 @@
 use std::sync::Arc;
 
 use dista_jre::{
-    AsyncServerSocketChannel, AsyncSocketChannel, DatagramPacket, DatagramSocket,
-    DirectByteBuffer, HttpClient, HttpResponse, HttpServer, JreError, ServerSocket,
-    ServerSocketChannel, Socket, SocketChannel, Vm,
+    AsyncServerSocketChannel, AsyncSocketChannel, DatagramPacket, DatagramSocket, DirectByteBuffer,
+    HttpClient, HttpResponse, HttpServer, JreError, ServerSocket, ServerSocketChannel, Socket,
+    SocketChannel, Vm,
 };
 use dista_netty::{
     decode_http_request, decode_http_response, encode_http_request, encode_http_response,
@@ -16,8 +16,8 @@ use dista_taint::Payload;
 
 use crate::socket_codecs::{
     Buffered, BufferedData, BufferedObj, ChunkedExact, DataBool, DataByte, DataChars, DataDouble,
-    DataFloat, DataInt, DataIntArray, DataLong, DataShort, DataUtf, LineWriter, ObjBytes,
-    ObjList, ObjRecord, ObjString, RawArray, SingleByte, SocketCodec,
+    DataFloat, DataInt, DataIntArray, DataLong, DataShort, DataUtf, LineWriter, ObjBytes, ObjList,
+    ObjRecord, ObjString, RawArray, SingleByte, SocketCodec,
 };
 
 /// Protocol family of a case (the row groups of Table II).
@@ -252,10 +252,8 @@ impl MicroCase for DatagramChannelCase {
 
     fn round_trip(&self, ctx: &CaseCtx) -> Result<Payload, JreError> {
         let capacity = ctx.data1.len() + ctx.data2.len() + 64;
-        let server = dista_jre::DatagramChannel::bind(
-            &ctx.vm2,
-            NodeAddr::new(ctx.vm2.ip(), ctx.port),
-        )?;
+        let server =
+            dista_jre::DatagramChannel::bind(&ctx.vm2, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
         let vm2 = ctx.vm2.clone();
         let data2 = ctx.data2.clone();
         let server_thread = std::thread::spawn(move || -> Result<(), JreError> {
@@ -271,10 +269,8 @@ impl MicroCase for DatagramChannelCase {
             server.close();
             Ok(())
         });
-        let client = dista_jre::DatagramChannel::bind(
-            &ctx.vm1,
-            NodeAddr::new(ctx.vm1.ip(), ctx.port),
-        )?;
+        let client =
+            dista_jre::DatagramChannel::bind(&ctx.vm1, NodeAddr::new(ctx.vm1.ip(), ctx.port))?;
         let mut outbuf = DirectByteBuffer::allocate_direct(&ctx.vm1, ctx.data1.len());
         outbuf.put(&ctx.data1)?;
         outbuf.flip();
@@ -306,8 +302,8 @@ impl MicroCase for AioCase {
         let server =
             AsyncServerSocketChannel::bind(&ctx.vm2, NodeAddr::new(ctx.vm2.ip(), ctx.port))?;
         let accept = server.accept_async();
-        let client = AsyncSocketChannel::connect(&ctx.vm1, NodeAddr::new(ctx.vm2.ip(), ctx.port))
-            .get()?;
+        let client =
+            AsyncSocketChannel::connect(&ctx.vm1, NodeAddr::new(ctx.vm2.ip(), ctx.port)).get()?;
         let served = accept.get()?;
 
         let vm1 = ctx.vm1.clone();

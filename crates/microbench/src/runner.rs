@@ -39,9 +39,7 @@ impl CaseResult {
             return false;
         }
         match self.mode {
-            Mode::Dista => {
-                self.tags_at_check == vec![DATA1_TAG.to_string(), DATA2_TAG.to_string()]
-            }
+            Mode::Dista => self.tags_at_check == vec![DATA1_TAG.to_string(), DATA2_TAG.to_string()],
             _ => self.tags_at_check.is_empty(),
         }
     }

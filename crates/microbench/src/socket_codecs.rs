@@ -8,8 +8,8 @@
 //! generator output.
 
 use dista_jre::{
-    BufferedInputStream, BufferedOutputStream, InputStream, JreError, ObjValue,
-    ObjectInputStream, ObjectOutputStream, OutputStream, Socket, Vm,
+    BufferedInputStream, BufferedOutputStream, InputStream, JreError, ObjValue, ObjectInputStream,
+    ObjectOutputStream, OutputStream, Socket, Vm,
 };
 use dista_taint::Tainted;
 use dista_taint::{Payload, Taint, TaintedBytes};
@@ -215,11 +215,46 @@ macro_rules! numeric_codec {
     };
 }
 
-numeric_codec!(DataInt, 4, write_i32, read_i32, |c: [u8; 4]| i32::from_be_bytes(c), |v: i32| v.to_be_bytes());
-numeric_codec!(DataLong, 8, write_i64, read_i64, |c: [u8; 8]| i64::from_be_bytes(c), |v: i64| v.to_be_bytes());
-numeric_codec!(DataShort, 2, write_i16, read_i16, |c: [u8; 2]| i16::from_be_bytes(c), |v: i16| v.to_be_bytes());
-numeric_codec!(DataFloat, 4, write_f32, read_f32, |c: [u8; 4]| f32::from_bits(u32::from_be_bytes(c)), |v: f32| v.to_bits().to_be_bytes());
-numeric_codec!(DataDouble, 8, write_f64, read_f64, |c: [u8; 8]| f64::from_bits(u64::from_be_bytes(c)), |v: f64| v.to_bits().to_be_bytes());
+numeric_codec!(
+    DataInt,
+    4,
+    write_i32,
+    read_i32,
+    |c: [u8; 4]| i32::from_be_bytes(c),
+    |v: i32| v.to_be_bytes()
+);
+numeric_codec!(
+    DataLong,
+    8,
+    write_i64,
+    read_i64,
+    |c: [u8; 8]| i64::from_be_bytes(c),
+    |v: i64| v.to_be_bytes()
+);
+numeric_codec!(
+    DataShort,
+    2,
+    write_i16,
+    read_i16,
+    |c: [u8; 2]| i16::from_be_bytes(c),
+    |v: i16| v.to_be_bytes()
+);
+numeric_codec!(
+    DataFloat,
+    4,
+    write_f32,
+    read_f32,
+    |c: [u8; 4]| f32::from_bits(u32::from_be_bytes(c)),
+    |v: f32| v.to_bits().to_be_bytes()
+);
+numeric_codec!(
+    DataDouble,
+    8,
+    write_f64,
+    read_f64,
+    |c: [u8; 8]| f64::from_bits(u64::from_be_bytes(c)),
+    |v: f64| v.to_bits().to_be_bytes()
+);
 
 /// `DataOutputStream.writeByte` per byte.
 pub(crate) struct DataByte;

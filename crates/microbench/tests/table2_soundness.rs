@@ -42,6 +42,10 @@ fn all_30_cases_run_clean_in_original_mode() {
         let result = run_case(case.as_ref(), Mode::Original, SIZE)
             .unwrap_or_else(|e| panic!("{} failed: {e}", case.name()));
         assert!(result.data_ok, "{}: data corrupted", result.name);
-        assert!(result.tags_at_check.is_empty(), "{}: untracked mode", result.name);
+        assert!(
+            result.tags_at_check.is_empty(),
+            "{}: untracked mode",
+            result.name
+        );
     }
 }

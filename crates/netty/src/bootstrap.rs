@@ -304,7 +304,9 @@ mod tests {
             .child_handler(|ctx, msg| ctx.write(&msg).unwrap())
             .bind(NodeAddr::new([10, 0, 0, 2], 9000))
             .unwrap();
-        let chan = Bootstrap::new(&client_vm).connect(server.local_addr()).unwrap();
+        let chan = Bootstrap::new(&client_vm)
+            .connect(server.local_addr())
+            .unwrap();
         let t = client_vm.store().mint_source_taint(TagValue::str("echo"));
         let reply = chan
             .call(&Payload::Tainted(TaintedBytes::uniform(b"hello netty", t)))

@@ -88,7 +88,10 @@ mod tests {
         write_frame(&c, &Payload::Plain(b"twotwo".to_vec())).unwrap();
         let f1 = read_frame(&s).unwrap().unwrap();
         assert_eq!(f1.data(), b"one");
-        assert_eq!(vm2.store().tag_values(f1.taint_union(vm2.store())), vec!["f"]);
+        assert_eq!(
+            vm2.store().tag_values(f1.taint_union(vm2.store())),
+            vec!["f"]
+        );
         let f2 = read_frame(&s).unwrap().unwrap();
         assert_eq!(f2.data(), b"twotwo");
         assert!(f2.taint_union(vm2.store()).is_empty());

@@ -130,13 +130,19 @@ mod tests {
     fn request_roundtrip_keeps_body_taint() {
         let vm = vm();
         let t = vm.store().mint_source_taint(TagValue::str("form"));
-        let mut req = HttpRequest::post("/submit", Payload::Tainted(TaintedBytes::uniform(b"secret", t)));
+        let mut req = HttpRequest::post(
+            "/submit",
+            Payload::Tainted(TaintedBytes::uniform(b"secret", t)),
+        );
         req.headers.insert("host".into(), "example".into());
         let frame = encode_http_request(&req);
         let decoded = decode_http_request(&frame).unwrap();
         assert_eq!(decoded.method, "POST");
         assert_eq!(decoded.path, "/submit");
-        assert_eq!(decoded.headers.get("host").map(String::as_str), Some("example"));
+        assert_eq!(
+            decoded.headers.get("host").map(String::as_str),
+            Some("example")
+        );
         assert_eq!(decoded.body.data(), b"secret");
         assert_eq!(
             vm.store().tag_values(decoded.body.taint_union(vm.store())),

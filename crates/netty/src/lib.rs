@@ -57,5 +57,7 @@ mod pipeline;
 pub use bootstrap::{Bootstrap, ChannelContext, NettyChannel, NettyServer, ServerBootstrap};
 pub use datagram::DatagramBootstrap;
 pub use frame::{read_frame, write_frame};
-pub use http::{decode_http_request, decode_http_response, encode_http_request, encode_http_response};
+pub use http::{
+    decode_http_request, decode_http_response, encode_http_request, encode_http_response,
+};
 pub use pipeline::{MessageCodec, Pipeline, XorObfuscationCodec};

@@ -89,10 +89,10 @@ impl XorObfuscationCodec {
         match msg {
             Payload::Plain(d) => Payload::Plain(d.iter().map(|b| b ^ self.key).collect()),
             Payload::Tainted(t) => {
-                let (data, taints) = t.into_parts();
-                Payload::Tainted(TaintedBytes::from_parts(
+                let (data, shadow) = t.into_runs_parts();
+                Payload::Tainted(TaintedBytes::from_runs(
                     data.iter().map(|b| b ^ self.key).collect(),
-                    taints,
+                    shadow,
                 ))
             }
         }
@@ -155,6 +155,9 @@ mod tests {
         let codec = XorObfuscationCodec::new(0xFF);
         let out = codec.encode(Payload::Tainted(TaintedBytes::uniform(b"\x00\x01", t)), &vm);
         assert_eq!(out.data(), &[0xFF, 0xFE]);
-        assert_eq!(vm.store().tag_values(out.taint_union(vm.store())), vec!["k"]);
+        assert_eq!(
+            vm.store().tag_values(out.taint_union(vm.store())),
+            vec!["k"]
+        );
     }
 }

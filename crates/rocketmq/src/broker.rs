@@ -95,15 +95,9 @@ impl BrokerServer {
             vec![
                 (
                     "brokerName".into(),
-                    ObjValue::Str(
-                        self.broker_name.value().clone(),
-                        self.broker_name.taint(),
-                    ),
+                    ObjValue::Str(self.broker_name.value().clone(), self.broker_name.taint()),
                 ),
-                (
-                    "addr".into(),
-                    ObjValue::str_plain(self.addr().to_string()),
-                ),
+                ("addr".into(), ObjValue::str_plain(self.addr().to_string())),
                 (
                     "topics".into(),
                     ObjValue::List(
@@ -141,7 +135,11 @@ fn handle(logs: &Arc<Mutex<HashMap<String, TopicLog>>>, request: &ObjValue) -> O
                 Some(ObjValue::Bytes(b)) => b.clone(),
                 _ => TaintedBytes::new(),
             };
-            logs.lock().entry(topic).or_default().messages.push((id, body));
+            logs.lock()
+                .entry(topic)
+                .or_default()
+                .messages
+                .push((id, body));
             ObjValue::Record(
                 "SendAck".into(),
                 vec![("msgId".into(), ObjValue::int_plain(id))],
@@ -179,6 +177,8 @@ fn handle(logs: &Arc<Mutex<HashMap<String, TopicLog>>>, request: &ObjValue) -> O
 
 /// Writes a broker config onto `vm`'s disk so SIM runs taint the name.
 pub fn seed_config(vm: &Vm, name: &str) {
-    vm.fs()
-        .write("conf/broker.conf", format!("brokerName={name}").into_bytes());
+    vm.fs().write(
+        "conf/broker.conf",
+        format!("brokerName={name}").into_bytes(),
+    );
 }

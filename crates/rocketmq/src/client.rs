@@ -172,11 +172,8 @@ impl MqConsumer {
             body,
         };
         // The SDT sink: consumeMessage on the received MessageExt.
-        self.vm.sink_point(
-            CONSUMER_CLASS,
-            "consumeMessage",
-            message.taint(&self.vm),
-        );
+        self.vm
+            .sink_point(CONSUMER_CLASS, "consumeMessage", message.taint(&self.vm));
         Ok(Some(message))
     }
 
@@ -220,7 +217,11 @@ mod tests {
     /// Nameserver on node 1, broker on node 2, producer/consumer on
     /// node 3 (the paper's three-peer deployment + client).
     fn stack(mode: Mode, spec: SourceSinkSpec) -> (Cluster, NameServer, BrokerServer) {
-        let cluster = Cluster::builder(mode).nodes("mq", 3).spec(spec).build().unwrap();
+        let cluster = Cluster::builder(mode)
+            .nodes("mq", 3)
+            .spec(spec)
+            .build()
+            .unwrap();
         seed_config(cluster.vm(1), "broker-a");
         let ns = NameServer::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 9876)).unwrap();
         let broker = BrokerServer::start(
@@ -244,7 +245,10 @@ mod tests {
         let consumer = MqConsumer::start(cluster.vm(2), ns.addr(), "TopicTest").unwrap();
         let message = consumer.pull_blocking().unwrap();
         assert_eq!(message.body.len(), long_text.len());
-        let tags = cluster.vm(2).store().tag_values(message.taint(cluster.vm(2)));
+        let tags = cluster
+            .vm(2)
+            .store()
+            .tag_values(message.taint(cluster.vm(2)));
         assert_eq!(tags.len(), 1);
         assert!(tags[0].starts_with("mq_message_"), "got {tags:?}");
         let report = cluster.vm(2).sink_report();

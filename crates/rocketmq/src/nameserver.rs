@@ -42,10 +42,7 @@ impl NameServer {
                                 // SIM sink: the registration is logged;
                                 // the broker name carries its config
                                 // file's taint across the wire.
-                                log.info_taint(
-                                    &format!("new broker registered: {name}"),
-                                    *taint,
-                                );
+                                log.info_taint(&format!("new broker registered: {name}"), *taint);
                                 Some((name.clone(), *taint))
                             }
                             _ => None,

@@ -60,11 +60,7 @@ impl Pipe {
             if st.closed {
                 return Ok(0); // EOF
             }
-            if self
-                .readable
-                .wait_for(&mut st, BLOCK_TIMEOUT)
-                .timed_out()
-            {
+            if self.readable.wait_for(&mut st, BLOCK_TIMEOUT).timed_out() {
                 return Err(NetError::TimedOut);
             }
         }
@@ -240,13 +236,7 @@ pub struct TcpListener {
 impl TcpListener {
     pub(crate) fn new(addr: NodeAddr) -> (TcpListener, Sender<TcpEndpoint>) {
         let (tx, rx) = unbounded();
-        (
-            TcpListener {
-                addr,
-                incoming: rx,
-            },
-            tx,
-        )
+        (TcpListener { addr, incoming: rx }, tx)
     }
 
     /// The bound address.

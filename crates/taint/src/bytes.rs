@@ -2,18 +2,24 @@
 //!
 //! "All messages between nodes are finally transferred into bytes. To
 //! achieve high precision, DisTA performs inter-node taint tracking at the
-//! byte-level granularity." [`TaintedBytes`] keeps one [`Taint`] handle
-//! per byte and slices/splices the shadow vector in lock-step with the
-//! data. [`Payload`] is the mode-dependent message body used throughout
-//! the mini-JRE: `Plain` for untracked runs (no shadow cost at all) and
-//! `Tainted` for Phosphor/DisTA runs.
+//! byte-level granularity." [`TaintedBytes`] shadows every byte with a
+//! [`Taint`] handle, stored run-length-encoded as a [`TaintRuns`] that is
+//! sliced/spliced in lock-step with the data. [`Payload`] is the
+//! mode-dependent message body used throughout the mini-JRE: `Plain` for
+//! untracked runs (no shadow cost at all) and `Tainted` for
+//! Phosphor/DisTA runs.
 
+use crate::runs::TaintRuns;
 use crate::store::TaintStore;
 use crate::tree::Taint;
 
 /// A byte buffer with one taint handle per byte.
 ///
-/// Invariant: `data.len() == taints.len()` at all times.
+/// The shadow is stored run-length-encoded ([`TaintRuns`]); the dense
+/// per-byte view is available via [`TaintedBytes::taints`] and
+/// [`TaintedBytes::iter`].
+///
+/// Invariant: `data.len() == shadow.len()` at all times.
 ///
 /// # Example
 ///
@@ -30,7 +36,7 @@ use crate::tree::Taint;
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TaintedBytes {
     data: Vec<u8>,
-    taints: Vec<Taint>,
+    shadow: TaintRuns,
 }
 
 impl TaintedBytes {
@@ -43,22 +49,22 @@ impl TaintedBytes {
     pub fn with_capacity(cap: usize) -> Self {
         TaintedBytes {
             data: Vec::with_capacity(cap),
-            taints: Vec::with_capacity(cap),
+            shadow: TaintRuns::new(),
         }
     }
 
     /// Wraps plain bytes; every byte gets the empty taint.
     pub fn from_plain(data: impl Into<Vec<u8>>) -> Self {
         let data = data.into();
-        let taints = vec![Taint::EMPTY; data.len()];
-        TaintedBytes { data, taints }
+        let shadow = TaintRuns::uniform(Taint::EMPTY, data.len());
+        TaintedBytes { data, shadow }
     }
 
     /// Wraps bytes with the same taint on every byte.
     pub fn uniform(data: impl Into<Vec<u8>>, taint: Taint) -> Self {
         let data = data.into();
-        let taints = vec![taint; data.len()];
-        TaintedBytes { data, taints }
+        let shadow = TaintRuns::uniform(taint, data.len());
+        TaintedBytes { data, shadow }
     }
 
     /// Builds from parallel data/taint vectors.
@@ -72,7 +78,22 @@ impl TaintedBytes {
             taints.len(),
             "data/taint shadow length mismatch"
         );
-        TaintedBytes { data, taints }
+        let shadow = TaintRuns::from_dense(&taints);
+        TaintedBytes { data, shadow }
+    }
+
+    /// Builds from data plus an already run-length-encoded shadow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shadow.len() != data.len()`.
+    pub fn from_runs(data: Vec<u8>, shadow: TaintRuns) -> Self {
+        assert_eq!(
+            data.len(),
+            shadow.len(),
+            "data/taint shadow length mismatch"
+        );
+        TaintedBytes { data, shadow }
     }
 
     /// Number of bytes.
@@ -90,41 +111,50 @@ impl TaintedBytes {
         &self.data
     }
 
-    /// The per-byte taint shadows.
-    pub fn taints(&self) -> &[Taint] {
-        &self.taints
+    /// The dense per-byte taint shadows, materialized from the runs.
+    ///
+    /// Prefer [`TaintedBytes::shadow`] (O(runs)) on hot paths; this
+    /// allocates one `Taint` per byte and exists as the per-byte view
+    /// the rest of the system reasons in.
+    pub fn taints(&self) -> Vec<Taint> {
+        self.shadow.to_dense()
+    }
+
+    /// The run-length-encoded shadow.
+    pub fn shadow(&self) -> &TaintRuns {
+        &self.shadow
     }
 
     /// Taint of the byte at `idx`, or `None` if out of bounds.
     pub fn taint_at(&self, idx: usize) -> Option<Taint> {
-        self.taints.get(idx).copied()
+        self.shadow.get(idx)
     }
 
     /// Appends one byte with its taint.
     pub fn push(&mut self, byte: u8, taint: Taint) {
         self.data.push(byte);
-        self.taints.push(taint);
+        self.shadow.push_run(taint, 1);
     }
 
     /// Appends plain (untainted) bytes.
     pub fn extend_plain(&mut self, bytes: &[u8]) {
         self.data.extend_from_slice(bytes);
-        self.taints.extend(std::iter::repeat_n(Taint::EMPTY, bytes.len()));
+        self.shadow.push_run(Taint::EMPTY, bytes.len());
     }
 
     /// Appends bytes that all share one taint.
     pub fn extend_uniform(&mut self, bytes: &[u8], taint: Taint) {
         self.data.extend_from_slice(bytes);
-        self.taints.extend(std::iter::repeat_n(taint, bytes.len()));
+        self.shadow.push_run(taint, bytes.len());
     }
 
-    /// Appends another tainted buffer.
+    /// Appends another tainted buffer. O(runs) shadow work.
     pub fn extend_tainted(&mut self, other: &TaintedBytes) {
         self.data.extend_from_slice(&other.data);
-        self.taints.extend_from_slice(&other.taints);
+        self.shadow.extend_runs(&other.shadow);
     }
 
-    /// Copies out `[start, end)` as a new buffer.
+    /// Copies out `[start, end)` as a new buffer. O(runs) shadow work.
     ///
     /// # Panics
     ///
@@ -132,7 +162,7 @@ impl TaintedBytes {
     pub fn slice(&self, start: usize, end: usize) -> TaintedBytes {
         TaintedBytes {
             data: self.data[start..end].to_vec(),
-            taints: self.taints[start..end].to_vec(),
+            shadow: self.shadow.slice(start, end),
         }
     }
 
@@ -143,45 +173,47 @@ impl TaintedBytes {
         let n = n.min(self.data.len());
         TaintedBytes {
             data: self.data.drain(..n).collect(),
-            taints: self.taints.drain(..n).collect(),
+            shadow: self.shadow.split_front(n),
         }
     }
 
     /// Truncates to `n` bytes (datagram truncation semantics).
     pub fn truncate(&mut self, n: usize) {
         self.data.truncate(n);
-        self.taints.truncate(n);
+        self.shadow.truncate(n);
     }
 
     /// The union of every byte's taint — what a sink sees when it checks
-    /// a whole message.
+    /// a whole message. O(runs) unions, not O(bytes).
     pub fn taint_union(&self, store: &TaintStore) -> Taint {
-        store.union_all(self.taints.iter().copied())
+        store.union_all(self.shadow.iter_runs().map(|(_, t)| t))
     }
 
     /// Unions `extra` onto every byte's taint (assigning a new tag to an
     /// already-tainted buffer, e.g. marking file-loaded data as a source
-    /// variable as well).
+    /// variable as well). O(runs) unions.
     pub fn apply_taint(&mut self, store: &TaintStore, extra: Taint) {
         if extra.is_empty() {
             return;
         }
-        for taint in &mut self.taints {
-            *taint = store.union(*taint, extra);
-        }
+        self.shadow.map_taints(|t| store.union(t, extra));
     }
 
     /// Iterates `(byte, taint)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u8, Taint)> + '_ {
-        self.data
-            .iter()
-            .copied()
-            .zip(self.taints.iter().copied())
+        self.data.iter().copied().zip(self.shadow.iter_dense())
     }
 
-    /// Consumes the buffer into `(data, taints)`.
+    /// Consumes the buffer into `(data, taints)` with a dense shadow.
     pub fn into_parts(self) -> (Vec<u8>, Vec<Taint>) {
-        (self.data, self.taints)
+        let dense = self.shadow.to_dense();
+        (self.data, dense)
+    }
+
+    /// Consumes the buffer into `(data, shadow)` keeping the
+    /// run-length-encoded shadow.
+    pub fn into_runs_parts(self) -> (Vec<u8>, TaintRuns) {
+        (self.data, self.shadow)
     }
 
     /// Consumes the buffer, dropping the shadows (the "native boundary"
@@ -190,15 +222,9 @@ impl TaintedBytes {
         self.data
     }
 
-    /// Distinct taints present, in first-appearance order.
+    /// Distinct taints present, in first-appearance order. O(runs).
     pub fn distinct_taints(&self) -> Vec<Taint> {
-        let mut seen = Vec::new();
-        for &t in &self.taints {
-            if !t.is_empty() && !seen.contains(&t) {
-                seen.push(t);
-            }
-        }
-        seen
+        self.shadow.distinct_taints()
     }
 }
 

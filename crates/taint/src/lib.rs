@@ -32,6 +32,7 @@
 
 mod bytes;
 mod report;
+mod runs;
 mod serial;
 mod spec;
 mod store;
@@ -41,9 +42,10 @@ mod value;
 
 pub use bytes::{Payload, TaintedBytes};
 pub use report::{SinkEvent, SinkRecorder, SinkReport};
+pub use runs::{TaintRun, TaintRuns};
 pub use serial::{deserialize_taint, serialize_taint, TaintCodecError, SERIALIZED_TAG_OVERHEAD};
 pub use spec::{MethodDesc, ParseSpecError, SourceSinkSpec};
 pub use store::TaintStore;
 pub use tag::{GlobalId, LocalId, TagId, TagValue, TaintTag};
-pub use tree::{Taint, TaintTree};
+pub use tree::{SingleLockTaintTree, Taint, TaintTree};
 pub use value::Tainted;

@@ -7,11 +7,26 @@
 //! sets share a single node — "if two variables have the same taint tag,
 //! their taints can refer to the same node in the tree, thus avoiding
 //! storing the same tags repeatedly".
+//!
+//! # Concurrency design
+//!
+//! The tree is read-mostly: once a node exists it is immutable, and hot
+//! paths (`tag_ids`, `tag_count`, `is_subset`) only walk parent links.
+//! [`TaintTree`] therefore keeps its nodes in an append-only
+//! [`NodeTable`] — chunked storage where published slots are never moved
+//! or mutated, so walks take **no lock at all** — and stripes the two
+//! interning maps (`children`, `union_memo`) across [`SHARDS`]
+//! independent `RwLock`s so writers on unrelated keys don't contend.
+//! [`SingleLockTaintTree`] preserves the previous whole-tree
+//! `RwLock<TreeInner>` design as a baseline for benchmarks.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::tag::{GlobalId, LocalId, TagId, TagValue, TaintTag};
 
@@ -61,17 +76,394 @@ struct Node {
     depth: u32,
 }
 
+/// Number of lock stripes for the interning maps. Power of two.
+const SHARDS: usize = 16;
+
+/// Size of the first node chunk; chunk `k` holds `NODE_BASE << k` slots.
+const NODE_BASE: usize = 1024;
+
+/// Chunks in the spine. `NODE_BASE * (2^NODE_CHUNKS - 1)` slots exceed
+/// the `u32` node-index space, so the spine can never run out first.
+const NODE_CHUNKS: usize = 23;
+
+/// Append-only node storage with lock-free reads.
+///
+/// Nodes live in geometrically-growing chunks whose slots are
+/// `OnceLock`s: a slot is written exactly once (before its index is
+/// published through an interning map) and never moves, so readers
+/// dereference straight into the chunk with no lock. Only appends —
+/// which are rare, every interned set is allocated once — serialize on
+/// the `append` mutex.
+struct NodeTable {
+    spine: [OnceLock<Box<[OnceLock<Node>]>>; NODE_CHUNKS],
+    len: AtomicU32,
+    append: Mutex<()>,
+}
+
+/// Maps a node index to its chunk, offset and chunk capacity.
+fn locate(index: usize) -> (usize, usize) {
+    let bucket = (index / NODE_BASE + 1).ilog2() as usize;
+    let chunk_start = NODE_BASE * ((1usize << bucket) - 1);
+    (bucket, index - chunk_start)
+}
+
+impl NodeTable {
+    fn new() -> Self {
+        let table = NodeTable {
+            spine: std::array::from_fn(|_| OnceLock::new()),
+            len: AtomicU32::new(0),
+            append: Mutex::new(()),
+        };
+        // Index 0 is the root; its fields are unused.
+        table.push(Node {
+            parent: 0,
+            tag: TagId(u32::MAX),
+            depth: 0,
+        });
+        table
+    }
+
+    fn chunk(&self, bucket: usize) -> &[OnceLock<Node>] {
+        self.spine[bucket].get_or_init(|| {
+            (0..(NODE_BASE << bucket))
+                .map(|_| OnceLock::new())
+                .collect()
+        })
+    }
+
+    /// Reads a published node. Lock-free.
+    fn get(&self, index: u32) -> Node {
+        let (bucket, off) = locate(index as usize);
+        *self.spine[bucket]
+            .get()
+            .and_then(|chunk| chunk[off].get())
+            .expect("taint handle not minted by this tree")
+    }
+
+    /// Appends a node, returning its index.
+    fn push(&self, node: Node) -> u32 {
+        let _guard = self.append.lock();
+        let index = self.len.load(Ordering::Relaxed);
+        let (bucket, off) = locate(index as usize);
+        self.chunk(bucket)[off]
+            .set(node)
+            .expect("node slot written twice");
+        // Publish the new length only after the slot is initialized.
+        self.len.store(index + 1, Ordering::Release);
+        index
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+}
+
+/// Tag table plus its interning index, guarded by one read-mostly lock
+/// (tags are minted orders of magnitude less often than taints combine).
+#[derive(Default)]
+struct TagTable {
+    entries: Vec<TagEntry>,
+    intern: HashMap<(TagValue, LocalId), TagId>,
+}
+
+/// Multiply-rotate hasher for the tree's small fixed-width keys
+/// (node indices and tag ids). The keys are internal handles, never
+/// attacker-controlled, so DoS-resistant hashing would be pure waste —
+/// on the union memo-hit fast path the hash is a large share of the
+/// total cost.
+#[derive(Default)]
+struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+type FxMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Shard selection reuses the map hash but takes the *top* bits — the
+/// map's buckets are chosen from the low bits, so keys that land in the
+/// same shard still spread across its buckets.
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() >> (64 - SHARDS.trailing_zeros())) as usize
+}
+
+/// A per-VM singleton taint tree (lock-striped).
+///
+/// All operations take `&self`; the tree is internally synchronized so a
+/// single instance can be shared by all threads of a simulated JVM.
+/// Reads of interned structure (path walks, depths) are lock-free;
+/// interning writes stripe across [`SHARDS`] locks.
+///
+/// # Example
+///
+/// ```rust
+/// use dista_taint::{TaintTree, TagValue, LocalId, Taint};
+///
+/// let tree = TaintTree::new();
+/// let a = tree.mint_tag(TagValue::str("a"), LocalId::default());
+/// let b = tree.mint_tag(TagValue::str("b"), LocalId::default());
+/// let ta = tree.taint_of_tag(a);
+/// let tb = tree.taint_of_tag(b);
+/// let tc = tree.union(ta, tb);
+/// assert_eq!(tree.tag_ids(tc), vec![a, b]);
+/// assert_eq!(tree.union(tc, ta), tc); // idempotent
+/// ```
+pub struct TaintTree {
+    nodes: NodeTable,
+    /// Child lookup: (parent node, tag) -> child node, striped by key.
+    children: Vec<RwLock<FxMap<(u32, TagId), u32>>>,
+    /// Memoized unions keyed by (smaller node, larger node), striped.
+    union_memo: Vec<RwLock<FxMap<(u32, u32), u32>>>,
+    tags: RwLock<TagTable>,
+}
+
+impl TaintTree {
+    /// Creates an empty tree containing only the root (empty taint).
+    pub fn new() -> Self {
+        TaintTree {
+            nodes: NodeTable::new(),
+            children: (0..SHARDS).map(|_| RwLock::new(FxMap::default())).collect(),
+            union_memo: (0..SHARDS).map(|_| RwLock::new(FxMap::default())).collect(),
+            tags: RwLock::new(TagTable::default()),
+        }
+    }
+
+    /// Interns a tag, returning its id. Minting the same `(value,
+    /// local_id)` twice yields the same id.
+    pub fn mint_tag(&self, value: TagValue, local_id: LocalId) -> TagId {
+        let mut tags = self.tags.write();
+        if let Some(&id) = tags.intern.get(&(value.clone(), local_id)) {
+            return id;
+        }
+        let id = TagId(tags.entries.len() as u32);
+        tags.entries.push(TagEntry {
+            value: value.clone(),
+            local_id,
+            global_id: GlobalId::UNTAINTED,
+        });
+        tags.intern.insert((value, local_id), id);
+        id
+    }
+
+    /// The singleton taint `{tag}` (a direct child of the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` was not minted by this tree.
+    pub fn taint_of_tag(&self, tag: TagId) -> Taint {
+        assert!(
+            tag.index() < self.tags.read().entries.len(),
+            "tag {tag} not minted by this tree"
+        );
+        Taint(self.intern_path(&[tag]))
+    }
+
+    /// Looks up or creates the child of `parent` along `tag`.
+    fn intern_child(&self, parent: u32, tag: TagId) -> u32 {
+        let key = (parent, tag);
+        let shard = &self.children[shard_of(&key)];
+        if let Some(&child) = shard.read().get(&key) {
+            return child;
+        }
+        let mut shard = shard.write();
+        if let Some(&child) = shard.get(&key) {
+            return child;
+        }
+        let depth = self.nodes.get(parent).depth + 1;
+        // The slot is fully written by `push` before the index is
+        // published through the map below, so lock-free readers can
+        // never observe a half-made node.
+        let index = self.nodes.push(Node { parent, tag, depth });
+        shard.insert(key, index);
+        index
+    }
+
+    /// Interns the canonical (sorted, deduplicated) path, returning its node.
+    fn intern_path(&self, path: &[TagId]) -> u32 {
+        let mut cur = 0u32;
+        for &tag in path {
+            cur = self.intern_child(cur, tag);
+        }
+        cur
+    }
+
+    /// Path of tag ids from root to `node`, sorted ascending. Lock-free.
+    ///
+    /// The tree maintains the invariant that every interned path is sorted
+    /// by `TagId`, so reading the path bottom-up and reversing yields the
+    /// canonical sorted set.
+    fn path(&self, node: u32) -> Vec<TagId> {
+        let mut out = Vec::with_capacity(self.nodes.get(node).depth as usize);
+        let mut cur = node;
+        while cur != 0 {
+            let n = self.nodes.get(cur);
+            out.push(n.tag);
+            cur = n.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Unions the tag sets of two taints (paper: `c_t = a_t ∪ b_t`).
+    ///
+    /// The result is interned: calling `union` with the same operands (in
+    /// either order) always returns the same handle, and
+    /// `union(x, EMPTY) == x`.
+    pub fn union(&self, a: Taint, b: Taint) -> Taint {
+        if a == b || b.is_empty() {
+            return a;
+        }
+        if a.is_empty() {
+            return b;
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        let shard = &self.union_memo[shard_of(&key)];
+        if let Some(&n) = shard.read().get(&key) {
+            return Taint(n);
+        }
+        // Compute outside the memo lock: interning is idempotent, so a
+        // concurrent duplicate lands on the same node, and no memo shard
+        // is ever held while children shards are taken (no ordering).
+        let merged = merge_sorted(&self.path(a.0), &self.path(b.0));
+        let node = self.intern_path(&merged);
+        shard.write().insert(key, node);
+        Taint(node)
+    }
+
+    /// Unions an arbitrary collection of taints.
+    pub fn union_all<I: IntoIterator<Item = Taint>>(&self, taints: I) -> Taint {
+        taints
+            .into_iter()
+            .fold(Taint::EMPTY, |acc, t| self.union(acc, t))
+    }
+
+    /// The sorted tag ids of a taint. Lock-free.
+    pub fn tag_ids(&self, taint: Taint) -> Vec<TagId> {
+        self.path(taint.0)
+    }
+
+    /// Number of tags in a taint (its depth in the tree). Lock-free.
+    pub fn tag_count(&self, taint: Taint) -> usize {
+        self.nodes.get(taint.0).depth as usize
+    }
+
+    /// Full quad for one tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` was not minted by this tree.
+    pub fn tag(&self, tag: TagId) -> TaintTag {
+        let tags = self.tags.read();
+        let entry = &tags.entries[tag.index()];
+        TaintTag {
+            id: tag.0,
+            value: entry.value.clone(),
+            local_id: entry.local_id,
+            global_id: entry.global_id,
+        }
+    }
+
+    /// Full quads for every tag of a taint, sorted by tag id.
+    pub fn tags_of(&self, taint: Taint) -> Vec<TaintTag> {
+        let ids = self.tag_ids(taint);
+        ids.into_iter().map(|id| self.tag(id)).collect()
+    }
+
+    /// Records the Taint-Map-assigned global id on a tag quad.
+    pub fn set_tag_global_id(&self, tag: TagId, gid: GlobalId) {
+        let mut tags = self.tags.write();
+        tags.entries[tag.index()].global_id = gid;
+    }
+
+    /// True if `taint` carries `tag`.
+    pub fn has_tag(&self, taint: Taint, tag: TagId) -> bool {
+        self.tag_ids(taint).contains(&tag)
+    }
+
+    /// True if the tag set of `needle` is a subset of `haystack`'s.
+    pub fn is_subset(&self, needle: Taint, haystack: Taint) -> bool {
+        let n = self.tag_ids(needle);
+        let h = self.tag_ids(haystack);
+        let mut hi = h.iter();
+        'outer: for t in &n {
+            for cand in hi.by_ref() {
+                if cand == t {
+                    continue 'outer;
+                }
+                if cand > t {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Number of distinct tags minted so far.
+    pub fn num_tags(&self) -> usize {
+        self.tags.read().entries.len()
+    }
+
+    /// Number of tree nodes (distinct interned tag sets, including root).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl fmt::Debug for TaintTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaintTree")
+            .field("nodes", &self.num_nodes())
+            .field("tags", &self.num_tags())
+            .finish()
+    }
+}
+
+impl Default for TaintTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[derive(Debug, Default)]
 struct TreeInner {
-    /// Tag table; index = `TagId`.
     tags: Vec<TagEntry>,
-    /// Interning map for tags, keyed by (value, minting VM).
     tag_intern: HashMap<(TagValue, LocalId), TagId>,
-    /// Node table; index 0 is the root. Node 0's fields are unused.
     nodes: Vec<Node>,
-    /// Child lookup: (parent node, tag) -> child node.
     children: HashMap<(u32, TagId), u32>,
-    /// Memoized unions keyed by (smaller node, larger node).
     union_memo: HashMap<(u32, u32), u32>,
 }
 
@@ -87,11 +479,6 @@ impl TreeInner {
         }
     }
 
-    /// Path of tag ids from root to `node`, sorted ascending.
-    ///
-    /// The tree maintains the invariant that every interned path is sorted
-    /// by `TagId`, so reading the path bottom-up and reversing yields the
-    /// canonical sorted set.
     fn path(&self, node: u32) -> Vec<TagId> {
         let mut out = Vec::with_capacity(self.nodes[node as usize].depth as usize);
         let mut cur = node;
@@ -104,7 +491,6 @@ impl TreeInner {
         out
     }
 
-    /// Interns the canonical (sorted, deduplicated) path, returning its node.
     fn intern_path(&mut self, path: &[TagId]) -> u32 {
         let mut cur = 0u32;
         for &tag in path {
@@ -127,40 +513,25 @@ impl TreeInner {
     }
 }
 
-/// A per-VM singleton taint tree.
+/// The pre-striping tree: one `RwLock` around all interning state.
 ///
-/// All operations take `&self`; the tree is internally synchronized so a
-/// single instance can be shared by all threads of a simulated JVM.
-///
-/// # Example
-///
-/// ```rust
-/// use dista_taint::{TaintTree, TagValue, LocalId, Taint};
-///
-/// let tree = TaintTree::new();
-/// let a = tree.mint_tag(TagValue::str("a"), LocalId::default());
-/// let b = tree.mint_tag(TagValue::str("b"), LocalId::default());
-/// let ta = tree.taint_of_tag(a);
-/// let tb = tree.taint_of_tag(b);
-/// let tc = tree.union(ta, tb);
-/// assert_eq!(tree.tag_ids(tc), vec![a, b]);
-/// assert_eq!(tree.union(tc, ta), tc); // idempotent
-/// ```
+/// Kept as the contention baseline for `bench/benches/shadow_repr.rs`;
+/// semantically identical to [`TaintTree`]. New code should use
+/// [`TaintTree`].
 #[derive(Debug)]
-pub struct TaintTree {
+pub struct SingleLockTaintTree {
     inner: RwLock<TreeInner>,
 }
 
-impl TaintTree {
+impl SingleLockTaintTree {
     /// Creates an empty tree containing only the root (empty taint).
     pub fn new() -> Self {
-        TaintTree {
+        SingleLockTaintTree {
             inner: RwLock::new(TreeInner::new()),
         }
     }
 
-    /// Interns a tag, returning its id. Minting the same `(value,
-    /// local_id)` twice yields the same id.
+    /// Interns a tag, returning its id.
     pub fn mint_tag(&self, value: TagValue, local_id: LocalId) -> TagId {
         let mut inner = self.inner.write();
         if let Some(&id) = inner.tag_intern.get(&(value.clone(), local_id)) {
@@ -176,11 +547,7 @@ impl TaintTree {
         id
     }
 
-    /// The singleton taint `{tag}` (a direct child of the root).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tag` was not minted by this tree.
+    /// The singleton taint `{tag}`.
     pub fn taint_of_tag(&self, tag: TagId) -> Taint {
         let mut inner = self.inner.write();
         assert!(
@@ -190,11 +557,7 @@ impl TaintTree {
         Taint(inner.intern_path(&[tag]))
     }
 
-    /// Unions the tag sets of two taints (paper: `c_t = a_t ∪ b_t`).
-    ///
-    /// The result is interned: calling `union` with the same operands (in
-    /// either order) always returns the same handle, and
-    /// `union(x, EMPTY) == x`.
+    /// Unions the tag sets of two taints (interned, order-insensitive).
     pub fn union(&self, a: Taint, b: Taint) -> Taint {
         if a == b || b.is_empty() {
             return a;
@@ -233,61 +596,9 @@ impl TaintTree {
         self.inner.read().path(taint.0)
     }
 
-    /// Number of tags in a taint (its depth in the tree).
+    /// Number of tags in a taint.
     pub fn tag_count(&self, taint: Taint) -> usize {
         self.inner.read().nodes[taint.0 as usize].depth as usize
-    }
-
-    /// Full quad for one tag.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tag` was not minted by this tree.
-    pub fn tag(&self, tag: TagId) -> TaintTag {
-        let inner = self.inner.read();
-        let entry = &inner.tags[tag.index()];
-        TaintTag {
-            id: tag.0,
-            value: entry.value.clone(),
-            local_id: entry.local_id,
-            global_id: entry.global_id,
-        }
-    }
-
-    /// Full quads for every tag of a taint, sorted by tag id.
-    pub fn tags_of(&self, taint: Taint) -> Vec<TaintTag> {
-        let ids = self.tag_ids(taint);
-        ids.into_iter().map(|id| self.tag(id)).collect()
-    }
-
-    /// Records the Taint-Map-assigned global id on a tag quad.
-    pub fn set_tag_global_id(&self, tag: TagId, gid: GlobalId) {
-        let mut inner = self.inner.write();
-        inner.tags[tag.index()].global_id = gid;
-    }
-
-    /// True if `taint` carries `tag`.
-    pub fn has_tag(&self, taint: Taint, tag: TagId) -> bool {
-        self.tag_ids(taint).contains(&tag)
-    }
-
-    /// True if the tag set of `needle` is a subset of `haystack`'s.
-    pub fn is_subset(&self, needle: Taint, haystack: Taint) -> bool {
-        let n = self.tag_ids(needle);
-        let h = self.tag_ids(haystack);
-        let mut hi = h.iter();
-        'outer: for t in &n {
-            for cand in hi.by_ref() {
-                if cand == t {
-                    continue 'outer;
-                }
-                if cand > t {
-                    return false;
-                }
-            }
-            return false;
-        }
-        true
     }
 
     /// Number of distinct tags minted so far.
@@ -295,13 +606,13 @@ impl TaintTree {
         self.inner.read().tags.len()
     }
 
-    /// Number of tree nodes (distinct interned tag sets, including root).
+    /// Number of tree nodes (including root).
     pub fn num_nodes(&self) -> usize {
         self.inner.read().nodes.len()
     }
 }
 
-impl Default for TaintTree {
+impl Default for SingleLockTaintTree {
     fn default() -> Self {
         Self::new()
     }
@@ -475,5 +786,41 @@ mod tests {
         let tabc = tree.union(tab, tree.taint_of_tag(c));
         assert_eq!(tree.tag_count(tabc), 3);
         assert_eq!(tree.num_nodes(), 1 + 3 + 2); // root, a, ab, abc, b, c
+    }
+
+    #[test]
+    fn node_table_spans_chunk_boundaries() {
+        // Force the node table past its first chunk (NODE_BASE slots) and
+        // verify paths still resolve — catches chunk index arithmetic.
+        let tree = TaintTree::new();
+        let mut acc = Taint::EMPTY;
+        let total = NODE_BASE + NODE_BASE / 2;
+        for i in 0..total {
+            let tag = tree.mint_tag(TagValue::Int(i as i64), LocalId::default());
+            acc = tree.union(acc, tree.taint_of_tag(tag));
+        }
+        assert_eq!(tree.tag_count(acc), total);
+        assert!(tree.num_nodes() > NODE_BASE);
+        let ids = tree.tag_ids(acc);
+        assert_eq!(ids.len(), total);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "path stays sorted");
+    }
+
+    #[test]
+    fn single_lock_tree_matches_striped_semantics() {
+        let striped = TaintTree::new();
+        let single = SingleLockTaintTree::new();
+        let mut s_acc = Taint::EMPTY;
+        let mut l_acc = Taint::EMPTY;
+        for i in 0..20 {
+            let sv = striped.mint_tag(TagValue::Int(i % 7), LocalId::default());
+            let lv = single.mint_tag(TagValue::Int(i % 7), LocalId::default());
+            s_acc = striped.union(s_acc, striped.taint_of_tag(sv));
+            l_acc = single.union(l_acc, single.taint_of_tag(lv));
+        }
+        assert_eq!(striped.tag_count(s_acc), single.tag_count(l_acc));
+        assert_eq!(striped.num_nodes(), single.num_nodes());
+        assert_eq!(striped.num_tags(), single.num_tags());
+        assert_eq!(striped.tag_ids(s_acc), single.tag_ids(l_acc));
     }
 }

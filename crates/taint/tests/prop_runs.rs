@@ -1,0 +1,181 @@
+//! Property-based tests for the run-length-encoded taint shadow: the
+//! [`TaintRuns`] view must stay isomorphic to the dense per-byte
+//! `Vec<Taint>` model under every structural operation the boundary
+//! wrappers perform — slicing, splicing, concatenation and the
+//! partial-read chunking of stream sockets.
+
+use dista_taint::{LocalId, TagValue, Taint, TaintRuns, TaintStore, TaintedBytes};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn store() -> TaintStore {
+    TaintStore::new(LocalId::new([10, 0, 0, 1], 1))
+}
+
+/// Dense shadow straight from labelled spans: label 0 = untainted.
+fn dense_of_spans(s: &TaintStore, spans: &[(u8, u8, usize)]) -> (Vec<u8>, Vec<Taint>) {
+    let mut data = Vec::new();
+    let mut dense = Vec::new();
+    for (byte, label, count) in spans {
+        let t = if *label == 0 {
+            Taint::EMPTY
+        } else {
+            s.mint_source_taint(TagValue::Int(*label as i64))
+        };
+        data.extend(std::iter::repeat_n(*byte, *count));
+        dense.extend(std::iter::repeat_n(t, *count));
+    }
+    (data, dense)
+}
+
+/// The canonical-form invariants every `TaintRuns` must satisfy: no
+/// zero-length runs and no two adjacent runs with equal taints.
+fn assert_canonical(runs: &TaintRuns) -> Result<(), TestCaseError> {
+    prop_assert!(runs.runs().iter().all(|r| r.len > 0), "zero-length run");
+    prop_assert!(
+        runs.runs().windows(2).all(|w| w[0].taint != w[1].taint),
+        "adjacent runs share a taint"
+    );
+    prop_assert_eq!(
+        runs.runs().iter().map(|r| r.len).sum::<usize>(),
+        runs.len(),
+        "run lengths must sum to the total"
+    );
+    Ok(())
+}
+
+fn spans_strategy() -> impl Strategy<Value = Vec<(u8, u8, usize)>> {
+    prop::collection::vec((0u8..255, 0u8..5, 0usize..12), 0..8)
+}
+
+proptest! {
+    /// dense -> runs -> dense is the identity, and the run form is
+    /// canonical.
+    #[test]
+    fn dense_roundtrip_and_canonical_form(spans in spans_strategy()) {
+        let s = store();
+        let (_, dense) = dense_of_spans(&s, &spans);
+        let runs = TaintRuns::from_dense(&dense);
+        prop_assert_eq!(runs.to_dense(), dense.clone());
+        prop_assert_eq!(runs.iter_dense().collect::<Vec<_>>(), dense.clone());
+        prop_assert_eq!(runs.len(), dense.len());
+        assert_canonical(&runs)?;
+        // Equal dense shadows intern to structurally equal runs, however
+        // they were built.
+        let rebuilt: TaintRuns = dense.iter().copied().collect();
+        prop_assert_eq!(&rebuilt, &runs);
+        // Per-byte lookup agrees with the dense model everywhere.
+        for (i, &want) in dense.iter().enumerate() {
+            prop_assert_eq!(runs.get(i), Some(want));
+        }
+        prop_assert_eq!(runs.get(dense.len()), None);
+    }
+
+    /// Slicing runs is isomorphic to slicing the dense shadow.
+    #[test]
+    fn slicing_matches_dense(
+        spans in spans_strategy(),
+        raw_start in 0usize..64,
+        raw_len in 0usize..64,
+    ) {
+        let s = store();
+        let (_, dense) = dense_of_spans(&s, &spans);
+        let runs = TaintRuns::from_dense(&dense);
+        let start = raw_start.min(dense.len());
+        let end = (start + raw_len).min(dense.len());
+        let sliced = runs.slice(start, end);
+        prop_assert_eq!(sliced.to_dense(), dense[start..end].to_vec());
+        assert_canonical(&sliced)?;
+    }
+
+    /// Splicing: splitting anywhere and gluing back yields runs
+    /// structurally identical to the original (re-coalescing at the cut).
+    #[test]
+    fn split_and_reglue_is_identity(spans in spans_strategy(), raw_cut in 0usize..96) {
+        let s = store();
+        let (_, dense) = dense_of_spans(&s, &spans);
+        let original = TaintRuns::from_dense(&dense);
+        let mut back = original.clone();
+        let front = back.split_front(raw_cut.min(dense.len()));
+        let mut glued = front;
+        glued.extend_runs(&back);
+        prop_assert_eq!(&glued, &original);
+        prop_assert_eq!(glued.num_runs(), original.num_runs());
+        assert_canonical(&glued)?;
+    }
+
+    /// Concatenation of run shadows matches concatenation of dense
+    /// shadows, including the coalesce across the seam.
+    #[test]
+    fn concat_matches_dense_concat(a in spans_strategy(), b in spans_strategy()) {
+        let s = store();
+        let (_, da) = dense_of_spans(&s, &a);
+        let (_, db) = dense_of_spans(&s, &b);
+        let mut glued = TaintRuns::from_dense(&da);
+        glued.extend_runs(&TaintRuns::from_dense(&db));
+        let mut dense = da;
+        dense.extend_from_slice(&db);
+        prop_assert_eq!(&glued, &TaintRuns::from_dense(&dense));
+        prop_assert_eq!(glued.to_dense(), dense);
+        assert_canonical(&glued)?;
+    }
+
+    /// Partial-read chunking (the stream-socket receive pattern): draining
+    /// arbitrary chunk sizes off the front consumes the buffer exactly,
+    /// and re-assembling the chunks reproduces data and shadow.
+    #[test]
+    fn partial_read_chunking_reassembles(
+        spans in spans_strategy(),
+        chunks in prop::collection::vec(1usize..24, 1..12),
+    ) {
+        let s = store();
+        let (data, dense) = dense_of_spans(&s, &spans);
+        let mut buf = TaintedBytes::from_parts(data.clone(), dense.clone());
+        let mut reassembled = TaintedBytes::new();
+        let mut consumed = 0;
+        for n in chunks {
+            let chunk = buf.drain_front(n);
+            let want = n.min(data.len() - consumed);
+            prop_assert_eq!(chunk.len(), want);
+            prop_assert_eq!(chunk.data(), &data[consumed..consumed + want]);
+            prop_assert_eq!(chunk.taints(), &dense[consumed..consumed + want]);
+            consumed += want;
+            reassembled.extend_tainted(&chunk);
+        }
+        // Whatever is left still lines up, and the parts re-join exactly.
+        reassembled.extend_tainted(&buf);
+        prop_assert_eq!(reassembled.data(), &data[..]);
+        prop_assert_eq!(reassembled.taints(), dense);
+        assert_canonical(reassembled.shadow())?;
+    }
+
+    /// Truncation agrees with the dense model.
+    #[test]
+    fn truncate_matches_dense(spans in spans_strategy(), keep in 0usize..96) {
+        let s = store();
+        let (_, dense) = dense_of_spans(&s, &spans);
+        let mut runs = TaintRuns::from_dense(&dense);
+        runs.truncate(keep);
+        prop_assert_eq!(runs.to_dense(), dense[..keep.min(dense.len())].to_vec());
+        assert_canonical(&runs)?;
+    }
+
+    /// Whole-buffer union over runs equals the union over the dense view,
+    /// and applying an extra taint matches the per-byte semantics.
+    #[test]
+    fn union_and_apply_match_dense(spans in spans_strategy(), extra_label in 1u8..5) {
+        let s = store();
+        let (data, dense) = dense_of_spans(&s, &spans);
+        let mut buf = TaintedBytes::from_parts(data, dense.clone());
+        prop_assert_eq!(
+            buf.taint_union(&s),
+            s.union_all(dense.iter().copied())
+        );
+        let extra = s.mint_source_taint(TagValue::Int(1000 + extra_label as i64));
+        buf.apply_taint(&s, extra);
+        for (i, &t) in dense.iter().enumerate() {
+            prop_assert_eq!(buf.taint_at(i), Some(s.union(t, extra)));
+        }
+        assert_canonical(buf.shadow())?;
+    }
+}

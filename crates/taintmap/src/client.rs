@@ -74,11 +74,7 @@ impl TaintMapClient {
     /// # Errors
     ///
     /// [`TaintMapError::Net`] if the service is not reachable.
-    pub fn connect(
-        net: &SimNet,
-        addr: NodeAddr,
-        store: TaintStore,
-    ) -> Result<Self, TaintMapError> {
+    pub fn connect(net: &SimNet, addr: NodeAddr, store: TaintStore) -> Result<Self, TaintMapError> {
         Self::connect_with_failover(net, vec![addr], store)
     }
 
@@ -254,7 +250,10 @@ mod tests {
     #[test]
     fn empty_taint_never_rpcs() {
         let (_net, server, client, _store) = setup();
-        assert_eq!(client.global_id_for(Taint::EMPTY).unwrap(), GlobalId::UNTAINTED);
+        assert_eq!(
+            client.global_id_for(Taint::EMPTY).unwrap(),
+            GlobalId::UNTAINTED
+        );
         assert_eq!(client.taint_for(GlobalId::UNTAINTED).unwrap(), Taint::EMPTY);
         assert_eq!(client.stats(), ClientStats::default());
         server.shutdown();

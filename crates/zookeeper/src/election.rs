@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dista_jre::{
-    FileInputStream, JreError, Logger, ObjectInputStream, ObjectOutputStream, ServerSocket,
-    Socket, Vm,
+    FileInputStream, JreError, Logger, ObjectInputStream, ObjectOutputStream, ServerSocket, Socket,
+    Vm,
 };
 use dista_simnet::NodeAddr;
 use dista_taint::{TagValue, Tainted};
@@ -64,10 +64,7 @@ struct PeerLink {
     outgoing: Sender<Vote>,
 }
 
-fn spawn_workers(
-    socket: Socket,
-    notifications: Sender<Vote>,
-) -> PeerLink {
+fn spawn_workers(socket: Socket, notifications: Sender<Vote>) -> PeerLink {
     let (out_tx, out_rx): (Sender<Vote>, Receiver<Vote>) = unbounded();
     let writer = socket.clone();
     // SendWorker (Fig. 1 lines 2-6): serializes queued votes.
@@ -85,7 +82,9 @@ fn spawn_workers(
         loop {
             match input.read_object() {
                 Ok(obj) => {
-                    let Ok(vote) = Vote::from_obj(&obj) else { return };
+                    let Ok(vote) = Vote::from_obj(&obj) else {
+                        return;
+                    };
                     if notifications.send(vote).is_err() {
                         return;
                     }

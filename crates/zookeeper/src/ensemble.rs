@@ -53,10 +53,8 @@ impl ZkEnsemble {
         for (i, vm) in vms.iter().enumerate() {
             if let Some(zxids) = config.txn_logs.get(i) {
                 for (k, zxid) in zxids.iter().enumerate() {
-                    vm.fs().write(
-                        format!("version-2/log.{k}"),
-                        zxid.to_string().into_bytes(),
-                    );
+                    vm.fs()
+                        .write(format!("version-2/log.{k}"), zxid.to_string().into_bytes());
                 }
             }
         }
@@ -146,7 +144,10 @@ impl ZkEnsemble {
     /// Per-member local tree sizes, keyed by `myid` (replication
     /// diagnostics).
     pub fn local_tree_sizes(&self) -> Vec<usize> {
-        self.servers.iter().map(ZkServerHandle::local_tree_len).collect()
+        self.servers
+            .iter()
+            .map(ZkServerHandle::local_tree_len)
+            .collect()
     }
 
     /// Stops all servers.
@@ -173,7 +174,10 @@ mod tests {
 
     #[test]
     fn full_ensemble_lifecycle() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("zk", 3).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("zk", 3)
+            .build()
+            .unwrap();
         let ensemble = ZkEnsemble::start(
             cluster.vms(),
             ZkEnsembleConfig {
@@ -186,7 +190,9 @@ mod tests {
         assert_eq!(ensemble.leader(), 2);
         // Client service works against any member.
         let client = ZkClient::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap();
-        client.create("/x", TaintedBytes::from_plain(b"1".to_vec())).unwrap();
+        client
+            .create("/x", TaintedBytes::from_plain(b"1".to_vec()))
+            .unwrap();
         assert!(client.exists("/x").unwrap());
         client.close();
         ensemble.shutdown();
@@ -195,7 +201,10 @@ mod tests {
 
     #[test]
     fn writes_to_follower_are_readable_from_leader_and_vice_versa() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("zk", 3).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("zk", 3)
+            .build()
+            .unwrap();
         let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
         let leader_addr = ensemble.leader_client_addr();
         let follower_addr = ensemble
@@ -214,7 +223,10 @@ mod tests {
         let got = via_leader.get("/forwarded").unwrap();
         assert_eq!(got.data(), b"payload");
         assert_eq!(
-            cluster.vm(0).store().tag_values(got.taint_union(cluster.vm(0).store())),
+            cluster
+                .vm(0)
+                .store()
+                .tag_values(got.taint_union(cluster.vm(0).store())),
             vec!["fw".to_string()],
             "the taint replicated with the write"
         );
@@ -234,7 +246,10 @@ mod tests {
 
     #[test]
     fn commits_replicate_to_follower_trees() {
-        let cluster = Cluster::builder(Mode::Dista).nodes("zk", 3).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("zk", 3)
+            .build()
+            .unwrap();
         let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
         let client = ZkClient::connect(cluster.vm(0), ensemble.leader_client_addr()).unwrap();
         for i in 0..8 {
@@ -309,7 +324,10 @@ mod watch_tests {
         // writes through another member — and the pushed value carries
         // the writer's taint across three hops (writer → leader →
         // watcher's member → watcher).
-        let cluster = Cluster::builder(Mode::Dista).nodes("zk", 3).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("zk", 3)
+            .build()
+            .unwrap();
         let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
         let follower_id = if ensemble.leader() == 1 { 2 } else { 1 };
         let follower_addr = ensemble.client_addr(follower_id).unwrap();
@@ -319,7 +337,10 @@ mod watch_tests {
         watcher_client.watch("/config/flag").unwrap();
 
         let writer = ZkClient::connect(cluster.vm(2), ensemble.leader_client_addr()).unwrap();
-        let taint = cluster.vm(2).store().mint_source_taint(TagValue::str("flip"));
+        let taint = cluster
+            .vm(2)
+            .store()
+            .mint_source_taint(TagValue::str("flip"));
         writer
             .create("/config/flag", TaintedBytes::uniform(b"on", taint))
             .unwrap();
@@ -328,7 +349,10 @@ mod watch_tests {
         assert_eq!(event.path, "/config/flag");
         assert_eq!(event.data.data(), b"on");
         assert_eq!(
-            cluster.vm(0).store().tag_values(event.data.taint_union(cluster.vm(0).store())),
+            cluster
+                .vm(0)
+                .store()
+                .tag_values(event.data.taint_union(cluster.vm(0).store())),
             vec!["flip".to_string()],
             "the watch notification carries the writer's taint"
         );
@@ -342,7 +366,10 @@ mod watch_tests {
             .create("/other", TaintedBytes::from_plain(b"x".to_vec()))
             .unwrap();
         let event = watcher.await_event().unwrap();
-        assert_eq!(event.path, "/other", "one-shot semantics: /config/flag did not re-fire");
+        assert_eq!(
+            event.path, "/other",
+            "one-shot semantics: /config/flag did not re-fire"
+        );
 
         watcher.close();
         watcher_client.close();

@@ -259,11 +259,7 @@ impl std::fmt::Debug for ZkServerHandle {
 
 impl ZkServerHandle {
     /// Starts serving at `addr` on `vm` with the given replication core.
-    pub(crate) fn start(
-        vm: &Vm,
-        addr: NodeAddr,
-        core: Arc<ServerCore>,
-    ) -> Result<Self, JreError> {
+    pub(crate) fn start(vm: &Vm, addr: NodeAddr, core: Arc<ServerCore>) -> Result<Self, JreError> {
         let listener = ServerSocket::bind(vm, addr)?;
         let running = Arc::new(AtomicBool::new(true));
         let accept_running = running.clone();
@@ -301,10 +297,7 @@ impl ZkServerHandle {
     }
 
     /// Spawns the commit-apply loop for a follower (follower side).
-    pub(crate) fn run_commit_loop(
-        &self,
-        input: ObjectInputStream<dista_jre::SocketInputStream>,
-    ) {
+    pub(crate) fn run_commit_loop(&self, input: ObjectInputStream<dista_jre::SocketInputStream>) {
         let core = self.core.clone();
         std::thread::spawn(move || loop {
             let Ok(commit) = input.read_object() else {
@@ -383,10 +376,7 @@ fn serve_session(socket: Socket, core: Arc<ServerCore>) {
     }
 }
 
-fn core_attach(
-    core: &Arc<ServerCore>,
-    sink: ObjectOutputStream<dista_jre::SocketOutputStream>,
-) {
+fn core_attach(core: &Arc<ServerCore>, sink: ObjectOutputStream<dista_jre::SocketOutputStream>) {
     if let Role::Leader { followers } = &core.role {
         followers.lock().push(sink);
     }
@@ -611,7 +601,10 @@ mod tests {
     use dista_taint::TagValue;
 
     fn rig() -> (Cluster, ZkServerHandle) {
-        let cluster = Cluster::builder(Mode::Dista).nodes("zk", 2).build().unwrap();
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("zk", 2)
+            .build()
+            .unwrap();
         let server =
             ZkServerHandle::start_standalone(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 2181))
                 .unwrap();
@@ -623,10 +616,14 @@ mod tests {
         let (cluster, server) = rig();
         let client = ZkClient::connect(cluster.vm(1), server.addr()).unwrap();
         assert!(!client.exists("/a").unwrap());
-        client.create("/a", TaintedBytes::from_plain(b"v1".to_vec())).unwrap();
+        client
+            .create("/a", TaintedBytes::from_plain(b"v1".to_vec()))
+            .unwrap();
         assert!(client.exists("/a").unwrap());
         assert_eq!(client.get("/a").unwrap().data(), b"v1");
-        client.set("/a", TaintedBytes::from_plain(b"v2".to_vec())).unwrap();
+        client
+            .set("/a", TaintedBytes::from_plain(b"v2".to_vec()))
+            .unwrap();
         assert_eq!(client.get("/a").unwrap().data(), b"v2");
         client.close();
         server.shutdown();
@@ -646,7 +643,10 @@ mod tests {
             client.create("/dup", TaintedBytes::new()),
             Err(ZkError::NodeExists("/dup".into()))
         );
-        assert_eq!(client.set("/nope", TaintedBytes::new()), Err(ZkError::NoNode("/nope".into())));
+        assert_eq!(
+            client.set("/nope", TaintedBytes::new()),
+            Err(ZkError::NoNode("/nope".into()))
+        );
         client.close();
         server.shutdown();
         cluster.shutdown();

@@ -129,7 +129,9 @@ impl TaintMapBackend for ZkTaintMapBackend {
 
     fn len(&self) -> u64 {
         let zk = self.zk.lock();
-        Self::read_u32(&zk, &format!("{ROOT}/next")).unwrap_or(0).into()
+        Self::read_u32(&zk, &format!("{ROOT}/next"))
+            .unwrap_or(0)
+            .into()
     }
 }
 
@@ -144,7 +146,10 @@ mod tests {
 
     #[test]
     fn backend_dedups_and_roundtrips() {
-        let cluster = Cluster::builder(Mode::Original).nodes("zk", 3).build().unwrap();
+        let cluster = Cluster::builder(Mode::Original)
+            .nodes("zk", 3)
+            .build()
+            .unwrap();
         let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
         let backend =
             ZkTaintMapBackend::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap();
@@ -163,7 +168,10 @@ mod tests {
     fn taint_map_state_survives_service_restart() {
         // The durability upgrade of §IV: the Taint Map process dies and
         // restarts, but its state lives in ZooKeeper.
-        let cluster = Cluster::builder(Mode::Original).nodes("zk", 3).build().unwrap();
+        let cluster = Cluster::builder(Mode::Original)
+            .nodes("zk", 3)
+            .build()
+            .unwrap();
         let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
         let net = cluster.net().clone();
         let tm_addr = NodeAddr::new([10, 0, 0, 50], 7700);
@@ -171,13 +179,9 @@ mod tests {
         let backend = Arc::new(
             ZkTaintMapBackend::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap(),
         );
-        let server = TaintMapServer::spawn_with_backend(
-            &net,
-            tm_addr,
-            TaintMapConfig::default(),
-            backend,
-        )
-        .unwrap();
+        let server =
+            TaintMapServer::spawn_with_backend(&net, tm_addr, TaintMapConfig::default(), backend)
+                .unwrap();
 
         let store = dista_taint::TaintStore::new(dista_taint::LocalId::new([10, 0, 0, 1], 1));
         let client = TaintMapClient::connect(&net, tm_addr, store.clone()).unwrap();
@@ -189,13 +193,9 @@ mod tests {
         let backend2 = Arc::new(
             ZkTaintMapBackend::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap(),
         );
-        let server2 = TaintMapServer::spawn_with_backend(
-            &net,
-            tm_addr,
-            TaintMapConfig::default(),
-            backend2,
-        )
-        .unwrap();
+        let server2 =
+            TaintMapServer::spawn_with_backend(&net, tm_addr, TaintMapConfig::default(), backend2)
+                .unwrap();
         let store2 = dista_taint::TaintStore::new(dista_taint::LocalId::new([10, 0, 0, 2], 2));
         let client2 = TaintMapClient::connect(&net, tm_addr, store2.clone()).unwrap();
         let resolved = client2.taint_for(gid).unwrap();

@@ -129,7 +129,9 @@ mod tests {
     }
 
     fn vote(vm: &Vm, leader: i64, zxid: i64, epoch: i64) -> Vote {
-        let t = vm.store().mint_source_taint(TagValue::str(format!("v{leader}")));
+        let t = vm
+            .store()
+            .mint_source_taint(TagValue::str(format!("v{leader}")));
         Vote {
             leader: Tainted::new(leader, t),
             zxid: Tainted::untainted(zxid),

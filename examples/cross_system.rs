@@ -49,10 +49,16 @@ fn main() {
 
     let table = HTable::open(cluster.vm(3), ensemble.any_client_addr(), "users").expect("open");
     table
-        .put(b"alice", TaintedBytes::from_plain(b"alice@example.org".to_vec()))
+        .put(
+            b"alice",
+            TaintedBytes::from_plain(b"alice@example.org".to_vec()),
+        )
         .expect("put");
     let result = table.get(b"alice").expect("get");
-    println!("get(users, alice) → {:?}", String::from_utf8_lossy(result.cells[0].value.data()));
+    println!(
+        "get(users, alice) → {:?}",
+        String::from_utf8_lossy(result.cells[0].value.data())
+    );
     println!(
         "result taints (client store): {:?}",
         cluster.vm(3).store().tag_values(result.taint)

@@ -83,7 +83,10 @@ fn pipe(cluster: &Cluster, port: u16) -> (TcpEndpoint, TcpEndpoint) {
 }
 
 fn main() {
-    let cluster = Cluster::builder(Mode::Dista).nodes("ext", 2).build().expect("cluster");
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("ext", 2)
+        .build()
+        .expect("cluster");
     let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
     let secret = vm1.store().mint_source_taint(TagValue::str("api-key"));
     let message = Payload::Tainted(TaintedBytes::uniform(b"key=sk-123456", secret));

@@ -50,9 +50,7 @@ fn main() {
         .flat_map(|(_, r)| r.observed_tags())
         .filter(|t| t == "vote2")
         .count();
-    println!(
-        "\n→ the winning vote was node 2's (observed on {followers_saw_vote2} followers);"
-    );
+    println!("\n→ the winning vote was node 2's (observed on {followers_saw_vote2} followers);");
     println!("  the other votes were generated but never propagated — exactly");
     println!("  the kind of provenance question DTA debugging answers.");
     ensemble.shutdown();

@@ -41,14 +41,14 @@ fn main() {
         for event in report.at("LOG.info") {
             if event.is_tainted() {
                 leaks += 1;
-                println!("  LEAK on {node}: log statement printed data derived from {:?}",
-                    event.tags);
+                println!(
+                    "  LEAK on {node}: log statement printed data derived from {:?}",
+                    event.tags
+                );
             }
         }
     }
-    println!(
-        "\n→ {leaks} tainted log statement(s); note only the LAST file read on the"
-    );
+    println!("\n→ {leaks} tainted log statement(s); note only the LAST file read on the");
     println!("  leader leaked (the first two taints were minted but never propagated),");
     println!("  reproducing the precision analysis of the paper's Fig. 11.");
     ensemble.shutdown();

@@ -16,17 +16,18 @@ use dista_repro::mapreduce::run_wordcount_job;
 use dista_repro::taint::{TagValue, TaintedBytes};
 
 fn main() {
-    let cluster = Cluster::builder(Mode::Dista).nodes("yarn", 4).build().expect("cluster");
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("yarn", 4)
+        .build()
+        .expect("cluster");
     let client_vm = cluster.vm(3).clone();
 
     // A document that mixes classified and public text.
     let secret = client_vm
         .store()
         .mint_source_taint(TagValue::str("dossier-7"));
-    let mut input = TaintedBytes::uniform(
-        b"codename aurora handler meeting aurora ".to_vec(),
-        secret,
-    );
+    let mut input =
+        TaintedBytes::uniform(b"codename aurora handler meeting aurora ".to_vec(), secret);
     input.extend_plain(b"weather report sunny tomorrow weather");
 
     let result = run_wordcount_job(cluster.vms(), input, 3, 2).expect("job");
@@ -44,9 +45,7 @@ fn main() {
             }
         );
     }
-    println!(
-        "\n→ only the classified document's words carry \"dossier-7\" — byte-level"
-    );
+    println!("\n→ only the classified document's words carry \"dossier-7\" — byte-level");
     println!("  precision survived two network hops and a shuffle, with zero");
     println!("  shuffle-specific instrumentation.");
     cluster.shutdown();

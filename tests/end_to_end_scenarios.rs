@@ -112,7 +112,10 @@ fn activemq_sdt_message_tag_sound_and_precise() {
     let body = producer.create_text_message(&"payload ".repeat(1000));
     producer.send("q", body).unwrap();
     let message = consumer.receive().unwrap();
-    let tags = cluster.vm(2).store().tag_values(message.taint(cluster.vm(2)));
+    let tags = cluster
+        .vm(2)
+        .store()
+        .tag_values(message.taint(cluster.vm(2)));
     assert_eq!(tags.len(), 1);
     assert!(tags[0].starts_with("message_"));
     producer.close();
@@ -137,8 +140,8 @@ fn rocketmq_two_messages_keep_distinct_tags() {
         .unwrap();
     seed_config(cluster.vm(1), "b");
     let ns = NameServer::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 9876)).unwrap();
-    let broker = BrokerServer::start(cluster.vm(1), NodeAddr::new([10, 0, 0, 2], 10911), &["T"])
-        .unwrap();
+    let broker =
+        BrokerServer::start(cluster.vm(1), NodeAddr::new([10, 0, 0, 2], 10911), &["T"]).unwrap();
     broker.register_with(ns.addr()).unwrap();
     let producer = MqProducer::start(cluster.vm(2), ns.addr(), "T").unwrap();
     let m1 = producer.create_message("first");
@@ -149,7 +152,10 @@ fn rocketmq_two_messages_keep_distinct_tags() {
     let first = consumer.pull_blocking().unwrap();
     let second = consumer.pull_blocking().unwrap();
     let t1 = cluster.vm(2).store().tag_values(first.taint(cluster.vm(2)));
-    let t2 = cluster.vm(2).store().tag_values(second.taint(cluster.vm(2)));
+    let t2 = cluster
+        .vm(2)
+        .store()
+        .tag_values(second.taint(cluster.vm(2)));
     assert_eq!(t1.len(), 1);
     assert_eq!(t2.len(), 1);
     assert_ne!(t1, t2, "per-message precision: distinct tags stay distinct");

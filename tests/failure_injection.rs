@@ -13,7 +13,10 @@ use dista_repro::taint::{Payload, TagValue, TaintedBytes};
 fn taints_survive_pathological_fragmentation() {
     // Every TCP read returns at most 1 byte — the worst case for the
     // 5-byte wire records.
-    let cluster = Cluster::builder(Mode::Dista).nodes("frag", 2).build().unwrap();
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("frag", 2)
+        .build()
+        .unwrap();
     cluster.net().set_faults(FaultConfig {
         max_read_chunk: 1,
         ..Default::default()
@@ -41,7 +44,10 @@ fn taints_survive_pathological_fragmentation() {
 
 #[test]
 fn truncated_datagram_keeps_prefix_taints_exactly() {
-    let cluster = Cluster::builder(Mode::Dista).nodes("trunc", 2).build().unwrap();
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("trunc", 2)
+        .build()
+        .unwrap();
     let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
     let a = DatagramSocket::bind(&vm1, NodeAddr::new([10, 0, 0, 1], 53)).unwrap();
     let b = DatagramSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 53)).unwrap();
@@ -72,7 +78,10 @@ fn truncated_datagram_keeps_prefix_taints_exactly() {
 
 #[test]
 fn dropped_datagrams_do_not_wedge_the_taint_map() {
-    let cluster = Cluster::builder(Mode::Dista).nodes("drop", 2).build().unwrap();
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("drop", 2)
+        .build()
+        .unwrap();
     cluster.net().set_faults(FaultConfig {
         udp_drop_probability: 1.0,
         ..Default::default()
@@ -100,7 +109,10 @@ fn dropped_datagrams_do_not_wedge_the_taint_map() {
 fn interleaved_connections_do_not_cross_taints() {
     // Two concurrent client connections with different taints; shadows
     // must stay with their own stream.
-    let cluster = Cluster::builder(Mode::Dista).nodes("pair", 2).build().unwrap();
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("pair", 2)
+        .build()
+        .unwrap();
     let (vm1, vm2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
     let server = ServerSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 81)).unwrap();
     let vm2_clone = vm2.clone();
@@ -150,7 +162,10 @@ fn interleaved_connections_do_not_cross_taints() {
 
 #[test]
 fn many_concurrent_vms_share_one_taint_map() {
-    let cluster = Cluster::builder(Mode::Dista).nodes("many", 8).build().unwrap();
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("many", 8)
+        .build()
+        .unwrap();
     let mut handles = Vec::new();
     for (i, vm) in cluster.vms().iter().enumerate() {
         let vm = vm.clone();
@@ -181,7 +196,10 @@ fn server_eof_mid_wire_record_is_detected() {
     // A raw (uninstrumented) writer sends 3 bytes of a 5-byte record and
     // hangs up; the instrumented reader must fail loudly, not fabricate
     // data.
-    let cluster = Cluster::builder(Mode::Dista).nodes("eof", 2).build().unwrap();
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("eof", 2)
+        .build()
+        .unwrap();
     let vm2 = cluster.vm(1).clone();
     let listener = cluster
         .net()

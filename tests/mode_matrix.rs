@@ -1,0 +1,161 @@
+//! The full Table-II mode matrix: every micro-benchmark case (30
+//! inter-node data-flow shapes) executed under all three tracking modes.
+//!
+//! This is the soundness/precision lock for the boundary wrappers and
+//! the run-length shadow representation behind them:
+//!
+//! * **DisTA** must be sound *and* precise on every case — `check()` at
+//!   node 1 observes exactly `{Data1, Data2}`, never a dropped tag,
+//!   never an invented one.
+//! * **Phosphor** (the Fig.-4 baseline) loses exactly the inter-node
+//!   taints at the JNI boundary: intra-node tracking still works on the
+//!   sender, but nothing survives the crossing, so `check()` observes
+//!   no tags at all.
+//! * **Original** (uninstrumented) reports nothing anywhere.
+//!
+//! In all three modes the payload bytes themselves must round-trip
+//! unchanged — tracking must never corrupt data.
+
+use dista_repro::microbench::{all_cases, run_case, Mode, DATA1_TAG, DATA2_TAG};
+use dista_repro::taint::{Payload, TagValue, TaintedBytes};
+
+const SIZE: usize = 64;
+const MODES: [Mode; 3] = [Mode::Original, Mode::Phosphor, Mode::Dista];
+
+/// One row of the matrix: a case name and its per-mode observed tags.
+struct MatrixRow {
+    name: &'static str,
+    tags_by_mode: Vec<(Mode, Vec<String>, bool)>,
+}
+
+fn run_matrix() -> Vec<MatrixRow> {
+    all_cases()
+        .iter()
+        .map(|case| {
+            let tags_by_mode = MODES
+                .iter()
+                .map(|&mode| {
+                    let result = run_case(case.as_ref(), mode, SIZE).unwrap_or_else(|e| {
+                        panic!("case {} failed to run in {mode:?}: {e}", case.name())
+                    });
+                    (mode, result.tags_at_check, result.data_ok)
+                })
+                .collect();
+            MatrixRow {
+                name: case.name(),
+                tags_by_mode,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn matrix_covers_all_thirty_cases_in_three_modes() {
+    let rows = run_matrix();
+    assert_eq!(rows.len(), 30, "Table II has 30 cases");
+    let cells: usize = rows.iter().map(|r| r.tags_by_mode.len()).sum();
+    assert_eq!(cells, 90, "30 cases x 3 modes");
+}
+
+#[test]
+fn dista_is_sound_and_precise_on_every_case() {
+    let expected = vec![DATA1_TAG.to_string(), DATA2_TAG.to_string()];
+    let mut failures = Vec::new();
+    for row in run_matrix() {
+        for (mode, tags, data_ok) in &row.tags_by_mode {
+            if *mode != Mode::Dista {
+                continue;
+            }
+            if !*data_ok {
+                failures.push(format!("{}: data corrupted in Dista mode", row.name));
+            }
+            if tags != &expected {
+                failures.push(format!(
+                    "{}: Dista observed {tags:?}, want {expected:?}",
+                    row.name
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "unsound/imprecise cases:\n{failures:#?}"
+    );
+}
+
+#[test]
+fn phosphor_loses_exactly_the_inter_node_taints() {
+    let mut failures = Vec::new();
+    for row in run_matrix() {
+        for (mode, tags, data_ok) in &row.tags_by_mode {
+            if *mode != Mode::Phosphor {
+                continue;
+            }
+            if !*data_ok {
+                failures.push(format!("{}: data corrupted in Phosphor mode", row.name));
+            }
+            // The baseline drops taints at the JNI boundary, so the
+            // inter-node flow arrives untainted — nothing is reported.
+            if !tags.is_empty() {
+                failures.push(format!(
+                    "{}: Phosphor observed {tags:?}, want no surviving tags",
+                    row.name
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "baseline anomalies:\n{failures:#?}");
+}
+
+#[test]
+fn original_reports_nothing_on_every_case() {
+    let mut failures = Vec::new();
+    for row in run_matrix() {
+        for (mode, tags, data_ok) in &row.tags_by_mode {
+            if *mode != Mode::Original {
+                continue;
+            }
+            if !*data_ok {
+                failures.push(format!("{}: data corrupted in Original mode", row.name));
+            }
+            if !tags.is_empty() {
+                failures.push(format!(
+                    "{}: Original observed {tags:?}, want nothing",
+                    row.name
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "untracked-mode anomalies:\n{failures:#?}"
+    );
+}
+
+/// The loss in Phosphor mode is *exactly* at the JNI boundary: on the
+/// sending node, before any native crossing, intra-node tracking is
+/// fully alive. This pins the "loses exactly inter-node taints" claim —
+/// the baseline is not simply tracking nothing.
+#[test]
+fn phosphor_still_tracks_intra_node() {
+    use dista_repro::core::{Cluster, Mode};
+
+    let cluster = Cluster::builder(Mode::Phosphor)
+        .nodes("node", 1)
+        .build()
+        .expect("single-node cluster");
+    let vm = cluster.vm(0);
+    let taint = vm.taint_source(TagValue::str(DATA1_TAG));
+    let mut buf = TaintedBytes::uniform(b"local flow".to_vec(), taint);
+    // Local slicing/splicing keeps the taint attached…
+    let front = buf.drain_front(5);
+    buf.extend_tainted(&front);
+    let payload = Payload::Tainted(buf);
+    let observed = payload.taint_union(vm.store());
+    assert_eq!(
+        vm.store().tag_values(observed),
+        vec![DATA1_TAG.to_string()],
+        "intra-node taint must survive in Phosphor mode"
+    );
+    cluster.shutdown();
+}

@@ -38,7 +38,10 @@ fn udp_ingest_carries_taints_to_tcp_consumer() {
     let message = consumer.receive().unwrap();
     assert_eq!(message.body.data(), b"sent over udp");
     assert_eq!(
-        cluster.vm(2).store().tag_values(message.taint(cluster.vm(2))),
+        cluster
+            .vm(2)
+            .store()
+            .tag_values(message.taint(cluster.vm(2))),
         vec!["udp-message".to_string()]
     );
     consumer.close();
@@ -48,7 +51,10 @@ fn udp_ingest_carries_taints_to_tcp_consumer() {
 
 #[test]
 fn phosphor_udp_ingest_loses_taints() {
-    let cluster = Cluster::builder(Mode::Phosphor).nodes("amq", 3).build().unwrap();
+    let cluster = Cluster::builder(Mode::Phosphor)
+        .nodes("amq", 3)
+        .build()
+        .unwrap();
     let broker = Broker::start(cluster.vm(0), NodeAddr::new([10, 0, 0, 1], 61616)).unwrap();
     let udp = broker
         .start_udp_listener(NodeAddr::new([10, 0, 0, 1], 61617))

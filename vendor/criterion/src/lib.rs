@@ -1,0 +1,290 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use: benchmark
+//! groups with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros.
+//! Reports mean / min / max wall-clock time per iteration to stdout —
+//! no statistics engine, no HTML reports, no saved baselines.
+
+// Vendored stand-in: linted to compile cleanly, not to the host
+// project's clippy bar.
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Per-iteration timing callback holder passed to bench closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, calling it repeatedly: a warm-up phase, then
+    /// `sample_size` samples spread across the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also used to estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Choose iterations per sample so that all samples fit the
+        // measurement window, at least 1.
+        let per_sample_budget = self.measurement_time / self.sample_size.max(1) as u32;
+        let iters_per_sample = if est_iter.is_zero() {
+            1000
+        } else {
+            (per_sample_budget.as_nanos() / est_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed() / iters_per_sample.max(1) as u32);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{label:<50} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement window per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&label);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (separator line in the output).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    benchmarks_run: usize,
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            benchmarks_run: 0,
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(2),
+            default_warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op for CLI-argument compatibility with real criterion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("default", f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group function running each listed bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &v| {
+            b.iter(|| black_box(v * 2));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for `serde`. This workspace only *derives*
+//! `Serialize`/`Deserialize` (taint tags describe themselves through the
+//! hand-rolled wire codecs in `dista-taint`; nothing routes through a
+//! serde serializer), so the traits here are markers and the derives
+//! emit empty impls. If a future change needs real serde data-model
+//! plumbing, replace this vendored crate with the real one.
+
+// Vendored stand-in: linted to compile cleanly, not to the host
+// project's clippy bar.
+#![allow(clippy::all)]
+
+// Let the derive-emitted `impl serde::Serialize for ...` paths resolve
+// inside this crate's own tests.
+extern crate self as serde;
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided — no
+/// borrowing deserializer exists in this stand-in).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for &str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize> Serialize for std::sync::Arc<T> {}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _ip: [u8; 4],
+        _pid: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Value {
+        _A(String),
+        _B { bytes: Vec<u8> },
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T> {
+        _inner: Option<T>,
+    }
+
+    fn assert_both<T: Serialize + Deserialize>() {}
+
+    #[test]
+    fn derives_compile_and_implement_markers() {
+        assert_both::<Plain>();
+        assert_both::<Value>();
+        assert_both::<Generic<u8>>();
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for `serde_derive`. The vendored `serde` crate
+//! defines `Serialize`/`Deserialize` as *marker* traits (no methods), so
+//! these derives only need to emit `impl serde::Serialize for T {}` for
+//! the deriving type. Generic deriving types are supported with a
+//! blanket bound on each type parameter.
+
+// Vendored stand-in: linted to compile cleanly, not to the host
+// project's clippy bar.
+#![allow(clippy::all)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Deserialize")
+}
+
+fn derive_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let (name, generics) = parse_item_header(input);
+    let impl_code = if generics.is_empty() {
+        format!("impl serde::{trait_name} for {name} {{}}")
+    } else {
+        let bounds: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{params}> serde::{trait_name} for {name}<{params}> where {bounds} {{}}",
+            params = generics.join(", "),
+            bounds = bounds.join(", "),
+        )
+    };
+    impl_code.parse().expect("generated impl must parse")
+}
+
+/// Extracts the deriving item's name and type-parameter idents from the
+/// token stream (`struct Foo<T, U> ...` / `enum Bar ...`), skipping
+/// attributes, doc comments and visibility qualifiers.
+fn parse_item_header(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Find the `struct` / `enum` / `union` keyword.
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name after struct/enum keyword, got {other:?}"),
+    };
+    // Collect simple type parameters if a `<...>` group follows. Only
+    // bare idents are kept (lifetimes and const params are not needed by
+    // the types this workspace derives on).
+    let mut generics = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expect_param = false,
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    (name, generics)
+}
