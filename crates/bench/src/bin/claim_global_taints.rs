@@ -53,6 +53,26 @@ fn synthetic_run(distinct: usize, bytes_per_chunk: usize) -> Duration {
 }
 
 fn main() {
+    // `--smoke` (used by ci.sh) runs a single system plus one synthetic
+    // sweep point, enough to catch census regressions in seconds.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        let result =
+            run_system(SystemId::ZooKeeper, Mode::Dista, Scenario::Sim).expect("zookeeper sim");
+        assert!(
+            result.global_taints > 1,
+            "SIM must register more than one global taint, got {}",
+            result.global_taints
+        );
+        let d = synthetic_run(6, 4 * 1024);
+        println!(
+            "smoke ok: zookeeper sim census = {} global taints, 6-taint sweep = {} ms",
+            result.global_taints,
+            fmt_ms(d)
+        );
+        return;
+    }
+
     println!("§V-F claim — global-taint census per scenario\n");
     let mut census = Table::new(&["System", "SDT global taints", "SIM global taints"]);
     for system in SystemId::ALL {

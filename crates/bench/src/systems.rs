@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use dista_core::{Cluster, Mode};
+use dista_core::{Cluster, DistaError, Mode};
 use dista_jre::{FileInputStream, JreError, Vm, FILE_INPUT_STREAM_CLASS, LOGGER_CLASS};
 use dista_simnet::NodeAddr;
 use dista_taint::{MethodDesc, SourceSinkSpec, TagValue, TaintedBytes};
@@ -157,7 +157,7 @@ fn spec_for(system: SystemId, scenario: Scenario) -> SourceSinkSpec {
     }
 }
 
-fn cluster_for(system: SystemId, mode: Mode, scenario: Scenario) -> Result<Cluster, JreError> {
+fn cluster_for(system: SystemId, mode: Mode, scenario: Scenario) -> Result<Cluster, DistaError> {
     let nodes = match system {
         SystemId::ZooKeeper | SystemId::ActiveMq | SystemId::RocketMq | SystemId::MapReduce => 3,
         SystemId::HBase => 4,
@@ -361,7 +361,11 @@ fn run_hbase(cluster: &Cluster) -> Result<(), JreError> {
 /// # Errors
 ///
 /// Any workload failure.
-pub fn run_system(system: SystemId, mode: Mode, scenario: Scenario) -> Result<SystemRun, JreError> {
+pub fn run_system(
+    system: SystemId,
+    mode: Mode,
+    scenario: Scenario,
+) -> Result<SystemRun, DistaError> {
     run_system_with(system, mode, scenario, dista_simnet::FaultConfig::default())
 }
 
@@ -376,7 +380,7 @@ pub fn run_system_with(
     mode: Mode,
     scenario: Scenario,
     faults: dista_simnet::FaultConfig,
-) -> Result<SystemRun, JreError> {
+) -> Result<SystemRun, DistaError> {
     let cluster = cluster_for(system, mode, scenario)?;
     cluster.net().set_faults(faults);
     let start = Instant::now();

@@ -1,19 +1,34 @@
-//! Cluster construction: one network, a Taint Map, N VMs.
+//! Cluster construction: one network, a Taint Map deployment, N VMs.
 
-use dista_jre::{JreError, Mode, Vm};
+use dista_jre::{Mode, Vm};
 use dista_simnet::{NodeAddr, SimNet};
 use dista_taint::{SinkReport, SourceSinkSpec};
-use dista_taintmap::{TaintMapConfig, TaintMapServer};
+use dista_taintmap::{TaintMapConfig, TaintMapEndpoint, TaintMapEndpointBuilder};
+
+use crate::error::DistaError;
 
 /// Builder for [`Cluster`].
+///
+/// The Taint Map deployment is configured either with the individual
+/// knobs ([`ClusterBuilder::taint_map_addr`],
+/// [`ClusterBuilder::taint_map_config`],
+/// [`ClusterBuilder::taint_map_shards`],
+/// [`ClusterBuilder::taint_map_standby`]) or by handing over a complete
+/// [`TaintMapEndpointBuilder`] via
+/// [`ClusterBuilder::taint_map_endpoint`] — never both.
+/// [`ClusterBuilder::build`] rejects the combination with
+/// [`DistaError::Config`] rather than silently picking a winner.
 #[derive(Debug)]
 pub struct ClusterBuilder {
     mode: Mode,
     nodes: Vec<(String, [u8; 4])>,
     spec: SourceSinkSpec,
     gid_width: usize,
-    taint_map_addr: NodeAddr,
-    taint_map_config: TaintMapConfig,
+    taint_map_addr: Option<NodeAddr>,
+    taint_map_config: Option<TaintMapConfig>,
+    taint_map_shards: Option<usize>,
+    taint_map_standby: Option<bool>,
+    taint_map_endpoint: Option<TaintMapEndpointBuilder>,
     net: Option<SimNet>,
 }
 
@@ -45,15 +60,39 @@ impl ClusterBuilder {
         self
     }
 
-    /// Overrides where the Taint Map service binds.
+    /// Overrides the Taint Map base address (shard `i` binds at
+    /// `port + 2i`, its standby at `port + 2i + 1`).
     pub fn taint_map_addr(mut self, addr: NodeAddr) -> Self {
-        self.taint_map_addr = addr;
+        self.taint_map_addr = Some(addr);
         self
     }
 
     /// Tunes the Taint Map service (throttling ablations).
     pub fn taint_map_config(mut self, config: TaintMapConfig) -> Self {
-        self.taint_map_config = config;
+        self.taint_map_config = Some(config);
+        self
+    }
+
+    /// Shards the Taint Map's Global ID namespace `n` ways (default 1).
+    pub fn taint_map_shards(mut self, n: usize) -> Self {
+        self.taint_map_shards = Some(n);
+        self
+    }
+
+    /// Spawns a replicated standby per Taint Map shard (§IV failover).
+    pub fn taint_map_standby(mut self, enabled: bool) -> Self {
+        self.taint_map_standby = Some(enabled);
+        self
+    }
+
+    /// Supplies a fully configured Taint Map deployment builder instead
+    /// of the individual knobs. Mutually exclusive with
+    /// [`ClusterBuilder::taint_map_addr`] /
+    /// [`ClusterBuilder::taint_map_config`] /
+    /// [`ClusterBuilder::taint_map_shards`] /
+    /// [`ClusterBuilder::taint_map_standby`].
+    pub fn taint_map_endpoint(mut self, builder: TaintMapEndpointBuilder) -> Self {
+        self.taint_map_endpoint = Some(builder);
         self
     }
 
@@ -63,17 +102,61 @@ impl ClusterBuilder {
         self
     }
 
-    /// Builds the cluster: network, Taint Map (always started so any VM
-    /// may be switched to DisTA mode later), and the VMs.
+    /// Builds the cluster: network, Taint Map deployment (always started
+    /// so any VM may be switched to DisTA mode later), and the VMs.
     ///
     /// # Errors
     ///
-    /// Transport errors while standing up the Taint Map or clients.
-    pub fn build(self) -> Result<Cluster, JreError> {
+    /// [`DistaError::Config`] if both [`ClusterBuilder::taint_map_endpoint`]
+    /// and an individual Taint Map knob were set; transport errors while
+    /// standing up the Taint Map or clients.
+    pub fn build(self) -> Result<Cluster, DistaError> {
+        let endpoint_builder = match self.taint_map_endpoint {
+            Some(builder) => {
+                let mut conflicts = Vec::new();
+                if self.taint_map_addr.is_some() {
+                    conflicts.push("taint_map_addr");
+                }
+                if self.taint_map_config.is_some() {
+                    conflicts.push("taint_map_config");
+                }
+                if self.taint_map_shards.is_some() {
+                    conflicts.push("taint_map_shards");
+                }
+                if self.taint_map_standby.is_some() {
+                    conflicts.push("taint_map_standby");
+                }
+                if !conflicts.is_empty() {
+                    return Err(DistaError::Config(format!(
+                        "taint_map_endpoint conflicts with {}: configure the \
+                         endpoint builder directly or use only the individual knobs",
+                        conflicts.join(", ")
+                    )));
+                }
+                builder
+            }
+            None => {
+                let mut builder = TaintMapEndpoint::builder()
+                    .addr(
+                        self.taint_map_addr
+                            .unwrap_or(NodeAddr::new([10, 0, 0, 99], 7777)),
+                    )
+                    .config(self.taint_map_config.unwrap_or_default())
+                    .standby(self.taint_map_standby.unwrap_or(false));
+                if let Some(shards) = self.taint_map_shards {
+                    if shards == 0 {
+                        return Err(DistaError::Config(
+                            "taint_map_shards must be at least 1".into(),
+                        ));
+                    }
+                    builder = builder.shards(shards);
+                }
+                builder
+            }
+        };
         let net = self.net.unwrap_or_default();
-        let taint_map =
-            TaintMapServer::spawn_with(&net, self.taint_map_addr, self.taint_map_config)
-                .map_err(JreError::TaintMap)?;
+        let taint_map = endpoint_builder.connect(&net)?;
+        let topology = taint_map.topology();
         let mut vms = Vec::with_capacity(self.nodes.len());
         for (name, ip) in self.nodes {
             vms.push(
@@ -82,7 +165,7 @@ impl ClusterBuilder {
                     .ip(ip)
                     .spec(self.spec.clone())
                     .gid_width(self.gid_width)
-                    .taint_map(taint_map.addr())
+                    .taint_map(topology.clone())
                     .build()?,
             );
         }
@@ -100,7 +183,7 @@ impl ClusterBuilder {
 pub struct Cluster {
     net: SimNet,
     mode: Mode,
-    taint_map: Option<TaintMapServer>,
+    taint_map: Option<TaintMapEndpoint>,
     vms: Vec<Vm>,
 }
 
@@ -112,8 +195,11 @@ impl Cluster {
             nodes: Vec::new(),
             spec: SourceSinkSpec::new(),
             gid_width: 4,
-            taint_map_addr: NodeAddr::new([10, 0, 0, 99], 7777),
-            taint_map_config: TaintMapConfig::default(),
+            taint_map_addr: None,
+            taint_map_config: None,
+            taint_map_shards: None,
+            taint_map_standby: None,
+            taint_map_endpoint: None,
             net: None,
         }
     }
@@ -157,12 +243,12 @@ impl Cluster {
         self.vms.is_empty()
     }
 
-    /// The Taint Map service handle.
+    /// The Taint Map deployment handle.
     ///
     /// # Panics
     ///
     /// Panics if the cluster was already shut down.
-    pub fn taint_map(&self) -> &TaintMapServer {
+    pub fn taint_map(&self) -> &TaintMapEndpoint {
         self.taint_map.as_ref().expect("cluster already shut down")
     }
 
@@ -182,7 +268,7 @@ impl Cluster {
             .sum()
     }
 
-    /// Stops the Taint Map service.
+    /// Stops the Taint Map deployment.
     pub fn shutdown(mut self) {
         if let Some(tm) = self.taint_map.take() {
             tm.shutdown();
@@ -234,6 +320,83 @@ mod tests {
             vec!["x".to_string()]
         );
         assert_eq!(cluster.taint_map().stats().global_taints, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sharded_cluster_resolves_across_nodes() {
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("n", 2)
+            .taint_map_shards(4)
+            .taint_map_standby(true)
+            .build()
+            .unwrap();
+        assert_eq!(cluster.taint_map().shard_count(), 4);
+        let taints: Vec<_> = (0..16)
+            .map(|i| cluster.vm(0).store().mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = cluster
+            .vm(0)
+            .taint_map()
+            .unwrap()
+            .global_ids_for(&taints)
+            .unwrap();
+        let resolved = cluster
+            .vm(1)
+            .taint_map()
+            .unwrap()
+            .taints_for(&gids)
+            .unwrap();
+        for (i, t) in resolved.iter().enumerate() {
+            assert_eq!(cluster.vm(1).store().tag_values(*t), vec![i.to_string()]);
+        }
+        assert_eq!(cluster.taint_map().stats().global_taints, 16);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn conflicting_taint_map_settings_are_rejected() {
+        let err = Cluster::builder(Mode::Dista)
+            .nodes("n", 1)
+            .taint_map_shards(2)
+            .taint_map_endpoint(TaintMapEndpoint::builder().shards(4))
+            .build()
+            .unwrap_err();
+        match err {
+            DistaError::Config(msg) => {
+                assert!(msg.contains("taint_map_shards"), "names the culprit: {msg}")
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+
+        let err = Cluster::builder(Mode::Dista)
+            .taint_map_addr(NodeAddr::new([10, 0, 0, 99], 7777))
+            .taint_map_standby(true)
+            .taint_map_endpoint(TaintMapEndpoint::builder())
+            .build()
+            .unwrap_err();
+        match err {
+            DistaError::Config(msg) => {
+                assert!(msg.contains("taint_map_addr") && msg.contains("taint_map_standby"))
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+
+        let err = Cluster::builder(Mode::Dista)
+            .taint_map_shards(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DistaError::Config(_)));
+    }
+
+    #[test]
+    fn endpoint_builder_passthrough_works() {
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("n", 1)
+            .taint_map_endpoint(TaintMapEndpoint::builder().shards(2))
+            .build()
+            .unwrap();
+        assert_eq!(cluster.taint_map().shard_count(), 2);
         cluster.shutdown();
     }
 

@@ -1,0 +1,76 @@
+//! The one error type a DisTA user handles.
+//!
+//! The substrate crates keep their own precise errors
+//! ([`dista_jre::JreError`], [`dista_taintmap::TaintMapError`]), but the
+//! facade surfaces a single enum so callers of [`crate::Cluster`] and
+//! friends write one `?` chain instead of juggling per-layer types.
+
+use std::fmt;
+
+use dista_jre::JreError;
+use dista_taintmap::TaintMapError;
+
+/// Errors surfaced by the dista-core facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistaError {
+    /// A mini-JRE I/O failure while standing up or driving VMs.
+    Jre(JreError),
+    /// A Taint Map deployment or RPC failure.
+    TaintMap(TaintMapError),
+    /// Invalid or conflicting configuration supplied to a builder.
+    Config(String),
+}
+
+impl fmt::Display for DistaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistaError::Jre(e) => write!(f, "jre error: {e}"),
+            DistaError::TaintMap(e) => write!(f, "taint map error: {e}"),
+            DistaError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistaError::Jre(e) => Some(e),
+            DistaError::TaintMap(e) => Some(e),
+            DistaError::Config(_) => None,
+        }
+    }
+}
+
+impl From<JreError> for DistaError {
+    fn from(e: JreError) -> Self {
+        DistaError::Jre(e)
+    }
+}
+
+impl From<TaintMapError> for DistaError {
+    fn from(e: TaintMapError) -> Self {
+        DistaError::TaintMap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_simnet::NetError;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DistaError = JreError::Eof.into();
+        assert!(e.to_string().contains("end of stream"));
+        assert!(e.source().is_some());
+
+        let e: DistaError = TaintMapError::Net(NetError::Closed).into();
+        assert!(e.to_string().contains("taint map"));
+        assert!(e.source().is_some());
+
+        let e = DistaError::Config("shards conflict".into());
+        assert!(e.to_string().contains("shards conflict"));
+        assert!(e.source().is_none());
+    }
+}

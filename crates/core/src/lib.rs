@@ -47,10 +47,12 @@
 
 mod cluster;
 mod config;
+mod error;
 pub mod registry;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use config::{DistaConfig, LaunchScript};
+pub use error::DistaError;
 
 pub use dista_jre::Mode;
 

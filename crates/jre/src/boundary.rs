@@ -40,29 +40,35 @@ pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes) -> Result<Vec<u8>, JreE
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
-    let mut out = Vec::with_capacity(bytes.len() * wire_record_size(width));
-    // The shadow is run-length encoded, so each run costs one Global ID
-    // resolution (memoized across runs) no matter how many bytes it
-    // covers; the records themselves are emitted in a chunked loop that
-    // reuses the run's encoded ID. The wire format is unchanged:
+    // The shadow is run-length encoded; collect the distinct taints
+    // across all runs and resolve them through the Taint Map in one
+    // batched round trip (per-VM cache consulted first inside the
+    // client). The records themselves are emitted in a chunked loop that
+    // reuses each run's encoded ID. The wire format is unchanged:
     // `[b0][gid0][b1][gid1]…`, decodable at any record boundary.
-    let mut memo: HashMap<Taint, [u8; 8]> = HashMap::new();
+    let mut slot_of: HashMap<Taint, usize> = HashMap::new();
+    let mut distinct: Vec<Taint> = Vec::new();
+    for (_, taint) in bytes.shadow().iter_runs() {
+        slot_of.entry(taint).or_insert_with(|| {
+            distinct.push(taint);
+            distinct.len() - 1
+        });
+    }
+    let gids = client.global_ids_for(&distinct)?;
+    let mut wire_ids: Vec<[u8; 8]> = Vec::with_capacity(gids.len());
+    for gid in gids {
+        let wire = gid.try_to_wire(width).ok_or(JreError::Protocol(
+            "global id exceeds the configured wire width",
+        ))?;
+        let mut buf = [0u8; 8];
+        buf[..width].copy_from_slice(&wire);
+        wire_ids.push(buf);
+    }
+    let mut out = Vec::with_capacity(bytes.len() * wire_record_size(width));
     let data = bytes.data();
     let mut pos = 0;
     for (run_len, taint) in bytes.shadow().iter_runs() {
-        let gid_bytes = match memo.get(&taint) {
-            Some(&g) => g,
-            None => {
-                let gid = client.global_id_for(taint)?;
-                let wire = gid.try_to_wire(width).ok_or(JreError::Protocol(
-                    "global id exceeds the configured wire width",
-                ))?;
-                let mut buf = [0u8; 8];
-                buf[..width].copy_from_slice(&wire);
-                memo.insert(taint, buf);
-                buf
-            }
-        };
+        let gid_bytes = &wire_ids[slot_of[&taint]];
         for &byte in &data[pos..pos + run_len] {
             out.push(byte);
             out.extend_from_slice(&gid_bytes[..width]);
@@ -81,12 +87,14 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8]) -> Result<TaintedBytes, JreError
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
-    // Chunked decode: each iteration consumes one stretch of records
-    // carrying the same Global ID, resolves the taint once (memoized),
-    // and appends the stretch to the shadow as a single run.
+    // Chunked decode: first pass consumes stretches of records carrying
+    // the same Global ID; all distinct IDs of the buffer then resolve in
+    // one batched round trip (per-VM cache consulted first inside the
+    // client) before the shadow is assembled run by run.
     let mut data = Vec::with_capacity(wire.len() / rs);
-    let mut shadow = TaintRuns::new();
-    let mut memo: HashMap<GlobalId, Taint> = HashMap::new();
+    let mut runs: Vec<(GlobalId, usize)> = Vec::new();
+    let mut slot_of: HashMap<GlobalId, usize> = HashMap::new();
+    let mut distinct: Vec<GlobalId> = Vec::new();
     let mut records = wire.chunks_exact(rs).peekable();
     while let Some(record) = records.next() {
         let gid = GlobalId::from_wire(&record[1..]);
@@ -100,15 +108,16 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8]) -> Result<TaintedBytes, JreError
             run_len += 1;
             records.next();
         }
-        let taint = match memo.get(&gid) {
-            Some(&t) => t,
-            None => {
-                let t = client.taint_for(gid)?;
-                memo.insert(gid, t);
-                t
-            }
-        };
-        shadow.push_run(taint, run_len);
+        slot_of.entry(gid).or_insert_with(|| {
+            distinct.push(gid);
+            distinct.len() - 1
+        });
+        runs.push((gid, run_len));
+    }
+    let taints = client.taints_for(&distinct)?;
+    let mut shadow = TaintRuns::new();
+    for (gid, run_len) in runs {
+        shadow.push_run(taints[slot_of[&gid]], run_len);
     }
     Ok(TaintedBytes::from_runs(data, shadow))
 }
@@ -341,21 +350,21 @@ mod tests {
     use super::*;
     use dista_simnet::SimNet;
     use dista_taint::TagValue;
-    use dista_taintmap::TaintMapServer;
+    use dista_taintmap::TaintMapEndpoint;
 
-    fn cluster(mode: Mode) -> (SimNet, TaintMapServer, Vm, Vm) {
+    fn cluster(mode: Mode) -> (SimNet, TaintMapEndpoint, Vm, Vm) {
         let net = SimNet::new();
-        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let tm = TaintMapEndpoint::builder().connect(&net).unwrap();
         let vm1 = Vm::builder("n1", &net)
             .mode(mode)
             .ip([10, 0, 0, 1])
-            .taint_map(tm.addr())
+            .taint_map(tm.topology())
             .build()
             .unwrap();
         let vm2 = Vm::builder("n2", &net)
             .mode(mode)
             .ip([10, 0, 0, 2])
-            .taint_map(tm.addr())
+            .taint_map(tm.topology())
             .build()
             .unwrap();
         (net, tm, vm1, vm2)
@@ -615,18 +624,21 @@ mod tests {
     #[test]
     fn gid_width_2_reduces_expansion() {
         let net = SimNet::new();
-        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7778)).unwrap();
+        let tm = TaintMapEndpoint::builder()
+            .addr(NodeAddr::new([10, 0, 0, 99], 7778))
+            .connect(&net)
+            .unwrap();
         let vm1 = Vm::builder("n1", &net)
             .mode(Mode::Dista)
             .ip([10, 0, 0, 1])
-            .taint_map(tm.addr())
+            .taint_map(tm.topology())
             .gid_width(2)
             .build()
             .unwrap();
         let vm2 = Vm::builder("n2", &net)
             .mode(Mode::Dista)
             .ip([10, 0, 0, 2])
-            .taint_map(tm.addr())
+            .taint_map(tm.topology())
             .gid_width(2)
             .build()
             .unwrap();

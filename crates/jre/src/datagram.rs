@@ -132,16 +132,16 @@ mod tests {
     use crate::vm::Mode;
     use dista_simnet::SimNet;
     use dista_taint::{TagValue, TaintedBytes};
-    use dista_taintmap::TaintMapServer;
+    use dista_taintmap::TaintMapEndpoint;
 
-    fn cluster(mode: Mode) -> (TaintMapServer, Vm, Vm) {
+    fn cluster(mode: Mode) -> (TaintMapEndpoint, Vm, Vm) {
         let net = SimNet::new();
-        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let tm = TaintMapEndpoint::builder().connect(&net).unwrap();
         let mk = |name: &str, ip: [u8; 4]| {
             Vm::builder(name, &net)
                 .mode(mode)
                 .ip(ip)
-                .taint_map(tm.addr())
+                .taint_map(tm.topology())
                 .build()
                 .unwrap()
         };

@@ -29,16 +29,16 @@
 //! ```rust
 //! use dista_simnet::{SimNet, NodeAddr};
 //! use dista_taint::{TagValue, Payload, TaintedBytes};
-//! use dista_taintmap::TaintMapServer;
+//! use dista_taintmap::TaintMapEndpoint;
 //! use dista_jre::{Vm, Mode, ServerSocket, Socket, InputStream, OutputStream};
 //!
 //! let net = SimNet::new();
-//! let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777))?;
+//! let tm = TaintMapEndpoint::builder().connect(&net)?;
 //!
 //! let vm1 = Vm::builder("node1", &net).mode(Mode::Dista).ip([10, 0, 0, 1])
-//!     .taint_map(tm.addr()).build()?;
+//!     .taint_map(tm.topology()).build()?;
 //! let vm2 = Vm::builder("node2", &net).mode(Mode::Dista).ip([10, 0, 0, 2])
-//!     .taint_map(tm.addr()).build()?;
+//!     .taint_map(tm.topology()).build()?;
 //!
 //! let server = ServerSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], 80))?;
 //! let client = Socket::connect(&vm1, server.local_addr())?;

@@ -191,21 +191,21 @@ mod tests {
     use crate::vm::Mode;
     use dista_simnet::SimNet;
     use dista_taint::{TagValue, TaintedBytes};
-    use dista_taintmap::TaintMapServer;
+    use dista_taintmap::TaintMapEndpoint;
 
-    fn dista_pair(port: u16) -> (TaintMapServer, Vm, Vm, Socket, Socket) {
+    fn dista_pair(port: u16) -> (TaintMapEndpoint, Vm, Vm, Socket, Socket) {
         let net = SimNet::new();
-        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let tm = TaintMapEndpoint::builder().connect(&net).unwrap();
         let vm1 = Vm::builder("n1", &net)
             .mode(Mode::Dista)
             .ip([10, 0, 0, 1])
-            .taint_map(tm.addr())
+            .taint_map(tm.topology())
             .build()
             .unwrap();
         let vm2 = Vm::builder("n2", &net)
             .mode(Mode::Dista)
             .ip([10, 0, 0, 2])
-            .taint_map(tm.addr())
+            .taint_map(tm.topology())
             .build()
             .unwrap();
         let server = ServerSocket::bind(&vm2, NodeAddr::new([10, 0, 0, 2], port)).unwrap();

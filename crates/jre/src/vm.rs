@@ -4,11 +4,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dista_simnet::{NodeAddr, SimFs, SimNet};
+use dista_simnet::{SimFs, SimNet};
 use dista_taint::{
     LocalId, SinkRecorder, SinkReport, SourceSinkSpec, TagValue, Taint, TaintRuns, TaintStore,
 };
-use dista_taintmap::TaintMapClient;
+use dista_taintmap::{TaintMapClient, TaintMapTopology};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::JreError;
@@ -98,7 +98,7 @@ pub struct VmBuilder {
     ip: [u8; 4],
     fs: SimFs,
     spec: SourceSinkSpec,
-    taint_map_addr: Option<NodeAddr>,
+    taint_map_topology: Option<TaintMapTopology>,
     gid_width: usize,
 }
 
@@ -127,10 +127,13 @@ impl VmBuilder {
         self
     }
 
-    /// Points the VM at a running Taint Map service (required for
-    /// [`Mode::Dista`]).
-    pub fn taint_map(mut self, addr: NodeAddr) -> Self {
-        self.taint_map_addr = Some(addr);
+    /// Points the VM at a running Taint Map deployment (required for
+    /// [`Mode::Dista`]). Accepts a single [`dista_simnet::NodeAddr`], a
+    /// failover list, or a full sharded
+    /// [`dista_taintmap::TaintMapTopology`] (normally from
+    /// [`dista_taintmap::TaintMapEndpoint::topology`]).
+    pub fn taint_map(mut self, topology: impl Into<TaintMapTopology>) -> Self {
+        self.taint_map_topology = Some(topology.into());
         self
     }
 
@@ -155,13 +158,17 @@ impl VmBuilder {
     pub fn build(self) -> Result<Vm, JreError> {
         let pid = NEXT_PID.fetch_add(1, Ordering::Relaxed) as u32;
         let store = TaintStore::new(LocalId::new(self.ip, pid));
-        let taint_map = match (self.mode, self.taint_map_addr) {
+        let taint_map = match (self.mode, self.taint_map_topology) {
             (Mode::Dista, None) => {
                 return Err(JreError::Protocol(
                     "DisTA mode requires a taint map address",
                 ))
             }
-            (_, Some(addr)) => Some(TaintMapClient::connect(&self.net, addr, store.clone())?),
+            (_, Some(topology)) => Some(TaintMapClient::connect_topology(
+                &self.net,
+                topology,
+                store.clone(),
+            )?),
             (_, None) => None,
         };
         Ok(Vm {
@@ -194,7 +201,7 @@ impl Vm {
             ip: [127, 0, 0, 1],
             fs: SimFs::new(),
             spec: SourceSinkSpec::new(),
-            taint_map_addr: None,
+            taint_map_topology: None,
             gid_width: 4,
         }
     }

@@ -21,7 +21,7 @@
 //! assert_eq!(cases.len(), 30);
 //! let result = run_case(cases[0].as_ref(), Mode::Dista, 4 * 1024)?;
 //! assert!(result.sound_and_precise());
-//! # Ok::<(), dista_jre::JreError>(())
+//! # Ok::<(), dista_core::DistaError>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU16, Ordering};
 use std::time::{Duration, Instant};
 
-use dista_core::Cluster;
+use dista_core::{Cluster, DistaError};
 use dista_jre::{JreError, Mode, Vm};
 use dista_taint::{Payload, TagValue, TaintedBytes};
 
@@ -114,7 +114,7 @@ pub fn run_case_on(
 /// # Errors
 ///
 /// Cluster setup or case errors.
-pub fn run_case(case: &dyn MicroCase, mode: Mode, size: usize) -> Result<CaseResult, JreError> {
+pub fn run_case(case: &dyn MicroCase, mode: Mode, size: usize) -> Result<CaseResult, DistaError> {
     run_case_with(case, mode, size, dista_simnet::FaultConfig::default())
 }
 
@@ -129,12 +129,12 @@ pub fn run_case_with(
     mode: Mode,
     size: usize,
     faults: dista_simnet::FaultConfig,
-) -> Result<CaseResult, JreError> {
+) -> Result<CaseResult, DistaError> {
     let cluster = Cluster::builder(mode).nodes("micro", 2).build()?;
     cluster.net().set_faults(faults);
     let result = run_case_on(case, cluster.vm(0), cluster.vm(1), size);
     cluster.shutdown();
-    result
+    Ok(result?)
 }
 
 #[cfg(test)]

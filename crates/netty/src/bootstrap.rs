@@ -279,16 +279,16 @@ mod tests {
     use dista_jre::Mode;
     use dista_simnet::SimNet;
     use dista_taint::{TagValue, TaintedBytes};
-    use dista_taintmap::TaintMapServer;
+    use dista_taintmap::TaintMapEndpoint;
 
-    fn cluster() -> (TaintMapServer, Vm, Vm) {
+    fn cluster() -> (TaintMapEndpoint, Vm, Vm) {
         let net = SimNet::new();
-        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let tm = TaintMapEndpoint::builder().connect(&net).unwrap();
         let mk = |n: &str, ip: [u8; 4]| {
             Vm::builder(n, &net)
                 .mode(Mode::Dista)
                 .ip(ip)
-                .taint_map(tm.addr())
+                .taint_map(tm.topology())
                 .build()
                 .unwrap()
         };

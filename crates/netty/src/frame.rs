@@ -59,16 +59,16 @@ mod tests {
     use dista_jre::{Mode, ServerSocketChannel, Vm};
     use dista_simnet::{NodeAddr, SimNet};
     use dista_taint::TagValue;
-    use dista_taintmap::TaintMapServer;
+    use dista_taintmap::TaintMapEndpoint;
 
-    fn rig() -> (TaintMapServer, Vm, Vm, SocketChannel, SocketChannel) {
+    fn rig() -> (TaintMapEndpoint, Vm, Vm, SocketChannel, SocketChannel) {
         let net = SimNet::new();
-        let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let tm = TaintMapEndpoint::builder().connect(&net).unwrap();
         let mk = |n: &str, ip: [u8; 4]| {
             Vm::builder(n, &net)
                 .mode(Mode::Dista)
                 .ip(ip)
-                .taint_map(tm.addr())
+                .taint_map(tm.topology())
                 .build()
                 .unwrap()
         };

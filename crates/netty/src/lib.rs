@@ -17,16 +17,16 @@
 //! ```rust
 //! use dista_simnet::{SimNet, NodeAddr};
 //! use dista_taint::{Payload, TagValue, TaintedBytes};
-//! use dista_taintmap::TaintMapServer;
+//! use dista_taintmap::TaintMapEndpoint;
 //! use dista_jre::{Vm, Mode};
 //! use dista_netty::{ServerBootstrap, Bootstrap};
 //!
 //! let net = SimNet::new();
-//! let tm = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777))?;
+//! let tm = TaintMapEndpoint::builder().connect(&net)?;
 //! let server_vm = Vm::builder("server", &net).mode(Mode::Dista)
-//!     .ip([10, 0, 0, 2]).taint_map(tm.addr()).build()?;
+//!     .ip([10, 0, 0, 2]).taint_map(tm.topology()).build()?;
 //! let client_vm = Vm::builder("client", &net).mode(Mode::Dista)
-//!     .ip([10, 0, 0, 1]).taint_map(tm.addr()).build()?;
+//!     .ip([10, 0, 0, 1]).taint_map(tm.topology()).build()?;
 //!
 //! // Echo server: every inbound frame is written back.
 //! let server = ServerBootstrap::new(&server_vm)

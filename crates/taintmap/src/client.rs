@@ -1,5 +1,23 @@
-//! Per-VM Taint Map client with the two caches of paper Fig. 9, plus
-//! optional failover across a primary/standby pair (§IV).
+//! Per-VM Taint Map client with the two caches of paper Fig. 9, shard
+//! routing, batched RPCs, and failover across each shard's
+//! primary/standby pair (§IV).
+//!
+//! The client is handed a [`TaintMapTopology`] and hides it completely:
+//!
+//! * **Routing** — registrations go to `fnv64(serialized) % shards`,
+//!   lookups to `(gid - 1) % shards`. Both are deterministic, so every
+//!   VM agrees on which shard owns which taint and per-shard dedup is
+//!   global dedup.
+//! * **Batching** — [`TaintMapClient::global_ids_for`] /
+//!   [`TaintMapClient::taints_for`] resolve all cache-missing items in
+//!   one `REGISTER_BATCH`/`LOOKUP_BATCH` frame per shard instead of one
+//!   RPC per item.
+//! * **Pipelining** — when a batch spans shards, the client writes every
+//!   shard's request frame before reading any response, so the shards
+//!   serve the batch concurrently over the kept-open connections.
+//! * **Single-flight** — concurrent encoders that miss the cache on the
+//!   same taint elect one requester; the rest wait for its result
+//!   instead of duplicating the in-flight registration.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -7,54 +25,98 @@ use std::sync::Arc;
 
 use dista_simnet::{NodeAddr, SimNet, TcpEndpoint};
 use dista_taint::{deserialize_taint, serialize_taint, GlobalId, Taint, TaintStore};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::error::TaintMapError;
-use crate::proto::{read_frame, write_frame, OP_LOOKUP, OP_REGISTER, RESP_OK};
+use crate::proto::{
+    decode_lookup_batch_resp, decode_register_batch_resp, encode_lookup_batch,
+    encode_register_batch, read_frame, write_frame, OP_LOOKUP, OP_LOOKUP_BATCH, OP_REGISTER,
+    OP_REGISTER_BATCH, RESP_OK,
+};
+use crate::shard::{shard_of_bytes, shard_of_gid, TaintMapTopology};
 
 /// Client-side RPC counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ClientStats {
-    /// Register RPCs actually sent (cache misses).
+    /// Register items actually sent over the wire (cache misses),
+    /// whether individually or inside a batch frame.
     pub register_rpcs: u64,
-    /// Lookup RPCs actually sent (cache misses).
+    /// Lookup items actually sent over the wire (cache misses).
     pub lookup_rpcs: u64,
     /// Requests satisfied from either cache.
     pub cache_hits: u64,
     /// Times the client failed over to another service address.
     pub failovers: u64,
+    /// Batch frames sent (a multi-shard batch counts once per shard).
+    pub batch_frames: u64,
+    /// Items resolved by waiting on another thread's in-flight
+    /// registration instead of sending our own.
+    pub single_flight_hits: u64,
 }
 
-struct Connection {
+/// One thread's claim on an in-flight registration; others wait on it.
+struct Flight {
+    slot: Mutex<Option<Result<GlobalId, TaintMapError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: Result<GlobalId, TaintMapError>) {
+        *self.slot.lock() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<GlobalId, TaintMapError> {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            self.cv.wait(&mut slot);
+        }
+        slot.as_ref().expect("flight filled").clone()
+    }
+}
+
+struct ShardConn {
     conn: TcpEndpoint,
-    /// Index into `addrs` this connection points at.
+    /// Index into the shard's failover address list.
     target: usize,
 }
 
 struct ClientInner {
     net: SimNet,
-    addrs: Vec<NodeAddr>,
+    topology: TaintMapTopology,
     src_ip: [u8; 4],
-    conn: Mutex<Connection>,
+    /// One persistent connection per shard, each with its own lock so
+    /// batches to different shards overlap.
+    shards: Vec<Mutex<ShardConn>>,
     store: TaintStore,
     /// taint -> global id: "Node1 does not need to request a Global ID
     /// again if it sends b2 out later" (step ② of Fig. 9).
     gid_of: Mutex<HashMap<Taint, GlobalId>>,
     /// global id -> taint: a received id is resolved at most once.
     taint_of: Mutex<HashMap<GlobalId, Taint>>,
+    /// Registrations currently on the wire (single-flight guard).
+    inflight: Mutex<HashMap<Taint, Arc<Flight>>>,
     register_rpcs: AtomicU64,
     lookup_rpcs: AtomicU64,
     cache_hits: AtomicU64,
     failovers: AtomicU64,
+    batch_frames: AtomicU64,
+    single_flight_hits: AtomicU64,
 }
 
 /// A VM's handle to the Taint Map service.
 ///
 /// One client is shared by all threads of a simulated JVM; it keeps one
-/// persistent connection and both direction caches. With multiple
-/// service addresses, an RPC that hits a dead primary reconnects to the
-/// next address and retries once. See the crate docs for an end-to-end
-/// example.
+/// persistent connection per shard and both direction caches. An RPC
+/// that hits a dead instance reconnects to the shard's next address and
+/// retries once. See the crate docs for an end-to-end example.
 #[derive(Clone)]
 pub struct TaintMapClient {
     inner: Arc<ClientInner>,
@@ -63,6 +125,7 @@ pub struct TaintMapClient {
 impl std::fmt::Debug for TaintMapClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaintMapClient")
+            .field("shards", &self.inner.topology.shard_count())
             .field("stats", &self.stats())
             .finish()
     }
@@ -74,8 +137,9 @@ impl TaintMapClient {
     /// # Errors
     ///
     /// [`TaintMapError::Net`] if the service is not reachable.
+    #[deprecated(note = "use `TaintMapClient::connect_topology` or `TaintMapEndpoint::client`")]
     pub fn connect(net: &SimNet, addr: NodeAddr, store: TaintStore) -> Result<Self, TaintMapError> {
-        Self::connect_with_failover(net, vec![addr], store)
+        Self::connect_topology(net, TaintMapTopology::single(addr), store)
     }
 
     /// Connects with an ordered list of service addresses (primary
@@ -85,6 +149,7 @@ impl TaintMapClient {
     ///
     /// [`TaintMapError::Net`] if no address is reachable;
     /// [`TaintMapError::Protocol`] if `addrs` is empty.
+    #[deprecated(note = "use `TaintMapClient::connect_topology` or `TaintMapEndpoint::client`")]
     pub fn connect_with_failover(
         net: &SimNet,
         addrs: Vec<NodeAddr>,
@@ -93,21 +158,43 @@ impl TaintMapClient {
         if addrs.is_empty() {
             return Err(TaintMapError::Protocol("no taint map addresses"));
         }
+        Self::connect_topology(net, TaintMapTopology::new(vec![addrs]), store)
+    }
+
+    /// Connects to every shard of a deployment, resolving taints into
+    /// `store`. The topology normally comes from
+    /// [`crate::TaintMapEndpoint::topology`].
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if some shard has no reachable address.
+    pub fn connect_topology(
+        net: &SimNet,
+        topology: TaintMapTopology,
+        store: TaintStore,
+    ) -> Result<Self, TaintMapError> {
         let src_ip = store.local_id().ip();
-        let (conn, target) = dial_any(net, &addrs, src_ip, 0)?;
+        let mut shards = Vec::with_capacity(topology.shard_count());
+        for i in 0..topology.shard_count() {
+            let (conn, target) = dial_any(net, topology.shard_addrs(i), src_ip, 0)?;
+            shards.push(Mutex::new(ShardConn { conn, target }));
+        }
         Ok(TaintMapClient {
             inner: Arc::new(ClientInner {
                 net: net.clone(),
-                addrs,
+                topology,
                 src_ip,
-                conn: Mutex::new(Connection { conn, target }),
+                shards,
                 store,
                 gid_of: Mutex::new(HashMap::new()),
                 taint_of: Mutex::new(HashMap::new()),
+                inflight: Mutex::new(HashMap::new()),
                 register_rpcs: AtomicU64::new(0),
                 lookup_rpcs: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 failovers: AtomicU64::new(0),
+                batch_frames: AtomicU64::new(0),
+                single_flight_hits: AtomicU64::new(0),
             }),
         })
     }
@@ -117,29 +204,90 @@ impl TaintMapClient {
         &self.inner.store
     }
 
-    /// One RPC round trip with failover: on a transport error the client
-    /// reconnects to the next service address and retries once.
-    fn rpc(&self, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), TaintMapError> {
-        let mut guard = self.inner.conn.lock();
+    /// Number of shards this client routes across.
+    pub fn shard_count(&self) -> usize {
+        self.inner.topology.shard_count()
+    }
+
+    /// One single-item RPC round trip on a shard, with failover — the
+    /// unbatched protocol path, kept as the measured baseline.
+    fn rpc(&self, shard: usize, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), TaintMapError> {
+        let mut guard = self.inner.shards[shard].lock();
         match rpc_on(&guard.conn, op, payload) {
             Ok(reply) => Ok(reply),
             Err(TaintMapError::Net(_)) => {
-                // Primary gone: dial the next address and retry.
-                let start = (guard.target + 1) % self.inner.addrs.len();
-                let (conn, target) =
-                    dial_any(&self.inner.net, &self.inner.addrs, self.inner.src_ip, start)?;
-                guard.conn = conn;
-                guard.target = target;
-                self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+                self.redial(shard, &mut guard)?;
                 rpc_on(&guard.conn, op, payload)
             }
             Err(e) => Err(e),
         }
     }
 
+    /// Reconnects a shard's connection to the next address in its
+    /// failover list.
+    fn redial(
+        &self,
+        shard: usize,
+        guard: &mut MutexGuard<'_, ShardConn>,
+    ) -> Result<(), TaintMapError> {
+        let addrs = self.inner.topology.shard_addrs(shard);
+        let start = (guard.target + 1) % addrs.len();
+        let (conn, target) = dial_any(&self.inner.net, addrs, self.inner.src_ip, start)?;
+        guard.conn = conn;
+        guard.target = target;
+        self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Sends a batch frame on an already-locked shard connection,
+    /// failing over once on a transport error.
+    fn send_batch_locked(
+        &self,
+        shard: usize,
+        guard: &mut MutexGuard<'_, ShardConn>,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<(), TaintMapError> {
+        self.inner.batch_frames.fetch_add(1, Ordering::Relaxed);
+        match write_frame(&guard.conn, op, payload) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.redial(shard, guard)?;
+                write_frame(&guard.conn, op, payload)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a batch response on an already-locked shard connection. If
+    /// the instance died after taking the request, fails over and
+    /// re-sends `payload` (register is dedup-idempotent, lookup is
+    /// read-only, so replay is safe mid-batch).
+    fn recv_batch_locked(
+        &self,
+        shard: usize,
+        guard: &mut MutexGuard<'_, ShardConn>,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<(u8, Vec<u8>), TaintMapError> {
+        let first = match read_frame(&guard.conn) {
+            Ok(Some(reply)) => return Ok(reply),
+            Ok(None) => TaintMapError::Net(dista_simnet::NetError::Closed),
+            Err(e @ TaintMapError::Net(_)) => e,
+            Err(e) => return Err(e),
+        };
+        let _ = first;
+        self.redial(shard, guard)?;
+        write_frame(&guard.conn, op, payload)?;
+        read_frame(&guard.conn)?.ok_or(TaintMapError::Net(dista_simnet::NetError::Closed))
+    }
+
     /// Returns the Global ID for `taint`, registering it with the service
     /// on first use (steps ①-② of Fig. 9). The empty taint maps to
     /// [`GlobalId::UNTAINTED`] without any RPC.
+    ///
+    /// This is the unbatched wire path (one `REGISTER` frame per cache
+    /// miss); hot paths use [`TaintMapClient::global_ids_for`].
     ///
     /// # Errors
     ///
@@ -153,7 +301,8 @@ impl TaintMapClient {
             return Ok(gid);
         }
         let serialized = serialize_taint(self.inner.store.tree(), taint);
-        let (op, payload) = self.rpc(OP_REGISTER, &serialized)?;
+        let shard = shard_of_bytes(&serialized, self.shard_count());
+        let (op, payload) = self.rpc(shard, OP_REGISTER, &serialized)?;
         self.inner.register_rpcs.fetch_add(1, Ordering::Relaxed);
         if op != RESP_OK || payload.len() != 4 {
             return Err(TaintMapError::Protocol("bad register response"));
@@ -161,7 +310,129 @@ impl TaintMapClient {
         let gid = GlobalId(u32::from_be_bytes([
             payload[0], payload[1], payload[2], payload[3],
         ]));
-        // Record the id on each tag quad (the GlobalID field of §III-D-1)
+        self.finish_registration(taint, gid);
+        Ok(gid)
+    }
+
+    /// Returns Global IDs for a whole slice of taints, registering every
+    /// cache miss in one `REGISTER_BATCH` frame per shard. Output is
+    /// index-aligned with the input; empty taints map to
+    /// [`GlobalId::UNTAINTED`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the RPCs (a concurrent waiter observes the
+    /// requester's error).
+    pub fn global_ids_for(&self, taints: &[Taint]) -> Result<Vec<GlobalId>, TaintMapError> {
+        let mut out = vec![GlobalId::UNTAINTED; taints.len()];
+        // (input index, taint, serialized bytes) this thread must register.
+        let mut mine: Vec<(usize, Taint, Vec<u8>)> = Vec::new();
+        let mut mine_flights: Vec<Arc<Flight>> = Vec::new();
+        // Items some other thread is already registering.
+        let mut theirs: Vec<(usize, Arc<Flight>)> = Vec::new();
+        {
+            let gid_cache = self.inner.gid_of.lock();
+            let mut inflight = self.inner.inflight.lock();
+            for (i, &taint) in taints.iter().enumerate() {
+                if taint.is_empty() {
+                    continue;
+                }
+                if let Some(&gid) = gid_cache.get(&taint) {
+                    self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = gid;
+                    continue;
+                }
+                if let Some(flight) = inflight.get(&taint) {
+                    self.inner
+                        .single_flight_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    theirs.push((i, flight.clone()));
+                    continue;
+                }
+                let flight = Arc::new(Flight::new());
+                inflight.insert(taint, flight.clone());
+                mine_flights.push(flight);
+                mine.push((i, taint, serialize_taint(self.inner.store.tree(), taint)));
+            }
+        }
+
+        if !mine.is_empty() {
+            let result = self.register_batch(&mine);
+            // Fill flights before propagating any error so waiters never
+            // hang on a failed requester.
+            let mut inflight = self.inner.inflight.lock();
+            for (k, (i, taint, _)) in mine.iter().enumerate() {
+                inflight.remove(taint);
+                match &result {
+                    Ok(gids) => {
+                        out[*i] = gids[k];
+                        mine_flights[k].fill(Ok(gids[k]));
+                    }
+                    Err(e) => mine_flights[k].fill(Err(e.clone())),
+                }
+            }
+            drop(inflight);
+            result?;
+        }
+        for (i, flight) in theirs {
+            out[i] = flight.wait()?;
+        }
+        Ok(out)
+    }
+
+    /// Registers `mine` across shards: writes every shard's
+    /// `REGISTER_BATCH` frame before reading any response, so shards
+    /// work concurrently. Returns gids aligned with `mine`.
+    fn register_batch(
+        &self,
+        mine: &[(usize, Taint, Vec<u8>)],
+    ) -> Result<Vec<GlobalId>, TaintMapError> {
+        let n = self.shard_count();
+        // Partition by byte-hash routing; remember each item's slot.
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, (_, _, serialized)) in mine.iter().enumerate() {
+            per_shard[shard_of_bytes(serialized, n)].push(k);
+        }
+        self.inner
+            .register_rpcs
+            .fetch_add(mine.len() as u64, Ordering::Relaxed);
+
+        // Lock the involved shard connections in ascending order (the
+        // deadlock-free order), pipeline the writes, then collect.
+        let mut guards: Vec<(usize, MutexGuard<'_, ShardConn>)> = Vec::new();
+        let mut payloads: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (shard, items) in per_shard.iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let batch: Vec<Vec<u8>> = items.iter().map(|&k| mine[k].2.clone()).collect();
+            payloads.push((shard, encode_register_batch(&batch)));
+            guards.push((shard, self.inner.shards[shard].lock()));
+        }
+        for ((shard, guard), (_, payload)) in guards.iter_mut().zip(&payloads) {
+            self.send_batch_locked(*shard, guard, OP_REGISTER_BATCH, payload)?;
+        }
+        let mut gids = vec![GlobalId::UNTAINTED; mine.len()];
+        for ((shard, guard), (_, payload)) in guards.iter_mut().zip(&payloads) {
+            let (op, resp) = self.recv_batch_locked(*shard, guard, OP_REGISTER_BATCH, payload)?;
+            if op != RESP_OK {
+                return Err(TaintMapError::Protocol("bad register batch response"));
+            }
+            let shard_gids = decode_register_batch_resp(&resp, per_shard[*shard].len())?;
+            for (&k, gid) in per_shard[*shard].iter().zip(shard_gids) {
+                gids[k] = GlobalId(gid);
+            }
+        }
+        drop(guards);
+        for ((_, taint, _), &gid) in mine.iter().zip(&gids) {
+            self.finish_registration(*taint, gid);
+        }
+        Ok(gids)
+    }
+
+    /// Records a fresh registration in both caches and on the tag quads
+    /// (the GlobalID field of §III-D-1).
+    fn finish_registration(&self, taint: Taint, gid: GlobalId) {
         for tag_id in self.inner.store.tree().tag_ids(taint) {
             if !self.inner.store.tree().tag(tag_id).global_id.is_tainted() {
                 self.inner.store.tree().set_tag_global_id(tag_id, gid);
@@ -170,12 +441,14 @@ impl TaintMapClient {
         self.inner.gid_of.lock().insert(taint, gid);
         // Prime the reverse cache too: this VM already knows the taint.
         self.inner.taint_of.lock().insert(gid, taint);
-        Ok(gid)
     }
 
     /// Resolves a Global ID received from the wire back into a local
     /// taint (steps ④-⑤ of Fig. 9). [`GlobalId::UNTAINTED`] maps to the
     /// empty taint without any RPC.
+    ///
+    /// This is the unbatched wire path (one `LOOKUP` frame per cache
+    /// miss); hot paths use [`TaintMapClient::taints_for`].
     ///
     /// # Errors
     ///
@@ -189,7 +462,8 @@ impl TaintMapClient {
             self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(taint);
         }
-        let (op, payload) = self.rpc(OP_LOOKUP, &gid.0.to_be_bytes())?;
+        let shard = shard_of_gid(gid.0, self.shard_count());
+        let (op, payload) = self.rpc(shard, OP_LOOKUP, &gid.0.to_be_bytes())?;
         self.inner.lookup_rpcs.fetch_add(1, Ordering::Relaxed);
         if op != RESP_OK {
             return Err(TaintMapError::UnknownGlobalId(gid));
@@ -200,6 +474,101 @@ impl TaintMapClient {
         Ok(taint)
     }
 
+    /// Resolves a whole slice of Global IDs, fetching every cache miss
+    /// in one `LOOKUP_BATCH` frame per shard. Output is index-aligned
+    /// with the input; [`GlobalId::UNTAINTED`] maps to the empty taint.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::UnknownGlobalId`] naming the first id the
+    /// service never saw; transport/codec errors otherwise.
+    pub fn taints_for(&self, gids: &[GlobalId]) -> Result<Vec<Taint>, TaintMapError> {
+        let mut out = vec![Taint::EMPTY; gids.len()];
+        let mut misses: Vec<(usize, GlobalId)> = Vec::new();
+        {
+            let taint_cache = self.inner.taint_of.lock();
+            let mut seen = HashMap::new();
+            for (i, &gid) in gids.iter().enumerate() {
+                if !gid.is_tainted() {
+                    continue;
+                }
+                if let Some(&taint) = taint_cache.get(&gid) {
+                    self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = taint;
+                    continue;
+                }
+                // Dedup within the call; later copies are back-filled.
+                if seen.insert(gid, ()).is_none() {
+                    misses.push((i, gid));
+                }
+            }
+        }
+        if misses.is_empty() {
+            return self.backfill_lookup_duplicates(gids, out);
+        }
+        self.inner
+            .lookup_rpcs
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+
+        let n = self.shard_count();
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, (_, gid)) in misses.iter().enumerate() {
+            per_shard[shard_of_gid(gid.0, n)].push(k);
+        }
+        let mut guards: Vec<(usize, MutexGuard<'_, ShardConn>)> = Vec::new();
+        let mut payloads: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (shard, items) in per_shard.iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let batch: Vec<u32> = items.iter().map(|&k| misses[k].1 .0).collect();
+            payloads.push((shard, encode_lookup_batch(&batch)));
+            guards.push((shard, self.inner.shards[shard].lock()));
+        }
+        for ((shard, guard), (_, payload)) in guards.iter_mut().zip(&payloads) {
+            self.send_batch_locked(*shard, guard, OP_LOOKUP_BATCH, payload)?;
+        }
+        let mut fetched: Vec<Option<Vec<u8>>> = vec![None; misses.len()];
+        for ((shard, guard), (_, payload)) in guards.iter_mut().zip(&payloads) {
+            let (op, resp) = self.recv_batch_locked(*shard, guard, OP_LOOKUP_BATCH, payload)?;
+            if op != RESP_OK {
+                return Err(TaintMapError::Protocol("bad lookup batch response"));
+            }
+            let items = decode_lookup_batch_resp(&resp, per_shard[*shard].len())?;
+            for (&k, item) in per_shard[*shard].iter().zip(items) {
+                fetched[k] = item;
+            }
+        }
+        drop(guards);
+
+        for ((i, gid), bytes) in misses.into_iter().zip(fetched) {
+            let bytes = bytes.ok_or(TaintMapError::UnknownGlobalId(gid))?;
+            let taint = deserialize_taint(&self.inner.store, &bytes)?;
+            self.inner.taint_of.lock().insert(gid, taint);
+            self.inner.gid_of.lock().insert(taint, gid);
+            out[i] = taint;
+        }
+        self.backfill_lookup_duplicates(gids, out)
+    }
+
+    /// Second pass for duplicate ids within one `taints_for` call: every
+    /// copy of an id resolved this call gets the same taint.
+    fn backfill_lookup_duplicates(
+        &self,
+        gids: &[GlobalId],
+        mut out: Vec<Taint>,
+    ) -> Result<Vec<Taint>, TaintMapError> {
+        let taint_cache = self.inner.taint_of.lock();
+        for (i, &gid) in gids.iter().enumerate() {
+            if gid.is_tainted() && out[i].is_empty() {
+                out[i] = *taint_cache
+                    .get(&gid)
+                    .ok_or(TaintMapError::UnknownGlobalId(gid))?;
+            }
+        }
+        Ok(out)
+    }
+
     /// Snapshot of the client's RPC counters.
     pub fn stats(&self) -> ClientStats {
         ClientStats {
@@ -207,6 +576,8 @@ impl TaintMapClient {
             lookup_rpcs: self.inner.lookup_rpcs.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             failovers: self.inner.failovers.load(Ordering::Relaxed),
+            batch_frames: self.inner.batch_frames.load(Ordering::Relaxed),
+            single_flight_hits: self.inner.single_flight_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,32 +607,44 @@ fn dial_any(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::TaintMapServer;
+    use crate::endpoint::TaintMapEndpoint;
     use dista_taint::{LocalId, TagValue};
 
-    fn setup() -> (SimNet, TaintMapServer, TaintMapClient, TaintStore) {
+    fn setup() -> (SimNet, TaintMapEndpoint, TaintMapClient, TaintStore) {
         let net = SimNet::new();
-        let server = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let endpoint = TaintMapEndpoint::builder().connect(&net).unwrap();
         let store = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
-        let client = TaintMapClient::connect(&net, server.addr(), store.clone()).unwrap();
-        (net, server, client, store)
+        let client = endpoint.client(&net, store.clone()).unwrap();
+        (net, endpoint, client, store)
     }
 
     #[test]
     fn empty_taint_never_rpcs() {
-        let (_net, server, client, _store) = setup();
+        let (_net, endpoint, client, _store) = setup();
         assert_eq!(
             client.global_id_for(Taint::EMPTY).unwrap(),
             GlobalId::UNTAINTED
         );
         assert_eq!(client.taint_for(GlobalId::UNTAINTED).unwrap(), Taint::EMPTY);
+        assert_eq!(
+            client
+                .global_ids_for(&[Taint::EMPTY, Taint::EMPTY])
+                .unwrap(),
+            vec![GlobalId::UNTAINTED; 2]
+        );
+        assert_eq!(
+            client
+                .taints_for(&[GlobalId::UNTAINTED, GlobalId::UNTAINTED])
+                .unwrap(),
+            vec![Taint::EMPTY; 2]
+        );
         assert_eq!(client.stats(), ClientStats::default());
-        server.shutdown();
+        endpoint.shutdown();
     }
 
     #[test]
     fn register_once_per_taint() {
-        let (_net, server, client, store) = setup();
+        let (_net, endpoint, client, store) = setup();
         let t = store.mint_source_taint(TagValue::str("t1"));
         let g1 = client.global_id_for(t).unwrap();
         let g2 = client.global_id_for(t).unwrap();
@@ -269,27 +652,131 @@ mod tests {
         let stats = client.stats();
         assert_eq!(stats.register_rpcs, 1, "second call must hit the cache");
         assert_eq!(stats.cache_hits, 1);
-        server.shutdown();
+        endpoint.shutdown();
     }
 
     #[test]
     fn register_sets_tag_global_id() {
-        let (_net, server, client, store) = setup();
+        let (_net, endpoint, client, store) = setup();
         let t = store.mint_source_taint(TagValue::str("g"));
         let gid = client.global_id_for(t).unwrap();
         let tag = store.tree().tags_of(t)[0].clone();
         assert_eq!(tag.global_id, gid);
-        server.shutdown();
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn batched_register_matches_unbatched_results() {
+        let (net, endpoint, client, store) = setup();
+        let taints: Vec<Taint> = (0..8)
+            .map(|i| store.mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = client.global_ids_for(&taints).unwrap();
+        assert_eq!(client.stats().batch_frames, 1, "one frame, eight items");
+
+        // A second client over the unbatched path agrees id-for-id.
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
+        for (&t, &gid) in taints.iter().zip(&gids) {
+            let resolved = client2.taint_for(gid).unwrap();
+            assert_eq!(
+                store2.tag_values(resolved),
+                store.tag_values(t),
+                "batched gid resolves to the registered taint"
+            );
+        }
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn batch_mixes_cached_empty_and_fresh_items() {
+        let (_net, endpoint, client, store) = setup();
+        let warm = store.mint_source_taint(TagValue::str("warm"));
+        client.global_id_for(warm).unwrap();
+        let cold = store.mint_source_taint(TagValue::str("cold"));
+        let gids = client
+            .global_ids_for(&[Taint::EMPTY, warm, cold, warm])
+            .unwrap();
+        assert_eq!(gids[0], GlobalId::UNTAINTED);
+        assert_eq!(gids[1], gids[3]);
+        assert!(gids[2].is_tainted());
+        assert_ne!(gids[1], gids[2]);
+        assert_eq!(client.stats().register_rpcs, 2, "warm taint never resent");
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn batched_lookup_resolves_and_caches() {
+        let (net, endpoint, _client, _store) = setup();
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 3], 3));
+        let client1 = endpoint.client(&net, store1.clone()).unwrap();
+        let taints: Vec<Taint> = (0..4)
+            .map(|i| store1.mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = client1.global_ids_for(&taints).unwrap();
+
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 4], 4));
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
+        let with_dup = [gids[0], gids[1], gids[2], gids[3], gids[0]];
+        let resolved = client2.taints_for(&with_dup).unwrap();
+        assert_eq!(resolved[0], resolved[4], "duplicate ids resolve equal");
+        for (i, t) in resolved.iter().take(4).enumerate() {
+            assert_eq!(store2.tag_values(*t), vec![i.to_string()]);
+        }
+        let stats = client2.stats();
+        assert_eq!(stats.lookup_rpcs, 4, "duplicate deduped before the wire");
+        assert_eq!(stats.batch_frames, 1);
+        // Everything is now cached.
+        client2.taints_for(&with_dup).unwrap();
+        assert_eq!(client2.stats().lookup_rpcs, 4);
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn batched_lookup_unknown_id_is_error() {
+        let (_net, endpoint, client, _store) = setup();
+        assert_eq!(
+            client.taints_for(&[GlobalId(1234)]),
+            Err(TaintMapError::UnknownGlobalId(GlobalId(1234)))
+        );
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn single_flight_dedups_concurrent_registration() {
+        let (_net, endpoint, client, store) = setup();
+        let t = store.mint_source_taint(TagValue::str("contended"));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let client = client.clone();
+            handles.push(std::thread::spawn(move || {
+                client.global_ids_for(&[t]).unwrap()[0]
+            }));
+        }
+        let ids: Vec<GlobalId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        // The server saw at most as many register items as threads, and
+        // exactly one distinct taint; the flights (plus cache) mean most
+        // threads never sent anything.
+        assert_eq!(endpoint.stats().global_taints, 1);
+        let stats = client.stats();
+        assert_eq!(
+            stats.register_rpcs + stats.cache_hits + stats.single_flight_hits,
+            8,
+            "every thread resolved via exactly one of the three paths"
+        );
+        assert_eq!(stats.register_rpcs, 1, "only one thread hit the wire");
+        endpoint.shutdown();
     }
 
     #[test]
     fn cross_vm_resolution() {
-        let (net, server, client1, store1) = setup();
+        let (net, endpoint, client1, store1) = setup();
         let t1 = store1.mint_source_taint(TagValue::str("vote"));
         let gid = client1.global_id_for(t1).unwrap();
 
         let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
-        let client2 = TaintMapClient::connect(&net, server.addr(), store2.clone()).unwrap();
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
         let t2 = client2.taint_for(gid).unwrap();
         assert_eq!(store2.tag_values(t2), vec!["vote".to_string()]);
         // Resolved tag keeps node 1's identity.
@@ -300,37 +787,37 @@ mod tests {
         // Second resolution is cached.
         let _ = client2.taint_for(gid).unwrap();
         assert_eq!(client2.stats().lookup_rpcs, 1);
-        server.shutdown();
+        endpoint.shutdown();
     }
 
     #[test]
     fn unknown_gid_is_error() {
-        let (_net, server, client, _store) = setup();
+        let (_net, endpoint, client, _store) = setup();
         assert_eq!(
             client.taint_for(GlobalId(1234)),
             Err(TaintMapError::UnknownGlobalId(GlobalId(1234)))
         );
-        server.shutdown();
+        endpoint.shutdown();
     }
 
     #[test]
     fn same_tagset_from_two_vms_gets_one_gid() {
-        let (net, server, client1, store1) = setup();
+        let (net, endpoint, client1, store1) = setup();
         let t = store1.mint_source_taint(TagValue::str("shared"));
         let g1 = client1.global_id_for(t).unwrap();
 
         let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
-        let client2 = TaintMapClient::connect(&net, server.addr(), store2.clone()).unwrap();
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
         let t2 = client2.taint_for(g1).unwrap();
         let g2 = client2.global_id_for(t2).unwrap();
         assert_eq!(g1, g2, "round-tripped taint keeps its global id");
-        assert_eq!(server.stats().global_taints, 1);
-        server.shutdown();
+        assert_eq!(endpoint.stats().global_taints, 1);
+        endpoint.shutdown();
     }
 
     #[test]
     fn concurrent_clients_share_one_connection_each() {
-        let (_net, server, client, store) = setup();
+        let (_net, endpoint, client, store) = setup();
         let mut handles = Vec::new();
         for i in 0..4 {
             let client = client.clone();
@@ -344,7 +831,7 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), 4);
-        server.shutdown();
+        endpoint.shutdown();
     }
 
     #[test]
@@ -352,33 +839,23 @@ mod tests {
         // §IV: primary + standby. The primary replicates, dies, and the
         // client's next lookup transparently lands on the standby.
         let net = SimNet::new();
-        let primary = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
-        let standby = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 98], 7777)).unwrap();
-        primary.replicate_to(standby.addr()).unwrap();
+        let mut endpoint = TaintMapEndpoint::builder()
+            .standby(true)
+            .connect(&net)
+            .unwrap();
 
         let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
-        let client1 = TaintMapClient::connect_with_failover(
-            &net,
-            vec![primary.addr(), standby.addr()],
-            store1.clone(),
-        )
-        .unwrap();
+        let client1 = endpoint.client(&net, store1.clone()).unwrap();
         let t = store1.mint_source_taint(TagValue::str("survivor"));
         let gid = client1.global_id_for(t).unwrap();
 
         // Kill the primary (closes all of its connections).
-        primary.shutdown();
+        let topology = endpoint.topology();
+        endpoint.kill_primary(0);
 
         // A *different* VM resolves the id through the standby.
         let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
-        let client2 = TaintMapClient::connect_with_failover(
-            &net,
-            vec![NodeAddr::new([10, 0, 0, 99], 7777), standby.addr()],
-            store2.clone(),
-        );
-        // Connecting may already have failed over (primary refused) —
-        // either way resolution must succeed.
-        let client2 = client2.unwrap();
+        let client2 = TaintMapClient::connect_topology(&net, topology, store2.clone()).unwrap();
         let resolved = client2.taint_for(gid).unwrap();
         assert_eq!(store2.tag_values(resolved), vec!["survivor".to_string()]);
 
@@ -388,16 +865,15 @@ mod tests {
         let gid2 = client1.global_id_for(t2).unwrap();
         assert!(gid2.is_tainted());
         assert!(client1.stats().failovers >= 1);
-        standby.shutdown();
+        endpoint.shutdown();
     }
 
     #[test]
     fn empty_address_list_is_rejected() {
         let net = SimNet::new();
         let store = TaintStore::new(LocalId::default());
-        assert!(matches!(
-            TaintMapClient::connect_with_failover(&net, vec![], store),
-            Err(TaintMapError::Protocol(_))
-        ));
+        #[allow(deprecated)]
+        let result = TaintMapClient::connect_with_failover(&net, vec![], store);
+        assert!(matches!(result, Err(TaintMapError::Protocol(_))));
     }
 }

@@ -1,0 +1,386 @@
+//! The Taint Map deployment handle: N shards, optional standbys, one
+//! builder.
+//!
+//! [`TaintMapEndpoint`] replaces the old constellation of
+//! `TaintMapServer::spawn{,_with,_with_backend}` and
+//! `TaintMapClient::connect{,_with_failover}` entry points with one
+//! builder that owns the whole topology decision:
+//!
+//! ```rust
+//! use dista_simnet::SimNet;
+//! use dista_taint::{LocalId, TagValue, TaintStore};
+//! use dista_taintmap::TaintMapEndpoint;
+//!
+//! let net = SimNet::new();
+//! let endpoint = TaintMapEndpoint::builder()
+//!     .shards(4)
+//!     .standby(true)
+//!     .connect(&net)?;
+//!
+//! let store = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+//! let client = endpoint.client(&net, store.clone())?;
+//! let taint = store.mint_source_taint(TagValue::str("t"));
+//! let gid = client.global_id_for(taint)?;
+//! assert_eq!(client.taint_for(gid)?, taint);
+//! endpoint.shutdown();
+//! # Ok::<(), dista_taintmap::TaintMapError>(())
+//! ```
+//!
+//! Clients never see the shard layout: they receive a
+//! [`TaintMapTopology`] (from [`TaintMapEndpoint::topology`]) and route
+//! registrations by taint-byte hash and lookups by id residue, both of
+//! which are deterministic across every VM in the cluster.
+
+use std::sync::Arc;
+
+use dista_simnet::{NodeAddr, SimNet};
+use dista_taint::TaintStore;
+
+use crate::backend::{InMemoryBackend, TaintMapBackend};
+use crate::client::TaintMapClient;
+use crate::error::TaintMapError;
+use crate::server::{ServerStats, TaintMapConfig, TaintMapServer};
+use crate::shard::{ShardSpec, TaintMapTopology};
+
+/// Per-shard backend factory: shard index → storage.
+type BackendFactory = dyn Fn(usize) -> Arc<dyn TaintMapBackend> + Send + Sync;
+
+/// Builder for a [`TaintMapEndpoint`]; see the module docs for an
+/// example.
+pub struct TaintMapEndpointBuilder {
+    shards: usize,
+    base_addr: NodeAddr,
+    config: TaintMapConfig,
+    standby: bool,
+    backend: Option<Box<BackendFactory>>,
+}
+
+impl std::fmt::Debug for TaintMapEndpointBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaintMapEndpointBuilder")
+            .field("shards", &self.shards)
+            .field("base_addr", &self.base_addr)
+            .field("standby", &self.standby)
+            .finish()
+    }
+}
+
+impl Default for TaintMapEndpointBuilder {
+    fn default() -> Self {
+        TaintMapEndpointBuilder {
+            shards: 1,
+            base_addr: NodeAddr::new([10, 0, 0, 99], 7777),
+            config: TaintMapConfig::default(),
+            standby: false,
+            backend: None,
+        }
+    }
+}
+
+impl TaintMapEndpointBuilder {
+    /// Number of shards the Global ID namespace is partitioned across
+    /// (default 1 — the paper's single service).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "a taint map needs at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Base service address. Shard `i` binds its primary at
+    /// `port + 2*i` and its standby (if enabled) at `port + 2*i + 1`,
+    /// all on the same host (default `10.0.0.99:7777`).
+    pub fn addr(mut self, base: NodeAddr) -> Self {
+        self.base_addr = base;
+        self
+    }
+
+    /// Applies service tuning (throttle ablations) to every shard.
+    pub fn config(mut self, config: TaintMapConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Spawns a standby per shard, wired for replication; clients fail
+    /// over to it if the shard primary dies (§IV).
+    pub fn standby(mut self, enabled: bool) -> Self {
+        self.standby = enabled;
+        self
+    }
+
+    /// Installs a per-shard storage backend factory (shard index →
+    /// backend). The default is a fresh [`InMemoryBackend`] per
+    /// instance. Each call must return a *distinct* store: shards (and a
+    /// shard's primary/standby pair) must not share state through the
+    /// backend.
+    pub fn backend<F>(mut self, factory: F) -> Self
+    where
+        F: Fn(usize) -> Arc<dyn TaintMapBackend> + Send + Sync + 'static,
+    {
+        self.backend = Some(Box::new(factory));
+        self
+    }
+
+    /// Stands the deployment up on `net`: spawns every shard primary
+    /// (and standby, when enabled), wires replication, and returns the
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if any shard address is already bound.
+    pub fn connect(self, net: &SimNet) -> Result<TaintMapEndpoint, TaintMapError> {
+        let make_backend = |shard: usize| -> Arc<dyn TaintMapBackend> {
+            match &self.backend {
+                Some(factory) => factory(shard),
+                None => Arc::new(InMemoryBackend::new()),
+            }
+        };
+        let mut shards = Vec::with_capacity(self.shards);
+        for i in 0..self.shards {
+            let spec = ShardSpec {
+                index: i as u32,
+                count: self.shards as u32,
+            };
+            let primary_addr =
+                NodeAddr::new(self.base_addr.ip(), self.base_addr.port() + 2 * i as u16);
+            let primary =
+                TaintMapServer::launch(net, primary_addr, self.config, make_backend(i), spec)?;
+            let standby = if self.standby {
+                let standby_addr = NodeAddr::new(
+                    self.base_addr.ip(),
+                    self.base_addr.port() + 2 * i as u16 + 1,
+                );
+                let standby =
+                    TaintMapServer::launch(net, standby_addr, self.config, make_backend(i), spec)?;
+                primary.replicate_to(standby.addr())?;
+                Some(standby)
+            } else {
+                None
+            };
+            shards.push(Shard { primary, standby });
+        }
+        Ok(TaintMapEndpoint { shards })
+    }
+}
+
+struct Shard {
+    primary: TaintMapServer,
+    standby: Option<TaintMapServer>,
+}
+
+/// Handle to a running Taint Map deployment (all shards and standbys).
+///
+/// Dropping the handle shuts every instance down; [`TaintMapEndpoint::shutdown`]
+/// does so explicitly.
+pub struct TaintMapEndpoint {
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for TaintMapEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaintMapEndpoint")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl TaintMapEndpoint {
+    /// Starts building a deployment.
+    pub fn builder() -> TaintMapEndpointBuilder {
+        TaintMapEndpointBuilder::default()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard layout clients connect with. Cheap to clone and pass to
+    /// every VM builder.
+    pub fn topology(&self) -> TaintMapTopology {
+        TaintMapTopology::new(
+            self.shards
+                .iter()
+                .map(|s| {
+                    let mut addrs = vec![s.primary.addr()];
+                    if let Some(standby) = &s.standby {
+                        addrs.push(standby.addr());
+                    }
+                    addrs
+                })
+                .collect(),
+        )
+    }
+
+    /// Connects a client for `store` (a convenience over
+    /// [`TaintMapClient::connect_topology`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if some shard is unreachable.
+    pub fn client(&self, net: &SimNet, store: TaintStore) -> Result<TaintMapClient, TaintMapError> {
+        TaintMapClient::connect_topology(net, self.topology(), store)
+    }
+
+    /// The primary service address — only meaningful for single-shard
+    /// deployments, where it is what `TaintMapServer::addr` used to
+    /// return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment has more than one shard (use
+    /// [`TaintMapEndpoint::topology`] instead).
+    pub fn addr(&self) -> NodeAddr {
+        assert!(
+            self.shards.len() == 1,
+            "addr() is single-shard only; use topology()"
+        );
+        self.shards[0].primary.addr()
+    }
+
+    /// The shard-`i` primary server handle (census counters, manual
+    /// replication wiring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn shard(&self, i: usize) -> &TaintMapServer {
+        &self.shards[i].primary
+    }
+
+    /// The shard-`i` standby handle, if standbys were enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn standby(&self, i: usize) -> Option<&TaintMapServer> {
+        self.shards[i].standby.as_ref()
+    }
+
+    /// Kills the shard-`i` primary (severing all of its connections),
+    /// leaving the standby — failover drills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn kill_primary(&mut self, i: usize) {
+        let standby = self.shards[i].standby.take();
+        let shard = std::mem::replace(
+            &mut self.shards[i],
+            Shard {
+                primary: match standby {
+                    Some(s) => s,
+                    None => panic!("kill_primary without a standby leaves shard {i} unservable"),
+                },
+                standby: None,
+            },
+        );
+        shard.primary.shutdown();
+    }
+
+    /// Census counters summed across every shard primary.
+    pub fn stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for shard in &self.shards {
+            let s = shard.primary.stats();
+            total.global_taints += s.global_taints;
+            total.register_requests += s.register_requests;
+            total.lookup_requests += s.lookup_requests;
+            total.batch_frames += s.batch_frames;
+        }
+        total
+    }
+
+    /// Stops every shard (primaries and standbys).
+    pub fn shutdown(self) {
+        for shard in self.shards {
+            shard.primary.shutdown();
+            if let Some(standby) = shard.standby {
+                standby.shutdown();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dista_taint::{LocalId, TagValue};
+
+    #[test]
+    fn builder_defaults_match_the_old_single_server() {
+        let net = SimNet::new();
+        let endpoint = TaintMapEndpoint::builder().connect(&net).unwrap();
+        assert_eq!(endpoint.shard_count(), 1);
+        assert_eq!(endpoint.addr(), NodeAddr::new([10, 0, 0, 99], 7777));
+        assert_eq!(endpoint.topology().shard_addrs(0).len(), 1);
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn sharded_deployment_binds_distinct_addresses() {
+        let net = SimNet::new();
+        let endpoint = TaintMapEndpoint::builder()
+            .shards(3)
+            .standby(true)
+            .connect(&net)
+            .unwrap();
+        let topology = endpoint.topology();
+        let mut all: Vec<NodeAddr> = (0..3)
+            .flat_map(|i| topology.shard_addrs(i).to_vec())
+            .collect();
+        assert_eq!(all.len(), 6, "3 primaries + 3 standbys");
+        all.dedup();
+        all.sort_by_key(|a| (a.ip(), a.port()));
+        all.dedup();
+        assert_eq!(all.len(), 6, "no address reuse");
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn cross_shard_register_and_lookup_roundtrip() {
+        let net = SimNet::new();
+        let endpoint = TaintMapEndpoint::builder().shards(4).connect(&net).unwrap();
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client1 = endpoint.client(&net, store1.clone()).unwrap();
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
+
+        let mut gids = Vec::new();
+        for i in 0..32 {
+            let t = store1.mint_source_taint(TagValue::Int(i));
+            gids.push((i, client1.global_id_for(t).unwrap()));
+        }
+        for (i, gid) in gids {
+            let t = client2.taint_for(gid).unwrap();
+            assert_eq!(store2.tag_values(t), vec![i.to_string()]);
+        }
+        assert_eq!(endpoint.stats().global_taints, 32);
+        // With 32 distinct taints and FNV routing, more than one shard
+        // must have taken registrations.
+        let loaded = (0..4)
+            .filter(|&i| endpoint.shard(i).stats().global_taints > 0)
+            .count();
+        assert!(loaded > 1, "hash routing should spread load across shards");
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn kill_primary_promotes_the_standby_in_the_handle() {
+        let net = SimNet::new();
+        let mut endpoint = TaintMapEndpoint::builder()
+            .shards(2)
+            .standby(true)
+            .connect(&net)
+            .unwrap();
+        let standby_addr = endpoint.standby(0).unwrap().addr();
+        endpoint.kill_primary(0);
+        assert_eq!(endpoint.shard(0).addr(), standby_addr);
+        assert!(endpoint.standby(0).is_none());
+        endpoint.shutdown();
+    }
+}

@@ -15,33 +15,46 @@
 //!    off. Fixed-width Global IDs make the receiver-side enlargement
 //!    deterministic.
 //!
-//! [`TaintMapServer`] runs the service as its own node on a
-//! [`dista_simnet::SimNet`]; [`TaintMapClient`] is the per-VM handle with
-//! both caches (taint→ID so an ID is requested once, ID→taint so a fetch
-//! happens once — the paper's step ② note about `b2`).
+//! The paper's single-server map is a scalability bottleneck (§III-D), so
+//! this crate deploys the service as a set of **shards** behind one
+//! [`TaintMapEndpoint`]: the Global ID namespace is statically
+//! partitioned (shard `i` of `n` assigns ids `i+1, i+1+n, …`), so shards
+//! never coordinate, and clients route by a stable hash of the
+//! serialized taint. The wire protocol is **batched** — all distinct
+//! taints of a shadow buffer register or resolve in one round trip per
+//! shard — and the [`TaintMapClient`] pipelines multi-shard batches over
+//! kept-open connections. Each shard keeps the paper's §IV
+//! primary/standby replication independently.
 //!
 //! # Example
 //!
 //! ```rust
-//! use dista_simnet::{SimNet, NodeAddr};
+//! use dista_simnet::SimNet;
 //! use dista_taint::{TaintStore, LocalId, TagValue};
-//! use dista_taintmap::{TaintMapServer, TaintMapClient};
+//! use dista_taintmap::TaintMapEndpoint;
 //!
 //! let net = SimNet::new();
-//! let server = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777))?;
+//! // Four shards, each with a warm standby.
+//! let endpoint = TaintMapEndpoint::builder()
+//!     .shards(4)
+//!     .standby(true)
+//!     .connect(&net)?;
 //!
-//! // Node 1 registers a taint and gets a Global ID...
+//! // Node 1 registers taints (batched) and gets Global IDs...
 //! let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
-//! let client1 = TaintMapClient::connect(&net, server.addr(), store1.clone())?;
-//! let t1 = store1.mint_source_taint(TagValue::str("t1"));
-//! let gid = client1.global_id_for(t1)?;
+//! let client1 = endpoint.client(&net, store1.clone())?;
+//! let taints = vec![
+//!     store1.mint_source_taint(TagValue::str("t1")),
+//!     store1.mint_source_taint(TagValue::str("t2")),
+//! ];
+//! let gids = client1.global_ids_for(&taints)?;
 //!
-//! // ...Node 2 resolves the ID back into its own tree.
+//! // ...Node 2 resolves the IDs back into its own tree.
 //! let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
-//! let client2 = TaintMapClient::connect(&net, server.addr(), store2.clone())?;
-//! let t2 = client2.taint_for(gid)?;
-//! assert_eq!(store2.tag_values(t2), vec!["t1".to_string()]);
-//! server.shutdown();
+//! let client2 = endpoint.client(&net, store2.clone())?;
+//! let resolved = client2.taints_for(&gids)?;
+//! assert_eq!(store2.tag_values(resolved[0]), vec!["t1".to_string()]);
+//! endpoint.shutdown();
 //! # Ok::<(), dista_taintmap::TaintMapError>(())
 //! ```
 
@@ -50,11 +63,15 @@
 
 mod backend;
 mod client;
+mod endpoint;
 mod error;
 mod proto;
 mod server;
+mod shard;
 
 pub use backend::{InMemoryBackend, TaintMapBackend};
 pub use client::{ClientStats, TaintMapClient};
+pub use endpoint::{TaintMapEndpoint, TaintMapEndpointBuilder};
 pub use error::TaintMapError;
 pub use server::{ServerStats, TaintMapConfig, TaintMapServer};
+pub use shard::{ShardSpec, TaintMapTopology};

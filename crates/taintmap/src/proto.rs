@@ -2,8 +2,24 @@
 //!
 //! Frame layout (both directions): `op: u8`, `len: u32 BE`, `len` payload
 //! bytes. Requests: `REGISTER` carries a serialized taint, `LOOKUP`
-//! carries a 4-byte Global ID. Responses: `OK` carries the result
-//! payload, `ERR` carries a one-byte reason.
+//! carries a 4-byte Global ID; `REGISTER_BATCH` / `LOOKUP_BATCH` carry
+//! many of either so a whole shadow buffer resolves in one round trip.
+//! Responses: `OK` carries the result payload, `ERR` carries a one-byte
+//! reason.
+//!
+//! Batch payload layouts (all integers big-endian):
+//!
+//! ```text
+//! REGISTER_BATCH  req:  u32 count, then count × (u32 len, len bytes)
+//!                 resp: u32 count, then count × u32 gid
+//! LOOKUP_BATCH    req:  u32 count, then count × u32 gid
+//!                 resp: u32 count, then count × (u8 status,
+//!                       if status == 0: u32 len, len bytes)
+//! ```
+//!
+//! The per-request service throttle is charged once per *frame*, so a
+//! batch amortizes the fixed RPC cost over all its items — the point of
+//! the batched protocol.
 
 use dista_simnet::{NetError, TcpEndpoint};
 
@@ -13,10 +29,15 @@ pub(crate) const OP_REGISTER: u8 = 1;
 pub(crate) const OP_LOOKUP: u8 = 2;
 pub(crate) const OP_SHUTDOWN: u8 = 3;
 pub(crate) const OP_REPLICATE: u8 = 4;
+pub(crate) const OP_REGISTER_BATCH: u8 = 5;
+pub(crate) const OP_LOOKUP_BATCH: u8 = 6;
 pub(crate) const RESP_OK: u8 = 0x80;
 pub(crate) const RESP_ERR: u8 = 0x81;
 
 pub(crate) const ERR_UNKNOWN_GID: u8 = 1;
+
+pub(crate) const STATUS_OK: u8 = 0;
+pub(crate) const STATUS_UNKNOWN: u8 = 1;
 
 /// Writes one frame.
 pub(crate) fn write_frame(conn: &TcpEndpoint, op: u8, payload: &[u8]) -> Result<(), NetError> {
@@ -40,6 +61,120 @@ pub(crate) fn read_frame(conn: &TcpEndpoint) -> Result<Option<(u8, Vec<u8>)>, Ta
     let mut payload = vec![0u8; len];
     conn.read_exact(&mut payload)?;
     Ok(Some((op, payload)))
+}
+
+/// Incremental big-endian reader over a batch payload.
+pub(crate) struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, TaintMapError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(TaintMapError::Protocol("truncated batch payload"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, TaintMapError> {
+        let end = self.pos + 4;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(TaintMapError::Protocol("truncated batch payload"))?;
+        self.pos = end;
+        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    pub(crate) fn bytes(&mut self, len: usize) -> Result<&'a [u8], TaintMapError> {
+        let end = self.pos + len;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(TaintMapError::Protocol("truncated batch payload"))?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Encodes a `REGISTER_BATCH` request payload.
+pub(crate) fn encode_register_batch(items: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + items.iter().map(|i| 4 + i.len()).sum::<usize>());
+    out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+    for item in items {
+        out.extend_from_slice(&(item.len() as u32).to_be_bytes());
+        out.extend_from_slice(item);
+    }
+    out
+}
+
+/// Encodes a `LOOKUP_BATCH` request payload.
+pub(crate) fn encode_lookup_batch(gids: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 4 * gids.len());
+    out.extend_from_slice(&(gids.len() as u32).to_be_bytes());
+    for gid in gids {
+        out.extend_from_slice(&gid.to_be_bytes());
+    }
+    out
+}
+
+/// Decodes a `REGISTER_BATCH` response payload into Global IDs.
+pub(crate) fn decode_register_batch_resp(
+    payload: &[u8],
+    expected: usize,
+) -> Result<Vec<u32>, TaintMapError> {
+    let mut r = PayloadReader::new(payload);
+    let count = r.u32()? as usize;
+    if count != expected {
+        return Err(TaintMapError::Protocol("register batch count mismatch"));
+    }
+    let mut gids = Vec::with_capacity(count);
+    for _ in 0..count {
+        gids.push(r.u32()?);
+    }
+    if !r.at_end() {
+        return Err(TaintMapError::Protocol("trailing bytes in batch response"));
+    }
+    Ok(gids)
+}
+
+/// Decodes a `LOOKUP_BATCH` response payload; `None` marks an id the
+/// service never assigned.
+pub(crate) fn decode_lookup_batch_resp(
+    payload: &[u8],
+    expected: usize,
+) -> Result<Vec<Option<Vec<u8>>>, TaintMapError> {
+    let mut r = PayloadReader::new(payload);
+    let count = r.u32()? as usize;
+    if count != expected {
+        return Err(TaintMapError::Protocol("lookup batch count mismatch"));
+    }
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        match r.u8()? {
+            STATUS_OK => {
+                let len = r.u32()? as usize;
+                items.push(Some(r.bytes(len)?.to_vec()));
+            }
+            STATUS_UNKNOWN => items.push(None),
+            _ => return Err(TaintMapError::Protocol("bad lookup batch status")),
+        }
+    }
+    if !r.at_end() {
+        return Err(TaintMapError::Protocol("trailing bytes in batch response"));
+    }
+    Ok(items)
 }
 
 #[cfg(test)]
@@ -88,5 +223,50 @@ mod tests {
         c.write(&[OP_LOOKUP]).unwrap();
         c.close();
         assert!(read_frame(&s).is_err());
+    }
+
+    #[test]
+    fn register_batch_payload_roundtrip() {
+        let items = vec![b"alpha".to_vec(), Vec::new(), b"b".to_vec()];
+        let payload = encode_register_batch(&items);
+        let mut r = PayloadReader::new(&payload);
+        assert_eq!(r.u32().unwrap(), 3);
+        for item in &items {
+            let len = r.u32().unwrap() as usize;
+            assert_eq!(r.bytes(len).unwrap(), &item[..]);
+        }
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn lookup_batch_payload_roundtrip() {
+        let payload = encode_lookup_batch(&[7, 0, 42]);
+        let mut r = PayloadReader::new(&payload);
+        assert_eq!(r.u32().unwrap(), 3);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0);
+        assert_eq!(r.u32().unwrap(), 42);
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn batch_resp_decoders_reject_mismatch_and_truncation() {
+        let gids = decode_register_batch_resp(
+            &[
+                &2u32.to_be_bytes()[..],
+                &5u32.to_be_bytes()[..],
+                &9u32.to_be_bytes()[..],
+            ]
+            .concat(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(gids, vec![5, 9]);
+        assert!(decode_register_batch_resp(&2u32.to_be_bytes(), 3).is_err());
+        assert!(decode_register_batch_resp(&[0, 0], 0).is_err());
+        assert!(decode_lookup_batch_resp(&1u32.to_be_bytes(), 1).is_err());
+        let mut ok = 1u32.to_be_bytes().to_vec();
+        ok.push(STATUS_UNKNOWN);
+        assert_eq!(decode_lookup_batch_resp(&ok, 1).unwrap(), vec![None]);
     }
 }

@@ -1,4 +1,11 @@
-//! The Taint Map server process.
+//! The Taint Map server process — one *shard* of the service.
+//!
+//! A [`TaintMapServer`] owns one slice of the statically partitioned
+//! Global ID namespace (see [`ShardSpec`]): its backend assigns dense
+//! local ids and the server stretches them onto the shard's arithmetic
+//! progression, so shards never coordinate on registration. Deployments
+//! are normally stood up through [`crate::TaintMapEndpoint`]; the
+//! constructors here remain as deprecated single-shard shims.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -11,15 +18,19 @@ use parking_lot::Mutex;
 use crate::backend::{InMemoryBackend, TaintMapBackend};
 use crate::error::TaintMapError;
 use crate::proto::{
-    read_frame, write_frame, ERR_UNKNOWN_GID, OP_LOOKUP, OP_REGISTER, OP_REPLICATE, OP_SHUTDOWN,
-    RESP_ERR, RESP_OK,
+    read_frame, write_frame, PayloadReader, ERR_UNKNOWN_GID, OP_LOOKUP, OP_LOOKUP_BATCH,
+    OP_REGISTER, OP_REGISTER_BATCH, OP_REPLICATE, OP_SHUTDOWN, RESP_ERR, RESP_OK, STATUS_OK,
+    STATUS_UNKNOWN,
 };
+use crate::shard::ShardSpec;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TaintMapConfig {
     /// Artificial per-request service time, used by the bottleneck
-    /// ablation (`bench/taintmap_throughput`). Zero = no throttle.
+    /// ablation (`bench/taintmap_throughput`). Zero = no throttle. The
+    /// delay is charged once per *frame*, so a batch request pays it
+    /// once however many items it carries.
     pub service_delay: Duration,
 }
 
@@ -28,16 +39,21 @@ pub struct TaintMapConfig {
 pub struct ServerStats {
     /// Distinct global taints registered.
     pub global_taints: u64,
-    /// Register requests served (including duplicates).
+    /// Register requests served (counting batch items individually,
+    /// including duplicates).
     pub register_requests: u64,
-    /// Lookup requests served.
+    /// Lookup requests served (counting batch items individually).
     pub lookup_requests: u64,
+    /// Batch frames served (either direction).
+    pub batch_frames: u64,
 }
 
 struct ServerShared {
     backend: Arc<dyn TaintMapBackend>,
+    shard: ShardSpec,
     registers: AtomicU64,
     lookups: AtomicU64,
+    batch_frames: AtomicU64,
     running: AtomicBool,
     config: TaintMapConfig,
     /// Connection to a standby replica, if configured (§IV: "adding a
@@ -48,7 +64,31 @@ struct ServerShared {
     live_conns: Mutex<Vec<TcpEndpoint>>,
 }
 
-/// Handle to a running Taint Map service.
+impl ServerShared {
+    /// Registers one serialized taint, replicating if it is new, and
+    /// returns its Global ID (already mapped into this shard's slice of
+    /// the namespace).
+    fn register_one(&self, serialized: &[u8]) -> u32 {
+        self.registers.fetch_add(1, Ordering::Relaxed);
+        let before = self.backend.len();
+        let gid = self
+            .shard
+            .global_of_local(self.backend.register(serialized));
+        if self.backend.len() > before {
+            replicate(self, gid, serialized);
+        }
+        gid
+    }
+
+    /// Resolves one Global ID; `None` if it was never assigned or does
+    /// not belong to this shard.
+    fn lookup_one(&self, gid: u32) -> Option<Vec<u8>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.backend.lookup(self.shard.local_of_global(gid)?)
+    }
+}
+
+/// Handle to a running Taint Map service shard.
 ///
 /// The service accepts connections on its own thread and serves each
 /// connection on a worker thread, mirroring "an independent process which
@@ -66,6 +106,7 @@ impl std::fmt::Debug for TaintMapServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaintMapServer")
             .field("addr", &self.addr)
+            .field("shard", &self.shared.shard)
             .field("stats", &self.stats())
             .finish()
     }
@@ -78,8 +119,15 @@ impl TaintMapServer {
     /// # Errors
     ///
     /// [`TaintMapError::Net`] if the address is already bound.
+    #[deprecated(note = "use `TaintMapEndpoint::builder().addr(..).connect(net)` instead")]
     pub fn spawn(net: &SimNet, addr: NodeAddr) -> Result<Self, TaintMapError> {
-        Self::spawn_with(net, addr, TaintMapConfig::default())
+        Self::launch(
+            net,
+            addr,
+            TaintMapConfig::default(),
+            Arc::new(InMemoryBackend::new()),
+            ShardSpec::default(),
+        )
     }
 
     /// Starts the service with explicit configuration.
@@ -87,12 +135,19 @@ impl TaintMapServer {
     /// # Errors
     ///
     /// [`TaintMapError::Net`] if the address is already bound.
+    #[deprecated(note = "use `TaintMapEndpoint::builder().config(..).connect(net)` instead")]
     pub fn spawn_with(
         net: &SimNet,
         addr: NodeAddr,
         config: TaintMapConfig,
     ) -> Result<Self, TaintMapError> {
-        Self::spawn_with_backend(net, addr, config, Arc::new(InMemoryBackend::new()))
+        Self::launch(
+            net,
+            addr,
+            config,
+            Arc::new(InMemoryBackend::new()),
+            ShardSpec::default(),
+        )
     }
 
     /// Starts the service on a custom storage backend (e.g. the
@@ -101,17 +156,33 @@ impl TaintMapServer {
     /// # Errors
     ///
     /// [`TaintMapError::Net`] if the address is already bound.
+    #[deprecated(note = "use `TaintMapEndpoint::builder().backend(..).connect(net)` instead")]
     pub fn spawn_with_backend(
         net: &SimNet,
         addr: NodeAddr,
         config: TaintMapConfig,
         backend: Arc<dyn TaintMapBackend>,
     ) -> Result<Self, TaintMapError> {
+        Self::launch(net, addr, config, backend, ShardSpec::default())
+    }
+
+    /// Starts one shard of the service. The endpoint builder is the
+    /// public face of this; it picks addresses and shard specs so the id
+    /// namespaces can never overlap.
+    pub(crate) fn launch(
+        net: &SimNet,
+        addr: NodeAddr,
+        config: TaintMapConfig,
+        backend: Arc<dyn TaintMapBackend>,
+        shard: ShardSpec,
+    ) -> Result<Self, TaintMapError> {
         let listener = net.tcp_listen(addr)?;
         let shared = Arc::new(ServerShared {
             backend,
+            shard,
             registers: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
+            batch_frames: AtomicU64::new(0),
             running: AtomicBool::new(true),
             config,
             standby: Mutex::new(None),
@@ -160,12 +231,18 @@ impl TaintMapServer {
         self.addr
     }
 
+    /// This server's slice of the Global ID namespace.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.shared.shard
+    }
+
     /// Snapshot of the census counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
             global_taints: self.shared.backend.len(),
             register_requests: self.shared.registers.load(Ordering::Relaxed),
             lookup_requests: self.shared.lookups.load(Ordering::Relaxed),
+            batch_frames: self.shared.batch_frames.load(Ordering::Relaxed),
         }
     }
 
@@ -209,26 +286,41 @@ fn serve_connection(conn: TcpEndpoint, shared: Arc<ServerShared>) {
         }
         let result = match frame {
             (OP_REGISTER, serialized) => {
-                shared.registers.fetch_add(1, Ordering::Relaxed);
-                let before = shared.backend.len();
-                let id = shared.backend.register(&serialized);
-                if shared.backend.len() > before {
-                    replicate(&shared, id, &serialized);
-                }
-                write_frame(&conn, RESP_OK, &id.to_be_bytes())
+                let gid = shared.register_one(&serialized);
+                write_frame(&conn, RESP_OK, &gid.to_be_bytes())
             }
             (OP_LOOKUP, payload) if payload.len() == 4 => {
-                shared.lookups.fetch_add(1, Ordering::Relaxed);
                 let id = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
-                match shared.backend.lookup(id).filter(|_| id != 0) {
+                match shared.lookup_one(id) {
                     Some(bytes) => write_frame(&conn, RESP_OK, &bytes),
                     None => write_frame(&conn, RESP_ERR, &[ERR_UNKNOWN_GID]),
                 }
             }
+            (OP_REGISTER_BATCH, payload) => {
+                shared.batch_frames.fetch_add(1, Ordering::Relaxed);
+                match serve_register_batch(&shared, &payload) {
+                    Some(resp) => write_frame(&conn, RESP_OK, &resp),
+                    None => write_frame(&conn, RESP_ERR, &[0xFF]),
+                }
+            }
+            (OP_LOOKUP_BATCH, payload) => {
+                shared.batch_frames.fetch_add(1, Ordering::Relaxed);
+                match serve_lookup_batch(&shared, &payload) {
+                    Some(resp) => write_frame(&conn, RESP_OK, &resp),
+                    None => write_frame(&conn, RESP_ERR, &[0xFF]),
+                }
+            }
             (OP_REPLICATE, payload) if payload.len() >= 4 => {
-                let id = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
-                shared.backend.insert_replicated(id, &payload[4..]);
-                write_frame(&conn, RESP_OK, &[])
+                let gid = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                // The primary replicates global ids; map back into the
+                // backend's dense local space (same shard spec).
+                match shared.shard.local_of_global(gid) {
+                    Some(local) => {
+                        shared.backend.insert_replicated(local, &payload[4..]);
+                        write_frame(&conn, RESP_OK, &[])
+                    }
+                    None => write_frame(&conn, RESP_ERR, &[0xFF]),
+                }
             }
             (OP_SHUTDOWN, _) => return,
             _ => write_frame(&conn, RESP_ERR, &[0xFF]),
@@ -239,11 +331,43 @@ fn serve_connection(conn: TcpEndpoint, shared: Arc<ServerShared>) {
     }
 }
 
-fn replicate(shared: &ServerShared, id: u32, serialized: &[u8]) {
+fn serve_register_batch(shared: &ServerShared, payload: &[u8]) -> Option<Vec<u8>> {
+    let mut r = PayloadReader::new(payload);
+    let count = r.u32().ok()? as usize;
+    let mut resp = Vec::with_capacity(4 + 4 * count);
+    resp.extend_from_slice(&(count as u32).to_be_bytes());
+    for _ in 0..count {
+        let len = r.u32().ok()? as usize;
+        let serialized = r.bytes(len).ok()?;
+        resp.extend_from_slice(&shared.register_one(serialized).to_be_bytes());
+    }
+    r.at_end().then_some(resp)
+}
+
+fn serve_lookup_batch(shared: &ServerShared, payload: &[u8]) -> Option<Vec<u8>> {
+    let mut r = PayloadReader::new(payload);
+    let count = r.u32().ok()? as usize;
+    let mut resp = Vec::with_capacity(4 + 5 * count);
+    resp.extend_from_slice(&(count as u32).to_be_bytes());
+    for _ in 0..count {
+        let gid = r.u32().ok()?;
+        match shared.lookup_one(gid).filter(|_| gid != 0) {
+            Some(bytes) => {
+                resp.push(STATUS_OK);
+                resp.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                resp.extend_from_slice(&bytes);
+            }
+            None => resp.push(STATUS_UNKNOWN),
+        }
+    }
+    r.at_end().then_some(resp)
+}
+
+fn replicate(shared: &ServerShared, gid: u32, serialized: &[u8]) {
     let mut guard = shared.standby.lock();
     let Some(conn) = guard.as_ref() else { return };
     let mut payload = Vec::with_capacity(4 + serialized.len());
-    payload.extend_from_slice(&id.to_be_bytes());
+    payload.extend_from_slice(&gid.to_be_bytes());
     payload.extend_from_slice(serialized);
     let healthy = write_frame(conn, OP_REPLICATE, &payload).is_ok()
         && matches!(read_frame(conn), Ok(Some((RESP_OK, _))));
@@ -256,11 +380,24 @@ fn replicate(shared: &ServerShared, id: u32, serialized: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::{read_frame as rf, write_frame as wf};
+    use crate::proto::{
+        encode_lookup_batch, encode_register_batch, read_frame as rf, write_frame as wf,
+    };
+
+    fn launch(net: &SimNet, addr: NodeAddr) -> TaintMapServer {
+        TaintMapServer::launch(
+            net,
+            addr,
+            TaintMapConfig::default(),
+            Arc::new(InMemoryBackend::new()),
+            ShardSpec::default(),
+        )
+        .unwrap()
+    }
 
     fn setup() -> (SimNet, TaintMapServer) {
         let net = SimNet::new();
-        let server = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
+        let server = launch(&net, NodeAddr::new([10, 0, 0, 99], 7777));
         (net, server)
     }
 
@@ -322,6 +459,82 @@ mod tests {
     }
 
     #[test]
+    fn register_batch_dedups_and_counts_items() {
+        let (net, server) = setup();
+        let conn = net.tcp_connect(server.addr()).unwrap();
+        let items = vec![b"a".to_vec(), b"b".to_vec(), b"a".to_vec()];
+        wf(&conn, OP_REGISTER_BATCH, &encode_register_batch(&items)).unwrap();
+        let (op, resp) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_OK);
+        let gids = crate::proto::decode_register_batch_resp(&resp, 3).unwrap();
+        assert_eq!(gids[0], gids[2], "duplicate item in one batch dedups");
+        assert_ne!(gids[0], gids[1]);
+        let stats = server.stats();
+        assert_eq!(stats.global_taints, 2);
+        assert_eq!(stats.register_requests, 3, "items counted individually");
+        assert_eq!(stats.batch_frames, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn lookup_batch_reports_unknown_ids_per_item() {
+        let (net, server) = setup();
+        let conn = net.tcp_connect(server.addr()).unwrap();
+        wf(
+            &conn,
+            OP_REGISTER_BATCH,
+            &encode_register_batch(&[b"x".to_vec()]),
+        )
+        .unwrap();
+        let (_, resp) = rf(&conn).unwrap().unwrap();
+        let gid = crate::proto::decode_register_batch_resp(&resp, 1).unwrap()[0];
+        wf(&conn, OP_LOOKUP_BATCH, &encode_lookup_batch(&[gid, 999, 0])).unwrap();
+        let (op, resp) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_OK);
+        let items = crate::proto::decode_lookup_batch_resp(&resp, 3).unwrap();
+        assert_eq!(items[0].as_deref(), Some(b"x".as_ref()));
+        assert_eq!(items[1], None);
+        assert_eq!(items[2], None, "gid 0 is reserved");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_batch_is_an_error_response() {
+        let (net, server) = setup();
+        let conn = net.tcp_connect(server.addr()).unwrap();
+        // Claims 2 items but carries none.
+        wf(&conn, OP_REGISTER_BATCH, &2u32.to_be_bytes()).unwrap();
+        let (op, _) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_ERR);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharded_server_assigns_only_its_own_ids() {
+        let net = SimNet::new();
+        let server = TaintMapServer::launch(
+            &net,
+            NodeAddr::new([10, 0, 0, 99], 7777),
+            TaintMapConfig::default(),
+            Arc::new(InMemoryBackend::new()),
+            ShardSpec { index: 2, count: 4 },
+        )
+        .unwrap();
+        let conn = net.tcp_connect(server.addr()).unwrap();
+        wf(&conn, OP_REGISTER, b"first").unwrap();
+        let (_, id) = rf(&conn).unwrap().unwrap();
+        assert_eq!(id, 3u32.to_be_bytes(), "shard 2 of 4 starts at gid 3");
+        wf(&conn, OP_REGISTER, b"second").unwrap();
+        let (_, id) = rf(&conn).unwrap().unwrap();
+        assert_eq!(id, 7u32.to_be_bytes(), "and strides by the shard count");
+        // A gid owned by another shard is unknown here.
+        wf(&conn, OP_LOOKUP, &4u32.to_be_bytes()).unwrap();
+        let (op, _) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_ERR);
+        server.shutdown();
+    }
+
+    #[test]
     fn serves_concurrent_connections() {
         let (net, server) = setup();
         let mut handles = Vec::new();
@@ -355,8 +568,8 @@ mod tests {
     #[test]
     fn replication_mirrors_new_taints_to_standby() {
         let net = SimNet::new();
-        let primary = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
-        let standby = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 98], 7777)).unwrap();
+        let primary = launch(&net, NodeAddr::new([10, 0, 0, 99], 7777));
+        let standby = launch(&net, NodeAddr::new([10, 0, 0, 98], 7777));
         primary.replicate_to(standby.addr()).unwrap();
 
         let conn = net.tcp_connect(primary.addr()).unwrap();
@@ -381,8 +594,8 @@ mod tests {
     #[test]
     fn dead_standby_does_not_stall_the_primary() {
         let net = SimNet::new();
-        let primary = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 99], 7777)).unwrap();
-        let standby = TaintMapServer::spawn(&net, NodeAddr::new([10, 0, 0, 98], 7777)).unwrap();
+        let primary = launch(&net, NodeAddr::new([10, 0, 0, 99], 7777));
+        let standby = launch(&net, NodeAddr::new([10, 0, 0, 98], 7777));
         primary.replicate_to(standby.addr()).unwrap();
         standby.shutdown();
         let conn = net.tcp_connect(primary.addr()).unwrap();

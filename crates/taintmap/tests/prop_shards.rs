@@ -1,0 +1,97 @@
+//! Property tests for the sharded Taint Map: whatever the shard count,
+//! Register→Lookup must stay a bijection on distinct taints, and the
+//! statically partitioned Global ID namespaces must never collide.
+
+use std::collections::{HashMap, HashSet};
+
+use dista_simnet::SimNet;
+use dista_taint::{LocalId, TagValue, Taint, TaintStore};
+use dista_taintmap::TaintMapEndpoint;
+use proptest::prelude::*;
+
+fn shards_and_taints() -> impl Strategy<Value = (usize, usize, bool)> {
+    (1usize..=6, 1usize..=48, any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Registering `n` distinct taints on a `k`-shard deployment hands
+    /// out `n` distinct ids; each id resolves back to exactly the taint
+    /// it was assigned to (from a different VM, so no cache shortcuts);
+    /// and re-registering the resolved taint returns the same id.
+    #[test]
+    fn register_lookup_is_a_bijection((shard_count, n, standby) in shards_and_taints()) {
+        let net = SimNet::new();
+        let endpoint = TaintMapEndpoint::builder()
+            .shards(shard_count)
+            .standby(standby)
+            .connect(&net)
+            .unwrap();
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client1 = endpoint.client(&net, store1.clone()).unwrap();
+
+        let taints: Vec<Taint> = (0..n as i64)
+            .map(|i| store1.mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = client1.global_ids_for(&taints).unwrap();
+
+        // Injective: distinct taints, distinct ids — and never id 0.
+        let unique: HashSet<u32> = gids.iter().map(|g| g.0).collect();
+        prop_assert_eq!(unique.len(), n, "duplicate global id handed out");
+        prop_assert!(!unique.contains(&0), "gid 0 is reserved for untainted");
+
+        // Surjective onto what was registered: every id resolves, from a
+        // VM with cold caches, to the taint it names.
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
+        let resolved = client2.taints_for(&gids).unwrap();
+        for (i, taint) in resolved.iter().enumerate() {
+            prop_assert_eq!(store2.tag_values(*taint), vec![i.to_string()]);
+        }
+
+        // Round trip: re-registering the resolved taints changes nothing.
+        let again = client2.global_ids_for(&resolved).unwrap();
+        prop_assert_eq!(&again, &gids, "re-register must dedup to the same ids");
+        prop_assert_eq!(endpoint.stats().global_taints, n as u64);
+        endpoint.shutdown();
+    }
+
+    /// Namespace partition: shard `i` of `k` only ever assigns ids with
+    /// residue `i` (gid ≡ i+1 mod k), the per-shard census counters sum
+    /// to the whole id population, and each residue class count matches
+    /// the owning shard's counter exactly — i.e. no two shards can ever
+    /// assign the same id.
+    #[test]
+    fn gid_namespaces_never_collide((shard_count, n, _standby) in shards_and_taints()) {
+        let net = SimNet::new();
+        let endpoint = TaintMapEndpoint::builder()
+            .shards(shard_count)
+            .connect(&net)
+            .unwrap();
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client1 = endpoint.client(&net, store1.clone()).unwrap();
+        let taints: Vec<Taint> = (0..n as i64)
+            .map(|i| store1.mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = client1.global_ids_for(&taints).unwrap();
+
+        let mut by_residue: HashMap<u32, u64> = HashMap::new();
+        for gid in &gids {
+            *by_residue.entry((gid.0 - 1) % shard_count as u32).or_default() += 1;
+        }
+        let mut total = 0;
+        for shard in 0..shard_count {
+            let owned = endpoint.shard(shard).stats().global_taints;
+            prop_assert_eq!(
+                by_residue.get(&(shard as u32)).copied().unwrap_or(0),
+                owned,
+                "shard {} assigned an id outside its residue class",
+                shard
+            );
+            total += owned;
+        }
+        prop_assert_eq!(total, n as u64);
+        endpoint.shutdown();
+    }
+}

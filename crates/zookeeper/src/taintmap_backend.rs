@@ -2,17 +2,23 @@
 //! can be replaced by other mature K-V store systems such as ZooKeeper
 //! and etcd to improve its performance").
 //!
-//! Global taints live in the ZooKeeper data tree:
+//! Global taints live in the ZooKeeper data tree under a configurable
+//! root (default `/dista/taintmap`):
 //!
 //! ```text
-//! /dista/taintmap/next          big-endian u32: last assigned id
-//! /dista/taintmap/id-<gid>      the serialized taint bytes
-//! /dista/taintmap/hash-<h>-<k>  dedup index: fnv64(bytes) (+probe) → gid
+//! <root>/next          big-endian u32: last assigned local id
+//! <root>/id-<id>       the serialized taint bytes
+//! <root>/hash-<h>-<k>  dedup index: fnv64(bytes) (+probe) → local id
 //! ```
 //!
 //! Because the state survives the Taint Map *process*, a restarted
 //! service keeps serving previously assigned Global IDs — the durability
 //! upgrade the paper gestures at.
+//!
+//! Backends store **shard-local dense ids** (the server maps them into
+//! the statically partitioned global namespace), so a sharded deployment
+//! simply gives every shard its own root — see
+//! [`ZkTaintMapBackend::connect_shard`].
 
 use dista_jre::Vm;
 use dista_simnet::NodeAddr;
@@ -22,7 +28,7 @@ use parking_lot::Mutex;
 
 use crate::server::{ZkClient, ZkError};
 
-const ROOT: &str = "/dista/taintmap";
+const DEFAULT_ROOT: &str = "/dista/taintmap";
 
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -36,25 +42,61 @@ fn fnv64(bytes: &[u8]) -> u64 {
 /// Taint Map storage living in a mini-ZooKeeper ensemble.
 pub struct ZkTaintMapBackend {
     zk: Mutex<ZkClient>,
+    root: String,
 }
 
 impl std::fmt::Debug for ZkTaintMapBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ZkTaintMapBackend").finish()
+        f.debug_struct("ZkTaintMapBackend")
+            .field("root", &self.root)
+            .finish()
     }
 }
 
 impl ZkTaintMapBackend {
-    /// Connects the backend to a ZooKeeper client port. The Taint Map
-    /// server process owns this session; all mutation goes through it.
+    /// Connects the backend to a ZooKeeper client port at the default
+    /// root. The Taint Map server process owns this session; all
+    /// mutation goes through it.
     ///
     /// # Errors
     ///
     /// ZooKeeper connection errors.
     pub fn connect(vm: &Vm, zk_addr: NodeAddr) -> Result<Self, ZkError> {
+        Self::connect_at(vm, zk_addr, DEFAULT_ROOT)
+    }
+
+    /// Connects the backend with an explicit tree root, so independent
+    /// deployments (or shards) can share one ensemble without sharing
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// ZooKeeper connection errors.
+    pub fn connect_at(
+        vm: &Vm,
+        zk_addr: NodeAddr,
+        root: impl Into<String>,
+    ) -> Result<Self, ZkError> {
         Ok(ZkTaintMapBackend {
             zk: Mutex::new(ZkClient::connect(vm, zk_addr)?),
+            root: root.into(),
         })
+    }
+
+    /// Connects the backend for shard `index` of a sharded deployment:
+    /// the tree root becomes `/dista/taintmap/shard-<index>`. Handy as a
+    /// `TaintMapEndpointBuilder::backend` factory.
+    ///
+    /// # Errors
+    ///
+    /// ZooKeeper connection errors.
+    pub fn connect_shard(vm: &Vm, zk_addr: NodeAddr, index: usize) -> Result<Self, ZkError> {
+        Self::connect_at(vm, zk_addr, format!("{DEFAULT_ROOT}/shard-{index}"))
+    }
+
+    /// The tree root this backend reads and writes under.
+    pub fn root(&self) -> &str {
+        &self.root
     }
 
     fn read_u32(zk: &ZkClient, path: &str) -> Option<u32> {
@@ -74,15 +116,16 @@ impl ZkTaintMapBackend {
 impl TaintMapBackend for ZkTaintMapBackend {
     fn register(&self, serialized: &[u8]) -> u32 {
         let zk = self.zk.lock();
+        let root = &self.root;
         let hash = fnv64(serialized);
         // Probe the dedup index (collision chain).
         for k in 0.. {
-            let hash_path = format!("{ROOT}/hash-{hash:016x}-{k}");
+            let hash_path = format!("{root}/hash-{hash:016x}-{k}");
             match Self::read_u32(&zk, &hash_path) {
                 Some(gid) => {
                     // Verify against the stored bytes (collision guard).
                     if zk
-                        .get(&format!("{ROOT}/id-{gid}"))
+                        .get(&format!("{root}/id-{gid}"))
                         .map(|b| b.data() == serialized)
                         .unwrap_or(false)
                     {
@@ -92,10 +135,10 @@ impl TaintMapBackend for ZkTaintMapBackend {
                 }
                 None => {
                     // Fresh taint: allocate the next id and record it.
-                    let gid = Self::read_u32(&zk, &format!("{ROOT}/next")).unwrap_or(0) + 1;
-                    Self::write_u32(&zk, &format!("{ROOT}/next"), gid);
+                    let gid = Self::read_u32(&zk, &format!("{root}/next")).unwrap_or(0) + 1;
+                    Self::write_u32(&zk, &format!("{root}/next"), gid);
                     let _ = zk.create(
-                        &format!("{ROOT}/id-{gid}"),
+                        &format!("{root}/id-{gid}"),
                         TaintedBytes::from_plain(serialized.to_vec()),
                     );
                     Self::write_u32(&zk, &hash_path, gid);
@@ -108,28 +151,29 @@ impl TaintMapBackend for ZkTaintMapBackend {
 
     fn lookup(&self, gid: u32) -> Option<Vec<u8>> {
         let zk = self.zk.lock();
-        zk.get(&format!("{ROOT}/id-{gid}"))
+        zk.get(&format!("{}/id-{gid}", self.root))
             .ok()
             .map(|b| b.into_plain())
     }
 
     fn insert_replicated(&self, gid: u32, serialized: &[u8]) {
         let zk = self.zk.lock();
-        let next = Self::read_u32(&zk, &format!("{ROOT}/next")).unwrap_or(0);
+        let root = &self.root;
+        let next = Self::read_u32(&zk, &format!("{root}/next")).unwrap_or(0);
         if gid > next {
-            Self::write_u32(&zk, &format!("{ROOT}/next"), gid);
+            Self::write_u32(&zk, &format!("{root}/next"), gid);
         }
         let bytes = TaintedBytes::from_plain(serialized.to_vec());
-        if zk.set(&format!("{ROOT}/id-{gid}"), bytes.clone()).is_err() {
-            let _ = zk.create(&format!("{ROOT}/id-{gid}"), bytes);
+        if zk.set(&format!("{root}/id-{gid}"), bytes.clone()).is_err() {
+            let _ = zk.create(&format!("{root}/id-{gid}"), bytes);
         }
         let hash = fnv64(serialized);
-        Self::write_u32(&zk, &format!("{ROOT}/hash-{hash:016x}-0"), gid);
+        Self::write_u32(&zk, &format!("{root}/hash-{hash:016x}-0"), gid);
     }
 
     fn len(&self) -> u64 {
         let zk = self.zk.lock();
-        Self::read_u32(&zk, &format!("{ROOT}/next"))
+        Self::read_u32(&zk, &format!("{}/next", self.root))
             .unwrap_or(0)
             .into()
     }
@@ -141,7 +185,7 @@ mod tests {
     use crate::{ZkEnsemble, ZkEnsembleConfig};
     use dista_core::{Cluster, Mode};
     use dista_taint::TagValue;
-    use dista_taintmap::{TaintMapClient, TaintMapConfig, TaintMapServer};
+    use dista_taintmap::TaintMapEndpoint;
     use std::sync::Arc;
 
     #[test]
@@ -179,12 +223,14 @@ mod tests {
         let backend = Arc::new(
             ZkTaintMapBackend::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap(),
         );
-        let server =
-            TaintMapServer::spawn_with_backend(&net, tm_addr, TaintMapConfig::default(), backend)
-                .unwrap();
+        let server = TaintMapEndpoint::builder()
+            .addr(tm_addr)
+            .backend(move |_| backend.clone())
+            .connect(&net)
+            .unwrap();
 
         let store = dista_taint::TaintStore::new(dista_taint::LocalId::new([10, 0, 0, 1], 1));
-        let client = TaintMapClient::connect(&net, tm_addr, store.clone()).unwrap();
+        let client = server.client(&net, store.clone()).unwrap();
         let t = store.mint_source_taint(TagValue::str("durable"));
         let gid = client.global_id_for(t).unwrap();
         server.shutdown();
@@ -193,11 +239,13 @@ mod tests {
         let backend2 = Arc::new(
             ZkTaintMapBackend::connect(cluster.vm(0), ensemble.any_client_addr()).unwrap(),
         );
-        let server2 =
-            TaintMapServer::spawn_with_backend(&net, tm_addr, TaintMapConfig::default(), backend2)
-                .unwrap();
+        let server2 = TaintMapEndpoint::builder()
+            .addr(tm_addr)
+            .backend(move |_| backend2.clone())
+            .connect(&net)
+            .unwrap();
         let store2 = dista_taint::TaintStore::new(dista_taint::LocalId::new([10, 0, 0, 2], 2));
-        let client2 = TaintMapClient::connect(&net, tm_addr, store2.clone()).unwrap();
+        let client2 = server2.client(&net, store2.clone()).unwrap();
         let resolved = client2.taint_for(gid).unwrap();
         assert_eq!(store2.tag_values(resolved), vec!["durable".to_string()]);
         // And new registrations continue from the persisted counter.
@@ -205,6 +253,48 @@ mod tests {
         let gid2 = client2.global_id_for(t2).unwrap();
         assert!(gid2.0 > gid.0);
         server2.shutdown();
+        ensemble.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sharded_deployment_keeps_disjoint_zk_roots() {
+        // Two shards share one ensemble but own separate tree roots;
+        // batched registrations spread across them without collisions.
+        let cluster = Cluster::builder(Mode::Original)
+            .nodes("zk", 3)
+            .build()
+            .unwrap();
+        let ensemble = ZkEnsemble::start(cluster.vms(), ZkEnsembleConfig::default()).unwrap();
+        let net = cluster.net().clone();
+        let vm = cluster.vm(0).clone();
+        let zk_addr = ensemble.any_client_addr();
+
+        let endpoint = TaintMapEndpoint::builder()
+            .addr(NodeAddr::new([10, 0, 0, 50], 7700))
+            .shards(2)
+            .backend(move |i| Arc::new(ZkTaintMapBackend::connect_shard(&vm, zk_addr, i).unwrap()))
+            .connect(&net)
+            .unwrap();
+
+        let store = dista_taint::TaintStore::new(dista_taint::LocalId::new([10, 0, 0, 1], 1));
+        let client = endpoint.client(&net, store.clone()).unwrap();
+        let taints: Vec<_> = (0..16)
+            .map(|i| store.mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = client.global_ids_for(&taints).unwrap();
+
+        let store2 = dista_taint::TaintStore::new(dista_taint::LocalId::new([10, 0, 0, 2], 2));
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
+        let resolved = client2.taints_for(&gids).unwrap();
+        for (i, t) in resolved.iter().enumerate() {
+            assert_eq!(store2.tag_values(*t), vec![i.to_string()]);
+        }
+        assert_eq!(endpoint.stats().global_taints, 16);
+        // FNV routing spread the 16 distinct taints over both roots.
+        assert!(endpoint.shard(0).stats().global_taints > 0);
+        assert!(endpoint.shard(1).stats().global_taints > 0);
+        endpoint.shutdown();
         ensemble.shutdown();
         cluster.shutdown();
     }
