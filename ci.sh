@@ -11,13 +11,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
-echo "==> cargo doc -p dista-taintmap -p dista-core --no-deps (warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc -p dista-taintmap -p dista-core --no-deps --offline
+echo "==> cargo doc -p dista-obs -p dista-taintmap -p dista-core --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc -p dista-obs -p dista-taintmap -p dista-core --no-deps --offline
 
 echo "==> cargo test -q"
 cargo test -q --offline
 
 echo "==> claim_global_taints --smoke"
 cargo run -p dista-bench --bin claim_global_taints --release --offline -- --smoke
+
+echo "==> claim_net_overhead --smoke --metrics (wire-expansion band check)"
+cargo run -p dista-bench --bin claim_net_overhead --release --offline -- --smoke --metrics
 
 echo "CI OK"

@@ -3,8 +3,18 @@
 //! every data byte. Thus, DisTA should introduce about 5X network
 //! overhead." The simulated OS counts every byte, so the ratio is
 //! measured, not assumed — including the (amortized) Taint Map RPCs.
+//!
+//! Flags:
+//!
+//! * `--smoke` — one case at 4 KiB (fast enough for CI).
+//! * `--metrics` — additionally run with cluster observability on, print
+//!   the metrics registry, and **exit non-zero** unless the per-node
+//!   `wire_expansion_ratio` gauge lands in the 4.5×–5.5× band.
+//! * `--trace` — print the observed run's flight-recorder events as a
+//!   Chrome trace (load into `chrome://tracing` or Perfetto).
 
 use dista_bench::table::Table;
+use dista_core::obs::ObsConfig;
 use dista_core::{Cluster, Mode};
 use dista_microbench::{all_cases, run_case_on};
 
@@ -22,20 +32,72 @@ fn bytes_for(mode: Mode, size: usize, case_idx: usize) -> (u64, bool) {
     (bytes, result.data_ok)
 }
 
+/// Observed DisTA run for the `--metrics`/`--trace` flags. Returns
+/// whether every set `wire_expansion_ratio` gauge sat in the expected
+/// band.
+fn observed_run(size: usize, case_idx: usize, print_metrics: bool, print_trace: bool) -> bool {
+    const BAND: (f64, f64) = (4.5, 5.5);
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("net", 2)
+        .observability(ObsConfig::default())
+        .build()
+        .expect("cluster");
+    let cases = all_cases();
+    run_case_on(cases[case_idx].as_ref(), cluster.vm(0), cluster.vm(1), size).expect("case run");
+    let dump = cluster.metrics_dump();
+    if print_metrics {
+        println!("\n-- metrics registry ({}) --", cases[case_idx].name());
+        print!("{}", dump.render_text());
+    }
+    if print_trace {
+        println!("\n-- chrome trace ({}) --", cases[case_idx].name());
+        println!("{}", cluster.export_chrome_trace());
+    }
+    let mut in_band = true;
+    let mut gauges_seen = 0;
+    for node in ["net1", "net2"] {
+        if let Some(ratio) = dump.gauge_value("wire_expansion_ratio", &[("node", node)]) {
+            gauges_seen += 1;
+            let ok = ratio >= BAND.0 && ratio <= BAND.1;
+            println!(
+                "wire_expansion_ratio{{node={node}}} = {ratio:.3} ({})",
+                if ok {
+                    "in 4.5x-5.5x band"
+                } else {
+                    "OUT OF BAND"
+                }
+            );
+            in_band &= ok;
+        }
+    }
+    cluster.shutdown();
+    if gauges_seen == 0 {
+        println!("wire_expansion_ratio gauge never set — no boundary encode happened");
+        return false;
+    }
+    in_band
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let trace = args.iter().any(|a| a == "--trace");
     let size: usize = std::env::var("DISTA_MICRO_SIZE")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(64 * 1024);
+        .unwrap_or(if smoke { 4 * 1024 } else { 64 * 1024 });
     println!("§V-F claim — network overhead of the DisTA wire format ({size} B/side)\n");
     let mut table = Table::new(&["Case", "Original bytes", "DisTA bytes", "Ratio", "Expected"]);
     // raw socket, datagram, socket channel, netty socket.
-    for (label, idx) in [
+    let all: [(&str, usize); 4] = [
         ("socket_raw_array", 0usize),
         ("jre_datagram", 22),
         ("jre_socket_channel", 23),
         ("netty_socket", 27),
-    ] {
+    ];
+    let selected = if smoke { &all[..1] } else { &all[..] };
+    for &(label, idx) in selected {
         let (original, ok1) = bytes_for(Mode::Original, size, idx);
         let (dista, ok2) = bytes_for(Mode::Dista, size, idx);
         assert!(ok1 && ok2, "{label}: data corrupted");
@@ -51,4 +113,8 @@ fn main() {
     println!("\nEvery data byte is followed by a 4-byte Global ID on the wire,");
     println!("so payload bytes expand exactly 5X; the remainder above 5X is the");
     println!("once-per-taint Taint Map registration/lookup traffic.");
+    if (metrics || trace) && !observed_run(size, 0, metrics, trace) {
+        eprintln!("FAIL: wire expansion outside the 4.5x-5.5x band");
+        std::process::exit(1);
+    }
 }

@@ -1,6 +1,10 @@
 //! Cluster construction: one network, a Taint Map deployment, N VMs.
 
 use dista_jre::{Mode, Vm};
+use dista_obs::{
+    reconstruct, to_chrome_trace, to_jsonl, to_text_report, MetricsDump, ObsConfig, ObsEvent,
+    Observability, ProvenanceTrace,
+};
 use dista_simnet::{NodeAddr, SimNet};
 use dista_taint::{SinkReport, SourceSinkSpec};
 use dista_taintmap::{TaintMapConfig, TaintMapEndpoint, TaintMapEndpointBuilder};
@@ -30,6 +34,7 @@ pub struct ClusterBuilder {
     taint_map_standby: Option<bool>,
     taint_map_endpoint: Option<TaintMapEndpointBuilder>,
     net: Option<SimNet>,
+    observability: Option<ObsConfig>,
 }
 
 impl ClusterBuilder {
@@ -102,6 +107,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables cluster-wide observability: every tracked-mode VM gets a
+    /// flight recorder drawing from one shared cluster clock (so events
+    /// totally order across nodes), and all taint instruments land in the
+    /// network's metrics registry. Off by default — plain runs pay
+    /// nothing.
+    pub fn observability(mut self, config: ObsConfig) -> Self {
+        self.observability = Some(config);
+        self
+    }
+
     /// Builds the cluster: network, Taint Map deployment (always started
     /// so any VM may be switched to DisTA mode later), and the VMs.
     ///
@@ -155,6 +170,10 @@ impl ClusterBuilder {
             }
         };
         let net = self.net.unwrap_or_default();
+        let observability = match self.observability {
+            Some(config) => Observability::with_registry(config, net.registry().clone()),
+            None => Observability::disabled(),
+        };
         let taint_map = endpoint_builder.connect(&net)?;
         let topology = taint_map.topology();
         let mut vms = Vec::with_capacity(self.nodes.len());
@@ -166,6 +185,7 @@ impl ClusterBuilder {
                     .spec(self.spec.clone())
                     .gid_width(self.gid_width)
                     .taint_map(topology.clone())
+                    .observability(observability.clone())
                     .build()?,
             );
         }
@@ -174,6 +194,7 @@ impl ClusterBuilder {
             mode: self.mode,
             taint_map: Some(taint_map),
             vms,
+            observability,
         })
     }
 }
@@ -185,6 +206,7 @@ pub struct Cluster {
     mode: Mode,
     taint_map: Option<TaintMapEndpoint>,
     vms: Vec<Vm>,
+    observability: Observability,
 }
 
 impl Cluster {
@@ -201,6 +223,7 @@ impl Cluster {
             taint_map_standby: None,
             taint_map_endpoint: None,
             net: None,
+            observability: None,
         }
     }
 
@@ -266,6 +289,86 @@ impl Cluster {
             .iter()
             .map(|vm| vm.sink_report().tainted_count())
             .sum()
+    }
+
+    /// The cluster's observability context (disabled unless
+    /// [`ClusterBuilder::observability`] was used).
+    pub fn observability(&self) -> &Observability {
+        &self.observability
+    }
+
+    /// Every flight-recorder event from every VM, merged and sorted by
+    /// cluster sequence number (all recorders draw from one shared
+    /// clock, so this is a total order across nodes).
+    pub fn obs_events(&self) -> Vec<ObsEvent> {
+        let mut events: Vec<ObsEvent> = self
+            .vms
+            .iter()
+            .flat_map(|vm| vm.flight_recorder().events())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Reconstructs the cross-VM provenance of Global ID `gid` from
+    /// flight-recorder events alone: where it was minted, which sockets
+    /// it crossed (with byte ranges), where it was registered/resolved
+    /// in the Taint Map, and which sinks it reached.
+    pub fn provenance(&self, gid: u32) -> ProvenanceTrace {
+        reconstruct(&self.obs_events(), gid)
+    }
+
+    /// Snapshot of the cluster metrics registry, with point-in-time
+    /// per-VM census families (taint-tree size, memo hit counts, shadow
+    /// run counts, Taint Map client RPC totals) mirrored in first.
+    ///
+    /// Returns an empty dump when observability is disabled.
+    pub fn metrics_dump(&self) -> MetricsDump {
+        let Some(reg) = self.observability.registry() else {
+            return MetricsDump::default();
+        };
+        for vm in &self.vms {
+            let labels: &[(&str, &str)] = &[("node", vm.name())];
+            let stats = vm.store().tree().stats();
+            reg.gauge_with("taint_tree_nodes", labels)
+                .set(stats.nodes as f64);
+            reg.gauge_with("taint_tree_tags", labels)
+                .set(stats.tags as f64);
+            reg.gauge_with("taint_tree_memo_hits", labels)
+                .set(stats.memo_hits as f64);
+            reg.gauge_with("taint_tree_memo_misses", labels)
+                .set(stats.memo_misses as f64);
+            reg.gauge_with("shadow_runs", labels)
+                .set(vm.shadow_run_census() as f64);
+            if let Some(client) = vm.taint_map() {
+                let cs = client.stats();
+                reg.gauge_with("taintmap_register_rpcs", labels)
+                    .set(cs.register_rpcs as f64);
+                reg.gauge_with("taintmap_lookup_rpcs", labels)
+                    .set(cs.lookup_rpcs as f64);
+                reg.gauge_with("taintmap_batch_frames", labels)
+                    .set(cs.batch_frames as f64);
+            }
+        }
+        reg.snapshot()
+    }
+
+    /// Flight-recorder events as JSON Lines (one event object per line).
+    pub fn export_jsonl(&self) -> String {
+        to_jsonl(&self.obs_events())
+    }
+
+    /// Flight-recorder events in Chrome-trace format — load the string
+    /// into `chrome://tracing` or Perfetto to see the cluster timeline,
+    /// one process row per node.
+    pub fn export_chrome_trace(&self) -> String {
+        to_chrome_trace(&self.obs_events())
+    }
+
+    /// Plain-text cluster telemetry report: the metrics dump followed by
+    /// the event log.
+    pub fn obs_report(&self) -> String {
+        to_text_report(&self.metrics_dump(), &self.obs_events())
     }
 
     /// Stops the Taint Map deployment.
@@ -397,6 +500,62 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cluster.taint_map().shard_count(), 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn observed_cluster_reconstructs_provenance() {
+        use dista_jre::{InputStream, OutputStream};
+        use dista_taint::{Payload, TaintedBytes};
+
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("n", 2)
+            .observability(ObsConfig::default())
+            .build()
+            .unwrap();
+        let (tx_vm, rx_vm) = (cluster.vm(0), cluster.vm(1));
+        let server =
+            dista_jre::ServerSocket::bind(rx_vm, NodeAddr::new([10, 0, 0, 2], 80)).unwrap();
+        let client = dista_jre::Socket::connect(tx_vm, server.local_addr()).unwrap();
+        let conn = server.accept().unwrap();
+        let secret = tx_vm.taint_source(TagValue::str("secret"));
+        client
+            .output_stream()
+            .write(&Payload::Tainted(TaintedBytes::uniform(b"payload", secret)))
+            .unwrap();
+        let got = conn.input_stream().read_exact(7).unwrap();
+        let received = got.taint_union(rx_vm.store());
+        assert!(rx_vm.taint_sink("LOG.info", received));
+
+        let gid = tx_vm.taint_map().unwrap().global_id_for(secret).unwrap().0;
+        let trace = cluster.provenance(gid);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.crossings(), 1);
+        assert_eq!(trace.sinks(), vec![("n2", "LOG.info")]);
+        assert_eq!(trace.nodes(), vec!["n1", "n2"]);
+
+        let dump = cluster.metrics_dump();
+        assert!(dump.counter_total("boundary_wire_bytes_out") >= 35);
+        assert!(
+            dump.gauge_value("taint_tree_tags", &[("node", "n1")])
+                .unwrap()
+                >= 1.0
+        );
+        assert!(cluster.export_jsonl().contains("boundary_encode"));
+        assert!(cluster.export_chrome_trace().contains("\"ph\""));
+        assert!(cluster.obs_report().contains("== events =="));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn plain_cluster_has_no_events() {
+        let cluster = Cluster::builder(Mode::Original)
+            .nodes("n", 2)
+            .observability(ObsConfig::default())
+            .build()
+            .unwrap();
+        assert!(cluster.obs_events().is_empty());
+        assert_eq!(cluster.provenance(1).crossings(), 0);
         cluster.shutdown();
     }
 

@@ -75,3 +75,9 @@ pub mod simnet {
 pub mod taintmap {
     pub use dista_taintmap::*;
 }
+
+/// Re-export of the telemetry layer (metrics registry, flight recorder,
+/// provenance reconstruction, exporters).
+pub mod obs {
+    pub use dista_obs::*;
+}

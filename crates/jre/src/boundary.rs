@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 
+use dista_obs::{GidSpan, ObsEventKind, Transport};
 use dista_simnet::{native, NodeAddr, TcpEndpoint, UdpEndpoint};
 use dista_taint::{GlobalId, Payload, Taint, TaintRuns, TaintedBytes};
 use parking_lot::Mutex;
@@ -34,8 +35,20 @@ pub fn wire_record_size(gid_width: usize) -> usize {
     1 + gid_width
 }
 
+/// Identifies one boundary crossing for flight-recorder events: the
+/// transport plus the sender→receiver address pair. Encode and decode
+/// sides of the same crossing construct the *same* pair (the sender's
+/// local address first), which is what lets provenance reconstruction
+/// match them up.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Link {
+    pub(crate) transport: Transport,
+    pub(crate) from: NodeAddr,
+    pub(crate) to: NodeAddr,
+}
+
 /// Encodes a tainted buffer into DisTA wire records.
-pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes) -> Result<Vec<u8>, JreError> {
+pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes, link: Link) -> Result<Vec<u8>, JreError> {
     let width = vm.gid_width();
     let client = vm
         .taint_map()
@@ -56,7 +69,7 @@ pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes) -> Result<Vec<u8>, JreE
     }
     let gids = client.global_ids_for(&distinct)?;
     let mut wire_ids: Vec<[u8; 8]> = Vec::with_capacity(gids.len());
-    for gid in gids {
+    for gid in &gids {
         let wire = gid.try_to_wire(width).ok_or(JreError::Protocol(
             "global id exceeds the configured wire width",
         ))?;
@@ -75,13 +88,40 @@ pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes) -> Result<Vec<u8>, JreE
         }
         pos += run_len;
     }
+    let obs = vm.vm_obs();
+    obs.boundary_data_out.add(bytes.len() as u64);
+    obs.boundary_wire_out.add(out.len() as u64);
+    obs.update_expansion();
+    obs.flight.record_with(|| {
+        let mut spans = Vec::new();
+        let mut start = 0;
+        for (run_len, taint) in bytes.shadow().iter_runs() {
+            let gid = gids[slot_of[&taint]];
+            if gid.is_tainted() {
+                spans.push(GidSpan {
+                    gid: gid.0,
+                    start,
+                    end: start + run_len,
+                });
+            }
+            start += run_len;
+        }
+        ObsEventKind::BoundaryEncode {
+            transport: link.transport,
+            from: link.from.to_string(),
+            to: link.to.to_string(),
+            data_bytes: bytes.len(),
+            wire_bytes: out.len(),
+            spans,
+        }
+    });
     Ok(out)
 }
 
 /// Decodes DisTA wire records back into a tainted buffer.
 ///
 /// `wire.len()` must be a whole number of records.
-pub(crate) fn decode_wire(vm: &Vm, wire: &[u8]) -> Result<TaintedBytes, JreError> {
+pub(crate) fn decode_wire(vm: &Vm, wire: &[u8], link: Link) -> Result<TaintedBytes, JreError> {
     let rs = wire_record_size(vm.gid_width());
     debug_assert_eq!(wire.len() % rs, 0, "caller must pass whole records");
     let client = vm
@@ -115,6 +155,31 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8]) -> Result<TaintedBytes, JreError
         runs.push((gid, run_len));
     }
     let taints = client.taints_for(&distinct)?;
+    let obs = vm.vm_obs();
+    obs.boundary_data_in.add(data.len() as u64);
+    obs.boundary_wire_in.add(wire.len() as u64);
+    obs.flight.record_with(|| {
+        let mut spans = Vec::new();
+        let mut start = 0;
+        for &(gid, run_len) in &runs {
+            if gid.is_tainted() {
+                spans.push(GidSpan {
+                    gid: gid.0,
+                    start,
+                    end: start + run_len,
+                });
+            }
+            start += run_len;
+        }
+        ObsEventKind::BoundaryDecode {
+            transport: link.transport,
+            from: link.from.to_string(),
+            to: link.to.to_string(),
+            data_bytes: data.len(),
+            wire_bytes: wire.len(),
+            spans,
+        }
+    });
     let mut shadow = TaintRuns::new();
     for (gid, run_len) in runs {
         shadow.push_run(taints[slot_of[&gid]], run_len);
@@ -132,6 +197,11 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8]) -> Result<TaintedBytes, JreError
 pub struct BoundaryStream {
     vm: Vm,
     ep: TcpEndpoint,
+    /// Sender→receiver pair for outbound crossings (cached at wrap time
+    /// so the hot paths never re-derive addresses).
+    out_link: Link,
+    /// Sender→receiver pair for inbound crossings (the peer sent them).
+    in_link: Link,
     /// Trailing partial record carried between reads (DisTA mode only).
     rx_rem: Mutex<Vec<u8>>,
 }
@@ -139,9 +209,20 @@ pub struct BoundaryStream {
 impl BoundaryStream {
     /// Wraps an established connection for `vm`.
     pub fn new(vm: Vm, ep: TcpEndpoint) -> Self {
+        let (local, peer) = (ep.local_addr(), ep.peer_addr());
         BoundaryStream {
             vm,
             ep,
+            out_link: Link {
+                transport: Transport::Tcp,
+                from: local,
+                to: peer,
+            },
+            in_link: Link {
+                transport: Transport::Tcp,
+                from: peer,
+                to: local,
+            },
             rx_rem: Mutex::new(Vec::new()),
         }
     }
@@ -176,7 +257,7 @@ impl BoundaryStream {
                         &tainted_view
                     }
                 };
-                let wire = encode_wire(&self.vm, tainted)?;
+                let wire = encode_wire(&self.vm, tainted, self.out_link)?;
                 native::socket_write0(&self.ep, &wire)?;
             }
         }
@@ -223,7 +304,11 @@ impl BoundaryStream {
                         let whole = rem.len() - rem.len() % rs;
                         let take = whole.min(max_data * rs);
                         let records: Vec<u8> = rem.drain(..take).collect();
-                        return Ok(Payload::Tainted(decode_wire(&self.vm, &records)?));
+                        return Ok(Payload::Tainted(decode_wire(
+                            &self.vm,
+                            &records,
+                            self.in_link,
+                        )?));
                     }
                     // The receiver "enlarges the allocated byte array"
                     // (§III-D-2): ask the OS for the wire-size equivalent
@@ -298,7 +383,15 @@ pub(crate) fn send_datagram(
                     &tainted_view
                 }
             };
-            let wire = encode_wire(vm, tainted)?;
+            let wire = encode_wire(
+                vm,
+                tainted,
+                Link {
+                    transport: Transport::Udp,
+                    from: socket.local_addr(),
+                    to: dest,
+                },
+            )?;
             native::datagram_send(socket, dest, &wire);
         }
     }
@@ -339,7 +432,15 @@ pub(crate) fn recv_datagram(
             let mut buf = vec![0u8; buf_len * rs];
             let (n, from) = native::datagram_receive0(socket, &mut buf)?;
             let whole = n - n % rs;
-            let decoded = decode_wire(vm, &buf[..whole])?;
+            let decoded = decode_wire(
+                vm,
+                &buf[..whole],
+                Link {
+                    transport: Transport::Udp,
+                    from,
+                    to: socket.local_addr(),
+                },
+            )?;
             Ok((Payload::Tainted(decoded), from))
         }
     }
@@ -351,6 +452,14 @@ mod tests {
     use dista_simnet::SimNet;
     use dista_taint::TagValue;
     use dista_taintmap::TaintMapEndpoint;
+
+    fn test_link() -> Link {
+        Link {
+            transport: Transport::Tcp,
+            from: NodeAddr::new([10, 0, 0, 1], 1),
+            to: NodeAddr::new([10, 0, 0, 2], 2),
+        }
+    }
 
     fn cluster(mode: Mode) -> (SimNet, TaintMapEndpoint, Vm, Vm) {
         let net = SimNet::new();
@@ -461,7 +570,7 @@ mod tests {
         buf.extend_plain(b"--");
         buf.extend_uniform(b"bbb", tb);
 
-        let wire = encode_wire(&vm1, &buf).unwrap();
+        let wire = encode_wire(&vm1, &buf, test_link()).unwrap();
 
         // Reference: one record per byte, GID resolved per byte.
         let width = vm1.gid_width();
@@ -480,7 +589,7 @@ mod tests {
         let front = split.drain_front(3);
         let mut reglued = front;
         reglued.extend_tainted(&split);
-        assert_eq!(encode_wire(&vm1, &reglued).unwrap(), wire);
+        assert_eq!(encode_wire(&vm1, &reglued, test_link()).unwrap(), wire);
         tm.shutdown();
     }
 
@@ -618,6 +727,76 @@ mod tests {
         assert_eq!(vm1.taint_map().unwrap().stats().register_rpcs, 1);
         assert_eq!(vm2.taint_map().unwrap().stats().lookup_rpcs, 1);
         assert_eq!(tm.stats().global_taints, 1);
+        tm.shutdown();
+    }
+
+    #[test]
+    fn boundary_events_pair_encode_and_decode() {
+        let net = SimNet::new();
+        let obs = dista_obs::Observability::with_registry(
+            dista_obs::ObsConfig::default(),
+            net.registry().clone(),
+        );
+        let tm = TaintMapEndpoint::builder()
+            .addr(NodeAddr::new([10, 0, 0, 99], 7779))
+            .connect(&net)
+            .unwrap();
+        let mk = |name: &str, ip: [u8; 4]| {
+            Vm::builder(name, &net)
+                .mode(Mode::Dista)
+                .ip(ip)
+                .taint_map(tm.topology())
+                .observability(obs.clone())
+                .build()
+                .unwrap()
+        };
+        let vm1 = mk("n1", [10, 0, 0, 1]);
+        let vm2 = mk("n2", [10, 0, 0, 2]);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 90);
+        let taint = vm1.store().mint_source_taint(TagValue::str("pw"));
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"data", taint)))
+            .unwrap();
+        rx.read_exact_payload(4).unwrap();
+
+        let enc = vm1
+            .flight_recorder()
+            .events()
+            .into_iter()
+            .find_map(|e| match e.kind {
+                ObsEventKind::BoundaryEncode {
+                    from, to, spans, ..
+                } => Some((from, to, spans)),
+                _ => None,
+            })
+            .expect("sender records an encode event");
+        let dec = vm2
+            .flight_recorder()
+            .events()
+            .into_iter()
+            .find_map(|e| match e.kind {
+                ObsEventKind::BoundaryDecode {
+                    from, to, spans, ..
+                } => Some((from, to, spans)),
+                _ => None,
+            })
+            .expect("receiver records a decode event");
+        // Both sides describe the same sender→receiver pair, so
+        // provenance reconstruction can match them.
+        assert_eq!((&enc.0, &enc.1), (&dec.0, &dec.1));
+        assert_eq!(enc.2.len(), 1);
+        assert_eq!(enc.2[0].start..enc.2[0].end, 0..4);
+        assert_eq!(enc.2, dec.2, "same gid spans on both sides");
+
+        let dump = net.registry().snapshot();
+        assert_eq!(
+            dump.counter_total("boundary_data_bytes_out"),
+            dump.counter_total("boundary_data_bytes_in")
+        );
+        assert_eq!(
+            dump.gauge_value("wire_expansion_ratio", &[("node", "n1")]),
+            Some(5.0),
+            "4-byte gids => 5x expansion"
+        );
         tm.shutdown();
     }
 

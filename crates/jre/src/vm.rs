@@ -4,11 +4,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dista_obs::{Counter, FlightRecorder, Gauge, ObsEventKind, Observability};
 use dista_simnet::{SimFs, SimNet};
 use dista_taint::{
     LocalId, SinkRecorder, SinkReport, SourceSinkSpec, TagValue, Taint, TaintRuns, TaintStore,
 };
-use dista_taintmap::{TaintMapClient, TaintMapTopology};
+use dista_taintmap::{ClientObserver, TaintMapClient, TaintMapTopology};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::JreError;
@@ -50,6 +51,66 @@ impl std::fmt::Display for Mode {
     }
 }
 
+/// Per-VM telemetry handles, resolved once at build time so hot paths
+/// never touch the registry. In [`Mode::Original`] (or with
+/// observability disabled) the flight recorder is a no-op and every
+/// instrument is detached, so the tracked-mode hooks cost nothing.
+pub(crate) struct VmObs {
+    pub(crate) flight: FlightRecorder,
+    pub(crate) sources_minted: Counter,
+    pub(crate) sink_hits: Counter,
+    pub(crate) boundary_data_out: Counter,
+    pub(crate) boundary_wire_out: Counter,
+    pub(crate) boundary_data_in: Counter,
+    pub(crate) boundary_wire_in: Counter,
+    pub(crate) wire_expansion: Gauge,
+}
+
+impl VmObs {
+    fn detached() -> Self {
+        VmObs {
+            flight: FlightRecorder::disabled(),
+            sources_minted: Counter::detached(),
+            sink_hits: Counter::detached(),
+            boundary_data_out: Counter::detached(),
+            boundary_wire_out: Counter::detached(),
+            boundary_data_in: Counter::detached(),
+            boundary_wire_in: Counter::detached(),
+            wire_expansion: Gauge::detached(),
+        }
+    }
+
+    fn build(obs: &Observability, node: &str, mode: Mode) -> Self {
+        if !mode.tracks_taints() {
+            return Self::detached();
+        }
+        let Some(reg) = obs.registry() else {
+            return Self::detached();
+        };
+        let labels: &[(&str, &str)] = &[("node", node)];
+        VmObs {
+            flight: obs.recorder_for(node),
+            sources_minted: reg.counter_with("sources_minted", labels),
+            sink_hits: reg.counter_with("sink_hits", labels),
+            boundary_data_out: reg.counter_with("boundary_data_bytes_out", labels),
+            boundary_wire_out: reg.counter_with("boundary_wire_bytes_out", labels),
+            boundary_data_in: reg.counter_with("boundary_data_bytes_in", labels),
+            boundary_wire_in: reg.counter_with("boundary_wire_bytes_in", labels),
+            wire_expansion: reg.gauge_with("wire_expansion_ratio", labels),
+        }
+    }
+
+    /// Recomputes the outbound wire-expansion gauge from the cumulative
+    /// boundary counters (the paper's ~5× for 4-byte Global IDs).
+    pub(crate) fn update_expansion(&self) {
+        let data = self.boundary_data_out.get();
+        if data > 0 {
+            self.wire_expansion
+                .set(self.boundary_wire_out.get() as f64 / data as f64);
+        }
+    }
+}
+
 pub(crate) struct VmInner {
     pub(crate) name: String,
     pub(crate) mode: Mode,
@@ -61,6 +122,8 @@ pub(crate) struct VmInner {
     pub(crate) spec: RwLock<SourceSinkSpec>,
     pub(crate) taint_map: Option<TaintMapClient>,
     pub(crate) gid_width: usize,
+    pub(crate) observability: Observability,
+    pub(crate) obs: VmObs,
     /// Simulated off-heap ("native") memory for direct buffers. Shadows
     /// live in a *separate* map — native memory itself is taint-free,
     /// which is exactly why Type-3 methods need instrumented get/put.
@@ -100,6 +163,7 @@ pub struct VmBuilder {
     spec: SourceSinkSpec,
     taint_map_topology: Option<TaintMapTopology>,
     gid_width: usize,
+    observability: Observability,
 }
 
 impl VmBuilder {
@@ -137,6 +201,15 @@ impl VmBuilder {
         self
     }
 
+    /// Attaches a shared observability context (default: disabled). When
+    /// enabled and the mode tracks taints, the VM gets a flight recorder
+    /// drawing sequence numbers from the context's cluster clock, and its
+    /// instruments land in the context's registry.
+    pub fn observability(mut self, obs: Observability) -> Self {
+        self.observability = obs;
+        self
+    }
+
     /// Overrides the Global ID wire width in bytes (default 4; the paper
     /// notes overhead "depends on the length of the Global ID").
     ///
@@ -158,17 +231,27 @@ impl VmBuilder {
     pub fn build(self) -> Result<Vm, JreError> {
         let pid = NEXT_PID.fetch_add(1, Ordering::Relaxed) as u32;
         let store = TaintStore::new(LocalId::new(self.ip, pid));
+        let obs = VmObs::build(&self.observability, &self.name, self.mode);
         let taint_map = match (self.mode, self.taint_map_topology) {
             (Mode::Dista, None) => {
                 return Err(JreError::Protocol(
                     "DisTA mode requires a taint map address",
                 ))
             }
-            (_, Some(topology)) => Some(TaintMapClient::connect_topology(
-                &self.net,
-                topology,
-                store.clone(),
-            )?),
+            (_, Some(topology)) => {
+                let observer = match self.observability.registry() {
+                    Some(reg) if self.mode.tracks_taints() => {
+                        ClientObserver::for_node(reg, &self.name, obs.flight.clone())
+                    }
+                    _ => ClientObserver::disabled(),
+                };
+                Some(TaintMapClient::connect_topology_observed(
+                    &self.net,
+                    topology,
+                    store.clone(),
+                    observer,
+                )?)
+            }
             (_, None) => None,
         };
         Ok(Vm {
@@ -183,6 +266,8 @@ impl VmBuilder {
                 spec: RwLock::new(self.spec),
                 taint_map,
                 gid_width: self.gid_width,
+                observability: self.observability,
+                obs,
                 native_mem: Mutex::new(HashMap::new()),
                 native_shadows: Mutex::new(HashMap::new()),
                 next_buffer_id: AtomicU64::new(1),
@@ -203,6 +288,7 @@ impl Vm {
             spec: SourceSinkSpec::new(),
             taint_map_topology: None,
             gid_width: 4,
+            observability: Observability::disabled(),
         }
     }
 
@@ -251,6 +337,33 @@ impl Vm {
         &self.inner.recorder
     }
 
+    /// The observability context this VM was built with.
+    pub fn observability(&self) -> &Observability {
+        &self.inner.observability
+    }
+
+    /// The VM's flight recorder (a no-op unless observability is enabled
+    /// and the mode tracks taints).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.obs.flight
+    }
+
+    pub(crate) fn vm_obs(&self) -> &VmObs {
+        &self.inner.obs
+    }
+
+    /// Number of shadow runs currently held for native (off-heap)
+    /// buffers — the "shadow run count" census mirrored into cluster
+    /// telemetry reports.
+    pub fn shadow_run_census(&self) -> usize {
+        self.inner
+            .native_shadows
+            .lock()
+            .values()
+            .map(|runs| runs.iter_runs().count())
+            .sum()
+    }
+
     /// Snapshot of all sink events observed by this process.
     pub fn sink_report(&self) -> SinkReport {
         self.inner.recorder.report()
@@ -266,7 +379,7 @@ impl Vm {
     /// `tag_value`; otherwise returns [`Taint::EMPTY`].
     pub fn source_point(&self, class: &str, method: &str, tag_value: TagValue) -> Taint {
         if self.inner.mode.tracks_taints() && self.inner.spec.read().is_source(class, method) {
-            self.inner.store.mint_source_taint(tag_value)
+            self.mint_observed(tag_value)
         } else {
             Taint::EMPTY
         }
@@ -276,10 +389,55 @@ impl Vm {
     /// (for programmatic SDT scenarios), unless the mode is untracked.
     pub fn taint_source(&self, tag_value: TagValue) -> Taint {
         if self.inner.mode.tracks_taints() {
-            self.inner.store.mint_source_taint(tag_value)
+            self.mint_observed(tag_value)
         } else {
             Taint::EMPTY
         }
+    }
+
+    fn mint_observed(&self, tag_value: TagValue) -> Taint {
+        let t = self.inner.store.mint_source_taint(tag_value);
+        self.inner.obs.sources_minted.inc();
+        self.inner.obs.flight.record_with(|| {
+            let tag = self
+                .inner
+                .store
+                .tree()
+                .tags_of(t)
+                .first()
+                .map(|q| q.value.render())
+                .unwrap_or_default();
+            ObsEventKind::SourceMinted {
+                taint: t.node_index() as u32,
+                tag,
+            }
+        });
+        t
+    }
+
+    fn observe_sink(&self, make_name: impl Fn() -> String, taint: Taint) {
+        self.inner.obs.sink_hits.inc();
+        self.inner.obs.flight.record_with(|| {
+            let quads = self.inner.store.tree().tags_of(taint);
+            let tags = quads.iter().map(|q| q.value.render()).collect();
+            let mut gids: Vec<u32> = quads
+                .iter()
+                .filter(|q| q.global_id.is_tainted())
+                .map(|q| q.global_id.0)
+                .collect();
+            if let Some(client) = &self.inner.taint_map {
+                if let Some(gid) = client.cached_gid_for(taint) {
+                    gids.push(gid.0);
+                }
+            }
+            gids.sort_unstable();
+            gids.dedup();
+            ObsEventKind::SinkHit {
+                sink: make_name(),
+                tags,
+                gids,
+            }
+        });
     }
 
     /// Sink-point hook: if `class.method` is a registered sink, records
@@ -287,9 +445,14 @@ impl Vm {
     /// sink is not registered or mode is untracked).
     pub fn sink_point(&self, class: &str, method: &str, taint: Taint) -> bool {
         if self.inner.mode.tracks_taints() && self.inner.spec.read().is_sink(class, method) {
-            self.inner
-                .recorder
-                .check(&format!("{class}.{method}"), taint, &self.inner.store)
+            let hit =
+                self.inner
+                    .recorder
+                    .check(&format!("{class}.{method}"), taint, &self.inner.store);
+            if hit {
+                self.observe_sink(|| format!("{class}.{method}"), taint);
+            }
+            hit
         } else {
             false
         }
@@ -299,9 +462,14 @@ impl Vm {
     /// scenarios), unless the mode is untracked.
     pub fn taint_sink(&self, sink_name: &str, taint: Taint) -> bool {
         if self.inner.mode.tracks_taints() {
-            self.inner
+            let hit = self
+                .inner
                 .recorder
-                .check(sink_name, taint, &self.inner.store)
+                .check(sink_name, taint, &self.inner.store);
+            if hit {
+                self.observe_sink(|| sink_name.to_string(), taint);
+            }
+            hit
         } else {
             false
         }
@@ -402,6 +570,51 @@ mod tests {
         assert!(v.taint_source(TagValue::str("s")).is_empty());
         assert!(!v.taint_sink("check", Taint::EMPTY));
         assert!(v.sink_report().events.is_empty());
+    }
+
+    #[test]
+    fn observed_vm_records_source_and_sink_events() {
+        let net = SimNet::new();
+        let obs =
+            Observability::with_registry(dista_obs::ObsConfig::default(), net.registry().clone());
+        let v = Vm::builder("n1", &net)
+            .mode(Mode::Phosphor)
+            .observability(obs)
+            .build()
+            .unwrap();
+        let t = v.taint_source(TagValue::str("pw"));
+        assert!(v.taint_sink("LOG.info", t));
+        let events = v.flight_recorder().events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0].kind,
+            ObsEventKind::SourceMinted { tag, .. } if tag == "pw"
+        ));
+        assert!(matches!(
+            &events[1].kind,
+            ObsEventKind::SinkHit { sink, tags, .. }
+                if sink == "LOG.info" && tags == &vec!["pw".to_string()]
+        ));
+        let dump = net.registry().snapshot();
+        assert_eq!(dump.counter_total("sources_minted"), 1);
+        assert_eq!(dump.counter_total("sink_hits"), 1);
+    }
+
+    #[test]
+    fn original_mode_vm_keeps_recorder_disabled_even_when_observed() {
+        let net = SimNet::new();
+        let obs =
+            Observability::with_registry(dista_obs::ObsConfig::default(), net.registry().clone());
+        let v = Vm::builder("n1", &net)
+            .mode(Mode::Original)
+            .observability(obs)
+            .build()
+            .unwrap();
+        assert!(!v.flight_recorder().is_enabled());
+        v.taint_source(TagValue::str("pw"));
+        v.taint_sink("LOG.info", Taint::EMPTY);
+        assert!(v.flight_recorder().events().is_empty());
+        assert_eq!(net.registry().snapshot().counter_total("sources_minted"), 0);
     }
 
     #[test]

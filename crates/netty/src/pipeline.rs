@@ -57,6 +57,7 @@ impl Pipeline {
 
     /// Runs the outbound direction (first stage first).
     pub fn run_outbound(&self, msg: Payload, vm: &Vm) -> Payload {
+        count_message(vm, "netty_outbound_msgs");
         self.codecs
             .iter()
             .fold(msg, |acc, codec| codec.encode(acc, vm))
@@ -64,10 +65,20 @@ impl Pipeline {
 
     /// Runs the inbound direction (last stage first).
     pub fn run_inbound(&self, frame: Payload, vm: &Vm) -> Payload {
+        count_message(vm, "netty_inbound_msgs");
         self.codecs
             .iter()
             .rev()
             .fold(frame, |acc, codec| codec.decode(acc, vm))
+    }
+}
+
+/// Bumps a per-node message counter when the VM carries an enabled
+/// observability context (nothing happens — and nothing is interned —
+/// otherwise).
+fn count_message(vm: &Vm, family: &str) {
+    if let Some(reg) = vm.observability().registry() {
+        reg.counter_with(family, &[("node", vm.name())]).inc();
     }
 }
 
@@ -146,6 +157,28 @@ mod tests {
         assert_ne!(wire.data(), msg.data(), "obfuscated on the wire");
         let back = p.run_inbound(wire, &vm);
         assert_eq!(back, msg, "decode inverts encode, taints intact");
+    }
+
+    #[test]
+    fn observed_pipeline_counts_messages() {
+        let net = SimNet::new();
+        let obs = dista_obs::Observability::with_registry(
+            dista_obs::ObsConfig::default(),
+            net.registry().clone(),
+        );
+        let vm = Vm::builder("n1", &net)
+            .mode(Mode::Phosphor)
+            .observability(obs)
+            .build()
+            .unwrap();
+        let p = Pipeline::new().add_last(XorObfuscationCodec::new(0x42));
+        let msg = Payload::Plain(b"m".to_vec());
+        let wire = p.run_outbound(msg.clone(), &vm);
+        p.run_inbound(wire, &vm);
+        p.run_outbound(msg, &vm);
+        let dump = net.registry().snapshot();
+        assert_eq!(dump.counter_total("netty_outbound_msgs"), 2);
+        assert_eq!(dump.counter_total("netty_inbound_msgs"), 1);
     }
 
     #[test]

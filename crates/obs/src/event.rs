@@ -1,0 +1,163 @@
+//! Structured flight-recorder events.
+//!
+//! Events are deliberately built from primitive types only (strings,
+//! integers, byte ranges) so that `dista-obs` stays a leaf crate: every
+//! layer of the stack — taint tree, JNI boundary, Taint Map client,
+//! cluster — can record events without `dista-obs` depending on any of
+//! them. Cross-VM ordering comes from a cluster-shared logical clock
+//! ([`crate::ObsClock`]); each event carries the sequence number it drew.
+
+/// Which transport a boundary crossing used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Stream socket (TCP).
+    Tcp,
+    /// Datagram socket (UDP).
+    Udp,
+    /// Local file write/read through the simulated FS.
+    File,
+}
+
+impl Transport {
+    /// Lower-case wire name, used by exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Transport::Tcp => "tcp",
+            Transport::Udp => "udp",
+            Transport::File => "file",
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One Global-ID-bearing byte range inside an encoded wire payload.
+///
+/// `start..end` index into the *data* bytes of the payload (not the
+/// expanded wire bytes), matching how the paper reports "bytes 17..21
+/// of the message carried gid 42".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GidSpan {
+    /// The global taint id carried by the range.
+    pub gid: u32,
+    /// First tainted data byte (inclusive).
+    pub start: usize,
+    /// One past the last tainted data byte.
+    pub end: usize,
+}
+
+/// The payload of one recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEventKind {
+    /// A source point minted a fresh local taint.
+    SourceMinted {
+        /// Local taint id on the minting VM.
+        taint: u32,
+        /// The source tag, e.g. `zk.zxid`.
+        tag: String,
+    },
+    /// The Taint Map assigned `gid` to a serialized local taint.
+    TaintMapRegister {
+        /// Local taint id on the registering VM.
+        taint: u32,
+        /// The global id the service handed back.
+        gid: u32,
+    },
+    /// A VM resolved `gid` back into a local taint.
+    TaintMapLookup {
+        /// The global id that was looked up.
+        gid: u32,
+        /// The local taint id it interned to on this VM.
+        taint: u32,
+    },
+    /// The client redialed a Taint Map shard after a primary failure.
+    TaintMapFailover {
+        /// Index of the shard that failed over.
+        shard: usize,
+    },
+    /// Outbound boundary: data bytes were expanded into wire records.
+    BoundaryEncode {
+        /// Transport the payload left on.
+        transport: Transport,
+        /// Sender address, `ip:port`.
+        from: String,
+        /// Receiver address, `ip:port`.
+        to: String,
+        /// Plain data byte count.
+        data_bytes: usize,
+        /// Expanded wire byte count.
+        wire_bytes: usize,
+        /// Tainted ranges of the data bytes.
+        spans: Vec<GidSpan>,
+    },
+    /// Inbound boundary: wire records were collapsed back into data.
+    BoundaryDecode {
+        /// Transport the payload arrived on.
+        transport: Transport,
+        /// Sender address, `ip:port`.
+        from: String,
+        /// Receiver address, `ip:port`.
+        to: String,
+        /// Recovered data byte count.
+        data_bytes: usize,
+        /// Consumed wire byte count.
+        wire_bytes: usize,
+        /// Tainted ranges of the recovered data bytes.
+        spans: Vec<GidSpan>,
+    },
+    /// A sink point observed a tainted value.
+    SinkHit {
+        /// Sink identifier, e.g. `LOG.info`.
+        sink: String,
+        /// Source tags reaching the sink.
+        tags: Vec<String>,
+        /// Global ids known for the sunk taint (empty if never crossed
+        /// a boundary).
+        gids: Vec<u32>,
+    },
+}
+
+impl ObsEventKind {
+    /// Short kind name, used by exporters and the text report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObsEventKind::SourceMinted { .. } => "source_minted",
+            ObsEventKind::TaintMapRegister { .. } => "taintmap_register",
+            ObsEventKind::TaintMapLookup { .. } => "taintmap_lookup",
+            ObsEventKind::TaintMapFailover { .. } => "taintmap_failover",
+            ObsEventKind::BoundaryEncode { .. } => "boundary_encode",
+            ObsEventKind::BoundaryDecode { .. } => "boundary_decode",
+            ObsEventKind::SinkHit { .. } => "sink_hit",
+        }
+    }
+}
+
+/// One entry in a VM's flight-recorder ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsEvent {
+    /// Cluster-wide logical sequence number (shared clock).
+    pub seq: u64,
+    /// Name of the VM that recorded the event.
+    pub node: String,
+    /// The event payload.
+    pub kind: ObsEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        let k = ObsEventKind::SourceMinted {
+            taint: 1,
+            tag: "t".into(),
+        };
+        assert_eq!(k.name(), "source_minted");
+        assert_eq!(Transport::Tcp.to_string(), "tcp");
+    }
+}

@@ -1,0 +1,165 @@
+//! Cluster-wide taint telemetry for the DisTA reproduction.
+//!
+//! This crate is the observability layer threaded through the whole
+//! stack: a lock-light [`MetricsRegistry`] of atomic instruments, a
+//! per-VM [`FlightRecorder`] ring of structured [`ObsEvent`]s, a
+//! provenance reconstruction ([`reconstruct`]) that turns those events
+//! into the paper's "minted on n1 → crossed socket n1→n2 → sunk at
+//! LOG.info on n3" narrative, and exporters for JSONL, Chrome-trace and
+//! plain text.
+//!
+//! `dista-obs` is deliberately a *leaf* crate — events and instruments
+//! are built from primitive types only — so `dista-simnet`,
+//! `dista-taint`, `dista-jre`, `dista-taintmap`, `dista-netty` and
+//! `dista-core` can all depend on it without cycles.
+//!
+//! # Cost model
+//!
+//! * Instrument handles are `Arc`-wrapped atomics resolved once at
+//!   construction sites; updates are single relaxed atomic ops.
+//! * The flight recorder's [`FlightRecorder::record_with`] takes a
+//!   closure, and a disabled recorder never calls it — plain-mode runs
+//!   pay a branch on an `Option` and nothing else. `tests/mode_matrix.rs`
+//!   guards this invariant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod export;
+mod provenance;
+mod recorder;
+mod registry;
+
+pub use event::{GidSpan, ObsEvent, ObsEventKind, Transport};
+pub use export::{to_chrome_trace, to_jsonl, to_text_report};
+pub use provenance::{reconstruct, Hop, ProvenanceTrace};
+pub use recorder::{FlightRecorder, ObsClock};
+pub use registry::{
+    Counter, Gauge, Histogram, Labels, MetricsDump, MetricsRegistry, Sample, SampleValue,
+    BATCH_SIZE_BOUNDS, LATENCY_US_BOUNDS,
+};
+
+use std::sync::Arc;
+
+/// Tuning knobs for cluster observability.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Capacity of each VM's flight-recorder ring, in events.
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            ring_capacity: 8_192,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ObsShared {
+    registry: MetricsRegistry,
+    clock: ObsClock,
+    config: ObsConfig,
+}
+
+/// The observability context handed to every layer of one cluster.
+///
+/// A disabled context ([`Observability::disabled`]) hands out
+/// disconnected instruments and no-op recorders, so call sites never
+/// branch on "is observability on" themselves. Cloning is cheap and all
+/// clones share the same registry and clock.
+#[derive(Debug, Clone, Default)]
+pub struct Observability {
+    shared: Option<Arc<ObsShared>>,
+}
+
+impl Observability {
+    /// A context where everything is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled context with a fresh registry and clock.
+    pub fn new(config: ObsConfig) -> Self {
+        Self::with_registry(config, MetricsRegistry::new())
+    }
+
+    /// An enabled context writing into an existing registry (so network
+    /// metrics and taint metrics land in one place).
+    pub fn with_registry(config: ObsConfig, registry: MetricsRegistry) -> Self {
+        Observability {
+            shared: Some(Arc::new(ObsShared {
+                registry,
+                clock: ObsClock::new(),
+                config,
+            })),
+        }
+    }
+
+    /// Whether this context actually records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The shared registry, if enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.shared.as_deref().map(|s| &s.registry)
+    }
+
+    /// The shared cluster clock, if enabled.
+    pub fn clock(&self) -> Option<&ObsClock> {
+        self.shared.as_deref().map(|s| &s.clock)
+    }
+
+    /// A flight recorder for VM `node`: enabled (and stamped from the
+    /// shared clock) when this context is enabled, a no-op otherwise.
+    pub fn recorder_for(&self, node: &str) -> FlightRecorder {
+        match &self.shared {
+            Some(s) => FlightRecorder::new(node, s.config.ring_capacity, s.clock.clone()),
+            None => FlightRecorder::disabled(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_hands_out_noops() {
+        let obs = Observability::disabled();
+        assert!(!obs.is_enabled());
+        assert!(obs.registry().is_none());
+        assert!(!obs.recorder_for("n1").is_enabled());
+    }
+
+    #[test]
+    fn enabled_context_shares_clock_across_recorders() {
+        let obs = Observability::new(ObsConfig::default());
+        assert!(obs.is_enabled());
+        let a = obs.recorder_for("a");
+        let b = obs.recorder_for("b");
+        a.record_with(|| ObsEventKind::TaintMapFailover { shard: 0 });
+        b.record_with(|| ObsEventKind::TaintMapFailover { shard: 1 });
+        let (ea, eb) = (a.events(), b.events());
+        assert_eq!(ea.len(), 1);
+        assert_eq!(eb.len(), 1);
+        assert!(ea[0].seq < eb[0].seq);
+    }
+
+    #[test]
+    fn with_registry_reuses_external_instruments() {
+        let reg = MetricsRegistry::new();
+        reg.counter("net_bytes").add(5);
+        let obs = Observability::with_registry(ObsConfig::default(), reg.clone());
+        obs.registry().unwrap().counter("net_bytes").add(2);
+        assert_eq!(reg.counter("net_bytes").get(), 7);
+    }
+
+    #[test]
+    fn config_default_ring_capacity() {
+        assert_eq!(ObsConfig::default().ring_capacity, 8_192);
+    }
+}

@@ -1,0 +1,497 @@
+//! Provenance ledger: reconstruct the cross-VM journey of a global
+//! taint id from flight-recorder events alone.
+//!
+//! The algorithm works on the merged, clock-ordered event stream of
+//! every VM in a cluster:
+//!
+//! 1. Find the [`TaintMapRegister`](crate::ObsEventKind::TaintMapRegister)
+//!    that assigned the gid — that names the registering node and its
+//!    local taint id.
+//! 2. Walk backwards on that node for the
+//!    [`SourceMinted`](crate::ObsEventKind::SourceMinted) of the same
+//!    local taint — the minting hop.
+//! 3. Every [`BoundaryEncode`](crate::ObsEventKind::BoundaryEncode)
+//!    whose gid spans contain the gid opens a crossing; it is closed by
+//!    the first later [`BoundaryDecode`](crate::ObsEventKind::BoundaryDecode)
+//!    on the same `(from, to)` address pair that also carries the gid.
+//! 4. Each node's first [`TaintMapLookup`](crate::ObsEventKind::TaintMapLookup)
+//!    of the gid becomes a resolution hop.
+//! 5. Every [`SinkHit`](crate::ObsEventKind::SinkHit) listing the gid
+//!    becomes a sink hop.
+//!
+//! Hops are emitted in clock order, so the rendered trace reads as the
+//! paper's running example: *minted on n1 → registered as gid 42 →
+//! crossed tcp n1→n2 bytes 17..21 → sunk at LOG.info on n3*.
+
+use crate::event::{ObsEvent, ObsEventKind, Transport};
+
+/// One step in a [`ProvenanceTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hop {
+    /// A source point minted the taint.
+    Minted {
+        /// Minting VM.
+        node: String,
+        /// Source tag.
+        tag: String,
+        /// Local taint id on the minting VM.
+        taint: u32,
+        /// Clock sequence of the event.
+        seq: u64,
+    },
+    /// The Taint Map assigned the global id.
+    Registered {
+        /// Registering VM.
+        node: String,
+        /// Local taint id that was serialized.
+        taint: u32,
+        /// Clock sequence of the event.
+        seq: u64,
+    },
+    /// The taint crossed a socket or file boundary.
+    Crossed {
+        /// Transport used.
+        transport: Transport,
+        /// Sending VM.
+        from_node: String,
+        /// Receiving VM, if the matching decode was observed.
+        to_node: Option<String>,
+        /// Sender address `ip:port`.
+        from: String,
+        /// Receiver address `ip:port`.
+        to: String,
+        /// Tainted data byte range `start..end` in the payload.
+        bytes: (usize, usize),
+        /// Clock sequence of the encode event.
+        seq: u64,
+    },
+    /// A VM resolved the gid back to a local taint.
+    Resolved {
+        /// Resolving VM.
+        node: String,
+        /// Local taint id it interned to.
+        taint: u32,
+        /// Clock sequence of the event.
+        seq: u64,
+    },
+    /// A sink observed the taint.
+    Sunk {
+        /// VM the sink fired on.
+        node: String,
+        /// Sink identifier, e.g. `LOG.info`.
+        sink: String,
+        /// Clock sequence of the event.
+        seq: u64,
+    },
+}
+
+impl Hop {
+    /// The hop's cluster sequence number (total order across VMs).
+    pub fn seq(&self) -> u64 {
+        match self {
+            Hop::Minted { seq, .. }
+            | Hop::Registered { seq, .. }
+            | Hop::Crossed { seq, .. }
+            | Hop::Resolved { seq, .. }
+            | Hop::Sunk { seq, .. } => *seq,
+        }
+    }
+}
+
+impl std::fmt::Display for Hop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Hop::Minted { node, tag, .. } => write!(f, "minted on {node} (tag {tag})"),
+            Hop::Registered { node, .. } => write!(f, "registered on {node}"),
+            Hop::Crossed {
+                transport,
+                from_node,
+                to_node,
+                bytes,
+                ..
+            } => {
+                let to = to_node.as_deref().unwrap_or("?");
+                write!(
+                    f,
+                    "crossed {transport} {from_node}\u{2192}{to} bytes {}..{}",
+                    bytes.0, bytes.1
+                )
+            }
+            Hop::Resolved { node, .. } => write!(f, "resolved on {node}"),
+            Hop::Sunk { node, sink, .. } => write!(f, "sunk at {sink} on {node}"),
+        }
+    }
+}
+
+/// The reconstructed journey of one global taint id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProvenanceTrace {
+    /// The gid that was traced.
+    pub gid: u32,
+    /// The hops, in cluster clock order.
+    pub hops: Vec<Hop>,
+}
+
+impl ProvenanceTrace {
+    /// True when no event mentioned the gid.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Number of completed boundary crossings (encode matched to a
+    /// decode).
+    pub fn crossings(&self) -> usize {
+        self.hops
+            .iter()
+            .filter(|h| {
+                matches!(
+                    h,
+                    Hop::Crossed {
+                        to_node: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    /// Distinct VM names the taint touched, in first-seen order.
+    pub fn nodes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for hop in &self.hops {
+            let names: Vec<&str> = match hop {
+                Hop::Minted { node, .. }
+                | Hop::Registered { node, .. }
+                | Hop::Resolved { node, .. }
+                | Hop::Sunk { node, .. } => vec![node.as_str()],
+                Hop::Crossed {
+                    from_node, to_node, ..
+                } => {
+                    let mut v = vec![from_node.as_str()];
+                    if let Some(t) = to_node {
+                        v.push(t.as_str());
+                    }
+                    v
+                }
+            };
+            for n in names {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// The sinks that observed the taint, as `(node, sink)` pairs.
+    pub fn sinks(&self) -> Vec<(&str, &str)> {
+        self.hops
+            .iter()
+            .filter_map(|h| match h {
+                Hop::Sunk { node, sink, .. } => Some((node.as_str(), sink.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ProvenanceTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gid {}: ", self.gid)?;
+        if self.hops.is_empty() {
+            return write!(f, "(no events)");
+        }
+        for (i, hop) in self.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " \u{2192} ")?;
+            }
+            write!(f, "{hop}")?;
+        }
+        Ok(())
+    }
+}
+
+fn spans_contain(spans: &[crate::event::GidSpan], gid: u32) -> Option<(usize, usize)> {
+    spans
+        .iter()
+        .find(|s| s.gid == gid)
+        .map(|s| (s.start, s.end))
+}
+
+/// Reconstructs the journey of `gid` from the merged event stream of
+/// every recorder in a cluster. `events` need not be pre-sorted.
+pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
+    let mut events: Vec<&ObsEvent> = events.iter().collect();
+    events.sort_by_key(|e| e.seq);
+
+    let mut hops: Vec<Hop> = Vec::new();
+
+    // 1. Registration names the origin node + local taint.
+    let registration = events.iter().find_map(|e| match &e.kind {
+        ObsEventKind::TaintMapRegister { taint, gid: g } if *g == gid => {
+            Some((e.node.clone(), *taint, e.seq))
+        }
+        _ => None,
+    });
+
+    if let Some((ref reg_node, reg_taint, reg_seq)) = registration {
+        // 2. The minting event precedes registration on the same node.
+        let minted = events
+            .iter()
+            .rev()
+            .filter(|e| e.seq < reg_seq && e.node == *reg_node)
+            .find_map(|e| match &e.kind {
+                ObsEventKind::SourceMinted { taint, tag } if *taint == reg_taint => {
+                    Some(Hop::Minted {
+                        node: e.node.clone(),
+                        tag: tag.clone(),
+                        taint: *taint,
+                        seq: e.seq,
+                    })
+                }
+                _ => None,
+            });
+        if let Some(m) = minted {
+            hops.push(m);
+        }
+        hops.push(Hop::Registered {
+            node: reg_node.clone(),
+            taint: reg_taint,
+            seq: reg_seq,
+        });
+    }
+
+    // 3. Boundary crossings: pair each gid-carrying encode with the
+    //    first later gid-carrying decode on the same address pair.
+    let mut used_decodes: Vec<u64> = Vec::new();
+    for e in &events {
+        if let ObsEventKind::BoundaryEncode {
+            transport,
+            from,
+            to,
+            spans,
+            ..
+        } = &e.kind
+        {
+            let Some(bytes) = spans_contain(spans, gid) else {
+                continue;
+            };
+            let matched = events.iter().find(|d| {
+                d.seq > e.seq
+                    && !used_decodes.contains(&d.seq)
+                    && matches!(&d.kind,
+                        ObsEventKind::BoundaryDecode { from: df, to: dt, spans: ds, .. }
+                            if df == from && dt == to && spans_contain(ds, gid).is_some())
+            });
+            let to_node = matched.map(|d| {
+                used_decodes.push(d.seq);
+                d.node.clone()
+            });
+            hops.push(Hop::Crossed {
+                transport: *transport,
+                from_node: e.node.clone(),
+                to_node,
+                from: from.clone(),
+                to: to.clone(),
+                bytes,
+                seq: e.seq,
+            });
+        }
+    }
+
+    // 4. First lookup per node is a resolution hop.
+    let mut resolved_nodes: Vec<String> = Vec::new();
+    for e in &events {
+        if let ObsEventKind::TaintMapLookup { gid: g, taint } = &e.kind {
+            if *g == gid && !resolved_nodes.contains(&e.node) {
+                resolved_nodes.push(e.node.clone());
+                hops.push(Hop::Resolved {
+                    node: e.node.clone(),
+                    taint: *taint,
+                    seq: e.seq,
+                });
+            }
+        }
+    }
+
+    // 5. Sink hits listing the gid.
+    for e in &events {
+        if let ObsEventKind::SinkHit { sink, gids, .. } = &e.kind {
+            if gids.contains(&gid) {
+                hops.push(Hop::Sunk {
+                    node: e.node.clone(),
+                    sink: sink.clone(),
+                    seq: e.seq,
+                });
+            }
+        }
+    }
+
+    hops.sort_by_key(|h| h.seq());
+    ProvenanceTrace { gid, hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::GidSpan;
+
+    fn ev(seq: u64, node: &str, kind: ObsEventKind) -> ObsEvent {
+        ObsEvent {
+            seq,
+            node: node.to_string(),
+            kind,
+        }
+    }
+
+    fn span(gid: u32, start: usize, end: usize) -> GidSpan {
+        GidSpan { gid, start, end }
+    }
+
+    /// The paper's running example: mint on n1, register gid 42, hop
+    /// n1→n2 then n2→n3, sink at LOG.info on n3.
+    fn example_events() -> Vec<ObsEvent> {
+        vec![
+            ev(
+                0,
+                "n1",
+                ObsEventKind::SourceMinted {
+                    taint: 7,
+                    tag: "zk.zxid".into(),
+                },
+            ),
+            ev(
+                1,
+                "n1",
+                ObsEventKind::TaintMapRegister { taint: 7, gid: 42 },
+            ),
+            ev(
+                2,
+                "n1",
+                ObsEventKind::BoundaryEncode {
+                    transport: Transport::Tcp,
+                    from: "10.0.0.1:9000".into(),
+                    to: "10.0.0.2:9000".into(),
+                    data_bytes: 32,
+                    wire_bytes: 160,
+                    spans: vec![span(42, 17, 21)],
+                },
+            ),
+            ev(
+                3,
+                "n2",
+                ObsEventKind::BoundaryDecode {
+                    transport: Transport::Tcp,
+                    from: "10.0.0.1:9000".into(),
+                    to: "10.0.0.2:9000".into(),
+                    data_bytes: 32,
+                    wire_bytes: 160,
+                    spans: vec![span(42, 17, 21)],
+                },
+            ),
+            ev(4, "n2", ObsEventKind::TaintMapLookup { gid: 42, taint: 3 }),
+            ev(
+                5,
+                "n2",
+                ObsEventKind::BoundaryEncode {
+                    transport: Transport::Tcp,
+                    from: "10.0.0.2:9001".into(),
+                    to: "10.0.0.3:9000".into(),
+                    data_bytes: 32,
+                    wire_bytes: 160,
+                    spans: vec![span(42, 17, 21)],
+                },
+            ),
+            ev(
+                6,
+                "n3",
+                ObsEventKind::BoundaryDecode {
+                    transport: Transport::Tcp,
+                    from: "10.0.0.2:9001".into(),
+                    to: "10.0.0.3:9000".into(),
+                    data_bytes: 32,
+                    wire_bytes: 160,
+                    spans: vec![span(42, 17, 21)],
+                },
+            ),
+            ev(7, "n3", ObsEventKind::TaintMapLookup { gid: 42, taint: 5 }),
+            ev(
+                8,
+                "n3",
+                ObsEventKind::SinkHit {
+                    sink: "LOG.info".into(),
+                    tags: vec!["zk.zxid".into()],
+                    gids: vec![42],
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn reconstructs_two_hop_path() {
+        let trace = reconstruct(&example_events(), 42);
+        assert_eq!(trace.crossings(), 2);
+        assert_eq!(trace.nodes(), vec!["n1", "n2", "n3"]);
+        assert_eq!(trace.sinks(), vec![("n3", "LOG.info")]);
+        assert!(matches!(trace.hops.first(), Some(Hop::Minted { node, .. }) if node == "n1"));
+        assert!(matches!(trace.hops.last(), Some(Hop::Sunk { node, .. }) if node == "n3"));
+        let rendered = trace.to_string();
+        assert!(rendered.contains("minted on n1 (tag zk.zxid)"));
+        assert!(rendered.contains("crossed tcp n1\u{2192}n2 bytes 17..21"));
+        assert!(rendered.contains("crossed tcp n2\u{2192}n3 bytes 17..21"));
+        assert!(rendered.contains("sunk at LOG.info on n3"));
+    }
+
+    #[test]
+    fn unknown_gid_yields_empty_trace() {
+        let trace = reconstruct(&example_events(), 999);
+        assert!(trace.is_empty());
+        assert_eq!(trace.to_string(), "gid 999: (no events)");
+    }
+
+    #[test]
+    fn unmatched_encode_is_an_open_crossing() {
+        let events = vec![
+            ev(0, "n1", ObsEventKind::TaintMapRegister { taint: 1, gid: 9 }),
+            ev(
+                1,
+                "n1",
+                ObsEventKind::BoundaryEncode {
+                    transport: Transport::Udp,
+                    from: "10.0.0.1:5000".into(),
+                    to: "10.0.0.2:5000".into(),
+                    data_bytes: 8,
+                    wire_bytes: 40,
+                    spans: vec![span(9, 0, 8)],
+                },
+            ),
+        ];
+        let trace = reconstruct(&events, 9);
+        assert_eq!(trace.crossings(), 0, "no decode means no completed hop");
+        assert!(trace
+            .to_string()
+            .contains("crossed udp n1\u{2192}? bytes 0..8"));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut events = example_events();
+        events.reverse();
+        let trace = reconstruct(&events, 42);
+        assert_eq!(trace.crossings(), 2);
+    }
+
+    #[test]
+    fn other_gids_in_same_payload_are_ignored() {
+        let mut events = example_events();
+        if let ObsEventKind::BoundaryEncode { spans, .. } = &mut events[2].kind {
+            spans.push(span(77, 0, 4));
+        }
+        let trace = reconstruct(&events, 42);
+        assert_eq!(trace.crossings(), 2);
+        let other = reconstruct(&events, 77);
+        // gid 77 appears only in one encode: open crossing, no registration.
+        assert_eq!(other.crossings(), 0);
+        assert_eq!(other.hops.len(), 1);
+    }
+}

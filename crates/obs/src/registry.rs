@@ -1,0 +1,500 @@
+//! The lock-light metrics registry.
+//!
+//! A [`MetricsRegistry`] is a named collection of *instruments* —
+//! [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s, optionally
+//! labeled into families (`boundary_data_bytes{node=n1,dir=out}`).
+//! Instrument handles are cheap `Arc` clones around atomics: hot paths
+//! resolve a handle once at construction time and then pay one relaxed
+//! atomic op per update. The registry itself is only locked when a new
+//! instrument is interned or a snapshot is taken.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A label set: sorted `(key, value)` pairs identifying one member of an
+/// instrument family.
+pub type Labels = Vec<(String, String)>;
+
+fn label_vec(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Monotonically increasing event/byte counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not connected to any registry (still functional).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts `n` (rollback of an optimistic count).
+    pub fn sub(&self, n: u64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (between benchmark phases).
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating point gauge (stored as `f64` bits).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge not connected to any registry.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Fixed-bucket latency/size histogram.
+///
+/// Bucket bounds are inclusive upper edges in the instrument's unit
+/// (microseconds for latencies, items for batch sizes); one implicit
+/// `+Inf` bucket catches the rest. Observation is two relaxed atomic adds
+/// plus a linear scan over a handful of bounds — no locks.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` cells; the last one is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Default bounds for latency histograms, in microseconds.
+pub const LATENCY_US_BOUNDS: &[u64] = &[10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000];
+
+/// Default bounds for batch-size histograms, in items.
+pub const BATCH_SIZE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+impl Histogram {
+    /// Creates a detached histogram with the given inclusive upper
+    /// bucket bounds (must be sorted ascending).
+    pub fn detached(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds sorted");
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair uses `u64::MAX` as
+    /// the overflow bound.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.inner
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Zeroes every bucket.
+    pub fn reset(&self) {
+        for b in &self.inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct RegistryState {
+    counters: BTreeMap<(String, Labels), Counter>,
+    gauges: BTreeMap<(String, Labels), Gauge>,
+    histograms: BTreeMap<(String, Labels), Histogram>,
+}
+
+/// A named collection of instruments shared by every layer of one
+/// simulated cluster.
+///
+/// Cloning is cheap; all clones observe the same instruments. See the
+/// module docs for the locking discipline.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    state: Arc<Mutex<RegistryState>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &st.counters.len())
+            .field("gauges", &st.gauges.len())
+            .field("histograms", &st.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The unlabeled counter `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter `name{labels}` (created on first use).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.state
+            .lock()
+            .counters
+            .entry((name.to_string(), label_vec(labels)))
+            .or_default()
+            .clone()
+    }
+
+    /// The unlabeled gauge `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge `name{labels}` (created on first use).
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.state
+            .lock()
+            .gauges
+            .entry((name.to_string(), label_vec(labels)))
+            .or_default()
+            .clone()
+    }
+
+    /// The unlabeled histogram `name` (created on first use with the
+    /// given bounds; later calls reuse the existing instrument).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// The histogram `name{labels}`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        self.state
+            .lock()
+            .histograms
+            .entry((name.to_string(), label_vec(labels)))
+            .or_insert_with(|| Histogram::detached(bounds))
+            .clone()
+    }
+
+    /// Point-in-time dump of every instrument.
+    pub fn snapshot(&self) -> MetricsDump {
+        let st = self.state.lock();
+        let mut samples = Vec::new();
+        for ((name, labels), c) in &st.counters {
+            samples.push(Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: SampleValue::Counter(c.get()),
+            });
+        }
+        for ((name, labels), g) in &st.gauges {
+            samples.push(Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: SampleValue::Gauge(g.get()),
+            });
+        }
+        for ((name, labels), h) in &st.histograms {
+            samples.push(Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: SampleValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.buckets(),
+                },
+            });
+        }
+        MetricsDump { samples }
+    }
+
+    /// Zeroes every instrument (between benchmark phases). Handles stay
+    /// valid.
+    pub fn reset(&self) {
+        let st = self.state.lock();
+        for c in st.counters.values() {
+            c.reset();
+        }
+        for g in st.gauges.values() {
+            g.reset();
+        }
+        for h in st.histograms.values() {
+            h.reset();
+        }
+    }
+}
+
+/// One instrument's value in a [`MetricsDump`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// `(upper_bound, count)` pairs, overflow bucket last.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// One named, labeled sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Family name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Labels,
+    /// The value.
+    pub value: SampleValue,
+}
+
+impl Sample {
+    fn render_key(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            let labels: Vec<String> = self
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            format!("{}{{{}}}", self.name, labels.join(","))
+        }
+    }
+}
+
+/// Point-in-time view of a whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsDump {
+    /// Every sample, sorted by (kind, name, labels).
+    pub samples: Vec<Sample>,
+}
+
+impl MetricsDump {
+    /// Sum of every counter named `name` across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The gauge named `name` with exactly these labels, if present.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let want = label_vec(labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .and_then(|s| match s.value {
+                SampleValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// Plain-text rendering, one instrument per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("{} {v}\n", s.render_key()));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("{} {v:.4}\n", s.render_key()));
+                }
+                SampleValue::Histogram { count, sum, .. } => {
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        *sum as f64 / *count as f64
+                    };
+                    out.push_str(&format!(
+                        "{} count={count} sum={sum} mean={mean:.1}\n",
+                        s.render_key()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name_and_labels() {
+        let r = MetricsRegistry::new();
+        r.counter("hits").add(2);
+        r.counter("hits").inc();
+        assert_eq!(r.counter("hits").get(), 3);
+        r.counter_with("hits", &[("node", "n1")]).inc();
+        assert_eq!(r.counter("hits").get(), 3, "labeled member is distinct");
+        assert_eq!(r.counter_with("hits", &[("node", "n1")]).get(), 1);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let r = MetricsRegistry::new();
+        r.counter_with("x", &[("a", "1"), ("b", "2")]).inc();
+        assert_eq!(r.counter_with("x", &[("b", "2"), ("a", "1")]).get(), 1);
+    }
+
+    #[test]
+    fn gauge_set_get() {
+        let r = MetricsRegistry::new();
+        r.gauge("ratio").set(5.25);
+        assert_eq!(r.gauge("ratio").get(), 5.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::detached(&[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 5_055);
+        let buckets = h.buckets();
+        assert_eq!(buckets, vec![(10, 1), (100, 1), (u64::MAX, 1)]);
+        assert!((h.mean() - 1685.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let r = MetricsRegistry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(1.5);
+        r.histogram("h", &[1]).observe(9);
+        let dump = r.snapshot();
+        assert_eq!(dump.samples.len(), 3);
+        assert_eq!(dump.counter_total("c"), 7);
+        assert_eq!(dump.gauge_value("g", &[]), Some(1.5));
+        let text = dump.render_text();
+        assert!(text.contains("c 7"));
+        assert!(text.contains("g 1.5000"));
+        assert!(text.contains("h count=1 sum=9"));
+    }
+
+    #[test]
+    fn counter_total_sums_family_members() {
+        let r = MetricsRegistry::new();
+        r.counter_with("bytes", &[("node", "n1")]).add(3);
+        r.counter_with("bytes", &[("node", "n2")]).add(4);
+        assert_eq!(r.snapshot().counter_total("bytes"), 7);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c");
+        c.add(5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.counter("c").get(), 1);
+    }
+}

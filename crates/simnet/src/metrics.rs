@@ -5,71 +5,95 @@
 //! simulator counts every byte that crosses the "OS", so the claim can be
 //! measured rather than assumed: run the same workload with and without
 //! instrumentation and compare [`MetricsSnapshot::total_bytes`].
+//!
+//! Since the observability layer landed, [`NetMetrics`] is a façade over
+//! a [`MetricsRegistry`] family (`net_*` instruments): the hot-path
+//! record calls hit cached [`Counter`] handles (one relaxed atomic op),
+//! and the same registry can be shared with the rest of the cluster via
+//! [`NetMetrics::with_registry`] so network and taint telemetry land in
+//! one dump.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use dista_obs::{Counter, MetricsRegistry};
 
 /// Shared, thread-safe counters for one simulated network.
 #[derive(Debug, Clone, Default)]
 pub struct NetMetrics {
-    inner: Arc<Counters>,
-}
-
-#[derive(Debug, Default)]
-struct Counters {
-    tcp_bytes: AtomicU64,
-    udp_bytes: AtomicU64,
-    tcp_connections: AtomicU64,
-    udp_datagrams: AtomicU64,
-    udp_dropped: AtomicU64,
+    registry: MetricsRegistry,
+    tcp_bytes: Counter,
+    udp_bytes: Counter,
+    tcp_connections: Counter,
+    udp_datagrams: Counter,
+    udp_dropped: Counter,
+    udp_dropped_bytes: Counter,
 }
 
 impl NetMetrics {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters in a private registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(MetricsRegistry::new())
+    }
+
+    /// Creates the `net_*` counter family inside `registry`.
+    pub fn with_registry(registry: MetricsRegistry) -> Self {
+        NetMetrics {
+            tcp_bytes: registry.counter("net_tcp_bytes"),
+            udp_bytes: registry.counter("net_udp_bytes"),
+            tcp_connections: registry.counter("net_tcp_connections"),
+            udp_datagrams: registry.counter("net_udp_datagrams"),
+            udp_dropped: registry.counter("net_udp_dropped_datagrams"),
+            udp_dropped_bytes: registry.counter("net_udp_dropped_bytes"),
+            registry,
+        }
+    }
+
+    /// The registry holding the `net_*` instruments.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     pub(crate) fn record_tcp_bytes(&self, n: usize) {
-        self.inner.tcp_bytes.fetch_add(n as u64, Ordering::Relaxed);
+        self.tcp_bytes.add(n as u64);
     }
 
     /// Rolls back an optimistic count when the write failed.
     pub(crate) fn record_tcp_bytes_undo(&self, n: usize) {
-        self.inner.tcp_bytes.fetch_sub(n as u64, Ordering::Relaxed);
+        self.tcp_bytes.sub(n as u64);
     }
 
     pub(crate) fn record_udp_datagram(&self, n: usize) {
-        self.inner.udp_bytes.fetch_add(n as u64, Ordering::Relaxed);
-        self.inner.udp_datagrams.fetch_add(1, Ordering::Relaxed);
+        self.udp_bytes.add(n as u64);
+        self.udp_datagrams.inc();
     }
 
-    pub(crate) fn record_udp_drop(&self) {
-        self.inner.udp_dropped.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_udp_drop(&self, n: usize) {
+        self.udp_dropped.inc();
+        self.udp_dropped_bytes.add(n as u64);
     }
 
     pub(crate) fn record_tcp_connection(&self) {
-        self.inner.tcp_connections.fetch_add(1, Ordering::Relaxed);
+        self.tcp_connections.inc();
     }
 
     /// Reads a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            tcp_bytes: self.inner.tcp_bytes.load(Ordering::Relaxed),
-            udp_bytes: self.inner.udp_bytes.load(Ordering::Relaxed),
-            tcp_connections: self.inner.tcp_connections.load(Ordering::Relaxed),
-            udp_datagrams: self.inner.udp_datagrams.load(Ordering::Relaxed),
-            udp_dropped: self.inner.udp_dropped.load(Ordering::Relaxed),
+            tcp_bytes: self.tcp_bytes.get(),
+            udp_bytes: self.udp_bytes.get(),
+            tcp_connections: self.tcp_connections.get(),
+            udp_datagrams: self.udp_datagrams.get(),
+            udp_dropped: self.udp_dropped.get(),
+            udp_dropped_bytes: self.udp_dropped_bytes.get(),
         }
     }
 
     /// Zeroes all counters (between benchmark phases).
     pub fn reset(&self) {
-        self.inner.tcp_bytes.store(0, Ordering::Relaxed);
-        self.inner.udp_bytes.store(0, Ordering::Relaxed);
-        self.inner.tcp_connections.store(0, Ordering::Relaxed);
-        self.inner.udp_datagrams.store(0, Ordering::Relaxed);
-        self.inner.udp_dropped.store(0, Ordering::Relaxed);
+        self.tcp_bytes.reset();
+        self.udp_bytes.reset();
+        self.tcp_connections.reset();
+        self.udp_datagrams.reset();
+        self.udp_dropped.reset();
+        self.udp_dropped_bytes.reset();
     }
 }
 
@@ -86,11 +110,19 @@ pub struct MetricsSnapshot {
     pub udp_datagrams: u64,
     /// UDP datagrams dropped by fault injection.
     pub udp_dropped: u64,
+    /// Bytes carried by dropped UDP datagrams (never delivered).
+    pub udp_dropped_bytes: u64,
 }
 
 impl MetricsSnapshot {
-    /// All payload bytes that crossed the simulated wire.
+    /// All payload bytes offered to the simulated wire, including bytes
+    /// in datagrams that fault injection then dropped.
     pub fn total_bytes(&self) -> u64 {
+        self.tcp_bytes + self.udp_bytes + self.udp_dropped_bytes
+    }
+
+    /// Payload bytes that actually reached a receiver.
+    pub fn delivered_bytes(&self) -> u64 {
         self.tcp_bytes + self.udp_bytes
     }
 }
@@ -105,21 +137,24 @@ mod tests {
         m.record_tcp_bytes(10);
         m.record_tcp_bytes(5);
         m.record_udp_datagram(8);
-        m.record_udp_drop();
+        m.record_udp_drop(4);
         m.record_tcp_connection();
         let s = m.snapshot();
         assert_eq!(s.tcp_bytes, 15);
         assert_eq!(s.udp_bytes, 8);
         assert_eq!(s.udp_datagrams, 1);
         assert_eq!(s.udp_dropped, 1);
+        assert_eq!(s.udp_dropped_bytes, 4);
         assert_eq!(s.tcp_connections, 1);
-        assert_eq!(s.total_bytes(), 23);
+        assert_eq!(s.total_bytes(), 27);
+        assert_eq!(s.delivered_bytes(), 23);
     }
 
     #[test]
     fn reset_zeroes() {
         let m = NetMetrics::new();
         m.record_tcp_bytes(10);
+        m.record_udp_drop(3);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
@@ -130,5 +165,14 @@ mod tests {
         let c = m.clone();
         c.record_udp_datagram(3);
         assert_eq!(m.snapshot().udp_bytes, 3);
+    }
+
+    #[test]
+    fn shared_registry_sees_net_family() {
+        let reg = MetricsRegistry::new();
+        let m = NetMetrics::with_registry(reg.clone());
+        m.record_tcp_bytes(7);
+        let dump = reg.snapshot();
+        assert_eq!(dump.counter_total("net_tcp_bytes"), 7);
     }
 }

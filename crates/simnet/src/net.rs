@@ -156,6 +156,13 @@ impl SimNet {
         &self.inner.metrics
     }
 
+    /// The metrics registry backing [`SimNet::metrics`]. Cluster-level
+    /// observability shares this registry so network and taint
+    /// instruments land in one dump.
+    pub fn registry(&self) -> &dista_obs::MetricsRegistry {
+        self.inner.metrics.registry()
+    }
+
     /// Binds a TCP listener.
     ///
     /// # Errors

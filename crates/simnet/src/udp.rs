@@ -107,7 +107,7 @@ impl UdpEndpoint {
     /// nothing is bound there or fault injection discards it.
     pub fn send_to(&self, dest: NodeAddr, datagram: &[u8]) {
         if self.inner.faults.should_drop_udp() {
-            self.inner.metrics.record_udp_drop();
+            self.inner.metrics.record_udp_drop(datagram.len());
             return;
         }
         self.inner.faults.charge_wire_time(datagram.len());
@@ -204,8 +204,12 @@ mod tests {
         let a = net.udp_bind(NodeAddr::new([10, 0, 0, 1], 1)).unwrap();
         let b = net.udp_bind(NodeAddr::new([10, 0, 0, 2], 1)).unwrap();
         a.send_to(b.local_addr(), b"lost");
-        assert_eq!(net.metrics().snapshot().udp_dropped, 1);
-        assert_eq!(net.metrics().snapshot().udp_datagrams, 0);
+        let snap = net.metrics().snapshot();
+        assert_eq!(snap.udp_dropped, 1);
+        assert_eq!(snap.udp_dropped_bytes, 4, "dropped bytes stay accounted");
+        assert_eq!(snap.udp_datagrams, 0);
+        assert_eq!(snap.delivered_bytes(), 0);
+        assert_eq!(snap.total_bytes(), 4);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use parking_lot::{Mutex, RwLock};
@@ -248,6 +248,21 @@ pub struct TaintTree {
     /// Memoized unions keyed by (smaller node, larger node), striped.
     union_memo: Vec<RwLock<FxMap<(u32, u32), u32>>>,
     tags: RwLock<TagTable>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+/// Counters describing one [`TaintTree`], for the observability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeStats {
+    /// Distinct interned tag sets, including the root.
+    pub nodes: usize,
+    /// Distinct tags minted.
+    pub tags: usize,
+    /// Union calls answered from the memo.
+    pub memo_hits: u64,
+    /// Union calls that had to merge and intern.
+    pub memo_misses: u64,
 }
 
 impl TaintTree {
@@ -258,6 +273,8 @@ impl TaintTree {
             children: (0..SHARDS).map(|_| RwLock::new(FxMap::default())).collect(),
             union_memo: (0..SHARDS).map(|_| RwLock::new(FxMap::default())).collect(),
             tags: RwLock::new(TagTable::default()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
     }
 
@@ -352,8 +369,10 @@ impl TaintTree {
         let key = (a.0.min(b.0), a.0.max(b.0));
         let shard = &self.union_memo[shard_of(&key)];
         if let Some(&n) = shard.read().get(&key) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return Taint(n);
         }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside the memo lock: interning is idempotent, so a
         // concurrent duplicate lands on the same node, and no memo shard
         // is ever held while children shards are taken (no ordering).
@@ -440,6 +459,16 @@ impl TaintTree {
     /// Number of tree nodes (distinct interned tag sets, including root).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Point-in-time counters for the observability layer.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            nodes: self.num_nodes(),
+            tags: self.num_tags(),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -646,6 +675,21 @@ fn merge_sorted(a: &[TagId], b: &[TagId]) -> Vec<TagId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_count_memo_hits_and_misses() {
+        let (tree, ta, tb) = tree_ab();
+        let before = tree.stats();
+        assert_eq!(before.memo_hits, 0);
+        assert_eq!(before.memo_misses, 0);
+        tree.union(ta, tb); // miss: computed and memoized
+        tree.union(tb, ta); // hit: same key either order
+        let after = tree.stats();
+        assert_eq!(after.memo_misses, 1);
+        assert_eq!(after.memo_hits, 1);
+        assert_eq!(after.tags, 2);
+        assert!(after.nodes >= 3, "root + a + b at least");
+    }
 
     fn tree_ab() -> (TaintTree, Taint, Taint) {
         let tree = TaintTree::new();

@@ -23,6 +23,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dista_obs::{
+    Counter, FlightRecorder, Histogram, MetricsRegistry, ObsEventKind, BATCH_SIZE_BOUNDS,
+    LATENCY_US_BOUNDS,
+};
 use dista_simnet::{NodeAddr, SimNet, TcpEndpoint};
 use dista_taint::{deserialize_taint, serialize_taint, GlobalId, Taint, TaintStore};
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -52,6 +56,68 @@ pub struct ClientStats {
     /// Items resolved by waiting on another thread's in-flight
     /// registration instead of sending our own.
     pub single_flight_hits: u64,
+}
+
+/// Telemetry sinks for one [`TaintMapClient`]: a flight recorder for
+/// structured events (register/lookup/failover) and registry instruments
+/// for the batch path.
+///
+/// [`ClientObserver::disabled`] (the default, used by
+/// [`TaintMapClient::connect_topology`]) hands out a no-op recorder and
+/// detached instruments, so the client never branches on "is telemetry
+/// on".
+#[derive(Debug, Clone)]
+pub struct ClientObserver {
+    /// Event sink (shares the owning VM's ring).
+    pub recorder: FlightRecorder,
+    /// Items per batch frame.
+    pub batch_items: Histogram,
+    /// Wire time of one batch round trip, in microseconds.
+    pub batch_latency_us: Histogram,
+    /// Requests satisfied from either direction cache.
+    pub cache_hits: Counter,
+    /// Shard redials after a transport error.
+    pub failovers: Counter,
+}
+
+impl Default for ClientObserver {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl ClientObserver {
+    /// An observer whose every sink is a no-op / detached instrument.
+    pub fn disabled() -> Self {
+        ClientObserver {
+            recorder: FlightRecorder::disabled(),
+            batch_items: Histogram::detached(BATCH_SIZE_BOUNDS),
+            batch_latency_us: Histogram::detached(LATENCY_US_BOUNDS),
+            cache_hits: Counter::detached(),
+            failovers: Counter::detached(),
+        }
+    }
+
+    /// An observer writing `taintmap_*{node=<node>}` instruments into
+    /// `registry` and events into `recorder`.
+    pub fn for_node(registry: &MetricsRegistry, node: &str, recorder: FlightRecorder) -> Self {
+        let labels = [("node", node)];
+        ClientObserver {
+            recorder,
+            batch_items: registry.histogram_with(
+                "taintmap_batch_items",
+                &labels,
+                BATCH_SIZE_BOUNDS,
+            ),
+            batch_latency_us: registry.histogram_with(
+                "taintmap_batch_latency_us",
+                &labels,
+                LATENCY_US_BOUNDS,
+            ),
+            cache_hits: registry.counter_with("taintmap_cache_hits", &labels),
+            failovers: registry.counter_with("taintmap_failovers", &labels),
+        }
+    }
 }
 
 /// One thread's claim on an in-flight registration; others wait on it.
@@ -109,6 +175,7 @@ struct ClientInner {
     failovers: AtomicU64,
     batch_frames: AtomicU64,
     single_flight_hits: AtomicU64,
+    obs: ClientObserver,
 }
 
 /// A VM's handle to the Taint Map service.
@@ -173,6 +240,22 @@ impl TaintMapClient {
         topology: TaintMapTopology,
         store: TaintStore,
     ) -> Result<Self, TaintMapError> {
+        Self::connect_topology_observed(net, topology, store, ClientObserver::disabled())
+    }
+
+    /// Like [`TaintMapClient::connect_topology`], but with telemetry:
+    /// batch instruments land in the observer's registry handles and
+    /// register/lookup/failover events in its flight recorder.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if some shard has no reachable address.
+    pub fn connect_topology_observed(
+        net: &SimNet,
+        topology: TaintMapTopology,
+        store: TaintStore,
+        obs: ClientObserver,
+    ) -> Result<Self, TaintMapError> {
         let src_ip = store.local_id().ip();
         let mut shards = Vec::with_capacity(topology.shard_count());
         for i in 0..topology.shard_count() {
@@ -195,8 +278,23 @@ impl TaintMapClient {
                 failovers: AtomicU64::new(0),
                 batch_frames: AtomicU64::new(0),
                 single_flight_hits: AtomicU64::new(0),
+                obs,
             }),
         })
+    }
+
+    /// Notes one cache hit in both the legacy stats and the registry.
+    fn note_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.cache_hits.inc();
+    }
+
+    /// The Global ID this VM already knows for `taint`, if any — the
+    /// `gid_of` cache, populated by registrations *and* by wire decodes.
+    /// Never performs an RPC; used by sink points to name the global ids
+    /// reaching a sink.
+    pub fn cached_gid_for(&self, taint: Taint) -> Option<GlobalId> {
+        self.inner.gid_of.lock().get(&taint).copied()
     }
 
     /// The store this client resolves into.
@@ -236,6 +334,11 @@ impl TaintMapClient {
         guard.conn = conn;
         guard.target = target;
         self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.failovers.inc();
+        self.inner
+            .obs
+            .recorder
+            .record_with(|| ObsEventKind::TaintMapFailover { shard });
         Ok(())
     }
 
@@ -297,7 +400,7 @@ impl TaintMapClient {
             return Ok(GlobalId::UNTAINTED);
         }
         if let Some(&gid) = self.inner.gid_of.lock().get(&taint) {
-            self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.note_cache_hit();
             return Ok(gid);
         }
         let serialized = serialize_taint(self.inner.store.tree(), taint);
@@ -338,7 +441,7 @@ impl TaintMapClient {
                     continue;
                 }
                 if let Some(&gid) = gid_cache.get(&taint) {
-                    self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.note_cache_hit();
                     out[i] = gid;
                     continue;
                 }
@@ -396,6 +499,8 @@ impl TaintMapClient {
         self.inner
             .register_rpcs
             .fetch_add(mine.len() as u64, Ordering::Relaxed);
+        self.inner.obs.batch_items.observe(mine.len() as u64);
+        let wire_started = std::time::Instant::now();
 
         // Lock the involved shard connections in ascending order (the
         // deadlock-free order), pipeline the writes, then collect.
@@ -424,6 +529,10 @@ impl TaintMapClient {
             }
         }
         drop(guards);
+        self.inner
+            .obs
+            .batch_latency_us
+            .observe(wire_started.elapsed().as_micros() as u64);
         for ((_, taint, _), &gid) in mine.iter().zip(&gids) {
             self.finish_registration(*taint, gid);
         }
@@ -441,6 +550,26 @@ impl TaintMapClient {
         self.inner.gid_of.lock().insert(taint, gid);
         // Prime the reverse cache too: this VM already knows the taint.
         self.inner.taint_of.lock().insert(gid, taint);
+        self.inner
+            .obs
+            .recorder
+            .record_with(|| ObsEventKind::TaintMapRegister {
+                taint: taint.node_index() as u32,
+                gid: gid.0,
+            });
+    }
+
+    /// Notes one wire-resolved lookup in the caches and event stream.
+    fn finish_lookup(&self, gid: GlobalId, taint: Taint) {
+        self.inner.taint_of.lock().insert(gid, taint);
+        self.inner.gid_of.lock().insert(taint, gid);
+        self.inner
+            .obs
+            .recorder
+            .record_with(|| ObsEventKind::TaintMapLookup {
+                gid: gid.0,
+                taint: taint.node_index() as u32,
+            });
     }
 
     /// Resolves a Global ID received from the wire back into a local
@@ -459,7 +588,7 @@ impl TaintMapClient {
             return Ok(Taint::EMPTY);
         }
         if let Some(&taint) = self.inner.taint_of.lock().get(&gid) {
-            self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.note_cache_hit();
             return Ok(taint);
         }
         let shard = shard_of_gid(gid.0, self.shard_count());
@@ -469,8 +598,7 @@ impl TaintMapClient {
             return Err(TaintMapError::UnknownGlobalId(gid));
         }
         let taint = deserialize_taint(&self.inner.store, &payload)?;
-        self.inner.taint_of.lock().insert(gid, taint);
-        self.inner.gid_of.lock().insert(taint, gid);
+        self.finish_lookup(gid, taint);
         Ok(taint)
     }
 
@@ -493,7 +621,7 @@ impl TaintMapClient {
                     continue;
                 }
                 if let Some(&taint) = taint_cache.get(&gid) {
-                    self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.note_cache_hit();
                     out[i] = taint;
                     continue;
                 }
@@ -509,6 +637,8 @@ impl TaintMapClient {
         self.inner
             .lookup_rpcs
             .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        self.inner.obs.batch_items.observe(misses.len() as u64);
+        let wire_started = std::time::Instant::now();
 
         let n = self.shard_count();
         let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -540,12 +670,15 @@ impl TaintMapClient {
             }
         }
         drop(guards);
+        self.inner
+            .obs
+            .batch_latency_us
+            .observe(wire_started.elapsed().as_micros() as u64);
 
         for ((i, gid), bytes) in misses.into_iter().zip(fetched) {
             let bytes = bytes.ok_or(TaintMapError::UnknownGlobalId(gid))?;
             let taint = deserialize_taint(&self.inner.store, &bytes)?;
-            self.inner.taint_of.lock().insert(gid, taint);
-            self.inner.gid_of.lock().insert(taint, gid);
+            self.finish_lookup(gid, taint);
             out[i] = taint;
         }
         self.backfill_lookup_duplicates(gids, out)
@@ -869,11 +1002,75 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "every taint map shard needs >= 1 address")]
     fn empty_address_list_is_rejected() {
+        // The modern API rejects an empty deployment at topology
+        // construction (the deprecated `connect_with_failover` shim maps
+        // the same misuse to `TaintMapError::Protocol` for downstream).
+        let _ = TaintMapTopology::new(vec![vec![]]);
+    }
+
+    #[test]
+    fn observed_client_records_register_and_lookup_events() {
         let net = SimNet::new();
-        let store = TaintStore::new(LocalId::default());
-        #[allow(deprecated)]
-        let result = TaintMapClient::connect_with_failover(&net, vec![], store);
-        assert!(matches!(result, Err(TaintMapError::Protocol(_))));
+        let endpoint = TaintMapEndpoint::builder().connect(&net).unwrap();
+        let reg = dista_obs::MetricsRegistry::new();
+        let clock = dista_obs::ObsClock::new();
+
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let rec1 = dista_obs::FlightRecorder::new("n1", 64, clock.clone());
+        let client1 = TaintMapClient::connect_topology_observed(
+            &net,
+            endpoint.topology(),
+            store1.clone(),
+            ClientObserver::for_node(&reg, "n1", rec1.clone()),
+        )
+        .unwrap();
+        let t = store1.mint_source_taint(TagValue::str("observed"));
+        let gid = client1.global_ids_for(&[t]).unwrap()[0];
+        assert_eq!(client1.cached_gid_for(t), Some(gid));
+
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let rec2 = dista_obs::FlightRecorder::new("n2", 64, clock);
+        let client2 = TaintMapClient::connect_topology_observed(
+            &net,
+            endpoint.topology(),
+            store2,
+            ClientObserver::for_node(&reg, "n2", rec2.clone()),
+        )
+        .unwrap();
+        let resolved = client2.taints_for(&[gid]).unwrap()[0];
+        assert_eq!(client2.cached_gid_for(resolved), Some(gid));
+
+        let e1 = rec1.events();
+        assert!(e1.iter().any(|e| matches!(
+            e.kind,
+            dista_obs::ObsEventKind::TaintMapRegister { gid: g, .. } if g == gid.0
+        )));
+        let e2 = rec2.events();
+        assert!(e2.iter().any(|e| matches!(
+            e.kind,
+            dista_obs::ObsEventKind::TaintMapLookup { gid: g, .. } if g == gid.0
+        )));
+        // The register happened-before the lookup on the shared clock.
+        assert!(e1[0].seq < e2[0].seq);
+        // Batch instruments landed in the registry.
+        let dump = reg.snapshot();
+        assert!(dump
+            .samples
+            .iter()
+            .any(|s| s.name == "taintmap_batch_items"));
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn plain_client_records_nothing() {
+        let (_net, endpoint, client, store) = setup();
+        let t = store.mint_source_taint(TagValue::str("quiet"));
+        client.global_id_for(t).unwrap();
+        assert!(client.cached_gid_for(t).is_some());
+        // The default observer is a no-op recorder: nothing retained.
+        assert_eq!(client.stats().cache_hits, 0);
+        endpoint.shutdown();
     }
 }

@@ -70,7 +70,7 @@ mod server;
 mod shard;
 
 pub use backend::{InMemoryBackend, TaintMapBackend};
-pub use client::{ClientStats, TaintMapClient};
+pub use client::{ClientObserver, ClientStats, TaintMapClient};
 pub use endpoint::{TaintMapEndpoint, TaintMapEndpointBuilder};
 pub use error::TaintMapError;
 pub use server::{ServerStats, TaintMapConfig, TaintMapServer};

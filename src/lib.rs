@@ -93,3 +93,8 @@ pub mod hbase {
 pub mod microbench {
     pub use dista_microbench::*;
 }
+
+/// Telemetry: metrics registry, flight recorder, provenance, exporters.
+pub mod obs {
+    pub use dista_obs::*;
+}

@@ -159,3 +159,63 @@ fn phosphor_still_tracks_intra_node() {
     );
     cluster.shutdown();
 }
+
+/// Original mode must pay nothing for observability even when it is
+/// switched on cluster-wide: the flight recorder stays disabled (its
+/// event-building closure is never even evaluated, so no allocation
+/// happens on the hot path), and none of the tracked-mode instrument
+/// families ever count anything.
+#[test]
+fn original_mode_observability_is_a_strict_noop() {
+    use dista_repro::core::{Cluster, Mode};
+    use dista_repro::jre::{InputStream, OutputStream, ServerSocket, Socket};
+    use dista_repro::obs::ObsConfig;
+    use dista_repro::simnet::NodeAddr;
+
+    let cluster = Cluster::builder(Mode::Original)
+        .nodes("plain", 2)
+        .observability(ObsConfig::default())
+        .build()
+        .unwrap();
+    for vm in cluster.vms() {
+        assert!(!vm.flight_recorder().is_enabled());
+        // A disabled recorder must never evaluate the closure — this
+        // panics if it does, and allocates nothing if it doesn't.
+        vm.flight_recorder()
+            .record_with(|| panic!("plain mode must not build events"));
+    }
+
+    // Drive real traffic and sink checks through the plain-mode stack.
+    let server = ServerSocket::bind(cluster.vm(1), NodeAddr::new([10, 0, 0, 2], 95)).unwrap();
+    let out = Socket::connect(cluster.vm(0), server.local_addr()).unwrap();
+    let conn = server.accept().unwrap();
+    let t = cluster.vm(0).taint_source(TagValue::str(DATA1_TAG));
+    assert!(t.is_empty(), "plain mode mints nothing");
+    out.output_stream()
+        .write(&Payload::Tainted(TaintedBytes::uniform(b"plain", t)))
+        .unwrap();
+    let got = conn.input_stream().read_exact(5).unwrap();
+    cluster
+        .vm(1)
+        .taint_sink("LOG.info", got.taint_union(cluster.vm(1).store()));
+
+    assert!(cluster.obs_events().is_empty(), "no events in plain mode");
+    let dump = cluster.metrics_dump();
+    for family in [
+        "sources_minted",
+        "sink_hits",
+        "boundary_data_bytes_out",
+        "boundary_wire_bytes_out",
+        "boundary_data_bytes_in",
+        "boundary_wire_bytes_in",
+        "taintmap_cache_hits",
+        "taintmap_failovers",
+    ] {
+        assert_eq!(
+            dump.counter_total(family),
+            0,
+            "{family} must stay silent in plain mode"
+        );
+    }
+    cluster.shutdown();
+}

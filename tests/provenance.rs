@@ -1,0 +1,148 @@
+//! Cross-node provenance reconstruction (the telemetry tentpole's
+//! acceptance scenario): tainted bytes minted on `n1` relay through
+//! `n2` and reach a `LOG.info` sink on `n3`. `Cluster::provenance(gid)`
+//! must rebuild the whole ≥2-hop path — mint, Taint Map registration,
+//! both socket crossings with byte ranges, per-node resolution, and the
+//! sink — from flight-recorder events alone.
+
+use dista_repro::core::{Cluster, Mode};
+use dista_repro::jre::{InputStream, OutputStream, ServerSocket, Socket};
+use dista_repro::obs::{Hop, ObsConfig, ObsEventKind};
+use dista_repro::simnet::NodeAddr;
+use dista_repro::taint::{Payload, TagValue, TaintedBytes};
+
+#[test]
+fn provenance_reconstructs_two_hop_relay_path() {
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("n", 3)
+        .observability(ObsConfig::default())
+        .build()
+        .unwrap();
+    let (src, relay, sink) = (cluster.vm(0), cluster.vm(1), cluster.vm(2));
+
+    // n1 → n2 → n3 over two real socket connections.
+    let relay_server = ServerSocket::bind(relay, NodeAddr::new([10, 0, 0, 2], 90)).unwrap();
+    let sink_server = ServerSocket::bind(sink, NodeAddr::new([10, 0, 0, 3], 90)).unwrap();
+    let src_out = Socket::connect(src, relay_server.local_addr()).unwrap();
+    let relay_in = relay_server.accept().unwrap();
+    let relay_out = Socket::connect(relay, sink_server.local_addr()).unwrap();
+    let sink_in = sink_server.accept().unwrap();
+
+    let creds = src.taint_source(TagValue::str("creds"));
+    src_out
+        .output_stream()
+        .write(&Payload::Tainted(TaintedBytes::uniform(b"secret!!", creds)))
+        .unwrap();
+    let relayed = relay_in.input_stream().read_exact(8).unwrap();
+    relay_out.output_stream().write(&relayed).unwrap();
+    let received = sink_in.input_stream().read_exact(8).unwrap();
+    let taint = received.taint_union(sink.store());
+    assert!(sink.taint_sink("LOG.info", taint), "taint reached the sink");
+
+    // The Global ID assigned at registration, read without side effects.
+    let gid = src
+        .taint_map()
+        .unwrap()
+        .cached_gid_for(creds)
+        .expect("taint registered when it crossed the first socket")
+        .0;
+
+    let trace = cluster.provenance(gid);
+    assert!(!trace.is_empty());
+    assert_eq!(trace.crossings(), 2, "n1→n2 and n2→n3: {trace}");
+    assert_eq!(trace.nodes(), vec!["n1", "n2", "n3"]);
+    assert_eq!(trace.sinks(), vec![("n3", "LOG.info")]);
+
+    // Hop order tells the full story: minted and registered on n1,
+    // crossed to n2, resolved there, crossed to n3, resolved, sunk.
+    let hops = &trace.hops;
+    assert!(
+        matches!(&hops[0], Hop::Minted { node, tag, .. } if node == "n1" && tag == "creds"),
+        "first hop is the mint on n1: {trace}"
+    );
+    assert!(
+        hops.iter()
+            .any(|h| matches!(h, Hop::Registered { node, .. } if node == "n1")),
+        "registration hop present: {trace}"
+    );
+    let crossed: Vec<(&str, Option<&str>, (usize, usize))> = hops
+        .iter()
+        .filter_map(|h| match h {
+            Hop::Crossed {
+                from_node,
+                to_node,
+                bytes,
+                ..
+            } => Some((from_node.as_str(), to_node.as_deref(), *bytes)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        crossed,
+        vec![("n1", Some("n2"), (0, 8)), ("n2", Some("n3"), (0, 8)),],
+        "both crossings carry the full byte range: {trace}"
+    );
+    assert!(
+        matches!(hops.last().unwrap(), Hop::Sunk { node, sink, .. }
+            if node == "n3" && sink == "LOG.info"),
+        "last hop is the sink: {trace}"
+    );
+
+    // Sequence numbers come from one shared cluster clock, so the hop
+    // order is a total order.
+    let seqs: Vec<u64> = hops.iter().map(|h| h.seq()).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "hops strictly ordered"
+    );
+
+    // The same events drive the exporters.
+    let jsonl = cluster.export_jsonl();
+    assert!(jsonl.contains("\"event\":\"source_minted\""));
+    assert!(jsonl.contains("\"event\":\"sink_hit\""));
+    let chrome = cluster.export_chrome_trace();
+    for node in ["n1", "n2", "n3"] {
+        assert!(chrome.contains(node), "trace names process {node}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn relay_register_and_lookup_events_name_the_same_gid() {
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("m", 2)
+        .observability(ObsConfig::default())
+        .build()
+        .unwrap();
+    let (a, b) = (cluster.vm(0), cluster.vm(1));
+    let server = ServerSocket::bind(b, NodeAddr::new([10, 0, 0, 2], 91)).unwrap();
+    let out = Socket::connect(a, server.local_addr()).unwrap();
+    let conn = server.accept().unwrap();
+    let t = a.taint_source(TagValue::str("x"));
+    out.output_stream()
+        .write(&Payload::Tainted(TaintedBytes::uniform(b"abc", t)))
+        .unwrap();
+    conn.input_stream().read_exact(3).unwrap();
+
+    let events = cluster.obs_events();
+    let registered: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            ObsEventKind::TaintMapRegister { gid, .. } => Some(gid),
+            _ => None,
+        })
+        .collect();
+    let looked_up: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            ObsEventKind::TaintMapLookup { gid, .. } => Some(gid),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(registered.len(), 1);
+    assert_eq!(
+        registered, looked_up,
+        "receiver resolves what sender registered"
+    );
+    cluster.shutdown();
+}
