@@ -11,16 +11,26 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
-echo "==> cargo doc -p dista-obs -p dista-taintmap -p dista-core --no-deps (warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc -p dista-obs -p dista-taintmap -p dista-core --no-deps --offline
+echo "==> cargo doc -p dista-obs -p dista-taintmap -p dista-core -p dista-simnet --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc -p dista-obs -p dista-taintmap -p dista-core -p dista-simnet --no-deps --offline
 
 echo "==> cargo test -q"
 cargo test -q --offline
+
+echo "==> chaos suites under fixed seeds"
+for seed in 7 42 1337; do
+    echo "    seed $seed"
+    DISTA_CHAOS_SEED="$seed" cargo test -q --offline --test chaos
+done
+cargo test -q --offline -p dista-taintmap --test prop_chaos
 
 echo "==> claim_global_taints --smoke"
 cargo run -p dista-bench --bin claim_global_taints --release --offline -- --smoke
 
 echo "==> claim_net_overhead --smoke --metrics (wire-expansion band check)"
 cargo run -p dista-bench --bin claim_net_overhead --release --offline -- --smoke --metrics
+
+echo "==> claim_net_overhead --chaos --smoke (degraded-mode soundness check)"
+cargo run -p dista-bench --bin claim_net_overhead --release --offline -- --chaos --smoke
 
 echo "CI OK"

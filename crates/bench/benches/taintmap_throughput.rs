@@ -43,6 +43,7 @@ fn bench_throttle(c: &mut Criterion) {
             .nodes("tm", 2)
             .taint_map_config(TaintMapConfig {
                 service_delay: Duration::from_micros(delay_us),
+                ..Default::default()
             })
             .build()
             .expect("cluster");
@@ -112,6 +113,7 @@ fn bench_shards_and_batching(c: &mut Criterion) {
     // sharding parallelizes.
     let config = TaintMapConfig {
         service_delay: Duration::from_micros(50),
+        ..Default::default()
     };
     for (label, shards, batched) in [
         ("unbatched_1shard", 1usize, false),

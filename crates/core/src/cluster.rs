@@ -2,10 +2,10 @@
 
 use dista_jre::{Mode, Vm};
 use dista_obs::{
-    reconstruct, to_chrome_trace, to_jsonl, to_text_report, MetricsDump, ObsConfig, ObsEvent,
-    Observability, ProvenanceTrace,
+    reconstruct, to_chrome_trace, to_jsonl, to_text_report, FlightRecorder, MetricsDump, ObsConfig,
+    ObsEvent, ObsEventKind, Observability, ProvenanceTrace,
 };
-use dista_simnet::{NodeAddr, SimNet};
+use dista_simnet::{FaultPlan, FaultTrigger, NodeAddr, SimFs, SimNet};
 use dista_taint::{SinkReport, SourceSinkSpec};
 use dista_taintmap::{TaintMapConfig, TaintMapEndpoint, TaintMapEndpointBuilder};
 
@@ -33,8 +33,10 @@ pub struct ClusterBuilder {
     taint_map_shards: Option<usize>,
     taint_map_standby: Option<bool>,
     taint_map_endpoint: Option<TaintMapEndpointBuilder>,
+    taint_map_snapshots: Option<bool>,
     net: Option<SimNet>,
     observability: Option<ObsConfig>,
+    chaos: Option<FaultPlan>,
 }
 
 impl ClusterBuilder {
@@ -101,9 +103,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Gives every Taint Map shard primary a write-ahead snapshot log on
+    /// a shared simulated file system, so a crashed primary restarts
+    /// with zero lost registrations ([`Cluster::restart_shard`]).
+    pub fn taint_map_snapshots(mut self, enabled: bool) -> Self {
+        self.taint_map_snapshots = Some(enabled);
+        self
+    }
+
     /// Reuses an existing network instead of creating one.
     pub fn net(mut self, net: SimNet) -> Self {
         self.net = Some(net);
+        self
+    }
+
+    /// Installs a deterministic fault schedule on the cluster's network.
+    /// The plan's logical step clock starts counting after the cluster
+    /// (Taint Map + VMs) is stood up, so step numbers refer to workload
+    /// operations. Drive crash/restart triggers with
+    /// [`Cluster::poll_chaos`].
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 
@@ -141,6 +161,9 @@ impl ClusterBuilder {
                 if self.taint_map_standby.is_some() {
                     conflicts.push("taint_map_standby");
                 }
+                if self.taint_map_snapshots.is_some() {
+                    conflicts.push("taint_map_snapshots");
+                }
                 if !conflicts.is_empty() {
                     return Err(DistaError::Config(format!(
                         "taint_map_endpoint conflicts with {}: configure the \
@@ -166,6 +189,9 @@ impl ClusterBuilder {
                     }
                     builder = builder.shards(shards);
                 }
+                if self.taint_map_snapshots == Some(true) {
+                    builder = builder.snapshots(SimFs::new());
+                }
                 builder
             }
         };
@@ -189,12 +215,20 @@ impl ClusterBuilder {
                     .build()?,
             );
         }
+        let chaos_recorder = observability.recorder_for("chaos");
+        // Arm the schedule last, so the logical step clock counts
+        // workload operations, not cluster standup.
+        if let Some(plan) = self.chaos {
+            net.install_fault_plan(plan);
+        }
         Ok(Cluster {
             net,
             mode: self.mode,
             taint_map: Some(taint_map),
             vms,
             observability,
+            chaos_recorder,
+            fault_log_cursor: 0,
         })
     }
 }
@@ -207,6 +241,12 @@ pub struct Cluster {
     taint_map: Option<TaintMapEndpoint>,
     vms: Vec<Vm>,
     observability: Observability,
+    /// Sink for chaos-layer events (faults, shard crash/restart); merged
+    /// into [`Cluster::obs_events`] alongside the per-VM recorders.
+    chaos_recorder: FlightRecorder,
+    /// How much of the network's applied-fault log has been mirrored
+    /// into the chaos recorder.
+    fault_log_cursor: usize,
 }
 
 impl Cluster {
@@ -222,8 +262,10 @@ impl Cluster {
             taint_map_shards: None,
             taint_map_standby: None,
             taint_map_endpoint: None,
+            taint_map_snapshots: None,
             net: None,
             observability: None,
+            chaos: None,
         }
     }
 
@@ -305,6 +347,7 @@ impl Cluster {
             .vms
             .iter()
             .flat_map(|vm| vm.flight_recorder().events())
+            .chain(self.chaos_recorder.events())
             .collect();
         events.sort_by_key(|e| e.seq);
         events
@@ -348,6 +391,8 @@ impl Cluster {
                     .set(cs.lookup_rpcs as f64);
                 reg.gauge_with("taintmap_batch_frames", labels)
                     .set(cs.batch_frames as f64);
+                reg.gauge_with("taintmap_pending_gids", labels)
+                    .set(cs.pending_gids as f64);
             }
         }
         reg.snapshot()
@@ -369,6 +414,132 @@ impl Cluster {
     /// the event log.
     pub fn obs_report(&self) -> String {
         to_text_report(&self.metrics_dump(), &self.obs_events())
+    }
+
+    /// Drives the chaos layer one tick: mirrors newly applied faults
+    /// from the network's fault log into the event stream, then drains
+    /// and executes the process-level triggers the network cannot apply
+    /// itself (shard crash/restart, VM crash/restart). Call this between
+    /// workload phases of a chaos run — the engine is operation-clocked,
+    /// so polling cadence never changes *which* faults fire, only when
+    /// the triggers are acted on.
+    ///
+    /// # Errors
+    ///
+    /// Errors from restarting a shard primary.
+    pub fn poll_chaos(&mut self) -> Result<(), DistaError> {
+        let log = self.net.fault_log();
+        for applied in &log[self.fault_log_cursor..] {
+            let fault = format!("step {}: {:?}", applied.step, applied.action);
+            self.chaos_recorder
+                .record_with(|| ObsEventKind::FaultInjected { fault });
+        }
+        self.fault_log_cursor = log.len();
+        for trigger in self.net.take_fault_triggers() {
+            match trigger {
+                FaultTrigger::CrashShard(i) => self.crash_shard(i as usize),
+                FaultTrigger::RestartShard(i) => {
+                    self.restart_shard(i as usize)?;
+                }
+                FaultTrigger::CrashVm(node) => self.crash_vm(&node),
+                FaultTrigger::RestartVm(node) => self.restart_vm(&node),
+            }
+        }
+        Ok(())
+    }
+
+    /// Crashes Taint Map shard `shard`'s primary ungracefully (no
+    /// drain, no handoff) and records a `shard_crashed` event. Restart
+    /// it with [`Cluster::restart_shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is already crashed or the cluster was shut
+    /// down.
+    pub fn crash_shard(&mut self, shard: usize) {
+        self.taint_map
+            .as_mut()
+            .expect("cluster already shut down")
+            .crash_primary(shard);
+        self.chaos_recorder
+            .record_with(|| ObsEventKind::ShardCrashed { shard });
+    }
+
+    /// Restarts a crashed shard primary, replaying its write-ahead
+    /// snapshot (only present with
+    /// [`ClusterBuilder::taint_map_snapshots`]). Returns the number of
+    /// replayed registrations and records a `shard_restarted` event.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors while re-binding the primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is not crashed or the cluster was shut down.
+    pub fn restart_shard(&mut self, shard: usize) -> Result<u64, DistaError> {
+        let replayed = self
+            .taint_map
+            .as_mut()
+            .expect("cluster already shut down")
+            .restart_primary(shard)?;
+        self.chaos_recorder
+            .record_with(|| ObsEventKind::ShardRestarted { shard, replayed });
+        Ok(replayed)
+    }
+
+    /// Crashes the named VM as seen from the network: its IP is isolated
+    /// from every peer, so in-flight and future traffic to or from it
+    /// fails. The process state survives; [`Cluster::restart_vm`]
+    /// reconnects it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no VM has that name.
+    pub fn crash_vm(&mut self, name: &str) {
+        let vm = self
+            .vm_named(name)
+            .unwrap_or_else(|| panic!("no VM named {name:?}"));
+        self.net.isolate(vm.ip());
+    }
+
+    /// Rejoins a crashed VM's IP to the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no VM has that name.
+    pub fn restart_vm(&mut self, name: &str) {
+        let vm = self
+            .vm_named(name)
+            .unwrap_or_else(|| panic!("no VM named {name:?}"));
+        self.net.rejoin(vm.ip());
+    }
+
+    /// Runs every VM's pending-sentinel reconciler (degraded lookups
+    /// stamped while a shard was unreachable); returns how many
+    /// sentinels resolved to their real taints cluster-wide.
+    ///
+    /// # Errors
+    ///
+    /// Non-transport Taint Map errors from a reachable shard.
+    pub fn reconcile_pending(&self) -> Result<u64, DistaError> {
+        let mut resolved = 0;
+        for vm in &self.vms {
+            if let Some(client) = vm.taint_map() {
+                resolved += client.reconcile_pending()?;
+            }
+        }
+        Ok(resolved)
+    }
+
+    /// Total gids currently degraded to a pending sentinel across all
+    /// VMs.
+    pub fn pending_gids(&self) -> usize {
+        self.vms
+            .iter()
+            .filter_map(|vm| vm.taint_map())
+            .map(|c| c.pending_count())
+            .sum()
     }
 
     /// Stops the Taint Map deployment.

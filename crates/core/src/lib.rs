@@ -55,6 +55,7 @@ pub use config::{DistaConfig, LaunchScript};
 pub use error::DistaError;
 
 pub use dista_jre::Mode;
+pub use dista_simnet::{FaultPlan, FaultPlanBuilder};
 
 /// Re-export of the intra-node taint engine.
 pub mod taint {

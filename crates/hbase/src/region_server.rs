@@ -71,7 +71,7 @@ impl RegionServer {
                 while accept_running.load(Ordering::Relaxed) {
                     let channel = match listener.accept() {
                         Ok(c) => c,
-                        Err(JreError::Net(NetError::TimedOut)) => continue,
+                        Err(JreError::Net(NetError::Timeout(_))) => continue,
                         Err(_) => break,
                     };
                     let store = store.clone();

@@ -149,7 +149,7 @@ impl InputStream for PipedStream {
                 .wait_for(&mut queue, PIPE_TIMEOUT)
                 .timed_out()
             {
-                return Err(JreError::Net(dista_simnet::NetError::TimedOut));
+                return Err(JreError::Net(dista_simnet::NetError::Timeout(PIPE_TIMEOUT)));
             }
         }
     }

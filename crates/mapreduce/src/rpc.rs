@@ -76,7 +76,7 @@ impl RpcServer {
                 while accept_running.load(Ordering::Relaxed) {
                     let channel = match listener.accept() {
                         Ok(c) => c,
-                        Err(JreError::Net(NetError::TimedOut)) => continue,
+                        Err(JreError::Net(NetError::Timeout(_))) => continue,
                         Err(_) => break,
                     };
                     let handler = handler.clone();

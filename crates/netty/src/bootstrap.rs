@@ -107,7 +107,7 @@ impl ServerBootstrap {
                 while boss_running.load(Ordering::Relaxed) {
                     let channel = match listener.accept() {
                         Ok(c) => c,
-                        Err(JreError::Net(NetError::TimedOut)) => continue,
+                        Err(JreError::Net(NetError::Timeout(_))) => continue,
                         Err(_) => break,
                     };
                     let ctx = ChannelContext {

@@ -119,6 +119,42 @@ pub enum ObsEventKind {
         /// a boundary).
         gids: Vec<u32>,
     },
+    /// Boundary decode could not resolve `gid` (owning shard
+    /// unreachable past the retry budget) and attached a `PendingGid`
+    /// sentinel taint instead of dropping the taint.
+    DegradedLookup {
+        /// The unresolved global id.
+        gid: u32,
+        /// Index of the unreachable shard.
+        shard: usize,
+    },
+    /// The reconciler resolved a pending sentinel after the partition
+    /// healed: `gid` now maps to the correct local taint.
+    PendingResolved {
+        /// The global id that was pending.
+        gid: u32,
+        /// The correct local taint it resolved to.
+        taint: u32,
+    },
+    /// A chaos-layer fault applied (partition, heal, reset, crash or
+    /// restart trigger), described in the fault log's wording.
+    FaultInjected {
+        /// Human-readable description of the applied fault.
+        fault: String,
+    },
+    /// A Taint Map shard primary was crashed ungracefully.
+    ShardCrashed {
+        /// Index of the crashed shard.
+        shard: usize,
+    },
+    /// A crashed shard primary was restarted from its write-ahead
+    /// snapshot.
+    ShardRestarted {
+        /// Index of the restarted shard.
+        shard: usize,
+        /// Registrations recovered by replaying the snapshot log.
+        replayed: u64,
+    },
 }
 
 impl ObsEventKind {
@@ -132,6 +168,11 @@ impl ObsEventKind {
             ObsEventKind::BoundaryEncode { .. } => "boundary_encode",
             ObsEventKind::BoundaryDecode { .. } => "boundary_decode",
             ObsEventKind::SinkHit { .. } => "sink_hit",
+            ObsEventKind::DegradedLookup { .. } => "degraded_lookup",
+            ObsEventKind::PendingResolved { .. } => "pending_resolved",
+            ObsEventKind::FaultInjected { .. } => "fault_injected",
+            ObsEventKind::ShardCrashed { .. } => "shard_crashed",
+            ObsEventKind::ShardRestarted { .. } => "shard_restarted",
         }
     }
 }

@@ -90,6 +90,17 @@ fn kind_fields(kind: &ObsEventKind) -> String {
                 gids.join(",")
             )
         }
+        ObsEventKind::DegradedLookup { gid, shard } => {
+            format!("\"gid\":{gid},\"shard\":{shard}")
+        }
+        ObsEventKind::PendingResolved { gid, taint } => {
+            format!("\"gid\":{gid},\"taint\":{taint}")
+        }
+        ObsEventKind::FaultInjected { fault } => format!("\"fault\":{}", json_str(fault)),
+        ObsEventKind::ShardCrashed { shard } => format!("\"shard\":{shard}"),
+        ObsEventKind::ShardRestarted { shard, replayed } => {
+            format!("\"shard\":{shard},\"replayed\":{replayed}")
+        }
     }
 }
 

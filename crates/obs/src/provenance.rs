@@ -74,6 +74,16 @@ pub enum Hop {
         /// Clock sequence of the event.
         seq: u64,
     },
+    /// A VM could not reach the owning shard and attached a
+    /// `PendingGid` sentinel instead of a real taint (degraded mode).
+    Pending {
+        /// VM that degraded the lookup.
+        node: String,
+        /// Index of the unreachable shard.
+        shard: usize,
+        /// Clock sequence of the event.
+        seq: u64,
+    },
     /// A sink observed the taint.
     Sunk {
         /// VM the sink fired on.
@@ -93,6 +103,7 @@ impl Hop {
             | Hop::Registered { seq, .. }
             | Hop::Crossed { seq, .. }
             | Hop::Resolved { seq, .. }
+            | Hop::Pending { seq, .. }
             | Hop::Sunk { seq, .. } => *seq,
         }
     }
@@ -118,6 +129,9 @@ impl std::fmt::Display for Hop {
                 )
             }
             Hop::Resolved { node, .. } => write!(f, "resolved on {node}"),
+            Hop::Pending { node, shard, .. } => {
+                write!(f, "pending on {node} (shard {shard} unreachable)")
+            }
             Hop::Sunk { node, sink, .. } => write!(f, "sunk at {sink} on {node}"),
         }
     }
@@ -163,6 +177,7 @@ impl ProvenanceTrace {
                 Hop::Minted { node, .. }
                 | Hop::Registered { node, .. }
                 | Hop::Resolved { node, .. }
+                | Hop::Pending { node, .. }
                 | Hop::Sunk { node, .. } => vec![node.as_str()],
                 Hop::Crossed {
                     from_node, to_node, ..
@@ -181,6 +196,29 @@ impl ProvenanceTrace {
             }
         }
         out
+    }
+
+    /// Number of degraded lookups (a `PendingGid` sentinel stood in for
+    /// the real taint while the owning shard was unreachable).
+    pub fn pending_hops(&self) -> usize {
+        self.hops
+            .iter()
+            .filter(|h| matches!(h, Hop::Pending { .. }))
+            .count()
+    }
+
+    /// True when every [`Hop::Pending`] is followed (in clock order) by
+    /// a [`Hop::Resolved`] on the same node — the soundness condition
+    /// for degraded mode: no delivered byte is left holding a sentinel
+    /// after the partition healed.
+    pub fn pending_all_resolved(&self) -> bool {
+        self.hops.iter().all(|h| match h {
+            Hop::Pending { node, seq, .. } => self.hops.iter().any(|later| {
+                matches!(later, Hop::Resolved { node: rn, seq: rs, .. }
+                    if rn == node && rs > seq)
+            }),
+            _ => true,
+        })
     }
 
     /// The sinks that observed the taint, as `(node, sink)` pairs.
@@ -299,11 +337,15 @@ pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
         }
     }
 
-    // 4. First lookup per node is a resolution hop.
+    // 4. First lookup per node is a resolution hop. Degraded lookups
+    //    become pending hops; a later `PendingResolved` on the node
+    //    closes them with a (reconciled) resolution hop.
     let mut resolved_nodes: Vec<String> = Vec::new();
     for e in &events {
-        if let ObsEventKind::TaintMapLookup { gid: g, taint } = &e.kind {
-            if *g == gid && !resolved_nodes.contains(&e.node) {
+        match &e.kind {
+            ObsEventKind::TaintMapLookup { gid: g, taint }
+                if *g == gid && !resolved_nodes.contains(&e.node) =>
+            {
                 resolved_nodes.push(e.node.clone());
                 hops.push(Hop::Resolved {
                     node: e.node.clone(),
@@ -311,6 +353,22 @@ pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
                     seq: e.seq,
                 });
             }
+            ObsEventKind::DegradedLookup { gid: g, shard } if *g == gid => {
+                hops.push(Hop::Pending {
+                    node: e.node.clone(),
+                    shard: *shard,
+                    seq: e.seq,
+                });
+            }
+            ObsEventKind::PendingResolved { gid: g, taint } if *g == gid => {
+                resolved_nodes.push(e.node.clone());
+                hops.push(Hop::Resolved {
+                    node: e.node.clone(),
+                    taint: *taint,
+                    seq: e.seq,
+                });
+            }
+            _ => {}
         }
     }
 
@@ -471,6 +529,34 @@ mod tests {
         assert!(trace
             .to_string()
             .contains("crossed udp n1\u{2192}? bytes 0..8"));
+    }
+
+    #[test]
+    fn degraded_lookup_is_a_pending_hop_until_reconciled() {
+        let mut events = vec![
+            ev(
+                0,
+                "n1",
+                ObsEventKind::TaintMapRegister { taint: 7, gid: 42 },
+            ),
+            ev(1, "n2", ObsEventKind::DegradedLookup { gid: 42, shard: 1 }),
+        ];
+        let open = reconstruct(&events, 42);
+        assert_eq!(open.pending_hops(), 1);
+        assert!(!open.pending_all_resolved());
+        assert!(open
+            .to_string()
+            .contains("pending on n2 (shard 1 unreachable)"));
+
+        events.push(ev(
+            2,
+            "n2",
+            ObsEventKind::PendingResolved { gid: 42, taint: 9 },
+        ));
+        let closed = reconstruct(&events, 42);
+        assert_eq!(closed.pending_hops(), 1);
+        assert!(closed.pending_all_resolved());
+        assert!(closed.to_string().contains("resolved on n2"));
     }
 
     #[test]

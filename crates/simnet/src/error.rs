@@ -1,10 +1,13 @@
 //! Error type for simulated network operations.
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::addr::NodeAddr;
 
 /// Errors surfaced by the simulated OS network layer.
+///
+/// Also exported as [`crate::SimNetError`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
     /// Bind target already has a listener/mailbox.
@@ -13,11 +16,16 @@ pub enum NetError {
     ConnectionRefused(NodeAddr),
     /// The peer closed the connection and all buffered data is consumed.
     Closed,
-    /// A blocking operation exceeded the simulator's safety timeout —
-    /// almost always a protocol deadlock in the code under test.
-    TimedOut,
+    /// A blocking operation exceeded the configured block timeout
+    /// ([`crate::FaultConfig::block_timeout`]) — a protocol deadlock in
+    /// the code under test, or an unhealed partition starving a reader.
+    /// Carries the timeout that expired so tests can assert on it.
+    Timeout(Duration),
     /// Operation on an address that is not bound.
     NotBound(NodeAddr),
+    /// The destination is cut off by an injected partition
+    /// ([`crate::FaultPlan`] / `SimNet::partition`).
+    Unreachable(NodeAddr),
 }
 
 impl fmt::Display for NetError {
@@ -26,8 +34,11 @@ impl fmt::Display for NetError {
             NetError::AddrInUse(a) => write!(f, "address already in use: {a}"),
             NetError::ConnectionRefused(a) => write!(f, "connection refused: {a}"),
             NetError::Closed => f.write_str("connection closed by peer"),
-            NetError::TimedOut => f.write_str("simulated i/o timed out (likely deadlock)"),
+            NetError::Timeout(after) => {
+                write!(f, "simulated i/o timed out after {after:?}")
+            }
             NetError::NotBound(a) => write!(f, "address not bound: {a}"),
+            NetError::Unreachable(a) => write!(f, "destination unreachable (partitioned): {a}"),
         }
     }
 }
@@ -43,6 +54,9 @@ mod tests {
         let a = NodeAddr::new([10, 0, 0, 1], 80);
         assert!(NetError::AddrInUse(a).to_string().contains("10.0.0.1:80"));
         assert!(NetError::Closed.to_string().contains("closed"));
-        assert!(NetError::TimedOut.to_string().contains("timed out"));
+        assert!(NetError::Timeout(Duration::from_millis(50))
+            .to_string()
+            .contains("timed out after 50ms"));
+        assert!(NetError::Unreachable(a).to_string().contains("partitioned"));
     }
 }

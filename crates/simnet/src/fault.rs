@@ -1,0 +1,588 @@
+//! Deterministic fault-schedule engine (chaos layer).
+//!
+//! A [`FaultPlan`] is a *schedule*: a list of fault actions keyed to a
+//! **logical step clock** that the network advances on every connection
+//! attempt, TCP write, and datagram send. Because the clock counts
+//! operations — never wall time — and every probabilistic choice (jitter)
+//! draws from one RNG seeded by [`FaultPlan::seed`], a chaos run replays
+//! bit-identically: the same plan against the same workload injects the
+//! same faults at the same operations, every time.
+//!
+//! Fault taxonomy:
+//!
+//! * **Directed partitions** — traffic from one IP to another is cut:
+//!   connects and writes fail with [`crate::NetError::Unreachable`],
+//!   datagrams are dropped (and accounted as drops). Heal points restore
+//!   the link.
+//! * **Isolation** — one IP is partitioned from everyone (the network
+//!   face of a VM crash).
+//! * **Connection resets** — established TCP connections across a link
+//!   are severed; the next operation on either end observes
+//!   [`crate::NetError::Closed`].
+//! * **Latency/jitter** — a per-link delay charged to the sender, with
+//!   jitter sampled from the seeded RNG.
+//! * **Crash/restart triggers** — the engine cannot kill a process, so
+//!   VM- and shard-level crash points surface as [`FaultTrigger`]s that
+//!   the cluster layer drains (see `Cluster::poll_chaos` in
+//!   `dista-core`) and applies to the actual servers.
+//!
+//! Scheduled entries and imperative injections (`SimNet::partition`,
+//! `SimNet::isolate`, …) feed the same engine and the same applied-fault
+//! log, so a test can mix both and still assert the exact sequence.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An IPv4 address identifying one side of a link.
+pub type LinkIp = [u8; 4];
+
+/// One fault action, either scheduled in a [`FaultPlan`] or injected
+/// imperatively through `SimNet`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Cut traffic from `from` to `to` (directed; the reverse direction
+    /// keeps working unless also partitioned).
+    Partition {
+        /// Source IP of the cut direction.
+        from: LinkIp,
+        /// Destination IP of the cut direction.
+        to: LinkIp,
+    },
+    /// Restore a directed partition.
+    Heal {
+        /// Source IP of the healed direction.
+        from: LinkIp,
+        /// Destination IP of the healed direction.
+        to: LinkIp,
+    },
+    /// Partition an IP from every peer, both directions (a crashed or
+    /// unplugged node as seen from the network).
+    Isolate {
+        /// The isolated IP.
+        ip: LinkIp,
+    },
+    /// Undo [`FaultAction::Isolate`].
+    Rejoin {
+        /// The rejoining IP.
+        ip: LinkIp,
+    },
+    /// Sever every TCP connection currently established between the two
+    /// IPs (both directions). New connections may still be made.
+    Reset {
+        /// One side of the link.
+        a: LinkIp,
+        /// The other side.
+        b: LinkIp,
+    },
+    /// Charge `ns` (± up to `jitter_ns`, sampled from the seeded RNG)
+    /// of extra latency to every send from `from` to `to`.
+    Latency {
+        /// Source IP of the slowed direction.
+        from: LinkIp,
+        /// Destination IP of the slowed direction.
+        to: LinkIp,
+        /// Base injected delay in nanoseconds.
+        ns: u64,
+        /// Uniform jitter bound in nanoseconds.
+        jitter_ns: u64,
+    },
+    /// Remove injected latency from a directed link.
+    ClearLatency {
+        /// Source IP.
+        from: LinkIp,
+        /// Destination IP.
+        to: LinkIp,
+    },
+    /// Ask the cluster layer to crash Taint Map shard `shard`'s primary
+    /// (surfaced as [`FaultTrigger::CrashShard`]).
+    CrashShard {
+        /// Zero-based shard index.
+        shard: u32,
+    },
+    /// Ask the cluster layer to restart shard `shard`'s crashed primary
+    /// from its write-ahead snapshot.
+    RestartShard {
+        /// Zero-based shard index.
+        shard: u32,
+    },
+    /// Ask the cluster layer to crash the named VM (isolates its IP).
+    CrashVm {
+        /// Node name, as given to the cluster builder.
+        node: String,
+    },
+    /// Ask the cluster layer to restart the named VM (rejoins its IP).
+    RestartVm {
+        /// Node name.
+        node: String,
+    },
+}
+
+/// One schedule entry: `action` applies when the logical step clock
+/// reaches `at_step`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Logical step at which the action fires.
+    pub at_step: u64,
+    /// The fault to apply.
+    pub action: FaultAction,
+}
+
+/// A fault that already applied, with the step it applied at. The
+/// engine's applied-fault log is the determinism witness: two runs of
+/// the same plan against the same workload produce identical logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFault {
+    /// Step the action applied at.
+    pub step: u64,
+    /// The applied action.
+    pub action: FaultAction,
+}
+
+/// A process-level fault the network cannot execute itself; drained by
+/// the cluster layer (`SimNet::take_fault_triggers`) and applied to the
+/// actual servers/VMs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Crash Taint Map shard `0`'s primary ungracefully.
+    CrashShard(u32),
+    /// Restart that primary from its write-ahead snapshot.
+    RestartShard(u32),
+    /// Crash the named VM.
+    CrashVm(String),
+    /// Restart the named VM.
+    RestartVm(String),
+}
+
+/// A deterministic fault schedule. Build one with [`FaultPlan::builder`],
+/// install it with `SimNet::install_fault_plan` (or
+/// `ClusterBuilder::chaos` in `dista-core`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    entries: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Starts an empty plan whose RNG (jitter sampling) is seeded with
+    /// `seed`. The seed is also the identity of the run: same seed, same
+    /// plan, same workload ⇒ same injected faults.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The plan's RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The schedule, sorted by step (stable within a step).
+    pub fn entries(&self) -> &[FaultEvent] {
+        &self.entries
+    }
+}
+
+/// Builder for [`FaultPlan`]; every `*_at` method schedules one action.
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    entries: Vec<FaultEvent>,
+}
+
+impl FaultPlanBuilder {
+    fn push(mut self, at_step: u64, action: FaultAction) -> Self {
+        self.entries.push(FaultEvent { at_step, action });
+        self
+    }
+
+    /// Cuts `from → to` at `step` (directed).
+    pub fn partition_at(self, step: u64, from: LinkIp, to: LinkIp) -> Self {
+        self.push(step, FaultAction::Partition { from, to })
+    }
+
+    /// Cuts both directions between `a` and `b` at `step`.
+    pub fn partition_both_at(self, step: u64, a: LinkIp, b: LinkIp) -> Self {
+        self.push(step, FaultAction::Partition { from: a, to: b })
+            .push(step, FaultAction::Partition { from: b, to: a })
+    }
+
+    /// Heals `from → to` at `step`.
+    pub fn heal_at(self, step: u64, from: LinkIp, to: LinkIp) -> Self {
+        self.push(step, FaultAction::Heal { from, to })
+    }
+
+    /// Heals both directions between `a` and `b` at `step`.
+    pub fn heal_both_at(self, step: u64, a: LinkIp, b: LinkIp) -> Self {
+        self.push(step, FaultAction::Heal { from: a, to: b })
+            .push(step, FaultAction::Heal { from: b, to: a })
+    }
+
+    /// Isolates `ip` from every peer at `step`.
+    pub fn isolate_at(self, step: u64, ip: LinkIp) -> Self {
+        self.push(step, FaultAction::Isolate { ip })
+    }
+
+    /// Rejoins `ip` at `step`.
+    pub fn rejoin_at(self, step: u64, ip: LinkIp) -> Self {
+        self.push(step, FaultAction::Rejoin { ip })
+    }
+
+    /// Severs established connections between `a` and `b` at `step`.
+    pub fn reset_at(self, step: u64, a: LinkIp, b: LinkIp) -> Self {
+        self.push(step, FaultAction::Reset { a, b })
+    }
+
+    /// Injects `ns` ± `jitter_ns` of latency on `from → to` at `step`.
+    pub fn latency_at(self, step: u64, from: LinkIp, to: LinkIp, ns: u64, jitter_ns: u64) -> Self {
+        self.push(
+            step,
+            FaultAction::Latency {
+                from,
+                to,
+                ns,
+                jitter_ns,
+            },
+        )
+    }
+
+    /// Removes injected latency from `from → to` at `step`.
+    pub fn clear_latency_at(self, step: u64, from: LinkIp, to: LinkIp) -> Self {
+        self.push(step, FaultAction::ClearLatency { from, to })
+    }
+
+    /// Schedules a shard-primary crash trigger at `step`.
+    pub fn crash_shard_at(self, step: u64, shard: u32) -> Self {
+        self.push(step, FaultAction::CrashShard { shard })
+    }
+
+    /// Schedules a shard-primary restart trigger at `step`.
+    pub fn restart_shard_at(self, step: u64, shard: u32) -> Self {
+        self.push(step, FaultAction::RestartShard { shard })
+    }
+
+    /// Schedules a VM crash trigger at `step`.
+    pub fn crash_vm_at(self, step: u64, node: impl Into<String>) -> Self {
+        self.push(step, FaultAction::CrashVm { node: node.into() })
+    }
+
+    /// Schedules a VM restart trigger at `step`.
+    pub fn restart_vm_at(self, step: u64, node: impl Into<String>) -> Self {
+        self.push(step, FaultAction::RestartVm { node: node.into() })
+    }
+
+    /// Finishes the plan; entries are ordered by step, preserving
+    /// insertion order within a step.
+    pub fn build(mut self) -> FaultPlan {
+        self.entries.sort_by_key(|e| e.at_step);
+        FaultPlan {
+            seed: self.seed,
+            entries: self.entries,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct EngineState {
+    step: u64,
+    schedule: Vec<FaultEvent>,
+    next: usize,
+    rng: SmallRng,
+    blocked: HashSet<(LinkIp, LinkIp)>,
+    isolated: HashSet<LinkIp>,
+    latency: HashMap<(LinkIp, LinkIp), (u64, u64)>,
+    /// Last reset step per unordered IP pair (stored with a <= b).
+    resets: HashMap<(LinkIp, LinkIp), u64>,
+    triggers: Vec<FaultTrigger>,
+    log: Vec<AppliedFault>,
+}
+
+impl EngineState {
+    fn apply(&mut self, step: u64, action: FaultAction) {
+        match &action {
+            FaultAction::Partition { from, to } => {
+                self.blocked.insert((*from, *to));
+            }
+            FaultAction::Heal { from, to } => {
+                self.blocked.remove(&(*from, *to));
+            }
+            FaultAction::Isolate { ip } => {
+                self.isolated.insert(*ip);
+            }
+            FaultAction::Rejoin { ip } => {
+                self.isolated.remove(ip);
+            }
+            FaultAction::Reset { a, b } => {
+                let key = if a <= b { (*a, *b) } else { (*b, *a) };
+                self.resets.insert(key, step);
+            }
+            FaultAction::Latency {
+                from,
+                to,
+                ns,
+                jitter_ns,
+            } => {
+                self.latency.insert((*from, *to), (*ns, *jitter_ns));
+            }
+            FaultAction::ClearLatency { from, to } => {
+                self.latency.remove(&(*from, *to));
+            }
+            FaultAction::CrashShard { shard } => {
+                self.triggers.push(FaultTrigger::CrashShard(*shard));
+            }
+            FaultAction::RestartShard { shard } => {
+                self.triggers.push(FaultTrigger::RestartShard(*shard));
+            }
+            FaultAction::CrashVm { node } => {
+                self.triggers.push(FaultTrigger::CrashVm(node.clone()));
+            }
+            FaultAction::RestartVm { node } => {
+                self.triggers.push(FaultTrigger::RestartVm(node.clone()));
+            }
+        }
+        self.log.push(AppliedFault { step, action });
+    }
+
+    fn run_due(&mut self) {
+        while self.next < self.schedule.len() && self.schedule[self.next].at_step <= self.step {
+            let entry = self.schedule[self.next].clone();
+            self.next += 1;
+            self.apply(entry.at_step.min(self.step), entry.action);
+        }
+    }
+}
+
+/// The engine: plan cursor + active fault state. One per [`crate::SimNet`].
+#[derive(Debug)]
+pub(crate) struct FaultEngine {
+    /// Fast path: skip all checks while no plan/injection is active.
+    armed: AtomicBool,
+    state: Mutex<EngineState>,
+}
+
+impl FaultEngine {
+    pub(crate) fn new() -> Self {
+        FaultEngine {
+            armed: AtomicBool::new(false),
+            state: Mutex::new(EngineState {
+                step: 0,
+                schedule: Vec::new(),
+                next: 0,
+                rng: SmallRng::seed_from_u64(0),
+                blocked: HashSet::new(),
+                isolated: HashSet::new(),
+                latency: HashMap::new(),
+                resets: HashMap::new(),
+                triggers: Vec::new(),
+                log: Vec::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn install(&self, plan: FaultPlan) {
+        let mut st = self.state.lock();
+        st.rng = SmallRng::seed_from_u64(plan.seed);
+        st.schedule = plan.entries;
+        st.next = 0;
+        st.run_due(); // entries scheduled at the current step fire now
+        self.armed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn inject(&self, action: FaultAction) {
+        let mut st = self.state.lock();
+        let step = st.step;
+        st.apply(step, action);
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Advances the logical step clock by one operation and applies any
+    /// schedule entries that became due. No-op while disarmed.
+    pub(crate) fn advance(&self) {
+        if !self.armed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.step += 1;
+        st.run_due();
+    }
+
+    pub(crate) fn step(&self) -> u64 {
+        self.state.lock().step
+    }
+
+    /// Whether traffic `from → to` is currently cut.
+    pub(crate) fn blocked(&self, from: LinkIp, to: LinkIp) -> bool {
+        if !self.armed.load(Ordering::Acquire) {
+            return false;
+        }
+        let st = self.state.lock();
+        st.isolated.contains(&from) || st.isolated.contains(&to) || st.blocked.contains(&(from, to))
+    }
+
+    /// Whether the link between the two IPs was reset after `since_step`
+    /// (the endpoint's creation step).
+    pub(crate) fn link_reset_since(&self, a: LinkIp, b: LinkIp, since_step: u64) -> bool {
+        if !self.armed.load(Ordering::Acquire) {
+            return false;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.state
+            .lock()
+            .resets
+            .get(&key)
+            .is_some_and(|&at| at >= since_step)
+    }
+
+    /// Samples the injected latency for a send `from → to`, in
+    /// nanoseconds; jitter draws from the plan RNG (deterministic
+    /// sequence).
+    pub(crate) fn latency_ns(&self, from: LinkIp, to: LinkIp) -> u64 {
+        if !self.armed.load(Ordering::Acquire) {
+            return 0;
+        }
+        let mut st = self.state.lock();
+        match st.latency.get(&(from, to)).copied() {
+            Some((ns, jitter)) if jitter > 0 => ns + st.rng.gen_range(0..jitter + 1),
+            Some((ns, _)) => ns,
+            None => 0,
+        }
+    }
+
+    pub(crate) fn take_triggers(&self) -> Vec<FaultTrigger> {
+        if !self.armed.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        std::mem::take(&mut self.state.lock().triggers)
+    }
+
+    pub(crate) fn log(&self) -> Vec<AppliedFault> {
+        self.state.lock().log.clone()
+    }
+}
+
+/// Spin-waits for `ns` nanoseconds (injected latency shares the
+/// wire-time strategy: budgets sit below OS sleep granularity).
+pub(crate) fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let budget = std::time::Duration::from_nanos(ns);
+    let start = std::time::Instant::now();
+    while start.elapsed() < budget {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: LinkIp = [10, 0, 0, 1];
+    const B: LinkIp = [10, 0, 0, 2];
+
+    #[test]
+    fn plan_orders_entries_by_step() {
+        let plan = FaultPlan::builder(7)
+            .heal_at(9, A, B)
+            .partition_at(3, A, B)
+            .build();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.entries()[0].at_step, 3);
+        assert_eq!(plan.entries()[1].at_step, 9);
+    }
+
+    #[test]
+    fn schedule_applies_on_step_clock() {
+        let engine = FaultEngine::new();
+        engine.install(
+            FaultPlan::builder(1)
+                .partition_at(2, A, B)
+                .heal_at(4, A, B)
+                .build(),
+        );
+        assert!(!engine.blocked(A, B));
+        engine.advance(); // 1
+        engine.advance(); // 2 → partition fires
+        assert!(engine.blocked(A, B));
+        assert!(!engine.blocked(B, A), "partition is directed");
+        engine.advance(); // 3
+        engine.advance(); // 4 → heal fires
+        assert!(!engine.blocked(A, B));
+        let log = engine.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].step, 2);
+        assert_eq!(log[1].step, 4);
+    }
+
+    #[test]
+    fn isolation_blocks_both_directions() {
+        let engine = FaultEngine::new();
+        engine.inject(FaultAction::Isolate { ip: A });
+        assert!(engine.blocked(A, B));
+        assert!(engine.blocked(B, A));
+        engine.inject(FaultAction::Rejoin { ip: A });
+        assert!(!engine.blocked(A, B));
+    }
+
+    #[test]
+    fn resets_only_hit_older_endpoints() {
+        let engine = FaultEngine::new();
+        engine.advance(); // disarmed: no step
+        engine.inject(FaultAction::Partition { from: A, to: B });
+        engine.inject(FaultAction::Heal { from: A, to: B });
+        engine.advance();
+        engine.advance();
+        engine.advance(); // step 3
+        engine.inject(FaultAction::Reset { a: B, b: A });
+        assert!(engine.link_reset_since(A, B, 1), "older connection severed");
+        assert!(
+            engine.link_reset_since(B, A, 3),
+            "same-step connection severed"
+        );
+        assert!(
+            !engine.link_reset_since(A, B, 4),
+            "newer connection survives"
+        );
+    }
+
+    #[test]
+    fn jitter_replays_identically_for_a_seed() {
+        let sample = |seed| {
+            let engine = FaultEngine::new();
+            engine.install(
+                FaultPlan::builder(seed)
+                    .latency_at(0, A, B, 100, 50)
+                    .build(),
+            );
+            (0..8).map(|_| engine.latency_ns(A, B)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(42), sample(42), "same seed, same jitter sequence");
+        assert_ne!(sample(42), sample(43), "different seed diverges");
+        assert!(sample(42).iter().all(|&ns| (100..=150).contains(&ns)));
+    }
+
+    #[test]
+    fn triggers_drain_once() {
+        let engine = FaultEngine::new();
+        engine.install(
+            FaultPlan::builder(0)
+                .crash_shard_at(1, 2)
+                .restart_vm_at(1, "n1")
+                .build(),
+        );
+        engine.advance();
+        assert_eq!(
+            engine.take_triggers(),
+            vec![
+                FaultTrigger::CrashShard(2),
+                FaultTrigger::RestartVm("n1".into())
+            ]
+        );
+        assert!(engine.take_triggers().is_empty());
+    }
+}

@@ -22,6 +22,9 @@
 //!   SIM scenarios read configuration/transaction files from here).
 //! * [`NetMetrics`] — byte accounting used by the ≈5× network-overhead
 //!   experiment.
+//! * [`FaultPlan`] — a deterministic chaos schedule (directed
+//!   partitions, connection resets, latency/jitter, crash-restart
+//!   triggers) replayed bit-identically on a logical step clock.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 
 mod addr;
 mod error;
+mod fault;
 mod fs;
 mod metrics;
 pub mod native;
@@ -53,8 +57,15 @@ mod udp;
 
 pub use addr::NodeAddr;
 pub use error::NetError;
+pub use fault::{
+    AppliedFault, FaultAction, FaultEvent, FaultPlan, FaultPlanBuilder, FaultTrigger, LinkIp,
+};
 pub use fs::{FileNotFound, SimFs, SimFsError};
 pub use metrics::{MetricsSnapshot, NetMetrics};
 pub use net::{FaultConfig, SimNet};
 pub use tcp::{TcpEndpoint, TcpListener};
 pub use udp::UdpEndpoint;
+
+/// Alias for [`NetError`] under the simulator-qualified name used by the
+/// chaos layer (`SimNetError::Timeout`, `SimNetError::Unreachable`, …).
+pub type SimNetError = NetError;

@@ -31,7 +31,7 @@ pub fn socket_write0(socket: &TcpEndpoint, buf: &[u8]) -> Result<(), NetError> {
 ///
 /// # Errors
 ///
-/// Propagates endpoint errors such as [`NetError::TimedOut`].
+/// Propagates endpoint errors such as [`NetError::Timeout`].
 pub fn socket_read0(socket: &TcpEndpoint, buf: &mut [u8]) -> Result<usize, NetError> {
     socket.read(buf)
 }

@@ -2,8 +2,9 @@
 //! establishment, fault injection.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
@@ -12,6 +13,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::addr::NodeAddr;
 use crate::error::NetError;
+use crate::fault::{AppliedFault, FaultAction, FaultEngine, FaultPlan, FaultTrigger, LinkIp};
 use crate::metrics::NetMetrics;
 use crate::tcp::{TcpEndpoint, TcpListener};
 use crate::udp::{Mailbox, UdpEndpoint};
@@ -33,6 +35,11 @@ pub struct FaultConfig {
     /// wire expansion translates into wall-clock time, as it does on the
     /// paper's testbed; e.g. 8 ns/B ≈ 1 Gbit/s.
     pub wire_ns_per_byte: u64,
+    /// Upper bound on any single blocking operation (TCP read, accept,
+    /// UDP receive). Expiry surfaces as the typed
+    /// [`NetError::Timeout`], so chaos tests can shrink the bound and
+    /// assert on starved readers instead of hanging for the default 30 s.
+    pub block_timeout: Duration,
 }
 
 impl Default for FaultConfig {
@@ -42,6 +49,7 @@ impl Default for FaultConfig {
             udp_drop_probability: 0.0,
             seed: 0x0D15_7A00,
             wire_ns_per_byte: 0,
+            block_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -52,7 +60,9 @@ pub(crate) struct FaultsShared {
     max_read_chunk: Arc<AtomicUsize>,
     drop_per_million: Arc<AtomicUsize>,
     wire_ns_per_byte: Arc<AtomicUsize>,
+    block_timeout_ns: Arc<AtomicU64>,
     rng: Arc<Mutex<SmallRng>>,
+    engine: Arc<FaultEngine>,
 }
 
 impl FaultsShared {
@@ -63,10 +73,14 @@ impl FaultsShared {
                 (cfg.udp_drop_probability * 1_000_000.0) as usize,
             )),
             wire_ns_per_byte: Arc::new(AtomicUsize::new(cfg.wire_ns_per_byte as usize)),
+            block_timeout_ns: Arc::new(AtomicU64::new(cfg.block_timeout.as_nanos() as u64)),
             rng: Arc::new(Mutex::new(SmallRng::seed_from_u64(cfg.seed))),
+            engine: Arc::new(FaultEngine::new()),
         }
     }
 
+    /// Reconfigures the shared knobs; the fault-schedule engine (and any
+    /// active chaos state) is intentionally left untouched.
     fn update(&self, cfg: FaultConfig) {
         self.max_read_chunk
             .store(cfg.max_read_chunk, Ordering::Relaxed);
@@ -76,11 +90,21 @@ impl FaultsShared {
         );
         self.wire_ns_per_byte
             .store(cfg.wire_ns_per_byte as usize, Ordering::Relaxed);
+        self.block_timeout_ns
+            .store(cfg.block_timeout.as_nanos() as u64, Ordering::Relaxed);
         *self.rng.lock() = SmallRng::seed_from_u64(cfg.seed);
     }
 
     pub(crate) fn max_read_chunk(&self) -> usize {
         self.max_read_chunk.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn block_timeout(&self) -> Duration {
+        Duration::from_nanos(self.block_timeout_ns.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn engine(&self) -> &FaultEngine {
+        &self.engine
     }
 
     pub(crate) fn should_drop_udp(&self) -> bool {
@@ -146,9 +170,90 @@ impl SimNet {
         }
     }
 
-    /// Replaces the fault configuration at runtime.
+    /// Replaces the fault configuration at runtime. Any installed
+    /// [`FaultPlan`] (and active chaos state) is preserved.
     pub fn set_faults(&self, cfg: FaultConfig) {
         self.inner.faults.update(cfg);
+    }
+
+    /// Installs a deterministic fault schedule. Entries already due at
+    /// the current logical step apply immediately; the rest fire as the
+    /// step clock advances (one tick per connect, TCP write, or
+    /// datagram send).
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.inner.faults.engine().install(plan);
+    }
+
+    /// Current value of the logical step clock driving fault schedules.
+    pub fn fault_step(&self) -> u64 {
+        self.inner.faults.engine().step()
+    }
+
+    /// Drains pending process-level fault triggers (VM/shard
+    /// crash-restart points) for the cluster layer to execute.
+    pub fn take_fault_triggers(&self) -> Vec<FaultTrigger> {
+        self.inner.faults.engine().take_triggers()
+    }
+
+    /// The applied-fault log: every fault that has fired, with the step
+    /// it fired at. Two runs of the same plan against the same workload
+    /// produce identical logs — the determinism witness.
+    pub fn fault_log(&self) -> Vec<AppliedFault> {
+        self.inner.faults.engine().log()
+    }
+
+    /// Imperatively cuts `from → to` (directed), effective immediately.
+    pub fn partition(&self, from: LinkIp, to: LinkIp) {
+        self.inner
+            .faults
+            .engine()
+            .inject(FaultAction::Partition { from, to });
+    }
+
+    /// Imperatively cuts both directions between `a` and `b`.
+    pub fn partition_both(&self, a: LinkIp, b: LinkIp) {
+        self.partition(a, b);
+        self.partition(b, a);
+    }
+
+    /// Heals a directed partition.
+    pub fn heal(&self, from: LinkIp, to: LinkIp) {
+        self.inner
+            .faults
+            .engine()
+            .inject(FaultAction::Heal { from, to });
+    }
+
+    /// Heals both directions between `a` and `b`.
+    pub fn heal_both(&self, a: LinkIp, b: LinkIp) {
+        self.heal(a, b);
+        self.heal(b, a);
+    }
+
+    /// Partitions `ip` from every peer (the network face of a crash).
+    pub fn isolate(&self, ip: LinkIp) {
+        self.inner
+            .faults
+            .engine()
+            .inject(FaultAction::Isolate { ip });
+    }
+
+    /// Undoes [`SimNet::isolate`].
+    pub fn rejoin(&self, ip: LinkIp) {
+        self.inner
+            .faults
+            .engine()
+            .inject(FaultAction::Rejoin { ip });
+    }
+
+    /// Severs every TCP connection currently established between the two
+    /// IPs; the next operation on either end observes
+    /// [`NetError::Closed`].
+    pub fn reset_link(&self, a: LinkIp, b: LinkIp) {
+        self.inner
+            .faults
+            .engine()
+            .inject(FaultAction::Reset { a, b });
     }
 
     /// The network's byte-accounting counters.
@@ -173,7 +278,7 @@ impl SimNet {
         if reg.tcp_listeners.contains_key(&addr) {
             return Err(NetError::AddrInUse(addr));
         }
-        let (listener, tx) = TcpListener::new(addr);
+        let (listener, tx) = TcpListener::new(addr, self.inner.faults.clone());
         reg.tcp_listeners.insert(addr, tx);
         Ok(listener)
     }
@@ -191,12 +296,18 @@ impl SimNet {
     ///
     /// # Errors
     ///
-    /// [`NetError::ConnectionRefused`] if nothing listens at `dest`.
+    /// [`NetError::ConnectionRefused`] if nothing listens at `dest`;
+    /// [`NetError::Unreachable`] if an injected partition cuts the link.
     pub fn tcp_connect_from(
         &self,
         src_ip: [u8; 4],
         dest: NodeAddr,
     ) -> Result<TcpEndpoint, NetError> {
+        let engine = self.inner.faults.engine();
+        engine.advance();
+        if engine.blocked(src_ip, dest.ip()) {
+            return Err(NetError::Unreachable(dest));
+        }
         let src_port = self.inner.next_ephemeral.fetch_add(1, Ordering::Relaxed);
         let src = NodeAddr::new(src_ip, src_port);
         let reg = self.inner.registry.lock();
@@ -209,6 +320,7 @@ impl SimNet {
             dest,
             self.inner.metrics.clone(),
             self.inner.faults.clone(),
+            engine.step(),
         );
         self.inner.metrics.record_tcp_connection();
         tx.send(server)

@@ -18,12 +18,9 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::addr::NodeAddr;
 use crate::error::NetError;
+use crate::fault::spin_ns;
 use crate::metrics::NetMetrics;
 use crate::net::FaultsShared;
-
-/// Safety timeout for blocking operations — long enough for any real
-/// workload in this repo, short enough to fail fast on deadlocks.
-const BLOCK_TIMEOUT: Duration = Duration::from_secs(30);
 
 #[derive(Debug, Default)]
 struct PipeState {
@@ -51,7 +48,7 @@ impl Pipe {
     }
 
     /// Blocking read of 1..=max bytes; `Ok(0)` only on clean EOF.
-    fn read(&self, out: &mut [u8], max_chunk: usize) -> Result<usize, NetError> {
+    fn read(&self, out: &mut [u8], max_chunk: usize, timeout: Duration) -> Result<usize, NetError> {
         if out.is_empty() {
             return Ok(0);
         }
@@ -60,8 +57,8 @@ impl Pipe {
             if st.closed {
                 return Ok(0); // EOF
             }
-            if self.readable.wait_for(&mut st, BLOCK_TIMEOUT).timed_out() {
-                return Err(NetError::TimedOut);
+            if self.readable.wait_for(&mut st, timeout).timed_out() {
+                return Err(NetError::Timeout(timeout));
             }
         }
         let n = out.len().min(st.buf.len()).min(max_chunk.max(1));
@@ -104,6 +101,9 @@ struct EndpointInner {
     metrics: NetMetrics,
     faults: FaultsShared,
     closed: AtomicBool,
+    /// Logical fault-clock step at connection establishment; a
+    /// scheduled `Reset` at a later step severs this connection.
+    created_step: u64,
 }
 
 impl TcpEndpoint {
@@ -112,6 +112,7 @@ impl TcpEndpoint {
         b_addr: NodeAddr,
         metrics: NetMetrics,
         faults: FaultsShared,
+        created_step: u64,
     ) -> (TcpEndpoint, TcpEndpoint) {
         let ab = Arc::new(Pipe::default());
         let ba = Arc::new(Pipe::default());
@@ -124,6 +125,7 @@ impl TcpEndpoint {
                 metrics: metrics.clone(),
                 faults: faults.clone(),
                 closed: AtomicBool::new(false),
+                created_step,
             }),
         };
         let b = TcpEndpoint {
@@ -135,9 +137,28 @@ impl TcpEndpoint {
                 metrics,
                 faults,
                 closed: AtomicBool::new(false),
+                created_step,
             }),
         };
         (a, b)
+    }
+
+    /// Applies any pending fault-engine verdict to this connection:
+    /// a scheduled reset closes it; a partition blocks the sender.
+    fn check_link_faults(&self, advance: bool) -> Result<(), NetError> {
+        let engine = self.inner.faults.engine();
+        if advance {
+            engine.advance();
+        }
+        if engine.link_reset_since(
+            self.inner.local.ip(),
+            self.inner.peer.ip(),
+            self.inner.created_step,
+        ) {
+            self.close();
+            return Err(NetError::Closed);
+        }
+        Ok(())
     }
 
     /// Local address of this end.
@@ -154,11 +175,19 @@ impl TcpEndpoint {
     ///
     /// # Errors
     ///
-    /// [`NetError::Closed`] if either side has closed the connection.
+    /// [`NetError::Closed`] if either side has closed the connection
+    /// (including an injected connection reset);
+    /// [`NetError::Unreachable`] if a partition cuts the link.
     pub fn write(&self, bytes: &[u8]) -> Result<(), NetError> {
         if self.inner.closed.load(Ordering::Relaxed) {
             return Err(NetError::Closed);
         }
+        self.check_link_faults(true)?;
+        let engine = self.inner.faults.engine();
+        if engine.blocked(self.inner.local.ip(), self.inner.peer.ip()) {
+            return Err(NetError::Unreachable(self.inner.peer));
+        }
+        spin_ns(engine.latency_ns(self.inner.local.ip(), self.inner.peer.ip()));
         self.inner.faults.charge_wire_time(bytes.len());
         // Count before the bytes become readable: observers who woke up
         // on this write must already see it in the metrics.
@@ -181,11 +210,28 @@ impl TcpEndpoint {
     ///
     /// # Errors
     ///
-    /// [`NetError::TimedOut`] if no data arrives within the simulator's
-    /// safety timeout.
+    /// [`NetError::Timeout`] if no data arrives within the configured
+    /// block timeout ([`crate::FaultConfig::block_timeout`]).
     pub fn read(&self, buf: &mut [u8]) -> Result<usize, NetError> {
+        self.check_link_faults(false)?;
         let chunk = self.inner.faults.max_read_chunk();
-        self.inner.rx.read(buf, chunk)
+        self.inner
+            .rx
+            .read(buf, chunk, self.inner.faults.block_timeout())
+    }
+
+    /// Like [`TcpEndpoint::read`], but bounded by a caller-supplied
+    /// deadline instead of the net-wide block timeout. RPC clients use
+    /// this to put a per-round-trip deadline on one connection without
+    /// reconfiguring the whole simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if no data arrives within `timeout`.
+    pub fn read_deadline(&self, buf: &mut [u8], timeout: Duration) -> Result<usize, NetError> {
+        self.check_link_faults(false)?;
+        let chunk = self.inner.faults.max_read_chunk();
+        self.inner.rx.read(buf, chunk, timeout)
     }
 
     /// Reads exactly `buf.len()` bytes, looping over partial reads.
@@ -193,7 +239,7 @@ impl TcpEndpoint {
     /// # Errors
     ///
     /// [`NetError::Closed`] on EOF before the buffer is full;
-    /// [`NetError::TimedOut`] on stall.
+    /// [`NetError::Timeout`] on stall.
     pub fn read_exact(&self, buf: &mut [u8]) -> Result<(), NetError> {
         let mut filled = 0;
         while filled < buf.len() {
@@ -231,12 +277,20 @@ impl Drop for EndpointInner {
 pub struct TcpListener {
     addr: NodeAddr,
     incoming: Receiver<TcpEndpoint>,
+    faults: FaultsShared,
 }
 
 impl TcpListener {
-    pub(crate) fn new(addr: NodeAddr) -> (TcpListener, Sender<TcpEndpoint>) {
+    pub(crate) fn new(addr: NodeAddr, faults: FaultsShared) -> (TcpListener, Sender<TcpEndpoint>) {
         let (tx, rx) = unbounded();
-        (TcpListener { addr, incoming: rx }, tx)
+        (
+            TcpListener {
+                addr,
+                incoming: rx,
+                faults,
+            },
+            tx,
+        )
     }
 
     /// The bound address.
@@ -248,12 +302,13 @@ impl TcpListener {
     ///
     /// # Errors
     ///
-    /// [`NetError::TimedOut`] if nothing connects within the safety
-    /// timeout; [`NetError::Closed`] if the network shut down.
+    /// [`NetError::Timeout`] if nothing connects within the configured
+    /// block timeout; [`NetError::Closed`] if the network shut down.
     pub fn accept(&self) -> Result<TcpEndpoint, NetError> {
-        match self.incoming.recv_timeout(BLOCK_TIMEOUT) {
+        let timeout = self.faults.block_timeout();
+        match self.incoming.recv_timeout(timeout) {
             Ok(ep) => Ok(ep),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::TimedOut),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout(timeout)),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
         }
     }
@@ -351,6 +406,57 @@ mod tests {
         let mut empty: [u8; 0] = [];
         assert_eq!(s.read(&mut empty).unwrap(), 0);
         assert_eq!(s.available(), 1);
+    }
+
+    #[test]
+    fn configured_block_timeout_is_typed() {
+        let net = SimNet::new();
+        let timeout = Duration::from_millis(25);
+        net.set_faults(crate::FaultConfig {
+            block_timeout: timeout,
+            ..Default::default()
+        });
+        let addr = NodeAddr::new([10, 0, 0, 1], 86);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(&mut buf), Err(NetError::Timeout(timeout)));
+        drop(c);
+    }
+
+    #[test]
+    fn partitioned_write_is_unreachable_until_heal() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 2], 87);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect_from([10, 0, 0, 1], addr).unwrap();
+        let s = l.accept().unwrap();
+        net.partition([10, 0, 0, 1], [10, 0, 0, 2]);
+        assert_eq!(c.write(b"x"), Err(NetError::Unreachable(addr)));
+        s.write(b"reverse ok").unwrap(); // directed: replies still flow
+        net.heal([10, 0, 0, 1], [10, 0, 0, 2]);
+        c.write(b"x").unwrap();
+    }
+
+    #[test]
+    fn link_reset_severs_established_connections() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 2], 88);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect_from([10, 0, 0, 1], addr).unwrap();
+        let s = l.accept().unwrap();
+        c.write(b"before").unwrap();
+        net.reset_link([10, 0, 0, 1], [10, 0, 0, 2]);
+        assert_eq!(c.write(b"after"), Err(NetError::Closed));
+        // A fresh connection on the same link works again.
+        let c2 = net.tcp_connect_from([10, 0, 0, 1], addr).unwrap();
+        let s2 = l.accept().unwrap();
+        c2.write(b"new").unwrap();
+        let mut buf = [0u8; 3];
+        s2.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"new");
+        drop(s);
     }
 
     #[test]

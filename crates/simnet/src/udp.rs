@@ -14,10 +14,9 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::addr::NodeAddr;
 use crate::error::NetError;
+use crate::fault::spin_ns;
 use crate::metrics::NetMetrics;
 use crate::net::FaultsShared;
-
-const BLOCK_TIMEOUT: Duration = Duration::from_secs(30);
 
 #[derive(Debug, Default)]
 pub(crate) struct Mailbox {
@@ -42,14 +41,14 @@ impl Mailbox {
         self.readable.notify_all();
     }
 
-    fn receive(&self, out: &mut [u8]) -> Result<(usize, NodeAddr), NetError> {
+    fn receive(&self, out: &mut [u8], timeout: Duration) -> Result<(usize, NodeAddr), NetError> {
         let mut st = self.state.lock();
         while st.queue.is_empty() {
             if st.closed {
                 return Err(NetError::Closed);
             }
-            if self.readable.wait_for(&mut st, BLOCK_TIMEOUT).timed_out() {
-                return Err(NetError::TimedOut);
+            if self.readable.wait_for(&mut st, timeout).timed_out() {
+                return Err(NetError::Timeout(timeout));
             }
         }
         let (from, datagram) = st.queue.pop_front().expect("queue length checked");
@@ -104,12 +103,20 @@ impl UdpEndpoint {
     }
 
     /// Sends one datagram to `dest`. Silently dropped (like real UDP) if
-    /// nothing is bound there or fault injection discards it.
+    /// nothing is bound there, fault injection discards it, or an
+    /// injected partition cuts the link.
     pub fn send_to(&self, dest: NodeAddr, datagram: &[u8]) {
+        let engine = self.inner.faults.engine();
+        engine.advance();
+        if engine.blocked(self.inner.addr.ip(), dest.ip()) {
+            self.inner.metrics.record_udp_drop(datagram.len());
+            return;
+        }
         if self.inner.faults.should_drop_udp() {
             self.inner.metrics.record_udp_drop(datagram.len());
             return;
         }
+        spin_ns(engine.latency_ns(self.inner.addr.ip(), dest.ip()));
         self.inner.faults.charge_wire_time(datagram.len());
         if self
             .inner
@@ -127,10 +134,13 @@ impl UdpEndpoint {
     ///
     /// # Errors
     ///
-    /// [`NetError::TimedOut`] if no datagram arrives in time,
-    /// [`NetError::Closed`] if the socket was closed.
+    /// [`NetError::Timeout`] if no datagram arrives within the
+    /// configured block timeout, [`NetError::Closed`] if the socket was
+    /// closed.
     pub fn receive(&self, buf: &mut [u8]) -> Result<(usize, NodeAddr), NetError> {
-        self.inner.mailbox.receive(buf)
+        self.inner
+            .mailbox
+            .receive(buf, self.inner.faults.block_timeout())
     }
 
     /// Closes the socket and unbinds the address.
@@ -210,6 +220,21 @@ mod tests {
         assert_eq!(snap.udp_datagrams, 0);
         assert_eq!(snap.delivered_bytes(), 0);
         assert_eq!(snap.total_bytes(), 4);
+    }
+
+    #[test]
+    fn partition_drops_datagrams_until_heal() {
+        let net = SimNet::new();
+        let a = net.udp_bind(NodeAddr::new([10, 0, 0, 1], 2)).unwrap();
+        let b = net.udp_bind(NodeAddr::new([10, 0, 0, 2], 2)).unwrap();
+        net.partition([10, 0, 0, 1], [10, 0, 0, 2]);
+        a.send_to(b.local_addr(), b"lost");
+        assert_eq!(net.metrics().snapshot().udp_dropped, 1);
+        net.heal([10, 0, 0, 1], [10, 0, 0, 2]);
+        a.send_to(b.local_addr(), b"through");
+        let mut buf = [0u8; 16];
+        let (n, _) = b.receive(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"through");
     }
 
     #[test]

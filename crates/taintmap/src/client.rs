@@ -18,24 +18,33 @@
 //! * **Single-flight** — concurrent encoders that miss the cache on the
 //!   same taint elect one requester; the rest wait for its result
 //!   instead of duplicating the in-flight registration.
+//! * **Resilience** — every RPC carries a deadline and is retried with
+//!   bounded exponential backoff across the shard's failover list; a
+//!   per-shard circuit breaker fast-fails requests while a shard is
+//!   down past the retry budget; and the degraded lookup path
+//!   ([`TaintMapClient::taints_for_degraded`]) stamps unreachable-shard
+//!   gids with a `pending-gid:<n>` sentinel taint instead of dropping
+//!   them, to be reconciled after the partition heals
+//!   ([`TaintMapClient::reconcile_pending`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dista_obs::{
     Counter, FlightRecorder, Histogram, MetricsRegistry, ObsEventKind, BATCH_SIZE_BOUNDS,
     LATENCY_US_BOUNDS,
 };
 use dista_simnet::{NodeAddr, SimNet, TcpEndpoint};
-use dista_taint::{deserialize_taint, serialize_taint, GlobalId, Taint, TaintStore};
+use dista_taint::{deserialize_taint, serialize_taint, GlobalId, TagValue, Taint, TaintStore};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::error::TaintMapError;
 use crate::proto::{
     decode_lookup_batch_resp, decode_register_batch_resp, encode_lookup_batch,
-    encode_register_batch, read_frame, write_frame, OP_LOOKUP, OP_LOOKUP_BATCH, OP_REGISTER,
-    OP_REGISTER_BATCH, RESP_OK,
+    encode_register_batch, read_frame_deadline, write_frame, OP_LOOKUP, OP_LOOKUP_BATCH,
+    OP_REGISTER, OP_REGISTER_BATCH, RESP_OK,
 };
 use crate::shard::{shard_of_bytes, shard_of_gid, TaintMapTopology};
 
@@ -56,6 +65,64 @@ pub struct ClientStats {
     /// Items resolved by waiting on another thread's in-flight
     /// registration instead of sending our own.
     pub single_flight_hits: u64,
+    /// RPC re-attempts after a transport failure (each redial+replay of
+    /// one frame counts once).
+    pub retries: u64,
+    /// Times a shard's circuit breaker transitioned to open (including
+    /// re-opens after a failed half-open probe).
+    pub breaker_opens: u64,
+    /// Requests fast-failed by an open breaker without touching the
+    /// wire.
+    pub breaker_fast_fails: u64,
+    /// Total nanoseconds shards spent with an open breaker (accumulated
+    /// when the closing probe succeeds).
+    pub breaker_open_ns: u64,
+    /// Lookups degraded to a `pending-gid` sentinel because the owning
+    /// shard was unreachable (counted once per distinct gid).
+    pub degraded_lookups: u64,
+    /// Pending sentinels since resolved to their real taint by the
+    /// reconciler.
+    pub pending_resolved: u64,
+    /// Gids currently pending (sentinel attached, not yet reconciled).
+    pub pending_gids: u64,
+}
+
+/// Retry, deadline, and circuit-breaker tuning for a
+/// [`TaintMapClient`]. The defaults keep the degraded path fast under
+/// simulated partitions (connect failures are immediate) while bounding
+/// how long a stalled-but-connected shard can hold an RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientResilience {
+    /// Deadline for the read side of one RPC round trip; past it the
+    /// attempt counts as a transport failure.
+    pub rpc_deadline: Duration,
+    /// Re-attempts (redial + replay) after the first failure of one
+    /// RPC. Attempt `k` sleeps `backoff_base << (k-1)` first, capped at
+    /// [`ClientResilience::backoff_cap`].
+    pub retry_budget: u32,
+    /// Base backoff between attempts.
+    pub backoff_base: Duration,
+    /// Upper bound on one backoff sleep.
+    pub backoff_cap: Duration,
+    /// Consecutive failed RPCs that open a shard's breaker.
+    pub breaker_threshold: u32,
+    /// Requests fast-failed while open before one half-open probe is
+    /// let through (operation-count half-open keeps chaos runs
+    /// deterministic — no wall-clock cool-down).
+    pub breaker_probe_after: u32,
+}
+
+impl Default for ClientResilience {
+    fn default() -> Self {
+        ClientResilience {
+            rpc_deadline: Duration::from_secs(5),
+            retry_budget: 2,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(5),
+            breaker_threshold: 3,
+            breaker_probe_after: 8,
+        }
+    }
 }
 
 /// Telemetry sinks for one [`TaintMapClient`]: a flight recorder for
@@ -78,6 +145,18 @@ pub struct ClientObserver {
     pub cache_hits: Counter,
     /// Shard redials after a transport error.
     pub failovers: Counter,
+    /// RPC re-attempts after a transport failure.
+    pub retries: Counter,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: Counter,
+    /// Requests fast-failed by an open breaker.
+    pub breaker_fast_fails: Counter,
+    /// Nanoseconds spent with an open breaker.
+    pub breaker_open_ns: Counter,
+    /// Lookups degraded to a pending sentinel.
+    pub degraded_lookups: Counter,
+    /// Pending sentinels resolved by the reconciler.
+    pub pending_resolved: Counter,
 }
 
 impl Default for ClientObserver {
@@ -95,6 +174,12 @@ impl ClientObserver {
             batch_latency_us: Histogram::detached(LATENCY_US_BOUNDS),
             cache_hits: Counter::detached(),
             failovers: Counter::detached(),
+            retries: Counter::detached(),
+            breaker_opens: Counter::detached(),
+            breaker_fast_fails: Counter::detached(),
+            breaker_open_ns: Counter::detached(),
+            degraded_lookups: Counter::detached(),
+            pending_resolved: Counter::detached(),
         }
     }
 
@@ -116,6 +201,46 @@ impl ClientObserver {
             ),
             cache_hits: registry.counter_with("taintmap_cache_hits", &labels),
             failovers: registry.counter_with("taintmap_failovers", &labels),
+            retries: registry.counter_with("taintmap_retries", &labels),
+            breaker_opens: registry.counter_with("taintmap_breaker_opens", &labels),
+            breaker_fast_fails: registry.counter_with("taintmap_breaker_fast_fails", &labels),
+            breaker_open_ns: registry.counter_with("taintmap_breaker_open_ns", &labels),
+            degraded_lookups: registry.counter_with("taintmap_degraded_lookups", &labels),
+            pending_resolved: registry.counter_with("taintmap_pending_resolved", &labels),
+        }
+    }
+}
+
+/// Per-shard circuit-breaker state. Half-open is operation-counted, not
+/// time-based, so a replayed chaos schedule drives the breaker through
+/// the same transitions every run.
+#[derive(Debug)]
+enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: the next `fast_fails_left` requests fail without
+    /// touching the wire.
+    Open { fast_fails_left: u32 },
+    /// Probing: requests are let through; the first result decides
+    /// between closing and re-opening.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Set at the first open of a down episode, cleared (and the open
+    /// time accumulated) when a probe succeeds.
+    opened_at: Option<Instant>,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
         }
     }
 }
@@ -169,12 +294,28 @@ struct ClientInner {
     taint_of: Mutex<HashMap<GlobalId, Taint>>,
     /// Registrations currently on the wire (single-flight guard).
     inflight: Mutex<HashMap<Taint, Arc<Flight>>>,
+    /// One circuit breaker per shard, separate from the connection lock
+    /// so fast-fails never queue behind a blocked RPC.
+    breakers: Vec<Mutex<Breaker>>,
+    /// Degraded lookups awaiting reconciliation: gid → the sentinel
+    /// taint stamped onto the delivered bytes.
+    pending: Mutex<HashMap<GlobalId, Taint>>,
+    /// Reconciled sentinels: sentinel taint → the real taint it stood
+    /// in for.
+    sentinel_resolutions: Mutex<HashMap<Taint, Taint>>,
+    resilience: ClientResilience,
     register_rpcs: AtomicU64,
     lookup_rpcs: AtomicU64,
     cache_hits: AtomicU64,
     failovers: AtomicU64,
     batch_frames: AtomicU64,
     single_flight_hits: AtomicU64,
+    retries: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+    breaker_open_ns: AtomicU64,
+    degraded_lookups: AtomicU64,
+    pending_resolved: AtomicU64,
     obs: ClientObserver,
 }
 
@@ -182,8 +323,9 @@ struct ClientInner {
 ///
 /// One client is shared by all threads of a simulated JVM; it keeps one
 /// persistent connection per shard and both direction caches. An RPC
-/// that hits a dead instance reconnects to the shard's next address and
-/// retries once. See the crate docs for an end-to-end example.
+/// that hits a dead instance reconnects along the shard's failover list
+/// with bounded backoff, up to the [`ClientResilience`] retry budget.
+/// See the crate docs for an end-to-end example.
 #[derive(Clone)]
 pub struct TaintMapClient {
     inner: Arc<ClientInner>,
@@ -199,35 +341,6 @@ impl std::fmt::Debug for TaintMapClient {
 }
 
 impl TaintMapClient {
-    /// Connects to the service at `addr`, resolving taints into `store`.
-    ///
-    /// # Errors
-    ///
-    /// [`TaintMapError::Net`] if the service is not reachable.
-    #[deprecated(note = "use `TaintMapClient::connect_topology` or `TaintMapEndpoint::client`")]
-    pub fn connect(net: &SimNet, addr: NodeAddr, store: TaintStore) -> Result<Self, TaintMapError> {
-        Self::connect_topology(net, TaintMapTopology::single(addr), store)
-    }
-
-    /// Connects with an ordered list of service addresses (primary
-    /// first, standbys after).
-    ///
-    /// # Errors
-    ///
-    /// [`TaintMapError::Net`] if no address is reachable;
-    /// [`TaintMapError::Protocol`] if `addrs` is empty.
-    #[deprecated(note = "use `TaintMapClient::connect_topology` or `TaintMapEndpoint::client`")]
-    pub fn connect_with_failover(
-        net: &SimNet,
-        addrs: Vec<NodeAddr>,
-        store: TaintStore,
-    ) -> Result<Self, TaintMapError> {
-        if addrs.is_empty() {
-            return Err(TaintMapError::Protocol("no taint map addresses"));
-        }
-        Self::connect_topology(net, TaintMapTopology::new(vec![addrs]), store)
-    }
-
     /// Connects to every shard of a deployment, resolving taints into
     /// `store`. The topology normally comes from
     /// [`crate::TaintMapEndpoint::topology`].
@@ -256,11 +369,30 @@ impl TaintMapClient {
         store: TaintStore,
         obs: ClientObserver,
     ) -> Result<Self, TaintMapError> {
+        Self::connect_topology_tuned(net, topology, store, obs, ClientResilience::default())
+    }
+
+    /// Like [`TaintMapClient::connect_topology_observed`], with explicit
+    /// [`ClientResilience`] tuning (RPC deadline, retry budget, circuit
+    /// breaker).
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if some shard has no reachable address.
+    pub fn connect_topology_tuned(
+        net: &SimNet,
+        topology: TaintMapTopology,
+        store: TaintStore,
+        obs: ClientObserver,
+        resilience: ClientResilience,
+    ) -> Result<Self, TaintMapError> {
         let src_ip = store.local_id().ip();
         let mut shards = Vec::with_capacity(topology.shard_count());
+        let mut breakers = Vec::with_capacity(topology.shard_count());
         for i in 0..topology.shard_count() {
             let (conn, target) = dial_any(net, topology.shard_addrs(i), src_ip, 0)?;
             shards.push(Mutex::new(ShardConn { conn, target }));
+            breakers.push(Mutex::new(Breaker::new()));
         }
         Ok(TaintMapClient {
             inner: Arc::new(ClientInner {
@@ -272,12 +404,22 @@ impl TaintMapClient {
                 gid_of: Mutex::new(HashMap::new()),
                 taint_of: Mutex::new(HashMap::new()),
                 inflight: Mutex::new(HashMap::new()),
+                breakers,
+                pending: Mutex::new(HashMap::new()),
+                sentinel_resolutions: Mutex::new(HashMap::new()),
+                resilience,
                 register_rpcs: AtomicU64::new(0),
                 lookup_rpcs: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 failovers: AtomicU64::new(0),
                 batch_frames: AtomicU64::new(0),
                 single_flight_hits: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                breaker_opens: AtomicU64::new(0),
+                breaker_fast_fails: AtomicU64::new(0),
+                breaker_open_ns: AtomicU64::new(0),
+                degraded_lookups: AtomicU64::new(0),
+                pending_resolved: AtomicU64::new(0),
                 obs,
             }),
         })
@@ -307,18 +449,108 @@ impl TaintMapClient {
         self.inner.topology.shard_count()
     }
 
-    /// One single-item RPC round trip on a shard, with failover — the
-    /// unbatched protocol path, kept as the measured baseline.
-    fn rpc(&self, shard: usize, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), TaintMapError> {
-        let mut guard = self.inner.shards[shard].lock();
-        match rpc_on(&guard.conn, op, payload) {
-            Ok(reply) => Ok(reply),
-            Err(TaintMapError::Net(_)) => {
-                self.redial(shard, &mut guard)?;
-                rpc_on(&guard.conn, op, payload)
+    /// Circuit-breaker gate for `shard`: lets the request through when
+    /// the breaker is closed (or probing), fast-fails it otherwise.
+    fn admit(&self, shard: usize) -> Result<(), TaintMapError> {
+        let mut b = self.inner.breakers[shard].lock();
+        match &mut b.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { fast_fails_left } => {
+                if *fast_fails_left == 0 {
+                    b.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    *fast_fails_left -= 1;
+                    self.inner
+                        .breaker_fast_fails
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner.obs.breaker_fast_fails.inc();
+                    Err(TaintMapError::ShardUnavailable(shard))
+                }
             }
-            Err(e) => Err(e),
         }
+    }
+
+    /// Closes the breaker after a successful RPC, accumulating how long
+    /// the down episode lasted.
+    fn breaker_success(&self, shard: usize) {
+        let mut b = self.inner.breakers[shard].lock();
+        b.consecutive_failures = 0;
+        if !matches!(b.state, BreakerState::Closed) {
+            b.state = BreakerState::Closed;
+        }
+        if let Some(at) = b.opened_at.take() {
+            let ns = at.elapsed().as_nanos() as u64;
+            self.inner.breaker_open_ns.fetch_add(ns, Ordering::Relaxed);
+            self.inner.obs.breaker_open_ns.add(ns);
+        }
+    }
+
+    /// Notes one exhausted-retries RPC failure; opens (or re-opens) the
+    /// breaker past the threshold.
+    fn breaker_failure(&self, shard: usize) {
+        let r = self.inner.resilience;
+        let mut b = self.inner.breakers[shard].lock();
+        b.consecutive_failures += 1;
+        let trip = match b.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => b.consecutive_failures >= r.breaker_threshold,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            b.state = BreakerState::Open {
+                fast_fails_left: r.breaker_probe_after,
+            };
+            if b.opened_at.is_none() {
+                b.opened_at = Some(Instant::now());
+            }
+            self.inner.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            self.inner.obs.breaker_opens.inc();
+        }
+    }
+
+    /// Sleeps the bounded exponential backoff before re-attempt
+    /// `attempt` (1-based) and counts the retry.
+    fn note_retry(&self, attempt: u32) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.retries.inc();
+        let r = self.inner.resilience;
+        let shift = (attempt - 1).min(16);
+        let backoff = r
+            .backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(r.backoff_cap);
+        if backoff > Duration::ZERO {
+            std::thread::sleep(backoff);
+        }
+    }
+
+    /// One single-item RPC round trip on a shard, with deadline, retry
+    /// budget, and breaker accounting — the unbatched protocol path,
+    /// kept as the measured baseline.
+    fn rpc(&self, shard: usize, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), TaintMapError> {
+        self.admit(shard)?;
+        let mut guard = self.inner.shards[shard].lock();
+        let deadline = self.inner.resilience.rpc_deadline;
+        let mut last = TaintMapError::Net(dista_simnet::NetError::Closed);
+        for attempt in 0..=self.inner.resilience.retry_budget {
+            if attempt > 0 {
+                self.note_retry(attempt);
+                if let Err(e) = self.redial(shard, &mut guard) {
+                    last = e;
+                    continue;
+                }
+            }
+            match rpc_on(&guard.conn, op, payload, deadline) {
+                Ok(reply) => {
+                    self.breaker_success(shard);
+                    return Ok(reply);
+                }
+                Err(e) => last = e,
+            }
+        }
+        self.breaker_failure(shard);
+        Err(last)
     }
 
     /// Reconnects a shard's connection to the next address in its
@@ -343,7 +575,7 @@ impl TaintMapClient {
     }
 
     /// Sends a batch frame on an already-locked shard connection,
-    /// failing over once on a transport error.
+    /// retrying across the failover list up to the retry budget.
     fn send_batch_locked(
         &self,
         shard: usize,
@@ -352,20 +584,28 @@ impl TaintMapClient {
         payload: &[u8],
     ) -> Result<(), TaintMapError> {
         self.inner.batch_frames.fetch_add(1, Ordering::Relaxed);
-        match write_frame(&guard.conn, op, payload) {
-            Ok(()) => Ok(()),
-            Err(_) => {
-                self.redial(shard, guard)?;
-                write_frame(&guard.conn, op, payload)?;
-                Ok(())
+        let mut last = TaintMapError::Net(dista_simnet::NetError::Closed);
+        for attempt in 0..=self.inner.resilience.retry_budget {
+            if attempt > 0 {
+                self.note_retry(attempt);
+                if let Err(e) = self.redial(shard, guard) {
+                    last = e;
+                    continue;
+                }
+            }
+            match write_frame(&guard.conn, op, payload) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = TaintMapError::Net(e),
             }
         }
+        self.breaker_failure(shard);
+        Err(last)
     }
 
     /// Reads a batch response on an already-locked shard connection. If
     /// the instance died after taking the request, fails over and
     /// re-sends `payload` (register is dedup-idempotent, lookup is
-    /// read-only, so replay is safe mid-batch).
+    /// read-only, so replay is safe mid-batch), up to the retry budget.
     fn recv_batch_locked(
         &self,
         shard: usize,
@@ -373,16 +613,37 @@ impl TaintMapClient {
         op: u8,
         payload: &[u8],
     ) -> Result<(u8, Vec<u8>), TaintMapError> {
-        let first = match read_frame(&guard.conn) {
-            Ok(Some(reply)) => return Ok(reply),
-            Ok(None) => TaintMapError::Net(dista_simnet::NetError::Closed),
-            Err(e @ TaintMapError::Net(_)) => e,
-            Err(e) => return Err(e),
-        };
-        let _ = first;
-        self.redial(shard, guard)?;
-        write_frame(&guard.conn, op, payload)?;
-        read_frame(&guard.conn)?.ok_or(TaintMapError::Net(dista_simnet::NetError::Closed))
+        let deadline = self.inner.resilience.rpc_deadline;
+        let mut last;
+        match read_frame_deadline(&guard.conn, deadline) {
+            Ok(Some(reply)) => {
+                self.breaker_success(shard);
+                return Ok(reply);
+            }
+            Ok(None) => last = TaintMapError::Net(dista_simnet::NetError::Closed),
+            Err(e) => last = e,
+        }
+        for attempt in 1..=self.inner.resilience.retry_budget {
+            self.note_retry(attempt);
+            if let Err(e) = self.redial(shard, guard) {
+                last = e;
+                continue;
+            }
+            if let Err(e) = write_frame(&guard.conn, op, payload) {
+                last = TaintMapError::Net(e);
+                continue;
+            }
+            match read_frame_deadline(&guard.conn, deadline) {
+                Ok(Some(reply)) => {
+                    self.breaker_success(shard);
+                    return Ok(reply);
+                }
+                Ok(None) => last = TaintMapError::Net(dista_simnet::NetError::Closed),
+                Err(e) => last = e,
+            }
+        }
+        self.breaker_failure(shard);
+        Err(last)
     }
 
     /// Returns the Global ID for `taint`, registering it with the service
@@ -510,6 +771,7 @@ impl TaintMapClient {
             if items.is_empty() {
                 continue;
             }
+            self.admit(shard)?;
             let batch: Vec<Vec<u8>> = items.iter().map(|&k| mine[k].2.clone()).collect();
             payloads.push((shard, encode_register_batch(&batch)));
             guards.push((shard, self.inner.shards[shard].lock()));
@@ -651,6 +913,7 @@ impl TaintMapClient {
             if items.is_empty() {
                 continue;
             }
+            self.admit(shard)?;
             let batch: Vec<u32> = items.iter().map(|&k| misses[k].1 .0).collect();
             payloads.push((shard, encode_lookup_batch(&batch)));
             guards.push((shard, self.inner.shards[shard].lock()));
@@ -702,6 +965,197 @@ impl TaintMapClient {
         Ok(out)
     }
 
+    /// Like [`TaintMapClient::taints_for`], but **sound under
+    /// partitions**: a gid whose owning shard is unreachable (transport
+    /// failure or open breaker) resolves to a freshly minted
+    /// `pending-gid:<n>` sentinel taint instead of failing the whole
+    /// batch. Delivered bytes are therefore never silently clean — the
+    /// sentinel marks them tainted-by-unknown until
+    /// [`TaintMapClient::reconcile_pending`] (called automatically at
+    /// the head of this method) swaps in the real taint after the
+    /// partition heals.
+    ///
+    /// Non-transport errors ([`TaintMapError::UnknownGlobalId`],
+    /// [`TaintMapError::Codec`]) still propagate: they signal protocol
+    /// bugs, not faults to degrade around.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::UnknownGlobalId`] / [`TaintMapError::Codec`]
+    /// from a *reachable* shard.
+    pub fn taints_for_degraded(&self, gids: &[GlobalId]) -> Result<Vec<Taint>, TaintMapError> {
+        // Heal-side reconciliation rides on the next lookup batch.
+        let _ = self.reconcile_pending()?;
+        let mut out = vec![Taint::EMPTY; gids.len()];
+        let mut misses: Vec<(usize, GlobalId)> = Vec::new();
+        {
+            let taint_cache = self.inner.taint_of.lock();
+            let pending = self.inner.pending.lock();
+            let mut seen = HashMap::new();
+            for (i, &gid) in gids.iter().enumerate() {
+                if !gid.is_tainted() {
+                    continue;
+                }
+                if let Some(&taint) = taint_cache.get(&gid) {
+                    self.note_cache_hit();
+                    out[i] = taint;
+                    continue;
+                }
+                if let Some(&sentinel) = pending.get(&gid) {
+                    out[i] = sentinel;
+                    continue;
+                }
+                if seen.insert(gid, ()).is_none() {
+                    misses.push((i, gid));
+                }
+            }
+        }
+        if misses.is_empty() {
+            return self.backfill_degraded_duplicates(gids, out);
+        }
+        // Group misses by owning shard and resolve each shard's slice
+        // through the normal batched path; a shard whose batch dies on
+        // transport degrades *only its own* gids to sentinels.
+        let n = self.shard_count();
+        let mut per_shard: Vec<Vec<(usize, GlobalId)>> = vec![Vec::new(); n];
+        for (i, gid) in misses {
+            per_shard[shard_of_gid(gid.0, n)].push((i, gid));
+        }
+        for (shard, items) in per_shard.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let shard_gids: Vec<GlobalId> = items.iter().map(|&(_, gid)| gid).collect();
+            match self.taints_for(&shard_gids) {
+                Ok(taints) => {
+                    for (&(i, _), taint) in items.iter().zip(taints) {
+                        out[i] = taint;
+                    }
+                }
+                Err(TaintMapError::Net(_)) | Err(TaintMapError::ShardUnavailable(_)) => {
+                    for &(i, gid) in &items {
+                        out[i] = self.pending_sentinel(gid, shard);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.backfill_degraded_duplicates(gids, out)
+    }
+
+    /// Duplicate back-fill for the degraded path: copies of an id
+    /// resolved (or degraded) this call get the same taint/sentinel.
+    fn backfill_degraded_duplicates(
+        &self,
+        gids: &[GlobalId],
+        mut out: Vec<Taint>,
+    ) -> Result<Vec<Taint>, TaintMapError> {
+        let taint_cache = self.inner.taint_of.lock();
+        let pending = self.inner.pending.lock();
+        for (i, &gid) in gids.iter().enumerate() {
+            if gid.is_tainted() && out[i].is_empty() {
+                out[i] = match taint_cache.get(&gid) {
+                    Some(&taint) => taint,
+                    None => *pending
+                        .get(&gid)
+                        .ok_or(TaintMapError::UnknownGlobalId(gid))?,
+                };
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mints (or reuses) the `pending-gid:<n>` sentinel for an
+    /// unreachable gid and records the degradation. The sentinel lives
+    /// in the pending map, *not* the `taint_of` cache, so a healed
+    /// lookup later resolves the real taint instead of the placeholder.
+    fn pending_sentinel(&self, gid: GlobalId, shard: usize) -> Taint {
+        let mut pending = self.inner.pending.lock();
+        if let Some(&sentinel) = pending.get(&gid) {
+            return sentinel;
+        }
+        let sentinel = self
+            .inner
+            .store
+            .mint_source_taint(TagValue::str(format!("pending-gid:{}", gid.0)));
+        pending.insert(gid, sentinel);
+        self.inner.degraded_lookups.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.degraded_lookups.inc();
+        self.inner
+            .obs
+            .recorder
+            .record_with(|| ObsEventKind::DegradedLookup { gid: gid.0, shard });
+        sentinel
+    }
+
+    /// Re-attempts every pending gid against its (hopefully healed)
+    /// shard; each success records the sentinel → real-taint resolution
+    /// and a `PendingResolved` event. Gids whose shard is still
+    /// unreachable stay pending. Returns how many resolved this call.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::UnknownGlobalId`] / [`TaintMapError::Codec`]
+    /// from a reachable shard (transport errors are *not* errors here —
+    /// the gid just stays pending).
+    pub fn reconcile_pending(&self) -> Result<u64, TaintMapError> {
+        let mut snapshot: Vec<(GlobalId, Taint)> = {
+            let pending = self.inner.pending.lock();
+            pending.iter().map(|(&g, &s)| (g, s)).collect()
+        };
+        // Gid order, not hash order: reconciliation (and its event
+        // stream) must replay identically across runs.
+        snapshot.sort_by_key(|&(gid, _)| gid.0);
+        let mut resolved = 0u64;
+        for (gid, sentinel) in snapshot {
+            match self.taint_for(gid) {
+                Ok(taint) => {
+                    self.inner.pending.lock().remove(&gid);
+                    self.inner
+                        .sentinel_resolutions
+                        .lock()
+                        .insert(sentinel, taint);
+                    self.inner.pending_resolved.fetch_add(1, Ordering::Relaxed);
+                    self.inner.obs.pending_resolved.inc();
+                    self.inner
+                        .obs
+                        .recorder
+                        .record_with(|| ObsEventKind::PendingResolved {
+                            gid: gid.0,
+                            taint: taint.node_index() as u32,
+                        });
+                    resolved += 1;
+                }
+                Err(TaintMapError::Net(_)) | Err(TaintMapError::ShardUnavailable(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(resolved)
+    }
+
+    /// Number of gids currently degraded to a pending sentinel.
+    pub fn pending_count(&self) -> usize {
+        self.inner.pending.lock().len()
+    }
+
+    /// The gids currently degraded to a pending sentinel, in ascending
+    /// order.
+    pub fn pending_gids(&self) -> Vec<GlobalId> {
+        let mut gids: Vec<GlobalId> = self.inner.pending.lock().keys().copied().collect();
+        gids.sort();
+        gids
+    }
+
+    /// The real taint a reconciled sentinel stood in for, if that
+    /// sentinel has been resolved.
+    pub fn resolution_of(&self, sentinel: Taint) -> Option<Taint> {
+        self.inner
+            .sentinel_resolutions
+            .lock()
+            .get(&sentinel)
+            .copied()
+    }
+
     /// Snapshot of the client's RPC counters.
     pub fn stats(&self) -> ClientStats {
         ClientStats {
@@ -711,13 +1165,25 @@ impl TaintMapClient {
             failovers: self.inner.failovers.load(Ordering::Relaxed),
             batch_frames: self.inner.batch_frames.load(Ordering::Relaxed),
             single_flight_hits: self.inner.single_flight_hits.load(Ordering::Relaxed),
+            retries: self.inner.retries.load(Ordering::Relaxed),
+            breaker_opens: self.inner.breaker_opens.load(Ordering::Relaxed),
+            breaker_fast_fails: self.inner.breaker_fast_fails.load(Ordering::Relaxed),
+            breaker_open_ns: self.inner.breaker_open_ns.load(Ordering::Relaxed),
+            degraded_lookups: self.inner.degraded_lookups.load(Ordering::Relaxed),
+            pending_resolved: self.inner.pending_resolved.load(Ordering::Relaxed),
+            pending_gids: self.inner.pending.lock().len() as u64,
         }
     }
 }
 
-fn rpc_on(conn: &TcpEndpoint, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), TaintMapError> {
+fn rpc_on(
+    conn: &TcpEndpoint,
+    op: u8,
+    payload: &[u8],
+    deadline: Duration,
+) -> Result<(u8, Vec<u8>), TaintMapError> {
     write_frame(conn, op, payload)?;
-    read_frame(conn)?.ok_or(TaintMapError::Net(dista_simnet::NetError::Closed))
+    read_frame_deadline(conn, deadline)?.ok_or(TaintMapError::Net(dista_simnet::NetError::Closed))
 }
 
 fn dial_any(
@@ -1004,9 +1470,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "every taint map shard needs >= 1 address")]
     fn empty_address_list_is_rejected() {
-        // The modern API rejects an empty deployment at topology
-        // construction (the deprecated `connect_with_failover` shim maps
-        // the same misuse to `TaintMapError::Protocol` for downstream).
+        // An empty deployment is rejected at topology construction, the
+        // single choke point every connect path goes through.
         let _ = TaintMapTopology::new(vec![vec![]]);
     }
 
@@ -1071,6 +1536,144 @@ mod tests {
         assert!(client.cached_gid_for(t).is_some());
         // The default observer is a no-op recorder: nothing retained.
         assert_eq!(client.stats().cache_hits, 0);
+        endpoint.shutdown();
+    }
+
+    /// Fast resilience settings so failure tests don't sit in backoff.
+    fn fast_resilience() -> ClientResilience {
+        ClientResilience {
+            rpc_deadline: Duration::from_millis(200),
+            retry_budget: 1,
+            backoff_base: Duration::from_micros(10),
+            backoff_cap: Duration::from_micros(50),
+            breaker_threshold: 2,
+            breaker_probe_after: 3,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_under_partition_and_closes_after_heal() {
+        let net = SimNet::new();
+        let endpoint = TaintMapEndpoint::builder().connect(&net).unwrap();
+        let store = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client = TaintMapClient::connect_topology_tuned(
+            &net,
+            endpoint.topology(),
+            store.clone(),
+            ClientObserver::disabled(),
+            fast_resilience(),
+        )
+        .unwrap();
+        let src = [10, 0, 0, 1];
+        let dst = endpoint.addr().ip();
+        net.partition_both(src, dst);
+
+        // Failures accumulate until the breaker trips, then requests
+        // fast-fail without touching the wire.
+        let t1 = store.mint_source_taint(TagValue::str("p1"));
+        let t2 = store.mint_source_taint(TagValue::str("p2"));
+        assert!(matches!(
+            client.global_id_for(t1),
+            Err(TaintMapError::Net(_))
+        ));
+        assert!(matches!(
+            client.global_id_for(t2),
+            Err(TaintMapError::Net(_))
+        ));
+        assert_eq!(client.stats().breaker_opens, 1);
+        assert_eq!(
+            client.global_id_for(t1),
+            Err(TaintMapError::ShardUnavailable(0))
+        );
+        assert!(client.stats().breaker_fast_fails >= 1);
+        assert!(client.stats().retries >= 2);
+
+        // Heal; burn through the remaining fast-fails to the half-open
+        // probe, which succeeds and closes the breaker.
+        net.heal_both(src, dst);
+        let mut gid = None;
+        for _ in 0..8 {
+            if let Ok(g) = client.global_id_for(t1) {
+                gid = Some(g);
+                break;
+            }
+        }
+        let gid = gid.expect("probe after heal must close the breaker");
+        assert!(gid.is_tainted());
+        assert!(client.stats().breaker_open_ns > 0);
+        // Closed again: next RPC flows normally.
+        assert!(client.global_id_for(t2).is_ok());
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn degraded_lookup_stamps_sentinel_and_reconciles_after_heal() {
+        let net = SimNet::new();
+        let endpoint = TaintMapEndpoint::builder().connect(&net).unwrap();
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client1 = endpoint.client(&net, store1.clone()).unwrap();
+        let t = store1.mint_source_taint(TagValue::str("cut-off"));
+        let gid = client1.global_id_for(t).unwrap();
+
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = TaintMapClient::connect_topology_tuned(
+            &net,
+            endpoint.topology(),
+            store2.clone(),
+            ClientObserver::disabled(),
+            fast_resilience(),
+        )
+        .unwrap();
+        let src = [10, 0, 0, 2];
+        let dst = endpoint.addr().ip();
+        net.partition_both(src, dst);
+
+        // The strict path fails outright; the degraded path yields a
+        // sentinel taint instead — the bytes are never silently clean.
+        assert!(client2.taints_for(&[gid]).is_err());
+        let degraded = client2.taints_for_degraded(&[gid, gid]).unwrap();
+        assert!(!degraded[0].is_empty());
+        assert_eq!(degraded[0], degraded[1], "duplicates share one sentinel");
+        assert_eq!(
+            store2.tag_values(degraded[0]),
+            vec![format!("pending-gid:{}", gid.0)]
+        );
+        let stats = client2.stats();
+        assert_eq!(stats.degraded_lookups, 1, "one sentinel per distinct gid");
+        assert_eq!(stats.pending_gids, 1);
+        assert_eq!(client2.pending_gids(), vec![gid]);
+        // A repeat call reuses the same sentinel without re-counting.
+        let again = client2.taints_for_degraded(&[gid]).unwrap();
+        assert_eq!(again[0], degraded[0]);
+        assert_eq!(client2.stats().degraded_lookups, 1);
+
+        // Heal: reconciliation succeeds once the breaker's fast-fail
+        // window is burned down to its half-open probe.
+        net.heal_both(src, dst);
+        let mut resolved = 0;
+        for _ in 0..8 {
+            resolved += client2.reconcile_pending().unwrap();
+            if resolved > 0 {
+                break;
+            }
+        }
+        assert_eq!(resolved, 1);
+        assert_eq!(client2.pending_count(), 0);
+        let real = client2.resolution_of(degraded[0]).expect("resolved");
+        assert_eq!(store2.tag_values(real), vec!["cut-off".to_string()]);
+        assert_eq!(client2.stats().pending_resolved, 1);
+        // The strict path now sees the real taint from cache.
+        assert_eq!(client2.taints_for(&[gid]).unwrap()[0], real);
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn unknown_gid_still_errors_on_the_degraded_path() {
+        let (_net, endpoint, client, _store) = setup();
+        assert_eq!(
+            client.taints_for_degraded(&[GlobalId(1234)]),
+            Err(TaintMapError::UnknownGlobalId(GlobalId(1234)))
+        );
         endpoint.shutdown();
     }
 }

@@ -1,10 +1,8 @@
-//! The Taint Map deployment handle: N shards, optional standbys, one
-//! builder.
+//! The Taint Map deployment handle: N shards, optional standbys,
+//! optional write-ahead snapshots, one builder.
 //!
-//! [`TaintMapEndpoint`] replaces the old constellation of
-//! `TaintMapServer::spawn{,_with,_with_backend}` and
-//! `TaintMapClient::connect{,_with_failover}` entry points with one
-//! builder that owns the whole topology decision:
+//! [`TaintMapEndpoint`] owns the whole topology decision — shard count,
+//! addresses, standbys — behind one builder:
 //!
 //! ```rust
 //! use dista_simnet::SimNet;
@@ -33,13 +31,13 @@
 
 use std::sync::Arc;
 
-use dista_simnet::{NodeAddr, SimNet};
+use dista_simnet::{NodeAddr, SimFs, SimNet};
 use dista_taint::TaintStore;
 
 use crate::backend::{InMemoryBackend, TaintMapBackend};
 use crate::client::TaintMapClient;
 use crate::error::TaintMapError;
-use crate::server::{ServerStats, TaintMapConfig, TaintMapServer};
+use crate::server::{ServerStats, TaintMapConfig, TaintMapServer, TaintMapWal};
 use crate::shard::{ShardSpec, TaintMapTopology};
 
 /// Per-shard backend factory: shard index → storage.
@@ -53,6 +51,7 @@ pub struct TaintMapEndpointBuilder {
     config: TaintMapConfig,
     standby: bool,
     backend: Option<Box<BackendFactory>>,
+    snapshots: Option<SimFs>,
 }
 
 impl std::fmt::Debug for TaintMapEndpointBuilder {
@@ -73,6 +72,7 @@ impl Default for TaintMapEndpointBuilder {
             config: TaintMapConfig::default(),
             standby: false,
             backend: None,
+            snapshots: None,
         }
     }
 }
@@ -124,6 +124,17 @@ impl TaintMapEndpointBuilder {
         self
     }
 
+    /// Gives every shard primary a write-ahead snapshot log on `fs`
+    /// (`taintmap/shard-<i>.wal`): new registrations are appended before
+    /// they are acknowledged, and
+    /// [`TaintMapEndpoint::restart_primary`] replays the log into the
+    /// relaunched primary, so an ungraceful crash loses no acknowledged
+    /// registration.
+    pub fn snapshots(mut self, fs: SimFs) -> Self {
+        self.snapshots = Some(fs);
+        self
+    }
+
     /// Stands the deployment up on `net`: spawns every shard primary
     /// (and standby, when enabled), wires replication, and returns the
     /// handle.
@@ -132,13 +143,13 @@ impl TaintMapEndpointBuilder {
     ///
     /// [`TaintMapError::Net`] if any shard address is already bound.
     pub fn connect(self, net: &SimNet) -> Result<TaintMapEndpoint, TaintMapError> {
-        let make_backend = |shard: usize| -> Arc<dyn TaintMapBackend> {
-            match &self.backend {
-                Some(factory) => factory(shard),
-                None => Arc::new(InMemoryBackend::new()),
-            }
+        let mut endpoint = TaintMapEndpoint {
+            net: net.clone(),
+            shards: Vec::with_capacity(self.shards),
+            config: self.config,
+            backend: self.backend,
+            snapshots: self.snapshots,
         };
-        let mut shards = Vec::with_capacity(self.shards);
         for i in 0..self.shards {
             let spec = ShardSpec {
                 index: i as u32,
@@ -146,29 +157,51 @@ impl TaintMapEndpointBuilder {
             };
             let primary_addr =
                 NodeAddr::new(self.base_addr.ip(), self.base_addr.port() + 2 * i as u16);
-            let primary =
-                TaintMapServer::launch(net, primary_addr, self.config, make_backend(i), spec)?;
+            let primary = TaintMapServer::launch(
+                net,
+                primary_addr,
+                self.config,
+                endpoint.make_backend(i),
+                spec,
+                endpoint.wal_for(i),
+            )?;
             let standby = if self.standby {
                 let standby_addr = NodeAddr::new(
                     self.base_addr.ip(),
                     self.base_addr.port() + 2 * i as u16 + 1,
                 );
-                let standby =
-                    TaintMapServer::launch(net, standby_addr, self.config, make_backend(i), spec)?;
+                let standby = TaintMapServer::launch(
+                    net,
+                    standby_addr,
+                    self.config,
+                    endpoint.make_backend(i),
+                    spec,
+                    None,
+                )?;
                 primary.replicate_to(standby.addr())?;
                 Some(standby)
             } else {
                 None
             };
-            shards.push(Shard { primary, standby });
+            endpoint.shards.push(Shard {
+                primary: Some(primary),
+                standby,
+                spec,
+                primary_addr,
+            });
         }
-        Ok(TaintMapEndpoint { shards })
+        Ok(endpoint)
     }
 }
 
 struct Shard {
-    primary: TaintMapServer,
+    /// `None` while the primary is crashed (between
+    /// [`TaintMapEndpoint::crash_primary`] and
+    /// [`TaintMapEndpoint::restart_primary`]).
+    primary: Option<TaintMapServer>,
     standby: Option<TaintMapServer>,
+    spec: ShardSpec,
+    primary_addr: NodeAddr,
 }
 
 /// Handle to a running Taint Map deployment (all shards and standbys).
@@ -176,7 +209,11 @@ struct Shard {
 /// Dropping the handle shuts every instance down; [`TaintMapEndpoint::shutdown`]
 /// does so explicitly.
 pub struct TaintMapEndpoint {
+    net: SimNet,
     shards: Vec<Shard>,
+    config: TaintMapConfig,
+    backend: Option<Box<BackendFactory>>,
+    snapshots: Option<SimFs>,
 }
 
 impl std::fmt::Debug for TaintMapEndpoint {
@@ -194,19 +231,34 @@ impl TaintMapEndpoint {
         TaintMapEndpointBuilder::default()
     }
 
+    fn make_backend(&self, shard: usize) -> Arc<dyn TaintMapBackend> {
+        match &self.backend {
+            Some(factory) => factory(shard),
+            None => Arc::new(InMemoryBackend::new()),
+        }
+    }
+
+    fn wal_for(&self, shard: usize) -> Option<TaintMapWal> {
+        self.snapshots
+            .as_ref()
+            .map(|fs| TaintMapWal::new(fs.clone(), format!("taintmap/shard-{shard}.wal")))
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
     /// The shard layout clients connect with. Cheap to clone and pass to
-    /// every VM builder.
+    /// every VM builder. A crashed primary keeps its slot in the list
+    /// (clients fail over to the standby, or retry until the primary is
+    /// restarted at the same address).
     pub fn topology(&self) -> TaintMapTopology {
         TaintMapTopology::new(
             self.shards
                 .iter()
                 .map(|s| {
-                    let mut addrs = vec![s.primary.addr()];
+                    let mut addrs = vec![s.primary_addr];
                     if let Some(standby) = &s.standby {
                         addrs.push(standby.addr());
                     }
@@ -239,7 +291,7 @@ impl TaintMapEndpoint {
             self.shards.len() == 1,
             "addr() is single-shard only; use topology()"
         );
-        self.shards[0].primary.addr()
+        self.shards[0].primary_addr
     }
 
     /// The shard-`i` primary server handle (census counters, manual
@@ -247,9 +299,13 @@ impl TaintMapEndpoint {
     ///
     /// # Panics
     ///
-    /// Panics if `i >= self.shard_count()`.
+    /// Panics if `i >= self.shard_count()` or the primary is currently
+    /// crashed.
     pub fn shard(&self, i: usize) -> &TaintMapServer {
-        &self.shards[i].primary
+        self.shards[i]
+            .primary
+            .as_ref()
+            .expect("shard primary is crashed; restart_primary() first")
     }
 
     /// The shard-`i` standby handle, if standbys were enabled.
@@ -261,32 +317,94 @@ impl TaintMapEndpoint {
         self.shards[i].standby.as_ref()
     }
 
-    /// Kills the shard-`i` primary (severing all of its connections),
-    /// leaving the standby — failover drills.
+    /// Kills the shard-`i` primary (severing all of its connections)
+    /// and *promotes the standby into the primary slot* — the permanent
+    /// failover drill. For a crash the primary will recover from, use
+    /// [`TaintMapEndpoint::crash_primary`] /
+    /// [`TaintMapEndpoint::restart_primary`] instead.
     ///
     /// # Panics
     ///
-    /// Panics if `i >= self.shard_count()`.
+    /// Panics if `i >= self.shard_count()`, the primary is already
+    /// crashed, or the shard has no standby.
     pub fn kill_primary(&mut self, i: usize) {
         let standby = self.shards[i].standby.take();
-        let shard = std::mem::replace(
-            &mut self.shards[i],
-            Shard {
-                primary: match standby {
-                    Some(s) => s,
-                    None => panic!("kill_primary without a standby leaves shard {i} unservable"),
-                },
-                standby: None,
-            },
-        );
-        shard.primary.shutdown();
+        let primary = self.shards[i].primary.take();
+        let promoted = match standby {
+            Some(s) => s,
+            None => panic!("kill_primary without a standby leaves shard {i} unservable"),
+        };
+        self.shards[i].primary_addr = promoted.addr();
+        self.shards[i].primary = Some(promoted);
+        primary
+            .expect("shard primary is already crashed")
+            .shutdown();
     }
 
-    /// Census counters summed across every shard primary.
+    /// Crashes the shard-`i` primary ungracefully: every connection is
+    /// severed and the address unbound, mid-flight requests get no
+    /// response. The standby (if any) keeps serving; the WAL (if
+    /// configured) survives for [`TaintMapEndpoint::restart_primary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()` or the primary is already
+    /// crashed.
+    pub fn crash_primary(&mut self, i: usize) {
+        self.shards[i]
+            .primary
+            .take()
+            .expect("shard primary is already crashed")
+            .shutdown();
+    }
+
+    /// Restarts a crashed shard-`i` primary at its original address on a
+    /// fresh backend, replaying the write-ahead snapshot (when the
+    /// deployment was built with [`TaintMapEndpointBuilder::snapshots`])
+    /// and re-wiring standby replication. Returns the number of
+    /// registrations recovered from the log.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if the address is still bound or the
+    /// standby is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()` or the primary is not
+    /// crashed.
+    pub fn restart_primary(&mut self, i: usize) -> Result<u64, TaintMapError> {
+        assert!(
+            self.shards[i].primary.is_none(),
+            "restart_primary on a live shard {i} primary"
+        );
+        let spec = self.shards[i].spec;
+        let addr = self.shards[i].primary_addr;
+        let primary = TaintMapServer::launch(
+            &self.net,
+            addr,
+            self.config,
+            self.make_backend(i),
+            spec,
+            self.wal_for(i),
+        )?;
+        if let Some(standby) = &self.shards[i].standby {
+            primary.replicate_to(standby.addr())?;
+        }
+        let replayed = primary.replayed();
+        self.shards[i].primary = Some(primary);
+        Ok(replayed)
+    }
+
+    /// Census counters summed across every live shard primary (crashed
+    /// primaries contribute nothing until restarted).
     pub fn stats(&self) -> ServerStats {
         let mut total = ServerStats::default();
         for shard in &self.shards {
-            let s = shard.primary.stats();
+            let Some(primary) = &shard.primary else {
+                continue;
+            };
+            let s = primary.stats();
             total.global_taints += s.global_taints;
             total.register_requests += s.register_requests;
             total.lookup_requests += s.lookup_requests;
@@ -298,7 +416,9 @@ impl TaintMapEndpoint {
     /// Stops every shard (primaries and standbys).
     pub fn shutdown(self) {
         for shard in self.shards {
-            shard.primary.shutdown();
+            if let Some(primary) = shard.primary {
+                primary.shutdown();
+            }
             if let Some(standby) = shard.standby {
                 standby.shutdown();
             }
@@ -366,6 +486,31 @@ mod tests {
             .filter(|&i| endpoint.shard(i).stats().global_taints > 0)
             .count();
         assert!(loaded > 1, "hash routing should spread load across shards");
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn crash_and_restart_recovers_from_the_snapshot() {
+        let net = SimNet::new();
+        let fs = dista_simnet::SimFs::new();
+        let mut endpoint = TaintMapEndpoint::builder()
+            .snapshots(fs)
+            .connect(&net)
+            .unwrap();
+        let store = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client = endpoint.client(&net, store.clone()).unwrap();
+        let t = store.mint_source_taint(TagValue::str("durable"));
+        let gid = client.global_id_for(t).unwrap();
+
+        endpoint.crash_primary(0);
+        let replayed = endpoint.restart_primary(0).unwrap();
+        assert_eq!(replayed, 1);
+
+        // A fresh VM resolves the pre-crash id from the reborn primary.
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
+        let resolved = client2.taint_for(gid).unwrap();
+        assert_eq!(store2.tag_values(resolved), vec!["durable".to_string()]);
         endpoint.shutdown();
     }
 

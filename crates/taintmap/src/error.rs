@@ -16,6 +16,10 @@ pub enum TaintMapError {
     UnknownGlobalId(GlobalId),
     /// Malformed request/response framing.
     Protocol(&'static str),
+    /// The shard's circuit breaker is open (its primary and standbys
+    /// were unreachable past the retry budget); the request fast-failed
+    /// without touching the wire.
+    ShardUnavailable(usize),
 }
 
 impl fmt::Display for TaintMapError {
@@ -25,6 +29,9 @@ impl fmt::Display for TaintMapError {
             TaintMapError::Codec(e) => write!(f, "taint map codec error: {e}"),
             TaintMapError::UnknownGlobalId(g) => write!(f, "unknown global id {g}"),
             TaintMapError::Protocol(msg) => write!(f, "taint map protocol error: {msg}"),
+            TaintMapError::ShardUnavailable(shard) => {
+                write!(f, "taint map shard {shard} unavailable (circuit open)")
+            }
         }
     }
 }

@@ -70,8 +70,8 @@ mod server;
 mod shard;
 
 pub use backend::{InMemoryBackend, TaintMapBackend};
-pub use client::{ClientObserver, ClientStats, TaintMapClient};
+pub use client::{ClientObserver, ClientResilience, ClientStats, TaintMapClient};
 pub use endpoint::{TaintMapEndpoint, TaintMapEndpointBuilder};
 pub use error::TaintMapError;
-pub use server::{ServerStats, TaintMapConfig, TaintMapServer};
+pub use server::{ServerStats, TaintMapConfig, TaintMapServer, TaintMapWal};
 pub use shard::{ShardSpec, TaintMapTopology};

@@ -63,6 +63,42 @@ pub(crate) fn read_frame(conn: &TcpEndpoint) -> Result<Option<(u8, Vec<u8>)>, Ta
     Ok(Some((op, payload)))
 }
 
+/// Like [`read_frame`], but every blocking read is bounded by `deadline`
+/// instead of the net-wide block timeout — the client's per-RPC
+/// deadline.
+pub(crate) fn read_frame_deadline(
+    conn: &TcpEndpoint,
+    deadline: std::time::Duration,
+) -> Result<Option<(u8, Vec<u8>)>, TaintMapError> {
+    let mut header = [0u8; 5];
+    let n = conn.read_deadline(&mut header[..1], deadline)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    read_exact_deadline(conn, &mut header[1..], deadline)?;
+    let op = header[0];
+    let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    let mut payload = vec![0u8; len];
+    read_exact_deadline(conn, &mut payload, deadline)?;
+    Ok(Some((op, payload)))
+}
+
+fn read_exact_deadline(
+    conn: &TcpEndpoint,
+    buf: &mut [u8],
+    deadline: std::time::Duration,
+) -> Result<(), NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = conn.read_deadline(&mut buf[filled..], deadline)?;
+        if n == 0 {
+            return Err(NetError::Closed);
+        }
+        filled += n;
+    }
+    Ok(())
+}
+
 /// Incremental big-endian reader over a batch payload.
 pub(crate) struct PayloadReader<'a> {
     buf: &'a [u8],

@@ -4,18 +4,24 @@
 //! Global ID namespace (see [`ShardSpec`]): its backend assigns dense
 //! local ids and the server stretches them onto the shard's arithmetic
 //! progression, so shards never coordinate on registration. Deployments
-//! are normally stood up through [`crate::TaintMapEndpoint`]; the
-//! constructors here remain as deprecated single-shard shims.
+//! are stood up through [`crate::TaintMapEndpoint`], which picks
+//! addresses and shard specs so the id namespaces can never overlap.
+//!
+//! For crash recovery a shard can be given a [`TaintMapWal`]: an
+//! append-only GID→taint snapshot log on the simulated file system,
+//! written before a registration is acknowledged and replayed on
+//! relaunch, so an ungraceful primary death loses no acknowledged (or
+//! even in-flight committed) registration.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use dista_simnet::{NetError, NodeAddr, SimNet, TcpEndpoint};
+use dista_simnet::{NetError, NodeAddr, SimFs, SimNet, TcpEndpoint};
 use parking_lot::Mutex;
 
-use crate::backend::{InMemoryBackend, TaintMapBackend};
+use crate::backend::TaintMapBackend;
 use crate::error::TaintMapError;
 use crate::proto::{
     read_frame, write_frame, PayloadReader, ERR_UNKNOWN_GID, OP_LOOKUP, OP_LOOKUP_BATCH,
@@ -32,6 +38,89 @@ pub struct TaintMapConfig {
     /// delay is charged once per *frame*, so a batch request pays it
     /// once however many items it carries.
     pub service_delay: Duration,
+    /// Chaos knob: die ungracefully once this many register items have
+    /// been served. The fatal registration is committed (backend, WAL,
+    /// replication) but its response frame is never written — the
+    /// deterministic stand-in for a process killed between commit and
+    /// reply, used by the crash-recovery tests. `None` = never.
+    pub crash_after_registers: Option<u64>,
+}
+
+/// Write-ahead snapshot log for one shard primary: an append-only
+/// sequence of `gid u32 BE, len u32 BE, len bytes` records on the
+/// simulated file system. Every *new* registration is appended before
+/// the response is acknowledged; [`TaintMapWal::replay_into`] rebuilds
+/// the backend after a crash.
+#[derive(Clone)]
+pub struct TaintMapWal {
+    fs: SimFs,
+    path: String,
+}
+
+impl std::fmt::Debug for TaintMapWal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaintMapWal")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl TaintMapWal {
+    /// A log at `path` on `fs`. The file is created on first append;
+    /// an existing file is replayed by the next [`TaintMapServer`]
+    /// launched with this handle.
+    pub fn new(fs: SimFs, path: impl Into<String>) -> Self {
+        TaintMapWal {
+            fs,
+            path: path.into(),
+        }
+    }
+
+    /// The log's path on the simulated file system.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    fn append(&self, gid: u32, serialized: &[u8]) {
+        let mut record = Vec::with_capacity(8 + serialized.len());
+        record.extend_from_slice(&gid.to_be_bytes());
+        record.extend_from_slice(&(serialized.len() as u32).to_be_bytes());
+        record.extend_from_slice(serialized);
+        self.fs.append(&self.path, &record);
+    }
+
+    /// Replays every record into `backend` (via the replication path, so
+    /// the backend's id allocator resumes past the recovered ids).
+    /// Returns the number of records replayed; a missing file is an
+    /// empty log. Truncated trailing bytes (a crash mid-append) are
+    /// ignored, like a torn final record in a real WAL.
+    pub fn replay_into(&self, backend: &dyn TaintMapBackend, shard: ShardSpec) -> u64 {
+        let Ok(bytes) = self.fs.read(&self.path) else {
+            return 0;
+        };
+        let mut replayed = 0;
+        let mut pos = 0;
+        while pos + 8 <= bytes.len() {
+            let gid =
+                u32::from_be_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+            let len = u32::from_be_bytes([
+                bytes[pos + 4],
+                bytes[pos + 5],
+                bytes[pos + 6],
+                bytes[pos + 7],
+            ]) as usize;
+            let end = pos + 8 + len;
+            if end > bytes.len() {
+                break;
+            }
+            if let Some(local) = shard.local_of_global(gid) {
+                backend.insert_replicated(local, &bytes[pos + 8..end]);
+                replayed += 1;
+            }
+            pos = end;
+        }
+        replayed
+    }
 }
 
 /// Aggregate server-side statistics (the global-taint census of §V-F).
@@ -56,6 +145,11 @@ struct ServerShared {
     batch_frames: AtomicU64,
     running: AtomicBool,
     config: TaintMapConfig,
+    /// Armed by the `crash_after_registers` chaos knob: once set, serve
+    /// threads drop their connections without responding.
+    crash_now: AtomicBool,
+    /// Write-ahead snapshot, present on primaries stood up with one.
+    wal: Option<TaintMapWal>,
     /// Connection to a standby replica, if configured (§IV: "adding a
     /// standby node to handle the single point failure").
     standby: Mutex<Option<TcpEndpoint>>,
@@ -69,13 +163,21 @@ impl ServerShared {
     /// returns its Global ID (already mapped into this shard's slice of
     /// the namespace).
     fn register_one(&self, serialized: &[u8]) -> u32 {
-        self.registers.fetch_add(1, Ordering::Relaxed);
+        let served = self.registers.fetch_add(1, Ordering::Relaxed) + 1;
         let before = self.backend.len();
         let gid = self
             .shard
             .global_of_local(self.backend.register(serialized));
         if self.backend.len() > before {
+            if let Some(wal) = &self.wal {
+                wal.append(gid, serialized);
+            }
             replicate(self, gid, serialized);
+        }
+        if let Some(limit) = self.config.crash_after_registers {
+            if served >= limit {
+                self.crash_now.store(true, Ordering::Relaxed);
+            }
         }
         gid
     }
@@ -100,6 +202,7 @@ pub struct TaintMapServer {
     net: SimNet,
     shared: Arc<ServerShared>,
     accept_thread: Option<JoinHandle<()>>,
+    replayed: u64,
 }
 
 impl std::fmt::Debug for TaintMapServer {
@@ -113,70 +216,24 @@ impl std::fmt::Debug for TaintMapServer {
 }
 
 impl TaintMapServer {
-    /// Starts the service on `addr` with default configuration and the
-    /// in-memory backend.
-    ///
-    /// # Errors
-    ///
-    /// [`TaintMapError::Net`] if the address is already bound.
-    #[deprecated(note = "use `TaintMapEndpoint::builder().addr(..).connect(net)` instead")]
-    pub fn spawn(net: &SimNet, addr: NodeAddr) -> Result<Self, TaintMapError> {
-        Self::launch(
-            net,
-            addr,
-            TaintMapConfig::default(),
-            Arc::new(InMemoryBackend::new()),
-            ShardSpec::default(),
-        )
-    }
-
-    /// Starts the service with explicit configuration.
-    ///
-    /// # Errors
-    ///
-    /// [`TaintMapError::Net`] if the address is already bound.
-    #[deprecated(note = "use `TaintMapEndpoint::builder().config(..).connect(net)` instead")]
-    pub fn spawn_with(
-        net: &SimNet,
-        addr: NodeAddr,
-        config: TaintMapConfig,
-    ) -> Result<Self, TaintMapError> {
-        Self::launch(
-            net,
-            addr,
-            config,
-            Arc::new(InMemoryBackend::new()),
-            ShardSpec::default(),
-        )
-    }
-
-    /// Starts the service on a custom storage backend (e.g. the
-    /// ZooKeeper-backed one from `dista-zookeeper`).
-    ///
-    /// # Errors
-    ///
-    /// [`TaintMapError::Net`] if the address is already bound.
-    #[deprecated(note = "use `TaintMapEndpoint::builder().backend(..).connect(net)` instead")]
-    pub fn spawn_with_backend(
-        net: &SimNet,
-        addr: NodeAddr,
-        config: TaintMapConfig,
-        backend: Arc<dyn TaintMapBackend>,
-    ) -> Result<Self, TaintMapError> {
-        Self::launch(net, addr, config, backend, ShardSpec::default())
-    }
-
     /// Starts one shard of the service. The endpoint builder is the
     /// public face of this; it picks addresses and shard specs so the id
-    /// namespaces can never overlap.
+    /// namespaces can never overlap. A `wal` handle pointing at an
+    /// existing log replays it into `backend` before the first request
+    /// is accepted.
     pub(crate) fn launch(
         net: &SimNet,
         addr: NodeAddr,
         config: TaintMapConfig,
         backend: Arc<dyn TaintMapBackend>,
         shard: ShardSpec,
+        wal: Option<TaintMapWal>,
     ) -> Result<Self, TaintMapError> {
         let listener = net.tcp_listen(addr)?;
+        let replayed = match &wal {
+            Some(w) => w.replay_into(&*backend, shard),
+            None => 0,
+        };
         let shared = Arc::new(ServerShared {
             backend,
             shard,
@@ -185,6 +242,8 @@ impl TaintMapServer {
             batch_frames: AtomicU64::new(0),
             running: AtomicBool::new(true),
             config,
+            crash_now: AtomicBool::new(false),
+            wal,
             standby: Mutex::new(None),
             live_conns: Mutex::new(Vec::new()),
         });
@@ -192,14 +251,16 @@ impl TaintMapServer {
         let accept_thread = std::thread::Builder::new()
             .name(format!("taintmap-{addr}"))
             .spawn(move || {
-                while accept_shared.running.load(Ordering::Relaxed) {
+                while accept_shared.running.load(Ordering::Relaxed)
+                    && !accept_shared.crash_now.load(Ordering::Relaxed)
+                {
                     match listener.accept() {
                         Ok(conn) => {
                             accept_shared.live_conns.lock().push(conn.clone());
                             let conn_shared = accept_shared.clone();
                             std::thread::spawn(move || serve_connection(conn, conn_shared));
                         }
-                        Err(NetError::TimedOut) => continue,
+                        Err(NetError::Timeout(_)) => continue,
                         Err(_) => break,
                     }
                 }
@@ -210,6 +271,7 @@ impl TaintMapServer {
             net: net.clone(),
             shared,
             accept_thread: Some(accept_thread),
+            replayed,
         })
     }
 
@@ -234,6 +296,17 @@ impl TaintMapServer {
     /// This server's slice of the Global ID namespace.
     pub fn shard_spec(&self) -> ShardSpec {
         self.shared.shard
+    }
+
+    /// Registrations recovered from the write-ahead snapshot at launch
+    /// (0 when launched without a WAL or from an empty log).
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// True once the `crash_after_registers` chaos knob fired.
+    pub fn has_crashed(&self) -> bool {
+        self.shared.crash_now.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the census counters.
@@ -261,10 +334,14 @@ impl TaintMapServer {
                 conn.close();
             }
             self.net.tcp_unlisten(self.addr);
+            // Join BEFORE severing: the accept loop may still be
+            // registering a just-accepted connection, and draining
+            // first would miss it — leaving a live serve thread on a
+            // supposedly dead server.
+            let _ = handle.join();
             for conn in self.shared.live_conns.lock().drain(..) {
                 conn.close();
             }
-            let _ = handle.join();
         }
     }
 }
@@ -284,30 +361,30 @@ fn serve_connection(conn: TcpEndpoint, shared: Arc<ServerShared>) {
         if shared.config.service_delay > Duration::ZERO {
             std::thread::sleep(shared.config.service_delay);
         }
-        let result = match frame {
+        let (resp_op, resp) = match frame {
             (OP_REGISTER, serialized) => {
                 let gid = shared.register_one(&serialized);
-                write_frame(&conn, RESP_OK, &gid.to_be_bytes())
+                (RESP_OK, gid.to_be_bytes().to_vec())
             }
             (OP_LOOKUP, payload) if payload.len() == 4 => {
                 let id = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
                 match shared.lookup_one(id) {
-                    Some(bytes) => write_frame(&conn, RESP_OK, &bytes),
-                    None => write_frame(&conn, RESP_ERR, &[ERR_UNKNOWN_GID]),
+                    Some(bytes) => (RESP_OK, bytes),
+                    None => (RESP_ERR, vec![ERR_UNKNOWN_GID]),
                 }
             }
             (OP_REGISTER_BATCH, payload) => {
                 shared.batch_frames.fetch_add(1, Ordering::Relaxed);
                 match serve_register_batch(&shared, &payload) {
-                    Some(resp) => write_frame(&conn, RESP_OK, &resp),
-                    None => write_frame(&conn, RESP_ERR, &[0xFF]),
+                    Some(resp) => (RESP_OK, resp),
+                    None => (RESP_ERR, vec![0xFF]),
                 }
             }
             (OP_LOOKUP_BATCH, payload) => {
                 shared.batch_frames.fetch_add(1, Ordering::Relaxed);
                 match serve_lookup_batch(&shared, &payload) {
-                    Some(resp) => write_frame(&conn, RESP_OK, &resp),
-                    None => write_frame(&conn, RESP_ERR, &[0xFF]),
+                    Some(resp) => (RESP_OK, resp),
+                    None => (RESP_ERR, vec![0xFF]),
                 }
             }
             (OP_REPLICATE, payload) if payload.len() >= 4 => {
@@ -317,15 +394,26 @@ fn serve_connection(conn: TcpEndpoint, shared: Arc<ServerShared>) {
                 match shared.shard.local_of_global(gid) {
                     Some(local) => {
                         shared.backend.insert_replicated(local, &payload[4..]);
-                        write_frame(&conn, RESP_OK, &[])
+                        (RESP_OK, Vec::new())
                     }
-                    None => write_frame(&conn, RESP_ERR, &[0xFF]),
+                    None => (RESP_ERR, vec![0xFF]),
                 }
             }
             (OP_SHUTDOWN, _) => return,
-            _ => write_frame(&conn, RESP_ERR, &[0xFF]),
+            _ => (RESP_ERR, vec![0xFF]),
         };
-        if result.is_err() {
+        if shared.crash_now.load(Ordering::Relaxed) {
+            // Ungraceful death: the work above is committed (backend,
+            // WAL, replication) but the response is never written, and
+            // every live connection is severed — a process killed
+            // between commit and reply.
+            for c in shared.live_conns.lock().drain(..) {
+                c.close();
+            }
+            conn.close();
+            return;
+        }
+        if write_frame(&conn, resp_op, &resp).is_err() {
             return;
         }
     }
@@ -380,6 +468,7 @@ fn replicate(shared: &ServerShared, gid: u32, serialized: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::InMemoryBackend;
     use crate::proto::{
         encode_lookup_batch, encode_register_batch, read_frame as rf, write_frame as wf,
     };
@@ -391,6 +480,7 @@ mod tests {
             TaintMapConfig::default(),
             Arc::new(InMemoryBackend::new()),
             ShardSpec::default(),
+            None,
         )
         .unwrap()
     }
@@ -518,6 +608,7 @@ mod tests {
             TaintMapConfig::default(),
             Arc::new(InMemoryBackend::new()),
             ShardSpec { index: 2, count: 4 },
+            None,
         )
         .unwrap();
         let conn = net.tcp_connect(server.addr()).unwrap();
@@ -589,6 +680,96 @@ mod tests {
         assert!(u32::from_be_bytes([sid[0], sid[1], sid[2], sid[3]]) > 1);
         primary.shutdown();
         standby.shutdown();
+    }
+
+    #[test]
+    fn wal_replay_restores_registrations_after_relaunch() {
+        let net = SimNet::new();
+        let fs = SimFs::new();
+        let wal = TaintMapWal::new(fs.clone(), "taintmap/shard-0.wal");
+        let addr = NodeAddr::new([10, 0, 0, 99], 7777);
+        let server = TaintMapServer::launch(
+            &net,
+            addr,
+            TaintMapConfig::default(),
+            Arc::new(InMemoryBackend::new()),
+            ShardSpec::default(),
+            Some(wal.clone()),
+        )
+        .unwrap();
+        let conn = net.tcp_connect(addr).unwrap();
+        wf(&conn, OP_REGISTER, b"persisted-A").unwrap();
+        let (_, id_a) = rf(&conn).unwrap().unwrap();
+        wf(&conn, OP_REGISTER, b"persisted-B").unwrap();
+        let (_, _id_b) = rf(&conn).unwrap().unwrap();
+        server.shutdown();
+
+        // A fresh backend + the same WAL recovers both registrations and
+        // resumes the id allocator past them.
+        let reborn = TaintMapServer::launch(
+            &net,
+            addr,
+            TaintMapConfig::default(),
+            Arc::new(InMemoryBackend::new()),
+            ShardSpec::default(),
+            Some(wal),
+        )
+        .unwrap();
+        assert_eq!(reborn.replayed(), 2);
+        let conn = net.tcp_connect(addr).unwrap();
+        wf(&conn, OP_LOOKUP, &id_a).unwrap();
+        let (op, bytes) = rf(&conn).unwrap().unwrap();
+        assert_eq!(op, RESP_OK);
+        assert_eq!(bytes, b"persisted-A");
+        wf(&conn, OP_REGISTER, b"persisted-C").unwrap();
+        let (_, id_c) = rf(&conn).unwrap().unwrap();
+        assert_eq!(id_c, 3u32.to_be_bytes(), "allocator resumed past replay");
+        reborn.shutdown();
+    }
+
+    #[test]
+    fn crash_knob_commits_but_never_responds() {
+        let net = SimNet::new();
+        let fs = SimFs::new();
+        let wal = TaintMapWal::new(fs.clone(), "taintmap/shard-0.wal");
+        let addr = NodeAddr::new([10, 0, 0, 99], 7777);
+        let server = TaintMapServer::launch(
+            &net,
+            addr,
+            TaintMapConfig {
+                crash_after_registers: Some(2),
+                ..TaintMapConfig::default()
+            },
+            Arc::new(InMemoryBackend::new()),
+            ShardSpec::default(),
+            Some(wal.clone()),
+        )
+        .unwrap();
+        let conn = net.tcp_connect(addr).unwrap();
+        // A 3-item batch crosses the threshold mid-frame: all three are
+        // registered (and WAL'd) but no response ever arrives.
+        let items = vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()];
+        wf(&conn, OP_REGISTER_BATCH, &encode_register_batch(&items)).unwrap();
+        let reply = rf(&conn);
+        assert!(
+            matches!(reply, Ok(None) | Err(_)),
+            "crashed primary must not acknowledge: {reply:?}"
+        );
+        assert!(server.has_crashed());
+        server.shutdown();
+
+        // Everything committed before the crash replays.
+        let reborn = TaintMapServer::launch(
+            &net,
+            addr,
+            TaintMapConfig::default(),
+            Arc::new(InMemoryBackend::new()),
+            ShardSpec::default(),
+            Some(wal),
+        )
+        .unwrap();
+        assert_eq!(reborn.replayed(), 3, "zero lost registrations");
+        reborn.shutdown();
     }
 
     #[test]

@@ -117,8 +117,8 @@ impl From<NodeAddr> for TaintMapTopology {
 }
 
 impl From<Vec<NodeAddr>> for TaintMapTopology {
-    /// A single shard with a failover list (the old
-    /// `connect_with_failover` shape).
+    /// A single shard with a failover list: the first address is the
+    /// primary, the rest are standbys tried in order.
     ///
     /// # Panics
     ///

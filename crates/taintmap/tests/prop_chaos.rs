@@ -1,0 +1,165 @@
+//! Chaos properties for the Taint Map: under *any* seeded partition
+//! schedule, a delivered lookup result is either the correct taint or a
+//! `pending-gid` sentinel that resolves to the correct taint after the
+//! partition heals — never silently clean, never silently wrong. And a
+//! primary crashed mid-`REGISTER_BATCH` loses nothing: every committed
+//! registration replays from the write-ahead snapshot.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use dista_simnet::{FaultPlan, NodeAddr, SimFs, SimNet};
+use dista_taint::{GlobalId, LocalId, TagValue, Taint, TaintStore};
+use dista_taintmap::{
+    ClientObserver, ClientResilience, TaintMapClient, TaintMapConfig, TaintMapEndpoint,
+};
+use proptest::prelude::*;
+
+/// Tight deadlines/backoff so partition cases spend milliseconds, not
+/// the default seconds, discovering that a shard is gone.
+fn fast_resilience() -> ClientResilience {
+    ClientResilience {
+        rpc_deadline: Duration::from_millis(50),
+        retry_budget: 1,
+        backoff_base: Duration::from_micros(10),
+        backoff_cap: Duration::from_micros(50),
+        breaker_threshold: 2,
+        breaker_probe_after: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Soundness under partitions: whatever the cut/heal steps, every
+    /// degraded lookup yields the correct taint or that gid's pending
+    /// sentinel, and after heal every sentinel reconciles to the taint
+    /// the gid really names.
+    #[test]
+    fn degraded_lookups_stay_sound_under_any_partition_schedule(
+        (seed, shard_count, n, cut_at, heal_after) in
+            (any::<u64>(), 1usize..=3, 1usize..=16, 1u64..=40, 1u64..=40)
+    ) {
+        let net = SimNet::new();
+        let tm_ip = [10, 0, 0, 99];
+        let endpoint = TaintMapEndpoint::builder()
+            .addr(NodeAddr::new(tm_ip, 7777))
+            .shards(shard_count)
+            .connect(&net)
+            .unwrap();
+
+        // A healthy VM registers n distinct taints up front.
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client1 = endpoint.client(&net, store1.clone()).unwrap();
+        let taints: Vec<Taint> = (0..n as i64)
+            .map(|i| store1.mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = client1.global_ids_for(&taints).unwrap();
+
+        // The victim VM connects first, then the schedule cuts its link
+        // to every shard at a seed-chosen step.
+        let me = [10, 0, 0, 2];
+        let store2 = TaintStore::new(LocalId::new(me, 2));
+        let client2 = TaintMapClient::connect_topology_tuned(
+            &net,
+            endpoint.topology(),
+            store2.clone(),
+            ClientObserver::disabled(),
+            fast_resilience(),
+        )
+        .unwrap();
+        net.install_fault_plan(
+            FaultPlan::builder(seed)
+                .partition_both_at(cut_at, me, tm_ip)
+                .heal_both_at(cut_at + heal_after, me, tm_ip)
+                .build(),
+        );
+
+        // Drive lookups through the schedule. Every answer must be the
+        // right taint or the gid's own sentinel.
+        let mut sentinels: HashMap<usize, Taint> = HashMap::new();
+        for _round in 0..4 {
+            let got = client2.taints_for_degraded(&gids).unwrap();
+            for (i, (&taint, &gid)) in got.iter().zip(&gids).enumerate() {
+                let vals = store2.tag_values(taint);
+                if vals == vec![format!("pending-gid:{}", gid.0)] {
+                    sentinels.insert(i, taint);
+                } else {
+                    prop_assert_eq!(vals, vec![i.to_string()], "wrong taint for gid {}", gid.0);
+                }
+            }
+        }
+
+        // Heal (idempotent if the schedule already healed) and drain the
+        // pending backlog through the breaker's probe window.
+        net.heal_both(me, tm_ip);
+        for _ in 0..32 {
+            if client2.pending_count() == 0 {
+                break;
+            }
+            client2.reconcile_pending().unwrap();
+        }
+        prop_assert_eq!(client2.pending_count(), 0, "backlog must drain after heal");
+
+        // Post-heal, the strict path agrees with the registrations, and
+        // every sentinel handed out earlier maps to that same taint.
+        let healed = client2.taints_for(&gids).unwrap();
+        for (i, &taint) in healed.iter().enumerate() {
+            prop_assert_eq!(store2.tag_values(taint), vec![i.to_string()]);
+        }
+        for (i, sentinel) in sentinels {
+            let real = client2.resolution_of(sentinel);
+            prop_assert_eq!(real, Some(healed[i]), "sentinel for index {} misresolved", i);
+        }
+        endpoint.shutdown();
+    }
+
+    /// Crash recovery: the primary commits every item of an in-flight
+    /// register batch (backend + snapshot log) but dies before replying.
+    /// Restarting from the snapshot recovers all of them — a fresh VM
+    /// resolves every assigned id.
+    #[test]
+    fn crash_mid_register_batch_loses_nothing((n, k) in (2u64..=20, 1u64..=6)) {
+        let k = k.min(n - 1); // the crash must land inside the batch
+        let net = SimNet::new();
+        let mut endpoint = TaintMapEndpoint::builder()
+            .config(TaintMapConfig {
+                crash_after_registers: Some(k),
+                ..Default::default()
+            })
+            .snapshots(SimFs::new())
+            .connect(&net)
+            .unwrap();
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client1 = TaintMapClient::connect_topology_tuned(
+            &net,
+            endpoint.topology(),
+            store1.clone(),
+            ClientObserver::disabled(),
+            fast_resilience(),
+        )
+        .unwrap();
+        let taints: Vec<Taint> = (0..n as i64)
+            .map(|i| store1.mint_source_taint(TagValue::Int(i)))
+            .collect();
+        prop_assert!(
+            client1.global_ids_for(&taints).is_err(),
+            "the primary must die before acknowledging the batch"
+        );
+
+        endpoint.crash_primary(0);
+        let replayed = endpoint.restart_primary(0).unwrap();
+        prop_assert_eq!(replayed, n, "every committed registration replays");
+
+        // Single shard ⇒ dense ids in batch order. A cold-cache VM
+        // resolves each one to the taint the crashed primary committed.
+        let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+        let client2 = endpoint.client(&net, store2.clone()).unwrap();
+        let gids: Vec<GlobalId> = (1..=n as u32).map(GlobalId).collect();
+        let resolved = client2.taints_for(&gids).unwrap();
+        for (i, &taint) in resolved.iter().enumerate() {
+            prop_assert_eq!(store2.tag_values(taint), vec![i.to_string()]);
+        }
+        endpoint.shutdown();
+    }
+}

@@ -1,0 +1,266 @@
+//! Cluster-level chaos: a seeded `FaultPlan` drives partitions and a
+//! primary crash through a live workload. The same seed must replay the
+//! same fault schedule bit-for-bit (determinism witness: the applied
+//! fault log and the chaos event stream), and degraded mode must stay
+//! sound — every delivered byte either carries its real taint or a
+//! `pending-gid` sentinel that reconciles after heal, never a silent
+//! clean.
+
+use dista_repro::core::{Cluster, FaultPlan, Mode};
+use dista_repro::jre::{InputStream, OutputStream, ServerSocket, Socket};
+use dista_repro::obs::{ObsConfig, ObsEventKind};
+use dista_repro::simnet::NodeAddr;
+use dista_repro::taint::{Payload, TagValue, TaintedBytes};
+
+const RX_IP: [u8; 4] = [10, 0, 0, 2];
+const TM_IP: [u8; 4] = [10, 0, 0, 99];
+
+/// Everything two runs of the same seed must agree on.
+#[derive(Debug, PartialEq, Eq)]
+struct ChaosWitness {
+    fault_log: Vec<String>,
+    chaos_events: Vec<String>,
+    degraded_gids: Vec<u32>,
+    replayed: u64,
+}
+
+/// Stands up a 2-node cluster under a seeded schedule: the receiver is
+/// cut off from every Taint Map shard at step 1, the shard 0 primary is
+/// crashed and restarted from its snapshot mid-run, and the link heals
+/// late. Eight request rounds flow through the whole arc.
+fn run_chaos_scenario(seed: u64) -> ChaosWitness {
+    let plan = FaultPlan::builder(seed)
+        .partition_both_at(1, RX_IP, TM_IP)
+        .crash_shard_at(8, 0)
+        .restart_shard_at(8, 0)
+        .heal_both_at(24, RX_IP, TM_IP)
+        .build();
+    let mut cluster = Cluster::builder(Mode::Dista)
+        .nodes("c", 2)
+        .observability(ObsConfig::default())
+        .taint_map_snapshots(true)
+        .chaos(plan)
+        .build()
+        .unwrap();
+    let (tx, rx) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+
+    for round in 0..8u16 {
+        let addr = NodeAddr::new(RX_IP, 7100 + round);
+        let server = ServerSocket::bind(&rx, addr).unwrap();
+        let out = Socket::connect(&tx, addr).unwrap();
+        let conn = server.accept().unwrap();
+        let taint = tx
+            .store()
+            .mint_source_taint(TagValue::str(format!("r{round}")));
+        out.output_stream()
+            .write(&Payload::Tainted(TaintedBytes::uniform(b"chaos!", taint)))
+            .unwrap();
+        let got = conn.input_stream().read_exact(6).unwrap();
+        assert_eq!(got.data(), b"chaos!");
+
+        // Soundness: delivered bytes are never silently clean. Under a
+        // healthy link they carry the round's tag; under a cut they
+        // carry that gid's pending sentinel.
+        let tags = rx.store().tag_values(got.taint_union(rx.store()));
+        assert_eq!(tags.len(), 1, "round {round} delivered untagged bytes");
+        assert!(
+            tags[0] == format!("r{round}") || tags[0].starts_with("pending-gid:"),
+            "round {round} carried an unrelated tag: {tags:?}"
+        );
+        cluster.poll_chaos().unwrap();
+    }
+
+    // Heal (idempotent if the scheduled heal already fired) and drain
+    // the pending backlog through the breaker's probe window.
+    cluster.net().heal_both(RX_IP, TM_IP);
+    for _ in 0..64 {
+        if cluster.pending_gids() == 0 {
+            break;
+        }
+        cluster.reconcile_pending().unwrap();
+    }
+    cluster.poll_chaos().unwrap();
+    assert_eq!(cluster.pending_gids(), 0, "sentinels must drain after heal");
+
+    let fault_log: Vec<String> = cluster
+        .net()
+        .fault_log()
+        .iter()
+        .map(|a| format!("step {}: {:?}", a.step, a.action))
+        .collect();
+    let mut degraded_gids = Vec::new();
+    let mut replayed_total = 0;
+    let chaos_events: Vec<String> = cluster
+        .obs_events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            ObsEventKind::FaultInjected { fault } => Some(format!("inject {fault}")),
+            ObsEventKind::ShardCrashed { shard } => Some(format!("crash shard {shard}")),
+            ObsEventKind::ShardRestarted { shard, replayed } => {
+                replayed_total += *replayed;
+                Some(format!("restart shard {shard} replayed {replayed}"))
+            }
+            ObsEventKind::DegradedLookup { gid, shard } => {
+                degraded_gids.push(*gid);
+                Some(format!("degraded gid {gid} shard {shard}"))
+            }
+            ObsEventKind::PendingResolved { gid, .. } => Some(format!("resolved gid {gid}")),
+            _ => None,
+        })
+        .collect();
+
+    // Every pending hop in the provenance of a degraded gid must be
+    // closed by a reconciled resolution — the §4c soundness condition.
+    for &gid in &degraded_gids {
+        let trace = cluster.provenance(gid);
+        assert!(trace.pending_hops() >= 1, "gid {gid} lost its pending hop");
+        assert!(
+            trace.pending_all_resolved(),
+            "gid {gid} still pending after heal: {trace}"
+        );
+    }
+
+    // The resilience counters surface in the metrics dump.
+    let dump = cluster.metrics_dump();
+    assert!(dump.counter_total("taintmap_degraded_lookups") as usize >= degraded_gids.len());
+    assert!(dump.counter_total("taintmap_pending_resolved") as usize >= degraded_gids.len());
+    assert!(dump.counter_total("taintmap_retries") > 0);
+    assert_eq!(
+        dump.gauge_value("taintmap_pending_gids", &[("node", "c2")]),
+        Some(0.0)
+    );
+
+    cluster.shutdown();
+    ChaosWitness {
+        fault_log,
+        chaos_events,
+        degraded_gids,
+        replayed: replayed_total,
+    }
+}
+
+#[test]
+fn same_seed_replays_an_identical_fault_schedule() {
+    // ci.sh runs this suite under several fixed seeds.
+    let seed = std::env::var("DISTA_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let first = run_chaos_scenario(seed);
+
+    // The schedule actually did something in every dimension.
+    assert!(
+        first.fault_log.iter().any(|l| l.contains("Partition")),
+        "partition applied: {:?}",
+        first.fault_log
+    );
+    assert!(
+        first
+            .chaos_events
+            .iter()
+            .any(|e| e.starts_with("crash shard")),
+        "primary crashed: {:?}",
+        first.chaos_events
+    );
+    assert!(
+        first
+            .chaos_events
+            .iter()
+            .any(|e| e.starts_with("restart shard")),
+        "primary restarted: {:?}",
+        first.chaos_events
+    );
+    assert!(
+        first.replayed > 0,
+        "the restarted primary replayed its snapshot"
+    );
+    assert!(
+        !first.degraded_gids.is_empty(),
+        "the cut produced degraded lookups"
+    );
+
+    // Determinism: a second run of the same seed produces the same
+    // applied-fault log and the same chaos event sequence.
+    let second = run_chaos_scenario(seed);
+    assert_eq!(first, second, "chaos schedule must be replayable");
+}
+
+#[test]
+fn crashed_vm_is_unreachable_until_restarted() {
+    let mut cluster = Cluster::builder(Mode::Dista)
+        .nodes("w", 2)
+        .observability(ObsConfig::default())
+        .build()
+        .unwrap();
+    let (w1, w2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+    let addr = NodeAddr::new(RX_IP, 7200);
+    let server = ServerSocket::bind(&w2, addr).unwrap();
+
+    let ok = Socket::connect(&w1, addr).unwrap();
+    drop(server.accept().unwrap());
+    drop(ok);
+
+    cluster.crash_vm("w2");
+    assert!(
+        Socket::connect(&w1, addr).is_err(),
+        "a crashed VM must be unreachable"
+    );
+
+    cluster.restart_vm("w2");
+    let back = Socket::connect(&w1, addr).unwrap();
+    drop(server.accept().unwrap());
+    drop(back);
+
+    // Both injections were mirrored into the chaos event stream.
+    cluster.poll_chaos().unwrap();
+    let faults: Vec<String> = cluster
+        .obs_events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            ObsEventKind::FaultInjected { fault } => Some(fault.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(faults.iter().any(|f| f.contains("Isolate")), "{faults:?}");
+    assert!(faults.iter().any(|f| f.contains("Rejoin")), "{faults:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn scheduled_vm_crash_and_restart_fire_from_the_plan() {
+    let plan = FaultPlan::builder(9)
+        .crash_vm_at(2, "s2")
+        .restart_vm_at(5, "s2")
+        .build();
+    let mut cluster = Cluster::builder(Mode::Dista)
+        .nodes("s", 2)
+        .observability(ObsConfig::default())
+        .chaos(plan)
+        .build()
+        .unwrap();
+    let (s1, s2) = (cluster.vm(0).clone(), cluster.vm(1).clone());
+    let addr = NodeAddr::new(RX_IP, 7300);
+    let server = ServerSocket::bind(&s2, addr).unwrap();
+
+    // Each connect attempt advances the fault clock; the crash trigger
+    // fires, cuts the node, and the restart trigger later rejoins it.
+    let mut saw_outage = false;
+    let mut recovered = false;
+    for _ in 0..12 {
+        cluster.poll_chaos().unwrap();
+        match Socket::connect(&s1, addr) {
+            Ok(conn) => {
+                drop(server.accept().unwrap());
+                drop(conn);
+                if saw_outage {
+                    recovered = true;
+                    break;
+                }
+            }
+            Err(_) => saw_outage = true,
+        }
+    }
+    assert!(saw_outage, "the scheduled crash never cut the node");
+    assert!(recovered, "the scheduled restart never rejoined the node");
+    cluster.shutdown();
+}
