@@ -17,6 +17,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc -p dista-obs -p dista-taintmap -p dista-cor
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> codec conformance + adversarial decode suites"
+cargo test -q --offline -p dista-jre --test prop_codec
+cargo test -q --offline -p dista-jre --test adversarial_decode
+
 echo "==> chaos suites under fixed seeds"
 for seed in 7 42 1337; do
     echo "    seed $seed"
@@ -32,5 +36,8 @@ cargo run -p dista-bench --bin claim_net_overhead --release --offline -- --smoke
 
 echo "==> claim_net_overhead --chaos --smoke (degraded-mode soundness check)"
 cargo run -p dista-bench --bin claim_net_overhead --release --offline -- --chaos --smoke
+
+echo "==> boundary_codec --smoke (wire bytes bit-identical to reference codec)"
+cargo run -p dista-bench --bin boundary_codec --release --offline -- --smoke
 
 echo "CI OK"

@@ -1,0 +1,225 @@
+//! Measures the **boundary codec fast path**: the run-vectorized
+//! `encode_wire_into`/`decode_wire_into` against the retained per-byte
+//! reference codec, on 1 MiB uniform and striped payloads.
+//!
+//! The wire format is identical by construction — this bin *proves* it
+//! before timing anything: every benchmarked layout is first checked
+//! bit-for-bit against the reference encoder/decoder, and the process
+//! exits non-zero on any deviation.
+//!
+//! Flags:
+//!
+//! * `--smoke` — conformance gate only (fast/reference bit-identity over
+//!   a battery of layouts and widths, plus one 1 MiB case); no timing.
+//!   This is what CI runs.
+//! * default — conformance gate, then measured throughput. **Exits
+//!   non-zero** unless the fast path shows ≥2× combined encode+decode
+//!   throughput on both 1 MiB payload shapes (run under `--release`;
+//!   unoptimized builds print a warning instead of failing the gate).
+
+use std::time::Instant;
+
+use dista_bench::table::Table;
+use dista_jre::codec::{self, reference, WireRun, MAX_GID_WIDTH};
+
+const MIB: usize = 1024 * 1024;
+
+fn gid_slot(v: u64, width: usize) -> [u8; MAX_GID_WIDTH] {
+    let mut slot = [0u8; MAX_GID_WIDTH];
+    slot[..width].copy_from_slice(&v.to_be_bytes()[8 - width..]);
+    slot
+}
+
+/// Deterministic pseudo-random bytes (no external RNG needed).
+fn lcg_bytes(len: usize, mut seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 56) as u8
+        })
+        .collect()
+}
+
+struct Shape {
+    name: &'static str,
+    data: Vec<u8>,
+    runs: Vec<WireRun>,
+}
+
+/// The two paper-shaped 1 MiB payloads plus smaller conformance-only
+/// layouts.
+fn shapes(size: usize, width: usize) -> Vec<Shape> {
+    let uniform = Shape {
+        name: "uniform",
+        data: lcg_bytes(size, 7),
+        runs: vec![(size, gid_slot(42, width))],
+    };
+    // Striped: alternating 64-byte runs of two gids with untainted gaps —
+    // the run-heavy worst-ish case for the vectorized fill.
+    let mut runs = Vec::new();
+    let mut covered = 0;
+    let mut i = 0u64;
+    while covered < size {
+        let len = 64.min(size - covered);
+        let gid = match i % 3 {
+            0 => 7,
+            1 => 0,
+            _ => 9,
+        };
+        runs.push((len, gid_slot(gid, width)));
+        covered += len;
+        i += 1;
+    }
+    let striped = Shape {
+        name: "striped",
+        data: lcg_bytes(size, 11),
+        runs,
+    };
+    vec![uniform, striped]
+}
+
+/// Bit-identity of the fast path against the reference codec for one
+/// layout. Returns an error description on any deviation.
+fn conformance(shape: &Shape, width: usize) -> Result<(), String> {
+    let mut fast = Vec::new();
+    codec::encode_wire_into(&shape.data, &shape.runs, width, &mut fast);
+    let refr = reference::encode_wire(&shape.data, &shape.runs, width);
+    if fast != refr {
+        let at = fast
+            .iter()
+            .zip(&refr)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fast.len().min(refr.len()));
+        return Err(format!(
+            "{} w{width}: encode deviates from reference at wire byte {at}",
+            shape.name
+        ));
+    }
+    let (mut fd, mut fr) = (Vec::new(), Vec::new());
+    codec::decode_wire_into(&fast, width, &mut fd, &mut fr)
+        .map_err(|e| format!("{} w{width}: fast decode failed: {e}", shape.name))?;
+    let (rd, rr) = reference::decode_wire(&refr, width)
+        .map_err(|e| format!("{} w{width}: reference decode failed: {e}", shape.name))?;
+    if fd != rd || fr != rr {
+        return Err(format!(
+            "{} w{width}: fast decode disagrees with reference decode",
+            shape.name
+        ));
+    }
+    if fd != shape.data {
+        return Err(format!(
+            "{} w{width}: decode is not the inverse of encode",
+            shape.name
+        ));
+    }
+    Ok(())
+}
+
+fn conformance_gate() -> bool {
+    let mut ok = true;
+    let mut checked = 0;
+    for width in [1usize, 2, 4, 8] {
+        for size in [0usize, 1, 64, 4096] {
+            for shape in shapes(size, width) {
+                if let Err(e) = conformance(&shape, width) {
+                    println!("FAIL: {e}");
+                    ok = false;
+                }
+                checked += 1;
+            }
+        }
+    }
+    // One full-size case per shape at the default width.
+    for shape in shapes(MIB, 4) {
+        if let Err(e) = conformance(&shape, 4) {
+            println!("FAIL: {e}");
+            ok = false;
+        }
+        checked += 1;
+    }
+    println!(
+        "conformance: {checked} layouts checked, fast path {} the reference codec bit-for-bit",
+        if ok { "matches" } else { "DEVIATES FROM" }
+    );
+    ok
+}
+
+/// Best-of-`iters` seconds for one closure.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    println!("boundary codec — zero-copy fast path vs per-byte reference\n");
+    if !conformance_gate() {
+        std::process::exit(1);
+    }
+    if smoke {
+        return;
+    }
+
+    const WIDTH: usize = 4;
+    const ITERS: usize = 5;
+    let mut table = Table::new(&["Shape", "Stage", "Reference", "Fast path", "Speedup"]);
+    let mut all_meet_bar = true;
+    for shape in shapes(MIB, WIDTH) {
+        let wire = reference::encode_wire(&shape.data, &shape.runs, WIDTH);
+        let mut out = Vec::new();
+        let enc_ref = time_best(ITERS, || {
+            std::hint::black_box(reference::encode_wire(&shape.data, &shape.runs, WIDTH));
+        });
+        let enc_fast = time_best(ITERS, || {
+            codec::encode_wire_into(&shape.data, &shape.runs, WIDTH, &mut out);
+            std::hint::black_box(&out);
+        });
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        let dec_ref = time_best(ITERS, || {
+            std::hint::black_box(reference::decode_wire(&wire, WIDTH).unwrap());
+        });
+        let dec_fast = time_best(ITERS, || {
+            codec::decode_wire_into(&wire, WIDTH, &mut d, &mut r).unwrap();
+            std::hint::black_box((&d, &r));
+        });
+        let mib_s = |secs: f64| 1.0 / secs; // payload is exactly 1 MiB
+        for (stage, re, fast) in [("encode", enc_ref, enc_fast), ("decode", dec_ref, dec_fast)] {
+            table.row(vec![
+                shape.name.to_string(),
+                stage.to_string(),
+                format!("{:8.1} MiB/s", mib_s(re)),
+                format!("{:8.1} MiB/s", mib_s(fast)),
+                format!("{:.2}x", re / fast),
+            ]);
+        }
+        let combined = (enc_ref + dec_ref) / (enc_fast + dec_fast);
+        table.row(vec![
+            shape.name.to_string(),
+            "enc+dec".to_string(),
+            String::new(),
+            String::new(),
+            format!("{combined:.2}x"),
+        ]);
+        if combined < 2.0 {
+            all_meet_bar = false;
+        }
+    }
+    table.print();
+    println!("\n1 MiB payloads, gid width 4 (5x wire expansion), best of {ITERS} runs.");
+    if all_meet_bar {
+        println!("OK: fast path >= 2x combined encode+decode throughput on both shapes");
+    } else if cfg!(debug_assertions) {
+        println!("WARN: <2x in an unoptimized build — rerun with --release for the gate");
+    } else {
+        println!("FAIL: fast path below the 2x combined throughput bar");
+        std::process::exit(1);
+    }
+}

@@ -27,6 +27,7 @@ use dista_simnet::{native, NodeAddr, TcpEndpoint, UdpEndpoint};
 use dista_taint::{GlobalId, Payload, Taint, TaintRuns, TaintedBytes};
 use parking_lot::Mutex;
 
+use crate::codec::{self, PooledBuf, RingRemainder, WireRun, MAX_GID_WIDTH};
 use crate::error::JreError;
 use crate::vm::{Mode, Vm};
 
@@ -47,56 +48,76 @@ pub(crate) struct Link {
     pub(crate) to: NodeAddr,
 }
 
-/// Encodes a tainted buffer into DisTA wire records.
-pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes, link: Link) -> Result<Vec<u8>, JreError> {
+/// Encodes a payload into DisTA wire records, writing into a wire buffer
+/// checked out of the VM's [`crate::WireBufPool`] — the steady-state hot
+/// path performs no wire-sized allocation, and a plain payload is
+/// encoded directly as one untainted run (no shadow materialization).
+///
+/// The wire format is unchanged: `[b0][gid0][b1][gid1]…`, decodable at
+/// any record boundary. Distinct taints across all runs resolve through
+/// the Taint Map in one batched round trip (per-VM cache consulted first
+/// inside the client); the records themselves are emitted run-vectorized
+/// by [`codec::encode_wire_into`].
+pub(crate) fn encode_payload<'vm>(
+    vm: &'vm Vm,
+    payload: &Payload,
+    link: Link,
+) -> Result<PooledBuf<'vm>, JreError> {
     let width = vm.gid_width();
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
-    // The shadow is run-length encoded; collect the distinct taints
-    // across all runs and resolve them through the Taint Map in one
-    // batched round trip (per-VM cache consulted first inside the
-    // client). The records themselves are emitted in a chunked loop that
-    // reuses each run's encoded ID. The wire format is unchanged:
-    // `[b0][gid0][b1][gid1]…`, decodable at any record boundary.
-    let mut slot_of: HashMap<Taint, usize> = HashMap::new();
-    let mut distinct: Vec<Taint> = Vec::new();
-    for (_, taint) in bytes.shadow().iter_runs() {
-        slot_of.entry(taint).or_insert_with(|| {
-            distinct.push(taint);
-            distinct.len() - 1
-        });
-    }
-    let gids = client.global_ids_for(&distinct)?;
-    let mut wire_ids: Vec<[u8; 8]> = Vec::with_capacity(gids.len());
-    for gid in &gids {
-        let wire = gid.try_to_wire(width).ok_or(JreError::Protocol(
-            "global id exceeds the configured wire width",
-        ))?;
-        let mut buf = [0u8; 8];
-        buf[..width].copy_from_slice(&wire);
-        wire_ids.push(buf);
-    }
-    let mut out = Vec::with_capacity(bytes.len() * wire_record_size(width));
-    let data = bytes.data();
-    let mut pos = 0;
-    for (run_len, taint) in bytes.shadow().iter_runs() {
-        let gid_bytes = &wire_ids[slot_of[&taint]];
-        for &byte in &data[pos..pos + run_len] {
-            out.push(byte);
-            out.extend_from_slice(&gid_bytes[..width]);
+    // Per-run gids, resolved via a distinct-taint table so each taint is
+    // looked up (and its wire bytes built) exactly once per call.
+    let mut run_gids: Vec<(usize, GlobalId)> = Vec::new();
+    let mut wire_runs: Vec<WireRun> = Vec::new();
+    match payload {
+        Payload::Plain(data) => {
+            // One untainted run; gid 0 encodes as all-zero bytes, so no
+            // Taint Map round trip and no shadow clone are needed.
+            if !data.is_empty() {
+                run_gids.push((data.len(), GlobalId::UNTAINTED));
+                wire_runs.push((data.len(), [0u8; MAX_GID_WIDTH]));
+            }
         }
-        pos += run_len;
+        Payload::Tainted(bytes) => {
+            let mut slot_of: HashMap<Taint, usize> = HashMap::new();
+            let mut distinct: Vec<Taint> = Vec::new();
+            let mut run_slots: Vec<(usize, usize)> = Vec::new();
+            for (run_len, taint) in bytes.shadow().iter_runs() {
+                let slot = *slot_of.entry(taint).or_insert_with(|| {
+                    distinct.push(taint);
+                    distinct.len() - 1
+                });
+                run_slots.push((run_len, slot));
+            }
+            let gids = client.global_ids_for(&distinct)?;
+            let mut wire_ids: Vec<[u8; MAX_GID_WIDTH]> = Vec::with_capacity(gids.len());
+            for gid in &gids {
+                let wire = gid.try_to_wire(width).ok_or(JreError::Protocol(
+                    "global id exceeds the configured wire width",
+                ))?;
+                let mut buf = [0u8; MAX_GID_WIDTH];
+                buf[..width].copy_from_slice(&wire);
+                wire_ids.push(buf);
+            }
+            for (run_len, slot) in run_slots {
+                run_gids.push((run_len, gids[slot]));
+                wire_runs.push((run_len, wire_ids[slot]));
+            }
+        }
     }
+    let data = payload.data();
+    let mut out = vm.wire_pool().checkout();
+    codec::encode_wire_into(data, &wire_runs, width, &mut out);
     let obs = vm.vm_obs();
-    obs.boundary_data_out.add(bytes.len() as u64);
+    obs.boundary_data_out.add(data.len() as u64);
     obs.boundary_wire_out.add(out.len() as u64);
     obs.update_expansion();
     obs.flight.record_with(|| {
         let mut spans = Vec::new();
         let mut start = 0;
-        for (run_len, taint) in bytes.shadow().iter_runs() {
-            let gid = gids[slot_of[&taint]];
+        for &(run_len, gid) in &run_gids {
             if gid.is_tainted() {
                 spans.push(GidSpan {
                     gid: gid.0,
@@ -110,7 +131,7 @@ pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes, link: Link) -> Result<V
             transport: link.transport,
             from: link.from.to_string(),
             to: link.to.to_string(),
-            data_bytes: bytes.len(),
+            data_bytes: data.len(),
             wire_bytes: out.len(),
             spans,
         }
@@ -118,41 +139,40 @@ pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes, link: Link) -> Result<V
     Ok(out)
 }
 
+/// Encodes a tainted buffer into DisTA wire records, returning an owned
+/// `Vec` (testing/netty convenience over [`encode_payload`]).
+#[cfg(test)]
+pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes, link: Link) -> Result<Vec<u8>, JreError> {
+    encode_payload(vm, &Payload::Tainted(bytes.clone()), link).map(PooledBuf::take)
+}
+
 /// Decodes DisTA wire records back into a tainted buffer.
 ///
-/// `wire.len()` must be a whole number of records.
+/// # Errors
+///
+/// [`JreError::Protocol`] if `wire` is not a whole number of records (a
+/// torn trailing record) or carries a gid outside the 32-bit id space;
+/// Taint Map errors otherwise.
 pub(crate) fn decode_wire(vm: &Vm, wire: &[u8], link: Link) -> Result<TaintedBytes, JreError> {
-    let rs = wire_record_size(vm.gid_width());
-    debug_assert_eq!(wire.len() % rs, 0, "caller must pass whole records");
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
-    // Chunked decode: first pass consumes stretches of records carrying
-    // the same Global ID; all distinct IDs of the buffer then resolve in
-    // one batched round trip (per-VM cache consulted first inside the
-    // client) before the shadow is assembled run by run.
-    let mut data = Vec::with_capacity(wire.len() / rs);
+    // Vectorized strip: same-gid stretches are detected with raw slice
+    // compares and the gid parsed once per run; all distinct IDs of the
+    // buffer then resolve in one batched round trip (per-VM cache
+    // consulted first inside the client) before the shadow is assembled
+    // run by run. The data `Vec` escapes into the returned buffer, so it
+    // is a fresh allocation by design; the run table is O(runs) scratch.
+    let mut data = Vec::new();
     let mut runs: Vec<(GlobalId, usize)> = Vec::new();
+    codec::decode_wire_into(wire, vm.gid_width(), &mut data, &mut runs)?;
     let mut slot_of: HashMap<GlobalId, usize> = HashMap::new();
     let mut distinct: Vec<GlobalId> = Vec::new();
-    let mut records = wire.chunks_exact(rs).peekable();
-    while let Some(record) = records.next() {
-        let gid = GlobalId::from_wire(&record[1..]);
-        data.push(record[0]);
-        let mut run_len = 1;
-        while let Some(next) = records.peek() {
-            if GlobalId::from_wire(&next[1..]) != gid {
-                break;
-            }
-            data.push(next[0]);
-            run_len += 1;
-            records.next();
-        }
+    for &(gid, _) in &runs {
         slot_of.entry(gid).or_insert_with(|| {
             distinct.push(gid);
             distinct.len() - 1
         });
-        runs.push((gid, run_len));
     }
     // Degraded resolution: if a Taint Map shard is unreachable, each of
     // its gids resolves to a `pending-gid` sentinel instead of failing
@@ -207,7 +227,9 @@ pub struct BoundaryStream {
     /// Sender→receiver pair for inbound crossings (the peer sent them).
     in_link: Link,
     /// Trailing partial record carried between reads (DisTA mode only).
-    rx_rem: Mutex<Vec<u8>>,
+    /// Ring-style: decode reads the live region in place and consumption
+    /// advances a cursor instead of draining and reallocating.
+    rx_rem: Mutex<RingRemainder>,
 }
 
 impl BoundaryStream {
@@ -227,7 +249,7 @@ impl BoundaryStream {
                 from: peer,
                 to: local,
             },
-            rx_rem: Mutex::new(Vec::new()),
+            rx_rem: Mutex::new(RingRemainder::new()),
         }
     }
 
@@ -253,15 +275,7 @@ impl BoundaryStream {
                 native::socket_write0(&self.ep, payload.data())?;
             }
             Mode::Dista => {
-                let tainted_view;
-                let tainted = match payload {
-                    Payload::Tainted(t) => t,
-                    Payload::Plain(d) => {
-                        tainted_view = TaintedBytes::from_plain(d.clone());
-                        &tainted_view
-                    }
-                };
-                let wire = encode_wire(&self.vm, tainted, self.out_link)?;
+                let wire = encode_payload(&self.vm, payload, self.out_link)?;
                 native::socket_write0(&self.ep, &wire)?;
             }
         }
@@ -307,17 +321,18 @@ impl BoundaryStream {
                     if rem.len() >= rs {
                         let whole = rem.len() - rem.len() % rs;
                         let take = whole.min(max_data * rs);
-                        let records: Vec<u8> = rem.drain(..take).collect();
-                        return Ok(Payload::Tainted(decode_wire(
-                            &self.vm,
-                            &records,
-                            self.in_link,
-                        )?));
+                        // Decode straight out of the ring's live region —
+                        // no drain-and-collect copy — and only consume on
+                        // success, so an error loses no remainder bytes.
+                        let decoded = decode_wire(&self.vm, &rem.as_slice()[..take], self.in_link)?;
+                        rem.consume(take);
+                        return Ok(Payload::Tainted(decoded));
                     }
                     // The receiver "enlarges the allocated byte array"
                     // (§III-D-2): ask the OS for the wire-size equivalent
-                    // of the caller's buffer.
-                    let mut chunk = vec![0u8; max_data * rs - rem.len()];
+                    // of the caller's buffer, reusing pooled capacity.
+                    let mut chunk = self.vm.wire_pool().checkout();
+                    chunk.resize(max_data * rs - rem.len(), 0);
                     let n = native::socket_read0(&self.ep, &mut chunk)?;
                     if n == 0 {
                         if rem.is_empty() {
@@ -325,7 +340,7 @@ impl BoundaryStream {
                         }
                         return Err(JreError::Protocol("stream ended inside a wire record"));
                     }
-                    rem.extend_from_slice(&chunk[..n]);
+                    rem.extend(&chunk[..n]);
                 }
             }
         }
@@ -379,17 +394,9 @@ pub(crate) fn send_datagram(
             native::datagram_send(socket, dest, payload.data());
         }
         Mode::Dista => {
-            let tainted_view;
-            let tainted = match payload {
-                Payload::Tainted(t) => t,
-                Payload::Plain(d) => {
-                    tainted_view = TaintedBytes::from_plain(d.clone());
-                    &tainted_view
-                }
-            };
-            let wire = encode_wire(
+            let wire = encode_payload(
                 vm,
-                tainted,
+                payload,
                 Link {
                     transport: Transport::Udp,
                     from: socket.local_addr(),
@@ -433,7 +440,8 @@ pub(crate) fn recv_datagram(
         }
         Mode::Dista => {
             let rs = wire_record_size(vm.gid_width());
-            let mut buf = vec![0u8; buf_len * rs];
+            let mut buf = vm.wire_pool().checkout();
+            buf.resize(buf_len * rs, 0);
             let (n, from) = native::datagram_receive0(socket, &mut buf)?;
             let whole = n - n % rs;
             let decoded = decode_wire(

@@ -1,0 +1,610 @@
+//! The boundary wire codec fast path (paper §III-C/D wire format,
+//! ROADMAP "as fast as the hardware allows").
+//!
+//! The wire format itself is unchanged and deliberately boring: one
+//! `(1 + width)`-byte record per data byte, `[b][gid…]`, decodable at any
+//! record boundary. What this module changes is *how* those bytes are
+//! produced and consumed:
+//!
+//! * [`encode_wire_into`] writes into a caller-provided buffer and fills
+//!   each run's region by seeding one record and doubling
+//!   `copy_within` — the per-byte work collapses to a single indexed
+//!   store for the data byte.
+//! * [`decode_wire_into`] writes data bytes into a caller-provided
+//!   buffer, detects same-gid stretches with raw `width`-byte slice
+//!   compares (no per-record [`GlobalId`] parse), and rejects torn
+//!   trailing records and oversized gids with typed errors instead of
+//!   `debug_assert` + silent truncation.
+//! * [`WireBufPool`] recycles the wire-sized scratch buffers so the
+//!   steady-state hot path performs no wire-sized allocations.
+//! * [`RingRemainder`] replaces the old drain-and-reallocate remainder
+//!   `Vec`: decode reads straight out of the ring's contiguous live
+//!   region (zero copy) and consumption just advances a cursor.
+//!
+//! The old per-byte codec is kept verbatim in [`reference`] as the
+//! measured baseline and as the conformance oracle: the property suite
+//! (`tests/prop_codec.rs`) and the `boundary_codec --smoke` CI gate both
+//! pin the fast path's output bit-for-bit against it.
+//!
+//! Everything here is pure with respect to the VM: gids arrive already
+//! resolved as wire bytes, so the codec is testable (and benchable)
+//! without a Taint Map in sight. Widths 1..=8 are accepted at this layer
+//! even though VM-level configuration restricts itself to 2/4/8.
+
+use dista_taint::GlobalId;
+use parking_lot::Mutex;
+
+use crate::error::JreError;
+
+/// Widest Global ID the wire format supports, in bytes. Run tables
+/// carry `[u8; MAX_GID_WIDTH]` slots of which the first `width` bytes
+/// are live.
+pub const MAX_GID_WIDTH: usize = 8;
+
+/// A run of identically-tainted bytes, resolved for the wire: the run
+/// length plus the big-endian Global ID bytes (first `width` live).
+pub type WireRun = (usize, [u8; MAX_GID_WIDTH]);
+
+fn check_width(width: usize) {
+    assert!(
+        (1..=MAX_GID_WIDTH).contains(&width),
+        "gid wire width must be 1..={MAX_GID_WIDTH}, got {width}"
+    );
+}
+
+/// Encodes `data` into interleaved wire records, one per byte, writing
+/// into `out` (cleared first). `runs` must cover `data` exactly.
+///
+/// Each run's region is filled by seeding a single `[b][gid…]` record
+/// and doubling it with `copy_within`; the remaining data bytes are then
+/// scattered over the replicated seed. Wire bytes are bit-identical to
+/// [`reference::encode_wire`].
+///
+/// # Panics
+///
+/// Panics if `width` is out of range or the run lengths don't sum to
+/// `data.len()`.
+pub fn encode_wire_into(data: &[u8], runs: &[WireRun], width: usize, out: &mut Vec<u8>) {
+    check_width(width);
+    out.clear();
+    out.resize(data.len() * (1 + width), 0);
+    // Monomorphize per width so per-record gid stores compile to one
+    // fixed-size store instead of a variable-length memcpy.
+    match width {
+        1 => encode_records::<1>(data, runs, out),
+        2 => encode_records::<2>(data, runs, out),
+        3 => encode_records::<3>(data, runs, out),
+        4 => encode_records::<4>(data, runs, out),
+        5 => encode_records::<5>(data, runs, out),
+        6 => encode_records::<6>(data, runs, out),
+        7 => encode_records::<7>(data, runs, out),
+        8 => encode_records::<8>(data, runs, out),
+        _ => unreachable!("width checked above"),
+    }
+}
+
+/// Runs shorter than this are filled record-by-record (two fixed-size
+/// stores each); longer runs amortize a doubling `copy_within` fill.
+const DOUBLING_MIN_RUN: usize = 32;
+
+fn encode_records<const W: usize>(data: &[u8], runs: &[WireRun], out: &mut [u8]) {
+    let rs = 1 + W;
+    let mut pos = 0; // data byte index
+    for &(run_len, gid) in runs {
+        if run_len == 0 {
+            continue;
+        }
+        let gid: &[u8; W] = gid[..W].try_into().expect("slot holds W live bytes");
+        let run = &data[pos..pos + run_len];
+        let region = &mut out[pos * rs..(pos + run_len) * rs];
+        if run_len < DOUBLING_MIN_RUN {
+            for (rec, &b) in region.chunks_exact_mut(rs).zip(run) {
+                rec[0] = b;
+                rec[1..].copy_from_slice(gid);
+            }
+        } else {
+            // Seed one record, double the filled region, then scatter
+            // the real data bytes over the replicated seed.
+            region[0] = run[0];
+            region[1..rs].copy_from_slice(gid);
+            let mut filled = rs;
+            while filled < region.len() {
+                let copy = filled.min(region.len() - filled);
+                region.copy_within(..copy, filled);
+                filled += copy;
+            }
+            for (rec, &b) in region.chunks_exact_mut(rs).zip(run).skip(1) {
+                rec[0] = b;
+            }
+        }
+        pos += run_len;
+    }
+    assert_eq!(pos, data.len(), "run table must cover the data exactly");
+}
+
+/// Decodes interleaved wire records: data bytes land in `data_out`
+/// (cleared first), the gid run structure in `runs_out` (cleared first,
+/// adjacent equal gids coalesced).
+///
+/// Same-gid stretches are detected with raw slice compares; the
+/// [`GlobalId`] is parsed once per run, not once per record.
+///
+/// # Errors
+///
+/// [`JreError::Protocol`] if `wire` is not a whole number of records
+/// (torn trailing record) or a gid does not fit in 32 bits.
+pub fn decode_wire_into(
+    wire: &[u8],
+    width: usize,
+    data_out: &mut Vec<u8>,
+    runs_out: &mut Vec<(GlobalId, usize)>,
+) -> Result<(), JreError> {
+    check_width(width);
+    let rs = 1 + width;
+    data_out.clear();
+    runs_out.clear();
+    if !wire.len().is_multiple_of(rs) {
+        return Err(JreError::Protocol("torn trailing wire record"));
+    }
+    let n = wire.len() / rs;
+    data_out.resize(n, 0);
+    let data = &mut data_out[..n];
+    // Monomorphize per width: gids become fixed-size arrays, so the
+    // per-record same-gid check compiles to one integer compare instead
+    // of a variable-length memcmp.
+    match width {
+        1 => strip_records::<1>(wire, data, runs_out),
+        2 => strip_records::<2>(wire, data, runs_out),
+        3 => strip_records::<3>(wire, data, runs_out),
+        4 => strip_records::<4>(wire, data, runs_out),
+        5 => strip_records::<5>(wire, data, runs_out),
+        6 => strip_records::<6>(wire, data, runs_out),
+        7 => strip_records::<7>(wire, data, runs_out),
+        8 => strip_records::<8>(wire, data, runs_out),
+        _ => unreachable!("width checked above"),
+    }
+}
+
+/// One fused pass over whole records: gathers each record's data byte
+/// and coalesces same-gid stretches, with the gid held as a `[u8; W]`
+/// register value.
+fn strip_records<const W: usize>(
+    wire: &[u8],
+    data_out: &mut [u8],
+    runs_out: &mut Vec<(GlobalId, usize)>,
+) -> Result<(), JreError> {
+    let mut cur = [0u8; W];
+    let mut run_len = 0usize;
+    for (out, rec) in data_out.iter_mut().zip(wire.chunks_exact(1 + W)) {
+        *out = rec[0];
+        let gid: [u8; W] = rec[1..].try_into().expect("record is 1 + W bytes");
+        if gid == cur && run_len != 0 {
+            run_len += 1;
+        } else {
+            if run_len != 0 {
+                runs_out.push((gid_from_wire(&cur)?, run_len));
+            }
+            cur = gid;
+            run_len = 1;
+        }
+    }
+    if run_len != 0 {
+        runs_out.push((gid_from_wire(&cur)?, run_len));
+    }
+    Ok(())
+}
+
+/// Parses a big-endian gid of any supported width, rejecting values
+/// that exceed the 32-bit Global ID space (an 8-byte record could smuggle
+/// one in; truncating it silently would alias two different taints).
+fn gid_from_wire(bytes: &[u8]) -> Result<GlobalId, JreError> {
+    let mut v: u64 = 0;
+    for &b in bytes {
+        v = (v << 8) | u64::from(b);
+    }
+    if v > u64::from(u32::MAX) {
+        return Err(JreError::Protocol("wire gid exceeds the 32-bit id space"));
+    }
+    Ok(GlobalId(v as u32))
+}
+
+/// The pre-fast-path per-byte codec, kept as the measured baseline for
+/// `boundary_codec` and as the conformance oracle the fast path is
+/// pinned against. Structure intentionally mirrors the old
+/// `boundary::encode_wire`/`decode_wire` inner loops.
+pub mod reference {
+    use super::{check_width, gid_from_wire, GlobalId, JreError, WireRun};
+
+    /// Per-byte encode: one `push` + `extend_from_slice` per data byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is out of range or the runs don't cover `data`.
+    pub fn encode_wire(data: &[u8], runs: &[WireRun], width: usize) -> Vec<u8> {
+        check_width(width);
+        let mut out = Vec::with_capacity(data.len() * (1 + width));
+        let mut pos = 0;
+        for &(run_len, gid) in runs {
+            for &byte in &data[pos..pos + run_len] {
+                out.push(byte);
+                out.extend_from_slice(&gid[..width]);
+            }
+            pos += run_len;
+        }
+        assert_eq!(pos, data.len(), "run table must cover the data exactly");
+        out
+    }
+
+    /// Per-record decode: parse every record's gid, push every data
+    /// byte, peek ahead to coalesce runs.
+    ///
+    /// # Errors
+    ///
+    /// Same typed errors as [`super::decode_wire_into`].
+    #[allow(clippy::type_complexity)]
+    pub fn decode_wire(
+        wire: &[u8],
+        width: usize,
+    ) -> Result<(Vec<u8>, Vec<(GlobalId, usize)>), JreError> {
+        check_width(width);
+        let rs = 1 + width;
+        if !wire.len().is_multiple_of(rs) {
+            return Err(JreError::Protocol("torn trailing wire record"));
+        }
+        let mut data = Vec::with_capacity(wire.len() / rs);
+        let mut runs: Vec<(GlobalId, usize)> = Vec::new();
+        let mut records = wire.chunks_exact(rs).peekable();
+        while let Some(record) = records.next() {
+            let gid = gid_from_wire(&record[1..])?;
+            data.push(record[0]);
+            let mut run_len = 1;
+            while let Some(next) = records.peek() {
+                if gid_from_wire(&next[1..])? != gid {
+                    break;
+                }
+                data.push(next[0]);
+                run_len += 1;
+                records.next();
+            }
+            runs.push((gid, run_len));
+        }
+        Ok((data, runs))
+    }
+}
+
+/// How many scratch buffers one pool retains. Each connection's hot path
+/// holds at most one encode and one receive buffer at a time, so a small
+/// cap covers a VM's worth of concurrent streams without hoarding.
+const POOL_RETAIN: usize = 8;
+
+/// A per-VM pool of reusable wire-sized scratch buffers.
+///
+/// The boundary hot paths ([`crate::BoundaryStream`], datagrams, NIO /
+/// async channels, netty framing) check a buffer out, encode or receive
+/// into it, and drop the guard — the buffer's capacity flows back into
+/// the pool, so steady-state traffic performs no wire-sized allocations.
+#[derive(Debug, Default)]
+pub struct WireBufPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    recycled: std::sync::atomic::AtomicU64,
+}
+
+impl WireBufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out an empty buffer, reusing pooled capacity when any is
+    /// available.
+    pub fn checkout(&self) -> PooledBuf<'_> {
+        let buf = self.bufs.lock().pop().unwrap_or_default();
+        PooledBuf { buf, pool: self }
+    }
+
+    /// How many checkouts were served from pooled capacity (telemetry
+    /// for tests and the bench harness).
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn give_back(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < POOL_RETAIN {
+            bufs.push(buf);
+            self.recycled
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+/// A scratch buffer checked out of a [`WireBufPool`]. Dereferences to
+/// `Vec<u8>`; returns its capacity to the pool on drop.
+#[derive(Debug)]
+pub struct PooledBuf<'a> {
+    buf: Vec<u8>,
+    pool: &'a WireBufPool,
+}
+
+impl PooledBuf<'_> {
+    /// Consumes the guard, keeping the buffer (it will *not* return to
+    /// the pool — for results that escape to the caller).
+    pub fn take(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl std::ops::Deref for PooledBuf<'_> {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf<'_> {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf<'_> {
+    fn drop(&mut self) {
+        self.pool.give_back(std::mem::take(&mut self.buf));
+    }
+}
+
+/// A ring-style remainder buffer for trailing partial wire records.
+///
+/// The old implementation drained decoded bytes out of a `Vec` with
+/// `drain(..).collect()` — an allocation plus a memmove per read. Here
+/// the live bytes are the contiguous region `buf[start..]`: decode
+/// borrows it in place, [`RingRemainder::consume`] just advances the
+/// cursor, and the dead prefix is reclaimed lazily (when the buffer
+/// empties, or by one `copy_within` compaction once the dead prefix
+/// outgrows the live bytes — amortized O(1) per byte).
+#[derive(Debug, Default)]
+pub struct RingRemainder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl RingRemainder {
+    /// An empty remainder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (undecoded) bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether no live bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.buf.len()
+    }
+
+    /// The live bytes, contiguous in memory.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Appends received bytes, compacting first if the dead prefix
+    /// outweighs the live region.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.start > 0 && self.start >= self.len() {
+            self.compact();
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Marks the first `n` live bytes as decoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the live length.
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len(), "consuming past the remainder");
+        self.start += n;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+
+    fn compact(&mut self) {
+        let live = self.start..self.buf.len();
+        self.buf.copy_within(live, 0);
+        self.buf.truncate(self.len());
+        self.start = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid(v: u32) -> [u8; MAX_GID_WIDTH] {
+        let mut slot = [0u8; MAX_GID_WIDTH];
+        slot[..4].copy_from_slice(&v.to_be_bytes());
+        slot
+    }
+
+    /// gid slot laid out for an arbitrary width (big-endian, first
+    /// `width` bytes live).
+    fn gid_w(v: u64, width: usize) -> [u8; MAX_GID_WIDTH] {
+        let be = v.to_be_bytes();
+        let mut slot = [0u8; MAX_GID_WIDTH];
+        slot[..width].copy_from_slice(&be[8 - width..]);
+        slot
+    }
+
+    #[test]
+    fn encode_matches_reference_across_shapes() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        for width in 1..=MAX_GID_WIDTH {
+            for runs in [
+                vec![(256usize, gid_w(7, width))],
+                vec![(1usize, gid_w(1, width)), (255, gid_w(2, width))],
+                vec![
+                    (100usize, gid_w(0, width)),
+                    (56, gid_w(9, width)),
+                    (100, gid_w(0, width)),
+                ],
+            ] {
+                let mut fast = Vec::new();
+                encode_wire_into(&data, &runs, width, &mut fast);
+                assert_eq!(
+                    fast,
+                    reference::encode_wire(&data, &runs, width),
+                    "width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode_and_matches_reference() {
+        let data = b"abcdefghij".to_vec();
+        let runs = vec![(3usize, gid(5)), (4, gid(0)), (3, gid(6))];
+        let mut wire = Vec::new();
+        encode_wire_into(&data, &runs, 4, &mut wire);
+        let mut got_data = Vec::new();
+        let mut got_runs = Vec::new();
+        decode_wire_into(&wire, 4, &mut got_data, &mut got_runs).unwrap();
+        assert_eq!(got_data, data);
+        assert_eq!(
+            got_runs,
+            vec![(GlobalId(5), 3), (GlobalId(0), 4), (GlobalId(6), 3)]
+        );
+        let (ref_data, ref_runs) = reference::decode_wire(&wire, 4).unwrap();
+        assert_eq!((got_data, got_runs), (ref_data, ref_runs));
+    }
+
+    #[test]
+    fn decode_coalesces_adjacent_equal_gids() {
+        let mut wire = Vec::new();
+        encode_wire_into(b"xy", &[(1, gid(3)), (1, gid(3))], 4, &mut wire);
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        decode_wire_into(&wire, 4, &mut d, &mut r).unwrap();
+        assert_eq!(r, vec![(GlobalId(3), 2)]);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_a_typed_error() {
+        let mut wire = Vec::new();
+        encode_wire_into(b"ab", &[(2, gid(1))], 4, &mut wire);
+        wire.pop(); // tear the last record
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert!(matches!(
+            decode_wire_into(&wire, 4, &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+        assert!(matches!(
+            reference::decode_wire(&wire, 4),
+            Err(JreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_gid_is_a_typed_error() {
+        // Width 8 with a value above u32::MAX must not silently alias.
+        let mut wire = Vec::new();
+        encode_wire_into(
+            b"z",
+            &[(1, gid_w(u64::from(u32::MAX) + 1, 8))],
+            8,
+            &mut wire,
+        );
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert!(matches!(
+            decode_wire_into(&wire, 8, &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let mut wire = vec![1, 2, 3];
+        encode_wire_into(&[], &[], 4, &mut wire);
+        assert!(wire.is_empty());
+        let (mut d, mut r) = (vec![9], vec![(GlobalId(1), 1)]);
+        decode_wire_into(&[], 4, &mut d, &mut r).unwrap();
+        assert!(d.is_empty() && r.is_empty());
+    }
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let pool = WireBufPool::new();
+        let ptr = {
+            let mut b = pool.checkout();
+            b.extend_from_slice(&[0u8; 4096]);
+            b.as_ptr() as usize
+        };
+        assert_eq!(pool.recycled(), 1);
+        let b2 = pool.checkout();
+        assert_eq!(b2.capacity(), 4096, "capacity survived the round trip");
+        assert_eq!(b2.as_ptr() as usize, ptr, "same allocation reused");
+        assert!(b2.is_empty());
+    }
+
+    #[test]
+    fn pool_take_escapes_without_recycling() {
+        let pool = WireBufPool::new();
+        {
+            let mut b = pool.checkout();
+            b.push(1);
+            let owned = b.take();
+            assert_eq!(owned, vec![1]);
+        }
+        assert_eq!(pool.recycled(), 0);
+        // Zero-capacity buffers are not worth pooling either.
+        drop(pool.checkout());
+        assert_eq!(pool.recycled(), 0);
+    }
+
+    #[test]
+    fn pool_caps_retained_buffers() {
+        let pool = WireBufPool::new();
+        let many: Vec<_> = (0..POOL_RETAIN + 3)
+            .map(|_| {
+                let mut b = pool.checkout();
+                b.push(0);
+                b
+            })
+            .collect();
+        drop(many);
+        assert_eq!(pool.recycled(), POOL_RETAIN as u64);
+    }
+
+    #[test]
+    fn ring_remainder_consume_and_compact() {
+        let mut ring = RingRemainder::new();
+        assert!(ring.is_empty());
+        ring.extend(&[1, 2, 3, 4, 5]);
+        assert_eq!(ring.as_slice(), &[1, 2, 3, 4, 5]);
+        ring.consume(3);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.as_slice(), &[4, 5]);
+        // Dead prefix (3) >= live (2): the next extend compacts first.
+        ring.extend(&[6, 7]);
+        assert_eq!(ring.as_slice(), &[4, 5, 6, 7]);
+        ring.consume(4);
+        assert!(ring.is_empty());
+        // Consuming everything resets the cursor entirely.
+        ring.extend(&[8]);
+        assert_eq!(ring.as_slice(), &[8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consuming past")]
+    fn ring_remainder_overconsume_panics() {
+        let mut ring = RingRemainder::new();
+        ring.extend(&[1]);
+        ring.consume(2);
+    }
+}

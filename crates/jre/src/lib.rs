@@ -73,6 +73,7 @@ mod boundary;
 mod buffer;
 mod buffered;
 mod channel;
+pub mod codec;
 mod data;
 mod datagram;
 mod error;
@@ -89,6 +90,7 @@ pub use boundary::{wire_record_size, BoundaryStream};
 pub use buffer::{ByteBuffer, DirectByteBuffer};
 pub use buffered::{BufferedInputStream, BufferedOutputStream, DEFAULT_BUFFER_SIZE};
 pub use channel::{DatagramChannel, ServerSocketChannel, SocketChannel};
+pub use codec::{PooledBuf, RingRemainder, WireBufPool};
 pub use data::{DataInputStream, DataOutputStream};
 pub use datagram::{DatagramPacket, DatagramSocket};
 pub use error::JreError;

@@ -12,6 +12,7 @@ use dista_taint::{
 use dista_taintmap::{ClientObserver, TaintMapClient, TaintMapTopology};
 use parking_lot::{Mutex, RwLock};
 
+use crate::codec::WireBufPool;
 use crate::error::JreError;
 
 /// Taint-tracking mode of one simulated JVM (paper §V-F runs every
@@ -130,6 +131,9 @@ pub(crate) struct VmInner {
     pub(crate) native_mem: Mutex<HashMap<u64, Vec<u8>>>,
     pub(crate) native_shadows: Mutex<HashMap<u64, TaintRuns>>,
     pub(crate) next_buffer_id: AtomicU64,
+    /// Reusable wire-sized scratch buffers shared by every boundary
+    /// crossing of this process (streams, datagrams, channels, netty).
+    pub(crate) wire_pool: WireBufPool,
 }
 
 /// A simulated JVM process: the owner of everything per-process — mode,
@@ -271,6 +275,7 @@ impl VmBuilder {
                 native_mem: Mutex::new(HashMap::new()),
                 native_shadows: Mutex::new(HashMap::new()),
                 next_buffer_id: AtomicU64::new(1),
+                wire_pool: WireBufPool::new(),
             }),
         })
     }
@@ -350,6 +355,13 @@ impl Vm {
 
     pub(crate) fn vm_obs(&self) -> &VmObs {
         &self.inner.obs
+    }
+
+    /// The per-process pool of reusable wire buffers. Boundary hot paths
+    /// check scratch buffers out of here so steady-state traffic performs
+    /// no wire-sized allocations.
+    pub fn wire_pool(&self) -> &WireBufPool {
+        &self.inner.wire_pool
     }
 
     /// Number of shadow runs currently held for native (off-heap)

@@ -1,0 +1,195 @@
+//! Adversarial boundary-decode tests: malformed, truncated, or hostile
+//! wire input must surface as typed errors or clean EOF — never a panic,
+//! and never silently-clean (untainted) bytes.
+
+use dista_jre::{JreError, Mode, Vm};
+use dista_simnet::{NodeAddr, SimNet, TcpEndpoint};
+use dista_taint::{Payload, TagValue, TaintedBytes};
+use dista_taintmap::{TaintMapEndpoint, TaintMapError};
+
+struct Rig {
+    net: SimNet,
+    tm: TaintMapEndpoint,
+    rx_vm: Vm,
+}
+
+impl Rig {
+    fn new(port_salt: u16, gid_width: usize) -> Self {
+        let net = SimNet::new();
+        let tm = TaintMapEndpoint::builder()
+            .addr(NodeAddr::new([10, 0, 0, 99], 7000 + port_salt))
+            .connect(&net)
+            .unwrap();
+        let mut b = Vm::builder("rx", &net)
+            .mode(Mode::Dista)
+            .ip([10, 0, 0, 2])
+            .taint_map(tm.topology());
+        if gid_width != 4 {
+            b = b.gid_width(gid_width);
+        }
+        Rig {
+            net,
+            tm,
+            rx_vm: b.build().unwrap(),
+        }
+    }
+
+    /// A raw (uninstrumented) sender endpoint plus the instrumented
+    /// receiver stream — the attacker writes arbitrary bytes.
+    fn raw_pair(&self, port: u16) -> (TcpEndpoint, dista_jre::BoundaryStream) {
+        let addr = NodeAddr::new([10, 0, 0, 2], port);
+        let l = self.net.tcp_listen(addr).unwrap();
+        let raw = self.net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        (raw, dista_jre::BoundaryStream::new(self.rx_vm.clone(), s))
+    }
+}
+
+/// One wire record: data byte + big-endian gid in `width` bytes.
+fn record(byte: u8, gid: u64, width: usize) -> Vec<u8> {
+    let mut r = vec![byte];
+    r.extend_from_slice(&gid.to_be_bytes()[8 - width..]);
+    r
+}
+
+#[test]
+fn truncated_tail_after_valid_records_is_protocol_error() {
+    let rig = Rig::new(1, 4);
+    let (raw, rx) = rig.raw_pair(400);
+    let mut wire = record(b'a', 0, 4);
+    wire.extend(record(b'b', 0, 4));
+    wire.extend(&[b'c', 0, 0]); // torn third record
+    raw.write(&wire).unwrap();
+    raw.close();
+    // The whole records decode fine first…
+    let got = rx.read_payload(2).unwrap();
+    assert_eq!(got.data(), b"ab");
+    // …then the torn tail is a typed error, not silent truncation.
+    assert!(matches!(rx.read_payload(4), Err(JreError::Protocol(_))));
+    rig.tm.shutdown();
+}
+
+#[test]
+fn mid_stream_close_inside_first_record_is_protocol_error() {
+    let rig = Rig::new(2, 4);
+    let (raw, rx) = rig.raw_pair(401);
+    raw.write(&[1, 2, 3]).unwrap(); // 3 bytes of a 5-byte record
+    raw.close();
+    assert!(matches!(rx.read_payload(8), Err(JreError::Protocol(_))));
+    // The error is sticky, not a panic, on retry.
+    assert!(matches!(rx.read_payload(8), Err(JreError::Protocol(_))));
+    rig.tm.shutdown();
+}
+
+#[test]
+fn unknown_gid_is_a_typed_taintmap_error_never_clean_bytes() {
+    let rig = Rig::new(3, 4);
+    let (raw, rx) = rig.raw_pair(402);
+    // gid 1234 was never registered with any shard.
+    let mut wire = record(b'x', 1234, 4);
+    wire.extend(record(b'y', 1234, 4));
+    raw.write(&wire).unwrap();
+    let err = rx.read_payload(2).unwrap_err();
+    assert!(
+        matches!(err, JreError::TaintMap(TaintMapError::UnknownGlobalId(_))),
+        "got {err:?}"
+    );
+    rig.tm.shutdown();
+}
+
+#[test]
+fn oversized_gid_is_rejected_not_truncated() {
+    // Width 8 can carry values beyond the 32-bit Global ID space; a
+    // silent `as u32` truncation would alias two different taints.
+    let rig = Rig::new(4, 8);
+    let (raw, rx) = rig.raw_pair(403);
+    raw.write(&record(b'z', u64::from(u32::MAX) + 7, 8))
+        .unwrap();
+    assert!(matches!(rx.read_payload(1), Err(JreError::Protocol(_))));
+    rig.tm.shutdown();
+}
+
+#[test]
+fn zero_length_reads_are_clean_noops() {
+    let rig = Rig::new(5, 4);
+    let (raw, rx) = rig.raw_pair(404);
+    // Even with bytes pending, a zero-length read returns empty.
+    raw.write(&record(b'k', 0, 4)).unwrap();
+    let got = rx.read_payload(0).unwrap();
+    assert!(got.is_empty());
+    // The pending record is still delivered afterwards.
+    let got = rx.read_payload(1).unwrap();
+    assert_eq!(got.data(), b"k");
+    rig.tm.shutdown();
+}
+
+#[test]
+fn clean_eof_stays_clean_on_repeated_reads() {
+    let rig = Rig::new(6, 4);
+    let (raw, rx) = rig.raw_pair(405);
+    raw.close();
+    for _ in 0..3 {
+        assert!(rx.read_payload(16).unwrap().is_empty());
+    }
+    rig.tm.shutdown();
+}
+
+#[test]
+fn datagram_with_garbage_gid_errors_not_panics() {
+    let rig = Rig::new(7, 4);
+    let tx = rig.net.udp_bind(NodeAddr::new([10, 0, 0, 1], 55)).unwrap();
+    let sock =
+        dista_jre::DatagramSocket::bind(&rig.rx_vm, NodeAddr::new([10, 0, 0, 2], 55)).unwrap();
+    let mut wire = record(b'q', 999_999, 4);
+    wire.extend(record(b'r', 999_999, 4));
+    dista_simnet::native::datagram_send(&tx, sock.local_addr(), &wire);
+    let mut packet = dista_jre::DatagramPacket::for_receive(16);
+    let err = sock.receive(&mut packet).unwrap_err();
+    assert!(matches!(err, JreError::TaintMap(_)), "got {err:?}");
+    rig.tm.shutdown();
+}
+
+#[test]
+fn error_reads_do_not_lose_the_remainder() {
+    // An unknown-gid error must not consume the remainder: after the
+    // taint map learns the gid (here: never), the bytes are still there
+    // for a retry — decode-before-consume semantics.
+    let rig = Rig::new(8, 4);
+    let (raw, rx) = rig.raw_pair(406);
+    raw.write(&record(b'm', 424_242, 4)).unwrap();
+    assert!(rx.read_payload(1).is_err());
+    // Same bytes, same error — nothing was silently dropped.
+    assert!(rx.read_payload(1).is_err());
+    rig.tm.shutdown();
+}
+
+/// Sanity check that a *valid* tainted exchange still works under the
+/// same rig (guards against the adversarial paths over-rejecting).
+#[test]
+fn well_formed_wire_still_round_trips() {
+    let rig = Rig::new(9, 4);
+    let tx_vm = Vm::builder("tx", &rig.net)
+        .mode(Mode::Dista)
+        .ip([10, 0, 0, 1])
+        .taint_map(rig.tm.topology())
+        .build()
+        .unwrap();
+    let addr = NodeAddr::new([10, 0, 0, 2], 407);
+    let l = rig.net.tcp_listen(addr).unwrap();
+    let c = rig.net.tcp_connect_from(tx_vm.ip(), addr).unwrap();
+    let s = l.accept().unwrap();
+    let tx = dista_jre::BoundaryStream::new(tx_vm.clone(), c);
+    let rx = dista_jre::BoundaryStream::new(rig.rx_vm.clone(), s);
+    let t = tx_vm.store().mint_source_taint(TagValue::str("ok"));
+    tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"fine", t)))
+        .unwrap();
+    let got = rx.read_exact_payload(4).unwrap();
+    assert_eq!(got.data(), b"fine");
+    assert_eq!(
+        rig.rx_vm
+            .store()
+            .tag_values(got.taint_union(rig.rx_vm.store())),
+        vec!["ok".to_string()]
+    );
+    rig.tm.shutdown();
+}

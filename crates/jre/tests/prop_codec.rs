@@ -1,0 +1,140 @@
+//! Codec conformance properties: for arbitrary run layouts, gid widths
+//! and fragmentation points, the vectorized fast path is bit-identical
+//! to the per-byte reference codec, encode∘decode is the identity, and
+//! malformed wire input fails with typed errors.
+
+use dista_jre::codec::{self, reference, WireRun, MAX_GID_WIDTH};
+use dista_jre::JreError;
+use dista_taint::GlobalId;
+use proptest::prelude::*;
+
+/// A run layout: `(gid value, run length)` pairs. Gid values are masked
+/// to the width under test before encoding.
+type Layout = Vec<(u32, usize)>;
+
+fn layout_strategy() -> impl Strategy<Value = Layout> {
+    prop::collection::vec((any::<u32>(), 1usize..48), 0..10)
+}
+
+fn width_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]
+}
+
+/// Largest gid value expressible in `width` wire bytes (capped at the
+/// 32-bit Global ID space).
+fn gid_mask(width: usize) -> u32 {
+    if width >= 4 {
+        u32::MAX
+    } else {
+        (1u32 << (8 * width)) - 1
+    }
+}
+
+/// Expands a layout into concrete `(data, wire runs, per-byte gids)`.
+fn materialize(layout: &Layout, width: usize) -> (Vec<u8>, Vec<WireRun>, Vec<u32>) {
+    let mut data = Vec::new();
+    let mut runs = Vec::new();
+    let mut per_byte = Vec::new();
+    for (i, &(raw, len)) in layout.iter().enumerate() {
+        let gid = raw & gid_mask(width);
+        let mut slot = [0u8; MAX_GID_WIDTH];
+        slot[..width].copy_from_slice(&u64::from(gid).to_be_bytes()[8 - width..]);
+        runs.push((len, slot));
+        for j in 0..len {
+            data.push((i as u8).wrapping_mul(31).wrapping_add(j as u8));
+            per_byte.push(gid);
+        }
+    }
+    (data, runs, per_byte)
+}
+
+/// Re-expands decoded runs to per-byte gids for comparison (decode
+/// coalesces adjacent equal-gid runs, so run tables aren't comparable
+/// directly against the input layout).
+fn expand(runs: &[(GlobalId, usize)]) -> Vec<u32> {
+    runs.iter()
+        .flat_map(|&(gid, len)| std::iter::repeat_n(gid.0, len))
+        .collect()
+}
+
+proptest! {
+    /// The fast encoder's wire bytes are bit-identical to the per-byte
+    /// reference encoder for every layout and width.
+    #[test]
+    fn fast_encode_matches_reference(layout in layout_strategy(), width in width_strategy()) {
+        let (data, runs, _) = materialize(&layout, width);
+        let mut fast = Vec::new();
+        codec::encode_wire_into(&data, &runs, width, &mut fast);
+        prop_assert_eq!(fast, reference::encode_wire(&data, &runs, width));
+    }
+
+    /// decode∘encode is the identity on data bytes and per-byte gids,
+    /// and the fast decoder agrees with the reference decoder exactly.
+    #[test]
+    fn decode_inverts_encode(layout in layout_strategy(), width in width_strategy()) {
+        let (data, runs, per_byte) = materialize(&layout, width);
+        let mut wire = Vec::new();
+        codec::encode_wire_into(&data, &runs, width, &mut wire);
+        let (mut got_data, mut got_runs) = (Vec::new(), Vec::new());
+        codec::decode_wire_into(&wire, width, &mut got_data, &mut got_runs).unwrap();
+        prop_assert_eq!(&got_data, &data);
+        prop_assert_eq!(expand(&got_runs), per_byte);
+        // Decoded run tables must be coalesced: no adjacent equal gids.
+        prop_assert!(got_runs.windows(2).all(|w| w[0].0 != w[1].0));
+        let (ref_data, ref_runs) = reference::decode_wire(&wire, width).unwrap();
+        prop_assert_eq!((got_data, got_runs), (ref_data, ref_runs));
+    }
+
+    /// Any record-aligned fragmentation point is safe: decoding the two
+    /// fragments independently yields the same bytes and per-byte gids
+    /// as decoding the whole wire buffer (§III-D-2 partial reads).
+    #[test]
+    fn record_aligned_fragmentation_is_lossless(
+        layout in layout_strategy(),
+        width in width_strategy(),
+        cut in 0usize..4096,
+    ) {
+        let (data, runs, per_byte) = materialize(&layout, width);
+        let mut wire = Vec::new();
+        codec::encode_wire_into(&data, &runs, width, &mut wire);
+        let records = wire.len() / (1 + width);
+        let at = (cut % (records + 1)) * (1 + width);
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        let mut all_data = Vec::new();
+        let mut all_gids = Vec::new();
+        for part in [&wire[..at], &wire[at..]] {
+            codec::decode_wire_into(part, width, &mut d, &mut r).unwrap();
+            all_data.extend_from_slice(&d);
+            all_gids.extend(expand(&r));
+        }
+        prop_assert_eq!(all_data, data);
+        prop_assert_eq!(all_gids, per_byte);
+    }
+
+    /// A cut anywhere *inside* a record is a typed protocol error from
+    /// both codecs — never a silent drop of the torn record.
+    #[test]
+    fn torn_record_is_rejected(
+        layout in layout_strategy().prop_filter("need bytes", |l| !l.is_empty()),
+        width in width_strategy(),
+        cut in 0usize..4096,
+    ) {
+        let (data, runs, _) = materialize(&layout, width);
+        let mut wire = Vec::new();
+        codec::encode_wire_into(&data, &runs, width, &mut wire);
+        let rs = 1 + width;
+        // Pick a non-record-aligned prefix length: some whole records
+        // plus 1..rs stray bytes of the next one.
+        let torn = (cut % (wire.len() / rs)) * rs + 1 + cut % (rs - 1);
+        prop_assert!(torn < wire.len() && torn % rs != 0);
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        prop_assert!(matches!(
+            codec::decode_wire_into(&wire[..torn], width, &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+        prop_assert!(matches!(
+            reference::decode_wire(&wire[..torn], width),
+            Err(JreError::Protocol(_))
+        ));
+    }
+}

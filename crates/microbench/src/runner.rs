@@ -25,6 +25,10 @@ pub struct CaseResult {
     pub tags_at_check: Vec<String>,
     /// Whether the returned bytes equal `Data1 ++ Data2`.
     pub data_ok: bool,
+    /// The data bytes actually delivered back to node 1 — what a
+    /// differential check compares across modes (tracking must never
+    /// change a single payload byte).
+    pub delivered: Vec<u8>,
     /// Payload size used for `Data1` (bytes).
     pub size: usize,
 }
@@ -105,6 +109,7 @@ pub fn run_case_on(
         duration,
         tags_at_check: tags,
         data_ok: back.data() == expected,
+        delivered: back.into_plain(),
         size,
     })
 }

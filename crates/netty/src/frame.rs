@@ -5,29 +5,28 @@
 //! frame body keeps its per-byte taints.
 
 use dista_jre::{JreError, SocketChannel};
-use dista_taint::{Payload, TaintedBytes};
+use dista_taint::Payload;
 
 /// Writes one frame: `u32` big-endian length + body.
+///
+/// Header and body go out as two writes instead of being copied into a
+/// combined buffer: wire records are self-contained and the stream
+/// concatenates, so the bytes on the wire are identical to the old
+/// single-write framing — without duplicating the body per frame.
 ///
 /// # Errors
 ///
 /// Transport or Taint Map errors.
 pub fn write_frame(channel: &SocketChannel, body: &Payload) -> Result<(), JreError> {
-    let framed = if channel.vm().mode().tracks_taints() {
-        let mut f = TaintedBytes::with_capacity(4 + body.len());
-        f.extend_plain(&(body.len() as u32).to_be_bytes());
-        match body {
-            Payload::Plain(d) => f.extend_plain(d),
-            Payload::Tainted(t) => f.extend_tainted(t),
-        }
-        Payload::Tainted(f)
-    } else {
-        let mut f = Vec::with_capacity(4 + body.len());
-        f.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        f.extend_from_slice(body.data());
-        Payload::Plain(f)
-    };
-    channel.write_payload(&framed)
+    // A plain header is fine in every mode: the boundary encodes plain
+    // payloads as untainted records, exactly what the old combined
+    // buffer's `extend_plain(header)` produced.
+    let header = Payload::Plain((body.len() as u32).to_be_bytes().to_vec());
+    channel.write_payload(&header)?;
+    if body.is_empty() {
+        return Ok(());
+    }
+    channel.write_payload(body)
 }
 
 /// Reads one frame; `None` on clean EOF at a frame boundary.
@@ -58,7 +57,7 @@ mod tests {
     use super::*;
     use dista_jre::{Mode, ServerSocketChannel, Vm};
     use dista_simnet::{NodeAddr, SimNet};
-    use dista_taint::TagValue;
+    use dista_taint::{TagValue, TaintedBytes};
     use dista_taintmap::TaintMapEndpoint;
 
     fn rig() -> (TaintMapEndpoint, Vm, Vm, SocketChannel, SocketChannel) {

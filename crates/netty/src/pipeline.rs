@@ -97,14 +97,21 @@ impl XorObfuscationCodec {
     }
 
     fn apply(&self, msg: Payload) -> Payload {
+        // In place: the codec owns the payload, so the bytes mutate where
+        // they sit and the shadow is reused untouched — no allocation.
         match msg {
-            Payload::Plain(d) => Payload::Plain(d.iter().map(|b| b ^ self.key).collect()),
+            Payload::Plain(mut d) => {
+                for b in &mut d {
+                    *b ^= self.key;
+                }
+                Payload::Plain(d)
+            }
             Payload::Tainted(t) => {
-                let (data, shadow) = t.into_runs_parts();
-                Payload::Tainted(TaintedBytes::from_runs(
-                    data.iter().map(|b| b ^ self.key).collect(),
-                    shadow,
-                ))
+                let (mut data, shadow) = t.into_runs_parts();
+                for b in &mut data {
+                    *b ^= self.key;
+                }
+                Payload::Tainted(TaintedBytes::from_runs(data, shadow))
             }
         }
     }

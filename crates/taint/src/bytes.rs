@@ -204,6 +204,18 @@ impl TaintedBytes {
         self.data.iter().copied().zip(self.shadow.iter_dense())
     }
 
+    /// Iterates the buffer run by run as `(data_slice, taint)` — the
+    /// boundary encoder's view: each yielded slice is a maximal stretch
+    /// of identically-tainted bytes. O(runs) items, zero copies.
+    pub fn iter_run_slices(&self) -> impl Iterator<Item = (&[u8], Taint)> + '_ {
+        let mut pos = 0;
+        self.shadow.iter_runs().map(move |(len, taint)| {
+            let slice = &self.data[pos..pos + len];
+            pos += len;
+            (slice, taint)
+        })
+    }
+
     /// Consumes the buffer into `(data, taints)` with a dense shadow.
     pub fn into_parts(self) -> (Vec<u8>, Vec<Taint>) {
         let dense = self.shadow.to_dense();
@@ -445,6 +457,24 @@ mod tests {
         let before = buf.clone();
         buf.apply_taint(&store, Taint::EMPTY);
         assert_eq!(buf, before);
+    }
+
+    #[test]
+    fn iter_run_slices_partitions_the_data() {
+        let (_, a, b) = fixture();
+        let mut buf = TaintedBytes::uniform(b"aa", a);
+        buf.extend_plain(b"--");
+        buf.extend_uniform(b"bbb", b);
+        let runs: Vec<(&[u8], Taint)> = buf.iter_run_slices().collect();
+        assert_eq!(
+            runs,
+            vec![
+                (&b"aa"[..], a),
+                (&b"--"[..], Taint::EMPTY),
+                (&b"bbb"[..], b)
+            ]
+        );
+        assert!(TaintedBytes::new().iter_run_slices().next().is_none());
     }
 
     #[test]

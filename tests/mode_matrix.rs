@@ -22,28 +22,31 @@ use dista_repro::taint::{Payload, TagValue, TaintedBytes};
 const SIZE: usize = 64;
 const MODES: [Mode; 3] = [Mode::Original, Mode::Phosphor, Mode::Dista];
 
-/// One row of the matrix: a case name and its per-mode observed tags.
+/// One row of the matrix: a case name, its per-mode observed tags, and
+/// the per-mode delivered data bytes for the differential check.
 struct MatrixRow {
     name: &'static str,
     tags_by_mode: Vec<(Mode, Vec<String>, bool)>,
+    delivered_by_mode: Vec<(Mode, Vec<u8>)>,
 }
 
 fn run_matrix() -> Vec<MatrixRow> {
     all_cases()
         .iter()
         .map(|case| {
-            let tags_by_mode = MODES
-                .iter()
-                .map(|&mode| {
-                    let result = run_case(case.as_ref(), mode, SIZE).unwrap_or_else(|e| {
-                        panic!("case {} failed to run in {mode:?}: {e}", case.name())
-                    });
-                    (mode, result.tags_at_check, result.data_ok)
-                })
-                .collect();
+            let mut tags_by_mode = Vec::new();
+            let mut delivered_by_mode = Vec::new();
+            for &mode in &MODES {
+                let result = run_case(case.as_ref(), mode, SIZE).unwrap_or_else(|e| {
+                    panic!("case {} failed to run in {mode:?}: {e}", case.name())
+                });
+                tags_by_mode.push((mode, result.tags_at_check, result.data_ok));
+                delivered_by_mode.push((mode, result.delivered));
+            }
             MatrixRow {
                 name: case.name(),
                 tags_by_mode,
+                delivered_by_mode,
             }
         })
         .collect()
@@ -130,6 +133,44 @@ fn original_reports_nothing_on_every_case() {
         failures.is_empty(),
         "untracked-mode anomalies:\n{failures:#?}"
     );
+}
+
+/// Differential check across the tracking modes: for every one of the
+/// 30 micro-benchmark cases, the payload *data bytes* delivered back to
+/// node 1 are byte-for-byte identical in Original, Phosphor, and DisTA
+/// modes. Wire interleaving, the Taint Map round trips, the pooled
+/// zero-copy codec — none of it may perturb a single delivered byte
+/// relative to the uninstrumented run.
+#[test]
+fn delivered_bytes_identical_across_all_modes() {
+    let mut failures = Vec::new();
+    for row in run_matrix() {
+        let baseline = row
+            .delivered_by_mode
+            .iter()
+            .find(|(mode, _)| *mode == Mode::Original)
+            .map(|(_, bytes)| bytes.clone())
+            .expect("every case runs in Original mode");
+        if baseline.is_empty() {
+            failures.push(format!("{}: Original delivered no bytes", row.name));
+        }
+        for (mode, bytes) in &row.delivered_by_mode {
+            if bytes != &baseline {
+                let diff_at = bytes
+                    .iter()
+                    .zip(&baseline)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| bytes.len().min(baseline.len()));
+                failures.push(format!(
+                    "{}: {mode} delivered {} bytes vs Original {} (first divergence at {diff_at})",
+                    row.name,
+                    bytes.len(),
+                    baseline.len(),
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "mode divergence:\n{failures:#?}");
 }
 
 /// The loss in Phosphor mode is *exactly* at the JNI boundary: on the
