@@ -21,6 +21,10 @@ echo "==> codec conformance + adversarial decode suites"
 cargo test -q --offline -p dista-jre --test prop_codec
 cargo test -q --offline -p dista-jre --test adversarial_decode
 
+echo "==> reactor conformance (blocking shim vs reactor API) + timer wheel"
+cargo test -q --offline -p dista-simnet --test reactor_conformance
+cargo test -q --offline -p dista-simnet --test timer_wheel
+
 echo "==> chaos suites under fixed seeds"
 for seed in 7 42 1337; do
     echo "    seed $seed"
@@ -39,5 +43,17 @@ cargo run -p dista-bench --bin claim_net_overhead --release --offline -- --chaos
 
 echo "==> boundary_codec --smoke (wire bytes bit-identical to reference codec)"
 cargo run -p dista-bench --bin boundary_codec --release --offline -- --smoke
+
+echo "==> cluster_load --smoke (>=10k concurrent connections, p99 gate)"
+rm -f BENCH_cluster_load_smoke.json
+cargo run -p dista-bench --bin cluster_load --release --offline -- \
+    --smoke --gate-p99-us 2000000 --out BENCH_cluster_load_smoke.json
+test -s BENCH_cluster_load_smoke.json
+grep -q '"peak_concurrent": 1[0-9][0-9][0-9][0-9]' BENCH_cluster_load_smoke.json
+if grep -q '"throughput_crossings_per_sec": 0.0' BENCH_cluster_load_smoke.json; then
+    echo "FAIL: zero throughput in BENCH_cluster_load_smoke.json"
+    exit 1
+fi
+rm -f BENCH_cluster_load_smoke.json
 
 echo "CI OK"

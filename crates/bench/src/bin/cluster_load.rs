@@ -1,0 +1,512 @@
+//! Open-loop cluster load harness: drives ≥100k concurrent tainted
+//! connections through the simulated cluster on the event-driven
+//! [`dista_simnet::Reactor`], recording throughput and p50/p99/p999
+//! latency into `dista-obs` histograms and writing the result as
+//! `BENCH_cluster_load.json` so the perf trajectory is tracked per PR.
+//!
+//! Each connection performs `--crossings` boundary crossings: the client
+//! encodes its payload into the DisTA interleaved wire format (width 4,
+//! Global IDs registered in the cluster's Taint Map for the tainted
+//! fraction), ships it as a length-prefixed frame, and the server
+//! decodes the frame at the boundary and acks with the decoded byte and
+//! tainted-byte counts. Latency is the client-observed crossing round
+//! trip. A per-connection response deadline rides the reactor's timer
+//! wheel, so the wheel itself is exercised at full connection count —
+//! the workload shape the per-connection `BLOCK_TIMEOUT` parking model
+//! could never reach.
+//!
+//! Flags: `--connections N`, `--crossings N`, `--taint-fraction F`,
+//! `--payload BYTES`, `--smoke` (12k connections, CI-sized),
+//! `--gate-p99-us N` (exit non-zero if p99 exceeds the bound),
+//! `--out PATH`.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use dista_core::{Cluster, Mode};
+use dista_jre::codec::{decode_wire_into, encode_wire_into, WireRun, MAX_GID_WIDTH};
+use dista_obs::Histogram;
+use dista_simnet::{NetError, NodeAddr, Reactor, TcpEndpoint, TcpListener, TimerHandle, Token};
+use dista_taint::{GlobalId, TagValue};
+
+const GID_WIDTH: usize = 4;
+const LISTEN_PORT: u16 = 9400;
+const ACK_LEN: usize = 8;
+/// Any crossing not acked within this deadline counts as a timeout and
+/// fails the run.
+const RESPONSE_DEADLINE: Duration = Duration::from_secs(30);
+/// New connections opened per client poll iteration (open-loop arrival
+/// batch: arrivals never wait on responses).
+const OPEN_BATCH: usize = 4_000;
+/// Latency bucket grid in microseconds, dense enough for a meaningful
+/// p999 at sim speeds.
+const LATENCY_BOUNDS_US: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    500_000, 1_000_000, 5_000_000,
+];
+
+struct Config {
+    connections: usize,
+    crossings: u32,
+    taint_fraction: f64,
+    payload: usize,
+    gate_p99_us: Option<u64>,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let smoke = flag("--smoke");
+    Config {
+        connections: value("--connections")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 12_000 } else { 100_000 }),
+        crossings: value("--crossings")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4),
+        taint_fraction: value("--taint-fraction")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.5),
+        payload: value("--payload")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32),
+        gate_p99_us: value("--gate-p99-us").and_then(|v| v.parse().ok()),
+        out: value("--out").unwrap_or_else(|| "BENCH_cluster_load.json".to_string()),
+        smoke,
+    }
+}
+
+/// Per-accepted-connection server state: a reassembly buffer for
+/// length-prefixed frames plus the ack sequence counter.
+struct ServerConn {
+    ep: TcpEndpoint,
+    buf: Vec<u8>,
+    seq: u32,
+}
+
+/// Server poller: one thread, one reactor, every accepted connection a
+/// token. Decodes each frame at the boundary and acks
+/// `[decoded_data_len][tainted_bytes]`.
+fn run_server(listener: TcpListener, expected_conns: usize) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let reactor = Reactor::new();
+        const LISTENER: Token = Token(0);
+        listener.register_acceptable(&reactor, LISTENER);
+        let mut conns: HashMap<u64, ServerConn> = HashMap::new();
+        let mut next_token: u64 = 1;
+        let mut accepted = 0usize;
+        let mut closed = 0usize;
+        let mut frames_decoded: u64 = 0;
+        let mut events = Vec::new();
+        let mut chunk = vec![0u8; 64 * 1024];
+        let mut data = Vec::new();
+        let mut runs: Vec<(GlobalId, usize)> = Vec::new();
+        loop {
+            if accepted >= expected_conns && closed >= accepted {
+                break;
+            }
+            reactor.poll(&mut events, Some(Duration::from_millis(50)));
+            for ev in events.drain(..) {
+                if ev.token == LISTENER {
+                    while let Some(ep) = listener.try_accept() {
+                        let token = Token(next_token);
+                        ep.register_readable(&reactor, token);
+                        conns.insert(
+                            next_token,
+                            ServerConn {
+                                ep,
+                                buf: Vec::new(),
+                                seq: 0,
+                            },
+                        );
+                        next_token += 1;
+                        accepted += 1;
+                    }
+                    continue;
+                }
+                let Some(conn) = conns.get_mut(&ev.token.0) else {
+                    continue;
+                };
+                let mut eof = false;
+                loop {
+                    match conn.ep.try_read(&mut chunk) {
+                        Ok(0) => {
+                            eof = true;
+                            break;
+                        }
+                        Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+                        Err(NetError::WouldBlock) => break,
+                        Err(_) => {
+                            eof = true;
+                            break;
+                        }
+                    }
+                }
+                // Drain every complete [u32 len][wire] frame.
+                let mut consumed = 0;
+                while conn.buf.len() - consumed >= 4 {
+                    let hdr = &conn.buf[consumed..consumed + 4];
+                    let frame_len = u32::from_be_bytes(hdr.try_into().unwrap()) as usize;
+                    if conn.buf.len() - consumed < 4 + frame_len {
+                        break;
+                    }
+                    let wire = &conn.buf[consumed + 4..consumed + 4 + frame_len];
+                    decode_wire_into(wire, GID_WIDTH, &mut data, &mut runs)
+                        .expect("well-formed frame");
+                    let tainted: usize = runs
+                        .iter()
+                        .filter(|(gid, _)| *gid != GlobalId(0))
+                        .map(|(_, len)| len)
+                        .sum();
+                    frames_decoded += 1;
+                    conn.seq += 1;
+                    let mut ack = [0u8; ACK_LEN];
+                    ack[..4].copy_from_slice(&(data.len() as u32).to_be_bytes());
+                    ack[4..].copy_from_slice(&(tainted as u32).to_be_bytes());
+                    let _ = conn.ep.write(&ack);
+                    consumed += 4 + frame_len;
+                }
+                conn.buf.drain(..consumed);
+                if eof {
+                    reactor.deregister(ev.token);
+                    conns.remove(&ev.token.0);
+                    closed += 1;
+                }
+            }
+        }
+        frames_decoded
+    })
+}
+
+/// Per-connection client state machine.
+struct ClientConn {
+    ep: TcpEndpoint,
+    crossings_left: u32,
+    sent_at: Instant,
+    deadline: TimerHandle,
+    ack_buf: Vec<u8>,
+    tainted: bool,
+}
+
+struct RunStats {
+    completed_crossings: u64,
+    timeouts: u64,
+    mismatches: u64,
+    peak_concurrent: usize,
+    tainted_connections: usize,
+    elapsed: Duration,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    cluster: &Cluster,
+    cfg: &Config,
+    server_addr: NodeAddr,
+    latency_us: &Histogram,
+    tainted_frame: &[u8],
+    clean_frame: &[u8],
+) -> RunStats {
+    let reactor = Reactor::new();
+    let client_ip = cluster.vm(0).ip();
+    let net = cluster.net();
+    let mut conns: HashMap<u64, ClientConn> = HashMap::new();
+    let mut opened = 0usize;
+    let mut peak_concurrent = 0usize;
+    let mut tainted_connections = 0usize;
+    let mut completed_crossings: u64 = 0;
+    let mut timeouts: u64 = 0;
+    let mut mismatches: u64 = 0;
+    let mut events = Vec::new();
+    let mut chunk = vec![0u8; 4 * 1024];
+    let started = Instant::now();
+    // Deterministic taint assignment: connection i is tainted when its
+    // index falls under the configured fraction of each 1000-slot band.
+    let tainted_per_mille = (cfg.taint_fraction.clamp(0.0, 1.0) * 1000.0).round() as usize;
+
+    // Phase 1 — establish every connection. Nothing can complete before
+    // its first frame, so the full count is genuinely concurrent.
+    while opened < cfg.connections {
+        let ep = net
+            .tcp_connect_from(client_ip, server_addr)
+            .expect("connect");
+        let token = Token(opened as u64 + 1);
+        let tainted = (opened % 1000) < tainted_per_mille;
+        if tainted {
+            tainted_connections += 1;
+        }
+        ep.register_readable(&reactor, token);
+        conns.insert(
+            token.0,
+            ClientConn {
+                ep,
+                crossings_left: cfg.crossings,
+                sent_at: Instant::now(),
+                deadline: reactor.set_timer(token, RESPONSE_DEADLINE),
+                ack_buf: Vec::with_capacity(ACK_LEN),
+                tainted,
+            },
+        );
+        opened += 1;
+    }
+    peak_concurrent = peak_concurrent.max(conns.len());
+
+    // Phase 2 — open-loop crossing kickoff: a batch of first frames per
+    // iteration regardless of ack progress, acks processed as polled.
+    let mut kickoff = 1u64;
+    while !conns.is_empty() {
+        let mut launched = 0;
+        while launched < OPEN_BATCH && kickoff <= cfg.connections as u64 {
+            if let Some(conn) = conns.get_mut(&kickoff) {
+                let frame = if conn.tainted {
+                    tainted_frame
+                } else {
+                    clean_frame
+                };
+                conn.ep.write(frame).expect("first crossing write");
+                conn.sent_at = Instant::now();
+                reactor.cancel_timer(conn.deadline);
+                conn.deadline = reactor.set_timer(Token(kickoff), RESPONSE_DEADLINE);
+            }
+            kickoff += 1;
+            launched += 1;
+        }
+        peak_concurrent = peak_concurrent.max(conns.len());
+
+        reactor.poll(&mut events, Some(Duration::from_millis(50)));
+        for ev in events.drain(..) {
+            let Some(conn) = conns.get_mut(&ev.token.0) else {
+                continue;
+            };
+            if ev.readiness.is_timer() {
+                // Response deadline expired without an ack.
+                timeouts += 1;
+                reactor.deregister(ev.token);
+                conn.ep.close();
+                conns.remove(&ev.token.0);
+                continue;
+            }
+            let mut dead = false;
+            loop {
+                match conn.ep.try_read(&mut chunk) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.ack_buf.extend_from_slice(&chunk[..n]),
+                    Err(NetError::WouldBlock) => break,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            while conn.ack_buf.len() >= ACK_LEN {
+                let data_len = u32::from_be_bytes(conn.ack_buf[..4].try_into().unwrap()) as usize;
+                let tainted_bytes =
+                    u32::from_be_bytes(conn.ack_buf[4..8].try_into().unwrap()) as usize;
+                conn.ack_buf.drain(..ACK_LEN);
+                reactor.cancel_timer(conn.deadline);
+                latency_us.observe(conn.sent_at.elapsed().as_micros() as u64);
+                completed_crossings += 1;
+                let expect_tainted = if conn.tainted { cfg.payload } else { 0 };
+                if data_len != cfg.payload || tainted_bytes != expect_tainted {
+                    mismatches += 1;
+                }
+                conn.crossings_left -= 1;
+                if conn.crossings_left == 0 {
+                    dead = true;
+                    break;
+                }
+                let frame = if conn.tainted {
+                    tainted_frame
+                } else {
+                    clean_frame
+                };
+                conn.ep.write(frame).expect("crossing write");
+                conn.sent_at = Instant::now();
+                conn.deadline = reactor.set_timer(ev.token, RESPONSE_DEADLINE);
+            }
+            if dead {
+                reactor.cancel_timer(conn.deadline);
+                reactor.deregister(ev.token);
+                conn.ep.close();
+                conns.remove(&ev.token.0);
+            }
+        }
+    }
+    RunStats {
+        completed_crossings,
+        timeouts,
+        mismatches,
+        peak_concurrent,
+        tainted_connections,
+        elapsed: started.elapsed(),
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!(
+        "cluster_load: {} connections x {} crossings, taint fraction {}, payload {} B{}",
+        cfg.connections,
+        cfg.crossings,
+        cfg.taint_fraction,
+        cfg.payload,
+        if cfg.smoke { " (smoke)" } else { "" }
+    );
+
+    let cluster = Cluster::builder(Mode::Dista)
+        .nodes("load", 2)
+        .build()
+        .expect("cluster");
+    let server_addr = NodeAddr::new(cluster.vm(1).ip(), LISTEN_PORT);
+    let listener = cluster.net().tcp_listen(server_addr).expect("listen");
+
+    // One tainted and one clean wire frame, reused verbatim by every
+    // connection: the Global ID is minted once and registered in the
+    // cluster's Taint Map, exactly as the boundary encoder would per
+    // taint (registrations amortize; data bytes do not).
+    let vm = cluster.vm(0);
+    let taint = vm.store().mint_source_taint(TagValue::str("cluster-load"));
+    let gid = vm
+        .taint_map()
+        .expect("dista mode has a taint map")
+        .global_id_for(taint)
+        .expect("gid registration");
+    let payload: Vec<u8> = (0..cfg.payload).map(|i| (i % 251) as u8).collect();
+    let frame_for = |gid_value: u32| {
+        let mut slot = [0u8; MAX_GID_WIDTH];
+        slot[..GID_WIDTH].copy_from_slice(&gid_value.to_be_bytes());
+        let runs: Vec<WireRun> = vec![(payload.len(), slot)];
+        let mut wire = Vec::new();
+        encode_wire_into(&payload, &runs, GID_WIDTH, &mut wire);
+        let mut frame = Vec::with_capacity(4 + wire.len());
+        frame.extend_from_slice(&(wire.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&wire);
+        frame
+    };
+    let tainted_frame = frame_for(gid.0);
+    let clean_frame = frame_for(0);
+
+    let latency_us = cluster
+        .net()
+        .registry()
+        .histogram("cluster_load_latency_us", LATENCY_BOUNDS_US);
+    let server = run_server(listener, cfg.connections);
+    let stats = run_client(
+        &cluster,
+        &cfg,
+        server_addr,
+        &latency_us,
+        &tainted_frame,
+        &clean_frame,
+    );
+    let frames_decoded = server.join().expect("server thread");
+
+    let elapsed_s = stats.elapsed.as_secs_f64().max(1e-9);
+    let throughput = stats.completed_crossings as f64 / elapsed_s;
+    let (p50, p99, p999) = (
+        latency_us.quantile(0.50),
+        latency_us.quantile(0.99),
+        latency_us.quantile(0.999),
+    );
+    println!(
+        "peak concurrent {}  crossings {}  decoded {}  elapsed {:.2}s",
+        stats.peak_concurrent, stats.completed_crossings, frames_decoded, elapsed_s
+    );
+    println!(
+        "throughput {throughput:.0} crossings/s  latency p50 {p50} us  p99 {p99} us  p999 {p999} us"
+    );
+
+    // Hand-rolled JSON (the vendored serde is a stub); all keys plain.
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"{}\",\n",
+            "  \"smoke\": {},\n",
+            "  \"connections\": {},\n",
+            "  \"peak_concurrent\": {},\n",
+            "  \"crossings_per_connection\": {},\n",
+            "  \"taint_fraction\": {},\n",
+            "  \"tainted_connections\": {},\n",
+            "  \"payload_bytes\": {},\n",
+            "  \"completed_crossings\": {},\n",
+            "  \"timeouts\": {},\n",
+            "  \"mismatches\": {},\n",
+            "  \"elapsed_seconds\": {:.3},\n",
+            "  \"throughput_crossings_per_sec\": {:.1},\n",
+            "  \"latency_us\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {}, \"mean\": {:.1} }}\n",
+            "}}\n"
+        ),
+        "cluster_load",
+        cfg.smoke,
+        cfg.connections,
+        stats.peak_concurrent,
+        cfg.crossings,
+        cfg.taint_fraction,
+        stats.tainted_connections,
+        cfg.payload,
+        stats.completed_crossings,
+        stats.timeouts,
+        stats.mismatches,
+        elapsed_s,
+        throughput,
+        p50,
+        p99,
+        p999,
+        latency_us.mean(),
+    );
+    let mut f = std::fs::File::create(&cfg.out).expect("create bench output");
+    f.write_all(json.as_bytes()).expect("write bench output");
+    println!("wrote {}", cfg.out);
+    cluster.shutdown();
+
+    // Gates.
+    let min_concurrent = if cfg.smoke { 10_000 } else { 100_000 };
+    let mut failed = false;
+    if stats.peak_concurrent < min_concurrent.min(cfg.connections) {
+        eprintln!(
+            "FAIL: peak concurrency {} below the {} floor",
+            stats.peak_concurrent, min_concurrent
+        );
+        failed = true;
+    }
+    if stats.timeouts > 0 || stats.mismatches > 0 {
+        eprintln!(
+            "FAIL: {} timeouts, {} ack mismatches",
+            stats.timeouts, stats.mismatches
+        );
+        failed = true;
+    }
+    let expected = cfg.connections as u64 * cfg.crossings as u64;
+    if stats.completed_crossings != expected || frames_decoded != expected {
+        eprintln!(
+            "FAIL: completed {} / decoded {} crossings, expected {}",
+            stats.completed_crossings, frames_decoded, expected
+        );
+        failed = true;
+    }
+    if throughput <= 0.0 {
+        eprintln!("FAIL: zero throughput");
+        failed = true;
+    }
+    if let Some(bound) = cfg.gate_p99_us {
+        if p99 > bound {
+            eprintln!("FAIL: p99 {p99} us above the {bound} us bound");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -167,6 +167,27 @@ impl Histogram {
         }
     }
 
+    /// Upper bucket bound containing the `q`-quantile observation
+    /// (`0.0 <= q <= 1.0`), or 0 when empty. Resolution is the bucket
+    /// grid: p99 of values that all landed in the `<=500` bucket reports
+    /// 500. Observations past the last bound report `u64::MAX` — a
+    /// deliberately alarming value for latency SLO gates.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bound, count) in self.buckets() {
+            seen += count;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        u64::MAX
+    }
+
     /// `(upper_bound, count)` pairs; the final pair uses `u64::MAX` as
     /// the overflow bound.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
@@ -424,6 +445,23 @@ impl MetricsDump {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_walks_bucket_bounds() {
+        let h = Histogram::detached(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.99), 0, "empty histogram");
+        for _ in 0..90 {
+            h.observe(5); // <=10 bucket
+        }
+        for _ in 0..9 {
+            h.observe(50); // <=100 bucket
+        }
+        h.observe(5000); // overflow
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(0.9), 10);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(1.0), u64::MAX, "overflow observation");
+    }
 
     #[test]
     fn counters_are_shared_by_name_and_labels() {

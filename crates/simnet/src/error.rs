@@ -23,6 +23,11 @@ pub enum NetError {
     Timeout(Duration),
     /// Operation on an address that is not bound.
     NotBound(NodeAddr),
+    /// A non-blocking operation (`try_read`, `try_receive`,
+    /// `try_accept`) found nothing to do; register the endpoint with a
+    /// [`crate::Reactor`] to learn when to retry. Never surfaced by the
+    /// blocking API.
+    WouldBlock,
     /// The destination is cut off by an injected partition
     /// ([`crate::FaultPlan`] / `SimNet::partition`).
     Unreachable(NodeAddr),
@@ -38,6 +43,7 @@ impl fmt::Display for NetError {
                 write!(f, "simulated i/o timed out after {after:?}")
             }
             NetError::NotBound(a) => write!(f, "address not bound: {a}"),
+            NetError::WouldBlock => f.write_str("operation would block; retry on readiness"),
             NetError::Unreachable(a) => write!(f, "destination unreachable (partitioned): {a}"),
         }
     }
@@ -58,5 +64,6 @@ mod tests {
             .to_string()
             .contains("timed out after 50ms"));
         assert!(NetError::Unreachable(a).to_string().contains("partitioned"));
+        assert!(NetError::WouldBlock.to_string().contains("would block"));
     }
 }

@@ -25,6 +25,11 @@
 //! * [`FaultPlan`] — a deterministic chaos schedule (directed
 //!   partitions, connection resets, latency/jitter, crash-restart
 //!   triggers) replayed bit-identically on a logical step clock.
+//! * [`Reactor`] — an event-driven readiness queue with a hashed
+//!   [`TimerWheel`]: non-blocking `try_read`/`try_write`/`try_receive`
+//!   plus token-based wakeups, so one poller thread can drive 100k+
+//!   connections. The blocking API above is a thin shim over the same
+//!   wake machinery (pinned by `tests/reactor_conformance.rs`).
 //!
 //! # Example
 //!
@@ -52,7 +57,9 @@ mod fs;
 mod metrics;
 pub mod native;
 mod net;
+mod reactor;
 mod tcp;
+mod timer;
 mod udp;
 
 pub use addr::NodeAddr;
@@ -63,7 +70,9 @@ pub use fault::{
 pub use fs::{FileNotFound, SimFs, SimFsError};
 pub use metrics::{MetricsSnapshot, NetMetrics};
 pub use net::{FaultConfig, SimNet};
+pub use reactor::{Event, Reactor, Readiness, TimerHandle, Token};
 pub use tcp::{TcpEndpoint, TcpListener};
+pub use timer::{TimerKey, TimerWheel};
 pub use udp::UdpEndpoint;
 
 /// Alias for [`NetError`] under the simulator-qualified name used by the

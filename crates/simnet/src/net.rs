@@ -6,7 +6,6 @@ use std::sync::atomic::{AtomicU16, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -15,7 +14,7 @@ use crate::addr::NodeAddr;
 use crate::error::NetError;
 use crate::fault::{AppliedFault, FaultAction, FaultEngine, FaultPlan, FaultTrigger, LinkIp};
 use crate::metrics::NetMetrics;
-use crate::tcp::{TcpEndpoint, TcpListener};
+use crate::tcp::{AcceptQueue, TcpEndpoint, TcpListener};
 use crate::udp::{Mailbox, UdpEndpoint};
 
 /// Fault-injection and link-model configuration for one simulated
@@ -133,7 +132,7 @@ impl FaultsShared {
 
 #[derive(Default)]
 struct Registry {
-    tcp_listeners: HashMap<NodeAddr, Sender<TcpEndpoint>>,
+    tcp_listeners: HashMap<NodeAddr, Arc<AcceptQueue>>,
     udp_mailboxes: HashMap<NodeAddr, Arc<Mailbox>>,
 }
 
@@ -278,8 +277,8 @@ impl SimNet {
         if reg.tcp_listeners.contains_key(&addr) {
             return Err(NetError::AddrInUse(addr));
         }
-        let (listener, tx) = TcpListener::new(addr, self.inner.faults.clone());
-        reg.tcp_listeners.insert(addr, tx);
+        let (listener, queue) = TcpListener::new(addr, self.inner.faults.clone());
+        reg.tcp_listeners.insert(addr, queue);
         Ok(listener)
     }
 
@@ -311,7 +310,7 @@ impl SimNet {
         let src_port = self.inner.next_ephemeral.fetch_add(1, Ordering::Relaxed);
         let src = NodeAddr::new(src_ip, src_port);
         let reg = self.inner.registry.lock();
-        let tx = reg
+        let queue = reg
             .tcp_listeners
             .get(&dest)
             .ok_or(NetError::ConnectionRefused(dest))?;
@@ -323,14 +322,19 @@ impl SimNet {
             engine.step(),
         );
         self.inner.metrics.record_tcp_connection();
-        tx.send(server)
-            .map_err(|_| NetError::ConnectionRefused(dest))?;
+        if !queue.push(server) {
+            return Err(NetError::ConnectionRefused(dest));
+        }
         Ok(client)
     }
 
-    /// Removes a TCP listener; established connections keep working.
+    /// Removes a TCP listener; established connections keep working and
+    /// already-queued (unaccepted) connections can still be accepted.
     pub fn tcp_unlisten(&self, addr: NodeAddr) {
-        self.inner.registry.lock().tcp_listeners.remove(&addr);
+        let queue = self.inner.registry.lock().tcp_listeners.remove(&addr);
+        if let Some(queue) = queue {
+            queue.close();
+        }
     }
 
     /// Binds a UDP socket.

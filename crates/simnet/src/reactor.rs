@@ -1,0 +1,588 @@
+//! Event-driven reactor: readiness queues over the in-memory channels.
+//!
+//! The blocking SimNet API parks one OS thread per pending operation —
+//! fine for protocol tests, a hard cap on how many "users" a cluster run
+//! can represent. The reactor inverts it: sources ([`crate::TcpEndpoint`],
+//! [`crate::TcpListener`], [`crate::UdpEndpoint`]) register a [`Token`]
+//! for readiness interest, writes/deliveries/closes push that token onto
+//! the reactor's ready queue, and **one** poller thread drains
+//! [`Reactor::poll`] and drives `try_read` / `try_accept` /
+//! `try_receive` across any number of connections. Deadlines multiplex
+//! through a hashed [`TimerWheel`](crate::TimerWheel) instead of
+//! per-connection `BLOCK_TIMEOUT` parking.
+//!
+//! Readiness is edge-ish: a token is queued when a source *becomes*
+//! ready (new bytes, new connection, close) and at registration time if
+//! it is already ready, and queued notifications are coalesced per
+//! token. A poller must therefore drain a ready source until it returns
+//! [`NetError::WouldBlock`](crate::NetError::WouldBlock) before polling
+//! again — the conformance suite
+//! (`crates/simnet/tests/reactor_conformance.rs`) pins that this
+//! discipline delivers byte-for-byte exactly what the blocking API
+//! delivers.
+//!
+//! The blocking API itself is a thin shim over the same machinery: a
+//! blocking read registers a one-shot synchronous waiter in the very
+//! wake list the reactor uses, and waits **deadline-absolute** — a
+//! spurious wakeup re-arms only the remaining time, never the full
+//! timeout.
+
+use std::collections::HashMap;
+use std::ops::BitOr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::timer::{TimerKey, TimerWheel};
+
+/// Caller-chosen identity of one registered event source (or timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// A set of readiness conditions, combinable with `|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Readiness(u8);
+
+impl Readiness {
+    /// No readiness.
+    pub const EMPTY: Readiness = Readiness(0);
+    /// Bytes / a datagram / a pending connection can be taken without
+    /// blocking.
+    pub const READABLE: Readiness = Readiness(1);
+    /// The source reached EOF or was closed.
+    pub const CLOSED: Readiness = Readiness(2);
+    /// A deadline armed with [`Reactor::set_timer`] expired.
+    pub const TIMER: Readiness = Readiness(4);
+
+    /// Whether every bit of `other` is set in `self`.
+    pub fn contains(self, other: Readiness) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the readable bit is set.
+    pub fn is_readable(self) -> bool {
+        self.contains(Readiness::READABLE)
+    }
+
+    /// Whether the closed bit is set.
+    pub fn is_closed(self) -> bool {
+        self.contains(Readiness::CLOSED)
+    }
+
+    /// Whether the timer bit is set.
+    pub fn is_timer(self) -> bool {
+        self.contains(Readiness::TIMER)
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Readiness {
+    type Output = Readiness;
+    fn bitor(self, rhs: Readiness) -> Readiness {
+        Readiness(self.0 | rhs.0)
+    }
+}
+
+/// One delivered readiness event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The registered token (or the token a timer was armed under).
+    pub token: Token,
+    /// The coalesced readiness since the last poll.
+    pub readiness: Readiness,
+}
+
+/// Cancellation handle for a deadline armed with [`Reactor::set_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle(TimerKey);
+
+/// Readiness sink installed into a source's wake list.
+///
+/// `wake` returns `false` when the sink is defunct (deregistered or its
+/// reactor dropped); the wake list prunes such entries.
+pub(crate) trait Wake: Send + Sync {
+    fn wake(&self, readiness: Readiness) -> bool;
+}
+
+/// The list of readiness sinks attached to one source (pipe, mailbox,
+/// accept queue). Sources call [`WakeList::notify`] whenever they
+/// *become* ready; both reactor registrations and blocking-shim waiters
+/// live here, so the two APIs observe identical wakeups.
+#[derive(Default)]
+pub(crate) struct WakeList {
+    entries: Mutex<Vec<(u64, Arc<dyn Wake>)>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for WakeList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakeList")
+            .field("entries", &self.entries.lock().len())
+            .finish()
+    }
+}
+
+impl WakeList {
+    pub(crate) fn register(&self, waker: Arc<dyn Wake>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().push((id, waker));
+        id
+    }
+
+    pub(crate) fn deregister(&self, id: u64) {
+        self.entries.lock().retain(|(eid, _)| *eid != id);
+    }
+
+    pub(crate) fn notify(&self, readiness: Readiness) {
+        self.entries.lock().retain(|(_, w)| w.wake(readiness));
+    }
+}
+
+/// A one-shot synchronous waiter: the blocking shim's bridge onto the
+/// wake lists. Parks deadline-absolute.
+#[derive(Default)]
+pub(crate) struct SyncWaiter {
+    state: Mutex<Readiness>,
+    cv: Condvar,
+}
+
+impl Wake for SyncWaiter {
+    fn wake(&self, readiness: Readiness) -> bool {
+        let mut st = self.state.lock();
+        *st = *st | readiness;
+        self.cv.notify_all();
+        true
+    }
+}
+
+impl SyncWaiter {
+    /// Waits until woken or `deadline`; returns `false` on timeout.
+    /// Consumes any accumulated readiness so the caller re-checks the
+    /// source (another waiter may have taken the data).
+    pub(crate) fn wait_until(&self, deadline: Instant) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if !st.is_empty() {
+                *st = Readiness::EMPTY;
+                return true;
+            }
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                return false;
+            }
+        }
+    }
+}
+
+/// A registered source's shared deactivation flag; its waker stops
+/// delivering once cleared.
+#[derive(Debug, Default)]
+struct RegistrationState {
+    active: AtomicBool,
+}
+
+struct ReactorWaker {
+    inner: Weak<ReactorInner>,
+    token: Token,
+    reg: Arc<RegistrationState>,
+}
+
+impl Wake for ReactorWaker {
+    fn wake(&self, readiness: Readiness) -> bool {
+        if !self.reg.active.load(Ordering::Acquire) {
+            return false;
+        }
+        match self.inner.upgrade() {
+            Some(inner) => {
+                inner.push_ready(self.token, readiness);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ReadyState {
+    /// Tokens in arrival order; readiness coalesced in `pending`.
+    order: Vec<Token>,
+    pending: HashMap<Token, Readiness>,
+    /// Set (under this mutex) when a timer was armed, so a parked
+    /// poller re-computes its wait bound.
+    timers_dirty: bool,
+}
+
+struct ReactorInner {
+    ready: Mutex<ReadyState>,
+    cv: Condvar,
+    registrations: Mutex<HashMap<Token, Arc<RegistrationState>>>,
+    timers: Mutex<TimerWheel<Token>>,
+    base: Instant,
+    tick: Duration,
+}
+
+impl ReactorInner {
+    fn push_ready(&self, token: Token, readiness: Readiness) {
+        let mut rd = self.ready.lock();
+        match rd.pending.get_mut(&token) {
+            Some(r) => *r = *r | readiness,
+            None => {
+                rd.pending.insert(token, readiness);
+                rd.order.push(token);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wall time → wheel ticks (saturating, rounding down).
+    fn ticks_at(&self, now: Instant) -> u64 {
+        let elapsed = now.saturating_duration_since(self.base);
+        (elapsed.as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Wheel tick → wall time.
+    fn instant_of(&self, tick: u64) -> Instant {
+        self.base + Duration::from_nanos((self.tick.as_nanos() as u64).saturating_mul(tick))
+    }
+}
+
+/// The readiness poller. Clones share one reactor.
+///
+/// See the module docs for the polling discipline; `bench`'s
+/// `cluster_load` bin is the scale consumer, the conformance suite the
+/// semantics pin.
+#[derive(Clone)]
+pub struct Reactor {
+    inner: Arc<ReactorInner>,
+}
+
+impl Default for Reactor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("registrations", &self.inner.registrations.lock().len())
+            .field("pending_timers", &self.inner.timers.lock().len())
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// A reactor with the default 1 ms timer-wheel tick.
+    pub fn new() -> Self {
+        Self::with_tick(Duration::from_millis(1))
+    }
+
+    /// A reactor whose timer wheel advances once per `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero.
+    pub fn with_tick(tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "reactor tick must be non-zero");
+        Reactor {
+            inner: Arc::new(ReactorInner {
+                ready: Mutex::new(ReadyState::default()),
+                cv: Condvar::new(),
+                registrations: Mutex::new(HashMap::new()),
+                timers: Mutex::new(TimerWheel::new()),
+                base: Instant::now(),
+                tick,
+            }),
+        }
+    }
+
+    /// Installs a waker for `token` into a source's wake list and
+    /// queues `current` immediately if the source is already ready
+    /// (otherwise the edge that happened before registration would be
+    /// lost). Re-registering a token replaces the previous
+    /// registration.
+    pub(crate) fn attach(&self, list: &WakeList, current: Readiness, token: Token) {
+        self.deregister(token);
+        let reg = Arc::new(RegistrationState {
+            active: AtomicBool::new(true),
+        });
+        self.inner.registrations.lock().insert(token, reg.clone());
+        let waker = Arc::new(ReactorWaker {
+            inner: Arc::downgrade(&self.inner),
+            token,
+            reg,
+        });
+        list.register(waker.clone());
+        if !current.is_empty() {
+            waker.wake(current);
+        }
+    }
+
+    /// Stops delivery for `token` and drops its queued (non-timer)
+    /// readiness. Armed timers under the token keep firing until
+    /// cancelled.
+    pub fn deregister(&self, token: Token) {
+        if let Some(reg) = self.inner.registrations.lock().remove(&token) {
+            reg.active.store(false, Ordering::Release);
+        }
+        let mut rd = self.inner.ready.lock();
+        if let Some(r) = rd.pending.get_mut(&token) {
+            if r.is_timer() {
+                *r = Readiness::TIMER;
+            } else {
+                rd.pending.remove(&token);
+                rd.order.retain(|t| *t != token);
+            }
+        }
+    }
+
+    /// Arms a one-shot deadline `after` from now, delivered as a
+    /// [`Readiness::TIMER`] event for `token`. Resolution is one wheel
+    /// tick: the event fires on the first poll at-or-after the deadline
+    /// tick (rounded up), never before.
+    pub fn set_timer(&self, token: Token, after: Duration) -> TimerHandle {
+        let now_ticks = self.inner.ticks_at(Instant::now());
+        let after_ticks = after.as_nanos().div_ceil(self.inner.tick.as_nanos().max(1)) as u64;
+        let key = self
+            .inner
+            .timers
+            .lock()
+            .insert(now_ticks + after_ticks, token);
+        // A parked poller may be waiting past this new, earlier
+        // deadline; flag it under the ready mutex so it re-computes.
+        let mut rd = self.inner.ready.lock();
+        rd.timers_dirty = true;
+        self.inner.cv.notify_all();
+        drop(rd);
+        TimerHandle(key)
+    }
+
+    /// Cancels a pending deadline; returns `true` if it had not fired.
+    pub fn cancel_timer(&self, handle: TimerHandle) -> bool {
+        self.inner.timers.lock().cancel(handle.0)
+    }
+
+    /// Number of pending (armed, unfired) deadlines.
+    pub fn pending_timers(&self) -> usize {
+        self.inner.timers.lock().len()
+    }
+
+    /// Waits for readiness and appends events to `events` (cleared
+    /// first). Returns the number of events delivered.
+    ///
+    /// `timeout` bounds the wait: `Some(Duration::ZERO)` is a
+    /// non-blocking sweep, `None` waits until something happens. Expired
+    /// timers surface as [`Readiness::TIMER`] events; I/O readiness for
+    /// the same token within one poll is coalesced into one event.
+    pub fn poll(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> usize {
+        events.clear();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            // Fire timers that came due.
+            let now_ticks = self.inner.ticks_at(Instant::now());
+            let fired = self.inner.timers.lock().advance_to(now_ticks);
+            for (_, token) in fired {
+                self.inner.push_ready(token, Readiness::TIMER);
+            }
+
+            let mut rd = self.inner.ready.lock();
+            if !rd.order.is_empty() {
+                let order = std::mem::take(&mut rd.order);
+                for token in order {
+                    if let Some(readiness) = rd.pending.remove(&token) {
+                        events.push(Event { token, readiness });
+                    }
+                }
+                return events.len();
+            }
+
+            // Nothing ready: park until the earliest of the caller's
+            // deadline and the next armed timer.
+            rd.timers_dirty = false;
+            let next_timer = self
+                .inner
+                .timers
+                .lock()
+                .next_deadline()
+                .map(|tick| self.inner.instant_of(tick));
+            let bound = match (deadline, next_timer) {
+                (Some(d), Some(t)) => Some(d.min(t)),
+                (Some(d), None) => Some(d),
+                (None, Some(t)) => Some(t),
+                (None, None) => None,
+            };
+            let timed_out = match bound {
+                Some(b) => self.inner.cv.wait_until(&mut rd, b).timed_out(),
+                None => {
+                    self.inner.cv.wait(&mut rd);
+                    false
+                }
+            };
+            let _ = timed_out; // due timers / events re-checked by the loop
+            let caller_expired = deadline.is_some_and(|d| Instant::now() >= d);
+            if caller_expired && rd.order.is_empty() {
+                // One last timer sweep below would race the deadline;
+                // deliver what the loop head finds, or nothing.
+                drop(rd);
+                let now_ticks = self.inner.ticks_at(Instant::now());
+                let fired = self.inner.timers.lock().advance_to(now_ticks);
+                for (_, token) in fired {
+                    self.inner.push_ready(token, Readiness::TIMER);
+                }
+                let mut rd = self.inner.ready.lock();
+                let order = std::mem::take(&mut rd.order);
+                for token in order {
+                    if let Some(readiness) = rd.pending.remove(&token) {
+                        events.push(Event { token, readiness });
+                    }
+                }
+                return events.len();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NodeAddr;
+    use crate::net::SimNet;
+
+    #[test]
+    fn readiness_bit_algebra() {
+        let r = Readiness::READABLE | Readiness::CLOSED;
+        assert!(r.is_readable());
+        assert!(r.is_closed());
+        assert!(!r.is_timer());
+        assert!(r.contains(Readiness::READABLE));
+        assert!(!Readiness::EMPTY.is_readable());
+    }
+
+    #[test]
+    fn write_wakes_registered_endpoint() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 700);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        let reactor = Reactor::new();
+        s.register_readable(&reactor, Token(7));
+
+        let mut events = Vec::new();
+        assert_eq!(reactor.poll(&mut events, Some(Duration::ZERO)), 0);
+        c.write(b"ping").unwrap();
+        assert_eq!(reactor.poll(&mut events, Some(Duration::from_secs(5))), 1);
+        assert_eq!(events[0].token, Token(7));
+        assert!(events[0].readiness.is_readable());
+        let mut buf = [0u8; 8];
+        assert_eq!(s.try_read(&mut buf).unwrap(), 4);
+        assert_eq!(
+            s.try_read(&mut buf),
+            Err(crate::NetError::WouldBlock),
+            "drained sources report WouldBlock"
+        );
+    }
+
+    #[test]
+    fn registration_catches_preexisting_data() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 701);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        c.write(b"early").unwrap();
+        let reactor = Reactor::new();
+        s.register_readable(&reactor, Token(1));
+        let mut events = Vec::new();
+        assert_eq!(reactor.poll(&mut events, Some(Duration::ZERO)), 1);
+        assert!(events[0].readiness.is_readable());
+    }
+
+    #[test]
+    fn close_delivers_closed_readiness() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 702);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        let reactor = Reactor::new();
+        s.register_readable(&reactor, Token(2));
+        let mut events = Vec::new();
+        reactor.poll(&mut events, Some(Duration::ZERO));
+        c.close();
+        assert_eq!(reactor.poll(&mut events, Some(Duration::from_secs(5))), 1);
+        assert!(events[0].readiness.is_closed());
+        let mut buf = [0u8; 4];
+        assert_eq!(s.try_read(&mut buf).unwrap(), 0, "EOF after close");
+    }
+
+    #[test]
+    fn timer_fires_and_cancel_suppresses() {
+        let reactor = Reactor::with_tick(Duration::from_millis(1));
+        let _t = reactor.set_timer(Token(9), Duration::from_millis(5));
+        let cancelled = reactor.set_timer(Token(10), Duration::from_millis(5));
+        assert!(reactor.cancel_timer(cancelled));
+        let mut events = Vec::new();
+        let start = Instant::now();
+        assert_eq!(reactor.poll(&mut events, Some(Duration::from_secs(5))), 1);
+        assert_eq!(events[0].token, Token(9));
+        assert!(events[0].readiness.is_timer());
+        assert!(start.elapsed() >= Duration::from_millis(4));
+        assert_eq!(reactor.pending_timers(), 0);
+    }
+
+    #[test]
+    fn coalesced_events_merge_readiness() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 703);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        let reactor = Reactor::new();
+        s.register_readable(&reactor, Token(3));
+        c.write(b"x").unwrap();
+        c.close();
+        let mut events = Vec::new();
+        assert_eq!(reactor.poll(&mut events, Some(Duration::from_secs(5))), 1);
+        assert!(events[0].readiness.is_readable());
+        assert!(events[0].readiness.is_closed());
+    }
+
+    #[test]
+    fn deregister_drops_queued_events() {
+        let net = SimNet::new();
+        let addr = NodeAddr::new([10, 0, 0, 1], 704);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect(addr).unwrap();
+        let s = l.accept().unwrap();
+        let reactor = Reactor::new();
+        s.register_readable(&reactor, Token(4));
+        c.write(b"x").unwrap();
+        reactor.deregister(Token(4));
+        let mut events = Vec::new();
+        assert_eq!(reactor.poll(&mut events, Some(Duration::ZERO)), 0);
+        c.write(b"y").unwrap();
+        assert_eq!(
+            reactor.poll(&mut events, Some(Duration::ZERO)),
+            0,
+            "deregistered tokens stay silent"
+        );
+    }
+
+    #[test]
+    fn poll_timeout_returns_zero() {
+        let reactor = Reactor::new();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        assert_eq!(
+            reactor.poll(&mut events, Some(Duration::from_millis(20))),
+            0
+        );
+        assert!(start.elapsed() >= Duration::from_millis(19));
+    }
+}

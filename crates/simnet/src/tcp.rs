@@ -7,20 +7,28 @@
 //! "mismatched serialized taint length" problem (§III-D-2) real in the
 //! simulator: a receiver genuinely can get half of a DisTA wire record
 //! and must carry the remainder to the next read.
+//!
+//! Since the reactor landed, the primitive operations are the
+//! non-blocking [`TcpEndpoint::try_read`] / [`TcpEndpoint::try_write`]
+//! plus readiness registration ([`TcpEndpoint::register_readable`]); the
+//! blocking API is a shim that parks a one-shot waiter in the same wake
+//! list the reactor uses, **deadline-absolute** — a spurious wakeup
+//! re-arms only the remaining time. The conformance suite pins that both
+//! paths deliver identical bytes.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::addr::NodeAddr;
 use crate::error::NetError;
 use crate::fault::spin_ns;
 use crate::metrics::NetMetrics;
 use crate::net::FaultsShared;
+use crate::reactor::{Reactor, Readiness, SyncWaiter, Token, WakeList};
 
 #[derive(Debug, Default)]
 struct PipeState {
@@ -28,11 +36,11 @@ struct PipeState {
     closed: bool,
 }
 
-/// One direction of a connection: a byte queue with blocking reads.
+/// One direction of a connection: a byte queue with readiness wakeups.
 #[derive(Debug, Default)]
 pub(crate) struct Pipe {
     state: Mutex<PipeState>,
-    readable: Condvar,
+    wakers: WakeList,
 }
 
 impl Pipe {
@@ -43,23 +51,22 @@ impl Pipe {
         }
         st.buf.extend(bytes);
         drop(st);
-        self.readable.notify_all();
+        self.wakers.notify(Readiness::READABLE);
         Ok(())
     }
 
-    /// Blocking read of 1..=max bytes; `Ok(0)` only on clean EOF.
-    fn read(&self, out: &mut [u8], max_chunk: usize, timeout: Duration) -> Result<usize, NetError> {
+    /// Non-blocking read of 1..=max bytes; `Ok(0)` only on clean EOF,
+    /// [`NetError::WouldBlock`] when nothing is buffered yet.
+    fn try_read(&self, out: &mut [u8], max_chunk: usize) -> Result<usize, NetError> {
         if out.is_empty() {
             return Ok(0);
         }
         let mut st = self.state.lock();
-        while st.buf.is_empty() {
+        if st.buf.is_empty() {
             if st.closed {
                 return Ok(0); // EOF
             }
-            if self.readable.wait_for(&mut st, timeout).timed_out() {
-                return Err(NetError::Timeout(timeout));
-            }
+            return Err(NetError::WouldBlock);
         }
         let n = out.len().min(st.buf.len()).min(max_chunk.max(1));
         let (front, back) = st.buf.as_slices();
@@ -73,13 +80,53 @@ impl Pipe {
         Ok(n)
     }
 
+    /// Blocking shim: retries [`Pipe::try_read`] under a wake-list
+    /// waiter until data, EOF, or the **absolute** deadline.
+    fn read(&self, out: &mut [u8], max_chunk: usize, timeout: Duration) -> Result<usize, NetError> {
+        match self.try_read(out, max_chunk) {
+            Err(NetError::WouldBlock) => {}
+            other => return other,
+        }
+        let deadline = Instant::now() + timeout;
+        let waiter = Arc::new(SyncWaiter::default());
+        let id = self.wakers.register(waiter.clone());
+        let result = loop {
+            match self.try_read(out, max_chunk) {
+                Err(NetError::WouldBlock) => {}
+                other => break other,
+            }
+            if !waiter.wait_until(deadline) {
+                break Err(NetError::Timeout(timeout));
+            }
+        };
+        self.wakers.deregister(id);
+        result
+    }
+
     fn close(&self) {
         self.state.lock().closed = true;
-        self.readable.notify_all();
+        self.wakers.notify(Readiness::READABLE | Readiness::CLOSED);
     }
 
     fn buffered(&self) -> usize {
         self.state.lock().buf.len()
+    }
+
+    /// Current readiness, for catch-up at registration time.
+    fn readiness(&self) -> Readiness {
+        let st = self.state.lock();
+        let mut r = Readiness::EMPTY;
+        if !st.buf.is_empty() {
+            r = r | Readiness::READABLE;
+        }
+        if st.closed {
+            r = r | Readiness::READABLE | Readiness::CLOSED;
+        }
+        r
+    }
+
+    fn wakers(&self) -> &WakeList {
+        &self.wakers
     }
 }
 
@@ -201,6 +248,43 @@ impl TcpEndpoint {
         }
     }
 
+    /// Reactor-style write. Sim pipes are unbounded, so a permitted
+    /// write always completes in full; the name mirrors the
+    /// non-blocking read side and returns the byte count for
+    /// event-loop symmetry. Advances the fault step clock exactly like
+    /// [`TcpEndpoint::write`] — the conformance suite relies on the two
+    /// paths being indistinguishable to the `FaultEngine`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TcpEndpoint::write`].
+    pub fn try_write(&self, bytes: &[u8]) -> Result<usize, NetError> {
+        self.write(bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Non-blocking read into `buf`.
+    ///
+    /// Returns the number of bytes read; `Ok(0)` means EOF.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::WouldBlock`] if no bytes are buffered (register with
+    /// a [`Reactor`] to learn when to retry); the usual transport
+    /// errors otherwise.
+    pub fn try_read(&self, buf: &mut [u8]) -> Result<usize, NetError> {
+        self.check_link_faults(false)?;
+        let chunk = self.inner.faults.max_read_chunk();
+        self.inner.rx.try_read(buf, chunk)
+    }
+
+    /// Registers this endpoint's read side with a reactor: `token`
+    /// becomes readable whenever bytes arrive or the peer closes. If
+    /// data is already buffered the token is queued immediately.
+    pub fn register_readable(&self, reactor: &Reactor, token: Token) {
+        reactor.attach(self.inner.rx.wakers(), self.inner.rx.readiness(), token);
+    }
+
     /// Reads into `buf`, blocking until ≥1 byte is available.
     ///
     /// Returns the number of bytes read; `Ok(0)` means EOF (peer closed
@@ -223,7 +307,8 @@ impl TcpEndpoint {
     /// Like [`TcpEndpoint::read`], but bounded by a caller-supplied
     /// deadline instead of the net-wide block timeout. RPC clients use
     /// this to put a per-round-trip deadline on one connection without
-    /// reconfiguring the whole simulator.
+    /// reconfiguring the whole simulator. The wait is deadline-absolute:
+    /// wakeups that bring no data re-arm only the remaining time.
     ///
     /// # Errors
     ///
@@ -272,24 +357,78 @@ impl Drop for EndpointInner {
     }
 }
 
+/// Queue of accepted-but-unclaimed connections behind one listener.
+#[derive(Debug, Default)]
+pub(crate) struct AcceptQueue {
+    state: Mutex<AcceptState>,
+    wakers: WakeList,
+}
+
+#[derive(Debug, Default)]
+struct AcceptState {
+    queue: VecDeque<TcpEndpoint>,
+    closed: bool,
+}
+
+impl AcceptQueue {
+    /// Enqueues a freshly-paired server endpoint; `false` if the
+    /// listener is gone (the connector sees `ConnectionRefused`).
+    pub(crate) fn push(&self, ep: TcpEndpoint) -> bool {
+        let mut st = self.state.lock();
+        if st.closed {
+            return false;
+        }
+        st.queue.push_back(ep);
+        drop(st);
+        self.wakers.notify(Readiness::READABLE);
+        true
+    }
+
+    fn try_pop(&self) -> Result<TcpEndpoint, NetError> {
+        let mut st = self.state.lock();
+        match st.queue.pop_front() {
+            Some(ep) => Ok(ep),
+            None if st.closed => Err(NetError::Closed),
+            None => Err(NetError::WouldBlock),
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        self.state.lock().closed = true;
+        self.wakers.notify(Readiness::READABLE | Readiness::CLOSED);
+    }
+
+    fn readiness(&self) -> Readiness {
+        let st = self.state.lock();
+        let mut r = Readiness::EMPTY;
+        if !st.queue.is_empty() {
+            r = r | Readiness::READABLE;
+        }
+        if st.closed {
+            r = r | Readiness::READABLE | Readiness::CLOSED;
+        }
+        r
+    }
+}
+
 /// A listening socket; yields one [`TcpEndpoint`] per accepted connection.
 #[derive(Debug)]
 pub struct TcpListener {
     addr: NodeAddr,
-    incoming: Receiver<TcpEndpoint>,
+    incoming: Arc<AcceptQueue>,
     faults: FaultsShared,
 }
 
 impl TcpListener {
-    pub(crate) fn new(addr: NodeAddr, faults: FaultsShared) -> (TcpListener, Sender<TcpEndpoint>) {
-        let (tx, rx) = unbounded();
+    pub(crate) fn new(addr: NodeAddr, faults: FaultsShared) -> (TcpListener, Arc<AcceptQueue>) {
+        let queue = Arc::new(AcceptQueue::default());
         (
             TcpListener {
                 addr,
-                incoming: rx,
+                incoming: queue.clone(),
                 faults,
             },
-            tx,
+            queue,
         )
     }
 
@@ -298,24 +437,52 @@ impl TcpListener {
         self.addr
     }
 
-    /// Blocks until a client connects.
+    /// Blocks until a client connects (deadline-absolute wait on the
+    /// same wake machinery the reactor uses).
     ///
     /// # Errors
     ///
     /// [`NetError::Timeout`] if nothing connects within the configured
-    /// block timeout; [`NetError::Closed`] if the network shut down.
+    /// block timeout; [`NetError::Closed`] if the listener was removed.
     pub fn accept(&self) -> Result<TcpEndpoint, NetError> {
         let timeout = self.faults.block_timeout();
-        match self.incoming.recv_timeout(timeout) {
-            Ok(ep) => Ok(ep),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout(timeout)),
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        match self.incoming.try_pop() {
+            Err(NetError::WouldBlock) => {}
+            other => return other,
         }
+        let deadline = Instant::now() + timeout;
+        let waiter = Arc::new(SyncWaiter::default());
+        let id = self.incoming.wakers.register(waiter.clone());
+        let result = loop {
+            match self.incoming.try_pop() {
+                Err(NetError::WouldBlock) => {}
+                other => break other,
+            }
+            if !waiter.wait_until(deadline) {
+                break Err(NetError::Timeout(timeout));
+            }
+        };
+        self.incoming.wakers.deregister(id);
+        result
     }
 
     /// Non-blocking accept.
     pub fn try_accept(&self) -> Option<TcpEndpoint> {
-        self.incoming.try_recv().ok()
+        self.incoming.try_pop().ok()
+    }
+
+    /// Registers the listener with a reactor: `token` becomes readable
+    /// whenever a connection is waiting to be accepted.
+    pub fn register_acceptable(&self, reactor: &Reactor, token: Token) {
+        reactor.attach(&self.incoming.wakers, self.incoming.readiness(), token);
+    }
+}
+
+impl Drop for TcpListener {
+    fn drop(&mut self) {
+        // Later connects to a dropped listener must be refused even if
+        // the address was never explicitly unlistened.
+        self.incoming.close();
     }
 }
 
@@ -409,6 +576,28 @@ mod tests {
     }
 
     #[test]
+    fn try_read_would_block_then_drains() {
+        let (c, s) = pair();
+        let mut buf = [0u8; 8];
+        assert_eq!(s.try_read(&mut buf), Err(NetError::WouldBlock));
+        c.write(b"now").unwrap();
+        assert_eq!(s.try_read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"now");
+        assert_eq!(s.try_read(&mut buf), Err(NetError::WouldBlock));
+        c.close();
+        assert_eq!(s.try_read(&mut buf).unwrap(), 0, "EOF, not WouldBlock");
+    }
+
+    #[test]
+    fn try_write_reports_length() {
+        let (c, s) = pair();
+        assert_eq!(c.try_write(b"abc").unwrap(), 3);
+        let mut buf = [0u8; 3];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+    }
+
+    #[test]
     fn configured_block_timeout_is_typed() {
         let net = SimNet::new();
         let timeout = Duration::from_millis(25);
@@ -423,6 +612,35 @@ mod tests {
         let mut buf = [0u8; 4];
         assert_eq!(s.read(&mut buf), Err(NetError::Timeout(timeout)));
         drop(c);
+    }
+
+    #[test]
+    fn blocking_read_deadline_is_absolute_under_spurious_wakeups() {
+        // A wakeup storm that never delivers data must not extend the
+        // deadline. Notify the pipe's wake list directly every 15 ms —
+        // each gap is far below the 80 ms timeout, so a re-arming
+        // (deadline-relative) wait would never expire.
+        let pipe = Arc::new(Pipe::default());
+        let timeout = Duration::from_millis(80);
+        let storm = {
+            let pipe = pipe.clone();
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    std::thread::sleep(Duration::from_millis(15));
+                    pipe.wakers().notify(Readiness::READABLE);
+                }
+            })
+        };
+        let started = Instant::now();
+        let mut buf = [0u8; 8];
+        let got = pipe.read(&mut buf, usize::MAX, timeout);
+        let elapsed = started.elapsed();
+        storm.join().unwrap();
+        assert_eq!(got, Err(NetError::Timeout(timeout)));
+        assert!(
+            elapsed < Duration::from_millis(1000),
+            "reader must time out near the absolute deadline, took {elapsed:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Hashed hierarchical timer wheel.
+//!
+//! The wheel multiplexes every pending deadline of a [`crate::Reactor`]
+//! into one structure: four levels of 64 slots each, where level `l`
+//! spans `64^(l+1)` ticks. Inserting, cancelling and firing are all O(1)
+//! amortized — the cost that matters when a load harness keeps one
+//! response deadline per connection across 100 000 connections, where a
+//! per-connection parked thread (the old `BLOCK_TIMEOUT` model) would
+//! need 100 000 stacks.
+//!
+//! The wheel is a pure data structure over **tick counts** — it never
+//! reads a clock. Callers (the reactor, the unit tests) convert wall
+//! time to ticks and drive [`TimerWheel::advance_to`]; determinism falls
+//! out for free, which is what lets the timer tests assert exact firing
+//! ticks and the chaos suite replay runs bit-identically.
+//!
+//! Expiry order is fully deterministic: entries fire sorted by
+//! `(deadline, insertion sequence)`, and an entry scheduled for tick `T`
+//! fires on the first `advance_to(now)` with `now >= T` — never earlier,
+//! and never more than one whole tick late relative to the requested
+//! deadline (the resolution guarantee pinned by
+//! `tests/timer_wheel.rs`).
+
+use std::collections::{BinaryHeap, HashSet};
+
+/// Slots per wheel level (64 keeps slot indexing a shift+mask).
+const SLOTS: usize = 64;
+/// Bits of tick index consumed per level.
+const LEVEL_BITS: u32 = 6;
+/// Number of hierarchical levels; spans `64^4 ≈ 16.7M` ticks.
+const LEVELS: usize = 4;
+
+/// Cancellation/identity handle for one scheduled deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerKey(u64);
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: u64,
+    deadline: u64,
+    value: T,
+}
+
+/// A hashed, hierarchical timer wheel carrying one payload per deadline.
+///
+/// See the module docs for the determinism contract.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    now: u64,
+    next_key: u64,
+    /// `levels[l][slot]` holds entries whose deadline hashes there.
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+    /// Entries past the highest level's span.
+    overflow: Vec<Entry<T>>,
+    /// Entries already due when inserted; fire on the next advance.
+    due: Vec<Entry<T>>,
+    /// Keys still pending (not fired, not cancelled).
+    live: HashSet<u64>,
+    /// Min-heap hint of `(deadline, key)` for [`TimerWheel::next_deadline`];
+    /// stale entries (fired/cancelled keys) are skipped lazily.
+    horizon: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel positioned at tick 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            now: 0,
+            next_key: 0,
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+            due: Vec::new(),
+            live: HashSet::new(),
+            horizon: BinaryHeap::new(),
+        }
+    }
+
+    /// Current wheel position in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending (unfired, uncancelled) deadlines.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no deadlines are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedules `value` to fire at absolute tick `deadline` (clamped to
+    /// the current tick if already past: it then fires on the next
+    /// [`TimerWheel::advance_to`], even one that does not move time).
+    pub fn insert(&mut self, deadline: u64, value: T) -> TimerKey {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.live.insert(key);
+        self.horizon
+            .push(std::cmp::Reverse((deadline.max(self.now), key)));
+        let entry = Entry {
+            key,
+            deadline,
+            value,
+        };
+        self.place(entry);
+        TimerKey(key)
+    }
+
+    /// Cancels a pending deadline. Returns `true` if it was still
+    /// pending (its payload will never fire), `false` if it already
+    /// fired or was cancelled before.
+    pub fn cancel(&mut self, key: TimerKey) -> bool {
+        self.live.remove(&key.0)
+    }
+
+    /// Earliest pending deadline in ticks, if any (used by the reactor
+    /// to bound its park time).
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        while let Some(&std::cmp::Reverse((deadline, key))) = self.horizon.peek() {
+            if self.live.contains(&key) {
+                return Some(deadline);
+            }
+            self.horizon.pop();
+        }
+        None
+    }
+
+    /// Advances the wheel to absolute tick `target`, returning every
+    /// payload whose deadline is now due, sorted by
+    /// `(deadline, insertion order)`. Entries inserted at-or-before the
+    /// current tick fire even when `target == now()`.
+    pub fn advance_to(&mut self, target: u64) -> Vec<(TimerKey, T)> {
+        let mut fired: Vec<Entry<T>> = Vec::new();
+        fired.append(&mut self.due);
+        while self.now < target {
+            self.now += 1;
+            let slot = (self.now & (SLOTS as u64 - 1)) as usize;
+            fired.append(&mut self.levels[0][slot]);
+            // When a level wraps to slot 0, cascade the next level's
+            // current slot down (re-placing picks the right level).
+            let mut level = 1;
+            let mut shifted = self.now >> LEVEL_BITS;
+            while level < LEVELS && (self.now & level_mask(level as u32)) == 0 {
+                let upper_slot = (shifted & (SLOTS as u64 - 1)) as usize;
+                let entries = std::mem::take(&mut self.levels[level][upper_slot]);
+                for entry in entries {
+                    if entry.deadline <= self.now {
+                        fired.push(entry);
+                    } else {
+                        self.place(entry);
+                    }
+                }
+                shifted >>= LEVEL_BITS;
+                level += 1;
+            }
+            // Overflow entries re-enter the wheel once their deadline
+            // falls inside the top level's span.
+            if (self.now & level_mask(LEVELS as u32)) == 0 {
+                let entries = std::mem::take(&mut self.overflow);
+                for entry in entries {
+                    self.place(entry);
+                }
+            }
+        }
+        fired.retain(|e| self.live.remove(&e.key));
+        fired.sort_by_key(|e| (e.deadline, e.key));
+        fired
+            .into_iter()
+            .map(|e| (TimerKey(e.key), e.value))
+            .collect()
+    }
+
+    /// Files an entry into the level whose span covers its remaining
+    /// time (or `due`/`overflow` at the extremes).
+    fn place(&mut self, entry: Entry<T>) {
+        let delta = entry.deadline.saturating_sub(self.now);
+        if delta == 0 {
+            self.due.push(entry);
+            return;
+        }
+        for level in 0..LEVELS {
+            if delta < span(level as u32 + 1) {
+                let slot =
+                    ((entry.deadline >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+                self.levels[level][slot].push(entry);
+                return;
+            }
+        }
+        self.overflow.push(entry);
+    }
+}
+
+/// Ticks spanned by `levels` wheel levels: `64^levels`.
+fn span(levels: u32) -> u64 {
+    1u64 << (LEVEL_BITS * levels)
+}
+
+/// Mask that is zero exactly when the given level wraps.
+fn level_mask(level: u32) -> u64 {
+    span(level) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_exact_tick() {
+        let mut w = TimerWheel::new();
+        w.insert(5, "a");
+        assert!(w.advance_to(4).is_empty());
+        let fired = w.advance_to(5);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1, "a");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn immediate_deadline_fires_without_time_moving() {
+        let mut w = TimerWheel::new();
+        w.advance_to(10);
+        w.insert(3, "late");
+        let fired = w.advance_to(10);
+        assert_eq!(fired.len(), 1, "past deadline fires on next advance");
+    }
+
+    #[test]
+    fn cascade_across_levels() {
+        let mut w = TimerWheel::new();
+        // Deadlines beyond level 0 (>=64), level 1 (>=4096), level 2.
+        w.insert(70, 0u32);
+        w.insert(5000, 1);
+        w.insert(300_000, 2);
+        assert_eq!(w.advance_to(69).len(), 0);
+        assert_eq!(w.advance_to(70), vec![(TimerKey(0), 0)]);
+        assert_eq!(w.advance_to(4999).len(), 0);
+        assert_eq!(w.advance_to(5000), vec![(TimerKey(1), 1)]);
+        assert_eq!(w.advance_to(299_999).len(), 0);
+        assert_eq!(w.advance_to(300_000), vec![(TimerKey(2), 2)]);
+    }
+
+    #[test]
+    fn cancel_suppresses_fire() {
+        let mut w = TimerWheel::new();
+        let k = w.insert(10, "x");
+        assert!(w.cancel(k));
+        assert!(!w.cancel(k), "double cancel is false");
+        assert!(w.advance_to(20).is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn next_deadline_tracks_minimum() {
+        let mut w = TimerWheel::new();
+        let k = w.insert(8, ());
+        w.insert(20, ());
+        assert_eq!(w.next_deadline(), Some(8));
+        w.cancel(k);
+        assert_eq!(w.next_deadline(), Some(20));
+    }
+}

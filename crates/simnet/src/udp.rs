@@ -8,20 +8,21 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::addr::NodeAddr;
 use crate::error::NetError;
 use crate::fault::spin_ns;
 use crate::metrics::NetMetrics;
 use crate::net::FaultsShared;
+use crate::reactor::{Reactor, Readiness, SyncWaiter, Token, WakeList};
 
 #[derive(Debug, Default)]
 pub(crate) struct Mailbox {
     state: Mutex<MailboxState>,
-    readable: Condvar,
+    wakers: WakeList,
 }
 
 #[derive(Debug, Default)]
@@ -38,28 +39,66 @@ impl Mailbox {
         }
         st.queue.push_back((from, datagram));
         drop(st);
-        self.readable.notify_all();
+        self.wakers.notify(Readiness::READABLE);
     }
 
-    fn receive(&self, out: &mut [u8], timeout: Duration) -> Result<(usize, NodeAddr), NetError> {
+    /// Non-blocking receive; [`NetError::WouldBlock`] when the queue is
+    /// empty but the socket is still open.
+    fn try_receive(&self, out: &mut [u8]) -> Result<(usize, NodeAddr), NetError> {
         let mut st = self.state.lock();
-        while st.queue.is_empty() {
+        let Some((from, datagram)) = st.queue.pop_front() else {
             if st.closed {
                 return Err(NetError::Closed);
             }
-            if self.readable.wait_for(&mut st, timeout).timed_out() {
-                return Err(NetError::Timeout(timeout));
-            }
-        }
-        let (from, datagram) = st.queue.pop_front().expect("queue length checked");
+            return Err(NetError::WouldBlock);
+        };
         let n = out.len().min(datagram.len()); // truncation: excess is lost
         out[..n].copy_from_slice(&datagram[..n]);
         Ok((n, from))
     }
 
+    /// Blocking shim over [`Mailbox::try_receive`]: a deadline-absolute
+    /// wait on the same wake list the reactor uses.
+    fn receive(&self, out: &mut [u8], timeout: Duration) -> Result<(usize, NodeAddr), NetError> {
+        match self.try_receive(out) {
+            Err(NetError::WouldBlock) => {}
+            other => return other,
+        }
+        let deadline = Instant::now() + timeout;
+        let waiter = Arc::new(SyncWaiter::default());
+        let id = self.wakers.register(waiter.clone());
+        let result = loop {
+            match self.try_receive(out) {
+                Err(NetError::WouldBlock) => {}
+                other => break other,
+            }
+            if !waiter.wait_until(deadline) {
+                break Err(NetError::Timeout(timeout));
+            }
+        };
+        self.wakers.deregister(id);
+        result
+    }
+
     fn close(&self) {
         self.state.lock().closed = true;
-        self.readable.notify_all();
+        self.wakers.notify(Readiness::READABLE | Readiness::CLOSED);
+    }
+
+    fn readiness(&self) -> Readiness {
+        let st = self.state.lock();
+        let mut r = Readiness::EMPTY;
+        if !st.queue.is_empty() {
+            r = r | Readiness::READABLE;
+        }
+        if st.closed {
+            r = r | Readiness::READABLE | Readiness::CLOSED;
+        }
+        r
+    }
+
+    fn wakers(&self) -> &WakeList {
+        &self.wakers
     }
 }
 
@@ -141,6 +180,29 @@ impl UdpEndpoint {
         self.inner
             .mailbox
             .receive(buf, self.inner.faults.block_timeout())
+    }
+
+    /// Non-blocking receive; same truncation semantics as
+    /// [`UdpEndpoint::receive`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::WouldBlock`] if no datagram is queued (register with
+    /// a [`Reactor`] to learn when to retry), [`NetError::Closed`] if
+    /// the socket was closed.
+    pub fn try_receive(&self, buf: &mut [u8]) -> Result<(usize, NodeAddr), NetError> {
+        self.inner.mailbox.try_receive(buf)
+    }
+
+    /// Registers this socket with a reactor: `token` becomes readable
+    /// whenever a datagram is queued. If one is already waiting the
+    /// token is queued immediately.
+    pub fn register_readable(&self, reactor: &Reactor, token: Token) {
+        reactor.attach(
+            self.inner.mailbox.wakers(),
+            self.inner.mailbox.readiness(),
+            token,
+        );
     }
 
     /// Closes the socket and unbinds the address.
@@ -235,6 +297,19 @@ mod tests {
         let mut buf = [0u8; 16];
         let (n, _) = b.receive(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"through");
+    }
+
+    #[test]
+    fn try_receive_would_block_until_delivery() {
+        let (a, b) = two();
+        let mut buf = [0u8; 8];
+        assert_eq!(b.try_receive(&mut buf), Err(NetError::WouldBlock));
+        a.send_to(b.local_addr(), b"dgram");
+        let (n, from) = b.try_receive(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"dgram");
+        assert_eq!(from, a.local_addr());
+        b.close();
+        assert_eq!(b.try_receive(&mut buf), Err(NetError::Closed));
     }
 
     #[test]

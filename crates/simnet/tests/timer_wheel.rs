@@ -1,0 +1,183 @@
+//! Timer-wheel and reactor-deadline integration tests: cascading across
+//! every wheel level (including the overflow list), cancellation in all
+//! lifecycle positions, zero/duplicate deadlines, deterministic
+//! deadline ordering under bulk insert, and the one-tick accuracy of
+//! [`dista_simnet::NetError::Timeout`]-style deadlines when driven
+//! through a live [`Reactor`].
+
+use std::time::{Duration, Instant};
+
+use dista_simnet::{
+    FaultConfig, NetError, NodeAddr, Reactor, Readiness, SimNet, TimerWheel, Token,
+};
+
+/// 64 slots, 6 bits per level: the spans the wheel's levels cover.
+const L0: u64 = 64;
+const L1: u64 = 64 * 64;
+const L2: u64 = 64 * 64 * 64;
+const L3: u64 = 64 * 64 * 64 * 64;
+
+#[test]
+fn cascade_reaches_every_level_and_overflow() {
+    let mut w = TimerWheel::new();
+    let deadlines = [
+        3,          // level 0
+        L0 + 9,     // level 1
+        L1 + 17,    // level 2
+        L2 + 33,    // level 3
+        L3 + 1_000, // overflow list, re-enters at the top-level wrap
+    ];
+    for (i, &d) in deadlines.iter().enumerate() {
+        w.insert(d, i);
+    }
+    for &d in &deadlines {
+        assert!(
+            w.advance_to(d - 1).is_empty(),
+            "nothing may fire before tick {d}"
+        );
+        let fired = w.advance_to(d);
+        assert_eq!(fired.len(), 1, "exactly the tick-{d} entry fires");
+    }
+    assert!(w.is_empty());
+}
+
+#[test]
+fn cancellation_works_in_every_lifecycle_position() {
+    let mut w = TimerWheel::new();
+    let early = w.insert(5, "early");
+    let parked_high = w.insert(L1 + 50, "parked-high");
+    let survivor = w.insert(40, "survivor");
+
+    assert!(w.cancel(early), "cancel before any advance");
+    w.advance_to(10);
+    assert!(
+        w.cancel(parked_high),
+        "cancel an entry still parked in an upper level"
+    );
+    let fired = w.advance_to(L1 + 100);
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].0, survivor);
+    assert_eq!(fired[0].1, "survivor");
+    assert!(
+        !w.cancel(fired[0].0),
+        "cancelling a fired key reports false"
+    );
+    assert!(w.is_empty());
+}
+
+#[test]
+fn zero_and_past_deadlines_fire_without_time_moving() {
+    let mut w = TimerWheel::new();
+    w.insert(0, "at-zero");
+    let fired = w.advance_to(0);
+    assert_eq!(fired.len(), 1, "tick-0 deadline fires at tick 0");
+
+    w.advance_to(100);
+    w.insert(30, "already-past");
+    w.insert(100, "due-now");
+    let fired = w.advance_to(100);
+    assert_eq!(fired.len(), 2, "past + present deadlines fire immediately");
+    assert_eq!(fired[0].1, "already-past", "older deadline first");
+}
+
+#[test]
+fn duplicate_deadlines_fire_together_in_insertion_order() {
+    let mut w = TimerWheel::new();
+    for i in 0..10 {
+        w.insert(25, i);
+    }
+    assert!(w.advance_to(24).is_empty());
+    let fired = w.advance_to(25);
+    assert_eq!(fired.len(), 10);
+    let values: Vec<i32> = fired.iter().map(|&(_, v)| v).collect();
+    assert_eq!(values, (0..10).collect::<Vec<_>>(), "insertion order kept");
+}
+
+#[test]
+fn bulk_insert_fires_in_deadline_order() {
+    // A deterministic LCG scatters 2000 deadlines over all levels; the
+    // observed firing sequence must be globally sorted by deadline (ties
+    // by insertion), with nothing lost and nothing early.
+    let mut w = TimerWheel::new();
+    let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut expected: Vec<(u64, usize)> = Vec::new();
+    for i in 0..2000usize {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let deadline = state % (L2 * 2);
+        w.insert(deadline, i);
+        expected.push((deadline, i));
+    }
+    expected.sort();
+
+    let mut observed: Vec<(u64, usize)> = Vec::new();
+    let mut now = 0;
+    while !w.is_empty() {
+        now += 997; // advance in coarse, non-aligned steps
+        for (_, idx) in w.advance_to(now) {
+            let deadline = expected.iter().find(|&&(_, i)| i == idx).unwrap().0;
+            assert!(deadline <= now, "entry {idx} fired before its deadline");
+            observed.push((deadline, idx));
+        }
+    }
+    assert_eq!(observed, expected, "global (deadline, insertion) order");
+}
+
+#[test]
+fn next_deadline_survives_cancellations_under_load() {
+    let mut w = TimerWheel::new();
+    let keys: Vec<_> = (1..=100u64).map(|d| w.insert(d * 10, d)).collect();
+    for k in keys.iter().take(99) {
+        w.cancel(*k);
+    }
+    assert_eq!(w.next_deadline(), Some(1000), "heap skips cancelled keys");
+    assert_eq!(w.len(), 1);
+}
+
+#[test]
+fn reactor_timer_fires_within_one_tick_of_the_deadline() {
+    // Coarse 20 ms ticks make the one-tick bound measurable on a busy
+    // CI machine: a 30 ms request rounds up to the 40 ms tick boundary,
+    // so the event must land in [30 ms, 40 ms + slop] and NEVER early.
+    let tick = Duration::from_millis(20);
+    let requested = Duration::from_millis(30);
+    let reactor = Reactor::with_tick(tick);
+    let handle = reactor.set_timer(Token(9), requested);
+    let started = Instant::now();
+    let mut events = Vec::new();
+    let n = reactor.poll(&mut events, Some(Duration::from_secs(5)));
+    let elapsed = started.elapsed();
+    assert_eq!(n, 1);
+    assert_eq!(events[0].token, Token(9));
+    assert!(events[0].readiness.contains(Readiness::TIMER));
+    assert!(
+        elapsed >= requested,
+        "timer fired {elapsed:?} in, before the {requested:?} deadline"
+    );
+    assert!(
+        elapsed <= requested + tick + Duration::from_millis(500),
+        "timer fired {elapsed:?} in, more than one tick (+sched slop) late"
+    );
+    assert!(!reactor.cancel_timer(handle), "already fired");
+}
+
+#[test]
+fn blocking_timeout_is_never_early() {
+    // The blocking shim's NetError::Timeout rides the same absolute
+    // deadline: it must not fire before the requested duration.
+    let timeout = Duration::from_millis(40);
+    let net = SimNet::with_faults(FaultConfig {
+        block_timeout: timeout,
+        ..Default::default()
+    });
+    let addr = NodeAddr::new([10, 0, 0, 1], 710);
+    let listener = net.tcp_listen(addr).unwrap();
+    let client = net.tcp_connect(addr).unwrap();
+    let served = listener.accept().unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 8];
+    assert_eq!(served.read(&mut buf), Err(NetError::Timeout(timeout)));
+    assert!(started.elapsed() >= timeout, "timeout fired early");
+    drop(client);
+}

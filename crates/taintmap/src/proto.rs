@@ -63,34 +63,51 @@ pub(crate) fn read_frame(conn: &TcpEndpoint) -> Result<Option<(u8, Vec<u8>)>, Ta
     Ok(Some((op, payload)))
 }
 
-/// Like [`read_frame`], but every blocking read is bounded by `deadline`
-/// instead of the net-wide block timeout — the client's per-RPC
-/// deadline.
+/// Like [`read_frame`], but the *whole frame* is bounded by `deadline` —
+/// the client's per-RPC deadline. The deadline is absolute: each
+/// successive read is given only the remaining budget, so a slow-drip
+/// peer (one byte per read, each gap under the full deadline) cannot
+/// re-arm the timer indefinitely. On expiry the typed error carries the
+/// originally requested deadline.
 pub(crate) fn read_frame_deadline(
     conn: &TcpEndpoint,
     deadline: std::time::Duration,
 ) -> Result<Option<(u8, Vec<u8>)>, TaintMapError> {
+    let expires = std::time::Instant::now() + deadline;
     let mut header = [0u8; 5];
     let n = conn.read_deadline(&mut header[..1], deadline)?;
     if n == 0 {
         return Ok(None);
     }
-    read_exact_deadline(conn, &mut header[1..], deadline)?;
+    read_exact_until(conn, &mut header[1..], expires, deadline)?;
     let op = header[0];
     let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
     let mut payload = vec![0u8; len];
-    read_exact_deadline(conn, &mut payload, deadline)?;
+    read_exact_until(conn, &mut payload, expires, deadline)?;
     Ok(Some((op, payload)))
 }
 
-fn read_exact_deadline(
+/// `read_exact` against an absolute expiry; `requested` is only what the
+/// typed [`NetError::Timeout`] reports on expiry.
+fn read_exact_until(
     conn: &TcpEndpoint,
     buf: &mut [u8],
-    deadline: std::time::Duration,
+    expires: std::time::Instant,
+    requested: std::time::Duration,
 ) -> Result<(), NetError> {
     let mut filled = 0;
     while filled < buf.len() {
-        let n = conn.read_deadline(&mut buf[filled..], deadline)?;
+        let remaining = expires
+            .checked_duration_since(std::time::Instant::now())
+            .filter(|r| !r.is_zero())
+            .ok_or(NetError::Timeout(requested))?;
+        let n = match conn.read_deadline(&mut buf[filled..], remaining) {
+            Ok(n) => n,
+            // Normalize so callers see the deadline they asked for, not
+            // whatever sliver of budget the final read was given.
+            Err(NetError::Timeout(_)) => return Err(NetError::Timeout(requested)),
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             return Err(NetError::Closed);
         }
@@ -225,6 +242,40 @@ mod tests {
         let c = net.tcp_connect(addr).unwrap();
         let s = l.accept().unwrap();
         (c, s)
+    }
+
+    #[test]
+    fn slow_drip_sender_still_times_out() {
+        // Regression: the frame deadline used to re-arm in full on every
+        // read, so a peer dripping one byte per 15 ms could stall a
+        // 60 ms-deadline reader forever. The deadline is now absolute
+        // over the whole frame.
+        let (c, s) = pair();
+        let deadline = std::time::Duration::from_millis(60);
+        let reader = std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            let got = read_frame_deadline(&s, deadline);
+            (got, started.elapsed())
+        });
+        // Announce a 64-byte frame, then drip it far too slowly: every
+        // inter-byte gap is below the deadline, but the total is not.
+        c.write(&[OP_REGISTER]).unwrap();
+        c.write(&64u32.to_be_bytes()).unwrap();
+        for b in 0..20u8 {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            if c.write(&[b]).is_err() {
+                break;
+            }
+        }
+        let (got, elapsed) = reader.join().unwrap();
+        match got {
+            Err(TaintMapError::Net(NetError::Timeout(t))) => assert_eq!(t, deadline),
+            other => panic!("expected frame-deadline timeout, got {other:?}"),
+        }
+        assert!(
+            elapsed < std::time::Duration::from_millis(1000),
+            "reader must give up near the absolute deadline, took {elapsed:?}"
+        );
     }
 
     #[test]
