@@ -11,8 +11,8 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
-echo "==> cargo doc -p dista-obs -p dista-taintmap -p dista-core -p dista-simnet --no-deps (warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc -p dista-obs -p dista-taintmap -p dista-core -p dista-simnet --no-deps --offline
+echo "==> cargo doc -p dista-obs -p dista-taintmap -p dista-core -p dista-simnet -p dista-jre -p dista-netty --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc -p dista-obs -p dista-taintmap -p dista-core -p dista-simnet -p dista-jre -p dista-netty --no-deps --offline
 
 echo "==> cargo test -q"
 cargo test -q --offline
@@ -44,6 +44,15 @@ cargo run -p dista-bench --bin claim_net_overhead --release --offline -- --chaos
 echo "==> boundary_codec --smoke (wire bytes bit-identical to reference codec)"
 cargo run -p dista-bench --bin boundary_codec --release --offline -- --smoke
 
+echo "==> boundary_codec --wire-v2 (v2 <=1.2x expansion at 1% taint, >=2x retained throughput)"
+rm -f BENCH_wire_v2.json
+cargo run -p dista-bench --bin boundary_codec --release --offline -- \
+    --wire-v2 --out BENCH_wire_v2.json
+test -s BENCH_wire_v2.json
+grep -q '"expansion_ok": true' BENCH_wire_v2.json
+grep -q '"throughput_ok": true' BENCH_wire_v2.json
+rm -f BENCH_wire_v2.json
+
 echo "==> cluster_load --smoke (>=10k concurrent connections, p99 gate)"
 rm -f BENCH_cluster_load_smoke.json
 cargo run -p dista-bench --bin cluster_load --release --offline -- \
@@ -55,5 +64,13 @@ if grep -q '"throughput_crossings_per_sec": 0.0' BENCH_cluster_load_smoke.json; 
     exit 1
 fi
 rm -f BENCH_cluster_load_smoke.json
+
+echo "==> cluster_load --smoke --wire v2 (adaptive v2 frames at load)"
+rm -f BENCH_cluster_load_v2.json
+cargo run -p dista-bench --bin cluster_load --release --offline -- \
+    --smoke --wire v2 --gate-p99-us 2000000 --out BENCH_cluster_load_v2.json
+test -s BENCH_cluster_load_v2.json
+grep -q '"wire_protocol": "v2"' BENCH_cluster_load_v2.json
+rm -f BENCH_cluster_load_v2.json
 
 echo "CI OK"

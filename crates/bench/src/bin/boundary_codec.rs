@@ -12,6 +12,12 @@
 //! * `--smoke` — conformance gate only (fast/reference bit-identity over
 //!   a battery of layouts and widths, plus one 1 MiB case); no timing.
 //!   This is what CI runs.
+//! * `--wire-v2` — conformance gate, then the adaptive-protocol sweep: a
+//!   1 MiB payload with 1% of its bytes tainted is pushed through both
+//!   `V1Codec` and `V2Codec` via the `WireCodec` trait. **Exits
+//!   non-zero** (under `--release`) unless v2 expands the wire by ≤1.2×
+//!   and retains ≥2× the v1 combined encode+decode throughput. Results
+//!   land in `BENCH_wire_v2.json` (override with `--out PATH`).
 //! * default — conformance gate, then measured throughput. **Exits
 //!   non-zero** unless the fast path shows ≥2× combined encode+decode
 //!   throughput on both 1 MiB payload shapes (run under `--release`;
@@ -20,7 +26,9 @@
 use std::time::Instant;
 
 use dista_bench::table::Table;
-use dista_jre::codec::{self, reference, WireRun, MAX_GID_WIDTH};
+use dista_jre::codec::{v1, v1::reference, WireRun, MAX_GID_WIDTH};
+use dista_jre::{V1Codec, V2Codec, WireCodec};
+use dista_taint::GlobalId;
 
 const MIB: usize = 1024 * 1024;
 
@@ -84,7 +92,7 @@ fn shapes(size: usize, width: usize) -> Vec<Shape> {
 /// layout. Returns an error description on any deviation.
 fn conformance(shape: &Shape, width: usize) -> Result<(), String> {
     let mut fast = Vec::new();
-    codec::encode_wire_into(&shape.data, &shape.runs, width, &mut fast);
+    v1::encode_wire_into(&shape.data, &shape.runs, width, &mut fast);
     let refr = reference::encode_wire(&shape.data, &shape.runs, width);
     if fast != refr {
         let at = fast
@@ -98,7 +106,7 @@ fn conformance(shape: &Shape, width: usize) -> Result<(), String> {
         ));
     }
     let (mut fd, mut fr) = (Vec::new(), Vec::new());
-    codec::decode_wire_into(&fast, width, &mut fd, &mut fr)
+    v1::decode_wire_into(&fast, width, &mut fd, &mut fr)
         .map_err(|e| format!("{} w{width}: fast decode failed: {e}", shape.name))?;
     let (rd, rr) = reference::decode_wire(&refr, width)
         .map_err(|e| format!("{} w{width}: reference decode failed: {e}", shape.name))?;
@@ -157,14 +165,165 @@ fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// A 1 MiB payload with 1% of its bytes tainted: short 64-byte tainted
+/// runs spread evenly through otherwise-clean data — the shape the
+/// adaptive v2 framing is designed for (paper workloads are mostly
+/// clean bytes with small tainted islands).
+fn one_percent_tainted(size: usize) -> (Vec<u8>, Vec<(usize, GlobalId)>) {
+    const RUN: usize = 64;
+    const PERIOD: usize = RUN * 100; // 1% of bytes land in tainted runs
+    let data = lcg_bytes(size, 13);
+    let mut runs = Vec::new();
+    let mut covered = 0;
+    let mut gid = 40u32;
+    while covered < size {
+        let clean = (PERIOD - RUN).min(size - covered);
+        if clean > 0 {
+            runs.push((clean, GlobalId::UNTAINTED));
+            covered += clean;
+        }
+        let tainted = RUN.min(size - covered);
+        if tainted > 0 {
+            runs.push((tainted, GlobalId(gid)));
+            covered += tainted;
+            gid += 1;
+        }
+    }
+    (data, runs)
+}
+
+/// One codec's combined encode+decode seconds (best of `iters`) and its
+/// wire size for the given payload, via the versioned `WireCodec` trait.
+fn measure_codec(
+    codec: &dyn WireCodec,
+    data: &[u8],
+    runs: &[(usize, GlobalId)],
+    iters: usize,
+) -> (f64, usize) {
+    let mut wire = Vec::new();
+    codec.encode_into(data, runs, &mut wire).expect("encode");
+    let wire_len = wire.len();
+    let enc = time_best(iters, || {
+        let mut out = Vec::new();
+        codec.encode_into(data, runs, &mut out).expect("encode");
+        std::hint::black_box(&out);
+    });
+    let dec = time_best(iters, || {
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        let consumed = codec
+            .decode_available(&wire, data.len(), &mut d, &mut r)
+            .expect("decode");
+        assert_eq!(consumed, wire.len(), "one pass must drain the wire");
+        std::hint::black_box((&d, &r));
+    });
+    (enc + dec, wire_len)
+}
+
+/// The adaptive-protocol sweep behind the `--wire-v2` flag: v2 vs v1 on
+/// the 1%-tainted 1 MiB workload, gates checked and results written as
+/// JSON for ci.sh to grep.
+fn wire_v2_sweep(out_path: &str) -> bool {
+    const WIDTH: usize = 4;
+    const ITERS: usize = 5;
+    const EXPANSION_GATE: f64 = 1.2;
+    const THROUGHPUT_GATE: f64 = 2.0;
+
+    let (data, runs) = one_percent_tainted(MIB);
+    // Cross-check first: both protocols must deliver identical payloads
+    // before any of the timing means anything.
+    let mut per_proto = Vec::new();
+    for codec in [&V1Codec::new(WIDTH) as &dyn WireCodec, &V2Codec::new(WIDTH)] {
+        let mut wire = Vec::new();
+        codec.encode_into(&data, &runs, &mut wire).expect("encode");
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        codec
+            .decode_available(&wire, data.len(), &mut d, &mut r)
+            .expect("decode");
+        per_proto.push((d, r));
+    }
+    if per_proto[0] != per_proto[1] {
+        println!("FAIL: v1 and v2 deliver different payloads on the sweep workload");
+        return false;
+    }
+
+    let (v1_secs, v1_wire) = measure_codec(&V1Codec::new(WIDTH), &data, &runs, ITERS);
+    let (v2_secs, v2_wire) = measure_codec(&V2Codec::new(WIDTH), &data, &runs, ITERS);
+    let expansion = v2_wire as f64 / data.len() as f64;
+    let speedup = v1_secs / v2_secs;
+    let mib_s = |secs: f64| (data.len() as f64 / secs) / MIB as f64;
+
+    let mut table = Table::new(&["Protocol", "Wire bytes", "Expansion", "Enc+dec"]);
+    for (name, wire, secs) in [("v1", v1_wire, v1_secs), ("v2", v2_wire, v2_secs)] {
+        table.row(vec![
+            name.to_string(),
+            wire.to_string(),
+            format!("{:.3}x", wire as f64 / data.len() as f64),
+            format!("{:8.1} MiB/s", mib_s(secs)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n1 MiB payload, 1% tainted, gid width {WIDTH}, best of {ITERS} runs: \
+         v2 expansion {expansion:.3}x (gate <= {EXPANSION_GATE}x), \
+         v2 retains {speedup:.2}x v1 combined throughput (gate >= {THROUGHPUT_GATE}x)"
+    );
+
+    let expansion_ok = expansion <= EXPANSION_GATE;
+    let throughput_ok = speedup >= THROUGHPUT_GATE;
+    let json = format!(
+        "{{\n  \"bench\": \"boundary_codec_wire_v2\",\n  \"payload_bytes\": {},\n  \
+         \"tainted_fraction\": 0.01,\n  \"gid_width\": {WIDTH},\n  \
+         \"v1_wire_bytes\": {v1_wire},\n  \"v2_wire_bytes\": {v2_wire},\n  \
+         \"v2_expansion\": {expansion:.4},\n  \"expansion_gate\": {EXPANSION_GATE},\n  \
+         \"expansion_ok\": {expansion_ok},\n  \
+         \"v1_enc_dec_mib_s\": {:.1},\n  \"v2_enc_dec_mib_s\": {:.1},\n  \
+         \"v2_throughput_retention\": {speedup:.2},\n  \"throughput_gate\": {THROUGHPUT_GATE},\n  \
+         \"throughput_ok\": {throughput_ok}\n}}\n",
+        data.len(),
+        mib_s(v1_secs),
+        mib_s(v2_secs),
+    );
+    if let Err(e) = std::fs::write(out_path, json) {
+        println!("FAIL: cannot write {out_path}: {e}");
+        return false;
+    }
+    println!("wrote {out_path}");
+
+    if expansion_ok && throughput_ok {
+        println!("OK: v2 within the 1.2x expansion and 2x retained-throughput gates");
+        true
+    } else if !expansion_ok {
+        println!("FAIL: v2 expansion {expansion:.3}x exceeds the {EXPANSION_GATE}x gate");
+        false
+    } else if cfg!(debug_assertions) {
+        println!("WARN: <{THROUGHPUT_GATE}x in an unoptimized build — rerun with --release");
+        true
+    } else {
+        println!("FAIL: v2 throughput retention {speedup:.2}x below the {THROUGHPUT_GATE}x gate");
+        false
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let wire_v2 = args.iter().any(|a| a == "--wire-v2");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_wire_v2.json", String::as_str);
     println!("boundary codec — zero-copy fast path vs per-byte reference\n");
     if !conformance_gate() {
         std::process::exit(1);
     }
     if smoke {
+        return;
+    }
+    if wire_v2 {
+        if !wire_v2_sweep(out_path) {
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -179,7 +338,7 @@ fn main() {
             std::hint::black_box(reference::encode_wire(&shape.data, &shape.runs, WIDTH));
         });
         let enc_fast = time_best(ITERS, || {
-            codec::encode_wire_into(&shape.data, &shape.runs, WIDTH, &mut out);
+            v1::encode_wire_into(&shape.data, &shape.runs, WIDTH, &mut out);
             std::hint::black_box(&out);
         });
         let (mut d, mut r) = (Vec::new(), Vec::new());
@@ -187,7 +346,7 @@ fn main() {
             std::hint::black_box(reference::decode_wire(&wire, WIDTH).unwrap());
         });
         let dec_fast = time_best(ITERS, || {
-            codec::decode_wire_into(&wire, WIDTH, &mut d, &mut r).unwrap();
+            v1::decode_wire_into(&wire, WIDTH, &mut d, &mut r).unwrap();
             std::hint::black_box((&d, &r));
         });
         let mib_s = |secs: f64| 1.0 / secs; // payload is exactly 1 MiB

@@ -65,11 +65,21 @@ fn observed_run(size: usize, case_idx: usize, print_metrics: bool, print_trace: 
     let mut in_band = true;
     let mut gauges_seen = 0;
     for node in ["net1", "net2"] {
-        if let Some(ratio) = dump.gauge_value("wire_expansion_ratio", &[("node", node)]) {
+        // The gauge family is labeled per protocol version; the 4.5x-5.5x
+        // record-format band applies to v1 traffic only. V2's adaptive
+        // frames sit near 1.0x by design and get their own gate in the
+        // boundary_codec --wire-v2 sweep, so a v2-carrying node must
+        // never trip this band.
+        if let Some(ratio) =
+            dump.gauge_value("wire_expansion_ratio", &[("node", node), ("proto", "v1")])
+        {
+            if ratio == 0.0 {
+                continue; // registered but no v1 traffic on this node
+            }
             gauges_seen += 1;
             let ok = ratio >= BAND.0 && ratio <= BAND.1;
             println!(
-                "wire_expansion_ratio{{node={node}}} = {ratio:.3} ({})",
+                "wire_expansion_ratio{{node={node},proto=v1}} = {ratio:.3} ({})",
                 if ok {
                     "in 4.5x-5.5x band"
                 } else {
@@ -78,10 +88,19 @@ fn observed_run(size: usize, case_idx: usize, print_metrics: bool, print_trace: 
             );
             in_band &= ok;
         }
+        if let Some(ratio) =
+            dump.gauge_value("wire_expansion_ratio", &[("node", node), ("proto", "v2")])
+        {
+            if ratio != 0.0 {
+                println!("wire_expansion_ratio{{node={node},proto=v2}} = {ratio:.3} (v1 band not applied)");
+            }
+        }
     }
     cluster.shutdown();
     if gauges_seen == 0 {
-        println!("wire_expansion_ratio gauge never set — no boundary encode happened");
+        println!(
+            "wire_expansion_ratio{{proto=v1}} gauge never set — no v1 boundary encode happened"
+        );
         return false;
     }
     in_band

@@ -16,7 +16,8 @@
 //! could never reach.
 //!
 //! Flags: `--connections N`, `--crossings N`, `--taint-fraction F`,
-//! `--payload BYTES`, `--smoke` (12k connections, CI-sized),
+//! `--payload BYTES`, `--wire v1|v2` (which `WireCodec` frames the
+//! crossings; default v1), `--smoke` (12k connections, CI-sized),
 //! `--gate-p99-us N` (exit non-zero if p99 exceeds the bound),
 //! `--out PATH`.
 
@@ -25,7 +26,7 @@ use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 use dista_core::{Cluster, Mode};
-use dista_jre::codec::{decode_wire_into, encode_wire_into, WireRun, MAX_GID_WIDTH};
+use dista_jre::{V1Codec, V2Codec, WireCodec, WireVersion};
 use dista_obs::Histogram;
 use dista_simnet::{NetError, NodeAddr, Reactor, TcpEndpoint, TcpListener, TimerHandle, Token};
 use dista_taint::{GlobalId, TagValue};
@@ -54,6 +55,15 @@ struct Config {
     gate_p99_us: Option<u64>,
     out: String,
     smoke: bool,
+    wire: WireVersion,
+}
+
+/// The stack codec for the selected wire protocol version.
+fn codec_for(wire: WireVersion) -> Box<dyn WireCodec> {
+    match wire {
+        WireVersion::V1 => Box::new(V1Codec::new(GID_WIDTH)),
+        WireVersion::V2 => Box::new(V2Codec::new(GID_WIDTH)),
+    }
 }
 
 fn parse_args() -> Config {
@@ -82,6 +92,11 @@ fn parse_args() -> Config {
         gate_p99_us: value("--gate-p99-us").and_then(|v| v.parse().ok()),
         out: value("--out").unwrap_or_else(|| "BENCH_cluster_load.json".to_string()),
         smoke,
+        wire: match value("--wire").as_deref() {
+            Some("v2") => WireVersion::V2,
+            Some("v1") | None => WireVersion::V1,
+            Some(other) => panic!("unknown --wire value {other:?}; expected v1 or v2"),
+        },
     }
 }
 
@@ -96,8 +111,13 @@ struct ServerConn {
 /// Server poller: one thread, one reactor, every accepted connection a
 /// token. Decodes each frame at the boundary and acks
 /// `[decoded_data_len][tainted_bytes]`.
-fn run_server(listener: TcpListener, expected_conns: usize) -> std::thread::JoinHandle<u64> {
+fn run_server(
+    listener: TcpListener,
+    expected_conns: usize,
+    wire_version: WireVersion,
+) -> std::thread::JoinHandle<u64> {
     std::thread::spawn(move || {
+        let codec = codec_for(wire_version);
         let reactor = Reactor::new();
         const LISTENER: Token = Token(0);
         listener.register_acceptable(&reactor, LISTENER);
@@ -160,8 +180,13 @@ fn run_server(listener: TcpListener, expected_conns: usize) -> std::thread::Join
                         break;
                     }
                     let wire = &conn.buf[consumed + 4..consumed + 4 + frame_len];
-                    decode_wire_into(wire, GID_WIDTH, &mut data, &mut runs)
+                    // The frame holds exactly one encoded payload, so a
+                    // single pass must drain it (decoded data is never
+                    // longer than its wire bytes in either protocol).
+                    let used = codec
+                        .decode_available(wire, wire.len().max(1), &mut data, &mut runs)
                         .expect("well-formed frame");
+                    assert_eq!(used, wire.len(), "frame must decode in one pass");
                     let tainted: usize = runs
                         .iter()
                         .filter(|(gid, _)| *gid != GlobalId(0))
@@ -356,11 +381,12 @@ fn run_client(
 fn main() {
     let cfg = parse_args();
     println!(
-        "cluster_load: {} connections x {} crossings, taint fraction {}, payload {} B{}",
+        "cluster_load: {} connections x {} crossings, taint fraction {}, payload {} B, wire {:?}{}",
         cfg.connections,
         cfg.crossings,
         cfg.taint_fraction,
         cfg.payload,
+        cfg.wire,
         if cfg.smoke { " (smoke)" } else { "" }
     );
 
@@ -383,12 +409,13 @@ fn main() {
         .global_id_for(taint)
         .expect("gid registration");
     let payload: Vec<u8> = (0..cfg.payload).map(|i| (i % 251) as u8).collect();
+    let codec = codec_for(cfg.wire);
     let frame_for = |gid_value: u32| {
-        let mut slot = [0u8; MAX_GID_WIDTH];
-        slot[..GID_WIDTH].copy_from_slice(&gid_value.to_be_bytes());
-        let runs: Vec<WireRun> = vec![(payload.len(), slot)];
+        let runs = [(payload.len(), GlobalId(gid_value))];
         let mut wire = Vec::new();
-        encode_wire_into(&payload, &runs, GID_WIDTH, &mut wire);
+        codec
+            .encode_into(&payload, &runs, &mut wire)
+            .expect("frame encode");
         let mut frame = Vec::with_capacity(4 + wire.len());
         frame.extend_from_slice(&(wire.len() as u32).to_be_bytes());
         frame.extend_from_slice(&wire);
@@ -401,7 +428,7 @@ fn main() {
         .net()
         .registry()
         .histogram("cluster_load_latency_us", LATENCY_BOUNDS_US);
-    let server = run_server(listener, cfg.connections);
+    let server = run_server(listener, cfg.connections, cfg.wire);
     let stats = run_client(
         &cluster,
         &cfg,
@@ -432,6 +459,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"{}\",\n",
+            "  \"wire_protocol\": \"{}\",\n",
             "  \"smoke\": {},\n",
             "  \"connections\": {},\n",
             "  \"peak_concurrent\": {},\n",
@@ -448,6 +476,10 @@ fn main() {
             "}}\n"
         ),
         "cluster_load",
+        match cfg.wire {
+            WireVersion::V1 => "v1",
+            WireVersion::V2 => "v2",
+        },
         cfg.smoke,
         cfg.connections,
         stats.peak_concurrent,

@@ -1,6 +1,6 @@
 //! Cluster construction: one network, a Taint Map deployment, N VMs.
 
-use dista_jre::{Mode, Vm};
+use dista_jre::{Mode, Vm, WireProtocol};
 use dista_obs::{
     reconstruct, to_chrome_trace, to_jsonl, to_text_report, FlightRecorder, MetricsDump, ObsConfig,
     ObsEvent, ObsEventKind, Observability, ProvenanceTrace,
@@ -28,6 +28,8 @@ pub struct ClusterBuilder {
     nodes: Vec<(String, [u8; 4])>,
     spec: SourceSinkSpec,
     gid_width: usize,
+    wire_protocol: WireProtocol,
+    node_wire_protocols: Vec<(String, WireProtocol)>,
     taint_map_addr: Option<NodeAddr>,
     taint_map_config: Option<TaintMapConfig>,
     taint_map_shards: Option<usize>,
@@ -64,6 +66,27 @@ impl ClusterBuilder {
     /// Overrides the Global ID wire width.
     pub fn gid_width(mut self, width: usize) -> Self {
         self.gid_width = width;
+        self
+    }
+
+    /// Sets the wire-protocol policy every VM starts with (default
+    /// [`WireProtocol::V1`], the paper's interleaved record format).
+    /// [`WireProtocol::Negotiate`] upgrades each connection to v2 when
+    /// the peer speaks it and falls back to v1 otherwise, so it mixes
+    /// freely with pinned-v1 nodes. [`WireProtocol::V2`] skips the
+    /// handshake entirely and therefore only interoperates with other
+    /// pinned-v2 nodes — [`ClusterBuilder::build`] rejects mixed
+    /// pinned-v2 clusters with [`DistaError::Config`].
+    pub fn wire_protocol(mut self, protocol: WireProtocol) -> Self {
+        self.wire_protocol = protocol;
+        self
+    }
+
+    /// Overrides the wire-protocol policy for one node (by name) — e.g.
+    /// to model a partially upgraded cluster of Negotiate nodes with a
+    /// few un-upgraded pinned-v1 stragglers.
+    pub fn node_wire_protocol(mut self, name: impl Into<String>, protocol: WireProtocol) -> Self {
+        self.node_wire_protocols.push((name.into(), protocol));
         self
     }
 
@@ -195,6 +218,56 @@ impl ClusterBuilder {
                 builder
             }
         };
+        // Resolve each node's wire protocol (override or cluster-wide
+        // default) and reject combinations that cannot interoperate: a
+        // pinned-v2 VM sends no negotiation probe, so a v1 or Negotiate
+        // peer would misparse its frames as v1 records. Pinned v2 is
+        // therefore homogeneous-only; Negotiate mixes freely with v1.
+        for (name, _) in &self.node_wire_protocols {
+            if !self.nodes.iter().any(|(n, _)| n == name) {
+                return Err(DistaError::Config(format!(
+                    "node_wire_protocol names unknown node {name:?}"
+                )));
+            }
+        }
+        let mut node_protocols = Vec::with_capacity(self.nodes.len());
+        for (name, _) in &self.nodes {
+            let mut overrides = self
+                .node_wire_protocols
+                .iter()
+                .filter(|(n, _)| n == name)
+                .map(|(_, p)| *p);
+            let resolved = overrides.next().unwrap_or(self.wire_protocol);
+            if overrides.next().is_some() {
+                return Err(DistaError::Config(format!(
+                    "node_wire_protocol set more than once for node {name:?}"
+                )));
+            }
+            node_protocols.push(resolved);
+        }
+        let pinned_v2: Vec<&str> = self
+            .nodes
+            .iter()
+            .zip(&node_protocols)
+            .filter(|(_, p)| matches!(p, WireProtocol::V2))
+            .map(|((n, _), _)| n.as_str())
+            .collect();
+        let conflicts: Vec<&str> = self
+            .nodes
+            .iter()
+            .zip(&node_protocols)
+            .filter(|(_, p)| !matches!(p, WireProtocol::V2))
+            .map(|((n, _), _)| n.as_str())
+            .collect();
+        if !pinned_v2.is_empty() && !conflicts.is_empty() {
+            return Err(DistaError::Config(format!(
+                "wire_protocol conflict: pinned-v2 nodes ({}) cannot interoperate \
+                 with v1/negotiate nodes ({}): pinned v2 skips the version \
+                 handshake, so pin every node to V2 or use Negotiate",
+                pinned_v2.join(", "),
+                conflicts.join(", ")
+            )));
+        }
         let net = self.net.unwrap_or_default();
         let observability = match self.observability {
             Some(config) => Observability::with_registry(config, net.registry().clone()),
@@ -203,13 +276,14 @@ impl ClusterBuilder {
         let taint_map = endpoint_builder.connect(&net)?;
         let topology = taint_map.topology();
         let mut vms = Vec::with_capacity(self.nodes.len());
-        for (name, ip) in self.nodes {
+        for ((name, ip), protocol) in self.nodes.into_iter().zip(node_protocols) {
             vms.push(
                 Vm::builder(name, &net)
                     .mode(self.mode)
                     .ip(ip)
                     .spec(self.spec.clone())
                     .gid_width(self.gid_width)
+                    .wire_protocol(protocol)
                     .taint_map(topology.clone())
                     .observability(observability.clone())
                     .build()?,
@@ -257,6 +331,8 @@ impl Cluster {
             nodes: Vec::new(),
             spec: SourceSinkSpec::new(),
             gid_width: 4,
+            wire_protocol: WireProtocol::default(),
+            node_wire_protocols: Vec::new(),
             taint_map_addr: None,
             taint_map_config: None,
             taint_map_shards: None,
@@ -661,6 +737,77 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, DistaError::Config(_)));
+    }
+
+    #[test]
+    fn conflicting_wire_protocol_settings_are_rejected() {
+        // Pinned v2 skips the handshake, so it cannot share a cluster
+        // with v1 or Negotiate nodes.
+        let err = Cluster::builder(Mode::Dista)
+            .nodes("n", 2)
+            .wire_protocol(WireProtocol::V2)
+            .node_wire_protocol("n2", WireProtocol::V1)
+            .build()
+            .unwrap_err();
+        match err {
+            DistaError::Config(msg) => {
+                assert!(msg.contains("wire_protocol"), "names the knob: {msg}");
+                assert!(
+                    msg.contains("n1") && msg.contains("n2"),
+                    "names nodes: {msg}"
+                );
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+
+        let err = Cluster::builder(Mode::Dista)
+            .nodes("n", 2)
+            .wire_protocol(WireProtocol::Negotiate)
+            .node_wire_protocol("n1", WireProtocol::V2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DistaError::Config(_)));
+
+        let err = Cluster::builder(Mode::Dista)
+            .nodes("n", 1)
+            .node_wire_protocol("ghost", WireProtocol::V2)
+            .build()
+            .unwrap_err();
+        match err {
+            DistaError::Config(msg) => assert!(msg.contains("ghost"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+
+        let err = Cluster::builder(Mode::Dista)
+            .nodes("n", 1)
+            .node_wire_protocol("n1", WireProtocol::V1)
+            .node_wire_protocol("n1", WireProtocol::Negotiate)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DistaError::Config(_)));
+    }
+
+    #[test]
+    fn mixed_negotiate_and_v1_cluster_builds() {
+        // The supported partial-upgrade shape: Negotiate everywhere,
+        // with un-upgraded pinned-v1 stragglers.
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("n", 3)
+            .wire_protocol(WireProtocol::Negotiate)
+            .node_wire_protocol("n3", WireProtocol::V1)
+            .build()
+            .unwrap();
+        assert_eq!(cluster.vm(0).wire_protocol(), WireProtocol::Negotiate);
+        assert_eq!(cluster.vm(2).wire_protocol(), WireProtocol::V1);
+        cluster.shutdown();
+
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("n", 2)
+            .wire_protocol(WireProtocol::V2)
+            .build()
+            .unwrap();
+        assert_eq!(cluster.vm(1).wire_protocol(), WireProtocol::V2);
+        cluster.shutdown();
     }
 
     #[test]

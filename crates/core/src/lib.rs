@@ -54,7 +54,7 @@ pub use cluster::{Cluster, ClusterBuilder};
 pub use config::{DistaConfig, LaunchScript};
 pub use error::DistaError;
 
-pub use dista_jre::Mode;
+pub use dista_jre::{Mode, WireProtocol, WireVersion};
 pub use dista_simnet::{FaultPlan, FaultPlanBuilder};
 
 /// Re-export of the intra-node taint engine.

@@ -4,16 +4,26 @@
 //! ([`dista_simnet::native`]). This module is the *only* place where
 //! taints cross that boundary, and only in [`Mode::Dista`]:
 //!
-//! * **Senders** interleave a fixed-width Global ID after every data
-//!   byte: `[b0][gid0][b1][gid1]…`. With the default 4-byte IDs this is
-//!   the paper's ≈5× wire expansion. Because every `(1 + width)`-byte
-//!   record is self-contained, *any* prefix that ends on a record
-//!   boundary is decodable — which is what makes stream partial reads and
-//!   datagram truncation safe (§III-D-2).
-//! * **Receivers** enlarge their buffers by the record factor, strip the
-//!   IDs, resolve them through the Taint Map client (cached), and
-//!   re-attach taints byte-for-byte. A trailing partial record is kept in
-//!   a per-connection remainder buffer until the next read.
+//! * **Senders** encode each payload with the connection's
+//!   [`WireCodec`]: wire protocol **v1** interleaves a fixed-width
+//!   Global ID after every data byte (`[b0][gid0][b1][gid1]…` — the
+//!   paper's ≈5× expansion for 4-byte IDs, decodable at any record
+//!   boundary, §III-D-2); wire protocol **v2** frames the payload
+//!   adaptively so untainted bytes ship at ~1.0x (see
+//!   [`crate::codec::v2`]).
+//! * **Receivers** enlarge their buffers by the codec's wire factor,
+//!   strip the IDs, resolve them through the Taint Map client (cached),
+//!   and re-attach taints byte-for-byte. A trailing partial wire unit is
+//!   kept in a per-connection remainder buffer until the next read.
+//! * **Negotiation** (policy [`WireProtocol::Negotiate`]) settles each
+//!   connection's version with one round trip *inside* the v1 record
+//!   grammar: the connector leads with a probe record
+//!   `[version][0xFF × width]`, the acceptor answers with the same
+//!   shape, and either side falls back to v1 the moment it sees an
+//!   ordinary data record instead — so un-upgraded pinned-v1 peers
+//!   interoperate unchanged. The all-ones gid pattern can never collide
+//!   with payload records because the Taint Map never allocates the
+//!   all-ones Global IDs (see `dista_taintmap::WIRE_RESERVED_GIDS`).
 //!
 //! In [`Mode::Phosphor`] the wrappers reproduce the paper's Fig.-4
 //! baseline semantics instead: data crosses, and the received bytes get
@@ -21,17 +31,21 @@
 //! taints are silently lost. In [`Mode::Original`] payloads stay plain.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use dista_obs::{GidSpan, ObsEventKind, Transport};
 use dista_simnet::{native, NodeAddr, TcpEndpoint, UdpEndpoint};
 use dista_taint::{GlobalId, Payload, Taint, TaintRuns, TaintedBytes};
 use parking_lot::Mutex;
 
-use crate::codec::{self, PooledBuf, RingRemainder, WireRun, MAX_GID_WIDTH};
+use crate::codec::{
+    PooledBuf, RingRemainder, V1Codec, V2Codec, WireCodec, WireProtocol, WireVersion,
+};
 use crate::error::JreError;
 use crate::vm::{Mode, Vm};
 
-/// Size in bytes of one wire record (`1` data byte + the Global ID).
+/// Size in bytes of one v1 wire record (`1` data byte + the Global ID).
+/// The negotiation probe/reply also occupy exactly one record.
 pub fn wire_record_size(gid_width: usize) -> usize {
     1 + gid_width
 }
@@ -48,36 +62,79 @@ pub(crate) struct Link {
     pub(crate) to: NodeAddr,
 }
 
-/// Encodes a payload into DisTA wire records, writing into a wire buffer
-/// checked out of the VM's [`crate::WireBufPool`] — the steady-state hot
-/// path performs no wire-sized allocation, and a plain payload is
-/// encoded directly as one untainted run (no shadow materialization).
+/// Builds a negotiation probe/reply: one v1-grammar record whose data
+/// byte is the protocol version and whose gid bytes are all ones.
+fn handshake_record(version: u8, gid_width: usize) -> Vec<u8> {
+    let mut rec = vec![0xFF; wire_record_size(gid_width)];
+    rec[0] = version;
+    rec
+}
+
+/// Whether a leading v1 record is a negotiation probe/reply (all-ones
+/// gid — a pattern real payload records can never carry because the
+/// all-ones Global IDs are reserved, never allocated).
+fn is_handshake_record(record: &[u8]) -> bool {
+    record[1..].iter().all(|&b| b == 0xFF)
+}
+
+/// Which protocol a stream speaks — or where its negotiation stands.
+#[derive(Debug, Clone, Copy)]
+enum ProtoState {
+    /// Settled on v1. While `probe_watch` is set the stream has not seen
+    /// its first inbound record yet and must check it for a Negotiate
+    /// peer's probe (answering it, unless this side already wrote data —
+    /// then the probe is swallowed silently and the peer falls back to
+    /// v1 on seeing data records first, so no stale reply can ever land
+    /// mid-stream).
+    V1 { probe_watch: bool },
+    /// Settled on v2.
+    V2,
+    /// Negotiate connector: probe sent, awaiting the reply record (or an
+    /// un-upgraded peer's data records — that means fall back to v1).
+    ConnectorAwait,
+    /// Negotiate acceptor: awaiting the peer's probe (or a pinned-v1
+    /// peer's data records — fall back to v1). Writing first also
+    /// settles v1, because the bytes must be decodable by whatever the
+    /// peer turns out to be.
+    AcceptorAwait,
+}
+
+impl ProtoState {
+    fn version(self) -> Option<WireVersion> {
+        match self {
+            ProtoState::V1 { .. } => Some(WireVersion::V1),
+            ProtoState::V2 => Some(WireVersion::V2),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a payload through `codec`, writing into a wire buffer checked
+/// out of the VM's [`crate::WireBufPool`] — the steady-state hot path
+/// performs no wire-sized allocation, and a plain payload is encoded
+/// directly as one untainted run (no shadow materialization).
 ///
-/// The wire format is unchanged: `[b0][gid0][b1][gid1]…`, decodable at
-/// any record boundary. Distinct taints across all runs resolve through
-/// the Taint Map in one batched round trip (per-VM cache consulted first
-/// inside the client); the records themselves are emitted run-vectorized
-/// by [`codec::encode_wire_into`].
+/// Distinct taints across all runs resolve through the Taint Map in one
+/// batched round trip (per-VM cache consulted first inside the client);
+/// the run table then feeds the codec's run-vectorized encoder.
 pub(crate) fn encode_payload<'vm>(
     vm: &'vm Vm,
     payload: &Payload,
     link: Link,
+    codec: &dyn WireCodec,
 ) -> Result<PooledBuf<'vm>, JreError> {
-    let width = vm.gid_width();
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
     // Per-run gids, resolved via a distinct-taint table so each taint is
-    // looked up (and its wire bytes built) exactly once per call.
+    // looked up exactly once per call.
     let mut run_gids: Vec<(usize, GlobalId)> = Vec::new();
-    let mut wire_runs: Vec<WireRun> = Vec::new();
     match payload {
         Payload::Plain(data) => {
-            // One untainted run; gid 0 encodes as all-zero bytes, so no
-            // Taint Map round trip and no shadow clone are needed.
+            // One untainted run; gid 0 needs no Taint Map round trip and
+            // no shadow clone.
             if !data.is_empty() {
                 run_gids.push((data.len(), GlobalId::UNTAINTED));
-                wire_runs.push((data.len(), [0u8; MAX_GID_WIDTH]));
             }
         }
         Payload::Tainted(bytes) => {
@@ -92,28 +149,16 @@ pub(crate) fn encode_payload<'vm>(
                 run_slots.push((run_len, slot));
             }
             let gids = client.global_ids_for(&distinct)?;
-            let mut wire_ids: Vec<[u8; MAX_GID_WIDTH]> = Vec::with_capacity(gids.len());
-            for gid in &gids {
-                let wire = gid.try_to_wire(width).ok_or(JreError::Protocol(
-                    "global id exceeds the configured wire width",
-                ))?;
-                let mut buf = [0u8; MAX_GID_WIDTH];
-                buf[..width].copy_from_slice(&wire);
-                wire_ids.push(buf);
-            }
             for (run_len, slot) in run_slots {
                 run_gids.push((run_len, gids[slot]));
-                wire_runs.push((run_len, wire_ids[slot]));
             }
         }
     }
     let data = payload.data();
     let mut out = vm.wire_pool().checkout();
-    codec::encode_wire_into(data, &wire_runs, width, &mut out);
+    codec.encode_into(data, &run_gids, &mut out)?;
     let obs = vm.vm_obs();
-    obs.boundary_data_out.add(data.len() as u64);
-    obs.boundary_wire_out.add(out.len() as u64);
-    obs.update_expansion();
+    obs.record_boundary_out(codec.version(), data.len(), out.len());
     obs.flight.record_with(|| {
         let mut spans = Vec::new();
         let mut start = 0;
@@ -139,33 +184,34 @@ pub(crate) fn encode_payload<'vm>(
     Ok(out)
 }
 
-/// Encodes a tainted buffer into DisTA wire records, returning an owned
-/// `Vec` (testing/netty convenience over [`encode_payload`]).
+/// Encodes a tainted buffer into v1 wire records, returning an owned
+/// `Vec` (testing convenience over [`encode_payload`]).
 #[cfg(test)]
 pub(crate) fn encode_wire(vm: &Vm, bytes: &TaintedBytes, link: Link) -> Result<Vec<u8>, JreError> {
-    encode_payload(vm, &Payload::Tainted(bytes.clone()), link).map(PooledBuf::take)
+    let codec = V1Codec::new(vm.gid_width());
+    encode_payload(vm, &Payload::Tainted(bytes.clone()), link, &codec).map(PooledBuf::take)
 }
 
-/// Decodes DisTA wire records back into a tainted buffer.
+/// Resolves decoded wire output back into a tainted buffer: all distinct
+/// Global IDs of the buffer resolve in one batched round trip (per-VM
+/// cache consulted first inside the client) before the shadow is
+/// assembled run by run. `wire_len` is the wire-byte count the decode
+/// consumed, for telemetry.
 ///
-/// # Errors
-///
-/// [`JreError::Protocol`] if `wire` is not a whole number of records (a
-/// torn trailing record) or carries a gid outside the 32-bit id space;
-/// Taint Map errors otherwise.
-pub(crate) fn decode_wire(vm: &Vm, wire: &[u8], link: Link) -> Result<TaintedBytes, JreError> {
+/// Degraded resolution: if a Taint Map shard is unreachable, each of its
+/// gids resolves to a `pending-gid` sentinel instead of failing the
+/// read — delivered bytes are never silently clean, and the client
+/// reconciles the sentinels after the partition heals.
+pub(crate) fn resolve_decoded(
+    vm: &Vm,
+    data: Vec<u8>,
+    runs: Vec<(GlobalId, usize)>,
+    wire_len: usize,
+    link: Link,
+) -> Result<TaintedBytes, JreError> {
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
-    // Vectorized strip: same-gid stretches are detected with raw slice
-    // compares and the gid parsed once per run; all distinct IDs of the
-    // buffer then resolve in one batched round trip (per-VM cache
-    // consulted first inside the client) before the shadow is assembled
-    // run by run. The data `Vec` escapes into the returned buffer, so it
-    // is a fresh allocation by design; the run table is O(runs) scratch.
-    let mut data = Vec::new();
-    let mut runs: Vec<(GlobalId, usize)> = Vec::new();
-    codec::decode_wire_into(wire, vm.gid_width(), &mut data, &mut runs)?;
     let mut slot_of: HashMap<GlobalId, usize> = HashMap::new();
     let mut distinct: Vec<GlobalId> = Vec::new();
     for &(gid, _) in &runs {
@@ -174,14 +220,10 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8], link: Link) -> Result<TaintedByt
             distinct.len() - 1
         });
     }
-    // Degraded resolution: if a Taint Map shard is unreachable, each of
-    // its gids resolves to a `pending-gid` sentinel instead of failing
-    // the read — delivered bytes are never silently clean, and the
-    // client reconciles the sentinels after the partition heals.
     let taints = client.taints_for_degraded(&distinct)?;
     let obs = vm.vm_obs();
     obs.boundary_data_in.add(data.len() as u64);
-    obs.boundary_wire_in.add(wire.len() as u64);
+    obs.boundary_wire_in.add(wire_len as u64);
     obs.flight.record_with(|| {
         let mut spans = Vec::new();
         let mut start = 0;
@@ -200,7 +242,7 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8], link: Link) -> Result<TaintedByt
             from: link.from.to_string(),
             to: link.to.to_string(),
             data_bytes: data.len(),
-            wire_bytes: wire.len(),
+            wire_bytes: wire_len,
             spans,
         }
     });
@@ -211,9 +253,39 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8], link: Link) -> Result<TaintedByt
     Ok(TaintedBytes::from_runs(data, shadow))
 }
 
+/// Decodes v1 wire records back into a tainted buffer (testing
+/// convenience pairing [`encode_wire`]).
+#[cfg(test)]
+pub(crate) fn decode_wire(vm: &Vm, wire: &[u8], link: Link) -> Result<TaintedBytes, JreError> {
+    let mut data = Vec::new();
+    let mut runs: Vec<(GlobalId, usize)> = Vec::new();
+    crate::codec::v1::decode_wire_into(wire, vm.gid_width(), &mut data, &mut runs)?;
+    resolve_decoded(vm, data, runs, wire.len(), link)
+}
+
+/// Truncates decoded output to `cap` data bytes, trimming the run table
+/// to match (datagram receive buffers cap delivered data the way plain
+/// UDP does).
+fn truncate_decoded(data: &mut Vec<u8>, runs: &mut Vec<(GlobalId, usize)>, cap: usize) {
+    if data.len() <= cap {
+        return;
+    }
+    data.truncate(cap);
+    let mut left = cap;
+    runs.retain_mut(|run| {
+        if left == 0 {
+            return false;
+        }
+        run.1 = run.1.min(left);
+        left -= run.1;
+        true
+    });
+}
+
 /// A TCP connection as seen *above* the JNI boundary: the instrumented
 /// `socketWrite0`/`socketRead0` pair plus the receiver-side remainder
-/// buffer for partial wire records.
+/// buffer for partial wire units and the connection's wire-protocol
+/// state.
 ///
 /// All higher stream and channel classes ([`crate::SocketOutputStream`],
 /// [`crate::SocketChannel`], HTTP, …) funnel through one of these.
@@ -226,17 +298,51 @@ pub struct BoundaryStream {
     out_link: Link,
     /// Sender→receiver pair for inbound crossings (the peer sent them).
     in_link: Link,
-    /// Trailing partial record carried between reads (DisTA mode only).
-    /// Ring-style: decode reads the live region in place and consumption
-    /// advances a cursor instead of draining and reallocating.
+    /// Trailing partial wire unit carried between reads (DisTA mode
+    /// only). Ring-style: decode reads the live region in place and
+    /// consumption advances a cursor instead of draining and
+    /// reallocating.
     rx_rem: Mutex<RingRemainder>,
+    /// Decoded-but-undelivered bytes: a v2 frame is indivisible, so one
+    /// decode may produce more than the reader asked for; the excess
+    /// waits here for the next read.
+    rx_pending: Mutex<TaintedBytes>,
+    /// Wire-protocol state of this connection (see [`ProtoState`]).
+    proto: Mutex<ProtoState>,
+    /// Whether this side has written payload records — set before the
+    /// first data write, after which an arriving probe is swallowed
+    /// without a reply (the peer falls back to v1 on the data records).
+    wrote_data: AtomicBool,
 }
 
 impl BoundaryStream {
-    /// Wraps an established connection for `vm`.
-    pub fn new(vm: Vm, ep: TcpEndpoint) -> Self {
+    fn wrap(vm: Vm, ep: TcpEndpoint, connector: bool) -> Self {
+        let initial = if vm.mode().tracks_inter_node() {
+            match vm.wire_protocol() {
+                WireProtocol::V1 => ProtoState::V1 { probe_watch: true },
+                WireProtocol::V2 => ProtoState::V2,
+                WireProtocol::Negotiate => {
+                    if connector {
+                        // Lead with the probe so the one round trip
+                        // overlaps the connection's first exchange. The
+                        // wrap itself stays infallible; a dead endpoint
+                        // surfaces on the first real I/O call.
+                        let _ = native::socket_write0(&ep, &handshake_record(2, vm.gid_width()));
+                        ProtoState::ConnectorAwait
+                    } else {
+                        ProtoState::AcceptorAwait
+                    }
+                }
+            }
+        } else {
+            ProtoState::V1 { probe_watch: false }
+        };
+        let watching = matches!(
+            initial,
+            ProtoState::AcceptorAwait | ProtoState::V1 { probe_watch: true }
+        );
         let (local, peer) = (ep.local_addr(), ep.peer_addr());
-        BoundaryStream {
+        let stream = BoundaryStream {
             vm,
             ep,
             out_link: Link {
@@ -250,7 +356,57 @@ impl BoundaryStream {
                 to: local,
             },
             rx_rem: Mutex::new(RingRemainder::new()),
+            rx_pending: Mutex::new(TaintedBytes::new()),
+            proto: Mutex::new(initial),
+            wrote_data: AtomicBool::new(false),
+        };
+        if !connector && watching {
+            stream.eager_rx_probe();
         }
+        stream
+    }
+
+    /// Answers an already-buffered negotiation probe at wrap time,
+    /// without blocking. The connector writes its probe during connect,
+    /// so by the time `accept` returns the probe is normally sitting in
+    /// the receive buffer — replying here (instead of on this side's
+    /// first read) means a connector that writes before this side ever
+    /// reads still finds its reply waiting rather than deadlocking the
+    /// handshake. If the probe has not arrived yet, negotiation simply
+    /// stays lazy.
+    fn eager_rx_probe(&self) {
+        let rs = wire_record_size(self.vm.gid_width());
+        let mut rem = self.rx_rem.lock();
+        while rem.len() < rs {
+            let mut chunk = [0u8; 16];
+            let want = rs - rem.len();
+            match self.ep.try_read(&mut chunk[..want]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => rem.extend(&chunk[..n]),
+            }
+        }
+        // Errors (a malformed probe) are not lost: rx_resolve consumes
+        // nothing on error, so the first real read re-raises them.
+        let _ = self.rx_resolve(&mut rem);
+    }
+
+    /// Wraps an established connection for `vm` in the passive
+    /// (acceptor) role: under [`WireProtocol::Negotiate`] this side
+    /// answers the peer's probe rather than sending one.
+    pub fn new(vm: Vm, ep: TcpEndpoint) -> Self {
+        Self::wrap(vm, ep, false)
+    }
+
+    /// Wraps a freshly *connected* endpoint: under
+    /// [`WireProtocol::Negotiate`] this side leads the handshake with a
+    /// v2 probe record.
+    pub fn connector(vm: Vm, ep: TcpEndpoint) -> Self {
+        Self::wrap(vm, ep, true)
+    }
+
+    /// Wraps a freshly *accepted* endpoint (same as [`BoundaryStream::new`]).
+    pub fn acceptor(vm: Vm, ep: TcpEndpoint) -> Self {
+        Self::wrap(vm, ep, false)
     }
 
     /// The VM this stream belongs to.
@@ -261,6 +417,137 @@ impl BoundaryStream {
     /// The underlying transport endpoint.
     pub fn endpoint(&self) -> &TcpEndpoint {
         &self.ep
+    }
+
+    /// The wire protocol version this connection has settled on, if
+    /// negotiation has completed (pinned connections are settled from
+    /// the start).
+    pub fn wire_version(&self) -> Option<WireVersion> {
+        self.proto.lock().version()
+    }
+
+    /// Advances the protocol state machine against the received bytes
+    /// (`rem` lock held by the caller). On return: settled states are
+    /// final; an `*Await` (or `probe_watch`) state means fewer than one
+    /// whole record is buffered, so the caller must read more bytes
+    /// before anything can be decoded.
+    fn rx_resolve(&self, rem: &mut RingRemainder) -> Result<ProtoState, JreError> {
+        let width = self.vm.gid_width();
+        let rs = wire_record_size(width);
+        loop {
+            let state = *self.proto.lock();
+            match state {
+                ProtoState::V2 | ProtoState::V1 { probe_watch: false } => return Ok(state),
+                _ if rem.len() < rs => return Ok(state),
+                ProtoState::V1 { probe_watch: true } => {
+                    if is_handshake_record(&rem.as_slice()[..rs]) {
+                        // A Negotiate peer probing a pinned-v1 stream.
+                        // Reply v1 — unless data records already went
+                        // out, in which case the peer has (or will)
+                        // fall back on seeing them, and a late reply
+                        // would corrupt its stream.
+                        if !self.wrote_data.load(Ordering::SeqCst) {
+                            native::socket_write0(&self.ep, &handshake_record(1, width))?;
+                        }
+                        rem.consume(rs);
+                    }
+                    *self.proto.lock() = ProtoState::V1 { probe_watch: false };
+                }
+                ProtoState::ConnectorAwait => {
+                    let record = &rem.as_slice()[..rs];
+                    if is_handshake_record(record) {
+                        let settled = match record[0] {
+                            1 => ProtoState::V1 { probe_watch: false },
+                            2 => ProtoState::V2,
+                            _ => {
+                                return Err(JreError::Protocol(
+                                    "bad wire version in negotiation reply",
+                                ))
+                            }
+                        };
+                        rem.consume(rs);
+                        *self.proto.lock() = settled;
+                    } else {
+                        // An un-upgraded peer ignored the probe and is
+                        // sending v1 data records: fall back, keeping
+                        // the bytes.
+                        *self.proto.lock() = ProtoState::V1 { probe_watch: false };
+                    }
+                }
+                ProtoState::AcceptorAwait => {
+                    let record = &rem.as_slice()[..rs];
+                    if is_handshake_record(record) {
+                        if record[0] == 0 {
+                            return Err(JreError::Protocol(
+                                "bad wire version in negotiation probe",
+                            ));
+                        }
+                        // Accept the highest version both sides speak.
+                        let version = record[0].min(2);
+                        native::socket_write0(&self.ep, &handshake_record(version, width))?;
+                        rem.consume(rs);
+                        *self.proto.lock() = if version == 2 {
+                            ProtoState::V2
+                        } else {
+                            ProtoState::V1 { probe_watch: false }
+                        };
+                    } else {
+                        // Pinned-v1 peer writing data directly.
+                        *self.proto.lock() = ProtoState::V1 { probe_watch: false };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves the version outbound payloads must use, completing the
+    /// handshake if it is still pending: an awaiting acceptor settles v1
+    /// by writing first; an awaiting connector blocks for the reply (or
+    /// yields to a concurrent reader thread already pulling it in).
+    fn tx_version(&self) -> Result<WireVersion, JreError> {
+        // From here on this side counts as having written data, so a
+        // probe arriving later is swallowed rather than answered.
+        self.wrote_data.store(true, Ordering::SeqCst);
+        loop {
+            let state = *self.proto.lock();
+            if let Some(version) = state.version() {
+                return Ok(version);
+            }
+            match state {
+                ProtoState::AcceptorAwait => {
+                    let mut proto = self.proto.lock();
+                    if matches!(*proto, ProtoState::AcceptorAwait) {
+                        // Settle v1 by first write: a pinned-v1 peer
+                        // needs these bytes decodable as-is, and a
+                        // Negotiate connector falls back to v1 when
+                        // data records arrive before any reply.
+                        *proto = ProtoState::V1 { probe_watch: true };
+                    }
+                }
+                ProtoState::ConnectorAwait => match self.rx_rem.try_lock() {
+                    Some(mut rem) => {
+                        if matches!(self.rx_resolve(&mut rem)?, ProtoState::ConnectorAwait) {
+                            let rs = wire_record_size(self.vm.gid_width());
+                            let mut chunk = self.vm.wire_pool().checkout();
+                            chunk.resize(rs.saturating_sub(rem.len()).max(1), 0);
+                            let n = native::socket_read0(&self.ep, &mut chunk)?;
+                            if n == 0 {
+                                // Peer closed before answering: settle
+                                // v1 so whatever it did send remains
+                                // readable.
+                                *self.proto.lock() = ProtoState::V1 { probe_watch: false };
+                            } else {
+                                rem.extend(&chunk[..n]);
+                            }
+                        }
+                    }
+                    // A reader thread holds the remainder lock and will
+                    // consume the reply itself; wait for it to settle.
+                    None => std::thread::yield_now(),
+                },
+                _ => unreachable!("settled states return above"),
+            }
+        }
     }
 
     /// Instrumented `socketWrite0`: sends a payload across the boundary.
@@ -275,7 +562,14 @@ impl BoundaryStream {
                 native::socket_write0(&self.ep, payload.data())?;
             }
             Mode::Dista => {
-                let wire = encode_payload(&self.vm, payload, self.out_link)?;
+                let width = self.vm.gid_width();
+                let v1 = V1Codec::new(width);
+                let v2 = V2Codec::new(width);
+                let codec: &dyn WireCodec = match self.tx_version()? {
+                    WireVersion::V1 => &v1,
+                    WireVersion::V2 => &v2,
+                };
+                let wire = encode_payload(&self.vm, payload, self.out_link, codec)?;
                 native::socket_write0(&self.ep, &wire)?;
             }
         }
@@ -289,8 +583,8 @@ impl BoundaryStream {
     ///
     /// # Errors
     ///
-    /// [`JreError::Protocol`] if the stream ends inside a wire record;
-    /// transport/Taint Map errors otherwise.
+    /// [`JreError::Protocol`] if the stream ends inside a wire unit or
+    /// the wire is malformed; transport/Taint Map errors otherwise.
     pub fn read_payload(&self, max_data: usize) -> Result<Payload, JreError> {
         if max_data == 0 {
             return Ok(match self.vm.mode() {
@@ -315,26 +609,63 @@ impl BoundaryStream {
                 Ok(Payload::Tainted(TaintedBytes::from_plain(buf)))
             }
             Mode::Dista => {
-                let rs = wire_record_size(self.vm.gid_width());
+                // Serve bytes a previous (indivisible v2) decode left
+                // over before touching the wire again.
+                {
+                    let mut pending = self.rx_pending.lock();
+                    if !pending.is_empty() {
+                        return Ok(Payload::Tainted(pending.drain_front(max_data)));
+                    }
+                }
+                let width = self.vm.gid_width();
+                let rs = wire_record_size(width);
+                let v1 = V1Codec::new(width);
+                let v2 = V2Codec::new(width);
                 let mut rem = self.rx_rem.lock();
                 loop {
-                    if rem.len() >= rs {
-                        let whole = rem.len() - rem.len() % rs;
-                        let take = whole.min(max_data * rs);
+                    let state = self.rx_resolve(&mut rem)?;
+                    if let Some(version) = state.version() {
+                        let codec: &dyn WireCodec = match version {
+                            WireVersion::V1 => &v1,
+                            WireVersion::V2 => &v2,
+                        };
+                        let mut data = Vec::new();
+                        let mut runs: Vec<(GlobalId, usize)> = Vec::new();
                         // Decode straight out of the ring's live region —
                         // no drain-and-collect copy — and only consume on
                         // success, so an error loses no remainder bytes.
-                        let decoded = decode_wire(&self.vm, &rem.as_slice()[..take], self.in_link)?;
-                        rem.consume(take);
-                        return Ok(Payload::Tainted(decoded));
+                        let consumed = codec.decode_available(
+                            rem.as_slice(),
+                            max_data,
+                            &mut data,
+                            &mut runs,
+                        )?;
+                        if consumed > 0 {
+                            let decoded =
+                                resolve_decoded(&self.vm, data, runs, consumed, self.in_link)?;
+                            rem.consume(consumed);
+                            let mut pending = self.rx_pending.lock();
+                            pending.extend_tainted(&decoded);
+                            return Ok(Payload::Tainted(pending.drain_front(max_data)));
+                        }
                     }
                     // The receiver "enlarges the allocated byte array"
                     // (§III-D-2): ask the OS for the wire-size equivalent
                     // of the caller's buffer, reusing pooled capacity.
+                    let hint = match state {
+                        ProtoState::V2 => v2.recv_wire_len(max_data),
+                        _ => v1.recv_wire_len(max_data),
+                    };
                     let mut chunk = self.vm.wire_pool().checkout();
-                    chunk.resize(max_data * rs - rem.len(), 0);
+                    chunk.resize(hint.saturating_sub(rem.len()).max(rs), 0);
                     let n = native::socket_read0(&self.ep, &mut chunk)?;
                     if n == 0 {
+                        if state.version().is_none() {
+                            // EOF before the handshake settled: fall
+                            // back to v1 and decode whatever arrived.
+                            *self.proto.lock() = ProtoState::V1 { probe_watch: false };
+                            continue;
+                        }
                         if rem.is_empty() {
                             return Ok(Payload::Tainted(TaintedBytes::new()));
                         }
@@ -377,6 +708,17 @@ impl BoundaryStream {
     }
 }
 
+/// The wire version a VM's *datagrams* use. There is no connection to
+/// negotiate over, so [`WireProtocol::Negotiate`] conservatively sends
+/// v1 datagrams (any receiver decodes them); only pinned-v2 VMs use v2
+/// datagram framing.
+fn datagram_version(vm: &Vm) -> WireVersion {
+    match vm.wire_protocol() {
+        WireProtocol::V2 => WireVersion::V2,
+        _ => WireVersion::V1,
+    }
+}
+
 /// Instrumented `PlainDatagramSocketImpl.send` (Type 2): sends one
 /// datagram's payload, wire-wrapped in DisTA mode.
 ///
@@ -394,6 +736,13 @@ pub(crate) fn send_datagram(
             native::datagram_send(socket, dest, payload.data());
         }
         Mode::Dista => {
+            let width = vm.gid_width();
+            let v1 = V1Codec::new(width);
+            let v2 = V2Codec::new(width);
+            let codec: &dyn WireCodec = match datagram_version(vm) {
+                WireVersion::V1 => &v1,
+                WireVersion::V2 => &v2,
+            };
             let wire = encode_payload(
                 vm,
                 payload,
@@ -402,6 +751,7 @@ pub(crate) fn send_datagram(
                     from: socket.local_addr(),
                     to: dest,
                 },
+                codec,
             )?;
             native::datagram_send(socket, dest, &wire);
         }
@@ -411,9 +761,9 @@ pub(crate) fn send_datagram(
 
 /// Instrumented `PlainDatagramSocketImpl.receive0` (Type 2): receives one
 /// datagram into a caller buffer of `buf_len` bytes. In DisTA mode the
-/// receive buffer is enlarged by the record factor before the native
-/// call, then stripped; truncation to `buf_len` data bytes matches plain
-/// UDP semantics byte-for-byte.
+/// receive buffer is enlarged by the codec's wire factor before the
+/// native call, then stripped; truncation to `buf_len` data bytes matches
+/// plain UDP semantics byte-for-byte.
 ///
 /// Returns the payload (≤ `buf_len` data bytes) and the sender address.
 ///
@@ -439,14 +789,25 @@ pub(crate) fn recv_datagram(
             Ok((Payload::Tainted(TaintedBytes::from_plain(buf)), from))
         }
         Mode::Dista => {
-            let rs = wire_record_size(vm.gid_width());
+            let width = vm.gid_width();
+            let v1 = V1Codec::new(width);
+            let v2 = V2Codec::new(width);
+            let codec: &dyn WireCodec = match datagram_version(vm) {
+                WireVersion::V1 => &v1,
+                WireVersion::V2 => &v2,
+            };
             let mut buf = vm.wire_pool().checkout();
-            buf.resize(buf_len * rs, 0);
+            buf.resize(codec.recv_wire_len(buf_len), 0);
             let (n, from) = native::datagram_receive0(socket, &mut buf)?;
-            let whole = n - n % rs;
-            let decoded = decode_wire(
+            let mut data = Vec::new();
+            let mut runs: Vec<(GlobalId, usize)> = Vec::new();
+            codec.decode_datagram(&buf[..n], &mut data, &mut runs)?;
+            truncate_decoded(&mut data, &mut runs, buf_len);
+            let decoded = resolve_decoded(
                 vm,
-                &buf[..whole],
+                data,
+                runs,
+                n,
                 Link {
                     transport: Transport::Udp,
                     from,
@@ -474,18 +835,28 @@ mod tests {
     }
 
     fn cluster(mode: Mode) -> (SimNet, TaintMapEndpoint, Vm, Vm) {
+        cluster_proto(mode, WireProtocol::V1, WireProtocol::V1)
+    }
+
+    fn cluster_proto(
+        mode: Mode,
+        p1: WireProtocol,
+        p2: WireProtocol,
+    ) -> (SimNet, TaintMapEndpoint, Vm, Vm) {
         let net = SimNet::new();
         let tm = TaintMapEndpoint::builder().connect(&net).unwrap();
         let vm1 = Vm::builder("n1", &net)
             .mode(mode)
             .ip([10, 0, 0, 1])
             .taint_map(tm.topology())
+            .wire_protocol(p1)
             .build()
             .unwrap();
         let vm2 = Vm::builder("n2", &net)
             .mode(mode)
             .ip([10, 0, 0, 2])
             .taint_map(tm.topology())
+            .wire_protocol(p2)
             .build()
             .unwrap();
         (net, tm, vm1, vm2)
@@ -502,8 +873,8 @@ mod tests {
         let c = net.tcp_connect_from(vm1.ip(), addr).unwrap();
         let s = l.accept().unwrap();
         (
-            BoundaryStream::new(vm1.clone(), c),
-            BoundaryStream::new(vm2.clone(), s),
+            BoundaryStream::connector(vm1.clone(), c),
+            BoundaryStream::acceptor(vm2.clone(), s),
         )
     }
 
@@ -805,9 +1176,14 @@ mod tests {
             dump.counter_total("boundary_data_bytes_in")
         );
         assert_eq!(
-            dump.gauge_value("wire_expansion_ratio", &[("node", "n1")]),
+            dump.gauge_value("wire_expansion_ratio", &[("node", "n1"), ("proto", "v1")]),
             Some(5.0),
-            "4-byte gids => 5x expansion"
+            "4-byte gids => 5x expansion on the v1 gauge"
+        );
+        assert_eq!(
+            dump.gauge_value("wire_expansion_ratio", &[("node", "n1"), ("proto", "v2")]),
+            Some(0.0),
+            "no v2 traffic leaves the v2 gauge at zero"
         );
         tm.shutdown();
     }
@@ -852,6 +1228,155 @@ mod tests {
         assert_eq!(
             vm2.store().tag_values(got.taint_union(vm2.store())),
             vec!["w".to_string()]
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn negotiate_pair_settles_on_v2() {
+        let (net, tm, vm1, vm2) = cluster_proto(
+            Mode::Dista,
+            WireProtocol::Negotiate,
+            WireProtocol::Negotiate,
+        );
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 91);
+        let taint = vm1.store().mint_source_taint(TagValue::str("neg"));
+        let mut buf = TaintedBytes::from_plain(vec![0u8; 500]);
+        buf.extend_uniform(b"secret", taint);
+        buf.extend_plain(&vec![0u8; 500]);
+        tx.write_payload(&Payload::Tainted(buf)).unwrap();
+        let got = rx.read_exact_payload(1006).unwrap();
+        assert_eq!(got.len(), 1006);
+        assert_eq!(tx.wire_version(), Some(WireVersion::V2));
+        assert_eq!(rx.wire_version(), Some(WireVersion::V2));
+        assert_eq!(
+            vm2.store().tag_values(got.taint_union(vm2.store())),
+            vec!["neg".to_string()],
+            "taints survive the v2 framing"
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn negotiate_falls_back_for_pinned_v1_peer() {
+        let (net, tm, vm1, vm2) =
+            cluster_proto(Mode::Dista, WireProtocol::Negotiate, WireProtocol::V1);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 92);
+        let taint = vm1.store().mint_source_taint(TagValue::str("fb"));
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"data", taint)))
+            .unwrap();
+        let got = rx.read_exact_payload(4).unwrap();
+        assert_eq!(got.data(), b"data");
+        assert_eq!(tx.wire_version(), Some(WireVersion::V1));
+        assert_eq!(
+            vm2.store().tag_values(got.taint_union(vm2.store())),
+            vec!["fb".to_string()]
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn negotiate_acceptor_write_before_probe_falls_back_to_v1() {
+        let (net, tm, vm1, vm2) = cluster_proto(
+            Mode::Dista,
+            WireProtocol::Negotiate,
+            WireProtocol::Negotiate,
+        );
+        let addr = NodeAddr::new([10, 0, 0, 2], 93);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect_from(vm1.ip(), addr).unwrap();
+        let s = l.accept().unwrap();
+        // Push-style race: the accept side wraps AND writes before the
+        // connector's wrap ever sends its probe. The acceptor cannot
+        // know the peer's version, so it settles v1; the connector must
+        // fall back when data records beat any reply; the late probe is
+        // swallowed without an answer.
+        let rx = BoundaryStream::acceptor(vm2.clone(), s);
+        let taint = vm2.store().mint_source_taint(TagValue::str("push"));
+        rx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"push!", taint)))
+            .unwrap();
+        let tx = BoundaryStream::connector(vm1.clone(), c);
+        let got = tx.read_exact_payload(5).unwrap();
+        assert_eq!(got.data(), b"push!");
+        assert_eq!(rx.wire_version(), Some(WireVersion::V1));
+        assert_eq!(tx.wire_version(), Some(WireVersion::V1));
+        assert_eq!(
+            vm1.store().tag_values(got.taint_union(vm1.store())),
+            vec!["push".to_string()]
+        );
+        // The reverse direction still works: the acceptor swallows the
+        // late probe (no stale reply lands mid-stream) and decodes the
+        // connector's v1 records.
+        let t2 = vm1.store().mint_source_taint(TagValue::str("ack"));
+        tx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"ack", t2)))
+            .unwrap();
+        let back = rx.read_exact_payload(3).unwrap();
+        assert_eq!(back.data(), b"ack");
+        assert_eq!(
+            vm2.store().tag_values(back.taint_union(vm2.store())),
+            vec!["ack".to_string()]
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn negotiate_acceptor_write_after_probe_keeps_v2() {
+        let (net, tm, vm1, vm2) = cluster_proto(
+            Mode::Dista,
+            WireProtocol::Negotiate,
+            WireProtocol::Negotiate,
+        );
+        // Normal accept ordering: the probe is buffered by wrap time, so
+        // the acceptor settles v2 eagerly and may even speak first.
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 95);
+        let taint = vm2.store().mint_source_taint(TagValue::str("push2"));
+        rx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"push!", taint)))
+            .unwrap();
+        let got = tx.read_exact_payload(5).unwrap();
+        assert_eq!(got.data(), b"push!");
+        assert_eq!(rx.wire_version(), Some(WireVersion::V2));
+        assert_eq!(tx.wire_version(), Some(WireVersion::V2));
+        assert_eq!(
+            vm1.store().tag_values(got.taint_union(vm1.store())),
+            vec!["push2".to_string()]
+        );
+        tm.shutdown();
+    }
+
+    #[test]
+    fn pinned_v2_clean_payload_ships_near_one_x() {
+        let (net, tm, vm1, vm2) = cluster_proto(Mode::Dista, WireProtocol::V2, WireProtocol::V2);
+        let (tx, rx) = stream_pair(&net, &vm1, &vm2, 94);
+        let base = net.metrics().snapshot().tcp_bytes;
+        tx.write_payload(&Payload::Plain(vec![9u8; 1000])).unwrap();
+        let sent = net.metrics().snapshot().tcp_bytes - base;
+        assert!(
+            sent <= 1008,
+            "clean v2 frame is ~1.0x, got {sent} wire bytes for 1000"
+        );
+        let got = rx.read_exact_payload(1000).unwrap();
+        assert_eq!(got.len(), 1000);
+        tm.shutdown();
+    }
+
+    #[test]
+    fn v2_datagram_roundtrip_and_truncation() {
+        let (net, tm, vm1, vm2) = cluster_proto(Mode::Dista, WireProtocol::V2, WireProtocol::V2);
+        let a = net.udp_bind(NodeAddr::new([10, 0, 0, 1], 55)).unwrap();
+        let b = net.udp_bind(NodeAddr::new([10, 0, 0, 2], 55)).unwrap();
+        let taint = vm1.store().mint_source_taint(TagValue::str("d2"));
+        send_datagram(
+            &vm1,
+            &a,
+            b.local_addr(),
+            &Payload::Tainted(TaintedBytes::uniform(b"0123456789", taint)),
+        )
+        .unwrap();
+        let (payload, _) = recv_datagram(&vm2, &b, 4).unwrap();
+        assert_eq!(payload.data(), b"0123", "v2 keeps plain-UDP truncation");
+        assert_eq!(
+            vm2.store().tag_values(payload.taint_union(vm2.store())),
+            vec!["d2".to_string()]
         );
         tm.shutdown();
     }

@@ -32,7 +32,7 @@ impl SocketChannel {
     pub fn connect(vm: &Vm, addr: NodeAddr) -> Result<Self, JreError> {
         let ep = vm.net().tcp_connect_from(vm.ip(), addr)?;
         Ok(SocketChannel {
-            stream: Arc::new(BoundaryStream::new(vm.clone(), ep)),
+            stream: Arc::new(BoundaryStream::connector(vm.clone(), ep)),
         })
     }
 
@@ -151,14 +151,14 @@ impl ServerSocketChannel {
     pub fn accept(&self) -> Result<SocketChannel, JreError> {
         let ep = self.listener.accept()?;
         Ok(SocketChannel {
-            stream: Arc::new(BoundaryStream::new(self.vm.clone(), ep)),
+            stream: Arc::new(BoundaryStream::acceptor(self.vm.clone(), ep)),
         })
     }
 
     /// Non-blocking accept.
     pub fn try_accept(&self) -> Option<SocketChannel> {
         self.listener.try_accept().map(|ep| SocketChannel {
-            stream: Arc::new(BoundaryStream::new(self.vm.clone(), ep)),
+            stream: Arc::new(BoundaryStream::acceptor(self.vm.clone(), ep)),
         })
     }
 

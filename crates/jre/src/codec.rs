@@ -1,40 +1,50 @@
-//! The boundary wire codec fast path (paper §III-C/D wire format,
-//! ROADMAP "as fast as the hardware allows").
+//! The versioned boundary wire codec (paper §III-C/D wire format plus
+//! the negotiated v2 extension, ROADMAP "as fast as the hardware
+//! allows").
 //!
-//! The wire format itself is unchanged and deliberately boring: one
-//! `(1 + width)`-byte record per data byte, `[b][gid…]`, decodable at any
-//! record boundary. What this module changes is *how* those bytes are
-//! produced and consumed:
+//! Two wire protocols live behind one trait:
 //!
-//! * [`encode_wire_into`] writes into a caller-provided buffer and fills
-//!   each run's region by seeding one record and doubling
-//!   `copy_within` — the per-byte work collapses to a single indexed
-//!   store for the data byte.
-//! * [`decode_wire_into`] writes data bytes into a caller-provided
-//!   buffer, detects same-gid stretches with raw `width`-byte slice
-//!   compares (no per-record [`GlobalId`] parse), and rejects torn
-//!   trailing records and oversized gids with typed errors instead of
-//!   `debug_assert` + silent truncation.
+//! * [`v1`] — the paper's interleaved `[byte][gid…]` record format,
+//!   conformance-pinned and bit-identical on the wire to every prior
+//!   release. Fixed per-connection gid width, ≈`1 + width` expansion on
+//!   every byte.
+//! * [`v2`] — adaptive framing: a clean-frame opcode ships untainted
+//!   payloads at ~1.0x with no gid records, tainted frames carry
+//!   run-length gid segments mirroring the `TaintRuns` shadow
+//!   representation, and each frame picks the minimal gid width for its
+//!   own max gid.
+//!
+//! [`WireCodec`] is the object-safe surface the boundary layer programs
+//! against; [`WireVersion`] names a settled protocol and
+//! [`WireProtocol`] is the *policy* knob (`V1`, `V2`, or `Negotiate`
+//! with v1 fallback for un-upgraded peers) configured per VM or per
+//! cluster. Negotiation itself lives in `boundary` — the codecs here are
+//! pure byte transformers, testable without a Taint Map in sight.
+//!
+//! Shared infrastructure stays in this module:
+//!
 //! * [`WireBufPool`] recycles the wire-sized scratch buffers so the
 //!   steady-state hot path performs no wire-sized allocations.
 //! * [`RingRemainder`] replaces the old drain-and-reallocate remainder
 //!   `Vec`: decode reads straight out of the ring's contiguous live
 //!   region (zero copy) and consumption just advances a cursor.
 //!
-//! The old per-byte codec is kept verbatim in [`reference`] as the
-//! measured baseline and as the conformance oracle: the property suite
-//! (`tests/prop_codec.rs`) and the `boundary_codec --smoke` CI gate both
-//! pin the fast path's output bit-for-bit against it.
-//!
-//! Everything here is pure with respect to the VM: gids arrive already
-//! resolved as wire bytes, so the codec is testable (and benchable)
-//! without a Taint Map in sight. Widths 1..=8 are accepted at this layer
-//! even though VM-level configuration restricts itself to 2/4/8.
+//! The pre-trait free functions ([`encode_wire_into`],
+//! [`decode_wire_into`], [`mod@reference`]) remain as deprecated shims
+//! delegating to [`v1`] so out-of-tree callers keep compiling with a
+//! warning. Widths 1..=8 are accepted at this layer even though VM-level
+//! configuration restricts itself to 2/4/8.
 
 use dista_taint::GlobalId;
 use parking_lot::Mutex;
 
 use crate::error::JreError;
+
+pub mod v1;
+pub mod v2;
+
+pub use v1::V1Codec;
+pub use v2::V2Codec;
 
 /// Widest Global ID the wire format supports, in bytes. Run tables
 /// carry `[u8; MAX_GID_WIDTH]` slots of which the first `width` bytes
@@ -52,148 +62,6 @@ fn check_width(width: usize) {
     );
 }
 
-/// Encodes `data` into interleaved wire records, one per byte, writing
-/// into `out` (cleared first). `runs` must cover `data` exactly.
-///
-/// Each run's region is filled by seeding a single `[b][gid…]` record
-/// and doubling it with `copy_within`; the remaining data bytes are then
-/// scattered over the replicated seed. Wire bytes are bit-identical to
-/// [`reference::encode_wire`].
-///
-/// # Panics
-///
-/// Panics if `width` is out of range or the run lengths don't sum to
-/// `data.len()`.
-pub fn encode_wire_into(data: &[u8], runs: &[WireRun], width: usize, out: &mut Vec<u8>) {
-    check_width(width);
-    out.clear();
-    out.resize(data.len() * (1 + width), 0);
-    // Monomorphize per width so per-record gid stores compile to one
-    // fixed-size store instead of a variable-length memcpy.
-    match width {
-        1 => encode_records::<1>(data, runs, out),
-        2 => encode_records::<2>(data, runs, out),
-        3 => encode_records::<3>(data, runs, out),
-        4 => encode_records::<4>(data, runs, out),
-        5 => encode_records::<5>(data, runs, out),
-        6 => encode_records::<6>(data, runs, out),
-        7 => encode_records::<7>(data, runs, out),
-        8 => encode_records::<8>(data, runs, out),
-        _ => unreachable!("width checked above"),
-    }
-}
-
-/// Runs shorter than this are filled record-by-record (two fixed-size
-/// stores each); longer runs amortize a doubling `copy_within` fill.
-const DOUBLING_MIN_RUN: usize = 32;
-
-fn encode_records<const W: usize>(data: &[u8], runs: &[WireRun], out: &mut [u8]) {
-    let rs = 1 + W;
-    let mut pos = 0; // data byte index
-    for &(run_len, gid) in runs {
-        if run_len == 0 {
-            continue;
-        }
-        let gid: &[u8; W] = gid[..W].try_into().expect("slot holds W live bytes");
-        let run = &data[pos..pos + run_len];
-        let region = &mut out[pos * rs..(pos + run_len) * rs];
-        if run_len < DOUBLING_MIN_RUN {
-            for (rec, &b) in region.chunks_exact_mut(rs).zip(run) {
-                rec[0] = b;
-                rec[1..].copy_from_slice(gid);
-            }
-        } else {
-            // Seed one record, double the filled region, then scatter
-            // the real data bytes over the replicated seed.
-            region[0] = run[0];
-            region[1..rs].copy_from_slice(gid);
-            let mut filled = rs;
-            while filled < region.len() {
-                let copy = filled.min(region.len() - filled);
-                region.copy_within(..copy, filled);
-                filled += copy;
-            }
-            for (rec, &b) in region.chunks_exact_mut(rs).zip(run).skip(1) {
-                rec[0] = b;
-            }
-        }
-        pos += run_len;
-    }
-    assert_eq!(pos, data.len(), "run table must cover the data exactly");
-}
-
-/// Decodes interleaved wire records: data bytes land in `data_out`
-/// (cleared first), the gid run structure in `runs_out` (cleared first,
-/// adjacent equal gids coalesced).
-///
-/// Same-gid stretches are detected with raw slice compares; the
-/// [`GlobalId`] is parsed once per run, not once per record.
-///
-/// # Errors
-///
-/// [`JreError::Protocol`] if `wire` is not a whole number of records
-/// (torn trailing record) or a gid does not fit in 32 bits.
-pub fn decode_wire_into(
-    wire: &[u8],
-    width: usize,
-    data_out: &mut Vec<u8>,
-    runs_out: &mut Vec<(GlobalId, usize)>,
-) -> Result<(), JreError> {
-    check_width(width);
-    let rs = 1 + width;
-    data_out.clear();
-    runs_out.clear();
-    if !wire.len().is_multiple_of(rs) {
-        return Err(JreError::Protocol("torn trailing wire record"));
-    }
-    let n = wire.len() / rs;
-    data_out.resize(n, 0);
-    let data = &mut data_out[..n];
-    // Monomorphize per width: gids become fixed-size arrays, so the
-    // per-record same-gid check compiles to one integer compare instead
-    // of a variable-length memcmp.
-    match width {
-        1 => strip_records::<1>(wire, data, runs_out),
-        2 => strip_records::<2>(wire, data, runs_out),
-        3 => strip_records::<3>(wire, data, runs_out),
-        4 => strip_records::<4>(wire, data, runs_out),
-        5 => strip_records::<5>(wire, data, runs_out),
-        6 => strip_records::<6>(wire, data, runs_out),
-        7 => strip_records::<7>(wire, data, runs_out),
-        8 => strip_records::<8>(wire, data, runs_out),
-        _ => unreachable!("width checked above"),
-    }
-}
-
-/// One fused pass over whole records: gathers each record's data byte
-/// and coalesces same-gid stretches, with the gid held as a `[u8; W]`
-/// register value.
-fn strip_records<const W: usize>(
-    wire: &[u8],
-    data_out: &mut [u8],
-    runs_out: &mut Vec<(GlobalId, usize)>,
-) -> Result<(), JreError> {
-    let mut cur = [0u8; W];
-    let mut run_len = 0usize;
-    for (out, rec) in data_out.iter_mut().zip(wire.chunks_exact(1 + W)) {
-        *out = rec[0];
-        let gid: [u8; W] = rec[1..].try_into().expect("record is 1 + W bytes");
-        if gid == cur && run_len != 0 {
-            run_len += 1;
-        } else {
-            if run_len != 0 {
-                runs_out.push((gid_from_wire(&cur)?, run_len));
-            }
-            cur = gid;
-            run_len = 1;
-        }
-    }
-    if run_len != 0 {
-        runs_out.push((gid_from_wire(&cur)?, run_len));
-    }
-    Ok(())
-}
-
 /// Parses a big-endian gid of any supported width, rejecting values
 /// that exceed the 32-bit Global ID space (an 8-byte record could smuggle
 /// one in; truncating it silently would alias two different taints).
@@ -208,67 +76,167 @@ fn gid_from_wire(bytes: &[u8]) -> Result<GlobalId, JreError> {
     Ok(GlobalId(v as u32))
 }
 
-/// The pre-fast-path per-byte codec, kept as the measured baseline for
-/// `boundary_codec` and as the conformance oracle the fast path is
-/// pinned against. Structure intentionally mirrors the old
-/// `boundary::encode_wire`/`decode_wire` inner loops.
-pub mod reference {
-    use super::{check_width, gid_from_wire, GlobalId, JreError, WireRun};
+/// A settled wire protocol version — what a connection actually speaks
+/// after policy (and possibly negotiation) resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireVersion {
+    /// The paper's interleaved record format (§III-C/D), bit-pinned.
+    V1,
+    /// Adaptive clean/run-segment framing with per-frame gid widths.
+    V2,
+}
 
-    /// Per-byte encode: one `push` + `extend_from_slice` per data byte.
+impl std::fmt::Display for WireVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WireVersion::V1 => "v1",
+            WireVersion::V2 => "v2",
+        })
+    }
+}
+
+/// Wire protocol *policy* for a VM (and, via `ClusterBuilder`, a
+/// cluster): which protocol new connections use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireProtocol {
+    /// Pin every connection to v1. No negotiation bytes are ever sent,
+    /// so the wire is bit-identical to pre-v2 releases. The default.
+    #[default]
+    V1,
+    /// Pin every connection to v2. Both peers must speak v2 (pinned or
+    /// negotiated); a pinned-v1 peer will misparse the frames.
+    V2,
+    /// Prefer v2, negotiating per connection with a one-round-trip
+    /// handshake; falls back to v1 for un-upgraded peers.
+    Negotiate,
+}
+
+/// A versioned boundary wire codec.
+///
+/// Implementations are pure byte transformers: taints arrive already
+/// resolved to [`GlobalId`]s (run-length encoded, matching the
+/// `TaintRuns` shadow representation) and leave the same way; Taint Map
+/// resolution happens in the boundary layer. All methods take
+/// caller-provided output buffers so hot paths can feed them
+/// [`WireBufPool`] checkouts.
+pub trait WireCodec: std::fmt::Debug + Send + Sync {
+    /// Which protocol version this codec speaks.
+    fn version(&self) -> WireVersion;
+
+    /// The connection's configured gid width. V1 writes every gid at
+    /// this width; v2 treats it as the negotiation-time hint and picks
+    /// a per-frame width no wider than the frame's max gid needs.
+    fn width(&self) -> usize;
+
+    /// Encodes `data` with its run-length taint table (`(run_len, gid)`
+    /// pairs covering `data` exactly; [`GlobalId::UNTAINTED`] marks
+    /// clean runs) into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] if a gid cannot be represented at the
+    /// codec's wire width.
+    fn encode_into(
+        &self,
+        data: &[u8],
+        runs: &[(usize, GlobalId)],
+        out: &mut Vec<u8>,
+    ) -> Result<(), JreError>;
+
+    /// Stream decode: consumes as many whole wire units (records or
+    /// frames) from the front of `wire` as fit in `max_data` decoded
+    /// bytes, appending data to `data_out` and `(gid, run_len)` runs to
+    /// `runs_out` (both cleared first). Returns the number of wire
+    /// bytes consumed; `0` means more bytes are needed before anything
+    /// can be decoded. May deliver more than `max_data` bytes if the
+    /// unit straddling the limit is indivisible (v2 frames) — the
+    /// caller buffers the excess.
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] on malformed input.
+    fn decode_available(
+        &self,
+        wire: &[u8],
+        max_data: usize,
+        data_out: &mut Vec<u8>,
+        runs_out: &mut Vec<(GlobalId, usize)>,
+    ) -> Result<usize, JreError>;
+
+    /// Datagram decode: decodes one datagram's worth of wire bytes,
+    /// tolerating tail truncation the way plain UDP truncates data (a
+    /// cut datagram yields a data prefix, never an error, as long as
+    /// the cut falls in the payload region).
+    ///
+    /// # Errors
+    ///
+    /// [`JreError::Protocol`] on malformed (not merely truncated)
+    /// input.
+    fn decode_datagram(
+        &self,
+        wire: &[u8],
+        data_out: &mut Vec<u8>,
+        runs_out: &mut Vec<(GlobalId, usize)>,
+    ) -> Result<(), JreError>;
+
+    /// How many wire bytes a receiver should pull to be able to deliver
+    /// `max_data` decoded bytes (an upper bound; used to size receive
+    /// buffers).
+    fn recv_wire_len(&self, max_data: usize) -> usize;
+}
+
+/// Deprecated pre-trait shim: encodes with the v1 record format.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `codec::v1::encode_wire_into` or the `WireCodec` trait (`codec::V1Codec`)"
+)]
+pub fn encode_wire_into(data: &[u8], runs: &[WireRun], width: usize, out: &mut Vec<u8>) {
+    v1::encode_wire_into(data, runs, width, out);
+}
+
+/// Deprecated pre-trait shim: decodes the v1 record format.
+///
+/// # Errors
+///
+/// Same typed errors as [`v1::decode_wire_into`].
+#[deprecated(
+    since = "0.7.0",
+    note = "use `codec::v1::decode_wire_into` or the `WireCodec` trait (`codec::V1Codec`)"
+)]
+pub fn decode_wire_into(
+    wire: &[u8],
+    width: usize,
+    data_out: &mut Vec<u8>,
+    runs_out: &mut Vec<(GlobalId, usize)>,
+) -> Result<(), JreError> {
+    v1::decode_wire_into(wire, width, data_out, runs_out)
+}
+
+/// Deprecated pre-trait shim over the v1 per-byte reference codec.
+#[deprecated(since = "0.7.0", note = "use `codec::v1::reference`")]
+pub mod reference {
+    use super::{GlobalId, JreError, WireRun};
+
+    /// Deprecated shim: see [`crate::codec::v1::reference::encode_wire`].
     ///
     /// # Panics
     ///
     /// Panics if `width` is out of range or the runs don't cover `data`.
     pub fn encode_wire(data: &[u8], runs: &[WireRun], width: usize) -> Vec<u8> {
-        check_width(width);
-        let mut out = Vec::with_capacity(data.len() * (1 + width));
-        let mut pos = 0;
-        for &(run_len, gid) in runs {
-            for &byte in &data[pos..pos + run_len] {
-                out.push(byte);
-                out.extend_from_slice(&gid[..width]);
-            }
-            pos += run_len;
-        }
-        assert_eq!(pos, data.len(), "run table must cover the data exactly");
-        out
+        super::v1::reference::encode_wire(data, runs, width)
     }
 
-    /// Per-record decode: parse every record's gid, push every data
-    /// byte, peek ahead to coalesce runs.
+    /// Deprecated shim: see [`crate::codec::v1::reference::decode_wire`].
     ///
     /// # Errors
     ///
-    /// Same typed errors as [`super::decode_wire_into`].
+    /// Same typed errors as [`crate::codec::v1::decode_wire_into`].
     #[allow(clippy::type_complexity)]
     pub fn decode_wire(
         wire: &[u8],
         width: usize,
     ) -> Result<(Vec<u8>, Vec<(GlobalId, usize)>), JreError> {
-        check_width(width);
-        let rs = 1 + width;
-        if !wire.len().is_multiple_of(rs) {
-            return Err(JreError::Protocol("torn trailing wire record"));
-        }
-        let mut data = Vec::with_capacity(wire.len() / rs);
-        let mut runs: Vec<(GlobalId, usize)> = Vec::new();
-        let mut records = wire.chunks_exact(rs).peekable();
-        while let Some(record) = records.next() {
-            let gid = gid_from_wire(&record[1..])?;
-            data.push(record[0]);
-            let mut run_len = 1;
-            while let Some(next) = records.peek() {
-                if gid_from_wire(&next[1..])? != gid {
-                    break;
-                }
-                data.push(next[0]);
-                run_len += 1;
-                records.next();
-            }
-            runs.push((gid, run_len));
-        }
-        Ok((data, runs))
+        super::v1::reference::decode_wire(wire, width)
     }
 }
 
@@ -428,115 +396,6 @@ impl RingRemainder {
 mod tests {
     use super::*;
 
-    fn gid(v: u32) -> [u8; MAX_GID_WIDTH] {
-        let mut slot = [0u8; MAX_GID_WIDTH];
-        slot[..4].copy_from_slice(&v.to_be_bytes());
-        slot
-    }
-
-    /// gid slot laid out for an arbitrary width (big-endian, first
-    /// `width` bytes live).
-    fn gid_w(v: u64, width: usize) -> [u8; MAX_GID_WIDTH] {
-        let be = v.to_be_bytes();
-        let mut slot = [0u8; MAX_GID_WIDTH];
-        slot[..width].copy_from_slice(&be[8 - width..]);
-        slot
-    }
-
-    #[test]
-    fn encode_matches_reference_across_shapes() {
-        let data: Vec<u8> = (0..=255u8).collect();
-        for width in 1..=MAX_GID_WIDTH {
-            for runs in [
-                vec![(256usize, gid_w(7, width))],
-                vec![(1usize, gid_w(1, width)), (255, gid_w(2, width))],
-                vec![
-                    (100usize, gid_w(0, width)),
-                    (56, gid_w(9, width)),
-                    (100, gid_w(0, width)),
-                ],
-            ] {
-                let mut fast = Vec::new();
-                encode_wire_into(&data, &runs, width, &mut fast);
-                assert_eq!(
-                    fast,
-                    reference::encode_wire(&data, &runs, width),
-                    "width {width}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn decode_inverts_encode_and_matches_reference() {
-        let data = b"abcdefghij".to_vec();
-        let runs = vec![(3usize, gid(5)), (4, gid(0)), (3, gid(6))];
-        let mut wire = Vec::new();
-        encode_wire_into(&data, &runs, 4, &mut wire);
-        let mut got_data = Vec::new();
-        let mut got_runs = Vec::new();
-        decode_wire_into(&wire, 4, &mut got_data, &mut got_runs).unwrap();
-        assert_eq!(got_data, data);
-        assert_eq!(
-            got_runs,
-            vec![(GlobalId(5), 3), (GlobalId(0), 4), (GlobalId(6), 3)]
-        );
-        let (ref_data, ref_runs) = reference::decode_wire(&wire, 4).unwrap();
-        assert_eq!((got_data, got_runs), (ref_data, ref_runs));
-    }
-
-    #[test]
-    fn decode_coalesces_adjacent_equal_gids() {
-        let mut wire = Vec::new();
-        encode_wire_into(b"xy", &[(1, gid(3)), (1, gid(3))], 4, &mut wire);
-        let (mut d, mut r) = (Vec::new(), Vec::new());
-        decode_wire_into(&wire, 4, &mut d, &mut r).unwrap();
-        assert_eq!(r, vec![(GlobalId(3), 2)]);
-    }
-
-    #[test]
-    fn torn_trailing_record_is_a_typed_error() {
-        let mut wire = Vec::new();
-        encode_wire_into(b"ab", &[(2, gid(1))], 4, &mut wire);
-        wire.pop(); // tear the last record
-        let (mut d, mut r) = (Vec::new(), Vec::new());
-        assert!(matches!(
-            decode_wire_into(&wire, 4, &mut d, &mut r),
-            Err(JreError::Protocol(_))
-        ));
-        assert!(matches!(
-            reference::decode_wire(&wire, 4),
-            Err(JreError::Protocol(_))
-        ));
-    }
-
-    #[test]
-    fn oversized_gid_is_a_typed_error() {
-        // Width 8 with a value above u32::MAX must not silently alias.
-        let mut wire = Vec::new();
-        encode_wire_into(
-            b"z",
-            &[(1, gid_w(u64::from(u32::MAX) + 1, 8))],
-            8,
-            &mut wire,
-        );
-        let (mut d, mut r) = (Vec::new(), Vec::new());
-        assert!(matches!(
-            decode_wire_into(&wire, 8, &mut d, &mut r),
-            Err(JreError::Protocol(_))
-        ));
-    }
-
-    #[test]
-    fn empty_input_round_trips() {
-        let mut wire = vec![1, 2, 3];
-        encode_wire_into(&[], &[], 4, &mut wire);
-        assert!(wire.is_empty());
-        let (mut d, mut r) = (vec![9], vec![(GlobalId(1), 1)]);
-        decode_wire_into(&[], 4, &mut d, &mut r).unwrap();
-        assert!(d.is_empty() && r.is_empty());
-    }
-
     #[test]
     fn pool_recycles_capacity() {
         let pool = WireBufPool::new();
@@ -606,5 +465,32 @@ mod tests {
         let mut ring = RingRemainder::new();
         ring.extend(&[1]);
         ring.consume(2);
+    }
+
+    #[test]
+    fn deprecated_shims_still_speak_v1() {
+        #[allow(deprecated)]
+        {
+            let mut slot = [0u8; MAX_GID_WIDTH];
+            slot[..4].copy_from_slice(&7u32.to_be_bytes());
+            let mut wire = Vec::new();
+            encode_wire_into(b"ab", &[(2, slot)], 4, &mut wire);
+            assert_eq!(wire, reference::encode_wire(b"ab", &[(2, slot)], 4));
+            let (mut d, mut r) = (Vec::new(), Vec::new());
+            decode_wire_into(&wire, 4, &mut d, &mut r).unwrap();
+            assert_eq!(d, b"ab");
+            assert_eq!(r, vec![(GlobalId(7), 2)]);
+        }
+    }
+
+    #[test]
+    fn wire_version_displays_lowercase() {
+        assert_eq!(WireVersion::V1.to_string(), "v1");
+        assert_eq!(WireVersion::V2.to_string(), "v2");
+    }
+
+    #[test]
+    fn wire_protocol_defaults_to_v1() {
+        assert_eq!(WireProtocol::default(), WireProtocol::V1);
     }
 }

@@ -1,0 +1,725 @@
+//! Wire protocol **v2** — adaptive framing for the mostly-untainted
+//! common case (ROADMAP item 2; Taint Rabbit / HardTaint selectivity
+//! argument).
+//!
+//! Where v1 expands *every* byte to a `(1 + width)`-byte record, v2
+//! frames the payload and lets each frame pick the cheapest encoding:
+//!
+//! ```text
+//! clean   := 0x01 dlen:varint data[dlen]                  # ~1.0x, no gids
+//! runs    := 0x02 width:u8 dlen:varint nseg:varint
+//!            (run_len:varint gid:width-bytes-BE){nseg} data[dlen]
+//! records := 0x03 width:u8 dlen:varint (byte gid:width)^dlen  # v1 records
+//! ```
+//!
+//! * **Clean frames** carry untainted payloads with a 2–5 byte header
+//!   and no per-byte overhead.
+//! * **Run frames** dump the `TaintRuns` shadow representation almost
+//!   directly: one `(run_len, gid)` segment per taint run, then the
+//!   payload verbatim. Segments precede the data so datagram tail
+//!   truncation cuts data, not structure.
+//! * **Record frames** are the adaptive fallback: when taints are so
+//!   fragmented that run segments would outweigh v1-style interleaved
+//!   records, the encoder emits the records instead (reusing the v1
+//!   width-monomorphized fast paths), bounding the worst case at v1's
+//!   cost plus a few header bytes.
+//!
+//! The gid width is chosen **per frame** from that frame's max gid
+//! (`width_for`), so a connection negotiated at width 4 still ships
+//! small-id frames with 1- or 2-byte gids. Varints are LEB128.
+//!
+//! V2 is only ever spoken after both peers settle on it (pinned
+//! [`WireProtocol::V2`](super::WireProtocol::V2) or a successful
+//! negotiation — see `boundary`); the bytes here never appear on a v1
+//! connection, which is how v1 stays bit-pinned.
+
+use dista_taint::GlobalId;
+
+use super::{check_width, gid_from_wire, v1, WireCodec, WireRun, WireVersion, MAX_GID_WIDTH};
+use crate::error::JreError;
+
+/// Frame opcode: untainted payload, no gid records.
+pub const OP_CLEAN: u8 = 0x01;
+/// Frame opcode: run-length gid segments followed by the payload.
+pub const OP_RUNS: u8 = 0x02;
+/// Frame opcode: v1-style interleaved records at the declared width.
+pub const OP_RECORDS: u8 = 0x03;
+
+/// Largest payload one frame may carry (64 MiB). Encoders split larger
+/// payloads; decoders reject larger declared lengths as lies.
+pub const MAX_FRAME_DATA: usize = 1 << 26;
+
+/// Longest accepted LEB128 varint (enough for any u64).
+const MAX_VARINT_LEN: usize = 10;
+
+/// Minimal big-endian byte width for a frame's max gid. Gids are 32-bit,
+/// so this is always 1..=4.
+pub fn width_for(max_gid: GlobalId) -> usize {
+    if max_gid.0 == 0 {
+        1
+    } else {
+        4 - (max_gid.0.leading_zeros() / 8) as usize
+    }
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    let bits = 64 - v.max(1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Reads one LEB128 varint. `Ok(None)` means the buffer ends inside the
+/// varint (more bytes needed); a varint longer than [`MAX_VARINT_LEN`]
+/// is malformed.
+fn read_varint(buf: &[u8]) -> Result<Option<(u64, usize)>, JreError> {
+    let mut v: u64 = 0;
+    for (i, &byte) in buf.iter().take(MAX_VARINT_LEN).enumerate() {
+        v |= u64::from(byte & 0x7F) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok(Some((v, i + 1)));
+        }
+    }
+    if buf.len() >= MAX_VARINT_LEN {
+        return Err(JreError::Protocol("malformed varint in v2 wire frame"));
+    }
+    Ok(None)
+}
+
+/// Appends one `(gid, run_len)` run, merging with the previous run when
+/// the gid matches (frames may split a logical run).
+fn push_run(runs_out: &mut Vec<(GlobalId, usize)>, gid: GlobalId, len: usize) {
+    if len == 0 {
+        return;
+    }
+    if let Some(last) = runs_out.last_mut() {
+        if last.0 == gid {
+            last.1 += len;
+            return;
+        }
+    }
+    runs_out.push((gid, len));
+}
+
+/// The adaptive v2 codec behind the versioned [`WireCodec`] trait.
+///
+/// `width` is the connection's configured gid width, kept only as an
+/// upper bound sanity hint — actual frames choose their own width from
+/// their own max gid.
+#[derive(Debug, Clone, Copy)]
+pub struct V2Codec {
+    width: usize,
+}
+
+impl V2Codec {
+    /// A v2 codec for a connection configured at the given gid width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1..=[`MAX_GID_WIDTH`].
+    pub fn new(width: usize) -> Self {
+        check_width(width);
+        V2Codec { width }
+    }
+
+    /// Encodes one frame covering `data` (non-empty, within
+    /// [`MAX_FRAME_DATA`]) with `runs` covering it exactly.
+    fn encode_frame(data: &[u8], runs: &[(usize, GlobalId)], out: &mut Vec<u8>) {
+        let dlen = data.len() as u64;
+        if runs.iter().all(|&(_, gid)| gid == GlobalId::UNTAINTED) {
+            out.push(OP_CLEAN);
+            push_varint(out, dlen);
+            out.extend_from_slice(data);
+            return;
+        }
+        let max_gid = runs.iter().map(|&(_, gid)| gid).max().unwrap_or_default();
+        let width = width_for(max_gid);
+        let live: Vec<(usize, GlobalId)> = runs.iter().copied().filter(|&(n, _)| n != 0).collect();
+        let runs_body: usize = varint_len(live.len() as u64)
+            + live
+                .iter()
+                .map(|&(n, _)| varint_len(n as u64) + width)
+                .sum::<usize>()
+            + data.len();
+        let records_body = data.len() * (1 + width);
+        if runs_body <= records_body {
+            out.push(OP_RUNS);
+            out.push(width as u8);
+            push_varint(out, dlen);
+            push_varint(out, live.len() as u64);
+            for &(run_len, gid) in &live {
+                push_varint(out, run_len as u64);
+                out.extend_from_slice(&gid.0.to_be_bytes()[4 - width..]);
+            }
+            out.extend_from_slice(data);
+        } else {
+            out.push(OP_RECORDS);
+            out.push(width as u8);
+            push_varint(out, dlen);
+            let wire_runs: Vec<WireRun> = live
+                .iter()
+                .map(|&(n, gid)| {
+                    let mut slot = [0u8; MAX_GID_WIDTH];
+                    slot[..width].copy_from_slice(&gid.0.to_be_bytes()[4 - width..]);
+                    (n, slot)
+                })
+                .collect();
+            let start = out.len();
+            out.resize(start + records_body, 0);
+            v1::encode_records_into(data, &wire_runs, width, &mut out[start..]);
+        }
+    }
+}
+
+/// Outcome of parsing one frame from the front of a buffer.
+enum Frame {
+    /// A whole frame: `consumed` wire bytes, payload delivered.
+    Complete { consumed: usize },
+    /// The buffer ends inside the frame; nothing was delivered.
+    Incomplete,
+}
+
+/// Parses one frame from the front of `wire`, appending its payload to
+/// `data_out` / `runs_out` only when the frame is complete.
+fn parse_frame(
+    wire: &[u8],
+    data_out: &mut Vec<u8>,
+    runs_out: &mut Vec<(GlobalId, usize)>,
+) -> Result<Frame, JreError> {
+    match parse_header(wire)? {
+        None => Ok(Frame::Incomplete),
+        Some(h) => {
+            if wire.len() < h.frame_len() {
+                return Ok(Frame::Incomplete);
+            }
+            h.deliver(wire, h.dlen, data_out, runs_out)?;
+            Ok(Frame::Complete {
+                consumed: h.frame_len(),
+            })
+        }
+    }
+}
+
+/// A fully parsed and validated frame header: everything before the
+/// payload region (for record frames the "payload region" is the record
+/// block).
+struct Header {
+    op: u8,
+    width: usize,
+    dlen: usize,
+    /// Byte offset where the payload region starts.
+    body: usize,
+    /// Parsed `(run_len, gid)` segments (run frames only).
+    segments: Vec<(usize, GlobalId)>,
+}
+
+impl Header {
+    /// Total wire length of the frame.
+    fn frame_len(&self) -> usize {
+        match self.op {
+            OP_RECORDS => self.body + self.dlen * (1 + self.width),
+            _ => self.body + self.dlen,
+        }
+    }
+
+    /// Appends the first `take` data bytes (and their runs) to the
+    /// outputs. `take == dlen` for whole frames; datagram truncation
+    /// recovery passes less.
+    fn deliver(
+        &self,
+        wire: &[u8],
+        take: usize,
+        data_out: &mut Vec<u8>,
+        runs_out: &mut Vec<(GlobalId, usize)>,
+    ) -> Result<(), JreError> {
+        match self.op {
+            OP_CLEAN => {
+                data_out.extend_from_slice(&wire[self.body..self.body + take]);
+                push_run(runs_out, GlobalId::UNTAINTED, take);
+            }
+            OP_RUNS => {
+                data_out.extend_from_slice(&wire[self.body..self.body + take]);
+                let mut left = take;
+                for &(run_len, gid) in &self.segments {
+                    if left == 0 {
+                        break;
+                    }
+                    let n = run_len.min(left);
+                    push_run(runs_out, gid, n);
+                    left -= n;
+                }
+            }
+            OP_RECORDS => {
+                let rs = 1 + self.width;
+                let region = &wire[self.body..self.body + take * rs];
+                let start = data_out.len();
+                data_out.resize(start + take, 0);
+                let mut frame_runs = Vec::new();
+                v1::strip_records_into(
+                    region,
+                    self.width,
+                    &mut data_out[start..],
+                    &mut frame_runs,
+                )?;
+                for (gid, n) in frame_runs {
+                    push_run(runs_out, gid, n);
+                }
+            }
+            _ => unreachable!("opcode validated by parse_header"),
+        }
+        Ok(())
+    }
+}
+
+/// Parses and validates a frame header. `Ok(None)` means the buffer ends
+/// inside the header (more bytes needed).
+fn parse_header(wire: &[u8]) -> Result<Option<Header>, JreError> {
+    let Some(&op) = wire.first() else {
+        return Ok(None);
+    };
+    if !(op == OP_CLEAN || op == OP_RUNS || op == OP_RECORDS) {
+        return Err(JreError::Protocol("unknown v2 wire frame opcode"));
+    }
+    let mut at = 1;
+    let width = if op == OP_CLEAN {
+        0
+    } else {
+        let Some(&w) = wire.get(at) else {
+            return Ok(None);
+        };
+        at += 1;
+        let w = w as usize;
+        if !(1..=MAX_GID_WIDTH).contains(&w) {
+            return Err(JreError::Protocol("v2 wire frame declares a bad gid width"));
+        }
+        w
+    };
+    let Some((dlen, n)) = read_varint(&wire[at..])? else {
+        return Ok(None);
+    };
+    at += n;
+    if dlen == 0 || dlen > MAX_FRAME_DATA as u64 {
+        return Err(JreError::Protocol(
+            "v2 wire frame declares a bad data length",
+        ));
+    }
+    let dlen = dlen as usize;
+    let mut segments = Vec::new();
+    if op == OP_RUNS {
+        let Some((nseg, n)) = read_varint(&wire[at..])? else {
+            return Ok(None);
+        };
+        at += n;
+        if nseg == 0 || nseg > dlen as u64 {
+            return Err(JreError::Protocol(
+                "v2 wire frame declares a bad segment count",
+            ));
+        }
+        let mut covered: u64 = 0;
+        segments.reserve(nseg as usize);
+        for _ in 0..nseg {
+            let Some((run_len, n)) = read_varint(&wire[at..])? else {
+                return Ok(None);
+            };
+            at += n;
+            if run_len == 0 {
+                return Err(JreError::Protocol("zero-length v2 gid segment"));
+            }
+            if wire.len() < at + width {
+                return Ok(None);
+            }
+            let gid = gid_from_wire(&wire[at..at + width])?;
+            at += width;
+            covered += run_len;
+            if covered > dlen as u64 {
+                return Err(JreError::Protocol(
+                    "v2 gid segments overrun the declared data length",
+                ));
+            }
+            segments.push((run_len as usize, gid));
+        }
+        if covered != dlen as u64 {
+            return Err(JreError::Protocol(
+                "v2 gid segments do not cover the declared data length",
+            ));
+        }
+    }
+    Ok(Some(Header {
+        op,
+        width,
+        dlen,
+        body: at,
+        segments,
+    }))
+}
+
+impl WireCodec for V2Codec {
+    fn version(&self) -> WireVersion {
+        WireVersion::V2
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn encode_into(
+        &self,
+        data: &[u8],
+        runs: &[(usize, GlobalId)],
+        out: &mut Vec<u8>,
+    ) -> Result<(), JreError> {
+        out.clear();
+        let total: usize = runs.iter().map(|&(n, _)| n).sum();
+        assert_eq!(total, data.len(), "run table must cover the data exactly");
+        let mut pos = 0; // data bytes framed so far
+        let mut run = 0; // index into `runs`
+        let mut offset = 0; // bytes of runs[run] already framed
+        let mut chunk_runs: Vec<(usize, GlobalId)> = Vec::new();
+        while pos < data.len() {
+            let chunk_len = (data.len() - pos).min(MAX_FRAME_DATA);
+            chunk_runs.clear();
+            let mut need = chunk_len;
+            while need > 0 {
+                let (run_len, gid) = runs[run];
+                let avail = run_len - offset;
+                let n = avail.min(need);
+                if n > 0 {
+                    chunk_runs.push((n, gid));
+                }
+                need -= n;
+                offset += n;
+                if offset == run_len {
+                    run += 1;
+                    offset = 0;
+                }
+            }
+            Self::encode_frame(&data[pos..pos + chunk_len], &chunk_runs, out);
+            pos += chunk_len;
+        }
+        Ok(())
+    }
+
+    fn decode_available(
+        &self,
+        wire: &[u8],
+        max_data: usize,
+        data_out: &mut Vec<u8>,
+        runs_out: &mut Vec<(GlobalId, usize)>,
+    ) -> Result<usize, JreError> {
+        data_out.clear();
+        runs_out.clear();
+        let mut consumed = 0;
+        while consumed < wire.len() && data_out.len() < max_data {
+            match parse_frame(&wire[consumed..], data_out, runs_out)? {
+                Frame::Complete { consumed: n } => consumed += n,
+                Frame::Incomplete => break,
+            }
+        }
+        Ok(consumed)
+    }
+
+    fn decode_datagram(
+        &self,
+        wire: &[u8],
+        data_out: &mut Vec<u8>,
+        runs_out: &mut Vec<(GlobalId, usize)>,
+    ) -> Result<(), JreError> {
+        data_out.clear();
+        runs_out.clear();
+        let mut at = 0;
+        while at < wire.len() {
+            match parse_frame(&wire[at..], data_out, runs_out)? {
+                Frame::Complete { consumed } => at += consumed,
+                Frame::Incomplete => {
+                    // Datagram tail truncation: deliver whatever whole
+                    // data bytes the final partial frame carries (whole
+                    // records for record frames), mirroring plain UDP's
+                    // data-prefix semantics. A cut inside the *header*
+                    // is structural loss, which UDP cannot produce on
+                    // its own — that stays an error.
+                    let rest = &wire[at..];
+                    let Some(h) = parse_header(rest)? else {
+                        return Err(JreError::Protocol(
+                            "datagram truncated inside a v2 frame header",
+                        ));
+                    };
+                    let avail = rest.len() - h.body;
+                    let take = match h.op {
+                        OP_RECORDS => avail / (1 + h.width),
+                        _ => avail,
+                    };
+                    h.deliver(rest, take.min(h.dlen), data_out, runs_out)?;
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_wire_len(&self, max_data: usize) -> usize {
+        // Worst case is the record-frame fallback (v1 cost) plus a few
+        // header bytes per frame.
+        max_data * (1 + self.width).max(5) + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UT: GlobalId = GlobalId::UNTAINTED;
+
+    fn roundtrip(
+        data: &[u8],
+        runs: &[(usize, GlobalId)],
+    ) -> (Vec<u8>, Vec<(GlobalId, usize)>, usize) {
+        let codec = V2Codec::new(4);
+        let mut wire = Vec::new();
+        codec.encode_into(data, runs, &mut wire).unwrap();
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        let consumed = codec
+            .decode_available(&wire, data.len().max(1), &mut d, &mut r)
+            .unwrap();
+        assert_eq!(consumed, wire.len(), "whole wire consumed");
+        (d, r, wire.len())
+    }
+
+    #[test]
+    fn clean_payload_ships_at_one_point_oh() {
+        let data = vec![0xAB; 100_000];
+        let (d, r, wire_len) = roundtrip(&data, &[(100_000, UT)]);
+        assert_eq!(d, data);
+        assert_eq!(r, vec![(UT, 100_000)]);
+        // 1 opcode + 3 varint bytes of header over 100k data bytes.
+        assert!(
+            wire_len <= data.len() + 8,
+            "wire {wire_len} vs {}",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn tainted_runs_round_trip_with_per_frame_width() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let runs = vec![
+            (1000usize, UT),
+            (96, GlobalId(7)),
+            (2000, UT),
+            (500, GlobalId(300)),
+            (500, GlobalId(300)),
+        ];
+        let (d, r, wire_len) = roundtrip(&data, &runs);
+        assert_eq!(d, data);
+        assert_eq!(
+            r,
+            vec![
+                (UT, 1000),
+                (GlobalId(7), 96),
+                (UT, 2000),
+                (GlobalId(300), 1000)
+            ]
+        );
+        // Max gid 300 → 2-byte per-frame width; the run segments cost a
+        // handful of bytes, nowhere near v1's 5x.
+        assert!(wire_len < data.len() + 64, "wire {wire_len}");
+    }
+
+    #[test]
+    fn fragmented_taints_fall_back_to_record_frames() {
+        // Alternate gids byte-by-byte: run segments would cost ~3 bytes
+        // per data byte on top of the data; records cost 1+width. The
+        // encoder must pick whichever is smaller — and either way stay
+        // within v1's envelope plus the frame header.
+        let data = vec![0x55u8; 512];
+        let runs: Vec<(usize, GlobalId)> = (0..512)
+            .map(|i| (1usize, if i % 2 == 0 { GlobalId(1) } else { GlobalId(2) }))
+            .collect();
+        let codec = V2Codec::new(4);
+        let mut wire = Vec::new();
+        codec.encode_into(&data, &runs, &mut wire).unwrap();
+        assert_eq!(wire[0], OP_RECORDS, "fragmented taints use record frames");
+        let v1_cost = data.len() * 2; // per-frame width is 1 here
+        assert!(
+            wire.len() <= v1_cost + 8,
+            "wire {} vs v1 {v1_cost}",
+            wire.len()
+        );
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert_eq!(
+            codec.decode_available(&wire, 512, &mut d, &mut r).unwrap(),
+            wire.len()
+        );
+        assert_eq!(d, data);
+        assert_eq!(r.len(), 512);
+    }
+
+    #[test]
+    fn width_for_picks_minimal_bytes() {
+        assert_eq!(width_for(GlobalId(0)), 1);
+        assert_eq!(width_for(GlobalId(1)), 1);
+        assert_eq!(width_for(GlobalId(255)), 1);
+        assert_eq!(width_for(GlobalId(256)), 2);
+        assert_eq!(width_for(GlobalId(65_535)), 2);
+        assert_eq!(width_for(GlobalId(65_536)), 3);
+        assert_eq!(width_for(GlobalId(u32::MAX)), 4);
+    }
+
+    #[test]
+    fn decode_available_stops_at_partial_frames() {
+        let codec = V2Codec::new(4);
+        let mut wire = Vec::new();
+        codec.encode_into(b"hello", &[(5, UT)], &mut wire).unwrap();
+        let full = wire.clone();
+        codec
+            .encode_into(b"world", &[(5, GlobalId(9))], &mut wire)
+            .unwrap();
+        let mut two = full.clone();
+        two.extend_from_slice(&wire);
+        // Cut inside the second frame: only the first is delivered.
+        let cut = &two[..full.len() + 3];
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert_eq!(
+            codec.decode_available(cut, 64, &mut d, &mut r).unwrap(),
+            full.len()
+        );
+        assert_eq!(d, b"hello");
+        // A bare opcode byte is just an incomplete frame, not an error.
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert_eq!(
+            codec
+                .decode_available(&[OP_RUNS], 64, &mut d, &mut r)
+                .unwrap(),
+            0
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_payload_encodes_to_nothing() {
+        let codec = V2Codec::new(4);
+        let mut wire = vec![1, 2, 3];
+        codec.encode_into(&[], &[], &mut wire).unwrap();
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn unknown_opcode_is_a_typed_error() {
+        let codec = V2Codec::new(4);
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert!(matches!(
+            codec.decode_available(&[0x7F, 1, 0], 8, &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn lying_data_length_is_a_typed_error() {
+        let codec = V2Codec::new(4);
+        let mut wire = vec![OP_CLEAN];
+        push_varint(&mut wire, (MAX_FRAME_DATA + 1) as u64);
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert!(matches!(
+            codec.decode_available(&wire, 8, &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn segments_must_cover_declared_length_exactly() {
+        let codec = V2Codec::new(4);
+        // width 1, dlen 4, one segment of 2 — undercovers.
+        let wire = [OP_RUNS, 1, 4, 1, 2, 9, b'a', b'b', b'c', b'd'];
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert!(matches!(
+            codec.decode_available(&wire, 8, &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+        // Zero-length segment.
+        let wire = [OP_RUNS, 1, 2, 1, 0, 9, b'a', b'b'];
+        assert!(matches!(
+            codec.decode_available(&wire, 8, &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_gid_in_wide_frame_is_a_typed_error() {
+        let codec = V2Codec::new(8);
+        // width 8 segment gid above u32::MAX must not alias.
+        let mut wire = vec![OP_RUNS, 8, 1, 1, 1];
+        wire.extend_from_slice(&(u64::from(u32::MAX) + 1).to_be_bytes());
+        wire.push(b'x');
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert!(matches!(
+            codec.decode_available(&wire, 8, &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn datagram_truncation_delivers_data_prefix() {
+        let codec = V2Codec::new(4);
+        let mut wire = Vec::new();
+        codec
+            .encode_into(b"abcdefgh", &[(4, UT), (4, GlobalId(5))], &mut wire)
+            .unwrap();
+        assert_eq!(wire[0], OP_RUNS);
+        // Cut two payload bytes off the tail: runs precede data, so the
+        // prefix keeps its taint structure.
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        codec
+            .decode_datagram(&wire[..wire.len() - 2], &mut d, &mut r)
+            .unwrap();
+        assert_eq!(d, b"abcdef");
+        assert_eq!(r, vec![(UT, 4), (GlobalId(5), 2)]);
+        // Cut inside the header: structural loss is an error.
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        assert!(matches!(
+            codec.decode_datagram(&wire[..3], &mut d, &mut r),
+            Err(JreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn datagram_record_frame_truncates_at_record_boundaries() {
+        // Force the record fallback, then cut mid-record.
+        let data = vec![0x11u8; 64];
+        let runs: Vec<(usize, GlobalId)> = (0..64)
+            .map(|i| (1usize, GlobalId(1 + (i % 2) as u32)))
+            .collect();
+        let codec = V2Codec::new(4);
+        let mut wire = Vec::new();
+        codec.encode_into(&data, &runs, &mut wire).unwrap();
+        assert_eq!(wire[0], OP_RECORDS);
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        codec
+            .decode_datagram(&wire[..wire.len() - 3], &mut d, &mut r)
+            .unwrap();
+        // width 1 → record size 2; 3 bytes cut = 1 whole record + 1 torn.
+        assert_eq!(d.len(), 62);
+        assert_eq!(r.iter().map(|&(_, n)| n).sum::<usize>(), 62);
+    }
+
+    #[test]
+    fn varint_roundtrip_and_limits() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v));
+            assert_eq!(read_varint(&buf).unwrap(), Some((v, buf.len())));
+        }
+        // Unterminated 10-byte varint is malformed, shorter is pending.
+        assert!(read_varint(&[0x80; 10]).is_err());
+        assert_eq!(read_varint(&[0x80; 3]).unwrap(), None);
+    }
+}

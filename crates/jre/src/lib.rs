@@ -90,7 +90,9 @@ pub use boundary::{wire_record_size, BoundaryStream};
 pub use buffer::{ByteBuffer, DirectByteBuffer};
 pub use buffered::{BufferedInputStream, BufferedOutputStream, DEFAULT_BUFFER_SIZE};
 pub use channel::{DatagramChannel, ServerSocketChannel, SocketChannel};
-pub use codec::{PooledBuf, RingRemainder, WireBufPool};
+pub use codec::{
+    PooledBuf, RingRemainder, V1Codec, V2Codec, WireBufPool, WireCodec, WireProtocol, WireVersion,
+};
 pub use data::{DataInputStream, DataOutputStream};
 pub use datagram::{DatagramPacket, DatagramSocket};
 pub use error::JreError;

@@ -44,7 +44,7 @@ impl ServerSocket {
     pub fn accept(&self) -> Result<Socket, JreError> {
         let ep = self.listener.accept()?;
         Ok(Socket {
-            stream: Arc::new(BoundaryStream::new(self.vm.clone(), ep)),
+            stream: Arc::new(BoundaryStream::acceptor(self.vm.clone(), ep)),
         })
     }
 
@@ -69,7 +69,7 @@ impl Socket {
     pub fn connect(vm: &Vm, addr: NodeAddr) -> Result<Self, JreError> {
         let ep = vm.net().tcp_connect_from(vm.ip(), addr)?;
         Ok(Socket {
-            stream: Arc::new(BoundaryStream::new(vm.clone(), ep)),
+            stream: Arc::new(BoundaryStream::connector(vm.clone(), ep)),
         })
     }
 

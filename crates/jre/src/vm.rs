@@ -12,7 +12,7 @@ use dista_taint::{
 use dista_taintmap::{ClientObserver, TaintMapClient, TaintMapTopology};
 use parking_lot::{Mutex, RwLock};
 
-use crate::codec::WireBufPool;
+use crate::codec::{WireBufPool, WireProtocol, WireVersion};
 use crate::error::JreError;
 
 /// Taint-tracking mode of one simulated JVM (paper §V-F runs every
@@ -64,7 +64,14 @@ pub(crate) struct VmObs {
     pub(crate) boundary_wire_out: Counter,
     pub(crate) boundary_data_in: Counter,
     pub(crate) boundary_wire_in: Counter,
-    pub(crate) wire_expansion: Gauge,
+    /// Per-protocol-version expansion gauges plus the cumulative
+    /// (data, wire) byte pairs they are recomputed from. V1 sits in its
+    /// ~5x band while v2 hovers near 1.0x for clean traffic, so one
+    /// shared gauge would just report a meaningless blend.
+    wire_expansion_v1: Gauge,
+    wire_expansion_v2: Gauge,
+    v1_out: (AtomicU64, AtomicU64),
+    v2_out: (AtomicU64, AtomicU64),
 }
 
 impl VmObs {
@@ -77,7 +84,10 @@ impl VmObs {
             boundary_wire_out: Counter::detached(),
             boundary_data_in: Counter::detached(),
             boundary_wire_in: Counter::detached(),
-            wire_expansion: Gauge::detached(),
+            wire_expansion_v1: Gauge::detached(),
+            wire_expansion_v2: Gauge::detached(),
+            v1_out: (AtomicU64::new(0), AtomicU64::new(0)),
+            v2_out: (AtomicU64::new(0), AtomicU64::new(0)),
         }
     }
 
@@ -97,17 +107,35 @@ impl VmObs {
             boundary_wire_out: reg.counter_with("boundary_wire_bytes_out", labels),
             boundary_data_in: reg.counter_with("boundary_data_bytes_in", labels),
             boundary_wire_in: reg.counter_with("boundary_wire_bytes_in", labels),
-            wire_expansion: reg.gauge_with("wire_expansion_ratio", labels),
+            wire_expansion_v1: reg
+                .gauge_with("wire_expansion_ratio", &[("node", node), ("proto", "v1")]),
+            wire_expansion_v2: reg
+                .gauge_with("wire_expansion_ratio", &[("node", node), ("proto", "v2")]),
+            v1_out: (AtomicU64::new(0), AtomicU64::new(0)),
+            v2_out: (AtomicU64::new(0), AtomicU64::new(0)),
         }
     }
 
-    /// Recomputes the outbound wire-expansion gauge from the cumulative
-    /// boundary counters (the paper's ~5× for 4-byte Global IDs).
-    pub(crate) fn update_expansion(&self) {
-        let data = self.boundary_data_out.get();
-        if data > 0 {
-            self.wire_expansion
-                .set(self.boundary_wire_out.get() as f64 / data as f64);
+    /// Records one outbound boundary crossing: bumps the cumulative
+    /// byte counters and recomputes the crossing protocol's expansion
+    /// gauge (the paper's ~5× for v1 with 4-byte Global IDs; ~1.0x for
+    /// v2 on clean traffic).
+    pub(crate) fn record_boundary_out(
+        &self,
+        version: WireVersion,
+        data_len: usize,
+        wire_len: usize,
+    ) {
+        self.boundary_data_out.add(data_len as u64);
+        self.boundary_wire_out.add(wire_len as u64);
+        let ((data, wire), gauge) = match version {
+            WireVersion::V1 => (&self.v1_out, &self.wire_expansion_v1),
+            WireVersion::V2 => (&self.v2_out, &self.wire_expansion_v2),
+        };
+        let d = data.fetch_add(data_len as u64, Ordering::Relaxed) + data_len as u64;
+        let w = wire.fetch_add(wire_len as u64, Ordering::Relaxed) + wire_len as u64;
+        if d > 0 {
+            gauge.set(w as f64 / d as f64);
         }
     }
 }
@@ -123,6 +151,7 @@ pub(crate) struct VmInner {
     pub(crate) spec: RwLock<SourceSinkSpec>,
     pub(crate) taint_map: Option<TaintMapClient>,
     pub(crate) gid_width: usize,
+    pub(crate) wire_protocol: WireProtocol,
     pub(crate) observability: Observability,
     pub(crate) obs: VmObs,
     /// Simulated off-heap ("native") memory for direct buffers. Shadows
@@ -167,6 +196,7 @@ pub struct VmBuilder {
     spec: SourceSinkSpec,
     taint_map_topology: Option<TaintMapTopology>,
     gid_width: usize,
+    wire_protocol: WireProtocol,
     observability: Observability,
 }
 
@@ -226,6 +256,15 @@ impl VmBuilder {
         self
     }
 
+    /// Sets the wire protocol policy for this VM's boundary connections
+    /// (default [`WireProtocol::V1`], the paper's bit-pinned format).
+    /// [`WireProtocol::Negotiate`] prefers the adaptive v2 framing and
+    /// falls back to v1 per connection for un-upgraded peers.
+    pub fn wire_protocol(mut self, protocol: WireProtocol) -> Self {
+        self.wire_protocol = protocol;
+        self
+    }
+
     /// Builds the VM, connecting to the Taint Map when configured.
     ///
     /// # Errors
@@ -270,6 +309,7 @@ impl VmBuilder {
                 spec: RwLock::new(self.spec),
                 taint_map,
                 gid_width: self.gid_width,
+                wire_protocol: self.wire_protocol,
                 observability: self.observability,
                 obs,
                 native_mem: Mutex::new(HashMap::new()),
@@ -293,6 +333,7 @@ impl Vm {
             spec: SourceSinkSpec::new(),
             taint_map_topology: None,
             gid_width: 4,
+            wire_protocol: WireProtocol::default(),
             observability: Observability::disabled(),
         }
     }
@@ -335,6 +376,12 @@ impl Vm {
     /// Global ID wire width in bytes.
     pub fn gid_width(&self) -> usize {
         self.inner.gid_width
+    }
+
+    /// The wire protocol policy this VM applies to new boundary
+    /// connections.
+    pub fn wire_protocol(&self) -> WireProtocol {
+        self.inner.wire_protocol
     }
 
     /// The sink recorder (what the evaluation inspects).
@@ -504,6 +551,7 @@ mod tests {
         assert_eq!(v.mode(), Mode::Original);
         assert_eq!(v.ip(), [127, 0, 0, 1]);
         assert_eq!(v.gid_width(), 4);
+        assert_eq!(v.wire_protocol(), WireProtocol::V1);
         assert!(v.taint_map().is_none());
     }
 

@@ -1,8 +1,9 @@
 //! Adversarial boundary-decode tests: malformed, truncated, or hostile
 //! wire input must surface as typed errors or clean EOF — never a panic,
-//! and never silently-clean (untainted) bytes.
+//! and never silently-clean (untainted) bytes. Covers both wire
+//! protocols plus the v1↔v2 negotiation interop matrix.
 
-use dista_jre::{JreError, Mode, Vm};
+use dista_jre::{JreError, Mode, Vm, WireProtocol, WireVersion};
 use dista_simnet::{NodeAddr, SimNet, TcpEndpoint};
 use dista_taint::{Payload, TagValue, TaintedBytes};
 use dista_taintmap::{TaintMapEndpoint, TaintMapError};
@@ -15,6 +16,10 @@ struct Rig {
 
 impl Rig {
     fn new(port_salt: u16, gid_width: usize) -> Self {
+        Self::with_protocol(port_salt, gid_width, WireProtocol::V1)
+    }
+
+    fn with_protocol(port_salt: u16, gid_width: usize, protocol: WireProtocol) -> Self {
         let net = SimNet::new();
         let tm = TaintMapEndpoint::builder()
             .addr(NodeAddr::new([10, 0, 0, 99], 7000 + port_salt))
@@ -23,7 +28,8 @@ impl Rig {
         let mut b = Vm::builder("rx", &net)
             .mode(Mode::Dista)
             .ip([10, 0, 0, 2])
-            .taint_map(tm.topology());
+            .taint_map(tm.topology())
+            .wire_protocol(protocol);
         if gid_width != 4 {
             b = b.gid_width(gid_width);
         }
@@ -161,6 +167,170 @@ fn error_reads_do_not_lose_the_remainder() {
     // Same bytes, same error — nothing was silently dropped.
     assert!(rx.read_payload(1).is_err());
     rig.tm.shutdown();
+}
+
+/// LEB128 varint, as used by the v2 frame grammar.
+fn varint(mut v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return out;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[test]
+fn v2_torn_clean_frame_header_at_eof_is_protocol_error() {
+    let rig = Rig::with_protocol(10, 4, WireProtocol::V2);
+    let (raw, rx) = rig.raw_pair(410);
+    // Opcode byte only — the stream dies inside the frame header.
+    raw.write(&[0x01]).unwrap();
+    raw.close();
+    assert!(matches!(rx.read_payload(8), Err(JreError::Protocol(_))));
+    rig.tm.shutdown();
+}
+
+#[test]
+fn v2_lying_frame_length_is_rejected() {
+    let rig = Rig::with_protocol(11, 4, WireProtocol::V2);
+    let (raw, rx) = rig.raw_pair(411);
+    // Clean frame declaring 2^27 data bytes — past the frame-size cap;
+    // trusting it would make the receiver buffer unboundedly.
+    let mut wire = vec![0x01];
+    wire.extend(varint(1 << 27));
+    raw.write(&wire).unwrap();
+    assert!(matches!(rx.read_payload(8), Err(JreError::Protocol(_))));
+    rig.tm.shutdown();
+}
+
+#[test]
+fn v2_gid_overflowing_declared_width_is_rejected() {
+    let rig = Rig::with_protocol(12, 4, WireProtocol::V2);
+    let (raw, rx) = rig.raw_pair(412);
+    // Runs frame with width 8 carrying a gid beyond the 32-bit Global
+    // ID space: silent truncation would alias two different taints.
+    let mut wire = vec![0x02, 8];
+    wire.extend(varint(1)); // dlen
+    wire.extend(varint(1)); // nseg
+    wire.extend(varint(1)); // run_len
+    wire.extend((u64::from(u32::MAX) + 7).to_be_bytes()); // gid, 8 bytes
+    wire.push(b'x');
+    raw.write(&wire).unwrap();
+    assert!(matches!(rx.read_payload(1), Err(JreError::Protocol(_))));
+    rig.tm.shutdown();
+}
+
+#[test]
+fn v2_unknown_opcode_is_rejected() {
+    let rig = Rig::with_protocol(13, 4, WireProtocol::V2);
+    let (raw, rx) = rig.raw_pair(413);
+    raw.write(&[0x7F, 1, 1, b'x']).unwrap();
+    assert!(matches!(rx.read_payload(4), Err(JreError::Protocol(_))));
+    rig.tm.shutdown();
+}
+
+#[test]
+fn v2_zero_length_segment_is_rejected() {
+    let rig = Rig::with_protocol(14, 4, WireProtocol::V2);
+    let (raw, rx) = rig.raw_pair(414);
+    let mut wire = vec![0x02, 1];
+    wire.extend(varint(1)); // dlen
+    wire.extend(varint(1)); // nseg
+    wire.extend(varint(0)); // run_len 0: never valid
+    wire.push(9); // gid
+    wire.push(b'x');
+    raw.write(&wire).unwrap();
+    assert!(matches!(rx.read_payload(1), Err(JreError::Protocol(_))));
+    rig.tm.shutdown();
+}
+
+#[test]
+fn fake_probe_against_pinned_v1_receiver_is_harmless() {
+    let rig = Rig::new(15, 4);
+    let (raw, rx) = rig.raw_pair(415);
+    // An attacker spoofing the negotiation probe gets a v1 reply and the
+    // stream keeps decoding v1 records — no state confusion, no panic.
+    raw.write(&[2, 0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+    raw.write(&record(b'p', 0, 4)).unwrap();
+    let got = rx.read_payload(1).unwrap();
+    assert_eq!(got.data(), b"p");
+    // The reply record ([1][FF; 4]) is sitting in the attacker's buffer.
+    let mut reply = [0u8; 5];
+    raw.read_exact(&mut reply).unwrap();
+    assert_eq!(reply, [1, 0xFF, 0xFF, 0xFF, 0xFF]);
+    rig.tm.shutdown();
+}
+
+/// The full interop matrix: every supported protocol pairing settles on
+/// the expected version and delivers tainted bytes intact, both ways.
+#[test]
+fn negotiation_interop_matrix() {
+    let cases: [(WireProtocol, WireProtocol, WireVersion); 5] = [
+        (
+            WireProtocol::Negotiate,
+            WireProtocol::Negotiate,
+            WireVersion::V2,
+        ),
+        (WireProtocol::Negotiate, WireProtocol::V1, WireVersion::V1),
+        (WireProtocol::V1, WireProtocol::Negotiate, WireVersion::V1),
+        (WireProtocol::V1, WireProtocol::V1, WireVersion::V1),
+        (WireProtocol::V2, WireProtocol::V2, WireVersion::V2),
+    ];
+    for (i, (client_proto, server_proto, expect)) in cases.into_iter().enumerate() {
+        let net = SimNet::new();
+        let tm = TaintMapEndpoint::builder()
+            .addr(NodeAddr::new([10, 0, 0, 99], 7100 + i as u16))
+            .connect(&net)
+            .unwrap();
+        let mk = |name: &str, ip: [u8; 4], proto: WireProtocol| {
+            Vm::builder(name, &net)
+                .mode(Mode::Dista)
+                .ip(ip)
+                .taint_map(tm.topology())
+                .wire_protocol(proto)
+                .build()
+                .unwrap()
+        };
+        let tx_vm = mk("tx", [10, 0, 0, 1], client_proto);
+        let rx_vm = mk("rx", [10, 0, 0, 2], server_proto);
+        let addr = NodeAddr::new([10, 0, 0, 2], 420 + i as u16);
+        let l = net.tcp_listen(addr).unwrap();
+        let c = net.tcp_connect_from(tx_vm.ip(), addr).unwrap();
+        let s = l.accept().unwrap();
+        let tx = dista_jre::BoundaryStream::connector(tx_vm.clone(), c);
+        let rx = dista_jre::BoundaryStream::acceptor(rx_vm.clone(), s);
+
+        let t = tx_vm.store().mint_source_taint(TagValue::str("fwd"));
+        let mut buf = TaintedBytes::uniform(b"secret", t);
+        buf.extend_plain(b" and clear");
+        tx.write_payload(&Payload::Tainted(buf)).unwrap();
+        let got = rx.read_exact_payload(16).unwrap();
+        assert_eq!(got.data(), b"secret and clear", "case {i}");
+        assert_eq!(
+            rx_vm.store().tag_values(got.taint_union(rx_vm.store())),
+            vec!["fwd".to_string()],
+            "case {i}: taints must survive {client_proto:?}->{server_proto:?}"
+        );
+        assert_eq!(tx.wire_version(), Some(expect), "case {i}: client version");
+
+        // Reverse direction over the same connection.
+        let t2 = rx_vm.store().mint_source_taint(TagValue::str("rev"));
+        rx.write_payload(&Payload::Tainted(TaintedBytes::uniform(b"reply", t2)))
+            .unwrap();
+        let back = tx.read_exact_payload(5).unwrap();
+        assert_eq!(back.data(), b"reply", "case {i}");
+        assert_eq!(
+            tx_vm.store().tag_values(back.taint_union(tx_vm.store())),
+            vec!["rev".to_string()],
+            "case {i}: reverse taints"
+        );
+        assert_eq!(rx.wire_version(), Some(expect), "case {i}: server version");
+        tm.shutdown();
+    }
 }
 
 /// Sanity check that a *valid* tainted exchange still works under the

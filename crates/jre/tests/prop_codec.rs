@@ -1,10 +1,11 @@
 //! Codec conformance properties: for arbitrary run layouts, gid widths
-//! and fragmentation points, the vectorized fast path is bit-identical
-//! to the per-byte reference codec, encode∘decode is the identity, and
-//! malformed wire input fails with typed errors.
+//! and fragmentation points, the vectorized v1 fast path is bit-identical
+//! to the per-byte reference codec, encode∘decode is the identity for
+//! both wire protocols, the two protocols deliver identical data and
+//! per-byte gids, and malformed wire input fails with typed errors.
 
-use dista_jre::codec::{self, reference, WireRun, MAX_GID_WIDTH};
-use dista_jre::JreError;
+use dista_jre::codec::{v1, v1::reference, WireRun, MAX_GID_WIDTH};
+use dista_jre::{JreError, V1Codec, V2Codec, WireCodec};
 use dista_taint::GlobalId;
 use proptest::prelude::*;
 
@@ -64,7 +65,7 @@ proptest! {
     fn fast_encode_matches_reference(layout in layout_strategy(), width in width_strategy()) {
         let (data, runs, _) = materialize(&layout, width);
         let mut fast = Vec::new();
-        codec::encode_wire_into(&data, &runs, width, &mut fast);
+        v1::encode_wire_into(&data, &runs, width, &mut fast);
         prop_assert_eq!(fast, reference::encode_wire(&data, &runs, width));
     }
 
@@ -74,9 +75,9 @@ proptest! {
     fn decode_inverts_encode(layout in layout_strategy(), width in width_strategy()) {
         let (data, runs, per_byte) = materialize(&layout, width);
         let mut wire = Vec::new();
-        codec::encode_wire_into(&data, &runs, width, &mut wire);
+        v1::encode_wire_into(&data, &runs, width, &mut wire);
         let (mut got_data, mut got_runs) = (Vec::new(), Vec::new());
-        codec::decode_wire_into(&wire, width, &mut got_data, &mut got_runs).unwrap();
+        v1::decode_wire_into(&wire, width, &mut got_data, &mut got_runs).unwrap();
         prop_assert_eq!(&got_data, &data);
         prop_assert_eq!(expand(&got_runs), per_byte);
         // Decoded run tables must be coalesced: no adjacent equal gids.
@@ -96,14 +97,14 @@ proptest! {
     ) {
         let (data, runs, per_byte) = materialize(&layout, width);
         let mut wire = Vec::new();
-        codec::encode_wire_into(&data, &runs, width, &mut wire);
+        v1::encode_wire_into(&data, &runs, width, &mut wire);
         let records = wire.len() / (1 + width);
         let at = (cut % (records + 1)) * (1 + width);
         let (mut d, mut r) = (Vec::new(), Vec::new());
         let mut all_data = Vec::new();
         let mut all_gids = Vec::new();
         for part in [&wire[..at], &wire[at..]] {
-            codec::decode_wire_into(part, width, &mut d, &mut r).unwrap();
+            v1::decode_wire_into(part, width, &mut d, &mut r).unwrap();
             all_data.extend_from_slice(&d);
             all_gids.extend(expand(&r));
         }
@@ -121,7 +122,7 @@ proptest! {
     ) {
         let (data, runs, _) = materialize(&layout, width);
         let mut wire = Vec::new();
-        codec::encode_wire_into(&data, &runs, width, &mut wire);
+        v1::encode_wire_into(&data, &runs, width, &mut wire);
         let rs = 1 + width;
         // Pick a non-record-aligned prefix length: some whole records
         // plus 1..rs stray bytes of the next one.
@@ -129,12 +130,73 @@ proptest! {
         prop_assert!(torn < wire.len() && torn % rs != 0);
         let (mut d, mut r) = (Vec::new(), Vec::new());
         prop_assert!(matches!(
-            codec::decode_wire_into(&wire[..torn], width, &mut d, &mut r),
+            v1::decode_wire_into(&wire[..torn], width, &mut d, &mut r),
             Err(JreError::Protocol(_))
         ));
         prop_assert!(matches!(
             reference::decode_wire(&wire[..torn], width),
             Err(JreError::Protocol(_))
         ));
+    }
+
+    /// v2 decode∘encode is the identity on data bytes and per-byte gids
+    /// for every layout, and one pass consumes the whole wire buffer.
+    #[test]
+    fn v2_decode_inverts_encode(layout in layout_strategy()) {
+        let (data, _, per_byte) = materialize(&layout, 4);
+        let runs: Vec<(usize, GlobalId)> = layout
+            .iter()
+            .map(|&(raw, len)| (len, GlobalId(raw)))
+            .collect();
+        let codec = V2Codec::new(4);
+        let mut wire = Vec::new();
+        codec.encode_into(&data, &runs, &mut wire).unwrap();
+        let (mut got_data, mut got_runs) = (Vec::new(), Vec::new());
+        let consumed = codec
+            .decode_available(&wire, data.len().max(1), &mut got_data, &mut got_runs)
+            .unwrap();
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(&got_data, &data);
+        prop_assert_eq!(expand(&got_runs), per_byte);
+    }
+
+    /// Protocol equivalence: whatever the run layout, v1 and v2 deliver
+    /// byte-identical data and per-byte gids — only the wire bytes in
+    /// between differ.
+    #[test]
+    fn v1_and_v2_deliver_identical_payloads(layout in layout_strategy()) {
+        let (data, _, _) = materialize(&layout, 4);
+        let runs: Vec<(usize, GlobalId)> = layout
+            .iter()
+            .map(|&(raw, len)| (len, GlobalId(raw)))
+            .collect();
+        let mut delivered = Vec::new();
+        for codec in [&V1Codec::new(4) as &dyn WireCodec, &V2Codec::new(4)] {
+            let mut wire = Vec::new();
+            codec.encode_into(&data, &runs, &mut wire).unwrap();
+            let (mut d, mut r) = (Vec::new(), Vec::new());
+            let consumed = codec
+                .decode_available(&wire, data.len().max(1), &mut d, &mut r)
+                .unwrap();
+            prop_assert_eq!(consumed, wire.len());
+            delivered.push((d, expand(&r)));
+        }
+        prop_assert_eq!(&delivered[0], &delivered[1]);
+    }
+
+    /// Untainted payloads ship at ~1.0x under v2: one opcode byte plus a
+    /// varint length per frame, never the 5x record expansion.
+    #[test]
+    fn v2_clean_frames_are_near_one_x(data in prop::collection::vec(any::<u8>(), 1..4096)) {
+        let codec = V2Codec::new(4);
+        let runs = [(data.len(), GlobalId::UNTAINTED)];
+        let mut wire = Vec::new();
+        codec.encode_into(&data, &runs, &mut wire).unwrap();
+        prop_assert!(
+            wire.len() <= data.len() + 8,
+            "clean frame overhead too large: {} wire bytes for {} data",
+            wire.len(),
+            data.len()
+        );
     }
 }

@@ -32,9 +32,9 @@ mod runner;
 mod socket_codecs;
 
 pub use cases::{all_cases, Family, MicroCase};
-pub use runner::{run_case, run_case_on, run_case_with, CaseResult};
+pub use runner::{run_case, run_case_on, run_case_wire, run_case_with, CaseResult};
 
-pub use dista_jre::Mode;
+pub use dista_jre::{Mode, WireProtocol};
 
 /// The tag value given to Node 1's source data.
 pub const DATA1_TAG: &str = "Data1";

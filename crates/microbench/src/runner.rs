@@ -123,6 +123,28 @@ pub fn run_case(case: &dyn MicroCase, mode: Mode, size: usize) -> Result<CaseRes
     run_case_with(case, mode, size, dista_simnet::FaultConfig::default())
 }
 
+/// Runs one case on a fresh two-node cluster pinned to the given wire
+/// protocol (homogeneous across both nodes — pinned v2 is
+/// homogeneous-only by construction).
+///
+/// # Errors
+///
+/// Cluster setup or case errors.
+pub fn run_case_wire(
+    case: &dyn MicroCase,
+    mode: Mode,
+    size: usize,
+    protocol: dista_jre::WireProtocol,
+) -> Result<CaseResult, DistaError> {
+    let cluster = Cluster::builder(mode)
+        .nodes("micro", 2)
+        .wire_protocol(protocol)
+        .build()?;
+    let result = run_case_on(case, cluster.vm(0), cluster.vm(1), size);
+    cluster.shutdown();
+    Ok(result?)
+}
+
 /// Runs one case on a fresh two-node cluster with an explicit network
 /// model (fragmentation, drops, link bandwidth).
 ///

@@ -55,12 +55,18 @@ pub fn read_frame(channel: &SocketChannel) -> Result<Option<Payload>, JreError> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dista_jre::{Mode, ServerSocketChannel, Vm};
+    use dista_jre::{Mode, ServerSocketChannel, Vm, WireProtocol};
     use dista_simnet::{NodeAddr, SimNet};
     use dista_taint::{TagValue, TaintedBytes};
     use dista_taintmap::TaintMapEndpoint;
 
     fn rig() -> (TaintMapEndpoint, Vm, Vm, SocketChannel, SocketChannel) {
+        rig_with(WireProtocol::V1)
+    }
+
+    fn rig_with(
+        protocol: WireProtocol,
+    ) -> (TaintMapEndpoint, Vm, Vm, SocketChannel, SocketChannel) {
         let net = SimNet::new();
         let tm = TaintMapEndpoint::builder().connect(&net).unwrap();
         let mk = |n: &str, ip: [u8; 4]| {
@@ -68,6 +74,7 @@ mod tests {
                 .mode(Mode::Dista)
                 .ip(ip)
                 .taint_map(tm.topology())
+                .wire_protocol(protocol)
                 .build()
                 .unwrap()
         };
@@ -95,6 +102,30 @@ mod tests {
         assert_eq!(f2.data(), b"twotwo");
         assert!(f2.taint_union(vm2.store()).is_empty());
         tm.shutdown();
+    }
+
+    /// The Netty pipeline is codec-agnostic: length-prefixed framing
+    /// must survive the adaptive v2 wire protocol unchanged, whether the
+    /// version is pinned or settled by the one-round-trip negotiation.
+    #[test]
+    fn frames_preserve_boundaries_and_taints_over_v2() {
+        for protocol in [WireProtocol::V2, WireProtocol::Negotiate] {
+            let (tm, vm1, vm2, c, s) = rig_with(protocol);
+            let t = vm1.store().mint_source_taint(TagValue::str("f"));
+            write_frame(&c, &Payload::Tainted(TaintedBytes::uniform(b"one", t))).unwrap();
+            write_frame(&c, &Payload::Plain(b"twotwo".to_vec())).unwrap();
+            let f1 = read_frame(&s).unwrap().unwrap();
+            assert_eq!(f1.data(), b"one", "{protocol:?}");
+            assert_eq!(
+                vm2.store().tag_values(f1.taint_union(vm2.store())),
+                vec!["f"],
+                "{protocol:?}"
+            );
+            let f2 = read_frame(&s).unwrap().unwrap();
+            assert_eq!(f2.data(), b"twotwo", "{protocol:?}");
+            assert!(f2.taint_union(vm2.store()).is_empty(), "{protocol:?}");
+            tm.shutdown();
+        }
     }
 
     #[test]

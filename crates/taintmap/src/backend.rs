@@ -7,9 +7,16 @@
 //! implementation" — an in-memory map — and `dista-zookeeper` provides a
 //! ZooKeeper-backed implementation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use parking_lot::Mutex;
+
+/// Global IDs that encode as an all-ones byte pattern at some supported
+/// wire width (1–4 bytes). The wire-protocol negotiation handshake uses
+/// the all-ones gid pattern as its probe/reply marker, so these ids must
+/// never be allocated to a real taint — each shard reserves its share of
+/// them at launch via [`TaintMapBackend::reserve`].
+pub const WIRE_RESERVED_GIDS: [u32; 4] = [0xFF, 0xFFFF, 0xFF_FFFF, 0xFFFF_FFFF];
 
 /// Storage for global taints: serialized-taint bytes keyed by Global ID,
 /// with byte-identity dedup on registration.
@@ -17,6 +24,13 @@ pub trait TaintMapBackend: Send + Sync + 'static {
     /// Registers a serialized taint, returning its Global ID. The same
     /// bytes must always yield the same id (dedup); ids are positive.
     fn register(&self, serialized: &[u8]) -> u32;
+
+    /// Marks local ids that [`TaintMapBackend::register`] must never
+    /// allocate (the wire grammar gives them special meaning — see
+    /// [`WIRE_RESERVED_GIDS`]). The default is a no-op, acceptable for
+    /// backends whose allocators realistically never reach these
+    /// near-`u32::MAX` ids.
+    fn reserve(&self, _local_ids: &[u32]) {}
 
     /// Resolves a Global ID; `None` if it was never assigned.
     fn lookup(&self, gid: u32) -> Option<Vec<u8>>;
@@ -40,6 +54,7 @@ struct MemState {
     by_bytes: HashMap<Vec<u8>, u32>,
     by_id: HashMap<u32, Vec<u8>>,
     next_id: u32,
+    reserved: HashSet<u32>,
 }
 
 /// The default in-memory backend.
@@ -70,10 +85,17 @@ impl TaintMapBackend for InMemoryBackend {
             return id;
         }
         st.next_id += 1;
+        while st.reserved.contains(&st.next_id) {
+            st.next_id += 1;
+        }
         let id = st.next_id;
         st.by_bytes.insert(serialized.to_vec(), id);
         st.by_id.insert(id, serialized.to_vec());
         id
+    }
+
+    fn reserve(&self, local_ids: &[u32]) {
+        self.state.lock().reserved.extend(local_ids.iter().copied());
     }
 
     fn lookup(&self, gid: u32) -> Option<Vec<u8>> {
@@ -112,6 +134,16 @@ mod tests {
     fn ids_start_at_one() {
         let b = InMemoryBackend::new();
         assert_eq!(b.register(b"x"), 1);
+    }
+
+    #[test]
+    fn reserved_ids_are_never_allocated() {
+        let b = InMemoryBackend::new();
+        b.reserve(&[2, 3, 5]);
+        assert_eq!(b.register(b"a"), 1);
+        assert_eq!(b.register(b"b"), 4, "skips the reserved 2 and 3");
+        assert_eq!(b.register(b"c"), 6, "skips the reserved 5");
+        assert_eq!(b.lookup(2), None);
     }
 
     #[test]

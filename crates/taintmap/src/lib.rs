@@ -69,7 +69,7 @@ mod proto;
 mod server;
 mod shard;
 
-pub use backend::{InMemoryBackend, TaintMapBackend};
+pub use backend::{InMemoryBackend, TaintMapBackend, WIRE_RESERVED_GIDS};
 pub use client::{ClientObserver, ClientResilience, ClientStats, TaintMapClient};
 pub use endpoint::{TaintMapEndpoint, TaintMapEndpointBuilder};
 pub use error::TaintMapError;

@@ -230,6 +230,13 @@ impl TaintMapServer {
         wal: Option<TaintMapWal>,
     ) -> Result<Self, TaintMapError> {
         let listener = net.tcp_listen(addr)?;
+        // Keep the wire grammar's magic gids (the all-ones negotiation
+        // handshake pattern) out of this shard's allocator.
+        let reserved: Vec<u32> = crate::backend::WIRE_RESERVED_GIDS
+            .iter()
+            .filter_map(|&gid| shard.local_of_global(gid))
+            .collect();
+        backend.reserve(&reserved);
         let replayed = match &wal {
             Some(w) => w.replay_into(&*backend, shard),
             None => 0,

@@ -173,6 +173,52 @@ fn delivered_bytes_identical_across_all_modes() {
     assert!(failures.is_empty(), "mode divergence:\n{failures:#?}");
 }
 
+/// Differential check across the wire protocols: for every one of the
+/// 30 cases, a DisTA cluster pinned to v1, pinned to v2, or negotiating
+/// delivers byte-for-byte identical data AND observes the identical tag
+/// set at `check()`. The adaptive v2 framing (clean-frame opcodes,
+/// run-length gid segments, per-frame widths) is a wire-level concern
+/// only — it may never change what the application sees.
+#[test]
+fn delivered_bytes_identical_across_wire_protocols() {
+    use dista_repro::microbench::{run_case_wire, WireProtocol};
+
+    const PROTOCOLS: [WireProtocol; 3] =
+        [WireProtocol::V1, WireProtocol::V2, WireProtocol::Negotiate];
+    let mut failures = Vec::new();
+    let mut rows = 0;
+    for case in all_cases() {
+        let mut baseline: Option<(Vec<u8>, Vec<String>)> = None;
+        for proto in PROTOCOLS {
+            let result = run_case_wire(case.as_ref(), Mode::Dista, SIZE, proto)
+                .unwrap_or_else(|e| panic!("case {} failed under {proto:?}: {e}", case.name()));
+            if !result.data_ok {
+                failures.push(format!("{}: data corrupted under {proto:?}", case.name()));
+            }
+            let cell = (result.delivered, result.tags_at_check);
+            match &baseline {
+                None => baseline = Some(cell),
+                Some(base) => {
+                    if base != &cell {
+                        failures.push(format!(
+                            "{}: {proto:?} diverged from v1 (delivered {} vs {} bytes, \
+                             tags {:?} vs {:?})",
+                            case.name(),
+                            cell.0.len(),
+                            base.0.len(),
+                            cell.1,
+                            base.1,
+                        ));
+                    }
+                }
+            }
+            rows += 1;
+        }
+    }
+    assert_eq!(rows, 90, "30 cases x 3 wire protocols");
+    assert!(failures.is_empty(), "protocol divergence:\n{failures:#?}");
+}
+
 /// The loss in Phosphor mode is *exactly* at the JNI boundary: on the
 /// sending node, before any native crossing, intra-node tracking is
 /// fully alive. This pins the "loses exactly inter-node taints" claim —
