@@ -21,6 +21,11 @@ echo "==> codec conformance + adversarial decode suites"
 cargo test -q --offline -p dista-jre --test prop_codec
 cargo test -q --offline -p dista-jre --test adversarial_decode
 
+echo "==> telemetry suites (histogram merge bound, exporter goldens, span interop)"
+cargo test -q --offline -p dista-obs --test merge_prop
+cargo test -q --offline -p dista-obs --test exporters
+cargo test -q --offline --test telemetry_interop
+
 echo "==> reactor conformance (blocking shim vs reactor API) + timer wheel"
 cargo test -q --offline -p dista-simnet --test reactor_conformance
 cargo test -q --offline -p dista-simnet --test timer_wheel
@@ -72,5 +77,17 @@ cargo run -p dista-bench --bin cluster_load --release --offline -- \
 test -s BENCH_cluster_load_v2.json
 grep -q '"wire_protocol": "v2"' BENCH_cluster_load_v2.json
 rm -f BENCH_cluster_load_v2.json
+
+echo "==> cluster_load --smoke --scrape (live telemetry A/B: overhead + scrape health gates)"
+rm -f BENCH_cluster_load_scrape.json
+cargo run -p dista-bench --bin cluster_load --release --offline -- \
+    --smoke --wire v2 --scrape --out BENCH_cluster_load_scrape.json
+test -s BENCH_cluster_load_scrape.json
+grep -q '"wire_protocol": "v2"' BENCH_cluster_load_scrape.json
+grep -Eq '"scrapes": ([2-9]|[1-9][0-9]+)' BENCH_cluster_load_scrape.json
+grep -q '"scrape_counters_monotone": true' BENCH_cluster_load_scrape.json
+grep -q '"parse_errors": 0' BENCH_cluster_load_scrape.json
+grep -q '"cost_attribution"' BENCH_cluster_load_scrape.json
+rm -f BENCH_cluster_load_scrape.json
 
 echo "CI OK"

@@ -2,14 +2,15 @@
 
 use dista_jre::{Mode, Vm, WireProtocol};
 use dista_obs::{
-    reconstruct, to_chrome_trace, to_jsonl, to_text_report, FlightRecorder, MetricsDump, ObsConfig,
-    ObsEvent, ObsEventKind, Observability, ProvenanceTrace,
+    reconstruct, reconstruct_inferred, to_chrome_trace, to_jsonl, to_text_report, FlightRecorder,
+    MetricsDump, ObsConfig, ObsEvent, ObsEventKind, ObsReport, Observability, ProvenanceTrace,
 };
 use dista_simnet::{FaultPlan, FaultTrigger, NodeAddr, SimFs, SimNet};
 use dista_taint::{SinkReport, SourceSinkSpec};
 use dista_taintmap::{TaintMapConfig, TaintMapEndpoint, TaintMapEndpointBuilder};
 
 use crate::error::DistaError;
+use crate::telemetry::{TelemetryConfig, TelemetryPlane};
 
 /// Builder for [`Cluster`].
 ///
@@ -38,6 +39,7 @@ pub struct ClusterBuilder {
     taint_map_snapshots: Option<bool>,
     net: Option<SimNet>,
     observability: Option<ObsConfig>,
+    telemetry: Option<TelemetryConfig>,
     chaos: Option<FaultPlan>,
 }
 
@@ -160,6 +162,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Stands up the live telemetry plane alongside the cluster: one
+    /// in-simulation collector (push + scrape endpoint at
+    /// [`TelemetryConfig::addr`]) and a per-VM agent pushing metric
+    /// deltas every [`TelemetryConfig::interval`]. Requires
+    /// [`ClusterBuilder::observability`] — without it no per-node
+    /// samples exist for the agents to ship, which
+    /// [`ClusterBuilder::build`] rejects as [`DistaError::Config`].
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// Builds the cluster: network, Taint Map deployment (always started
     /// so any VM may be switched to DisTA mode later), and the VMs.
     ///
@@ -268,6 +282,14 @@ impl ClusterBuilder {
                 conflicts.join(", ")
             )));
         }
+        if self.telemetry.is_some() && self.observability.is_none() {
+            return Err(DistaError::Config(
+                "telemetry requires observability: enable \
+                 ClusterBuilder::observability so VMs emit the per-node \
+                 samples the agents push"
+                    .into(),
+            ));
+        }
         let net = self.net.unwrap_or_default();
         let observability = match self.observability {
             Some(config) => Observability::with_registry(config, net.registry().clone()),
@@ -275,6 +297,7 @@ impl ClusterBuilder {
         };
         let taint_map = endpoint_builder.connect(&net)?;
         let topology = taint_map.topology();
+        let node_list = self.nodes.clone();
         let mut vms = Vec::with_capacity(self.nodes.len());
         for ((name, ip), protocol) in self.nodes.into_iter().zip(node_protocols) {
             vms.push(
@@ -290,6 +313,10 @@ impl ClusterBuilder {
             );
         }
         let chaos_recorder = observability.recorder_for("chaos");
+        let telemetry = match self.telemetry {
+            Some(config) => Some(TelemetryPlane::spawn(&net, &node_list, config)?),
+            None => None,
+        };
         // Arm the schedule last, so the logical step clock counts
         // workload operations, not cluster standup.
         if let Some(plan) = self.chaos {
@@ -301,6 +328,7 @@ impl ClusterBuilder {
             taint_map: Some(taint_map),
             vms,
             observability,
+            telemetry,
             chaos_recorder,
             fault_log_cursor: 0,
         })
@@ -315,6 +343,7 @@ pub struct Cluster {
     taint_map: Option<TaintMapEndpoint>,
     vms: Vec<Vm>,
     observability: Observability,
+    telemetry: Option<TelemetryPlane>,
     /// Sink for chaos-layer events (faults, shard crash/restart); merged
     /// into [`Cluster::obs_events`] alongside the per-VM recorders.
     chaos_recorder: FlightRecorder,
@@ -341,6 +370,7 @@ impl Cluster {
             taint_map_snapshots: None,
             net: None,
             observability: None,
+            telemetry: None,
             chaos: None,
         }
     }
@@ -437,6 +467,14 @@ impl Cluster {
         reconstruct(&self.obs_events(), gid)
     }
 
+    /// Like [`Cluster::provenance`], but ignoring wire-carried span
+    /// annotations and using only the gid-matching heuristic — the view
+    /// a v1-only cluster gets. Comparing the two shows what the v2
+    /// annotation frames buy (`exact` provenance vs. reconstruction).
+    pub fn provenance_inferred(&self, gid: u32) -> ProvenanceTrace {
+        reconstruct_inferred(&self.obs_events(), gid)
+    }
+
     /// Snapshot of the cluster metrics registry, with point-in-time
     /// per-VM census families (taint-tree size, memo hit counts, shadow
     /// run counts, Taint Map client RPC totals) mirrored in first.
@@ -490,6 +528,44 @@ impl Cluster {
     /// the event log.
     pub fn obs_report(&self) -> String {
         to_text_report(&self.metrics_dump(), &self.obs_events())
+    }
+
+    /// Hot-path cost attribution rolled up from the phase counters
+    /// (codec encode/decode, taint-tree ops, Taint Map round-trips).
+    pub fn cost_report(&self) -> ObsReport {
+        ObsReport::from_dump(&self.metrics_dump())
+    }
+
+    /// The live telemetry plane, when
+    /// [`ClusterBuilder::telemetry`] was set.
+    pub fn telemetry(&self) -> Option<&TelemetryPlane> {
+        self.telemetry.as_ref()
+    }
+
+    /// Scrapes the in-simulation collector endpoint (Prometheus-style
+    /// text exposition) over the simulated network.
+    ///
+    /// # Errors
+    ///
+    /// [`DistaError::Config`] if the plane is not enabled; transport
+    /// errors reaching the collector.
+    pub fn scrape_text(&self) -> Result<String, DistaError> {
+        self.telemetry
+            .as_ref()
+            .ok_or_else(|| DistaError::Config("telemetry plane not enabled".into()))?
+            .scrape_text()
+    }
+
+    /// JSON scrape of the in-simulation collector endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::scrape_text`].
+    pub fn scrape_json(&self) -> Result<String, DistaError> {
+        self.telemetry
+            .as_ref()
+            .ok_or_else(|| DistaError::Config("telemetry plane not enabled".into()))?
+            .scrape_json()
     }
 
     /// Drives the chaos layer one tick: mirrors newly applied faults
@@ -618,8 +694,12 @@ impl Cluster {
             .sum()
     }
 
-    /// Stops the Taint Map deployment.
+    /// Stops the telemetry plane (agents flush their final deltas
+    /// first) and the Taint Map deployment.
     pub fn shutdown(mut self) {
+        if let Some(plane) = self.telemetry.take() {
+            plane.shutdown();
+        }
         if let Some(tm) = self.taint_map.take() {
             tm.shutdown();
         }
@@ -862,6 +942,79 @@ mod tests {
         assert!(cluster.export_jsonl().contains("boundary_encode"));
         assert!(cluster.export_chrome_trace().contains("\"ph\""));
         assert!(cluster.obs_report().contains("== events =="));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn telemetry_plane_scrapes_live_cluster_metrics() {
+        use dista_jre::{InputStream, OutputStream};
+        use dista_taint::{Payload, TaintedBytes};
+        use std::time::Duration;
+
+        let cluster = Cluster::builder(Mode::Dista)
+            .nodes("n", 2)
+            .observability(ObsConfig::default())
+            .telemetry(crate::telemetry::TelemetryConfig {
+                interval: Duration::from_millis(5),
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let (tx_vm, rx_vm) = (cluster.vm(0), cluster.vm(1));
+        let server =
+            dista_jre::ServerSocket::bind(rx_vm, NodeAddr::new([10, 0, 0, 2], 80)).unwrap();
+        let client = dista_jre::Socket::connect(tx_vm, server.local_addr()).unwrap();
+        let conn = server.accept().unwrap();
+        let secret = tx_vm.taint_source(TagValue::str("secret"));
+        client
+            .output_stream()
+            .write(&Payload::Tainted(TaintedBytes::uniform(b"payload", secret)))
+            .unwrap();
+        conn.input_stream().read_exact(7).unwrap();
+
+        // The scrape endpoint is reachable from inside the simulation
+        // and eventually reflects the boundary counters pushed by the
+        // sender's agent.
+        let text = loop {
+            let text = cluster.scrape_text().unwrap();
+            if text.contains("boundary_wire_bytes_out{node=\"n1\"}") {
+                break text;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(text.contains("dista_collector_frames_ingested_total"));
+        let json = cluster.scrape_json().unwrap();
+        assert!(json.contains("\"nodes\":[\"n1\"") || json.contains("\"n1\""));
+
+        let plane = cluster.telemetry().unwrap();
+        assert_eq!(plane.agents().len(), 2);
+        let collector = plane.collector().clone();
+        cluster.shutdown();
+        assert!(collector.frames_ingested() >= 1);
+        assert_eq!(collector.parse_errors(), 0);
+        assert!(
+            collector
+                .latest_dump()
+                .counter_total("boundary_wire_bytes_out")
+                >= 35
+        );
+    }
+
+    #[test]
+    fn telemetry_without_observability_is_rejected() {
+        let err = Cluster::builder(Mode::Dista)
+            .nodes("n", 1)
+            .telemetry(crate::telemetry::TelemetryConfig::default())
+            .build()
+            .unwrap_err();
+        match err {
+            DistaError::Config(msg) => assert!(msg.contains("observability"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+
+        let cluster = Cluster::builder(Mode::Dista).nodes("n", 1).build().unwrap();
+        assert!(cluster.telemetry().is_none());
+        assert!(matches!(cluster.scrape_text(), Err(DistaError::Config(_))));
         cluster.shutdown();
     }
 

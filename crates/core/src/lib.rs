@@ -49,10 +49,12 @@ mod cluster;
 mod config;
 mod error;
 pub mod registry;
+pub mod telemetry;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use config::{DistaConfig, LaunchScript};
 pub use error::DistaError;
+pub use telemetry::{AgentRuntime, CollectorServer, TelemetryConfig, TelemetryPlane};
 
 pub use dista_jre::{Mode, WireProtocol, WireVersion};
 pub use dista_simnet::{FaultPlan, FaultPlanBuilder};

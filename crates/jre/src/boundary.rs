@@ -31,7 +31,7 @@
 //! taints are silently lost. In [`Mode::Original`] payloads stay plain.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use dista_obs::{GidSpan, ObsEventKind, Transport};
 use dista_simnet::{native, NodeAddr, TcpEndpoint, UdpEndpoint};
@@ -126,6 +126,7 @@ pub(crate) fn encode_payload<'vm>(
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
+    let obs = vm.vm_obs();
     // Per-run gids, resolved via a distinct-taint table so each taint is
     // looked up exactly once per call.
     let mut run_gids: Vec<(usize, GlobalId)> = Vec::new();
@@ -138,6 +139,14 @@ pub(crate) fn encode_payload<'vm>(
             }
         }
         Payload::Tainted(bytes) => {
+            // Attribute the run-table assembly to the taint-tree phase;
+            // the Taint Map round trip below is counted as map_rpc by
+            // the client itself, keeping the phases disjoint.
+            let tt = obs
+                .phases
+                .taint_tree
+                .is_enabled()
+                .then(std::time::Instant::now);
             let mut slot_of: HashMap<Taint, usize> = HashMap::new();
             let mut distinct: Vec<Taint> = Vec::new();
             let mut run_slots: Vec<(usize, usize)> = Vec::new();
@@ -148,6 +157,11 @@ pub(crate) fn encode_payload<'vm>(
                 });
                 run_slots.push((run_len, slot));
             }
+            if let Some(started) = tt {
+                obs.phases
+                    .taint_tree
+                    .record_ns(started.elapsed().as_nanos() as u64);
+            }
             let gids = client.global_ids_for(&distinct)?;
             for (run_len, slot) in run_slots {
                 run_gids.push((run_len, gids[slot]));
@@ -156,8 +170,33 @@ pub(crate) fn encode_payload<'vm>(
     }
     let data = payload.data();
     let mut out = vm.wire_pool().checkout();
+    let enc = obs
+        .phases
+        .codec_encode
+        .is_enabled()
+        .then(std::time::Instant::now);
     codec.encode_into(data, &run_gids, &mut out)?;
-    let obs = vm.vm_obs();
+    if let Some(started) = enc {
+        obs.phases
+            .codec_encode
+            .record_ns(started.elapsed().as_nanos() as u64);
+    }
+    // Trace annotation: a tainted v2 crossing mints a child span and
+    // ships it ahead of the data frames; the parent is whatever span
+    // last delivered (or minted with) the first tainted gid on this VM.
+    // Clean payloads carry no annotation, preserving v2's ~1.0x wire
+    // size; v1 stays bit-pinned, so its crossings are never annotated.
+    let mut span = 0u64;
+    let mut parent = 0u64;
+    if codec.version() == WireVersion::V2 && obs.gid_spans.is_enabled() {
+        if let Some(&(_, gid)) = run_gids.iter().find(|&&(_, gid)| gid.is_tainted()) {
+            span = vm.observability().next_span();
+            parent = obs.gid_spans.get(gid.0);
+            let mut ann = Vec::with_capacity(21);
+            crate::codec::v2::encode_annotation(span, parent, &mut ann);
+            out.splice(0..0, ann);
+        }
+    }
     obs.record_boundary_out(codec.version(), data.len(), out.len());
     obs.flight.record_with(|| {
         let mut spans = Vec::new();
@@ -179,6 +218,8 @@ pub(crate) fn encode_payload<'vm>(
             data_bytes: data.len(),
             wire_bytes: out.len(),
             spans,
+            span,
+            parent,
         }
     });
     Ok(out)
@@ -208,10 +249,12 @@ pub(crate) fn resolve_decoded(
     runs: Vec<(GlobalId, usize)>,
     wire_len: usize,
     link: Link,
+    span: u64,
 ) -> Result<TaintedBytes, JreError> {
     let client = vm
         .taint_map()
         .ok_or(JreError::Protocol("DisTA boundary without taint map"))?;
+    let obs = vm.vm_obs();
     let mut slot_of: HashMap<GlobalId, usize> = HashMap::new();
     let mut distinct: Vec<GlobalId> = Vec::new();
     for &(gid, _) in &runs {
@@ -220,8 +263,17 @@ pub(crate) fn resolve_decoded(
             distinct.len() - 1
         });
     }
+    // Bind the delivered gids to the crossing span *before* the Taint
+    // Map resolution, so the lookup events it records already name the
+    // span that delivered them (binding to span 0 is a no-op).
+    if span != 0 {
+        for &gid in &distinct {
+            if gid.is_tainted() {
+                obs.gid_spans.bind(gid.0, span);
+            }
+        }
+    }
     let taints = client.taints_for_degraded(&distinct)?;
-    let obs = vm.vm_obs();
     obs.boundary_data_in.add(data.len() as u64);
     obs.boundary_wire_in.add(wire_len as u64);
     obs.flight.record_with(|| {
@@ -244,11 +296,22 @@ pub(crate) fn resolve_decoded(
             data_bytes: data.len(),
             wire_bytes: wire_len,
             spans,
+            span,
         }
     });
+    let tt = obs
+        .phases
+        .taint_tree
+        .is_enabled()
+        .then(std::time::Instant::now);
     let mut shadow = TaintRuns::new();
     for (gid, run_len) in runs {
         shadow.push_run(taints[slot_of[&gid]], run_len);
+    }
+    if let Some(started) = tt {
+        obs.phases
+            .taint_tree
+            .record_ns(started.elapsed().as_nanos() as u64);
     }
     Ok(TaintedBytes::from_runs(data, shadow))
 }
@@ -260,7 +323,7 @@ pub(crate) fn decode_wire(vm: &Vm, wire: &[u8], link: Link) -> Result<TaintedByt
     let mut data = Vec::new();
     let mut runs: Vec<(GlobalId, usize)> = Vec::new();
     crate::codec::v1::decode_wire_into(wire, vm.gid_width(), &mut data, &mut runs)?;
-    resolve_decoded(vm, data, runs, wire.len(), link)
+    resolve_decoded(vm, data, runs, wire.len(), link, 0)
 }
 
 /// Truncates decoded output to `cap` data bytes, trimming the run table
@@ -313,6 +376,10 @@ pub struct BoundaryStream {
     /// first data write, after which an arriving probe is swallowed
     /// without a reply (the peer falls back to v1 on the data records).
     wrote_data: AtomicBool,
+    /// Span of the most recent inbound v2 trace annotation: the frames
+    /// decoded after it were delivered by that crossing. Stays 0 on v1
+    /// connections and when the peer does not annotate.
+    rx_span: AtomicU64,
 }
 
 impl BoundaryStream {
@@ -359,6 +426,7 @@ impl BoundaryStream {
             rx_pending: Mutex::new(TaintedBytes::new()),
             proto: Mutex::new(initial),
             wrote_data: AtomicBool::new(false),
+            rx_span: AtomicU64::new(0),
         };
         if !connector && watching {
             stream.eager_rx_probe();
@@ -629,20 +697,51 @@ impl BoundaryStream {
                             WireVersion::V1 => &v1,
                             WireVersion::V2 => &v2,
                         };
+                        // Strip any trace annotation sitting at the front
+                        // of the remainder: the frames that follow were
+                        // delivered by its span. A partial annotation
+                        // falls through to the read below for more bytes.
+                        if version == WireVersion::V2 {
+                            while let crate::codec::v2::AnnotParse::Complete {
+                                span,
+                                consumed,
+                                ..
+                            } = crate::codec::v2::parse_annotation(rem.as_slice())?
+                            {
+                                self.rx_span.store(span, Ordering::Relaxed);
+                                rem.consume(consumed);
+                            }
+                        }
                         let mut data = Vec::new();
                         let mut runs: Vec<(GlobalId, usize)> = Vec::new();
                         // Decode straight out of the ring's live region —
                         // no drain-and-collect copy — and only consume on
                         // success, so an error loses no remainder bytes.
+                        let phases = &self.vm.vm_obs().phases;
+                        let dec = phases
+                            .codec_decode
+                            .is_enabled()
+                            .then(std::time::Instant::now);
                         let consumed = codec.decode_available(
                             rem.as_slice(),
                             max_data,
                             &mut data,
                             &mut runs,
                         )?;
+                        if let Some(started) = dec {
+                            phases
+                                .codec_decode
+                                .record_ns(started.elapsed().as_nanos() as u64);
+                        }
                         if consumed > 0 {
-                            let decoded =
-                                resolve_decoded(&self.vm, data, runs, consumed, self.in_link)?;
+                            let decoded = resolve_decoded(
+                                &self.vm,
+                                data,
+                                runs,
+                                consumed,
+                                self.in_link,
+                                self.rx_span.load(Ordering::Relaxed),
+                            )?;
                             rem.consume(consumed);
                             let mut pending = self.rx_pending.lock();
                             pending.extend_tainted(&decoded);
@@ -799,9 +898,32 @@ pub(crate) fn recv_datagram(
             let mut buf = vm.wire_pool().checkout();
             buf.resize(codec.recv_wire_len(buf_len), 0);
             let (n, from) = native::datagram_receive0(socket, &mut buf)?;
+            // A v2 datagram may lead with a trace annotation; strip it
+            // before the codec sees the frames.
+            let mut frame = &buf[..n];
+            let mut span = 0u64;
+            if codec.version() == WireVersion::V2 {
+                if let crate::codec::v2::AnnotParse::Complete {
+                    span: s, consumed, ..
+                } = crate::codec::v2::parse_annotation(frame)?
+                {
+                    span = s;
+                    frame = &frame[consumed..];
+                }
+            }
             let mut data = Vec::new();
             let mut runs: Vec<(GlobalId, usize)> = Vec::new();
-            codec.decode_datagram(&buf[..n], &mut data, &mut runs)?;
+            let phases = &vm.vm_obs().phases;
+            let dec = phases
+                .codec_decode
+                .is_enabled()
+                .then(std::time::Instant::now);
+            codec.decode_datagram(frame, &mut data, &mut runs)?;
+            if let Some(started) = dec {
+                phases
+                    .codec_decode
+                    .record_ns(started.elapsed().as_nanos() as u64);
+            }
             truncate_decoded(&mut data, &mut runs, buf_len);
             let decoded = resolve_decoded(
                 vm,
@@ -813,6 +935,7 @@ pub(crate) fn recv_datagram(
                     from,
                     to: socket.local_addr(),
                 },
+                span,
             )?;
             Ok((Payload::Tainted(decoded), from))
         }

@@ -44,6 +44,24 @@ pub const OP_CLEAN: u8 = 0x01;
 pub const OP_RUNS: u8 = 0x02;
 /// Frame opcode: v1-style interleaved records at the declared width.
 pub const OP_RECORDS: u8 = 0x03;
+/// Frame opcode: trace-context annotation.
+///
+/// ```text
+/// annot := 0x04 span:varint parent:varint
+/// ```
+///
+/// An annotation is **not** a data frame: it carries the crossing span
+/// id (and its parent span) for the tainted payload whose data frames
+/// follow it on the wire. The boundary layer prepends it before the
+/// frames of a tainted v2 payload and strips it on receive with
+/// [`parse_annotation`]. The data decoder treats an annotation at a
+/// frame boundary as a clean stop ([`V2Codec::decode_available`]
+/// returns what it consumed so far), and the frame-header opcode
+/// whitelist still rejects `0x04` *inside* a frame stream handed over
+/// without stripping — datagram decoding never sees one legitimately.
+/// `span` must be nonzero (0 is the protocol's "no span" sentinel);
+/// `parent` may be 0.
+pub const OP_ANNOT: u8 = 0x04;
 
 /// Largest payload one frame may carry (64 MiB). Encoders split larger
 /// payloads; decoders reject larger declared lengths as lies.
@@ -109,6 +127,67 @@ fn push_run(runs_out: &mut Vec<(GlobalId, usize)>, gid: GlobalId, len: usize) {
         }
     }
     runs_out.push((gid, len));
+}
+
+/// Appends one annotation frame carrying `span` (nonzero) and its
+/// `parent` span (0 = root) to `out`.
+///
+/// # Panics
+///
+/// Panics if `span` is 0 — the encoder must simply omit the annotation
+/// when it has no span to propagate.
+pub fn encode_annotation(span: u64, parent: u64, out: &mut Vec<u8>) {
+    assert_ne!(span, 0, "span 0 means no annotation; do not encode one");
+    out.push(OP_ANNOT);
+    push_varint(out, span);
+    push_varint(out, parent);
+}
+
+/// Outcome of probing the front of a receive buffer for an annotation
+/// frame (see [`parse_annotation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotParse {
+    /// The buffer does not start with an annotation (empty, or a data
+    /// frame opcode) — hand the bytes to the codec untouched.
+    None,
+    /// The buffer ends inside the annotation; read more bytes first.
+    Incomplete,
+    /// A whole annotation: strip `consumed` bytes, remember the span.
+    Complete {
+        /// The crossing span id (never 0).
+        span: u64,
+        /// The parent span id (0 = the crossing has no recorded parent).
+        parent: u64,
+        /// Wire bytes the annotation occupied.
+        consumed: usize,
+    },
+}
+
+/// Probes the front of `wire` for an [`OP_ANNOT`] frame.
+///
+/// # Errors
+///
+/// A malformed varint or a zero span id inside an annotation is a
+/// protocol error (a v2 peer never emits either).
+pub fn parse_annotation(wire: &[u8]) -> Result<AnnotParse, JreError> {
+    match wire.first() {
+        Some(&op) if op == OP_ANNOT => {}
+        _ => return Ok(AnnotParse::None),
+    }
+    let Some((span, n1)) = read_varint(&wire[1..])? else {
+        return Ok(AnnotParse::Incomplete);
+    };
+    let Some((parent, n2)) = read_varint(&wire[1 + n1..])? else {
+        return Ok(AnnotParse::Incomplete);
+    };
+    if span == 0 {
+        return Err(JreError::Protocol("v2 annotation frame carries span 0"));
+    }
+    Ok(AnnotParse::Complete {
+        span,
+        parent,
+        consumed: 1 + n1 + n2,
+    })
 }
 
 /// The adaptive v2 codec behind the versioned [`WireCodec`] trait.
@@ -420,6 +499,12 @@ impl WireCodec for V2Codec {
         runs_out.clear();
         let mut consumed = 0;
         while consumed < wire.len() && data_out.len() < max_data {
+            // An annotation frame is a barrier between payloads: stop
+            // cleanly so the boundary layer can strip it (and adopt its
+            // span) before decoding the frames that follow.
+            if wire[consumed] == OP_ANNOT {
+                break;
+            }
             match parse_frame(&wire[consumed..], data_out, runs_out)? {
                 Frame::Complete { consumed: n } => consumed += n,
                 Frame::Incomplete => break,
@@ -708,6 +793,79 @@ mod tests {
         // width 1 → record size 2; 3 bytes cut = 1 whole record + 1 torn.
         assert_eq!(d.len(), 62);
         assert_eq!(r.iter().map(|&(_, n)| n).sum::<usize>(), 62);
+    }
+
+    #[test]
+    fn annotation_round_trips_and_fences_the_data_decoder() {
+        let mut wire = Vec::new();
+        encode_annotation(300, 7, &mut wire);
+        assert_eq!(wire[0], OP_ANNOT);
+        assert_eq!(
+            parse_annotation(&wire).unwrap(),
+            AnnotParse::Complete {
+                span: 300,
+                parent: 7,
+                consumed: wire.len()
+            }
+        );
+        // Trailing bytes after the annotation don't confuse the probe.
+        wire.push(OP_CLEAN);
+        assert!(matches!(
+            parse_annotation(&wire).unwrap(),
+            AnnotParse::Complete { span: 300, .. }
+        ));
+        // A data frame (or an empty buffer) is AnnotParse::None.
+        assert_eq!(
+            parse_annotation(&[OP_CLEAN, 1, b'x']).unwrap(),
+            AnnotParse::None
+        );
+        assert_eq!(parse_annotation(&[]).unwrap(), AnnotParse::None);
+        // A cut inside the annotation asks for more bytes.
+        let mut partial = Vec::new();
+        encode_annotation(u64::MAX, u64::MAX, &mut partial);
+        for cut in 1..partial.len() {
+            assert_eq!(
+                parse_annotation(&partial[..cut]).unwrap(),
+                AnnotParse::Incomplete,
+                "cut at {cut}"
+            );
+        }
+        // Span 0 on the wire is a protocol error.
+        assert!(parse_annotation(&[OP_ANNOT, 0, 0]).is_err());
+        // The data decoder stops cleanly at an annotation boundary —
+        // frames before it decode, the annotation itself stays put for
+        // the boundary layer to strip.
+        let codec = V2Codec::new(4);
+        let (mut d, mut r) = (Vec::new(), Vec::new());
+        let mut annotated = Vec::new();
+        encode_annotation(5, 0, &mut annotated);
+        assert_eq!(
+            codec
+                .decode_available(&annotated, 8, &mut d, &mut r)
+                .unwrap(),
+            0,
+            "nothing decodable before the annotation"
+        );
+        let mut stream = Vec::new();
+        codec.encode_into(b"abc", &[(3, UT)], &mut stream).unwrap();
+        let first_frame = stream.len();
+        let mut rest = Vec::new();
+        encode_annotation(9, 5, &mut rest);
+        let mut second = Vec::new();
+        codec.encode_into(b"de", &[(2, UT)], &mut second).unwrap();
+        rest.extend_from_slice(&second);
+        stream.extend_from_slice(&rest);
+        let consumed = codec.decode_available(&stream, 64, &mut d, &mut r).unwrap();
+        assert_eq!(consumed, first_frame, "decode halts at the annotation");
+        assert_eq!(d, b"abc");
+        assert!(matches!(
+            parse_annotation(&stream[consumed..]).unwrap(),
+            AnnotParse::Complete {
+                span: 9,
+                parent: 5,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dista_obs::{Counter, FlightRecorder, Gauge, ObsEventKind, Observability};
+use dista_obs::{
+    Counter, FlightRecorder, Gauge, ObsEventKind, Observability, PhaseSet, SpanTracker,
+};
 use dista_simnet::{SimFs, SimNet};
 use dista_taint::{
     LocalId, SinkRecorder, SinkReport, SourceSinkSpec, TagValue, Taint, TaintRuns, TaintStore,
@@ -72,6 +74,13 @@ pub(crate) struct VmObs {
     wire_expansion_v2: Gauge,
     v1_out: (AtomicU64, AtomicU64),
     v2_out: (AtomicU64, AtomicU64),
+    /// taint local id → root span minted with it at the source.
+    pub(crate) taint_spans: SpanTracker,
+    /// gid → span that most recently delivered it to this VM (root span
+    /// at registration, crossing span on inbound v2 decodes).
+    pub(crate) gid_spans: SpanTracker,
+    /// Hot-path cost attribution counters for this VM.
+    pub(crate) phases: PhaseSet,
 }
 
 impl VmObs {
@@ -88,6 +97,9 @@ impl VmObs {
             wire_expansion_v2: Gauge::detached(),
             v1_out: (AtomicU64::new(0), AtomicU64::new(0)),
             v2_out: (AtomicU64::new(0), AtomicU64::new(0)),
+            taint_spans: SpanTracker::disabled(),
+            gid_spans: SpanTracker::disabled(),
+            phases: PhaseSet::disabled(),
         }
     }
 
@@ -113,6 +125,9 @@ impl VmObs {
                 .gauge_with("wire_expansion_ratio", &[("node", node), ("proto", "v2")]),
             v1_out: (AtomicU64::new(0), AtomicU64::new(0)),
             v2_out: (AtomicU64::new(0), AtomicU64::new(0)),
+            taint_spans: obs.span_tracker(),
+            gid_spans: obs.span_tracker(),
+            phases: obs.phases_for(node),
         }
     }
 
@@ -285,6 +300,8 @@ impl VmBuilder {
                 let observer = match self.observability.registry() {
                     Some(reg) if self.mode.tracks_taints() => {
                         ClientObserver::for_node(reg, &self.name, obs.flight.clone())
+                            .with_spans(obs.taint_spans.clone(), obs.gid_spans.clone())
+                            .with_rpc_phase(obs.phases.map_rpc.clone())
                     }
                     _ => ClientObserver::disabled(),
                 };
@@ -457,6 +474,14 @@ impl Vm {
     fn mint_observed(&self, tag_value: TagValue) -> Taint {
         let t = self.inner.store.mint_source_taint(tag_value);
         self.inner.obs.sources_minted.inc();
+        // Root span: the first link of the taint's cluster trace chain.
+        let span = if self.inner.obs.taint_spans.is_enabled() {
+            let s = self.inner.observability.next_span();
+            self.inner.obs.taint_spans.bind(t.node_index() as u32, s);
+            s
+        } else {
+            0
+        };
         self.inner.obs.flight.record_with(|| {
             let tag = self
                 .inner
@@ -469,6 +494,7 @@ impl Vm {
             ObsEventKind::SourceMinted {
                 taint: t.node_index() as u32,
                 tag,
+                span,
             }
         });
         t

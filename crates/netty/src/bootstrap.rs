@@ -355,6 +355,74 @@ mod tests {
     }
 
     #[test]
+    fn v2_crossings_propagate_exact_trace_spans() {
+        use dista_jre::WireProtocol;
+        use dista_obs::{reconstruct, reconstruct_inferred, Hop, ObsConfig, Observability};
+
+        let net = SimNet::new();
+        let obs = Observability::with_registry(ObsConfig::default(), net.registry().clone());
+        let tm = TaintMapEndpoint::builder().connect(&net).unwrap();
+        let mk = |n: &str, ip: [u8; 4]| {
+            Vm::builder(n, &net)
+                .mode(Mode::Dista)
+                .ip(ip)
+                .wire_protocol(WireProtocol::V2)
+                .taint_map(tm.topology())
+                .observability(obs.clone())
+                .build()
+                .unwrap()
+        };
+        let client_vm = mk("client", [10, 0, 0, 1]);
+        let server_vm = mk("server", [10, 0, 0, 2]);
+        let server = ServerBootstrap::new(&server_vm)
+            .child_handler(|ctx, msg| ctx.write(&msg).unwrap())
+            .bind(NodeAddr::new([10, 0, 0, 2], 9004))
+            .unwrap();
+        let chan = Bootstrap::new(&client_vm)
+            .connect(server.local_addr())
+            .unwrap();
+        let t = client_vm.taint_source(TagValue::str("trace"));
+        let reply = chan
+            .call(&Payload::Tainted(TaintedBytes::uniform(b"traced", t)))
+            .unwrap();
+        assert_eq!(reply.data(), b"traced");
+        server.shutdown();
+
+        let mut events = client_vm.flight_recorder().events();
+        events.extend(server_vm.flight_recorder().events());
+        let gid = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                dista_obs::ObsEventKind::BoundaryEncode { spans, .. } => {
+                    spans.first().map(|s| s.gid)
+                }
+                _ => None,
+            })
+            .expect("a tainted netty crossing was recorded");
+        let exact = reconstruct(&events, gid);
+        assert!(
+            exact.exact,
+            "v2 netty crossings must pair by propagated span ids: {exact}"
+        );
+        let crossing_spans: Vec<u64> = exact
+            .hops
+            .iter()
+            .filter_map(|h| match h {
+                Hop::Crossed { span, .. } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crossing_spans.len(), 2, "request and reply crossings");
+        assert!(crossing_spans.iter().all(|&s| s != 0));
+        // On this unambiguous path the exact trace agrees hop-for-hop
+        // with the pre-trace-context gid-matching inference.
+        let inferred = reconstruct_inferred(&events, gid);
+        assert!(!inferred.exact);
+        assert_eq!(exact.hops, inferred.hops);
+        tm.shutdown();
+    }
+
+    #[test]
     fn server_requires_handler() {
         let (tm, _c, server_vm) = cluster();
         let err = ServerBootstrap::new(&server_vm)

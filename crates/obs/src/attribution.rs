@@ -1,0 +1,288 @@
+//! Hot-path cost attribution: per-phase nanosecond/operation counters
+//! and the per-run [`ObsReport`] rollup.
+//!
+//! The Taint Rabbit question — *which* hot path dominates tracking
+//! cost, the codec, the taint tree or the map round-trips? — needs
+//! attributed measurement, not a single wall-clock number. Call sites
+//! in `dista-jre` and `dista-taintmap` wrap each phase with an
+//! `Instant` and feed the elapsed nanoseconds into a [`PhaseHandle`];
+//! the counters land in the shared registry as
+//! `dista_phase_ns{node,phase}` / `dista_phase_ops{node,phase}`, so
+//! they flow through metric dumps, telemetry pushes and scrapes like
+//! any other instrument. [`ObsReport::from_dump`] folds a dump back
+//! into a per-phase cost table.
+//!
+//! Timing itself stays out of this crate (no clocks here — `dista-obs`
+//! records what callers measured), and a disabled [`PhaseSet`] keeps
+//! the "plain mode pays nothing" invariant: [`PhaseHandle::is_enabled`]
+//! lets hot paths skip even the `Instant::now` call.
+
+use crate::registry::{Counter, MetricsDump, MetricsRegistry, SampleValue};
+
+/// Phase label for time spent in wire-codec encoding.
+pub const PHASE_CODEC_ENCODE: &str = "codec_encode";
+/// Phase label for time spent in wire-codec decoding.
+pub const PHASE_CODEC_DECODE: &str = "codec_decode";
+/// Phase label for taint-tree work at the boundary (run assembly and
+/// shadow resolution).
+pub const PHASE_TAINT_TREE: &str = "taint_tree";
+/// Phase label for Taint Map RPC round-trips.
+pub const PHASE_MAP_RPC: &str = "map_rpc";
+
+/// Every attributed phase, in report order.
+pub const PHASES: &[&str] = &[
+    PHASE_CODEC_ENCODE,
+    PHASE_CODEC_DECODE,
+    PHASE_TAINT_TREE,
+    PHASE_MAP_RPC,
+];
+
+/// One phase's counter pair. Cloning shares the counters.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseHandle {
+    enabled: bool,
+    ns: Counter,
+    ops: Counter,
+}
+
+impl PhaseHandle {
+    /// A handle whose records vanish (and whose `is_enabled` tells hot
+    /// paths to skip the clock read entirely).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether records actually land anywhere. Call sites guard the
+    /// `Instant::now()` pair on this so disabled runs pay one branch.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one operation that took `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        if self.enabled {
+            self.ns.add(ns);
+            self.ops.inc();
+        }
+    }
+
+    /// Total attributed nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.get()
+    }
+
+    /// Total attributed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.get()
+    }
+}
+
+/// The four hot-path phase handles for one VM, resolved once at
+/// construction time.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseSet {
+    /// Wire-codec encode time.
+    pub codec_encode: PhaseHandle,
+    /// Wire-codec decode time.
+    pub codec_decode: PhaseHandle,
+    /// Boundary taint-tree work (run assembly, shadow resolution).
+    pub taint_tree: PhaseHandle,
+    /// Taint Map RPC round-trips.
+    pub map_rpc: PhaseHandle,
+}
+
+impl PhaseSet {
+    /// A set of disabled handles.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Handles writing `dista_phase_ns` / `dista_phase_ops` members
+    /// labeled `{node=<node>, phase=<phase>}` into `registry`.
+    pub fn for_node(registry: &MetricsRegistry, node: &str) -> Self {
+        let handle = |phase: &str| PhaseHandle {
+            enabled: true,
+            ns: registry.counter_with("dista_phase_ns", &[("node", node), ("phase", phase)]),
+            ops: registry.counter_with("dista_phase_ops", &[("node", node), ("phase", phase)]),
+        };
+        PhaseSet {
+            codec_encode: handle(PHASE_CODEC_ENCODE),
+            codec_decode: handle(PHASE_CODEC_DECODE),
+            taint_tree: handle(PHASE_TAINT_TREE),
+            map_rpc: handle(PHASE_MAP_RPC),
+        }
+    }
+
+    /// Whether the handles record anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.codec_encode.is_enabled()
+    }
+}
+
+/// One phase's aggregated cost in an [`ObsReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Phase label (one of [`PHASES`]).
+    pub phase: String,
+    /// Total attributed nanoseconds across all nodes.
+    pub ns: u64,
+    /// Total attributed operations across all nodes.
+    pub ops: u64,
+}
+
+impl PhaseCost {
+    /// Mean nanoseconds per operation (0 when no ops).
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.ns as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Per-run cost-attribution rollup: where tracking time went, plus the
+/// observability health counters a run report should never omit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsReport {
+    /// Cluster-total cost per phase, in [`PHASES`] order (phases with
+    /// zero ops are included so field sets stay stable).
+    pub phases: Vec<PhaseCost>,
+    /// Flight-recorder events lost to ring wrap-around, cluster-total.
+    pub flight_dropped_events: u64,
+}
+
+impl ObsReport {
+    /// Folds a metrics dump into the report: `dista_phase_ns`/`_ops`
+    /// members are summed per phase label across nodes.
+    pub fn from_dump(dump: &MetricsDump) -> Self {
+        let phase_total = |family: &str, phase: &str| -> u64 {
+            dump.samples
+                .iter()
+                .filter(|s| {
+                    s.name == family && s.labels.iter().any(|(k, v)| k == "phase" && v == phase)
+                })
+                .filter_map(|s| match s.value {
+                    SampleValue::Counter(v) => Some(v),
+                    _ => None,
+                })
+                .sum()
+        };
+        ObsReport {
+            phases: PHASES
+                .iter()
+                .map(|phase| PhaseCost {
+                    phase: (*phase).to_string(),
+                    ns: phase_total("dista_phase_ns", phase),
+                    ops: phase_total("dista_phase_ops", phase),
+                })
+                .collect(),
+            flight_dropped_events: dump.counter_total("flight_dropped_events"),
+        }
+    }
+
+    /// Total attributed nanoseconds across every phase.
+    pub fn total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.ns).sum()
+    }
+
+    /// Human-readable cost table.
+    pub fn render(&self) -> String {
+        let total = self.total_ns().max(1);
+        let mut out = String::from("== cost attribution ==\n");
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<14} {:>12} ns  {:>10} ops  {:>10.1} ns/op  {:>5.1}%\n",
+                p.phase,
+                p.ns,
+                p.ops,
+                p.ns_per_op(),
+                100.0 * p.ns as f64 / total as f64,
+            ));
+        }
+        out.push_str(&format!(
+            "flight_dropped_events {}\n",
+            self.flight_dropped_events
+        ));
+        out
+    }
+
+    /// Hand-rolled JSON object (the vendored serde has no serde_json):
+    /// `{"phases":[{"phase":…,"ns":…,"ops":…},…],"flight_dropped_events":…}`.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"phase\":\"{}\",\"ns\":{},\"ops\":{}}}",
+                    p.phase, p.ns, p.ops
+                )
+            })
+            .collect();
+        format!(
+            "{{\"phases\":[{}],\"flight_dropped_events\":{}}}",
+            phases.join(","),
+            self.flight_dropped_events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let set = PhaseSet::disabled();
+        assert!(!set.is_enabled());
+        set.codec_encode.record_ns(100);
+        assert_eq!(set.codec_encode.total_ns(), 0);
+        assert_eq!(set.codec_encode.total_ops(), 0);
+    }
+
+    #[test]
+    fn report_sums_phases_across_nodes() {
+        let reg = MetricsRegistry::new();
+        let a = PhaseSet::for_node(&reg, "n1");
+        let b = PhaseSet::for_node(&reg, "n2");
+        assert!(a.is_enabled());
+        a.codec_encode.record_ns(100);
+        a.codec_encode.record_ns(50);
+        b.codec_encode.record_ns(25);
+        b.map_rpc.record_ns(1000);
+        reg.counter_with("flight_dropped_events", &[("node", "n1")])
+            .add(3);
+        let report = ObsReport::from_dump(&reg.snapshot());
+        assert_eq!(report.phases.len(), PHASES.len());
+        let enc = &report.phases[0];
+        assert_eq!(enc.phase, PHASE_CODEC_ENCODE);
+        assert_eq!(enc.ns, 175);
+        assert_eq!(enc.ops, 3);
+        let rpc = report
+            .phases
+            .iter()
+            .find(|p| p.phase == PHASE_MAP_RPC)
+            .unwrap();
+        assert_eq!(rpc.ns, 1000);
+        assert_eq!(rpc.ops, 1);
+        assert_eq!(report.flight_dropped_events, 3);
+        assert_eq!(report.total_ns(), 1175);
+        let text = report.render();
+        assert!(text.contains("codec_encode"));
+        assert!(text.contains("flight_dropped_events 3"));
+        let json = report.to_json();
+        assert!(json.contains("\"phase\":\"map_rpc\",\"ns\":1000,\"ops\":1"));
+        assert!(json.contains("\"flight_dropped_events\":3"));
+    }
+
+    #[test]
+    fn ns_per_op_handles_zero_ops() {
+        let p = PhaseCost {
+            phase: "x".into(),
+            ns: 0,
+            ops: 0,
+        };
+        assert_eq!(p.ns_per_op(), 0.0);
+    }
+}

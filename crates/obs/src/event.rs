@@ -59,6 +59,9 @@ pub enum ObsEventKind {
         taint: u32,
         /// The source tag, e.g. `zk.zxid`.
         tag: String,
+        /// Root trace span minted alongside the taint (0 when trace
+        /// context is off).
+        span: u64,
     },
     /// The Taint Map assigned `gid` to a serialized local taint.
     TaintMapRegister {
@@ -66,6 +69,9 @@ pub enum ObsEventKind {
         taint: u32,
         /// The global id the service handed back.
         gid: u32,
+        /// Root span of the minted taint, now bound to the gid (0 when
+        /// trace context is off).
+        span: u64,
     },
     /// A VM resolved `gid` back into a local taint.
     TaintMapLookup {
@@ -73,6 +79,9 @@ pub enum ObsEventKind {
         gid: u32,
         /// The local taint id it interned to on this VM.
         taint: u32,
+        /// The crossing span that delivered the gid to this VM (0 when
+        /// unknown — v1 peer or trace context off).
+        span: u64,
     },
     /// The client redialed a Taint Map shard after a primary failure.
     TaintMapFailover {
@@ -93,6 +102,12 @@ pub enum ObsEventKind {
         wire_bytes: usize,
         /// Tainted ranges of the data bytes.
         spans: Vec<GidSpan>,
+        /// Crossing span id carried in the v2 annotation frame (0 when
+        /// no annotation was sent — v1 wire or untainted payload).
+        span: u64,
+        /// Parent span — the span that delivered the tainted gids to
+        /// this VM, or the root span minted at the source (0 = none).
+        parent: u64,
     },
     /// Inbound boundary: wire records were collapsed back into data.
     BoundaryDecode {
@@ -108,6 +123,11 @@ pub enum ObsEventKind {
         wire_bytes: usize,
         /// Tainted ranges of the recovered data bytes.
         spans: Vec<GidSpan>,
+        /// Crossing span id received in the v2 annotation frame (0 when
+        /// the peer sent none — v1 wire or untainted payload). A
+        /// nonzero value pairs this decode exactly with the encode that
+        /// minted the same span.
+        span: u64,
     },
     /// A sink point observed a tainted value.
     SinkHit {
@@ -197,6 +217,7 @@ mod tests {
         let k = ObsEventKind::SourceMinted {
             taint: 1,
             tag: "t".into(),
+            span: 0,
         };
         assert_eq!(k.name(), "source_minted");
         assert_eq!(Transport::Tcp.to_string(), "tcp");

@@ -48,14 +48,17 @@ fn json_spans(spans: &[GidSpan]) -> String {
 
 fn kind_fields(kind: &ObsEventKind) -> String {
     match kind {
-        ObsEventKind::SourceMinted { taint, tag } => {
-            format!("\"taint\":{taint},\"tag\":{}", json_str(tag))
+        ObsEventKind::SourceMinted { taint, tag, span } => {
+            format!(
+                "\"taint\":{taint},\"tag\":{},\"span\":{span}",
+                json_str(tag)
+            )
         }
-        ObsEventKind::TaintMapRegister { taint, gid } => {
-            format!("\"taint\":{taint},\"gid\":{gid}")
+        ObsEventKind::TaintMapRegister { taint, gid, span } => {
+            format!("\"taint\":{taint},\"gid\":{gid},\"span\":{span}")
         }
-        ObsEventKind::TaintMapLookup { gid, taint } => {
-            format!("\"gid\":{gid},\"taint\":{taint}")
+        ObsEventKind::TaintMapLookup { gid, taint, span } => {
+            format!("\"gid\":{gid},\"taint\":{taint},\"span\":{span}")
         }
         ObsEventKind::TaintMapFailover { shard } => format!("\"shard\":{shard}"),
         ObsEventKind::BoundaryEncode {
@@ -65,17 +68,27 @@ fn kind_fields(kind: &ObsEventKind) -> String {
             data_bytes,
             wire_bytes,
             spans,
-        }
-        | ObsEventKind::BoundaryDecode {
+            span,
+            parent,
+        } => format!(
+            "\"transport\":{},\"from\":{},\"to\":{},\"data_bytes\":{data_bytes},\
+             \"wire_bytes\":{wire_bytes},\"spans\":{},\"span\":{span},\"parent\":{parent}",
+            json_str(transport.as_str()),
+            json_str(from),
+            json_str(to),
+            json_spans(spans)
+        ),
+        ObsEventKind::BoundaryDecode {
             transport,
             from,
             to,
             data_bytes,
             wire_bytes,
             spans,
+            span,
         } => format!(
             "\"transport\":{},\"from\":{},\"to\":{},\"data_bytes\":{data_bytes},\
-             \"wire_bytes\":{wire_bytes},\"spans\":{}",
+             \"wire_bytes\":{wire_bytes},\"spans\":{},\"span\":{span}",
             json_str(transport.as_str()),
             json_str(from),
             json_str(to),
@@ -184,7 +197,11 @@ mod tests {
             ObsEvent {
                 seq: 1,
                 node: "n2".into(),
-                kind: ObsEventKind::TaintMapLookup { gid: 42, taint: 3 },
+                kind: ObsEventKind::TaintMapLookup {
+                    gid: 42,
+                    taint: 3,
+                    span: 7,
+                },
             },
             ObsEvent {
                 seq: 0,
@@ -200,6 +217,8 @@ mod tests {
                         start: 0,
                         end: 4,
                     }],
+                    span: 7,
+                    parent: 5,
                 },
             },
         ]
@@ -213,7 +232,9 @@ mod tests {
         assert!(lines[0].contains("\"seq\":0"));
         assert!(lines[0].contains("\"event\":\"boundary_encode\""));
         assert!(lines[0].contains("\"spans\":[{\"gid\":42,\"start\":0,\"end\":4}]"));
+        assert!(lines[0].contains("\"span\":7,\"parent\":5"));
         assert!(lines[1].contains("\"event\":\"taintmap_lookup\""));
+        assert!(lines[1].contains("\"span\":7"));
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
@@ -249,6 +270,7 @@ mod tests {
             kind: ObsEventKind::SourceMinted {
                 taint: 1,
                 tag: "a\\b\nc".into(),
+                span: 0,
             },
         }];
         let out = to_jsonl(&events);

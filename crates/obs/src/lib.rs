@@ -25,21 +25,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attribution;
 mod event;
 mod export;
 mod provenance;
 mod recorder;
 mod registry;
+mod span;
+mod telemetry;
 
+pub use attribution::{
+    ObsReport, PhaseCost, PhaseHandle, PhaseSet, PHASES, PHASE_CODEC_DECODE, PHASE_CODEC_ENCODE,
+    PHASE_MAP_RPC, PHASE_TAINT_TREE,
+};
 pub use event::{GidSpan, ObsEvent, ObsEventKind, Transport};
 pub use export::{to_chrome_trace, to_jsonl, to_text_report};
-pub use provenance::{reconstruct, Hop, ProvenanceTrace};
+pub use provenance::{reconstruct, reconstruct_inferred, Hop, ProvenanceTrace};
 pub use recorder::{FlightRecorder, ObsClock};
 pub use registry::{
     Counter, Gauge, Histogram, Labels, MetricsDump, MetricsRegistry, Sample, SampleValue,
     BATCH_SIZE_BOUNDS, LATENCY_US_BOUNDS,
 };
+pub use span::SpanTracker;
+pub use telemetry::{AgentScope, Collector, CollectorConfig, PushPoint, TelemetryAgent};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tuning knobs for cluster observability.
@@ -62,6 +72,9 @@ struct ObsShared {
     registry: MetricsRegistry,
     clock: ObsClock,
     config: ObsConfig,
+    /// Cluster-wide span id allocator; 0 is reserved for "no span", so
+    /// the first id handed out is 1.
+    span_next: AtomicU64,
 }
 
 /// The observability context handed to every layer of one cluster.
@@ -94,6 +107,7 @@ impl Observability {
                 registry,
                 clock: ObsClock::new(),
                 config,
+                span_next: AtomicU64::new(1),
             })),
         }
     }
@@ -115,10 +129,45 @@ impl Observability {
 
     /// A flight recorder for VM `node`: enabled (and stamped from the
     /// shared clock) when this context is enabled, a no-op otherwise.
+    /// Ring overflow is surfaced as `flight_dropped_events{node=…}` in
+    /// the shared registry.
     pub fn recorder_for(&self, node: &str) -> FlightRecorder {
         match &self.shared {
-            Some(s) => FlightRecorder::new(node, s.config.ring_capacity, s.clock.clone()),
+            Some(s) => FlightRecorder::with_drop_counter(
+                node,
+                s.config.ring_capacity,
+                s.clock.clone(),
+                s.registry
+                    .counter_with("flight_dropped_events", &[("node", node)]),
+            ),
             None => FlightRecorder::disabled(),
+        }
+    }
+
+    /// Mints a fresh cluster-unique trace span id, or 0 when disabled.
+    pub fn next_span(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.span_next.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// A [`SpanTracker`] matching this context's state: enabled maps
+    /// when tracing is on, a no-op tracker otherwise.
+    pub fn span_tracker(&self) -> SpanTracker {
+        if self.is_enabled() {
+            SpanTracker::new()
+        } else {
+            SpanTracker::disabled()
+        }
+    }
+
+    /// A [`PhaseSet`] for VM `node`, wired into the shared registry
+    /// when enabled, disabled handles otherwise.
+    pub fn phases_for(&self, node: &str) -> PhaseSet {
+        match self.registry() {
+            Some(reg) => PhaseSet::for_node(reg, node),
+            None => PhaseSet::disabled(),
         }
     }
 }
@@ -161,5 +210,28 @@ mod tests {
     #[test]
     fn config_default_ring_capacity() {
         assert_eq!(ObsConfig::default().ring_capacity, 8_192);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_zero_when_disabled() {
+        let obs = Observability::new(ObsConfig::default());
+        assert_eq!(obs.next_span(), 1, "0 is reserved for no-span");
+        assert_eq!(obs.next_span(), 2);
+        assert!(obs.span_tracker().is_enabled());
+        let off = Observability::disabled();
+        assert_eq!(off.next_span(), 0);
+        assert!(!off.span_tracker().is_enabled());
+        assert!(!off.phases_for("n1").is_enabled());
+    }
+
+    #[test]
+    fn recorder_overflow_lands_in_registry() {
+        let obs = Observability::new(ObsConfig { ring_capacity: 2 });
+        let rec = obs.recorder_for("n1");
+        for _ in 0..5 {
+            rec.record_with(|| ObsEventKind::TaintMapFailover { shard: 0 });
+        }
+        let dump = obs.registry().unwrap().snapshot();
+        assert_eq!(dump.counter_total("flight_dropped_events"), 3);
     }
 }

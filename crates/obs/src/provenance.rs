@@ -11,9 +11,17 @@
 //!    [`SourceMinted`](crate::ObsEventKind::SourceMinted) of the same
 //!    local taint — the minting hop.
 //! 3. Every [`BoundaryEncode`](crate::ObsEventKind::BoundaryEncode)
-//!    whose gid spans contain the gid opens a crossing; it is closed by
-//!    the first later [`BoundaryDecode`](crate::ObsEventKind::BoundaryDecode)
-//!    on the same `(from, to)` address pair that also carries the gid.
+//!    whose gid spans contain the gid opens a crossing. Under the v2
+//!    wire protocol the encode minted a crossing span id that traveled
+//!    to the peer in an annotation frame, so the crossing is closed
+//!    **exactly** by the [`BoundaryDecode`](crate::ObsEventKind::BoundaryDecode)
+//!    carrying the same span id. When no span is available (v1 peer,
+//!    trace context off) the crossing falls back to the original
+//!    inference: the first later decode on the same `(from, to)`
+//!    address pair that also carries the gid.
+//!    [`ProvenanceTrace::exact`] reports whether every crossing was
+//!    span-paired; [`reconstruct_inferred`] forces the fallback for
+//!    comparison.
 //! 4. Each node's first [`TaintMapLookup`](crate::ObsEventKind::TaintMapLookup)
 //!    of the gid becomes a resolution hop.
 //! 5. Every [`SinkHit`](crate::ObsEventKind::SinkHit) listing the gid
@@ -62,6 +70,9 @@ pub enum Hop {
         to: String,
         /// Tainted data byte range `start..end` in the payload.
         bytes: (usize, usize),
+        /// Crossing span id the encode put on the wire (0 when none
+        /// was sent — v1 wire or trace context off).
+        span: u64,
         /// Clock sequence of the encode event.
         seq: u64,
     },
@@ -144,6 +155,11 @@ pub struct ProvenanceTrace {
     pub gid: u32,
     /// The hops, in cluster clock order.
     pub hops: Vec<Hop>,
+    /// True when every boundary crossing was paired by a propagated
+    /// span id (no gid-matching inference was needed). Vacuously true
+    /// for traces with no crossings; always false for traces built by
+    /// [`reconstruct_inferred`].
+    pub exact: bool,
 }
 
 impl ProvenanceTrace {
@@ -257,8 +273,23 @@ fn spans_contain(spans: &[crate::event::GidSpan], gid: u32) -> Option<(usize, us
 }
 
 /// Reconstructs the journey of `gid` from the merged event stream of
-/// every recorder in a cluster. `events` need not be pre-sorted.
+/// every recorder in a cluster, pairing boundary crossings by their
+/// wire-propagated span ids where available (exact) and falling back
+/// to gid-matching inference elsewhere. `events` need not be
+/// pre-sorted.
 pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
+    reconstruct_impl(events, gid, true)
+}
+
+/// Like [`reconstruct`], but ignores propagated span ids and always
+/// uses the gid-matching inference — the pre-trace-context behavior,
+/// kept for v1 interop comparisons. The result's
+/// [`exact`](ProvenanceTrace::exact) flag is always false.
+pub fn reconstruct_inferred(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
+    reconstruct_impl(events, gid, false)
+}
+
+fn reconstruct_impl(events: &[ObsEvent], gid: u32, use_spans: bool) -> ProvenanceTrace {
     let mut events: Vec<&ObsEvent> = events.iter().collect();
     events.sort_by_key(|e| e.seq);
 
@@ -266,7 +297,7 @@ pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
 
     // 1. Registration names the origin node + local taint.
     let registration = events.iter().find_map(|e| match &e.kind {
-        ObsEventKind::TaintMapRegister { taint, gid: g } if *g == gid => {
+        ObsEventKind::TaintMapRegister { taint, gid: g, .. } if *g == gid => {
             Some((e.node.clone(), *taint, e.seq))
         }
         _ => None,
@@ -279,7 +310,7 @@ pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
             .rev()
             .filter(|e| e.seq < reg_seq && e.node == *reg_node)
             .find_map(|e| match &e.kind {
-                ObsEventKind::SourceMinted { taint, tag } if *taint == reg_taint => {
+                ObsEventKind::SourceMinted { taint, tag, .. } if *taint == reg_taint => {
                     Some(Hop::Minted {
                         node: e.node.clone(),
                         tag: tag.clone(),
@@ -299,28 +330,49 @@ pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
         });
     }
 
-    // 3. Boundary crossings: pair each gid-carrying encode with the
+    // 3. Boundary crossings: pair each gid-carrying encode with its
+    //    decode — exactly, by the span id the annotation frame carried
+    //    to the peer, or (when no span is available) by inference: the
     //    first later gid-carrying decode on the same address pair.
     let mut used_decodes: Vec<u64> = Vec::new();
+    let mut all_span_paired = true;
     for e in &events {
         if let ObsEventKind::BoundaryEncode {
             transport,
             from,
             to,
             spans,
+            span,
             ..
         } = &e.kind
         {
             let Some(bytes) = spans_contain(spans, gid) else {
                 continue;
             };
-            let matched = events.iter().find(|d| {
-                d.seq > e.seq
-                    && !used_decodes.contains(&d.seq)
-                    && matches!(&d.kind,
-                        ObsEventKind::BoundaryDecode { from: df, to: dt, spans: ds, .. }
-                            if df == from && dt == to && spans_contain(ds, gid).is_some())
-            });
+            let span_matched = if use_spans && *span != 0 {
+                events.iter().find(|d| {
+                    d.seq > e.seq
+                        && !used_decodes.contains(&d.seq)
+                        && matches!(&d.kind,
+                            ObsEventKind::BoundaryDecode { span: ds, spans: dss, .. }
+                                if ds == span && spans_contain(dss, gid).is_some())
+                })
+            } else {
+                None
+            };
+            let matched = match span_matched {
+                Some(d) => Some(d),
+                None => {
+                    all_span_paired = false;
+                    events.iter().find(|d| {
+                        d.seq > e.seq
+                            && !used_decodes.contains(&d.seq)
+                            && matches!(&d.kind,
+                                ObsEventKind::BoundaryDecode { from: df, to: dt, spans: ds, .. }
+                                    if df == from && dt == to && spans_contain(ds, gid).is_some())
+                    })
+                }
+            };
             let to_node = matched.map(|d| {
                 used_decodes.push(d.seq);
                 d.node.clone()
@@ -332,6 +384,7 @@ pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
                 from: from.clone(),
                 to: to.clone(),
                 bytes,
+                span: *span,
                 seq: e.seq,
             });
         }
@@ -343,7 +396,7 @@ pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
     let mut resolved_nodes: Vec<String> = Vec::new();
     for e in &events {
         match &e.kind {
-            ObsEventKind::TaintMapLookup { gid: g, taint }
+            ObsEventKind::TaintMapLookup { gid: g, taint, .. }
                 if *g == gid && !resolved_nodes.contains(&e.node) =>
             {
                 resolved_nodes.push(e.node.clone());
@@ -386,7 +439,11 @@ pub fn reconstruct(events: &[ObsEvent], gid: u32) -> ProvenanceTrace {
     }
 
     hops.sort_by_key(|h| h.seq());
-    ProvenanceTrace { gid, hops }
+    ProvenanceTrace {
+        gid,
+        hops,
+        exact: use_spans && all_span_paired,
+    }
 }
 
 #[cfg(test)]
@@ -407,8 +464,11 @@ mod tests {
     }
 
     /// The paper's running example: mint on n1, register gid 42, hop
-    /// n1→n2 then n2→n3, sink at LOG.info on n3.
-    fn example_events() -> Vec<ObsEvent> {
+    /// n1→n2 then n2→n3, sink at LOG.info on n3. When `v2` is true the
+    /// crossings carry propagated trace spans (root 1, crossings 2 and
+    /// 3); when false every span field is 0, as a v1 peer would record.
+    fn example_events_wire(v2: bool) -> Vec<ObsEvent> {
+        let s = |id: u64| if v2 { id } else { 0 };
         vec![
             ev(
                 0,
@@ -416,12 +476,17 @@ mod tests {
                 ObsEventKind::SourceMinted {
                     taint: 7,
                     tag: "zk.zxid".into(),
+                    span: s(1),
                 },
             ),
             ev(
                 1,
                 "n1",
-                ObsEventKind::TaintMapRegister { taint: 7, gid: 42 },
+                ObsEventKind::TaintMapRegister {
+                    taint: 7,
+                    gid: 42,
+                    span: s(1),
+                },
             ),
             ev(
                 2,
@@ -433,6 +498,8 @@ mod tests {
                     data_bytes: 32,
                     wire_bytes: 160,
                     spans: vec![span(42, 17, 21)],
+                    span: s(2),
+                    parent: s(1),
                 },
             ),
             ev(
@@ -445,9 +512,18 @@ mod tests {
                     data_bytes: 32,
                     wire_bytes: 160,
                     spans: vec![span(42, 17, 21)],
+                    span: s(2),
                 },
             ),
-            ev(4, "n2", ObsEventKind::TaintMapLookup { gid: 42, taint: 3 }),
+            ev(
+                4,
+                "n2",
+                ObsEventKind::TaintMapLookup {
+                    gid: 42,
+                    taint: 3,
+                    span: s(2),
+                },
+            ),
             ev(
                 5,
                 "n2",
@@ -458,6 +534,8 @@ mod tests {
                     data_bytes: 32,
                     wire_bytes: 160,
                     spans: vec![span(42, 17, 21)],
+                    span: s(3),
+                    parent: s(2),
                 },
             ),
             ev(
@@ -470,9 +548,18 @@ mod tests {
                     data_bytes: 32,
                     wire_bytes: 160,
                     spans: vec![span(42, 17, 21)],
+                    span: s(3),
                 },
             ),
-            ev(7, "n3", ObsEventKind::TaintMapLookup { gid: 42, taint: 5 }),
+            ev(
+                7,
+                "n3",
+                ObsEventKind::TaintMapLookup {
+                    gid: 42,
+                    taint: 5,
+                    span: s(3),
+                },
+            ),
             ev(
                 8,
                 "n3",
@@ -485,9 +572,14 @@ mod tests {
         ]
     }
 
+    fn example_events() -> Vec<ObsEvent> {
+        example_events_wire(true)
+    }
+
     #[test]
     fn reconstructs_two_hop_path() {
         let trace = reconstruct(&example_events(), 42);
+        assert!(trace.exact, "v2 events span-pair every crossing");
         assert_eq!(trace.crossings(), 2);
         assert_eq!(trace.nodes(), vec!["n1", "n2", "n3"]);
         assert_eq!(trace.sinks(), vec![("n3", "LOG.info")]);
@@ -510,7 +602,15 @@ mod tests {
     #[test]
     fn unmatched_encode_is_an_open_crossing() {
         let events = vec![
-            ev(0, "n1", ObsEventKind::TaintMapRegister { taint: 1, gid: 9 }),
+            ev(
+                0,
+                "n1",
+                ObsEventKind::TaintMapRegister {
+                    taint: 1,
+                    gid: 9,
+                    span: 0,
+                },
+            ),
             ev(
                 1,
                 "n1",
@@ -521,11 +621,14 @@ mod tests {
                     data_bytes: 8,
                     wire_bytes: 40,
                     spans: vec![span(9, 0, 8)],
+                    span: 0,
+                    parent: 0,
                 },
             ),
         ];
         let trace = reconstruct(&events, 9);
         assert_eq!(trace.crossings(), 0, "no decode means no completed hop");
+        assert!(!trace.exact, "an unpaired crossing is not exact");
         assert!(trace
             .to_string()
             .contains("crossed udp n1\u{2192}? bytes 0..8"));
@@ -537,7 +640,11 @@ mod tests {
             ev(
                 0,
                 "n1",
-                ObsEventKind::TaintMapRegister { taint: 7, gid: 42 },
+                ObsEventKind::TaintMapRegister {
+                    taint: 7,
+                    gid: 42,
+                    span: 0,
+                },
             ),
             ev(1, "n2", ObsEventKind::DegradedLookup { gid: 42, shard: 1 }),
         ];
@@ -579,5 +686,102 @@ mod tests {
         // gid 77 appears only in one encode: open crossing, no registration.
         assert_eq!(other.crossings(), 0);
         assert_eq!(other.hops.len(), 1);
+    }
+
+    #[test]
+    fn v1_events_fall_back_to_inference_with_identical_hops() {
+        let exact = reconstruct(&example_events_wire(true), 42);
+        let v1 = reconstruct(&example_events_wire(false), 42);
+        assert!(exact.exact);
+        assert!(!v1.exact, "span-less events cannot be exact");
+        assert_eq!(v1.crossings(), 2, "inference still closes both hops");
+        assert_eq!(v1.nodes(), exact.nodes());
+        assert_eq!(v1.to_string(), exact.to_string());
+    }
+
+    #[test]
+    fn inferred_mode_ignores_spans_but_agrees_on_unambiguous_paths() {
+        let events = example_events_wire(true);
+        let exact = reconstruct(&events, 42);
+        let inferred = reconstruct_inferred(&events, 42);
+        assert!(exact.exact);
+        assert!(!inferred.exact);
+        assert_eq!(
+            exact.hops, inferred.hops,
+            "on an unambiguous path both pairings agree hop for hop"
+        );
+    }
+
+    #[test]
+    fn span_pairing_disambiguates_reordered_decodes() {
+        // Two tainted payloads leave n1 for the same destination
+        // address; their decode events land in the opposite order (the
+        // receiver drained the second frame first). Address-pair
+        // inference mis-pairs them; span pairing cannot.
+        let mk_enc = |seq: u64, sp: u64| {
+            ev(
+                seq,
+                "n1",
+                ObsEventKind::BoundaryEncode {
+                    transport: Transport::Tcp,
+                    from: "10.0.0.1:9000".into(),
+                    to: "10.0.0.2:9000".into(),
+                    data_bytes: 8,
+                    wire_bytes: 40,
+                    spans: vec![span(42, 0, 4)],
+                    span: sp,
+                    parent: 0,
+                },
+            )
+        };
+        let mk_dec = |seq: u64, node: &str, sp: u64| {
+            ev(
+                seq,
+                node,
+                ObsEventKind::BoundaryDecode {
+                    transport: Transport::Tcp,
+                    from: "10.0.0.1:9000".into(),
+                    to: "10.0.0.2:9000".into(),
+                    data_bytes: 8,
+                    wire_bytes: 40,
+                    spans: vec![span(42, 0, 4)],
+                    span: sp,
+                },
+            )
+        };
+        // Decode of span 11 (recorded by "late") comes after decode of
+        // span 10 (recorded by "early"), but encode order is 10, 11.
+        let events = vec![
+            mk_enc(0, 10),
+            mk_enc(1, 11),
+            mk_dec(2, "late", 11),
+            mk_dec(3, "early", 10),
+        ];
+        let exact = reconstruct(&events, 42);
+        assert!(exact.exact);
+        let to_nodes: Vec<Option<&str>> = exact
+            .hops
+            .iter()
+            .filter_map(|h| match h {
+                Hop::Crossed { to_node, .. } => Some(to_node.as_deref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(to_nodes, vec![Some("early"), Some("late")]);
+
+        let inferred = reconstruct_inferred(&events, 42);
+        let inferred_to: Vec<Option<&str>> = inferred
+            .hops
+            .iter()
+            .filter_map(|h| match h {
+                Hop::Crossed { to_node, .. } => Some(to_node.as_deref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            inferred_to,
+            vec![Some("late"), Some("early")],
+            "address-pair inference mis-pairs the reordered decodes"
+        );
     }
 }

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::event::{ObsEvent, ObsEventKind};
+use crate::registry::Counter;
 
 /// Cluster-shared logical clock.
 ///
@@ -57,6 +58,10 @@ struct RecorderInner {
     head: AtomicUsize,
     slots: Box<[Mutex<Option<ObsEvent>>]>,
     dropped: AtomicU64,
+    /// Mirrors `dropped` into the metrics registry
+    /// (`flight_dropped_events{node=…}`) so ring overflow is visible in
+    /// every exporter instead of silently discarding history.
+    dropped_counter: Counter,
 }
 
 /// A per-VM event ring. Cheap to clone; clones share the ring.
@@ -72,8 +77,23 @@ impl FlightRecorder {
     }
 
     /// An enabled recorder for VM `node`, holding up to `capacity`
-    /// events and stamping them from `clock`.
+    /// events and stamping them from `clock`. Overflow drops are counted
+    /// internally only; use [`FlightRecorder::with_drop_counter`] to
+    /// surface them as a registry metric.
     pub fn new(node: &str, capacity: usize, clock: ObsClock) -> Self {
+        Self::with_drop_counter(node, capacity, clock, Counter::detached())
+    }
+
+    /// Like [`FlightRecorder::new`], additionally bumping `dropped` once
+    /// per event lost to ring wrap-around — the cluster wires the
+    /// `flight_dropped_events{node=…}` counter here so overflow shows up
+    /// in metric dumps, scrapes and the text report.
+    pub fn with_drop_counter(
+        node: &str,
+        capacity: usize,
+        clock: ObsClock,
+        dropped: Counter,
+    ) -> Self {
         let capacity = capacity.max(1);
         FlightRecorder {
             inner: Some(Arc::new(RecorderInner {
@@ -82,6 +102,7 @@ impl FlightRecorder {
                 head: AtomicUsize::new(0),
                 slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
                 dropped: AtomicU64::new(0),
+                dropped_counter: dropped,
             })),
         }
     }
@@ -106,6 +127,7 @@ impl FlightRecorder {
         let mut guard = slot.lock();
         if guard.is_some() {
             inner.dropped.fetch_add(1, Ordering::Relaxed);
+            inner.dropped_counter.inc();
         }
         *guard = Some(ObsEvent {
             seq,
@@ -159,6 +181,7 @@ mod tests {
         ObsEventKind::SourceMinted {
             taint,
             tag: format!("tag-{taint}"),
+            span: 0,
         }
     }
 
@@ -205,6 +228,17 @@ mod tests {
             })
             .collect();
         assert_eq!(taints, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drop_counter_mirrors_ring_overwrites() {
+        let c = Counter::detached();
+        let rec = FlightRecorder::with_drop_counter("n1", 4, ObsClock::new(), c.clone());
+        for i in 0..10 {
+            rec.record_with(|| mint(i));
+        }
+        assert_eq!(rec.dropped(), 6);
+        assert_eq!(c.get(), 6, "registry counter tracks every overwrite");
     }
 
     #[test]

@@ -208,6 +208,66 @@ impl Histogram {
         self.inner.count.store(0, Ordering::Relaxed);
         self.inner.sum.store(0, Ordering::Relaxed);
     }
+
+    /// The inclusive upper bucket bounds this histogram was built with
+    /// (the implicit overflow bucket is not listed).
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Folds `other`'s observations into `self` bucket-by-bucket.
+    ///
+    /// Merging is how the telemetry collector combines per-VM
+    /// histograms into one cluster-wide distribution: counts, sums and
+    /// bucket tallies add, so `count`, `sum`, `mean` are exact after a
+    /// merge and `quantile` stays correct to bucket resolution (see the
+    /// `merge_prop` property suite for the formal bound). `other` is
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging histograms on
+    /// different grids silently misbins, so it is refused outright.
+    pub fn merge(&self, other: &Histogram) {
+        assert_eq!(
+            self.inner.bounds, other.inner.bounds,
+            "histogram merge requires identical bucket bounds"
+        );
+        for (mine, theirs) in self.inner.buckets.iter().zip(other.inner.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.inner.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.inner.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+
+    /// Rebuilds a detached histogram from dumped `(upper_bound, count)`
+    /// pairs (as produced by [`Histogram::buckets`] and carried in
+    /// [`SampleValue::Histogram`]) plus the observed sum. The final pair
+    /// must be the `u64::MAX` overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is empty or its last bound is not the
+    /// overflow marker.
+    pub fn from_buckets(buckets: &[(u64, u64)], sum: u64) -> Self {
+        assert!(
+            buckets.last().is_some_and(|(b, _)| *b == u64::MAX),
+            "bucket dump must end with the u64::MAX overflow bucket"
+        );
+        let bounds: Vec<u64> = buckets[..buckets.len() - 1]
+            .iter()
+            .map(|(b, _)| *b)
+            .collect();
+        let count: u64 = buckets.iter().map(|(_, c)| *c).sum();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                buckets: buckets.iter().map(|(_, c)| AtomicU64::new(*c)).collect(),
+                count: AtomicU64::new(count),
+                sum: AtomicU64::new(sum),
+            }),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -523,6 +583,42 @@ mod tests {
         r.counter_with("bytes", &[("node", "n1")]).add(3);
         r.counter_with("bytes", &[("node", "n2")]).add(4);
         assert_eq!(r.snapshot().counter_total("bytes"), 7);
+    }
+
+    #[test]
+    fn merge_adds_buckets_counts_and_sums() {
+        let a = Histogram::detached(&[10, 100]);
+        let b = Histogram::detached(&[10, 100]);
+        a.observe(5);
+        a.observe(500);
+        b.observe(5);
+        b.observe(50);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 560);
+        assert_eq!(a.buckets(), vec![(10, 2), (100, 1), (u64::MAX, 1)]);
+        // `b` is untouched.
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket bounds")]
+    fn merge_refuses_mismatched_bounds() {
+        Histogram::detached(&[10]).merge(&Histogram::detached(&[20]));
+    }
+
+    #[test]
+    fn from_buckets_round_trips_a_dump() {
+        let h = Histogram::detached(&[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5_000);
+        let rebuilt = Histogram::from_buckets(&h.buckets(), h.sum());
+        assert_eq!(rebuilt.count(), 3);
+        assert_eq!(rebuilt.sum(), h.sum());
+        assert_eq!(rebuilt.buckets(), h.buckets());
+        assert_eq!(rebuilt.quantile(0.5), h.quantile(0.5));
+        assert_eq!(rebuilt.bounds(), &[10, 100]);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Wire-propagated trace context: span ids and the per-VM maps that
+//! link them into parent/child chains.
+//!
+//! A *span* is one step of a taint's cluster journey: the root span is
+//! minted with the taint at its source, and every boundary crossing
+//! under the v2 wire protocol mints a child span whose id travels to
+//! the peer inside an annotation frame (`dista-jre`'s `OP_ANNOT`). The
+//! receiving VM binds the delivered gids to the crossing span, so a
+//! later re-encode on that VM names it as the parent — the chain
+//! `root → crossing₁ → crossing₂ → …` reconstructs the exact path
+//! without any gid-matching inference.
+//!
+//! Span ids are drawn from one cluster-shared [`crate::Observability`]
+//! allocator (all VMs live in one process), so ids are unique across
+//! the cluster and `0` is reserved to mean "no span".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A per-VM map from a 32-bit id (local taint id or global taint id —
+/// the two uses never share one tracker) to the span that owns it on
+/// this VM.
+///
+/// Two trackers exist per VM:
+///
+/// * **taint → root span**: written when a source mints, read when the
+///   Taint Map registers the taint and the root span transfers to the
+///   gid.
+/// * **gid → delivering span**: written at registration (root span) and
+///   on every inbound boundary decode (crossing span), read when an
+///   outbound encode needs its parent and when a Taint Map lookup
+///   event wants the span that delivered the gid.
+///
+/// A disabled tracker ([`SpanTracker::disabled`]) ignores writes and
+/// answers `0`, so call sites never branch on "is tracing on".
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracker {
+    inner: Option<Arc<Mutex<HashMap<u32, u64>>>>,
+}
+
+impl SpanTracker {
+    /// A tracker whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled, empty tracker.
+    pub fn new() -> Self {
+        SpanTracker {
+            inner: Some(Arc::new(Mutex::new(HashMap::new()))),
+        }
+    }
+
+    /// Whether bindings are actually retained.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Binds `id` to `span`, replacing any earlier binding (the most
+    /// recent delivery wins — that is the parent of the next hop).
+    /// Binding to span 0 is a no-op: an annotation-less crossing must
+    /// not erase what is known about the gid.
+    pub fn bind(&self, id: u32, span: u64) {
+        if span == 0 {
+            return;
+        }
+        if let Some(map) = &self.inner {
+            map.lock().insert(id, span);
+        }
+    }
+
+    /// The span owning `id`, or 0 when unknown (or disabled).
+    pub fn get(&self, id: u32) -> u64 {
+        match &self.inner {
+            Some(map) => map.lock().get(&id).copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracker_ignores_bindings() {
+        let t = SpanTracker::disabled();
+        assert!(!t.is_enabled());
+        t.bind(1, 7);
+        assert_eq!(t.get(1), 0);
+    }
+
+    #[test]
+    fn latest_binding_wins_and_zero_is_ignored() {
+        let t = SpanTracker::new();
+        assert!(t.is_enabled());
+        assert_eq!(t.get(42), 0, "unknown id answers 0");
+        t.bind(42, 7);
+        t.bind(42, 9);
+        assert_eq!(t.get(42), 9);
+        t.bind(42, 0);
+        assert_eq!(t.get(42), 9, "span 0 must not erase a binding");
+    }
+
+    #[test]
+    fn clones_share_the_map() {
+        let a = SpanTracker::new();
+        let b = a.clone();
+        a.bind(1, 5);
+        assert_eq!(b.get(1), 5);
+    }
+}

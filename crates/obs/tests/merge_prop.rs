@@ -1,0 +1,193 @@
+//! Property suite for [`Histogram::merge`] — the formal bound the
+//! `registry` docs reference.
+//!
+//! The telemetry collector builds its cluster-wide distribution by
+//! merging per-VM histograms, so merge must be *lossless at bucket
+//! resolution*: a merged histogram is indistinguishable from a single
+//! histogram that observed the concatenation of both value streams.
+//! From that equivalence the quantile error bound follows — the
+//! reported `quantile(q)` is exactly the upper bound of the bucket
+//! containing the true rank-`ceil(q*n)` order statistic of the pooled
+//! observations (i.e. the error is at most one bucket width, and never
+//! undershoots the true value).
+
+use dista_obs::Histogram;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const QS: &[f64] = &[0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+/// Strictly ascending bucket bounds, 1–8 of them (sort + dedup keeps
+/// the generated grid valid for `Histogram::detached`).
+fn bounds_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..10_000, 1..=8).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// Observation stream: values straddle the bound range so every bucket
+/// — including overflow — gets exercised.
+fn values_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..20_000, 0..120)
+}
+
+fn filled(bounds: &[u64], values: &[u64]) -> Histogram {
+    let h = Histogram::detached(bounds);
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// The bucket upper bound `value` falls in: first bound >= value, else
+/// the `u64::MAX` overflow bucket. This is the resolution floor every
+/// quantile answer is quantised to.
+fn bucket_bound(bounds: &[u64], value: u64) -> u64 {
+    bounds
+        .iter()
+        .copied()
+        .find(|&b| value <= b)
+        .unwrap_or(u64::MAX)
+}
+
+/// Asserts `merged` reports exactly what one histogram fed all of
+/// `pooled` would — tallies, moments and every probed quantile.
+fn assert_equals_pooled(
+    merged: &Histogram,
+    bounds: &[u64],
+    pooled: &[u64],
+) -> Result<(), TestCaseError> {
+    let reference = filled(bounds, pooled);
+    prop_assert_eq!(merged.count(), reference.count(), "count exact");
+    prop_assert_eq!(merged.sum(), reference.sum(), "sum exact");
+    prop_assert_eq!(merged.buckets(), reference.buckets(), "tallies exact");
+    prop_assert!(
+        (merged.mean() - reference.mean()).abs() < 1e-9,
+        "mean exact"
+    );
+    for &q in QS {
+        prop_assert_eq!(merged.quantile(q), reference.quantile(q), "q={}", q);
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Merging two histograms is observationally equivalent to one
+    /// histogram that saw both value streams.
+    #[test]
+    fn merge_equals_pooled_observation(
+        bounds in bounds_strategy(),
+        a in values_strategy(),
+        b in values_strategy(),
+    ) {
+        let merged = filled(&bounds, &a);
+        merged.merge(&filled(&bounds, &b));
+        let pooled: Vec<u64> = a.iter().chain(&b).copied().collect();
+        assert_equals_pooled(&merged, &bounds, &pooled)?;
+    }
+
+    /// The formal quantile bound: after a merge, `quantile(q)` is the
+    /// upper bound of the bucket holding the true pooled order
+    /// statistic — never below the true value, and at most one bucket
+    /// width above it.
+    #[test]
+    fn merged_quantile_brackets_true_order_statistic(
+        bounds in bounds_strategy(),
+        a in values_strategy(),
+        b in values_strategy(),
+    ) {
+        let merged = filled(&bounds, &a);
+        merged.merge(&filled(&bounds, &b));
+        let mut pooled: Vec<u64> = a.iter().chain(&b).copied().collect();
+        pooled.sort_unstable();
+        if pooled.is_empty() {
+            prop_assert_eq!(merged.quantile(0.99), 0, "empty histogram reports 0");
+            return Ok(());
+        }
+
+        for &q in QS {
+            let rank = ((q * pooled.len() as f64).ceil() as usize).max(1);
+            let truth = pooled[rank - 1];
+            let reported = merged.quantile(q);
+            prop_assert_eq!(
+                reported,
+                bucket_bound(&bounds, truth),
+                "q={} true={}",
+                q,
+                truth
+            );
+            prop_assert!(reported >= truth, "quantile never undershoots");
+            // Error is bounded by one bucket: no lower bound lies
+            // strictly between the true value and the reported bound.
+            prop_assert!(
+                !bounds.iter().any(|&bd| truth <= bd && bd < reported),
+                "q={}: {} skipped past bucket bound", q, reported
+            );
+        }
+    }
+
+    /// Merging an empty histogram is the identity, in either direction.
+    #[test]
+    fn merge_with_empty_is_identity(
+        bounds in bounds_strategy(),
+        a in values_strategy(),
+    ) {
+        let lhs = filled(&bounds, &a);
+        lhs.merge(&Histogram::detached(&bounds));
+        assert_equals_pooled(&lhs, &bounds, &a)?;
+
+        let rhs = Histogram::detached(&bounds);
+        rhs.merge(&filled(&bounds, &a));
+        assert_equals_pooled(&rhs, &bounds, &a)?;
+    }
+
+    /// Merge is order-insensitive: (a ∪ b) and (b ∪ a) agree, and a
+    /// three-way merge agrees regardless of association.
+    #[test]
+    fn merge_commutes_and_associates(
+        bounds in bounds_strategy(),
+        a in values_strategy(),
+        b in values_strategy(),
+        c in values_strategy(),
+    ) {
+        let ab = filled(&bounds, &a);
+        ab.merge(&filled(&bounds, &b));
+        let ba = filled(&bounds, &b);
+        ba.merge(&filled(&bounds, &a));
+        prop_assert_eq!(ab.buckets(), ba.buckets());
+        prop_assert_eq!(ab.sum(), ba.sum());
+
+        ab.merge(&filled(&bounds, &c));
+        let bc = filled(&bounds, &b);
+        bc.merge(&filled(&bounds, &c));
+        let a_bc = filled(&bounds, &a);
+        a_bc.merge(&bc);
+        let pooled: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        assert_equals_pooled(&ab, &bounds, &pooled)?;
+        assert_equals_pooled(&a_bc, &bounds, &pooled)?;
+    }
+
+    /// Quantiles are monotone in `q` after a merge — the SLO-gate
+    /// invariant the collector's p50/p99/p999 lines rely on.
+    #[test]
+    fn merged_quantiles_are_monotone(
+        bounds in bounds_strategy(),
+        a in values_strategy(),
+        b in values_strategy(),
+    ) {
+        let merged = filled(&bounds, &a);
+        merged.merge(&filled(&bounds, &b));
+        let probed: Vec<u64> = QS.iter().map(|&q| merged.quantile(q)).collect();
+        prop_assert!(probed.windows(2).all(|w| w[0] <= w[1]), "{:?}", probed);
+    }
+}
+
+#[test]
+#[should_panic(expected = "bounds")]
+fn merge_rejects_mismatched_bounds() {
+    let a = Histogram::detached(&[10, 100]);
+    let b = Histogram::detached(&[10, 200]);
+    a.merge(&b);
+}

@@ -33,8 +33,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dista_obs::{
-    Counter, FlightRecorder, Histogram, MetricsRegistry, ObsEventKind, BATCH_SIZE_BOUNDS,
-    LATENCY_US_BOUNDS,
+    Counter, FlightRecorder, Histogram, MetricsRegistry, ObsEventKind, PhaseHandle, SpanTracker,
+    BATCH_SIZE_BOUNDS, LATENCY_US_BOUNDS,
 };
 use dista_simnet::{NodeAddr, SimNet, TcpEndpoint};
 use dista_taint::{deserialize_taint, serialize_taint, GlobalId, TagValue, Taint, TaintStore};
@@ -157,6 +157,13 @@ pub struct ClientObserver {
     pub degraded_lookups: Counter,
     /// Pending sentinels resolved by the reconciler.
     pub pending_resolved: Counter,
+    /// taint → root span map shared with the owning VM: registration
+    /// transfers the root span from the taint to its fresh gid.
+    pub taint_spans: SpanTracker,
+    /// gid → delivering span map shared with the owning VM.
+    pub gid_spans: SpanTracker,
+    /// Cost-attribution handle for Taint Map wire round-trips.
+    pub rpc_phase: PhaseHandle,
 }
 
 impl Default for ClientObserver {
@@ -180,6 +187,9 @@ impl ClientObserver {
             breaker_open_ns: Counter::detached(),
             degraded_lookups: Counter::detached(),
             pending_resolved: Counter::detached(),
+            taint_spans: SpanTracker::disabled(),
+            gid_spans: SpanTracker::disabled(),
+            rpc_phase: PhaseHandle::disabled(),
         }
     }
 
@@ -207,7 +217,26 @@ impl ClientObserver {
             breaker_open_ns: registry.counter_with("taintmap_breaker_open_ns", &labels),
             degraded_lookups: registry.counter_with("taintmap_degraded_lookups", &labels),
             pending_resolved: registry.counter_with("taintmap_pending_resolved", &labels),
+            taint_spans: SpanTracker::disabled(),
+            gid_spans: SpanTracker::disabled(),
+            rpc_phase: PhaseHandle::disabled(),
         }
+    }
+
+    /// Shares the owning VM's span trackers so registration can move a
+    /// root span from its taint to the minted gid, and lookups can name
+    /// the span that delivered a gid.
+    pub fn with_spans(mut self, taint_spans: SpanTracker, gid_spans: SpanTracker) -> Self {
+        self.taint_spans = taint_spans;
+        self.gid_spans = gid_spans;
+        self
+    }
+
+    /// Attributes Taint Map wire round-trips to `phase` (normally the
+    /// owning VM's `map_rpc` [`PhaseHandle`]).
+    pub fn with_rpc_phase(mut self, phase: PhaseHandle) -> Self {
+        self.rpc_phase = phase;
+        self
     }
 }
 
@@ -791,10 +820,15 @@ impl TaintMapClient {
             }
         }
         drop(guards);
+        let wire_elapsed = wire_started.elapsed();
         self.inner
             .obs
             .batch_latency_us
-            .observe(wire_started.elapsed().as_micros() as u64);
+            .observe(wire_elapsed.as_micros() as u64);
+        self.inner
+            .obs
+            .rpc_phase
+            .record_ns(wire_elapsed.as_nanos() as u64);
         for ((_, taint, _), &gid) in mine.iter().zip(&gids) {
             self.finish_registration(*taint, gid);
         }
@@ -812,12 +846,17 @@ impl TaintMapClient {
         self.inner.gid_of.lock().insert(taint, gid);
         // Prime the reverse cache too: this VM already knows the taint.
         self.inner.taint_of.lock().insert(gid, taint);
+        // The root span minted with the taint now owns the gid: outbound
+        // encodes of this gid name it as their parent.
+        let span = self.inner.obs.taint_spans.get(taint.node_index() as u32);
+        self.inner.obs.gid_spans.bind(gid.0, span);
         self.inner
             .obs
             .recorder
             .record_with(|| ObsEventKind::TaintMapRegister {
                 taint: taint.node_index() as u32,
                 gid: gid.0,
+                span,
             });
     }
 
@@ -825,12 +864,14 @@ impl TaintMapClient {
     fn finish_lookup(&self, gid: GlobalId, taint: Taint) {
         self.inner.taint_of.lock().insert(gid, taint);
         self.inner.gid_of.lock().insert(taint, gid);
+        let span = self.inner.obs.gid_spans.get(gid.0);
         self.inner
             .obs
             .recorder
             .record_with(|| ObsEventKind::TaintMapLookup {
                 gid: gid.0,
                 taint: taint.node_index() as u32,
+                span,
             });
     }
 
@@ -933,10 +974,15 @@ impl TaintMapClient {
             }
         }
         drop(guards);
+        let wire_elapsed = wire_started.elapsed();
         self.inner
             .obs
             .batch_latency_us
-            .observe(wire_started.elapsed().as_micros() as u64);
+            .observe(wire_elapsed.as_micros() as u64);
+        self.inner
+            .obs
+            .rpc_phase
+            .record_ns(wire_elapsed.as_nanos() as u64);
 
         for ((i, gid), bytes) in misses.into_iter().zip(fetched) {
             let bytes = bytes.ok_or(TaintMapError::UnknownGlobalId(gid))?;
