@@ -30,12 +30,23 @@ echo "==> reactor conformance (blocking shim vs reactor API) + timer wheel"
 cargo test -q --offline -p dista-simnet --test reactor_conformance
 cargo test -q --offline -p dista-simnet --test timer_wheel
 
-echo "==> chaos suites under fixed seeds"
+echo "==> chaos suites under fixed seeds (incl. reshard crash-during-migration)"
 for seed in 7 42 1337; do
     echo "    seed $seed"
     DISTA_CHAOS_SEED="$seed" cargo test -q --offline --test chaos
 done
 cargo test -q --offline -p dista-taintmap --test prop_chaos
+
+echo "==> migration + compaction suites (torn WAL headers, torn snapshots, restart-cost gate)"
+cargo test -q --offline -p dista-taintmap --test reshard_compaction
+cargo test -q --offline -p dista-taintmap --test sharded_endpoint
+
+echo "==> split-while-loaded gate: 1M distinct gids across a crashing migration, three seeds"
+for seed in 7 42 1337; do
+    echo "    reshard seed $seed"
+    DISTA_RESHARD_SEED="$seed" cargo test -q --release --offline -p dista-taintmap \
+        --test prop_chaos split_one_million_gids_without_loss -- --ignored
+done
 
 echo "==> claim_global_taints --smoke"
 cargo run -p dista-bench --bin claim_global_taints --release --offline -- --smoke
@@ -77,6 +88,17 @@ cargo run -p dista-bench --bin cluster_load --release --offline -- \
 test -s BENCH_cluster_load_v2.json
 grep -q '"wire_protocol": "v2"' BENCH_cluster_load_v2.json
 rm -f BENCH_cluster_load_v2.json
+
+echo "==> cluster_load --smoke --reshard (live migration throughput + lossless sample + compaction gates)"
+rm -f BENCH_cluster_load_reshard.json
+cargo run -p dista-bench --bin cluster_load --release --offline -- \
+    --smoke --reshard --gate-p99-us 2000000 --out BENCH_cluster_load_reshard.json
+test -s BENCH_cluster_load_reshard.json
+grep -q '"reshard"' BENCH_cluster_load_reshard.json
+grep -q '"splits_completed": 2' BENCH_cluster_load_reshard.json
+grep -q '"sample_mismatches": 0' BENCH_cluster_load_reshard.json
+grep -Eq '"migration_records_per_sec": [1-9]' BENCH_cluster_load_reshard.json
+rm -f BENCH_cluster_load_reshard.json
 
 echo "==> cluster_load --smoke --scrape (live telemetry A/B: overhead + scrape health gates)"
 rm -f BENCH_cluster_load_scrape.json

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dista_core::{Cluster, Mode, TelemetryConfig, WireProtocol};
+use dista_core::{Cluster, Mode, ReshardPlan, TelemetryConfig, WireProtocol};
 use dista_jre::{V1Codec, V2Codec, WireCodec, WireVersion};
 use dista_obs::{Histogram, ObsConfig, ObsReport};
 use dista_simnet::{
@@ -64,6 +64,8 @@ struct Config {
     out: String,
     smoke: bool,
     scrape: bool,
+    reshard: bool,
+    reshard_gids: usize,
     wire: WireVersion,
 }
 
@@ -109,6 +111,10 @@ fn parse_args() -> Config {
         out: value("--out").unwrap_or_else(|| "BENCH_cluster_load.json".to_string()),
         smoke,
         scrape: flag("--scrape"),
+        reshard: flag("--reshard"),
+        reshard_gids: value("--reshard-gids")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 20_000 } else { 100_000 }),
         wire: match value("--wire").as_deref() {
             Some("v2") => WireVersion::V2,
             Some("v1") | None => WireVersion::V1,
@@ -634,6 +640,86 @@ fn run_load(cfg: &Config, telemetry: bool) -> RunOutcome {
     }
 }
 
+/// What the live-resharding phase measured.
+struct ReshardOutcome {
+    gids: usize,
+    records_transferred: u64,
+    splits_completed: u64,
+    elapsed: Duration,
+    throughput: f64,
+    compacted_records: u64,
+    sample_mismatches: u64,
+}
+
+/// Migration throughput: registers `--reshard-gids` distinct gids into
+/// a 2-shard Taint Map, splits both residue classes while the data is
+/// live, and measures records migrated per second. A post-cutover
+/// sample verifies losslessness; a compaction pass bounds restart cost.
+fn run_reshard(cfg: &Config) -> ReshardOutcome {
+    let mut cluster = Cluster::builder(Mode::Dista)
+        .nodes("shard", 2)
+        .observability(ObsConfig::default())
+        .taint_map_shards(2)
+        .taint_map_snapshots(true)
+        .build()
+        .expect("reshard cluster");
+    let vm = cluster.vm(0).clone();
+    let client = vm.taint_map().expect("dista mode has a taint map");
+    let mut gids = Vec::with_capacity(cfg.reshard_gids);
+    let mut minted = 0i64;
+    while gids.len() < cfg.reshard_gids {
+        let take = 8_192.min(cfg.reshard_gids - gids.len());
+        let taints: Vec<_> = (0..take)
+            .map(|_| {
+                minted += 1;
+                vm.store().mint_source_taint(TagValue::Int(minted - 1))
+            })
+            .collect();
+        gids.extend(client.global_ids_for(&taints).expect("registration"));
+    }
+
+    let started = Instant::now();
+    cluster
+        .reshard(&ReshardPlan::new().split(0).split(1).batch(1024))
+        .expect("reshard");
+    let elapsed = started.elapsed();
+    let stats = cluster.taint_map().reshard_stats();
+
+    // Sampled losslessness: every 97th gid resolves from the other VM
+    // to exactly its registration through the post-cutover topology.
+    let rx = cluster.vm(1);
+    let rx_client = rx.taint_map().expect("taint map client");
+    let mut sample_mismatches = 0;
+    let idxs: Vec<usize> = (0..cfg.reshard_gids).step_by(97).collect();
+    let sample: Vec<GlobalId> = idxs.iter().map(|&i| gids[i]).collect();
+    let resolved = rx_client.taints_for(&sample).expect("post-cutover lookup");
+    for (&taint, &i) in resolved.iter().zip(&idxs) {
+        if rx.store().tag_values(taint) != vec![i.to_string()] {
+            sample_mismatches += 1;
+        }
+    }
+
+    let compacted_records = cluster.compact_taint_map().expect("compaction");
+    cluster.shutdown();
+    let throughput = stats.records_transferred as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "reshard: {} gids, {} records migrated in {:.3}s ({throughput:.0} records/s), {} compacted",
+        cfg.reshard_gids,
+        stats.records_transferred,
+        elapsed.as_secs_f64(),
+        compacted_records
+    );
+    ReshardOutcome {
+        gids: cfg.reshard_gids,
+        records_transferred: stats.records_transferred,
+        splits_completed: stats.splits_completed,
+        elapsed,
+        throughput,
+        compacted_records,
+        sample_mismatches,
+    }
+}
+
 /// Load-correctness gates for one run. Returns `true` on failure.
 fn check_run(cfg: &Config, label: &str, run: &RunOutcome) -> bool {
     let mut failed = false;
@@ -705,7 +791,34 @@ fn main() {
         first
     });
 
+    let reshard = cfg.reshard.then(|| run_reshard(&cfg));
+
     let mut failed = check_run(&cfg, "baseline", &base);
+    if let Some(r) = &reshard {
+        // Both tail halves migrate: at least ~gids/4 records per class
+        // pair, and not a single sampled resolution may be wrong.
+        if r.splits_completed != 2 || (r.records_transferred as usize) < r.gids / 4 {
+            eprintln!(
+                "FAIL [reshard]: {} splits moved only {} of {} records",
+                r.splits_completed, r.records_transferred, r.gids
+            );
+            failed = true;
+        }
+        if r.sample_mismatches > 0 {
+            eprintln!(
+                "FAIL [reshard]: {} sampled gids resolved wrongly after cutover",
+                r.sample_mismatches
+            );
+            failed = true;
+        }
+        if (r.compacted_records as usize) < r.gids {
+            eprintln!(
+                "FAIL [reshard]: compaction folded {} records, below the {} live gids",
+                r.compacted_records, r.gids
+            );
+            failed = true;
+        }
+    }
 
     // Hand-rolled JSON (the vendored serde is a stub); the original key
     // set is stable for cross-PR tracking, new telemetry keys append
@@ -833,6 +946,28 @@ fn main() {
         json.push_str(&format!(
             ",\n  \"cost_attribution\": {}",
             obs.cost.to_json()
+        ));
+    }
+    if let Some(r) = &reshard {
+        json.push_str(&format!(
+            concat!(
+                ",\n  \"reshard\": {{\n",
+                "    \"gids\": {},\n",
+                "    \"splits_completed\": {},\n",
+                "    \"records_transferred\": {},\n",
+                "    \"elapsed_seconds\": {:.3},\n",
+                "    \"migration_records_per_sec\": {:.1},\n",
+                "    \"compacted_records\": {},\n",
+                "    \"sample_mismatches\": {}\n",
+                "  }}",
+            ),
+            r.gids,
+            r.splits_completed,
+            r.records_transferred,
+            r.elapsed.as_secs_f64(),
+            r.throughput,
+            r.compacted_records,
+            r.sample_mismatches,
         ));
     }
     json.push_str("\n}\n");

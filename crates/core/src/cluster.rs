@@ -5,7 +5,7 @@ use dista_obs::{
     reconstruct, reconstruct_inferred, to_chrome_trace, to_jsonl, to_text_report, FlightRecorder,
     MetricsDump, ObsConfig, ObsEvent, ObsEventKind, ObsReport, Observability, ProvenanceTrace,
 };
-use dista_simnet::{FaultPlan, FaultTrigger, NodeAddr, SimFs, SimNet};
+use dista_simnet::{FaultPlan, FaultTrigger, MigrationVictim, NodeAddr, SimFs, SimNet};
 use dista_taint::{SinkReport, SourceSinkSpec};
 use dista_taintmap::{TaintMapConfig, TaintMapEndpoint, TaintMapEndpointBuilder};
 
@@ -314,7 +314,15 @@ impl ClusterBuilder {
         }
         let chaos_recorder = observability.recorder_for("chaos");
         let telemetry = match self.telemetry {
-            Some(config) => Some(TelemetryPlane::spawn(&net, &node_list, config)?),
+            Some(config) => {
+                // The Taint Map deployment gets its own agent, pushing
+                // the `node="taintmap"` resharding/compaction counters
+                // mirrored by `Cluster::metrics_dump` — isolating the
+                // endpoint's IP silences its telemetry like any host's.
+                let mut agents = node_list.clone();
+                agents.push(("taintmap".to_string(), taint_map.addr().ip()));
+                Some(TelemetryPlane::spawn(&net, &agents, config)?)
+            }
             None => None,
         };
         // Arm the schedule last, so the logical step clock counts
@@ -332,6 +340,60 @@ impl ClusterBuilder {
             chaos_recorder,
             fault_log_cursor: 0,
         })
+    }
+}
+
+/// A declarative plan for [`Cluster::reshard`]: which residue classes
+/// to split, in order (listing a class twice chains two splits, each
+/// moving the then-current tail), plus the copy-phase batch size and
+/// the chaos-repair budget.
+#[derive(Debug, Clone)]
+pub struct ReshardPlan {
+    splits: Vec<usize>,
+    batch: usize,
+    max_repairs: usize,
+}
+
+impl Default for ReshardPlan {
+    fn default() -> Self {
+        ReshardPlan {
+            splits: Vec::new(),
+            batch: 512,
+            max_repairs: 64,
+        }
+    }
+}
+
+impl ReshardPlan {
+    /// An empty plan (split nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a split of residue class `class`'s tail range.
+    pub fn split(mut self, class: usize) -> Self {
+        self.splits.push(class);
+        self
+    }
+
+    /// Copy-phase batch size in records (default 512). Smaller batches
+    /// interleave more chaos polls per split; larger ones move faster.
+    pub fn batch(mut self, records: usize) -> Self {
+        self.batch = records.max(1);
+        self
+    }
+
+    /// How many crash-and-heal repairs one split tolerates before
+    /// [`Cluster::reshard`] gives up (default 64 — far above any finite
+    /// chaos schedule).
+    pub fn max_repairs(mut self, repairs: usize) -> Self {
+        self.max_repairs = repairs;
+        self
+    }
+
+    /// The classes this plan splits, in order.
+    pub fn splits(&self) -> &[usize] {
+        &self.splits
     }
 }
 
@@ -509,6 +571,7 @@ impl Cluster {
                     .set(cs.pending_gids as f64);
             }
         }
+        self.mirror_taintmap_metrics();
         reg.snapshot()
     }
 
@@ -595,9 +658,187 @@ impl Cluster {
                 }
                 FaultTrigger::CrashVm(node) => self.crash_vm(&node),
                 FaultTrigger::RestartVm(node) => self.restart_vm(&node),
+                FaultTrigger::CrashDuringMigration(victim) => self.crash_migration_victim(victim),
             }
         }
         Ok(())
+    }
+
+    /// Executes a [`FaultTrigger::CrashDuringMigration`]: crashes the
+    /// requested side(s) of the in-flight split, if one is active (a
+    /// scheduled migration crash against a workload that is not
+    /// resharding is deliberately a no-op).
+    fn crash_migration_victim(&mut self, victim: MigrationVictim) {
+        let tm = self.taint_map.as_mut().expect("cluster already shut down");
+        let Some((source, target)) = tm.active_split() else {
+            return;
+        };
+        let crash_source = matches!(victim, MigrationVictim::Source | MigrationVictim::Both);
+        let crash_target = matches!(victim, MigrationVictim::Target | MigrationVictim::Both);
+        let mut crashed = Vec::new();
+        if crash_source && !tm.primary_crashed(source) {
+            tm.crash_primary(source);
+            crashed.push(source);
+        }
+        if crash_target && !tm.primary_crashed(target) {
+            tm.crash_primary(target);
+            crashed.push(target);
+        }
+        for shard in crashed {
+            self.chaos_recorder
+                .record_with(|| ObsEventKind::ShardCrashed { shard });
+        }
+    }
+
+    /// Executes `plan` against the live Taint Map: for every listed
+    /// class, runs the three-phase split protocol (double-write arm,
+    /// batched copy, cutover) with [`Cluster::poll_chaos`] interleaved
+    /// between batches, so a scheduled
+    /// [`FaultTrigger::CrashDuringMigration`] (or shard crash) lands
+    /// mid-migration and is healed from the WAL checkpoints before the
+    /// split resumes. Returns the extended server index of each new
+    /// range owner and records a `shard_split` event per cutover.
+    ///
+    /// # Errors
+    ///
+    /// [`DistaError::Config`] if a split needs more than the plan's
+    /// repair budget; Taint Map errors that healing cannot absorb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed class is out of range or the cluster was shut
+    /// down.
+    pub fn reshard(&mut self, plan: &ReshardPlan) -> Result<Vec<usize>, DistaError> {
+        let mut new_servers = Vec::with_capacity(plan.splits.len());
+        for &class in &plan.splits {
+            self.poll_chaos()?;
+            let target = self
+                .taint_map
+                .as_mut()
+                .expect("cluster already shut down")
+                .begin_split(class)?;
+            let mut repairs = 0usize;
+            let over_budget = |e: DistaError, repairs: &mut usize| {
+                *repairs += 1;
+                (*repairs > plan.max_repairs).then_some(e)
+            };
+            let epoch = loop {
+                self.poll_chaos()?;
+                let tm = self.taint_map.as_mut().expect("cluster already shut down");
+                if let Some((source, tgt)) = tm.active_split() {
+                    if tm.primary_crashed(source) || tm.primary_crashed(tgt) {
+                        if let Some(e) = over_budget(
+                            DistaError::Config(format!(
+                                "resharding class {class} exceeded {} repairs",
+                                plan.max_repairs
+                            )),
+                            &mut repairs,
+                        ) {
+                            return Err(e);
+                        }
+                        tm.heal_split()?;
+                        self.chaos_recorder
+                            .record_with(|| ObsEventKind::SplitHealed { class });
+                        continue;
+                    }
+                }
+                match tm.split_step(plan.batch) {
+                    Ok(true) => {}
+                    Ok(false) if tm.split_lagging() => {}
+                    Ok(false) => match tm.finish_split() {
+                        Ok(epoch) => break epoch,
+                        // A crash can land between catch-up and cutover;
+                        // the next iteration heals and resumes.
+                        Err(e) => {
+                            if let Some(e) = over_budget(e.into(), &mut repairs) {
+                                return Err(e);
+                            }
+                        }
+                    },
+                    // Target unreachable mid-batch — heal next round.
+                    Err(e) => {
+                        if let Some(e) = over_budget(e.into(), &mut repairs) {
+                            return Err(e);
+                        }
+                    }
+                }
+            };
+            let tm = self.taint_map.as_ref().expect("cluster already shut down");
+            let lo_gid = tm.class_table(class).tail().lo_gid;
+            self.chaos_recorder
+                .record_with(|| ObsEventKind::ShardSplit {
+                    class,
+                    target,
+                    lo_gid,
+                    epoch,
+                });
+            new_servers.push(target);
+        }
+        self.mirror_taintmap_metrics();
+        Ok(new_servers)
+    }
+
+    /// Folds every live Taint Map server's WAL into a fresh snapshot
+    /// and truncates the log (crashed primaries are skipped — their
+    /// logs compact after restart). Records one `wal_compacted` event
+    /// per server; returns the total records snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// [`DistaError::TaintMap`] if the deployment has no write-ahead
+    /// snapshots ([`ClusterBuilder::taint_map_snapshots`]).
+    pub fn compact_taint_map(&self) -> Result<u64, DistaError> {
+        let tm = self.taint_map.as_ref().expect("cluster already shut down");
+        let mut total = 0;
+        for shard in 0..tm.server_count() {
+            if tm.primary_crashed(shard) {
+                continue;
+            }
+            let records = tm.compact_shard(shard)?;
+            self.chaos_recorder
+                .record_with(|| ObsEventKind::WalCompacted { shard, records });
+            total += records;
+        }
+        self.mirror_taintmap_metrics();
+        Ok(total)
+    }
+
+    /// Mirrors Taint Map deployment-level counters — migration volume,
+    /// per-class epochs, redirect/stale-epoch traffic, compactions —
+    /// into the metrics registry under `node="taintmap"`, where the
+    /// telemetry plane's endpoint agent picks them up for scrapes.
+    fn mirror_taintmap_metrics(&self) {
+        let Some(reg) = self.observability.registry() else {
+            return;
+        };
+        let Some(tm) = &self.taint_map else {
+            return;
+        };
+        let labels: &[(&str, &str)] = &[("node", "taintmap")];
+        let rs = tm.reshard_stats();
+        reg.gauge_with("taintmap_splits_completed", labels)
+            .set(rs.splits_completed as f64);
+        reg.gauge_with("taintmap_records_transferred", labels)
+            .set(rs.records_transferred as f64);
+        for (class, epoch) in rs.class_epochs.iter().enumerate() {
+            let class = class.to_string();
+            reg.gauge_with(
+                "taintmap_class_epoch",
+                &[("node", "taintmap"), ("class", &class)],
+            )
+            .set(*epoch as f64);
+        }
+        let ss = tm.stats();
+        reg.gauge_with("taintmap_server_moved_redirects", labels)
+            .set(ss.moved_redirects as f64);
+        reg.gauge_with("taintmap_server_stale_epochs", labels)
+            .set(ss.stale_epochs as f64);
+        reg.gauge_with("taintmap_server_double_writes", labels)
+            .set(ss.double_writes as f64);
+        reg.gauge_with("taintmap_server_transferred_in", labels)
+            .set(ss.transferred_in as f64);
+        reg.gauge_with("taintmap_server_compactions", labels)
+            .set(ss.compactions as f64);
     }
 
     /// Crashes Taint Map shard `shard`'s primary ungracefully (no
@@ -781,6 +1022,60 @@ mod tests {
             assert_eq!(cluster.vm(1).store().tag_values(*t), vec![i.to_string()]);
         }
         assert_eq!(cluster.taint_map().stats().global_taints, 16);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn reshard_migrates_live_gids_and_compacts() {
+        let mut cluster = Cluster::builder(Mode::Dista)
+            .nodes("n", 2)
+            .taint_map_shards(2)
+            .taint_map_snapshots(true)
+            .observability(ObsConfig::default())
+            .build()
+            .unwrap();
+        let taints: Vec<_> = (0..64)
+            .map(|i| cluster.vm(0).store().mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = cluster
+            .vm(0)
+            .taint_map()
+            .unwrap()
+            .global_ids_for(&taints)
+            .unwrap();
+
+        let new_servers = cluster
+            .reshard(&ReshardPlan::new().split(0).split(1).batch(16))
+            .unwrap();
+        assert_eq!(new_servers, vec![2, 3]);
+        let rs = cluster.taint_map().reshard_stats();
+        assert_eq!(rs.splits_completed, 2);
+        assert!(rs.records_transferred > 0);
+        assert_eq!(rs.class_epochs, vec![1, 1]);
+
+        // Every pre-split gid still resolves from the other node, via
+        // Moved redirects against its stale shard map.
+        let resolved = cluster
+            .vm(1)
+            .taint_map()
+            .unwrap()
+            .taints_for(&gids)
+            .unwrap();
+        for (i, t) in resolved.iter().enumerate() {
+            assert_eq!(cluster.vm(1).store().tag_values(*t), vec![i.to_string()]);
+        }
+
+        // Compaction folds every live WAL and the counters surface in
+        // the metrics dump and event log.
+        let folded = cluster.compact_taint_map().unwrap();
+        assert!(folded >= 64, "snapshot covers live records: {folded}");
+        let dump = cluster.metrics_dump();
+        let text = dump.render_text();
+        assert!(text.contains("taintmap_splits_completed{node=taintmap} 2.0000"));
+        assert!(text.contains("taintmap_server_compactions{node=taintmap}"));
+        let events = cluster.export_jsonl();
+        assert!(events.contains("\"event\":\"shard_split\""));
+        assert!(events.contains("\"event\":\"wal_compacted\""));
         cluster.shutdown();
     }
 
@@ -987,7 +1282,8 @@ mod tests {
         assert!(json.contains("\"nodes\":[\"n1\"") || json.contains("\"n1\""));
 
         let plane = cluster.telemetry().unwrap();
-        assert_eq!(plane.agents().len(), 2);
+        // Two VM agents plus the Taint Map deployment agent.
+        assert_eq!(plane.agents().len(), 3);
         let collector = plane.collector().clone();
         cluster.shutdown();
         assert!(collector.frames_ingested() >= 1);

@@ -175,6 +175,33 @@ pub enum ObsEventKind {
         /// Registrations recovered by replaying the snapshot log.
         replayed: u64,
     },
+    /// A live resharding cut over: residue class `class` gained a new
+    /// tail server owning gids at and above `lo_gid`, and the class
+    /// table advanced to `epoch` (stale-epoch clients refetch).
+    ShardSplit {
+        /// Residue class whose tail range migrated.
+        class: usize,
+        /// Extended server index of the new range owner.
+        target: usize,
+        /// First gid of the migrated range.
+        lo_gid: u32,
+        /// The class table epoch after the cutover.
+        epoch: u64,
+    },
+    /// An interrupted split was repaired: crashed sides restarted from
+    /// their WALs and the copy re-armed from its durable checkpoint.
+    SplitHealed {
+        /// Residue class of the in-flight split.
+        class: usize,
+    },
+    /// A shard's WAL was folded into a fresh snapshot and truncated,
+    /// bounding its next restart's replay by live records.
+    WalCompacted {
+        /// Base or extended index of the compacted server.
+        shard: usize,
+        /// Records folded into the snapshot.
+        records: u64,
+    },
 }
 
 impl ObsEventKind {
@@ -193,6 +220,9 @@ impl ObsEventKind {
             ObsEventKind::FaultInjected { .. } => "fault_injected",
             ObsEventKind::ShardCrashed { .. } => "shard_crashed",
             ObsEventKind::ShardRestarted { .. } => "shard_restarted",
+            ObsEventKind::ShardSplit { .. } => "shard_split",
+            ObsEventKind::SplitHealed { .. } => "split_healed",
+            ObsEventKind::WalCompacted { .. } => "wal_compacted",
         }
     }
 }
@@ -221,5 +251,21 @@ mod tests {
         };
         assert_eq!(k.name(), "source_minted");
         assert_eq!(Transport::Tcp.to_string(), "tcp");
+        let k = ObsEventKind::ShardSplit {
+            class: 0,
+            target: 2,
+            lo_gid: 9,
+            epoch: 1,
+        };
+        assert_eq!(k.name(), "shard_split");
+        assert_eq!(
+            ObsEventKind::SplitHealed { class: 0 }.name(),
+            "split_healed"
+        );
+        let k = ObsEventKind::WalCompacted {
+            shard: 1,
+            records: 3,
+        };
+        assert_eq!(k.name(), "wal_compacted");
     }
 }

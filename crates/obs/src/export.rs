@@ -114,6 +114,16 @@ fn kind_fields(kind: &ObsEventKind) -> String {
         ObsEventKind::ShardRestarted { shard, replayed } => {
             format!("\"shard\":{shard},\"replayed\":{replayed}")
         }
+        ObsEventKind::ShardSplit {
+            class,
+            target,
+            lo_gid,
+            epoch,
+        } => format!("\"class\":{class},\"target\":{target},\"lo_gid\":{lo_gid},\"epoch\":{epoch}"),
+        ObsEventKind::SplitHealed { class } => format!("\"class\":{class}"),
+        ObsEventKind::WalCompacted { shard, records } => {
+            format!("\"shard\":{shard},\"records\":{records}")
+        }
     }
 }
 

@@ -356,6 +356,25 @@ fn fixture_events() -> Vec<ObsEvent> {
                 replayed: 17,
             },
         ),
+        e(
+            12,
+            "alpha",
+            ObsEventKind::ShardSplit {
+                class: 0,
+                target: 2,
+                lo_gid: 9,
+                epoch: 1,
+            },
+        ),
+        e(13, "alpha", ObsEventKind::SplitHealed { class: 0 }),
+        e(
+            14,
+            "alpha",
+            ObsEventKind::WalCompacted {
+                shard: 2,
+                records: 17,
+            },
+        ),
     ]
 }
 
@@ -392,6 +411,9 @@ fn expected_fields(event: &str) -> &'static [&'static str] {
         "fault_injected" => &["fault"],
         "shard_crashed" => &["shard"],
         "shard_restarted" => &["shard", "replayed"],
+        "shard_split" => &["class", "target", "lo_gid", "epoch"],
+        "split_healed" => &["class"],
+        "wal_compacted" => &["shard", "records"],
         other => panic!("unknown event kind {other}"),
     }
 }
@@ -417,7 +439,7 @@ fn check_golden(name: &str, rendered: &str, golden: &str) {
 fn jsonl_round_trips_and_pins_field_names() {
     let out = to_jsonl(&fixture_events());
     let lines: Vec<&str> = out.lines().collect();
-    assert_eq!(lines.len(), 12, "one line per event");
+    assert_eq!(lines.len(), 15, "one line per event");
 
     let mut seen_kinds = Vec::new();
     let mut prev_seq = -1.0f64;
@@ -439,7 +461,7 @@ fn jsonl_round_trips_and_pins_field_names() {
     let mut sorted = seen_kinds.clone();
     sorted.sort();
     sorted.dedup();
-    assert_eq!(sorted.len(), 12, "fixture covers all event kinds");
+    assert_eq!(sorted.len(), 15, "fixture covers all event kinds");
 }
 
 #[test]
@@ -497,7 +519,7 @@ fn chrome_trace_round_trips_and_pins_structure() {
 
     // Two process_name metadata rows (one per node, first-seen order:
     // the lowest-seq event is on alpha), then one instant per event.
-    assert_eq!(entries.len(), 2 + 12);
+    assert_eq!(entries.len(), 2 + 15);
     for meta in &entries[..2] {
         assert_eq!(meta.get("name").unwrap().as_str(), "process_name");
         assert_eq!(meta.get("ph").unwrap().as_str(), "M");

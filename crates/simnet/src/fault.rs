@@ -119,6 +119,29 @@ pub enum FaultAction {
         /// Node name.
         node: String,
     },
+    /// Ask the cluster layer to crash one or both sides of whatever
+    /// Taint Map range migration is in flight *when the trigger is
+    /// drained* (surfaced as [`FaultTrigger::CrashDuringMigration`]).
+    /// A no-op when no split is in flight — which makes the action
+    /// schedulable against workloads whose migration timing the plan
+    /// author cannot predict.
+    CrashDuringMigration {
+        /// Which side(s) of the migration to crash.
+        victim: MigrationVictim,
+    },
+}
+
+/// Which side of an in-flight Taint Map range migration a
+/// [`FaultAction::CrashDuringMigration`] kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationVictim {
+    /// The old primary (the server copying its tail range out).
+    Source,
+    /// The new primary (the server receiving the range).
+    Target,
+    /// Both sides at once — the worst case the WAL checkpoints exist
+    /// for.
+    Both,
 }
 
 /// One schedule entry: `action` applies when the logical step clock
@@ -155,6 +178,9 @@ pub enum FaultTrigger {
     CrashVm(String),
     /// Restart the named VM.
     RestartVm(String),
+    /// Crash the given side(s) of the in-flight Taint Map range
+    /// migration, if one is active when the trigger drains.
+    CrashDuringMigration(MigrationVictim),
 }
 
 /// A deterministic fault schedule. Build one with [`FaultPlan::builder`],
@@ -276,6 +302,13 @@ impl FaultPlanBuilder {
         self.push(step, FaultAction::RestartVm { node: node.into() })
     }
 
+    /// Schedules a crash of one or both sides of whatever Taint Map
+    /// range migration is in flight when the trigger is drained at
+    /// `step` (a no-op if none is).
+    pub fn crash_during_migration_at(self, step: u64, victim: MigrationVictim) -> Self {
+        self.push(step, FaultAction::CrashDuringMigration { victim })
+    }
+
     /// Finishes the plan; entries are ordered by step, preserving
     /// insertion order within a step.
     pub fn build(mut self) -> FaultPlan {
@@ -343,6 +376,10 @@ impl EngineState {
             }
             FaultAction::RestartVm { node } => {
                 self.triggers.push(FaultTrigger::RestartVm(node.clone()));
+            }
+            FaultAction::CrashDuringMigration { victim } => {
+                self.triggers
+                    .push(FaultTrigger::CrashDuringMigration(*victim));
             }
         }
         self.log.push(AppliedFault { step, action });
@@ -573,6 +610,7 @@ mod tests {
             FaultPlan::builder(0)
                 .crash_shard_at(1, 2)
                 .restart_vm_at(1, "n1")
+                .crash_during_migration_at(1, MigrationVictim::Both)
                 .build(),
         );
         engine.advance();
@@ -580,7 +618,8 @@ mod tests {
             engine.take_triggers(),
             vec![
                 FaultTrigger::CrashShard(2),
-                FaultTrigger::RestartVm("n1".into())
+                FaultTrigger::RestartVm("n1".into()),
+                FaultTrigger::CrashDuringMigration(MigrationVictim::Both),
             ]
         );
         assert!(engine.take_triggers().is_empty());

@@ -40,6 +40,12 @@ pub trait TaintMapBackend: Send + Sync + 'static {
     /// reuse `gid`.
     fn insert_replicated(&self, gid: u32, serialized: &[u8]);
 
+    /// Highest backend-local id assigned or replicated so far (0 when
+    /// empty). Range copies and snapshots scan local ids
+    /// `1..=max_local()` through [`TaintMapBackend::lookup`], so this
+    /// must never lag behind the allocator.
+    fn max_local(&self) -> u32;
+
     /// Number of distinct global taints stored.
     fn len(&self) -> u64;
 
@@ -109,6 +115,10 @@ impl TaintMapBackend for InMemoryBackend {
         st.by_id.insert(gid, serialized.to_vec());
     }
 
+    fn max_local(&self) -> u32 {
+        self.state.lock().next_id
+    }
+
     fn len(&self) -> u64 {
         self.state.lock().by_id.len() as u64
     }
@@ -144,6 +154,17 @@ mod tests {
         assert_eq!(b.register(b"b"), 4, "skips the reserved 2 and 3");
         assert_eq!(b.register(b"c"), 6, "skips the reserved 5");
         assert_eq!(b.lookup(2), None);
+    }
+
+    #[test]
+    fn max_local_tracks_allocations_and_replication() {
+        let b = InMemoryBackend::new();
+        assert_eq!(b.max_local(), 0);
+        b.register(b"a");
+        b.register(b"b");
+        assert_eq!(b.max_local(), 2);
+        b.insert_replicated(9, b"nine");
+        assert_eq!(b.max_local(), 9);
     }
 
     #[test]

@@ -42,11 +42,17 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::error::TaintMapError;
 use crate::proto::{
-    decode_lookup_batch_resp, decode_register_batch_resp, encode_lookup_batch,
-    encode_register_batch, read_frame_deadline, write_frame, OP_LOOKUP, OP_LOOKUP_BATCH,
-    OP_REGISTER, OP_REGISTER_BATCH, RESP_OK,
+    decode_class_table, decode_lookup_batch_resp, decode_register_batch_resp, decode_stale_epoch,
+    encode_lookup_batch, encode_register_batch, read_frame_deadline, stamp_epoch, write_frame,
+    OP_EPOCH_OF, OP_LOOKUP, OP_LOOKUP_BATCH_E, OP_REGISTER, OP_REGISTER_BATCH_E, RESP_MOVED,
+    RESP_OK, RESP_STALE_EPOCH,
 };
-use crate::shard::{shard_of_bytes, shard_of_gid, TaintMapTopology};
+use crate::shard::{shard_of_bytes, shard_of_gid, ClassTable, TaintMapTopology};
+
+/// Rounds of the `Moved`/stale-epoch re-partition loop before a batch
+/// gives up. Every round either resolves items or advances a class
+/// table's epoch, so a healthy deployment converges in one or two.
+const RESHARD_ROUNDS: usize = 10;
 
 /// Client-side RPC counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +91,12 @@ pub struct ClientStats {
     pub pending_resolved: u64,
     /// Gids currently pending (sentinel attached, not yet reconciled).
     pub pending_gids: u64,
+    /// `Moved` redirects followed after a shard range migrated away
+    /// (each one merges the server's newer class table).
+    pub moved_redirects: u64,
+    /// Class tables refetched after a server rejected a stale epoch
+    /// stamp.
+    pub epoch_refetches: u64,
 }
 
 /// Retry, deadline, and circuit-breaker tuning for a
@@ -157,6 +169,10 @@ pub struct ClientObserver {
     pub degraded_lookups: Counter,
     /// Pending sentinels resolved by the reconciler.
     pub pending_resolved: Counter,
+    /// `Moved` redirects followed during resharding.
+    pub moved_redirects: Counter,
+    /// Class tables refetched after a stale-epoch rejection.
+    pub epoch_refetches: Counter,
     /// taint → root span map shared with the owning VM: registration
     /// transfers the root span from the taint to its fresh gid.
     pub taint_spans: SpanTracker,
@@ -187,6 +203,8 @@ impl ClientObserver {
             breaker_open_ns: Counter::detached(),
             degraded_lookups: Counter::detached(),
             pending_resolved: Counter::detached(),
+            moved_redirects: Counter::detached(),
+            epoch_refetches: Counter::detached(),
             taint_spans: SpanTracker::disabled(),
             gid_spans: SpanTracker::disabled(),
             rpc_phase: PhaseHandle::disabled(),
@@ -217,6 +235,8 @@ impl ClientObserver {
             breaker_open_ns: registry.counter_with("taintmap_breaker_open_ns", &labels),
             degraded_lookups: registry.counter_with("taintmap_degraded_lookups", &labels),
             pending_resolved: registry.counter_with("taintmap_pending_resolved", &labels),
+            moved_redirects: registry.counter_with("taintmap_moved_redirects", &labels),
+            epoch_refetches: registry.counter_with("taintmap_epoch_refetches", &labels),
             taint_spans: SpanTracker::disabled(),
             gid_spans: SpanTracker::disabled(),
             rpc_phase: PhaseHandle::disabled(),
@@ -308,6 +328,17 @@ struct ShardConn {
     target: usize,
 }
 
+/// One destination's slice of a batch round: the residue class, the
+/// server address the class table routed it to, the item slots it
+/// carries, and the ready-to-send (epoch-stamped) frame payload.
+struct BatchGroup {
+    class: usize,
+    addr: NodeAddr,
+    /// Caller-defined item indices resolved by this group.
+    items: Vec<usize>,
+    payload: Vec<u8>,
+}
+
 struct ClientInner {
     net: SimNet,
     topology: TaintMapTopology,
@@ -315,6 +346,14 @@ struct ClientInner {
     /// One persistent connection per shard, each with its own lock so
     /// batches to different shards overlap.
     shards: Vec<Mutex<ShardConn>>,
+    /// Cached routing table per residue class; starts at epoch 0 (one
+    /// open range on the base shard) and converges toward the servers'
+    /// tables via `Moved` merges and stale-epoch refetches.
+    tables: Mutex<Vec<ClassTable>>,
+    /// Lazily dialed connections to servers created by splits (they are
+    /// not in the base topology). Keyed by address; each has its own
+    /// lock like the base shard connections.
+    extra: Mutex<HashMap<NodeAddr, Arc<Mutex<ShardConn>>>>,
     store: TaintStore,
     /// taint -> global id: "Node1 does not need to request a Global ID
     /// again if it sends b2 out later" (step ② of Fig. 9).
@@ -345,6 +384,8 @@ struct ClientInner {
     breaker_open_ns: AtomicU64,
     degraded_lookups: AtomicU64,
     pending_resolved: AtomicU64,
+    moved_redirects: AtomicU64,
+    epoch_refetches: AtomicU64,
     obs: ClientObserver,
 }
 
@@ -418,10 +459,12 @@ impl TaintMapClient {
         let src_ip = store.local_id().ip();
         let mut shards = Vec::with_capacity(topology.shard_count());
         let mut breakers = Vec::with_capacity(topology.shard_count());
+        let mut tables = Vec::with_capacity(topology.shard_count());
         for i in 0..topology.shard_count() {
             let (conn, target) = dial_any(net, topology.shard_addrs(i), src_ip, 0)?;
             shards.push(Mutex::new(ShardConn { conn, target }));
             breakers.push(Mutex::new(Breaker::new()));
+            tables.push(ClassTable::initial(topology.shard_addrs(i).to_vec(), i));
         }
         Ok(TaintMapClient {
             inner: Arc::new(ClientInner {
@@ -429,6 +472,8 @@ impl TaintMapClient {
                 topology,
                 src_ip,
                 shards,
+                tables: Mutex::new(tables),
+                extra: Mutex::new(HashMap::new()),
                 store,
                 gid_of: Mutex::new(HashMap::new()),
                 taint_of: Mutex::new(HashMap::new()),
@@ -449,6 +494,8 @@ impl TaintMapClient {
                 breaker_open_ns: AtomicU64::new(0),
                 degraded_lookups: AtomicU64::new(0),
                 pending_resolved: AtomicU64::new(0),
+                moved_redirects: AtomicU64::new(0),
+                epoch_refetches: AtomicU64::new(0),
                 obs,
             }),
         })
@@ -589,7 +636,18 @@ impl TaintMapClient {
         shard: usize,
         guard: &mut MutexGuard<'_, ShardConn>,
     ) -> Result<(), TaintMapError> {
-        let addrs = self.inner.topology.shard_addrs(shard);
+        self.redial_addrs(shard, self.inner.topology.shard_addrs(shard), guard)
+    }
+
+    /// Reconnects a connection to the next address in `addrs` (a base
+    /// shard's failover list, or the single address of a split server).
+    /// Breaker/failover accounting lands on residue class `class`.
+    fn redial_addrs(
+        &self,
+        class: usize,
+        addrs: &[NodeAddr],
+        guard: &mut MutexGuard<'_, ShardConn>,
+    ) -> Result<(), TaintMapError> {
         let start = (guard.target + 1) % addrs.len();
         let (conn, target) = dial_any(&self.inner.net, addrs, self.inner.src_ip, start)?;
         guard.conn = conn;
@@ -599,15 +657,67 @@ impl TaintMapClient {
         self.inner
             .obs
             .recorder
-            .record_with(|| ObsEventKind::TaintMapFailover { shard });
+            .record_with(|| ObsEventKind::TaintMapFailover { shard: class });
         Ok(())
     }
 
-    /// Sends a batch frame on an already-locked shard connection,
-    /// retrying across the failover list up to the retry budget.
+    /// Whether `addr` is one of class `class`'s base topology addresses
+    /// (as opposed to a server created by a split).
+    fn is_base(&self, class: usize, addr: NodeAddr) -> bool {
+        self.inner.topology.shard_addrs(class).contains(&addr)
+    }
+
+    /// The kept-open connection to a split server, dialing it on first
+    /// use.
+    fn extra_conn(&self, addr: NodeAddr) -> Result<Arc<Mutex<ShardConn>>, TaintMapError> {
+        let mut pool = self.inner.extra.lock();
+        if let Some(conn) = pool.get(&addr) {
+            return Ok(conn.clone());
+        }
+        let (conn, target) = dial_any(&self.inner.net, &[addr], self.inner.src_ip, 0)?;
+        let arc = Arc::new(Mutex::new(ShardConn { conn, target }));
+        pool.insert(addr, arc.clone());
+        Ok(arc)
+    }
+
+    /// Merges a `Moved` redirect's class table (carried in `payload`)
+    /// into the cached table for `class`.
+    fn adopt_moved(&self, class: usize, payload: &[u8]) -> Result<(), TaintMapError> {
+        let table = decode_class_table(payload)?;
+        self.inner.tables.lock()[class].merge(&table);
+        self.inner.moved_redirects.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.moved_redirects.inc();
+        Ok(())
+    }
+
+    /// Handles a stale-epoch rejection from the server at `addr`:
+    /// refetches its class table over `EPOCH_OF` and merges it.
+    fn refetch_table(
+        &self,
+        class: usize,
+        addr: NodeAddr,
+        payload: &[u8],
+    ) -> Result<(), TaintMapError> {
+        // The rejection names the server's epoch; the table itself comes
+        // from a dedicated round trip.
+        let _server_epoch = decode_stale_epoch(payload)?;
+        let (op, resp) = self.rpc_routed(class, addr, OP_EPOCH_OF, b"")?;
+        if op != RESP_OK {
+            return Err(TaintMapError::Protocol("bad epoch-of response"));
+        }
+        let table = decode_class_table(&resp)?;
+        self.inner.tables.lock()[class].merge(&table);
+        self.inner.epoch_refetches.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.epoch_refetches.inc();
+        Ok(())
+    }
+
+    /// Sends a batch frame on an already-locked connection, retrying
+    /// across `addrs` up to the retry budget.
     fn send_batch_locked(
         &self,
-        shard: usize,
+        class: usize,
+        addrs: &[NodeAddr],
         guard: &mut MutexGuard<'_, ShardConn>,
         op: u8,
         payload: &[u8],
@@ -617,7 +727,7 @@ impl TaintMapClient {
         for attempt in 0..=self.inner.resilience.retry_budget {
             if attempt > 0 {
                 self.note_retry(attempt);
-                if let Err(e) = self.redial(shard, guard) {
+                if let Err(e) = self.redial_addrs(class, addrs, guard) {
                     last = e;
                     continue;
                 }
@@ -627,17 +737,21 @@ impl TaintMapClient {
                 Err(e) => last = TaintMapError::Net(e),
             }
         }
-        self.breaker_failure(shard);
+        self.breaker_failure(class);
         Err(last)
     }
 
-    /// Reads a batch response on an already-locked shard connection. If
-    /// the instance died after taking the request, fails over and
-    /// re-sends `payload` (register is dedup-idempotent, lookup is
+    /// Reads a batch response on an already-locked connection. If the
+    /// instance died after taking the request, fails over along `addrs`
+    /// and re-sends `payload` (register is dedup-idempotent, lookup is
     /// read-only, so replay is safe mid-batch), up to the retry budget.
+    /// Any well-formed response frame — `OK`, `Moved`, stale-epoch —
+    /// counts as a breaker success: a redirecting server is *serving*,
+    /// not failing.
     fn recv_batch_locked(
         &self,
-        shard: usize,
+        class: usize,
+        addrs: &[NodeAddr],
         guard: &mut MutexGuard<'_, ShardConn>,
         op: u8,
         payload: &[u8],
@@ -646,7 +760,7 @@ impl TaintMapClient {
         let mut last;
         match read_frame_deadline(&guard.conn, deadline) {
             Ok(Some(reply)) => {
-                self.breaker_success(shard);
+                self.breaker_success(class);
                 return Ok(reply);
             }
             Ok(None) => last = TaintMapError::Net(dista_simnet::NetError::Closed),
@@ -654,7 +768,7 @@ impl TaintMapClient {
         }
         for attempt in 1..=self.inner.resilience.retry_budget {
             self.note_retry(attempt);
-            if let Err(e) = self.redial(shard, guard) {
+            if let Err(e) = self.redial_addrs(class, addrs, guard) {
                 last = e;
                 continue;
             }
@@ -664,15 +778,111 @@ impl TaintMapClient {
             }
             match read_frame_deadline(&guard.conn, deadline) {
                 Ok(Some(reply)) => {
-                    self.breaker_success(shard);
+                    self.breaker_success(class);
                     return Ok(reply);
                 }
                 Ok(None) => last = TaintMapError::Net(dista_simnet::NetError::Closed),
                 Err(e) => last = e,
             }
         }
-        self.breaker_failure(shard);
+        self.breaker_failure(class);
         Err(last)
+    }
+
+    /// One single-item RPC routed to a specific server of `class`: the
+    /// base connection when `addr` is in the class's topology, a pooled
+    /// extra connection otherwise (split servers).
+    fn rpc_routed(
+        &self,
+        class: usize,
+        addr: NodeAddr,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<(u8, Vec<u8>), TaintMapError> {
+        if self.is_base(class, addr) {
+            return self.rpc(class, op, payload);
+        }
+        self.admit(class)?;
+        let conn = self.extra_conn(addr)?;
+        let mut guard = conn.lock();
+        let deadline = self.inner.resilience.rpc_deadline;
+        let mut last = TaintMapError::Net(dista_simnet::NetError::Closed);
+        for attempt in 0..=self.inner.resilience.retry_budget {
+            if attempt > 0 {
+                self.note_retry(attempt);
+                if let Err(e) = self.redial_addrs(class, &[addr], &mut guard) {
+                    last = e;
+                    continue;
+                }
+            }
+            match rpc_on(&guard.conn, op, payload, deadline) {
+                Ok(reply) => {
+                    self.breaker_success(class);
+                    return Ok(reply);
+                }
+                Err(e) => last = e,
+            }
+        }
+        self.breaker_failure(class);
+        Err(last)
+    }
+
+    /// Runs one round of per-destination batch frames: locks every
+    /// destination connection in ascending `(class, addr)` order (the
+    /// deadlock-free order shared by all batch paths), pipelines the
+    /// writes, then collects the responses.
+    fn run_groups(
+        &self,
+        groups: &[BatchGroup],
+        op: u8,
+    ) -> Result<Vec<(u8, Vec<u8>)>, TaintMapError> {
+        debug_assert!(
+            groups
+                .windows(2)
+                .all(|w| (w[0].class, w[0].addr) < (w[1].class, w[1].addr)),
+            "groups must be sorted and deduped for the lock order"
+        );
+        let base_lists: Vec<Option<&[NodeAddr]>> = groups
+            .iter()
+            .map(|g| {
+                self.is_base(g.class, g.addr)
+                    .then(|| self.inner.topology.shard_addrs(g.class))
+            })
+            .collect();
+        let extras: Vec<Option<Arc<Mutex<ShardConn>>>> = groups
+            .iter()
+            .zip(&base_lists)
+            .map(|(g, base)| match base {
+                Some(_) => Ok(None),
+                None => self.extra_conn(g.addr).map(Some),
+            })
+            .collect::<Result<_, _>>()?;
+        let single_addrs: Vec<[NodeAddr; 1]> = groups.iter().map(|g| [g.addr]).collect();
+        let mut guards: Vec<MutexGuard<'_, ShardConn>> = Vec::with_capacity(groups.len());
+        for (g, extra) in groups.iter().zip(&extras) {
+            guards.push(match extra {
+                Some(conn) => conn.lock(),
+                None => self.inner.shards[g.class].lock(),
+            });
+        }
+        for ((g, guard), (base, single)) in groups
+            .iter()
+            .zip(guards.iter_mut())
+            .zip(base_lists.iter().zip(&single_addrs))
+        {
+            let addrs = base.unwrap_or(single);
+            self.send_batch_locked(g.class, addrs, guard, op, &g.payload)?;
+        }
+        let mut replies = Vec::with_capacity(groups.len());
+        for ((g, guard), (base, single)) in groups
+            .iter()
+            .zip(guards.iter_mut())
+            .zip(base_lists.iter().zip(&single_addrs))
+        {
+            let addrs = base.unwrap_or(single);
+            replies.push(self.recv_batch_locked(g.class, addrs, guard, op, &g.payload)?);
+        }
+        Ok(replies)
     }
 
     /// Returns the Global ID for `taint`, registering it with the service
@@ -694,17 +904,26 @@ impl TaintMapClient {
             return Ok(gid);
         }
         let serialized = serialize_taint(self.inner.store.tree(), taint);
-        let shard = shard_of_bytes(&serialized, self.shard_count());
-        let (op, payload) = self.rpc(shard, OP_REGISTER, &serialized)?;
+        let class = shard_of_bytes(&serialized, self.shard_count());
         self.inner.register_rpcs.fetch_add(1, Ordering::Relaxed);
-        if op != RESP_OK || payload.len() != 4 {
-            return Err(TaintMapError::Protocol("bad register response"));
+        for _ in 0..RESHARD_ROUNDS {
+            // Allocation lives with the class's open-ended tail range.
+            let addr = self.inner.tables.lock()[class].tail().addrs[0];
+            let (op, payload) = self.rpc_routed(class, addr, OP_REGISTER, &serialized)?;
+            if op == RESP_MOVED {
+                self.adopt_moved(class, &payload)?;
+                continue;
+            }
+            if op != RESP_OK || payload.len() != 4 {
+                return Err(TaintMapError::Protocol("bad register response"));
+            }
+            let gid = GlobalId(u32::from_be_bytes([
+                payload[0], payload[1], payload[2], payload[3],
+            ]));
+            self.finish_registration(taint, gid);
+            return Ok(gid);
         }
-        let gid = GlobalId(u32::from_be_bytes([
-            payload[0], payload[1], payload[2], payload[3],
-        ]));
-        self.finish_registration(taint, gid);
-        Ok(gid)
+        Err(TaintMapError::Protocol("resharding did not converge"))
     }
 
     /// Returns Global IDs for a whole slice of taints, registering every
@@ -773,53 +992,78 @@ impl TaintMapClient {
         Ok(out)
     }
 
-    /// Registers `mine` across shards: writes every shard's
-    /// `REGISTER_BATCH` frame before reading any response, so shards
-    /// work concurrently. Returns gids aligned with `mine`.
+    /// Registers `mine` across shards: writes every destination's
+    /// `REGISTER_BATCH_E` frame before reading any response, so servers
+    /// work concurrently. A destination that answers `Moved` or
+    /// stale-epoch gets its items re-partitioned through the merged
+    /// class table on the next round. Returns gids aligned with `mine`.
     fn register_batch(
         &self,
         mine: &[(usize, Taint, Vec<u8>)],
     ) -> Result<Vec<GlobalId>, TaintMapError> {
         let n = self.shard_count();
-        // Partition by byte-hash routing; remember each item's slot.
-        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (k, (_, _, serialized)) in mine.iter().enumerate() {
-            per_shard[shard_of_bytes(serialized, n)].push(k);
-        }
         self.inner
             .register_rpcs
             .fetch_add(mine.len() as u64, Ordering::Relaxed);
         self.inner.obs.batch_items.observe(mine.len() as u64);
         let wire_started = std::time::Instant::now();
 
-        // Lock the involved shard connections in ascending order (the
-        // deadlock-free order), pipeline the writes, then collect.
-        let mut guards: Vec<(usize, MutexGuard<'_, ShardConn>)> = Vec::new();
-        let mut payloads: Vec<(usize, Vec<u8>)> = Vec::new();
-        for (shard, items) in per_shard.iter().enumerate() {
-            if items.is_empty() {
-                continue;
-            }
-            self.admit(shard)?;
-            let batch: Vec<Vec<u8>> = items.iter().map(|&k| mine[k].2.clone()).collect();
-            payloads.push((shard, encode_register_batch(&batch)));
-            guards.push((shard, self.inner.shards[shard].lock()));
-        }
-        for ((shard, guard), (_, payload)) in guards.iter_mut().zip(&payloads) {
-            self.send_batch_locked(*shard, guard, OP_REGISTER_BATCH, payload)?;
-        }
         let mut gids = vec![GlobalId::UNTAINTED; mine.len()];
-        for ((shard, guard), (_, payload)) in guards.iter_mut().zip(&payloads) {
-            let (op, resp) = self.recv_batch_locked(*shard, guard, OP_REGISTER_BATCH, payload)?;
-            if op != RESP_OK {
-                return Err(TaintMapError::Protocol("bad register batch response"));
+        // Item slots not yet registered, per residue class.
+        let mut remaining: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, (_, _, serialized)) in mine.iter().enumerate() {
+            remaining[shard_of_bytes(serialized, n)].push(k);
+        }
+        for _round in 0..RESHARD_ROUNDS {
+            // One group per loaded class: registration (allocation) goes
+            // to the tail owner at the cached epoch. Classes are visited
+            // ascending, so the groups come out in lock order.
+            let mut groups: Vec<BatchGroup> = Vec::new();
+            {
+                let tables = self.inner.tables.lock();
+                for (class, items) in remaining.iter_mut().enumerate() {
+                    if items.is_empty() {
+                        continue;
+                    }
+                    let batch: Vec<Vec<u8>> = items.iter().map(|&k| mine[k].2.clone()).collect();
+                    groups.push(BatchGroup {
+                        class,
+                        addr: tables[class].tail().addrs[0],
+                        items: std::mem::take(items),
+                        payload: stamp_epoch(tables[class].epoch, &encode_register_batch(&batch)),
+                    });
+                }
             }
-            let shard_gids = decode_register_batch_resp(&resp, per_shard[*shard].len())?;
-            for (&k, gid) in per_shard[*shard].iter().zip(shard_gids) {
-                gids[k] = GlobalId(gid);
+            if groups.is_empty() {
+                break;
+            }
+            for g in &groups {
+                self.admit(g.class)?;
+            }
+            let replies = self.run_groups(&groups, OP_REGISTER_BATCH_E)?;
+            for (g, (op, resp)) in groups.into_iter().zip(replies) {
+                match op {
+                    RESP_OK => {
+                        let shard_gids = decode_register_batch_resp(&resp, g.items.len())?;
+                        for (&k, gid) in g.items.iter().zip(shard_gids) {
+                            gids[k] = GlobalId(gid);
+                        }
+                    }
+                    RESP_MOVED => {
+                        self.adopt_moved(g.class, &resp)?;
+                        remaining[g.class] = g.items;
+                    }
+                    RESP_STALE_EPOCH => {
+                        self.refetch_table(g.class, g.addr, &resp)?;
+                        remaining[g.class] = g.items;
+                    }
+                    _ => return Err(TaintMapError::Protocol("bad register batch response")),
+                }
             }
         }
-        drop(guards);
+        if remaining.iter().any(|items| !items.is_empty()) {
+            return Err(TaintMapError::Protocol("resharding did not converge"));
+        }
         let wire_elapsed = wire_started.elapsed();
         self.inner
             .obs
@@ -894,15 +1138,23 @@ impl TaintMapClient {
             self.note_cache_hit();
             return Ok(taint);
         }
-        let shard = shard_of_gid(gid.0, self.shard_count());
-        let (op, payload) = self.rpc(shard, OP_LOOKUP, &gid.0.to_be_bytes())?;
+        let class = shard_of_gid(gid.0, self.shard_count());
         self.inner.lookup_rpcs.fetch_add(1, Ordering::Relaxed);
-        if op != RESP_OK {
-            return Err(TaintMapError::UnknownGlobalId(gid));
+        for _ in 0..RESHARD_ROUNDS {
+            let addr = self.inner.tables.lock()[class].range_of_gid(gid.0).addrs[0];
+            let (op, payload) = self.rpc_routed(class, addr, OP_LOOKUP, &gid.0.to_be_bytes())?;
+            if op == RESP_MOVED {
+                self.adopt_moved(class, &payload)?;
+                continue;
+            }
+            if op != RESP_OK {
+                return Err(TaintMapError::UnknownGlobalId(gid));
+            }
+            let taint = deserialize_taint(&self.inner.store, &payload)?;
+            self.finish_lookup(gid, taint);
+            return Ok(taint);
         }
-        let taint = deserialize_taint(&self.inner.store, &payload)?;
-        self.finish_lookup(gid, taint);
-        Ok(taint)
+        Err(TaintMapError::Protocol("resharding did not converge"))
     }
 
     /// Resolves a whole slice of Global IDs, fetching every cache miss
@@ -944,36 +1196,70 @@ impl TaintMapClient {
         let wire_started = std::time::Instant::now();
 
         let n = self.shard_count();
-        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (k, (_, gid)) in misses.iter().enumerate() {
-            per_shard[shard_of_gid(gid.0, n)].push(k);
-        }
-        let mut guards: Vec<(usize, MutexGuard<'_, ShardConn>)> = Vec::new();
-        let mut payloads: Vec<(usize, Vec<u8>)> = Vec::new();
-        for (shard, items) in per_shard.iter().enumerate() {
-            if items.is_empty() {
-                continue;
+        // `None` = not yet answered by a server; an answered-but-unknown
+        // gid records `Some(None)`.
+        let mut fetched: Vec<Option<Option<Vec<u8>>>> = vec![None; misses.len()];
+        let mut unresolved: Vec<usize> = (0..misses.len()).collect();
+        for _round in 0..RESHARD_ROUNDS {
+            if unresolved.is_empty() {
+                break;
             }
-            self.admit(shard)?;
-            let batch: Vec<u32> = items.iter().map(|&k| misses[k].1 .0).collect();
-            payloads.push((shard, encode_lookup_batch(&batch)));
-            guards.push((shard, self.inner.shards[shard].lock()));
-        }
-        for ((shard, guard), (_, payload)) in guards.iter_mut().zip(&payloads) {
-            self.send_batch_locked(*shard, guard, OP_LOOKUP_BATCH, payload)?;
-        }
-        let mut fetched: Vec<Option<Vec<u8>>> = vec![None; misses.len()];
-        for ((shard, guard), (_, payload)) in guards.iter_mut().zip(&payloads) {
-            let (op, resp) = self.recv_batch_locked(*shard, guard, OP_LOOKUP_BATCH, payload)?;
-            if op != RESP_OK {
-                return Err(TaintMapError::Protocol("bad lookup batch response"));
+            // Partition the unresolved slots by (class, serving range):
+            // a split class fans its gids out over every range owner.
+            // BTreeMap gives the ascending (class, addr) lock order.
+            let mut by_dest: std::collections::BTreeMap<(usize, NodeAddr), Vec<usize>> =
+                std::collections::BTreeMap::new();
+            let epochs: Vec<u64> = {
+                let tables = self.inner.tables.lock();
+                for &k in &unresolved {
+                    let gid = misses[k].1;
+                    let class = shard_of_gid(gid.0, n);
+                    let addr = tables[class].range_of_gid(gid.0).addrs[0];
+                    by_dest.entry((class, addr)).or_default().push(k);
+                }
+                tables.iter().map(|t| t.epoch).collect()
+            };
+            let groups: Vec<BatchGroup> = by_dest
+                .into_iter()
+                .map(|((class, addr), items)| {
+                    let batch: Vec<u32> = items.iter().map(|&k| misses[k].1 .0).collect();
+                    BatchGroup {
+                        class,
+                        addr,
+                        items,
+                        payload: stamp_epoch(epochs[class], &encode_lookup_batch(&batch)),
+                    }
+                })
+                .collect();
+            for g in &groups {
+                self.admit(g.class)?;
             }
-            let items = decode_lookup_batch_resp(&resp, per_shard[*shard].len())?;
-            for (&k, item) in per_shard[*shard].iter().zip(items) {
-                fetched[k] = item;
+            let replies = self.run_groups(&groups, OP_LOOKUP_BATCH_E)?;
+            unresolved.clear();
+            for (g, (op, resp)) in groups.into_iter().zip(replies) {
+                match op {
+                    RESP_OK => {
+                        let items = decode_lookup_batch_resp(&resp, g.items.len())?;
+                        for (&k, item) in g.items.iter().zip(items) {
+                            fetched[k] = Some(item);
+                        }
+                    }
+                    RESP_MOVED => {
+                        self.adopt_moved(g.class, &resp)?;
+                        unresolved.extend(g.items);
+                    }
+                    RESP_STALE_EPOCH => {
+                        self.refetch_table(g.class, g.addr, &resp)?;
+                        unresolved.extend(g.items);
+                    }
+                    _ => return Err(TaintMapError::Protocol("bad lookup batch response")),
+                }
             }
         }
-        drop(guards);
+        if !unresolved.is_empty() {
+            return Err(TaintMapError::Protocol("resharding did not converge"));
+        }
+        let fetched: Vec<Option<Vec<u8>>> = fetched.into_iter().map(|f| f.flatten()).collect();
         let wire_elapsed = wire_started.elapsed();
         self.inner
             .obs
@@ -1218,7 +1504,16 @@ impl TaintMapClient {
             degraded_lookups: self.inner.degraded_lookups.load(Ordering::Relaxed),
             pending_resolved: self.inner.pending_resolved.load(Ordering::Relaxed),
             pending_gids: self.inner.pending.lock().len() as u64,
+            moved_redirects: self.inner.moved_redirects.load(Ordering::Relaxed),
+            epoch_refetches: self.inner.epoch_refetches.load(Ordering::Relaxed),
         }
+    }
+
+    /// The epoch of this client's cached routing table for residue
+    /// class `class` (0 until the class is resharded and the client
+    /// converges).
+    pub fn class_epoch(&self, class: usize) -> u64 {
+        self.inner.tables.lock()[class].epoch
     }
 }
 

@@ -37,11 +37,37 @@ use dista_taint::TaintStore;
 use crate::backend::{InMemoryBackend, TaintMapBackend};
 use crate::client::TaintMapClient;
 use crate::error::TaintMapError;
-use crate::server::{ServerStats, TaintMapConfig, TaintMapServer, TaintMapWal};
-use crate::shard::{ShardSpec, TaintMapTopology};
+use crate::server::{MovedRange, ServerStats, TaintMapConfig, TaintMapServer, TaintMapWal};
+use crate::shard::{ClassTable, ShardRange, ShardSpec, TaintMapTopology};
 
 /// Per-shard backend factory: shard index → storage.
 type BackendFactory = dyn Fn(usize) -> Arc<dyn TaintMapBackend> + Send + Sync;
+
+/// Records per copy-phase transfer batch when the endpoint drives the
+/// copy itself ([`TaintMapEndpoint::finish_split`] /
+/// [`TaintMapEndpoint::split_shard`]).
+const TRANSFER_BATCH_RECORDS: usize = 1024;
+
+/// The redirect ranges a server at `addr` must answer `Moved` for: every
+/// table range *after* the last one it owns. Ranges below its own need
+/// no redirect — a split target holds a full copy of the lower records,
+/// and taint records are immutable, so serving them is always correct.
+fn moved_for(table: &ClassTable, addr: NodeAddr) -> Vec<MovedRange> {
+    let Some(own) = table
+        .ranges
+        .iter()
+        .rposition(|r| r.addrs.first() == Some(&addr))
+    else {
+        return Vec::new();
+    };
+    table.ranges[own + 1..]
+        .iter()
+        .map(|r| MovedRange {
+            lo_gid: r.lo_gid,
+            target: r.addrs[0],
+        })
+        .collect()
+}
 
 /// Builder for a [`TaintMapEndpoint`]; see the module docs for an
 /// example.
@@ -145,7 +171,14 @@ impl TaintMapEndpointBuilder {
     pub fn connect(self, net: &SimNet) -> Result<TaintMapEndpoint, TaintMapError> {
         let mut endpoint = TaintMapEndpoint {
             net: net.clone(),
+            base_addr: self.base_addr,
             shards: Vec::with_capacity(self.shards),
+            splits: Vec::new(),
+            tables: Vec::with_capacity(self.shards),
+            tail_owner: (0..self.shards).collect(),
+            active: None,
+            splits_completed: 0,
+            records_transferred: 0,
             config: self.config,
             backend: self.backend,
             snapshots: self.snapshots,
@@ -183,6 +216,9 @@ impl TaintMapEndpointBuilder {
             } else {
                 None
             };
+            endpoint
+                .tables
+                .push(ClassTable::initial(vec![primary_addr], i));
             endpoint.shards.push(Shard {
                 primary: Some(primary),
                 standby,
@@ -204,13 +240,56 @@ struct Shard {
     primary_addr: NodeAddr,
 }
 
+/// A server stood up by a live split. It serves the upper gid range of
+/// an existing residue class, addressed by its *extended* shard index
+/// (`base_shard_count + k` for the k-th split), which the crash/restart
+/// chaos plumbing accepts exactly like a base index.
+struct SplitShard {
+    /// `None` while crashed.
+    server: Option<TaintMapServer>,
+    addr: NodeAddr,
+    class: usize,
+    spec: ShardSpec,
+}
+
+/// The split currently migrating, if any (one at a time).
+#[derive(Debug, Clone, Copy)]
+struct ActiveSplit {
+    class: usize,
+    source_ext: usize,
+    target_ext: usize,
+    lo_gid: u32,
+}
+
+/// Resharding counters the endpoint accumulates across splits (server
+/// counters reset when a side crashes; these do not).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReshardStats {
+    /// Range migrations driven to cutover.
+    pub splits_completed: u64,
+    /// Records shipped in copy-phase transfer batches (including
+    /// re-sent ones after a crash rewound the checkpoint).
+    pub records_transferred: u64,
+    /// Current class-table epoch per residue class.
+    pub class_epochs: Vec<u64>,
+}
+
 /// Handle to a running Taint Map deployment (all shards and standbys).
 ///
 /// Dropping the handle shuts every instance down; [`TaintMapEndpoint::shutdown`]
 /// does so explicitly.
 pub struct TaintMapEndpoint {
     net: SimNet,
+    base_addr: NodeAddr,
     shards: Vec<Shard>,
+    splits: Vec<SplitShard>,
+    /// Authoritative post-split routing table per residue class.
+    tables: Vec<ClassTable>,
+    /// Extended index of the server owning allocation for each class.
+    tail_owner: Vec<usize>,
+    active: Option<ActiveSplit>,
+    splits_completed: u64,
+    records_transferred: u64,
     config: TaintMapConfig,
     backend: Option<Box<BackendFactory>>,
     snapshots: Option<SimFs>,
@@ -294,18 +373,41 @@ impl TaintMapEndpoint {
         self.shards[0].primary_addr
     }
 
-    /// The shard-`i` primary server handle (census counters, manual
-    /// replication wiring).
+    /// The primary server handle at base or extended index `i` (census
+    /// counters, manual replication wiring). Extended indices
+    /// (`>= shard_count()`) address split servers in creation order.
     ///
     /// # Panics
     ///
-    /// Panics if `i >= self.shard_count()` or the primary is currently
+    /// Panics if `i` is out of range or the primary is currently
     /// crashed.
     pub fn shard(&self, i: usize) -> &TaintMapServer {
-        self.shards[i]
-            .primary
-            .as_ref()
+        self.server_handle(i)
             .expect("shard primary is crashed; restart_primary() first")
+    }
+
+    fn server_handle(&self, ext: usize) -> Option<&TaintMapServer> {
+        if ext < self.shards.len() {
+            self.shards[ext].primary.as_ref()
+        } else {
+            self.splits[ext - self.shards.len()].server.as_ref()
+        }
+    }
+
+    /// Whether the primary at base or extended index `i` is currently
+    /// crashed.
+    pub fn primary_crashed(&self, i: usize) -> bool {
+        if i < self.shards.len() {
+            self.shards[i].primary.is_none()
+        } else {
+            self.splits[i - self.shards.len()].server.is_none()
+        }
+    }
+
+    /// Total number of servers (base shards + split servers); extended
+    /// indices range over `0..server_count()`.
+    pub fn server_count(&self) -> usize {
+        self.shards.len() + self.splits.len()
     }
 
     /// The shard-`i` standby handle, if standbys were enabled.
@@ -341,28 +443,33 @@ impl TaintMapEndpoint {
             .shutdown();
     }
 
-    /// Crashes the shard-`i` primary ungracefully: every connection is
-    /// severed and the address unbound, mid-flight requests get no
-    /// response. The standby (if any) keeps serving; the WAL (if
-    /// configured) survives for [`TaintMapEndpoint::restart_primary`].
+    /// Crashes the primary at base or extended index `i` ungracefully:
+    /// every connection is severed and the address unbound, mid-flight
+    /// requests get no response. The standby (if any) keeps serving; the
+    /// WAL (if configured) survives for
+    /// [`TaintMapEndpoint::restart_primary`].
     ///
     /// # Panics
     ///
-    /// Panics if `i >= self.shard_count()` or the primary is already
+    /// Panics if `i >= self.server_count()` or the primary is already
     /// crashed.
     pub fn crash_primary(&mut self, i: usize) {
-        self.shards[i]
-            .primary
-            .take()
-            .expect("shard primary is already crashed")
-            .shutdown();
+        let server = if i < self.shards.len() {
+            self.shards[i].primary.take()
+        } else {
+            self.splits[i - self.shards.len()].server.take()
+        };
+        server.expect("shard primary is already crashed").shutdown();
     }
 
-    /// Restarts a crashed shard-`i` primary at its original address on a
-    /// fresh backend, replaying the write-ahead snapshot (when the
-    /// deployment was built with [`TaintMapEndpointBuilder::snapshots`])
-    /// and re-wiring standby replication. Returns the number of
-    /// registrations recovered from the log.
+    /// Restarts a crashed primary (base or extended index `i`) at its
+    /// original address on a fresh backend, replaying the write-ahead
+    /// snapshot (when the deployment was built with
+    /// [`TaintMapEndpointBuilder::snapshots`]), installing the
+    /// endpoint's authoritative class table, and re-wiring standby
+    /// replication. Returns the number of registrations recovered from
+    /// the snapshot + log. An interrupted outbound migration is *not*
+    /// re-armed here — [`TaintMapEndpoint::heal_split`] does that.
     ///
     /// # Errors
     ///
@@ -371,16 +478,24 @@ impl TaintMapEndpoint {
     ///
     /// # Panics
     ///
-    /// Panics if `i >= self.shard_count()` or the primary is not
+    /// Panics if `i >= self.server_count()` or the primary is not
     /// crashed.
     pub fn restart_primary(&mut self, i: usize) -> Result<u64, TaintMapError> {
-        assert!(
-            self.shards[i].primary.is_none(),
-            "restart_primary on a live shard {i} primary"
-        );
-        let spec = self.shards[i].spec;
-        let addr = self.shards[i].primary_addr;
-        let primary = TaintMapServer::launch(
+        let (addr, spec, class) = if i < self.shards.len() {
+            assert!(
+                self.shards[i].primary.is_none(),
+                "restart_primary on a live shard {i} primary"
+            );
+            (self.shards[i].primary_addr, self.shards[i].spec, i)
+        } else {
+            let split = &self.splits[i - self.shards.len()];
+            assert!(
+                split.server.is_none(),
+                "restart_primary on a live split server {i}"
+            );
+            (split.addr, split.spec, split.class)
+        };
+        let server = TaintMapServer::launch(
             &self.net,
             addr,
             self.config,
@@ -388,32 +503,312 @@ impl TaintMapEndpoint {
             spec,
             self.wal_for(i),
         )?;
-        if let Some(standby) = &self.shards[i].standby {
-            primary.replicate_to(standby.addr())?;
+        // The endpoint's table is authoritative: it reflects every
+        // cutover ever driven, including ones the WAL of *this* server
+        // never saw (e.g. a split target that crashed pre-cutover).
+        let table = self.tables[class].clone();
+        let moved = moved_for(&table, addr);
+        server.set_class_table(table, moved);
+        let replayed = server.replayed();
+        if i < self.shards.len() {
+            if let Some(standby) = &self.shards[i].standby {
+                server.replicate_to(standby.addr())?;
+            }
+            self.shards[i].primary = Some(server);
+        } else {
+            self.splits[i - self.shards.len()].server = Some(server);
         }
-        let replayed = primary.replayed();
-        self.shards[i].primary = Some(primary);
         Ok(replayed)
     }
 
-    /// Census counters summed across every live shard primary (crashed
-    /// primaries contribute nothing until restarted).
+    /// Phase 1 of a live split: stands a new server up for residue class
+    /// `class`, picks the midpoint of the class's unallocated-side tail
+    /// as the migration boundary, and arms double-writes on the current
+    /// tail owner. Returns the new server's extended index. Drive the
+    /// copy phase with [`TaintMapEndpoint::split_step`] and finish with
+    /// [`TaintMapEndpoint::finish_split`] (or use
+    /// [`TaintMapEndpoint::split_shard`] for the whole protocol in one
+    /// call).
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Protocol`] if a split is already in flight,
+    /// [`TaintMapError::ShardUnavailable`] if the class's tail owner is
+    /// crashed, [`TaintMapError::Net`] if the new address cannot bind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= self.shard_count()`.
+    pub fn begin_split(&mut self, class: usize) -> Result<usize, TaintMapError> {
+        if self.active.is_some() {
+            return Err(TaintMapError::Protocol("a split is already in flight"));
+        }
+        let source_ext = self.tail_owner[class];
+        let source = self
+            .server_handle(source_ext)
+            .ok_or(TaintMapError::ShardUnavailable(source_ext))?;
+        let spec = ShardSpec {
+            index: class as u32,
+            count: self.shards.len() as u32,
+        };
+        // Split the tail range at the midpoint of its *allocated* part:
+        // locals (t..=max_local] belong to the tail, the upper half (and
+        // everything allocated after) migrates.
+        let tail_lo = self.tables[class].tail().lo_gid;
+        let t = spec
+            .local_of_global(tail_lo)
+            .expect("tail lo_gid belongs to its class");
+        let max_local = source.max_local().max(t);
+        let lo_gid = spec.global_of_local(t + (max_local - t) / 2 + 1);
+        let target_ext = self.shards.len() + self.splits.len();
+        let addr = NodeAddr::new(
+            self.base_addr.ip(),
+            self.base_addr.port() + (2 * self.shards.len() + self.splits.len()) as u16,
+        );
+        let target = TaintMapServer::launch(
+            &self.net,
+            addr,
+            self.config,
+            self.make_backend(target_ext),
+            spec,
+            self.wal_for(target_ext),
+        )?;
+        // Pre-cutover the target serves the *current* epoch, so clients
+        // that discover it early are not rejected as stale.
+        target.set_class_table(self.tables[class].clone(), Vec::new());
+        if let Err(e) = source.begin_migration(lo_gid, addr, 0) {
+            target.shutdown();
+            return Err(e);
+        }
+        self.splits.push(SplitShard {
+            server: Some(target),
+            addr,
+            class,
+            spec,
+        });
+        self.active = Some(ActiveSplit {
+            class,
+            source_ext,
+            target_ext,
+            lo_gid,
+        });
+        Ok(target_ext)
+    }
+
+    /// Phase 2 of a live split: copies up to `batch` records to the new
+    /// server, checkpointing durably on acknowledgement. Returns whether
+    /// the copy may still be behind (call again) — `false` means it has
+    /// caught up and [`TaintMapEndpoint::finish_split`] can cut over.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Protocol`] if no split is in flight,
+    /// [`TaintMapError::ShardUnavailable`] if the source is crashed
+    /// (heal with [`TaintMapEndpoint::heal_split`]), [`TaintMapError::Net`]
+    /// if the target died mid-batch.
+    pub fn split_step(&mut self, batch: usize) -> Result<bool, TaintMapError> {
+        let active = self
+            .active
+            .ok_or(TaintMapError::Protocol("no split in flight"))?;
+        let source = self
+            .server_handle(active.source_ext)
+            .ok_or(TaintMapError::ShardUnavailable(active.source_ext))?;
+        match source.transfer_next(batch)? {
+            Some(sent) => {
+                self.records_transferred += sent;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Phase 3 of a live split: drains any remaining copy work, then
+    /// cuts over — the source atomically stops allocating in the
+    /// migrated range, the class table gains a range and an epoch, and
+    /// every live server of the class adopts the new table (stale-epoch
+    /// clients get rejected until they refetch). Returns the class's new
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Protocol`] if no split is in flight,
+    /// [`TaintMapError::ShardUnavailable`] /
+    /// [`TaintMapError::Net`] if either side is crashed (heal with
+    /// [`TaintMapEndpoint::heal_split`], then call again).
+    pub fn finish_split(&mut self) -> Result<u64, TaintMapError> {
+        let active = self
+            .active
+            .ok_or(TaintMapError::Protocol("no split in flight"))?;
+        while self.split_step(TRANSFER_BATCH_RECORDS)? {}
+        let source = self
+            .server_handle(active.source_ext)
+            .ok_or(TaintMapError::ShardUnavailable(active.source_ext))?;
+        let target_addr = self.splits[active.target_ext - self.shards.len()].addr;
+        let mut table = self.tables[active.class].clone();
+        table.epoch += 1;
+        table.ranges.push(ShardRange {
+            lo_gid: active.lo_gid,
+            addrs: vec![target_addr],
+        });
+        source.cutover(table.clone())?;
+        let epoch = table.epoch;
+        self.tables[active.class] = table;
+        self.tail_owner[active.class] = active.target_ext;
+        self.splits_completed += 1;
+        self.active = None;
+        self.push_class_table(active.class);
+        Ok(epoch)
+    }
+
+    /// Runs the whole three-phase split protocol for `class` in one
+    /// call: [`TaintMapEndpoint::begin_split`], copy to completion,
+    /// [`TaintMapEndpoint::finish_split`]. Returns the new server's
+    /// extended index.
+    ///
+    /// # Errors
+    ///
+    /// As the three phases; a failed split stays in flight for
+    /// [`TaintMapEndpoint::heal_split`] + [`TaintMapEndpoint::finish_split`].
+    pub fn split_shard(&mut self, class: usize) -> Result<usize, TaintMapError> {
+        let ext = self.begin_split(class)?;
+        self.finish_split()?;
+        Ok(ext)
+    }
+
+    /// Repairs an interrupted split after chaos crashed either side (or
+    /// both): restarts whichever of source/target is down (recovering
+    /// their WALs) and re-arms the migration from its durable
+    /// checkpoint. After a successful heal,
+    /// [`TaintMapEndpoint::finish_split`] completes the split. No-op
+    /// when no split is in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if a restart cannot bind or the re-armed
+    /// migration cannot reach the target.
+    pub fn heal_split(&mut self) -> Result<(), TaintMapError> {
+        let Some(active) = self.active else {
+            return Ok(());
+        };
+        if self.primary_crashed(active.target_ext) {
+            self.restart_primary(active.target_ext)?;
+        }
+        if self.primary_crashed(active.source_ext) {
+            self.restart_primary(active.source_ext)?;
+        }
+        let target_addr = self.splits[active.target_ext - self.shards.len()].addr;
+        let source = self
+            .server_handle(active.source_ext)
+            .ok_or(TaintMapError::ShardUnavailable(active.source_ext))?;
+        if !source.migration_armed() {
+            // The source restarted and lost its in-memory migration
+            // state; its WAL preserved the boundary and the checkpoint.
+            let checkpoint = source.recovery().checkpoint;
+            source.begin_migration(active.lo_gid, target_addr, checkpoint)?;
+        }
+        Ok(())
+    }
+
+    /// The in-flight split as `(source_ext, target_ext)` extended
+    /// indices, if any — what chaos schedules crash.
+    pub fn active_split(&self) -> Option<(usize, usize)> {
+        self.active.map(|a| (a.source_ext, a.target_ext))
+    }
+
+    /// Whether the in-flight split's copy phase is still behind (more
+    /// records to ship, a lost connection, or lost forwards to resend).
+    /// `false` with a split in flight means
+    /// [`TaintMapEndpoint::finish_split`] can cut over without further
+    /// [`TaintMapEndpoint::split_step`] work. Also `true` while the
+    /// source is crashed — heal first.
+    pub fn split_lagging(&self) -> bool {
+        match self.active {
+            Some(a) => match self.server_handle(a.source_ext) {
+                Some(source) => source.migration_lagging(),
+                None => true,
+            },
+            None => false,
+        }
+    }
+
+    /// The authoritative routing table for residue class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= self.shard_count()`.
+    pub fn class_table(&self, class: usize) -> &ClassTable {
+        &self.tables[class]
+    }
+
+    /// Folds the WAL of the server at base or extended index `i` into a
+    /// fresh snapshot and truncates the log, bounding its next restart's
+    /// replay by live records. Returns the number of records
+    /// snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::ShardUnavailable`] if that primary is crashed,
+    /// [`TaintMapError::Protocol`] if the deployment has no snapshots
+    /// ([`TaintMapEndpointBuilder::snapshots`]).
+    pub fn compact_shard(&self, i: usize) -> Result<u64, TaintMapError> {
+        self.server_handle(i)
+            .ok_or(TaintMapError::ShardUnavailable(i))?
+            .compact()
+    }
+
+    /// Resharding counters accumulated by the endpoint (they survive
+    /// server crashes, unlike [`ServerStats`]).
+    pub fn reshard_stats(&self) -> ReshardStats {
+        ReshardStats {
+            splits_completed: self.splits_completed,
+            records_transferred: self.records_transferred,
+            class_epochs: self.tables.iter().map(|t| t.epoch).collect(),
+        }
+    }
+
+    /// Installs the class's authoritative table (and the per-server
+    /// redirect ranges derived from it) on every live server of the
+    /// class.
+    fn push_class_table(&self, class: usize) {
+        let table = &self.tables[class];
+        let base = self.shards[class].primary.as_ref().into_iter();
+        let splits = self
+            .splits
+            .iter()
+            .filter(|s| s.class == class)
+            .filter_map(|s| s.server.as_ref());
+        for server in base.chain(splits) {
+            server.set_class_table(table.clone(), moved_for(table, server.addr()));
+        }
+    }
+
+    /// Census counters summed across every live primary — base shards
+    /// and split servers (crashed primaries contribute nothing until
+    /// restarted). After a split, `global_taints` counts the migrated
+    /// records on *both* sides (the copy phase ships the full record set
+    /// so byte-identity dedup keeps working), so the sum overstates the
+    /// number of distinct taints by the copied overlap.
     pub fn stats(&self) -> ServerStats {
         let mut total = ServerStats::default();
-        for shard in &self.shards {
-            let Some(primary) = &shard.primary else {
-                continue;
-            };
-            let s = primary.stats();
+        let live_shards = self.shards.iter().filter_map(|s| s.primary.as_ref());
+        let live_splits = self.splits.iter().filter_map(|s| s.server.as_ref());
+        for server in live_shards.chain(live_splits) {
+            let s = server.stats();
             total.global_taints += s.global_taints;
             total.register_requests += s.register_requests;
             total.lookup_requests += s.lookup_requests;
             total.batch_frames += s.batch_frames;
+            total.moved_redirects += s.moved_redirects;
+            total.stale_epochs += s.stale_epochs;
+            total.transferred_in += s.transferred_in;
+            total.transferred_out += s.transferred_out;
+            total.double_writes += s.double_writes;
+            total.compactions += s.compactions;
         }
         total
     }
 
-    /// Stops every shard (primaries and standbys).
+    /// Stops every server (primaries, standbys, and split servers).
     pub fn shutdown(self) {
         for shard in self.shards {
             if let Some(primary) = shard.primary {
@@ -421,6 +816,11 @@ impl TaintMapEndpoint {
             }
             if let Some(standby) = shard.standby {
                 standby.shutdown();
+            }
+        }
+        for split in self.splits {
+            if let Some(server) = split.server {
+                server.shutdown();
             }
         }
     }
@@ -511,6 +911,92 @@ mod tests {
         let client2 = endpoint.client(&net, store2.clone()).unwrap();
         let resolved = client2.taint_for(gid).unwrap();
         assert_eq!(store2.tag_values(resolved), vec!["durable".to_string()]);
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn split_shard_migrates_the_tail_and_bumps_the_epoch() {
+        let net = SimNet::new();
+        let mut endpoint = TaintMapEndpoint::builder().connect(&net).unwrap();
+        let store = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client = endpoint.client(&net, store.clone()).unwrap();
+        for i in 0..16 {
+            let t = store.mint_source_taint(TagValue::Int(i));
+            client.global_id_for(t).unwrap();
+        }
+
+        let ext = endpoint.split_shard(0).unwrap();
+        assert_eq!(ext, 1);
+        assert_eq!(endpoint.server_count(), 2);
+        let table = endpoint.class_table(0);
+        assert_eq!(table.epoch, 1);
+        assert_eq!(table.ranges.len(), 2);
+        // The copy shipped the full record set: the target can serve
+        // every gid, old range included.
+        assert_eq!(endpoint.shard(1).stats().global_taints, 16);
+        assert_eq!(endpoint.shard(0).epoch(), 1);
+        assert_eq!(endpoint.shard(1).epoch(), 1);
+        let rs = endpoint.reshard_stats();
+        assert_eq!(rs.splits_completed, 1);
+        assert_eq!(rs.records_transferred, 16);
+        assert_eq!(rs.class_epochs, vec![1]);
+        assert!(endpoint.active_split().is_none());
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn chained_splits_move_the_tail_owner_forward() {
+        let net = SimNet::new();
+        let mut endpoint = TaintMapEndpoint::builder().shards(2).connect(&net).unwrap();
+        let store = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client = endpoint.client(&net, store.clone()).unwrap();
+        for i in 0..24 {
+            let t = store.mint_source_taint(TagValue::Int(i));
+            client.global_id_for(t).unwrap();
+        }
+        // Split class 0 twice: the second split's source is the first
+        // split's target (the new tail owner), not the base shard.
+        let first = endpoint.split_shard(0).unwrap();
+        let second = endpoint.split_shard(0).unwrap();
+        assert_eq!((first, second), (2, 3));
+        let table = endpoint.class_table(0);
+        assert_eq!(table.epoch, 2);
+        assert_eq!(table.ranges.len(), 3);
+        assert!(
+            table.ranges.windows(2).all(|w| w[0].lo_gid < w[1].lo_gid),
+            "ranges stay sorted: {table:?}"
+        );
+        // Only the source of the second split shipped records in it.
+        assert!(endpoint.shard(2).stats().transferred_out > 0);
+        assert_eq!(endpoint.class_table(1).epoch, 0, "class 1 untouched");
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn split_survives_a_target_crash_between_phases() {
+        let net = SimNet::new();
+        let fs = dista_simnet::SimFs::new();
+        let mut endpoint = TaintMapEndpoint::builder()
+            .snapshots(fs)
+            .connect(&net)
+            .unwrap();
+        let store = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client = endpoint.client(&net, store.clone()).unwrap();
+        for i in 0..8 {
+            let t = store.mint_source_taint(TagValue::Int(i));
+            client.global_id_for(t).unwrap();
+        }
+        let ext = endpoint.begin_split(0).unwrap();
+        while endpoint.split_step(2).unwrap() {}
+        // Chaos: the target dies after the copy caught up but before
+        // cutover. heal restarts it from its WAL; finish re-drains (the
+        // re-dial rewinds nothing here) and cuts over.
+        endpoint.crash_primary(ext);
+        assert!(endpoint.primary_crashed(ext));
+        endpoint.heal_split().unwrap();
+        endpoint.finish_split().unwrap();
+        assert_eq!(endpoint.class_table(0).epoch, 1);
+        assert_eq!(endpoint.shard(ext).stats().global_taints, 8);
         endpoint.shutdown();
     }
 

@@ -20,10 +20,30 @@
 //! The per-request service throttle is charged once per *frame*, so a
 //! batch amortizes the fixed RPC cost over all its items — the point of
 //! the batched protocol.
+//!
+//! **Resharding extensions.** Epoch-stamped batch ops prefix the legacy
+//! batch payload with a `u64` class-table epoch; a server whose table is
+//! newer rejects the frame with `STALE_EPOCH` (payload: its epoch) so the
+//! client refetches via `EPOCH_OF` and retries. A server that no longer
+//! owns a touched gid range answers `MOVED` carrying its whole
+//! [`ClassTable`] so even epoch-less clients can chase the redirect:
+//!
+//! ```text
+//! REGISTER_BATCH_E req:  u64 epoch, then REGISTER_BATCH payload
+//! LOOKUP_BATCH_E   req:  u64 epoch, then LOOKUP_BATCH payload
+//! EPOCH_OF         req:  empty            resp OK: class table
+//! TRANSFER_BATCH   req:  u32 count, count × (u32 gid, u32 len, bytes)
+//!                  resp OK: u32 count acknowledged
+//! MOVED            resp: class table
+//! STALE_EPOCH      resp: u64 server epoch
+//! class table:     u64 epoch, u32 nranges, nranges ×
+//!                  (u32 lo_gid, u8 naddrs, naddrs × (4B ip, u16 port))
+//! ```
 
-use dista_simnet::{NetError, TcpEndpoint};
+use dista_simnet::{NetError, NodeAddr, TcpEndpoint};
 
 use crate::error::TaintMapError;
+use crate::shard::{ClassTable, ShardRange};
 
 pub(crate) const OP_REGISTER: u8 = 1;
 pub(crate) const OP_LOOKUP: u8 = 2;
@@ -31,8 +51,14 @@ pub(crate) const OP_SHUTDOWN: u8 = 3;
 pub(crate) const OP_REPLICATE: u8 = 4;
 pub(crate) const OP_REGISTER_BATCH: u8 = 5;
 pub(crate) const OP_LOOKUP_BATCH: u8 = 6;
+pub(crate) const OP_REGISTER_BATCH_E: u8 = 7;
+pub(crate) const OP_LOOKUP_BATCH_E: u8 = 8;
+pub(crate) const OP_EPOCH_OF: u8 = 9;
+pub(crate) const OP_TRANSFER_BATCH: u8 = 10;
 pub(crate) const RESP_OK: u8 = 0x80;
 pub(crate) const RESP_ERR: u8 = 0x81;
+pub(crate) const RESP_MOVED: u8 = 0x82;
+pub(crate) const RESP_STALE_EPOCH: u8 = 0x83;
 
 pub(crate) const ERR_UNKNOWN_GID: u8 = 1;
 
@@ -230,6 +256,112 @@ pub(crate) fn decode_lookup_batch_resp(
     Ok(items)
 }
 
+/// Encodes a [`ClassTable`] (the `MOVED` / `EPOCH_OF` payload).
+pub(crate) fn encode_class_table(table: &ClassTable) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + table.ranges.len() * 11);
+    out.extend_from_slice(&table.epoch.to_be_bytes());
+    out.extend_from_slice(&(table.ranges.len() as u32).to_be_bytes());
+    for range in &table.ranges {
+        out.extend_from_slice(&range.lo_gid.to_be_bytes());
+        out.push(range.addrs.len() as u8);
+        for addr in &range.addrs {
+            out.extend_from_slice(&addr.ip());
+            out.extend_from_slice(&addr.port().to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a [`ClassTable`] payload, validating shape and ordering.
+pub(crate) fn decode_class_table(payload: &[u8]) -> Result<ClassTable, TaintMapError> {
+    let mut r = PayloadReader::new(payload);
+    let epoch = u64::from(r.u32()?) << 32 | u64::from(r.u32()?);
+    let nranges = r.u32()? as usize;
+    if nranges == 0 {
+        return Err(TaintMapError::Protocol("class table has no ranges"));
+    }
+    let mut ranges = Vec::with_capacity(nranges);
+    let mut prev_lo = 0u32;
+    for _ in 0..nranges {
+        let lo_gid = r.u32()?;
+        if lo_gid <= prev_lo && !ranges.is_empty() {
+            return Err(TaintMapError::Protocol("class table ranges out of order"));
+        }
+        prev_lo = lo_gid;
+        let naddrs = r.u8()? as usize;
+        if naddrs == 0 {
+            return Err(TaintMapError::Protocol("class table range has no address"));
+        }
+        let mut addrs = Vec::with_capacity(naddrs);
+        for _ in 0..naddrs {
+            let ip = r.bytes(4)?;
+            let port = u16::from_be_bytes([r.u8()?, r.u8()?]);
+            addrs.push(NodeAddr::new([ip[0], ip[1], ip[2], ip[3]], port));
+        }
+        ranges.push(ShardRange { lo_gid, addrs });
+    }
+    if !r.at_end() {
+        return Err(TaintMapError::Protocol("trailing bytes in class table"));
+    }
+    Ok(ClassTable { epoch, ranges })
+}
+
+/// Encodes a `TRANSFER_BATCH` request payload from `(gid, bytes)` records.
+pub(crate) fn encode_transfer_batch(records: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + records.iter().map(|(_, b)| 8 + b.len()).sum::<usize>());
+    out.extend_from_slice(&(records.len() as u32).to_be_bytes());
+    for (gid, bytes) in records {
+        out.extend_from_slice(&gid.to_be_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Decodes a `TRANSFER_BATCH` request payload.
+pub(crate) fn decode_transfer_batch(payload: &[u8]) -> Result<Vec<(u32, Vec<u8>)>, TaintMapError> {
+    let mut r = PayloadReader::new(payload);
+    let count = r.u32()? as usize;
+    let mut records = Vec::with_capacity(count.min(payload.len() / 8 + 1));
+    for _ in 0..count {
+        let gid = r.u32()?;
+        let len = r.u32()? as usize;
+        records.push((gid, r.bytes(len)?.to_vec()));
+    }
+    if !r.at_end() {
+        return Err(TaintMapError::Protocol("trailing bytes in transfer batch"));
+    }
+    Ok(records)
+}
+
+/// Prefixes a batch payload with the client's class-table epoch stamp.
+pub(crate) fn stamp_epoch(epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&epoch.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits an epoch-stamped batch payload into `(epoch, rest)`.
+pub(crate) fn unstamp_epoch(payload: &[u8]) -> Result<(u64, &[u8]), TaintMapError> {
+    if payload.len() < 8 {
+        return Err(TaintMapError::Protocol("missing epoch stamp"));
+    }
+    let mut be = [0u8; 8];
+    be.copy_from_slice(&payload[..8]);
+    Ok((u64::from_be_bytes(be), &payload[8..]))
+}
+
+/// Decodes a `STALE_EPOCH` payload (the server's current epoch).
+pub(crate) fn decode_stale_epoch(payload: &[u8]) -> Result<u64, TaintMapError> {
+    if payload.len() != 8 {
+        return Err(TaintMapError::Protocol("bad stale-epoch payload"));
+    }
+    let mut be = [0u8; 8];
+    be.copy_from_slice(payload);
+    Ok(u64::from_be_bytes(be))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +466,55 @@ mod tests {
         assert_eq!(r.u32().unwrap(), 0);
         assert_eq!(r.u32().unwrap(), 42);
         assert!(r.at_end());
+    }
+
+    #[test]
+    fn class_table_roundtrip_and_validation() {
+        let table = ClassTable {
+            epoch: 3,
+            ranges: vec![
+                ShardRange {
+                    lo_gid: 2,
+                    addrs: vec![NodeAddr::new([10, 0, 0, 9], 7779)],
+                },
+                ShardRange {
+                    lo_gid: 4002,
+                    addrs: vec![
+                        NodeAddr::new([10, 0, 0, 9], 7787),
+                        NodeAddr::new([10, 0, 0, 9], 7788),
+                    ],
+                },
+            ],
+        };
+        let payload = encode_class_table(&table);
+        assert_eq!(decode_class_table(&payload).unwrap(), table);
+        // Empty table, unordered ranges and trailing bytes are rejected.
+        assert!(decode_class_table(&stamp_epoch(0, &0u32.to_be_bytes())).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_class_table(&trailing).is_err());
+        let mut unordered = table.clone();
+        unordered.ranges.swap(0, 1);
+        assert!(decode_class_table(&encode_class_table(&unordered)).is_err());
+    }
+
+    #[test]
+    fn transfer_batch_roundtrip() {
+        let records = vec![(5u32, b"taint-a".to_vec()), (9u32, Vec::new())];
+        let payload = encode_transfer_batch(&records);
+        assert_eq!(decode_transfer_batch(&payload).unwrap(), records);
+        assert!(decode_transfer_batch(&payload[..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn epoch_stamp_roundtrip() {
+        let stamped = stamp_epoch(7, b"rest");
+        let (epoch, rest) = unstamp_epoch(&stamped).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(rest, b"rest");
+        assert!(unstamp_epoch(&stamped[..7]).is_err());
+        assert_eq!(decode_stale_epoch(&9u64.to_be_bytes()).unwrap(), 9);
+        assert!(decode_stale_epoch(b"short").is_err());
     }
 
     #[test]

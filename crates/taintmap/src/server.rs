@@ -11,7 +11,14 @@
 //! append-only GID→taint snapshot log on the simulated file system,
 //! written before a registration is acknowledged and replayed on
 //! relaunch, so an ungraceful primary death loses no acknowledged (or
-//! even in-flight committed) registration.
+//! even in-flight committed) registration. The log is *tagged*: besides
+//! data records it carries migration markers (start, resumable transfer
+//! checkpoints, cutover) so a crashed side of a live reshard resumes
+//! exactly where it stopped, and it is periodically folded into
+//! `snapshot-<n>` files ([`TaintMapServer::compact`]) so restart replay
+//! is bounded by *live* gids rather than registration history. A torn
+//! snapshot (crash mid-write) falls back to the previous snapshot plus
+//! the still-untruncated log tail.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,11 +31,13 @@ use parking_lot::Mutex;
 use crate::backend::TaintMapBackend;
 use crate::error::TaintMapError;
 use crate::proto::{
-    read_frame, write_frame, PayloadReader, ERR_UNKNOWN_GID, OP_LOOKUP, OP_LOOKUP_BATCH,
-    OP_REGISTER, OP_REGISTER_BATCH, OP_REPLICATE, OP_SHUTDOWN, RESP_ERR, RESP_OK, STATUS_OK,
+    decode_transfer_batch, encode_class_table, encode_transfer_batch, read_frame, unstamp_epoch,
+    write_frame, PayloadReader, ERR_UNKNOWN_GID, OP_EPOCH_OF, OP_LOOKUP, OP_LOOKUP_BATCH,
+    OP_LOOKUP_BATCH_E, OP_REGISTER, OP_REGISTER_BATCH, OP_REGISTER_BATCH_E, OP_REPLICATE,
+    OP_SHUTDOWN, OP_TRANSFER_BATCH, RESP_ERR, RESP_MOVED, RESP_OK, RESP_STALE_EPOCH, STATUS_OK,
     STATUS_UNKNOWN,
 };
-use crate::shard::ShardSpec;
+use crate::shard::{ClassTable, ShardRange, ShardSpec};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,13 +53,65 @@ pub struct TaintMapConfig {
     /// deterministic stand-in for a process killed between commit and
     /// reply, used by the crash-recovery tests. `None` = never.
     pub crash_after_registers: Option<u64>,
+    /// Fold the WAL into a snapshot after this many further register
+    /// items (only on primaries launched with a WAL). `None` = compact
+    /// only on explicit `TaintMapServer::compact` calls.
+    pub compact_every_registers: Option<u64>,
 }
 
-/// Write-ahead snapshot log for one shard primary: an append-only
-/// sequence of `gid u32 BE, len u32 BE, len bytes` records on the
-/// simulated file system. Every *new* registration is appended before
-/// the response is acknowledged; [`TaintMapWal::replay_into`] rebuilds
-/// the backend after a crash.
+/// A gid range this server used to own and has migrated away: gids of
+/// this server's residue class at or above `lo_gid` now live on
+/// `target`, and requests touching them are answered with a `Moved`
+/// redirect carrying the server's current [`ClassTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovedRange {
+    /// First migrated Global ID (inclusive).
+    pub lo_gid: u32,
+    /// Primary address of the shard that owns the range now.
+    pub target: NodeAddr,
+}
+
+/// What a [`TaintMapWal`] recovery reconstructed, beyond the backend
+/// contents: how much work replay cost (the restart-cost gate reads
+/// these) and where an interrupted migration left off.
+#[derive(Debug, Clone, Default)]
+pub struct WalRecovery {
+    /// Data records restored from the newest intact snapshot.
+    pub snapshot_records: u64,
+    /// Data records replayed from the WAL tail.
+    pub wal_data_records: u64,
+    /// Total WAL records scanned (data + markers).
+    pub wal_records_scanned: u64,
+    /// Snapshots skipped because they were torn (crash mid-write).
+    pub torn_snapshots: u64,
+    /// Class-table epoch as of the last cutover on record.
+    pub epoch: u64,
+    /// Ranges this server had migrated away before the crash.
+    pub moved: Vec<MovedRange>,
+    /// Interrupted outbound migration (`lo_gid`, target), if any.
+    pub migration: Option<(u32, NodeAddr)>,
+    /// Last durable transfer checkpoint (backend-local id) of that
+    /// migration.
+    pub checkpoint: u32,
+}
+
+const REC_DATA: u8 = 1;
+const REC_CHECKPOINT: u8 = 2;
+const REC_MIGRATE_START: u8 = 3;
+const REC_CUTOVER: u8 = 4;
+
+const SNAP_MAGIC: [u8; 4] = *b"TMSN";
+const SNAP_TRAILER: [u8; 4] = *b"SNEN";
+
+/// Write-ahead log for one shard primary: an append-only sequence of
+/// tagged records on the simulated file system. Data records
+/// (`tag 1, gid u32 BE, len u32 BE, len bytes`) are appended before a
+/// registration is acknowledged; migration markers (checkpoint, start,
+/// cutover) make an in-flight reshard resumable across a crash.
+/// [`TaintMapWal::recover_into`] rebuilds the backend from the newest
+/// intact `…snapshot-<n>` companion file plus the log tail, tolerating
+/// both a torn final record (payload *or* length header) and a torn
+/// snapshot.
 #[derive(Clone)]
 pub struct TaintMapWal {
     fs: SimFs,
@@ -82,44 +143,238 @@ impl TaintMapWal {
     }
 
     fn append(&self, gid: u32, serialized: &[u8]) {
-        let mut record = Vec::with_capacity(8 + serialized.len());
+        let mut record = Vec::with_capacity(9 + serialized.len());
+        record.push(REC_DATA);
         record.extend_from_slice(&gid.to_be_bytes());
         record.extend_from_slice(&(serialized.len() as u32).to_be_bytes());
         record.extend_from_slice(serialized);
         self.fs.append(&self.path, &record);
     }
 
-    /// Replays every record into `backend` (via the replication path, so
-    /// the backend's id allocator resumes past the recovered ids).
-    /// Returns the number of records replayed; a missing file is an
-    /// empty log. Truncated trailing bytes (a crash mid-append) are
-    /// ignored, like a torn final record in a real WAL.
-    pub fn replay_into(&self, backend: &dyn TaintMapBackend, shard: ShardSpec) -> u64 {
-        let Ok(bytes) = self.fs.read(&self.path) else {
-            return 0;
-        };
-        let mut replayed = 0;
-        let mut pos = 0;
-        while pos + 8 <= bytes.len() {
-            let gid =
-                u32::from_be_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
-            let len = u32::from_be_bytes([
-                bytes[pos + 4],
-                bytes[pos + 5],
-                bytes[pos + 6],
-                bytes[pos + 7],
-            ]) as usize;
-            let end = pos + 8 + len;
-            if end > bytes.len() {
-                break;
-            }
-            if let Some(local) = shard.local_of_global(gid) {
-                backend.insert_replicated(local, &bytes[pos + 8..end]);
-                replayed += 1;
-            }
-            pos = end;
+    fn append_checkpoint(&self, upto_local: u32) {
+        let mut record = Vec::with_capacity(5);
+        record.push(REC_CHECKPOINT);
+        record.extend_from_slice(&upto_local.to_be_bytes());
+        self.fs.append(&self.path, &record);
+    }
+
+    fn append_migrate_start(&self, lo_gid: u32, target: NodeAddr) {
+        let mut record = Vec::with_capacity(11);
+        record.push(REC_MIGRATE_START);
+        record.extend_from_slice(&lo_gid.to_be_bytes());
+        record.extend_from_slice(&target.ip());
+        record.extend_from_slice(&target.port().to_be_bytes());
+        self.fs.append(&self.path, &record);
+    }
+
+    fn append_cutover(&self, epoch: u64, lo_gid: u32, target: NodeAddr) {
+        let mut record = Vec::with_capacity(19);
+        record.push(REC_CUTOVER);
+        record.extend_from_slice(&epoch.to_be_bytes());
+        record.extend_from_slice(&lo_gid.to_be_bytes());
+        record.extend_from_slice(&target.ip());
+        record.extend_from_slice(&target.port().to_be_bytes());
+        self.fs.append(&self.path, &record);
+    }
+
+    fn snap_path(&self, generation: u64) -> String {
+        format!("{}.snapshot-{generation}", self.path)
+    }
+
+    fn snapshot_generations(&self) -> Vec<u64> {
+        let prefix = format!("{}.snapshot-", self.path);
+        let mut generations: Vec<u64> = self
+            .fs
+            .list(&prefix)
+            .into_iter()
+            .filter_map(|p| p[prefix.len()..].parse().ok())
+            .collect();
+        generations.sort_unstable();
+        generations
+    }
+
+    /// Folds the backend's current contents into a fresh snapshot file
+    /// and truncates the log, so the next recovery replays O(live gids).
+    /// Older snapshots are removed only *after* the truncation, which is
+    /// what makes a torn snapshot recoverable: until the new file is
+    /// complete, the previous snapshot plus the untruncated log still
+    /// cover every record. Returns the number of records snapshotted.
+    ///
+    /// The caller must hold the server's commit lock (no registration
+    /// may land between the backend scan and the truncation).
+    fn compact(
+        &self,
+        backend: &dyn TaintMapBackend,
+        shard: ShardSpec,
+        epoch: u64,
+        moved: &[MovedRange],
+    ) -> u64 {
+        let generation = self.snapshot_generations().last().map_or(1, |g| g + 1);
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.extend_from_slice(&epoch.to_be_bytes());
+        out.extend_from_slice(&(moved.len() as u32).to_be_bytes());
+        for m in moved {
+            out.extend_from_slice(&m.lo_gid.to_be_bytes());
+            out.extend_from_slice(&m.target.ip());
+            out.extend_from_slice(&m.target.port().to_be_bytes());
         }
-        replayed
+        let mut count = 0u64;
+        let mut body = Vec::new();
+        for local in 1..=backend.max_local() {
+            if let Some(bytes) = backend.lookup(local) {
+                body.extend_from_slice(&shard.global_of_local(local).to_be_bytes());
+                body.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                body.extend_from_slice(&bytes);
+                count += 1;
+            }
+        }
+        out.extend_from_slice(&(count as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&SNAP_TRAILER);
+        self.fs.write(self.snap_path(generation), out);
+        self.fs.write(self.path.clone(), Vec::new());
+        for g in self.snapshot_generations() {
+            if g < generation {
+                self.fs.remove(&self.snap_path(g));
+            }
+        }
+        count
+    }
+
+    /// Parses one snapshot file; `None` if it is torn or malformed.
+    #[allow(clippy::type_complexity)]
+    fn load_snapshot(
+        &self,
+        generation: u64,
+    ) -> Option<(u64, Vec<MovedRange>, Vec<(u32, Vec<u8>)>)> {
+        let bytes = self.fs.read(&self.snap_path(generation)).ok()?;
+        if bytes.len() < 20 || bytes[..4] != SNAP_MAGIC || bytes[bytes.len() - 4..] != SNAP_TRAILER
+        {
+            return None;
+        }
+        let body = &bytes[4..bytes.len() - 4];
+        let mut r = PayloadReader::new(body);
+        let epoch = u64::from(r.u32().ok()?) << 32 | u64::from(r.u32().ok()?);
+        let nmoved = r.u32().ok()? as usize;
+        let mut moved = Vec::with_capacity(nmoved);
+        for _ in 0..nmoved {
+            let lo_gid = r.u32().ok()?;
+            let ip = r.bytes(4).ok()?.to_vec();
+            let port = u16::from_be_bytes([r.u8().ok()?, r.u8().ok()?]);
+            moved.push(MovedRange {
+                lo_gid,
+                target: NodeAddr::new([ip[0], ip[1], ip[2], ip[3]], port),
+            });
+        }
+        let count = r.u32().ok()? as usize;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            let gid = r.u32().ok()?;
+            let len = r.u32().ok()? as usize;
+            records.push((gid, r.bytes(len).ok()?.to_vec()));
+        }
+        r.at_end().then_some((epoch, moved, records))
+    }
+
+    /// Rebuilds `backend` from the newest intact snapshot plus the log
+    /// tail (via the replication path, so the backend's id allocator
+    /// resumes past the recovered ids), and reconstructs the migration
+    /// bookkeeping. Missing files are an empty log; a torn final record
+    /// — whether the crash cut the payload, the length header, or the
+    /// tag — is ignored, like a torn tail in a real WAL; a torn snapshot
+    /// falls back to the previous one.
+    pub fn recover_into(&self, backend: &dyn TaintMapBackend, shard: ShardSpec) -> WalRecovery {
+        let mut rec = WalRecovery::default();
+        for generation in self.snapshot_generations().into_iter().rev() {
+            match self.load_snapshot(generation) {
+                Some((epoch, moved, records)) => {
+                    rec.epoch = epoch;
+                    rec.moved = moved;
+                    for (gid, bytes) in records {
+                        if let Some(local) = shard.local_of_global(gid) {
+                            backend.insert_replicated(local, &bytes);
+                            rec.snapshot_records += 1;
+                        }
+                    }
+                    break;
+                }
+                None => rec.torn_snapshots += 1,
+            }
+        }
+        let Ok(bytes) = self.fs.read(&self.path) else {
+            return rec;
+        };
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let tag = bytes[pos];
+            let rest = &bytes[pos + 1..];
+            let consumed = match tag {
+                REC_DATA => {
+                    if rest.len() < 8 {
+                        break; // torn length header
+                    }
+                    let gid = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+                    let len = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]) as usize;
+                    if rest.len() < 8 + len {
+                        break; // torn payload
+                    }
+                    if let Some(local) = shard.local_of_global(gid) {
+                        backend.insert_replicated(local, &rest[8..8 + len]);
+                        rec.wal_data_records += 1;
+                    }
+                    8 + len
+                }
+                REC_CHECKPOINT => {
+                    if rest.len() < 4 {
+                        break;
+                    }
+                    rec.checkpoint = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+                    4
+                }
+                REC_MIGRATE_START => {
+                    if rest.len() < 10 {
+                        break;
+                    }
+                    let lo_gid = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+                    let target = NodeAddr::new(
+                        [rest[4], rest[5], rest[6], rest[7]],
+                        u16::from_be_bytes([rest[8], rest[9]]),
+                    );
+                    rec.migration = Some((lo_gid, target));
+                    10
+                }
+                REC_CUTOVER => {
+                    if rest.len() < 18 {
+                        break;
+                    }
+                    let mut epoch = [0u8; 8];
+                    epoch.copy_from_slice(&rest[..8]);
+                    rec.epoch = u64::from_be_bytes(epoch);
+                    let lo_gid = u32::from_be_bytes([rest[8], rest[9], rest[10], rest[11]]);
+                    let target = NodeAddr::new(
+                        [rest[12], rest[13], rest[14], rest[15]],
+                        u16::from_be_bytes([rest[16], rest[17]]),
+                    );
+                    rec.moved.push(MovedRange { lo_gid, target });
+                    rec.migration = None;
+                    rec.checkpoint = 0;
+                    18
+                }
+                _ => break, // unknown tag: treat as torn tail
+            };
+            rec.wal_records_scanned += 1;
+            pos += 1 + consumed;
+        }
+        rec
+    }
+
+    /// Replays the log (and any snapshot) into `backend`, returning the
+    /// number of data records restored. Compatibility wrapper around
+    /// [`TaintMapWal::recover_into`].
+    pub fn replay_into(&self, backend: &dyn TaintMapBackend, shard: ShardSpec) -> u64 {
+        let rec = self.recover_into(backend, shard);
+        rec.snapshot_records + rec.wal_data_records
     }
 }
 
@@ -135,6 +390,37 @@ pub struct ServerStats {
     pub lookup_requests: u64,
     /// Batch frames served (either direction).
     pub batch_frames: u64,
+    /// Requests answered with a `Moved` redirect after a cutover.
+    pub moved_redirects: u64,
+    /// Epoch-stamped frames rejected for carrying a stale epoch.
+    pub stale_epochs: u64,
+    /// Records received through migration transfer batches.
+    pub transferred_in: u64,
+    /// Records shipped out through migration transfer batches.
+    pub transferred_out: u64,
+    /// Registrations double-written to a migration target.
+    pub double_writes: u64,
+    /// WAL compactions performed.
+    pub compactions: u64,
+}
+
+/// Outbound state of one in-flight range migration on the old primary.
+struct Migration {
+    /// First migrating gid; everything at or above it (plus all future
+    /// allocations) moves to `target`.
+    lo_gid: u32,
+    target: NodeAddr,
+    /// Connection double-writes and transfer batches ride on; `None`
+    /// after a send failure until [`TaintMapServer::transfer_next`]
+    /// redials.
+    conn: Option<TcpEndpoint>,
+    /// Last backend-local id the copy phase must cover.
+    transfer_end: u32,
+    /// Last backend-local id confirmed received by the target.
+    checkpoint: u32,
+    /// Lowest local id whose double-write forward failed; forces the
+    /// copy to rewind below it after the target restarts.
+    resync_from: Option<u32>,
 }
 
 struct ServerShared {
@@ -143,6 +429,13 @@ struct ServerShared {
     registers: AtomicU64,
     lookups: AtomicU64,
     batch_frames: AtomicU64,
+    moved_redirects: AtomicU64,
+    stale_epochs: AtomicU64,
+    transferred_in: AtomicU64,
+    transferred_out: AtomicU64,
+    double_writes: AtomicU64,
+    compactions: AtomicU64,
+    registers_at_last_compact: AtomicU64,
     running: AtomicBool,
     config: TaintMapConfig,
     /// Armed by the `crash_after_registers` chaos knob: once set, serve
@@ -156,30 +449,89 @@ struct ServerShared {
     /// Live client connections, severed on shutdown so that "killing"
     /// the service behaves like a process death, not a graceful drain.
     live_conns: Mutex<Vec<TcpEndpoint>>,
+    /// Class-table epoch this server believes is current.
+    epoch: AtomicU64,
+    /// Routing table for this server's residue class, served on
+    /// `EPOCH_OF` and attached to every `Moved` redirect.
+    table: Mutex<ClassTable>,
+    /// Ranges migrated away; non-empty means allocation has moved too.
+    moved: Mutex<Vec<MovedRange>>,
+    /// In-flight outbound migration, if any.
+    migration: Mutex<Option<Migration>>,
+    /// Serializes commits (register + WAL append + double-write) against
+    /// cutover and compaction, so a snapshot can never miss a record
+    /// that was acknowledged and a register can never slip past the
+    /// moved check mid-cutover.
+    commit_lock: Mutex<()>,
 }
 
 impl ServerShared {
-    /// Registers one serialized taint, replicating if it is new, and
-    /// returns its Global ID (already mapped into this shard's slice of
-    /// the namespace).
-    fn register_one(&self, serialized: &[u8]) -> u32 {
+    /// Registers one serialized taint, replicating and double-writing if
+    /// it is new, and returns its Global ID (already mapped into this
+    /// shard's slice of the namespace) — or `None` when allocation has
+    /// migrated away and the caller must answer with a redirect.
+    fn register_one(&self, serialized: &[u8]) -> Option<u32> {
         let served = self.registers.fetch_add(1, Ordering::Relaxed) + 1;
+        let _commit = self.commit_lock.lock();
+        if !self.moved.lock().is_empty() {
+            self.moved_redirects.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let before = self.backend.len();
-        let gid = self
-            .shard
-            .global_of_local(self.backend.register(serialized));
+        let local = self.backend.register(serialized);
+        let gid = self.shard.global_of_local(local);
         if self.backend.len() > before {
             if let Some(wal) = &self.wal {
                 wal.append(gid, serialized);
             }
             replicate(self, gid, serialized);
+            self.forward_to_migration_target(local, gid, serialized);
         }
         if let Some(limit) = self.config.crash_after_registers {
             if served >= limit {
                 self.crash_now.store(true, Ordering::Relaxed);
             }
         }
-        gid
+        Some(gid)
+    }
+
+    /// Double-write phase: synchronously forwards a freshly committed
+    /// registration to the migration target before the client is
+    /// acknowledged. A failed forward drops the connection and records
+    /// the id so the copy phase rewinds over it once the target is back.
+    fn forward_to_migration_target(&self, local: u32, gid: u32, serialized: &[u8]) {
+        let mut guard = self.migration.lock();
+        let Some(migration) = guard.as_mut() else {
+            return;
+        };
+        let mut payload = Vec::with_capacity(4 + serialized.len());
+        payload.extend_from_slice(&gid.to_be_bytes());
+        payload.extend_from_slice(serialized);
+        let healthy = migration
+            .conn
+            .as_ref()
+            .map(|conn| {
+                write_frame(conn, OP_REPLICATE, &payload).is_ok()
+                    && matches!(read_frame(conn), Ok(Some((RESP_OK, _))))
+            })
+            .unwrap_or(false);
+        if healthy {
+            self.double_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            migration.conn = None;
+            migration.resync_from = Some(migration.resync_from.map_or(local, |r| r.min(local)));
+        }
+    }
+
+    /// Whether `gid` falls in a range this server has migrated away.
+    fn gid_moved(&self, gid: u32) -> bool {
+        self.moved.lock().iter().any(|m| gid >= m.lo_gid)
+    }
+
+    /// The `Moved` redirect payload: this server's current class table.
+    fn moved_payload(&self) -> Vec<u8> {
+        self.moved_redirects.fetch_add(1, Ordering::Relaxed);
+        encode_class_table(&self.table.lock())
     }
 
     /// Resolves one Global ID; `None` if it was never assigned or does
@@ -187,6 +539,35 @@ impl ServerShared {
     fn lookup_one(&self, gid: u32) -> Option<Vec<u8>> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.backend.lookup(self.shard.local_of_global(gid)?)
+    }
+
+    /// Folds the WAL into a fresh snapshot under the commit lock.
+    fn compact(&self) -> Result<u64, TaintMapError> {
+        let Some(wal) = &self.wal else {
+            return Err(TaintMapError::Protocol("shard has no WAL to compact"));
+        };
+        let _commit = self.commit_lock.lock();
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let moved = self.moved.lock().clone();
+        let count = wal.compact(&*self.backend, self.shard, epoch, &moved);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.registers_at_last_compact
+            .store(self.registers.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(count)
+    }
+
+    /// Periodic compaction, driven by served register volume.
+    fn maybe_auto_compact(&self) {
+        let Some(every) = self.config.compact_every_registers else {
+            return;
+        };
+        if self.wal.is_none() {
+            return;
+        }
+        let served = self.registers.load(Ordering::Relaxed);
+        if served.saturating_sub(self.registers_at_last_compact.load(Ordering::Relaxed)) >= every {
+            let _ = self.compact();
+        }
     }
 }
 
@@ -202,7 +583,7 @@ pub struct TaintMapServer {
     net: SimNet,
     shared: Arc<ServerShared>,
     accept_thread: Option<JoinHandle<()>>,
-    replayed: u64,
+    recovery: WalRecovery,
 }
 
 impl std::fmt::Debug for TaintMapServer {
@@ -237,22 +618,45 @@ impl TaintMapServer {
             .filter_map(|&gid| shard.local_of_global(gid))
             .collect();
         backend.reserve(&reserved);
-        let replayed = match &wal {
-            Some(w) => w.replay_into(&*backend, shard),
-            None => 0,
+        let recovery = match &wal {
+            Some(w) => w.recover_into(&*backend, shard),
+            None => WalRecovery::default(),
         };
+        // Rebuild the class table from the recovered cutover history;
+        // the endpoint overrides it with the authoritative one on
+        // orchestrated restarts.
+        let mut table = ClassTable::initial(vec![addr], shard.index as usize);
+        table.epoch = recovery.epoch;
+        for m in &recovery.moved {
+            table.ranges.push(ShardRange {
+                lo_gid: m.lo_gid,
+                addrs: vec![m.target],
+            });
+        }
         let shared = Arc::new(ServerShared {
             backend,
             shard,
             registers: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             batch_frames: AtomicU64::new(0),
+            moved_redirects: AtomicU64::new(0),
+            stale_epochs: AtomicU64::new(0),
+            transferred_in: AtomicU64::new(0),
+            transferred_out: AtomicU64::new(0),
+            double_writes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            registers_at_last_compact: AtomicU64::new(0),
             running: AtomicBool::new(true),
             config,
             crash_now: AtomicBool::new(false),
             wal,
             standby: Mutex::new(None),
             live_conns: Mutex::new(Vec::new()),
+            epoch: AtomicU64::new(recovery.epoch),
+            table: Mutex::new(table),
+            moved: Mutex::new(recovery.moved.clone()),
+            migration: Mutex::new(None),
+            commit_lock: Mutex::new(()),
         });
         let accept_shared = shared.clone();
         let accept_thread = std::thread::Builder::new()
@@ -278,8 +682,182 @@ impl TaintMapServer {
             net: net.clone(),
             shared,
             accept_thread: Some(accept_thread),
-            replayed,
+            recovery,
         })
+    }
+
+    /// Arms an outbound migration of gids `>= lo_gid` (plus all future
+    /// allocations) to `target`: double-writes start immediately; the
+    /// copy phase is driven by [`TaintMapServer::transfer_next`] and
+    /// resumes from `resume_checkpoint` (0 for a fresh migration, the
+    /// recovered WAL checkpoint after a crash).
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] if the target is unreachable,
+    /// [`TaintMapError::Protocol`] if this server already migrated its
+    /// range away.
+    pub(crate) fn begin_migration(
+        &self,
+        lo_gid: u32,
+        target: NodeAddr,
+        resume_checkpoint: u32,
+    ) -> Result<(), TaintMapError> {
+        let conn = self.net.tcp_connect(target)?;
+        // Under the commit lock no register can be mid-commit, so the
+        // captured `transfer_end` covers exactly the ids that will NOT
+        // be double-written.
+        let _commit = self.shared.commit_lock.lock();
+        if !self.shared.moved.lock().is_empty() {
+            return Err(TaintMapError::Protocol("shard already migrated its range"));
+        }
+        let transfer_end = self.shared.backend.max_local();
+        *self.shared.migration.lock() = Some(Migration {
+            lo_gid,
+            target,
+            conn: Some(conn),
+            transfer_end,
+            checkpoint: resume_checkpoint.min(transfer_end),
+            resync_from: None,
+        });
+        if let Some(wal) = &self.shared.wal {
+            wal.append_migrate_start(lo_gid, target);
+        }
+        Ok(())
+    }
+
+    /// Copies the next batch of records to the migration target,
+    /// checkpointing durably on acknowledgement. Returns how many
+    /// records the batch carried, or `None` once the copy has caught up
+    /// (at which point [`TaintMapServer::cutover`] may run). If the
+    /// target died, the call redials it, rewinds below any failed
+    /// double-write, and re-extends the copy over everything the target
+    /// may have lost.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Net`] / [`TaintMapError::Protocol`] when the
+    /// target is unreachable; the caller restarts it and retries.
+    pub(crate) fn transfer_next(&self, batch: usize) -> Result<Option<u64>, TaintMapError> {
+        let mut guard = self.shared.migration.lock();
+        let Some(migration) = guard.as_mut() else {
+            return Err(TaintMapError::Protocol("no active migration"));
+        };
+        if migration.conn.is_none() {
+            let conn = self.net.tcp_connect(migration.target)?;
+            migration.conn = Some(conn);
+            // The target restarted: its WAL preserved every acknowledged
+            // frame, but forwards that *failed* never arrived. Rewind
+            // below the first failed forward and re-cover everything
+            // allocated since the original capture (idempotent inserts
+            // make the overlap harmless). No commit lock here — it would
+            // invert the register path's commit→migration lock order; a
+            // racing register is covered either by this re-captured end
+            // or by its own double-write on the fresh connection.
+            migration.transfer_end = self.shared.backend.max_local();
+            if let Some(resync) = migration.resync_from.take() {
+                migration.checkpoint = migration.checkpoint.min(resync.saturating_sub(1));
+            }
+        }
+        if migration.checkpoint >= migration.transfer_end {
+            return Ok(None);
+        }
+        let mut records = Vec::new();
+        let mut local = migration.checkpoint;
+        while records.len() < batch && local < migration.transfer_end {
+            local += 1;
+            if let Some(bytes) = self.shared.backend.lookup(local) {
+                records.push((self.shared.shard.global_of_local(local), bytes));
+            }
+        }
+        let conn = migration.conn.as_ref().expect("redialed above");
+        let sent = records.len() as u64;
+        let ok = write_frame(conn, OP_TRANSFER_BATCH, &encode_transfer_batch(&records)).is_ok()
+            && matches!(read_frame(conn), Ok(Some((RESP_OK, _))));
+        if !ok {
+            migration.conn = None;
+            return Err(TaintMapError::Protocol("migration target unreachable"));
+        }
+        migration.checkpoint = local;
+        self.shared
+            .transferred_out
+            .fetch_add(sent, Ordering::Relaxed);
+        if let Some(wal) = &self.shared.wal {
+            wal.append_checkpoint(local);
+        }
+        Ok(Some(sent))
+    }
+
+    /// Highest backend-local id allocated so far.
+    pub(crate) fn max_local(&self) -> u32 {
+        self.shared.backend.max_local()
+    }
+
+    /// Whether an outbound migration is armed on this server.
+    pub(crate) fn migration_armed(&self) -> bool {
+        self.shared.migration.lock().is_some()
+    }
+
+    /// Whether the copy phase still has work (or lost forwards) pending.
+    pub(crate) fn migration_lagging(&self) -> bool {
+        match self.shared.migration.lock().as_ref() {
+            Some(m) => m.conn.is_none() || m.resync_from.is_some() || m.checkpoint < m.transfer_end,
+            None => false,
+        }
+    }
+
+    /// Cutover: atomically (w.r.t. commits) stops allocation, marks the
+    /// range moved, adopts the post-split class table, and records the
+    /// cutover durably. From here on the server answers `Moved`
+    /// redirects for the migrated range, forever.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Protocol`] if no migration is active or the copy
+    /// has not caught up.
+    pub(crate) fn cutover(&self, new_table: ClassTable) -> Result<(), TaintMapError> {
+        let _commit = self.shared.commit_lock.lock();
+        let mut guard = self.shared.migration.lock();
+        let (lo_gid, target) = match guard.as_ref() {
+            Some(m)
+                if m.conn.is_some()
+                    && m.resync_from.is_none()
+                    && m.checkpoint >= m.transfer_end =>
+            {
+                (m.lo_gid, m.target)
+            }
+            Some(_) => return Err(TaintMapError::Protocol("migration copy not caught up")),
+            None => return Err(TaintMapError::Protocol("no active migration")),
+        };
+        *guard = None;
+        drop(guard);
+        self.shared.moved.lock().push(MovedRange { lo_gid, target });
+        self.shared.epoch.store(new_table.epoch, Ordering::Relaxed);
+        if let Some(wal) = &self.shared.wal {
+            wal.append_cutover(new_table.epoch, lo_gid, target);
+        }
+        *self.shared.table.lock() = new_table;
+        Ok(())
+    }
+
+    /// Installs the authoritative class table (and redirect ranges) —
+    /// the endpoint calls this on every live server of a class at
+    /// cutover, and on restarted servers, so epochs converge.
+    pub(crate) fn set_class_table(&self, table: ClassTable, moved: Vec<MovedRange>) {
+        self.shared.epoch.store(table.epoch, Ordering::Relaxed);
+        *self.shared.table.lock() = table;
+        *self.shared.moved.lock() = moved;
+    }
+
+    /// Folds the WAL into a fresh `snapshot-<n>` file and truncates it,
+    /// bounding the next restart's replay by live gids. Returns the
+    /// number of records snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintMapError::Protocol`] if the server has no WAL.
+    pub(crate) fn compact(&self) -> Result<u64, TaintMapError> {
+        self.shared.compact()
     }
 
     /// Connects this instance to a standby: every *new* registration is
@@ -308,7 +886,18 @@ impl TaintMapServer {
     /// Registrations recovered from the write-ahead snapshot at launch
     /// (0 when launched without a WAL or from an empty log).
     pub fn replayed(&self) -> u64 {
-        self.replayed
+        self.recovery.snapshot_records + self.recovery.wal_data_records
+    }
+
+    /// Everything launch-time recovery reconstructed: replay costs, the
+    /// recovered epoch/moved ranges, and any interrupted migration.
+    pub fn recovery(&self) -> &WalRecovery {
+        &self.recovery
+    }
+
+    /// The class-table epoch this server currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Relaxed)
     }
 
     /// True once the `crash_after_registers` chaos knob fired.
@@ -323,6 +912,12 @@ impl TaintMapServer {
             register_requests: self.shared.registers.load(Ordering::Relaxed),
             lookup_requests: self.shared.lookups.load(Ordering::Relaxed),
             batch_frames: self.shared.batch_frames.load(Ordering::Relaxed),
+            moved_redirects: self.shared.moved_redirects.load(Ordering::Relaxed),
+            stale_epochs: self.shared.stale_epochs.load(Ordering::Relaxed),
+            transferred_in: self.shared.transferred_in.load(Ordering::Relaxed),
+            transferred_out: self.shared.transferred_out.load(Ordering::Relaxed),
+            double_writes: self.shared.double_writes.load(Ordering::Relaxed),
+            compactions: self.shared.compactions.load(Ordering::Relaxed),
         }
     }
 
@@ -369,38 +964,59 @@ fn serve_connection(conn: TcpEndpoint, shared: Arc<ServerShared>) {
             std::thread::sleep(shared.config.service_delay);
         }
         let (resp_op, resp) = match frame {
-            (OP_REGISTER, serialized) => {
-                let gid = shared.register_one(&serialized);
-                (RESP_OK, gid.to_be_bytes().to_vec())
-            }
+            (OP_REGISTER, serialized) => match shared.register_one(&serialized) {
+                Some(gid) => (RESP_OK, gid.to_be_bytes().to_vec()),
+                None => (RESP_MOVED, shared.moved_payload()),
+            },
             (OP_LOOKUP, payload) if payload.len() == 4 => {
                 let id = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
-                match shared.lookup_one(id) {
-                    Some(bytes) => (RESP_OK, bytes),
-                    None => (RESP_ERR, vec![ERR_UNKNOWN_GID]),
+                if id != 0 && shared.gid_moved(id) {
+                    (RESP_MOVED, shared.moved_payload())
+                } else {
+                    match shared.lookup_one(id) {
+                        Some(bytes) => (RESP_OK, bytes),
+                        None => (RESP_ERR, vec![ERR_UNKNOWN_GID]),
+                    }
                 }
             }
             (OP_REGISTER_BATCH, payload) => {
                 shared.batch_frames.fetch_add(1, Ordering::Relaxed);
-                match serve_register_batch(&shared, &payload) {
-                    Some(resp) => (RESP_OK, resp),
-                    None => (RESP_ERR, vec![0xFF]),
-                }
+                serve_register_batch(&shared, &payload)
             }
             (OP_LOOKUP_BATCH, payload) => {
                 shared.batch_frames.fetch_add(1, Ordering::Relaxed);
-                match serve_lookup_batch(&shared, &payload) {
-                    Some(resp) => (RESP_OK, resp),
-                    None => (RESP_ERR, vec![0xFF]),
+                serve_lookup_batch(&shared, &payload)
+            }
+            (OP_REGISTER_BATCH_E, payload) => {
+                shared.batch_frames.fetch_add(1, Ordering::Relaxed);
+                match check_epoch(&shared, &payload) {
+                    Ok(rest) => serve_register_batch(&shared, rest),
+                    Err(stale) => stale,
                 }
             }
+            (OP_LOOKUP_BATCH_E, payload) => {
+                shared.batch_frames.fetch_add(1, Ordering::Relaxed);
+                match check_epoch(&shared, &payload) {
+                    Ok(rest) => serve_lookup_batch(&shared, rest),
+                    Err(stale) => stale,
+                }
+            }
+            (OP_EPOCH_OF, _) => (RESP_OK, encode_class_table(&shared.table.lock())),
+            (OP_TRANSFER_BATCH, payload) => serve_transfer_batch(&shared, &payload),
             (OP_REPLICATE, payload) if payload.len() >= 4 => {
                 let gid = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
                 // The primary replicates global ids; map back into the
                 // backend's dense local space (same shard spec).
                 match shared.shard.local_of_global(gid) {
                     Some(local) => {
+                        // A migration target persists double-writes
+                        // before acknowledging, so a forward ack means
+                        // the record survives the target crashing too.
+                        let _commit = shared.commit_lock.lock();
                         shared.backend.insert_replicated(local, &payload[4..]);
+                        if let Some(wal) = &shared.wal {
+                            wal.append(gid, &payload[4..]);
+                        }
                         (RESP_OK, Vec::new())
                     }
                     None => (RESP_ERR, vec![0xFF]),
@@ -423,39 +1039,97 @@ fn serve_connection(conn: TcpEndpoint, shared: Arc<ServerShared>) {
         if write_frame(&conn, resp_op, &resp).is_err() {
             return;
         }
+        shared.maybe_auto_compact();
     }
 }
 
-fn serve_register_batch(shared: &ServerShared, payload: &[u8]) -> Option<Vec<u8>> {
-    let mut r = PayloadReader::new(payload);
-    let count = r.u32().ok()? as usize;
-    let mut resp = Vec::with_capacity(4 + 4 * count);
-    resp.extend_from_slice(&(count as u32).to_be_bytes());
-    for _ in 0..count {
-        let len = r.u32().ok()? as usize;
-        let serialized = r.bytes(len).ok()?;
-        resp.extend_from_slice(&shared.register_one(serialized).to_be_bytes());
+/// Validates an epoch stamp; a stale stamp turns into the
+/// `STALE_EPOCH` response so the client refetches and retries. A stamp
+/// *ahead* of this server (it missed a table update while crashed) is
+/// accepted — the moved-range check still guards correctness, and
+/// rejecting it would livelock the client against a behind server.
+fn check_epoch<'a>(shared: &ServerShared, payload: &'a [u8]) -> Result<&'a [u8], (u8, Vec<u8>)> {
+    let Ok((stamp, rest)) = unstamp_epoch(payload) else {
+        return Err((RESP_ERR, vec![0xFF]));
+    };
+    let current = shared.epoch.load(Ordering::Relaxed);
+    if stamp < current {
+        shared.stale_epochs.fetch_add(1, Ordering::Relaxed);
+        return Err((RESP_STALE_EPOCH, current.to_be_bytes().to_vec()));
     }
-    r.at_end().then_some(resp)
+    Ok(rest)
 }
 
-fn serve_lookup_batch(shared: &ServerShared, payload: &[u8]) -> Option<Vec<u8>> {
-    let mut r = PayloadReader::new(payload);
-    let count = r.u32().ok()? as usize;
-    let mut resp = Vec::with_capacity(4 + 5 * count);
-    resp.extend_from_slice(&(count as u32).to_be_bytes());
-    for _ in 0..count {
-        let gid = r.u32().ok()?;
-        match shared.lookup_one(gid).filter(|_| gid != 0) {
-            Some(bytes) => {
-                resp.push(STATUS_OK);
-                resp.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
-                resp.extend_from_slice(&bytes);
+fn serve_register_batch(shared: &ServerShared, payload: &[u8]) -> (u8, Vec<u8>) {
+    fn inner(shared: &ServerShared, payload: &[u8]) -> Option<(u8, Vec<u8>)> {
+        let mut r = PayloadReader::new(payload);
+        let count = r.u32().ok()? as usize;
+        let mut resp = Vec::with_capacity(4 + 4 * count);
+        resp.extend_from_slice(&(count as u32).to_be_bytes());
+        for _ in 0..count {
+            let len = r.u32().ok()? as usize;
+            let serialized = r.bytes(len).ok()?;
+            match shared.register_one(serialized) {
+                Some(gid) => resp.extend_from_slice(&gid.to_be_bytes()),
+                // Allocation moved (possibly mid-batch, at cutover):
+                // redirect the whole frame. Items already committed were
+                // double-written pre-cutover, so the client's re-send to
+                // the new owner dedups to the same gids.
+                None => return Some((RESP_MOVED, shared.moved_payload())),
             }
-            None => resp.push(STATUS_UNKNOWN),
+        }
+        r.at_end().then_some((RESP_OK, resp))
+    }
+    inner(shared, payload).unwrap_or((RESP_ERR, vec![0xFF]))
+}
+
+fn serve_lookup_batch(shared: &ServerShared, payload: &[u8]) -> (u8, Vec<u8>) {
+    fn inner(shared: &ServerShared, payload: &[u8]) -> Option<(u8, Vec<u8>)> {
+        let mut r = PayloadReader::new(payload);
+        let count = r.u32().ok()? as usize;
+        let mut resp = Vec::with_capacity(4 + 5 * count);
+        resp.extend_from_slice(&(count as u32).to_be_bytes());
+        for _ in 0..count {
+            let gid = r.u32().ok()?;
+            if gid != 0 && shared.gid_moved(gid) {
+                return Some((RESP_MOVED, shared.moved_payload()));
+            }
+            match shared.lookup_one(gid).filter(|_| gid != 0) {
+                Some(bytes) => {
+                    resp.push(STATUS_OK);
+                    resp.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                    resp.extend_from_slice(&bytes);
+                }
+                None => resp.push(STATUS_UNKNOWN),
+            }
+        }
+        r.at_end().then_some((RESP_OK, resp))
+    }
+    inner(shared, payload).unwrap_or((RESP_ERR, vec![0xFF]))
+}
+
+/// Copy phase receiver: persists a batch of migrated records before
+/// acknowledging, so a durable checkpoint on the source implies the
+/// records survive this side crashing.
+fn serve_transfer_batch(shared: &ServerShared, payload: &[u8]) -> (u8, Vec<u8>) {
+    let Ok(records) = decode_transfer_batch(payload) else {
+        return (RESP_ERR, vec![0xFF]);
+    };
+    let _commit = shared.commit_lock.lock();
+    let mut accepted = 0u32;
+    for (gid, bytes) in &records {
+        if let Some(local) = shared.shard.local_of_global(*gid) {
+            shared.backend.insert_replicated(local, bytes);
+            if let Some(wal) = &shared.wal {
+                wal.append(*gid, bytes);
+            }
+            accepted += 1;
         }
     }
-    r.at_end().then_some(resp)
+    shared
+        .transferred_in
+        .fetch_add(u64::from(accepted), Ordering::Relaxed);
+    (RESP_OK, accepted.to_be_bytes().to_vec())
 }
 
 fn replicate(shared: &ServerShared, gid: u32, serialized: &[u8]) {

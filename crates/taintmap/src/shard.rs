@@ -7,6 +7,14 @@
 //! modulo. Registrations are routed by a stable hash of the serialized
 //! taint bytes, which is what makes per-shard byte-identity dedup
 //! equivalent to global dedup.
+//!
+//! **Live resharding** refines the picture without giving up static
+//! partitioning: a residue class can be *split*, migrating the upper
+//! gid range `[lo, ∞)` (plus all future allocations) to a new server.
+//! Clients then route within a class through a [`ClassTable`] — an
+//! epoch-numbered list of [`ShardRange`]s — and servers answer `Moved`
+//! redirects / stale-epoch rejections until every cache converges on
+//! the current epoch.
 
 use dista_simnet::NodeAddr;
 
@@ -60,6 +68,74 @@ pub(crate) fn shard_of_bytes(bytes: &[u8], shard_count: usize) -> usize {
 /// Shard that assigned this (non-zero) Global ID.
 pub(crate) fn shard_of_gid(gid: u32, shard_count: usize) -> usize {
     ((gid - 1) as usize) % shard_count
+}
+
+/// One contiguous gid range of a residue class and the failover address
+/// list that serves it (primary first).
+///
+/// A range owns every gid `g` of its class with `g >= lo_gid`, up to the
+/// next range's `lo_gid` in the enclosing [`ClassTable`]; the last range
+/// is open-ended and therefore also owns *allocation* of new gids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRange {
+    /// First Global ID (inclusive) served by this range.
+    pub lo_gid: u32,
+    /// Failover address list: primary first, standbys after.
+    pub addrs: Vec<NodeAddr>,
+}
+
+/// Epoch-numbered routing table for a single residue class.
+///
+/// Before any split the table has one open-ended range at epoch 0. Each
+/// cutover appends a range and bumps the epoch; clients stamp the epoch
+/// into range-aware RPCs and servers reject stale stamps so a resharded
+/// class can never resolve a gid through an outdated mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassTable {
+    /// Monotone table version; bumped once per cutover.
+    pub epoch: u64,
+    /// Ranges sorted ascending by `lo_gid`; never empty.
+    pub ranges: Vec<ShardRange>,
+}
+
+impl ClassTable {
+    /// The pre-split table: one open-ended range at epoch 0.
+    pub fn initial(addrs: Vec<NodeAddr>, class: usize) -> Self {
+        ClassTable {
+            epoch: 0,
+            ranges: vec![ShardRange {
+                lo_gid: class as u32 + 1,
+                addrs,
+            }],
+        }
+    }
+
+    /// The range that serves lookups of `gid` (the last range whose
+    /// `lo_gid` is `<= gid`, falling back to the first range).
+    pub fn range_of_gid(&self, gid: u32) -> &ShardRange {
+        self.ranges
+            .iter()
+            .rev()
+            .find(|r| r.lo_gid <= gid)
+            .unwrap_or(&self.ranges[0])
+    }
+
+    /// The open-ended tail range, which owns allocation of new gids.
+    pub fn tail(&self) -> &ShardRange {
+        self.ranges.last().expect("class table is never empty")
+    }
+
+    /// Adopts `other` if it is strictly newer; returns whether anything
+    /// changed. Equal or older epochs are ignored, which makes redirect
+    /// chains converge instead of ping-ponging between stale tables.
+    pub fn merge(&mut self, other: &ClassTable) -> bool {
+        if other.epoch > self.epoch {
+            *self = other.clone();
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Shard layout of a Taint Map deployment, as seen by clients: for each
@@ -172,6 +248,37 @@ mod tests {
             shard_of_bytes(b"same bytes", 8)
         );
         assert_eq!(shard_of_bytes(b"anything", 1), 0);
+    }
+
+    #[test]
+    fn class_table_routing_and_merge() {
+        let a = NodeAddr::new([10, 0, 0, 9], 7000);
+        let b = NodeAddr::new([10, 0, 0, 9], 7010);
+        let mut t = ClassTable::initial(vec![a], 1);
+        assert_eq!(t.epoch, 0);
+        assert_eq!(t.range_of_gid(2).addrs, vec![a]);
+        assert_eq!(t.tail().lo_gid, 2);
+
+        let split = ClassTable {
+            epoch: 1,
+            ranges: vec![
+                ShardRange {
+                    lo_gid: 2,
+                    addrs: vec![a],
+                },
+                ShardRange {
+                    lo_gid: 102,
+                    addrs: vec![b],
+                },
+            ],
+        };
+        assert!(t.merge(&split));
+        assert!(!t.merge(&split), "equal epoch must not churn");
+        assert_eq!(t.range_of_gid(2).addrs, vec![a]);
+        assert_eq!(t.range_of_gid(101).addrs, vec![a]);
+        assert_eq!(t.range_of_gid(102).addrs, vec![b]);
+        assert_eq!(t.range_of_gid(5000).addrs, vec![b]);
+        assert_eq!(t.tail().addrs, vec![b], "tail owns allocation");
     }
 
     #[test]

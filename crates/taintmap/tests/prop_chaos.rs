@@ -14,6 +14,161 @@ use dista_taintmap::{
     ClientObserver, ClientResilience, TaintMapClient, TaintMapConfig, TaintMapEndpoint,
 };
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Deterministic splitmix64 stream for the seeded crash schedules.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The ≥1M-distinct-gid migration gate (`ci.sh` runs it in release via
+/// `--ignored` under fixed seeds). A seed-derived schedule crashes
+/// migration sides at seed-chosen batch counts; the split must still
+/// cut over losslessly: after convergence every one of the gids — scale
+/// via `DISTA_RESHARD_GIDS`, seed via `DISTA_RESHARD_SEED` — resolves
+/// to exactly its registration, and mid-crash sampled lookups are
+/// correct-or-pending, never wrong.
+#[test]
+#[ignore = "release-scale gate; ci.sh runs it with --ignored"]
+fn split_one_million_gids_without_loss() {
+    let env_num = |k: &str, default: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n = env_num("DISTA_RESHARD_GIDS", 1_000_000) as usize;
+    let mut rng = SplitMix(env_num("DISTA_RESHARD_SEED", 7));
+    const CHUNK: usize = 8192;
+
+    let net = SimNet::new();
+    let mut endpoint = TaintMapEndpoint::builder()
+        .addr(NodeAddr::new([10, 0, 0, 99], 7777))
+        .shards(2)
+        .snapshots(SimFs::new())
+        .connect(&net)
+        .unwrap();
+    let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+    let client1 = endpoint.client(&net, store1.clone()).unwrap();
+    let mut gids: Vec<GlobalId> = Vec::with_capacity(n);
+    let mut minted = 0i64;
+    while gids.len() < n {
+        let take = CHUNK.min(n - gids.len());
+        let taints: Vec<Taint> = (0..take)
+            .map(|_| {
+                minted += 1;
+                store1.mint_source_taint(TagValue::Int(minted - 1))
+            })
+            .collect();
+        gids.extend(client1.global_ids_for(&taints).unwrap());
+    }
+
+    // The loaded reader samples lookups right after every crash.
+    let store2 = TaintStore::new(LocalId::new([10, 0, 0, 2], 2));
+    let reader = TaintMapClient::connect_topology_tuned(
+        &net,
+        endpoint.topology(),
+        store2.clone(),
+        ClientObserver::disabled(),
+        fast_resilience(),
+    )
+    .unwrap();
+
+    // ~n/4 records migrate in batches of 1024; schedule three crashes
+    // at seed-chosen batch counts with seed-chosen victims.
+    let total_batches = (n / 4).div_ceil(1024) as u64;
+    let mut crash_at: Vec<(u64, bool, bool)> = (0..3)
+        .map(|_| {
+            let at = rng.next() % total_batches.max(1);
+            let v = rng.next() % 3;
+            (at, v != 1, v != 0) // 0 = source, 1 = target, 2 = both
+        })
+        .collect();
+    crash_at.sort_unstable();
+
+    endpoint.begin_split(0).unwrap();
+    let mut batches = 0u64;
+    let mut crashes = 0usize;
+    let epoch = loop {
+        if let Some(&(at, src, tgt)) = crash_at.first() {
+            if batches >= at {
+                crash_at.remove(0);
+                crashes += 1;
+                let (source, target) = endpoint.active_split().unwrap();
+                if src && !endpoint.primary_crashed(source) {
+                    endpoint.crash_primary(source);
+                }
+                if tgt && !endpoint.primary_crashed(target) {
+                    endpoint.crash_primary(target);
+                }
+                // Sampled mid-crash lookups: correct or pending.
+                let idxs: Vec<usize> = (0..512).map(|_| (rng.next() % n as u64) as usize).collect();
+                let sample: Vec<GlobalId> = idxs.iter().map(|&i| gids[i]).collect();
+                let got = reader.taints_for_degraded(&sample).unwrap();
+                for ((&taint, &gid), &i) in got.iter().zip(&sample).zip(&idxs) {
+                    let vals = store2.tag_values(taint);
+                    assert!(
+                        vals == vec![i.to_string()]
+                            || vals == vec![format!("pending-gid:{}", gid.0)],
+                        "mid-crash lookup of gid {} was wrong: {vals:?}",
+                        gid.0
+                    );
+                }
+                endpoint.heal_split().unwrap();
+                continue;
+            }
+        }
+        match endpoint.split_step(1024) {
+            Ok(true) => batches += 1,
+            Ok(false) if endpoint.split_lagging() => endpoint.heal_split().unwrap(),
+            Ok(false) => match endpoint.finish_split() {
+                Ok(epoch) => break epoch,
+                Err(_) => endpoint.heal_split().unwrap(),
+            },
+            Err(_) => endpoint.heal_split().unwrap(),
+        }
+    };
+    assert_eq!(epoch, 1);
+    assert!(
+        crashes >= 1,
+        "the schedule crashed the migration at least once"
+    );
+
+    // Drain the reader's pending backlog, then verify every gid
+    // strictly: distinct registration in, identical resolution out.
+    for _ in 0..64 {
+        if reader.pending_count() == 0 {
+            break;
+        }
+        reader.reconcile_pending().unwrap();
+    }
+    assert_eq!(reader.pending_count(), 0);
+    for (c, chunk) in gids.chunks(CHUNK).enumerate() {
+        let got = reader.taints_for(chunk).unwrap();
+        for (k, (&taint, &gid)) in got.iter().zip(chunk).enumerate() {
+            assert_eq!(
+                store2.tag_values(taint),
+                vec![(c * CHUNK + k).to_string()],
+                "gid {} resolved to the wrong taint after cutover",
+                gid.0
+            );
+        }
+    }
+    let transferred = endpoint.reshard_stats().records_transferred;
+    assert!(
+        transferred >= n as u64 / 4,
+        "the migrated range covered the tail half of class 0: {transferred}"
+    );
+    endpoint.shutdown();
+}
 
 /// Tight deadlines/backoff so partition cases spend milliseconds, not
 /// the default seconds, discovering that a shard is gone.
@@ -109,6 +264,115 @@ proptest! {
         }
         for (i, sentinel) in sentinels {
             let real = client2.resolution_of(sentinel);
+            prop_assert_eq!(real, Some(healed[i]), "sentinel for index {} misresolved", i);
+        }
+        endpoint.shutdown();
+    }
+
+    /// Live resharding under a crash schedule: a split runs while a
+    /// stale-map client keeps looking up every gid. Whatever side(s) of
+    /// the migration the schedule crashes and whenever, every lookup
+    /// answer is the correct taint or that gid's pending sentinel, the
+    /// healed split still cuts over, and post-cutover the strict path
+    /// resolves every gid to exactly its registration — zero stale
+    /// taints, zero losses.
+    #[test]
+    fn split_while_loaded_is_lossless_under_crash_schedule(
+        (n, crash_source, crash_target, crash_phase) in
+            (24usize..=72, any::<bool>(), any::<bool>(), 0usize..=4)
+    ) {
+        let net = SimNet::new();
+        let mut endpoint = TaintMapEndpoint::builder()
+            .addr(NodeAddr::new([10, 0, 0, 99], 7777))
+            .shards(2)
+            .snapshots(SimFs::new())
+            .connect(&net)
+            .unwrap();
+        let store1 = TaintStore::new(LocalId::new([10, 0, 0, 1], 1));
+        let client1 = endpoint.client(&net, store1.clone()).unwrap();
+        let taints: Vec<Taint> = (0..n as i64)
+            .map(|i| store1.mint_source_taint(TagValue::Int(i)))
+            .collect();
+        let gids = client1.global_ids_for(&taints).unwrap();
+
+        // The loaded reader: cold caches, epoch-0 shard map, tight
+        // deadlines so a crashed side degrades in milliseconds.
+        let me = [10, 0, 0, 2];
+        let store2 = TaintStore::new(LocalId::new(me, 2));
+        let reader = TaintMapClient::connect_topology_tuned(
+            &net,
+            endpoint.topology(),
+            store2.clone(),
+            ClientObserver::disabled(),
+            fast_resilience(),
+        )
+        .unwrap();
+
+        endpoint.begin_split(0).unwrap();
+        let mut sentinels: HashMap<usize, Taint> = HashMap::new();
+        let mut sweep = |reader: &TaintMapClient, sentinels: &mut HashMap<usize, Taint>|
+            -> Result<(), TestCaseError> {
+            let got = reader.taints_for_degraded(&gids).unwrap();
+            for (i, (&taint, &gid)) in got.iter().zip(&gids).enumerate() {
+                let vals = store2.tag_values(taint);
+                if vals == vec![format!("pending-gid:{}", gid.0)] {
+                    sentinels.insert(i, taint);
+                } else {
+                    prop_assert_eq!(vals, vec![i.to_string()], "wrong taint for gid {}", gid.0);
+                }
+            }
+            Ok(())
+        };
+
+        let mut crashed = false;
+        let mut batches = 0usize;
+        let epoch = loop {
+            if !crashed && batches >= crash_phase && (crash_source || crash_target) {
+                let (source, target) = endpoint.active_split().unwrap();
+                if crash_source {
+                    endpoint.crash_primary(source);
+                }
+                if crash_target {
+                    endpoint.crash_primary(target);
+                }
+                crashed = true;
+                // Mid-crash lookups: correct or pending, never wrong.
+                sweep(&reader, &mut sentinels)?;
+                endpoint.heal_split().unwrap();
+            }
+            match endpoint.split_step(4) {
+                Ok(true) => {
+                    batches += 1;
+                    sweep(&reader, &mut sentinels)?;
+                }
+                Ok(false) if endpoint.split_lagging() => endpoint.heal_split().unwrap(),
+                Ok(false) => match endpoint.finish_split() {
+                    Ok(epoch) => break epoch,
+                    Err(_) => endpoint.heal_split().unwrap(),
+                },
+                Err(_) => endpoint.heal_split().unwrap(),
+            }
+        };
+        prop_assert_eq!(epoch, 1, "the healed split still cut over");
+
+        // Post-cutover: drain any pending backlog through the breaker's
+        // probe window, then every gid resolves strictly and correctly
+        // (the stale-map reader converges via Moved/StaleEpoch), and
+        // every sentinel handed out mid-migration resolves to the same
+        // taint the strict path names.
+        for _ in 0..64 {
+            if reader.pending_count() == 0 {
+                break;
+            }
+            reader.reconcile_pending().unwrap();
+        }
+        prop_assert_eq!(reader.pending_count(), 0, "backlog must drain after cutover");
+        let healed = reader.taints_for(&gids).unwrap();
+        for (i, &taint) in healed.iter().enumerate() {
+            prop_assert_eq!(store2.tag_values(taint), vec![i.to_string()]);
+        }
+        for (i, sentinel) in sentinels {
+            let real = reader.resolution_of(sentinel);
             prop_assert_eq!(real, Some(healed[i]), "sentinel for index {} misresolved", i);
         }
         endpoint.shutdown();

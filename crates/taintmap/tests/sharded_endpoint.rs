@@ -153,6 +153,66 @@ fn replication_stays_per_shard() {
 }
 
 #[test]
+fn moved_redirects_converge_without_tripping_the_breaker() {
+    // A client whose shard map predates a split keeps operating: the old
+    // owner answers `Moved`/`StaleEpoch` redirects, the client adopts
+    // the new table and retries — and the breaker counts those
+    // well-formed redirects as successes, never as failures. A redirect
+    // storm must not open a healthy shard's circuit.
+    let net = SimNet::new();
+    let mut endpoint = TaintMapEndpoint::builder().shards(2).connect(&net).unwrap();
+    let store1 = store(1);
+    let client1 = endpoint.client(&net, store1.clone()).unwrap();
+    let taints: Vec<Taint> = (0..32)
+        .map(|i| store1.mint_source_taint(TagValue::Int(i)))
+        .collect();
+    let gids = client1.global_ids_for(&taints).unwrap();
+
+    // Two cold-cache clients connect before the splits, so both hold an
+    // epoch-0 shard map with nothing memoized.
+    let store2 = store(2);
+    let unbatched = endpoint.client(&net, store2.clone()).unwrap();
+    let store3 = store(3);
+    let batched = endpoint.client(&net, store3.clone()).unwrap();
+
+    endpoint.split_shard(0).unwrap();
+    endpoint.split_shard(1).unwrap();
+
+    // Unbatched lookup of a migrated gid lands on the old owner, which
+    // answers `Moved` with the new table; the retry hits the new tail.
+    let top = *gids.iter().max_by_key(|g| g.0).unwrap();
+    let idx = gids.iter().position(|g| *g == top).unwrap();
+    let t = unbatched.taint_for(top).unwrap();
+    assert_eq!(store2.tag_values(t), vec![idx.to_string()]);
+
+    // Batched lookups carry the stale epoch stamp and get a
+    // `StaleEpoch` refetch before converging on correct answers.
+    let resolved = batched.taints_for(&gids).unwrap();
+    for (i, &t) in resolved.iter().enumerate() {
+        assert_eq!(store3.tag_values(t), vec![i.to_string()]);
+    }
+
+    let moved = unbatched.stats();
+    assert!(
+        moved.moved_redirects >= 1,
+        "the old owner redirected: {moved:?}"
+    );
+    let stale = batched.stats();
+    assert!(
+        stale.epoch_refetches >= 1,
+        "the stale epoch stamp forced a table refetch: {stale:?}"
+    );
+    for stats in [moved, stale] {
+        assert_eq!(
+            stats.breaker_opens, 0,
+            "redirects are successes, not breaker failures"
+        );
+        assert_eq!(stats.failovers, 0, "no shard was ever unreachable");
+    }
+    endpoint.shutdown();
+}
+
+#[test]
 fn unbatched_and_batched_paths_agree() {
     // The old single-item opcodes remain live (they are the measured
     // baseline); both protocol paths must hand out consistent ids.

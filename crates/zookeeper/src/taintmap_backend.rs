@@ -171,6 +171,11 @@ impl TaintMapBackend for ZkTaintMapBackend {
         Self::write_u32(&zk, &format!("{root}/hash-{hash:016x}-0"), gid);
     }
 
+    fn max_local(&self) -> u32 {
+        let zk = self.zk.lock();
+        Self::read_u32(&zk, &format!("{}/next", self.root)).unwrap_or(0)
+    }
+
     fn len(&self) -> u64 {
         let zk = self.zk.lock();
         Self::read_u32(&zk, &format!("{}/next", self.root))

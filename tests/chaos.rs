@@ -8,10 +8,12 @@
 
 use std::time::Duration;
 
-use dista_repro::core::{Cluster, FaultPlan, Mode};
+use dista_repro::core::{Cluster, FaultPlan, Mode, ReshardPlan};
 use dista_repro::jre::{InputStream, OutputStream, ServerSocket, Socket};
 use dista_repro::obs::{ObsConfig, ObsEventKind};
-use dista_repro::simnet::{FaultConfig, NetError, NodeAddr, Reactor, SimNet, Token};
+use dista_repro::simnet::{
+    FaultConfig, MigrationVictim, NetError, NodeAddr, Reactor, SimNet, Token,
+};
 use dista_repro::taint::{Payload, TagValue, TaintedBytes};
 
 const RX_IP: [u8; 4] = [10, 0, 0, 2];
@@ -319,6 +321,101 @@ fn reactor_and_blocking_reads_replay_the_same_fault_schedule() {
         blocking_a, reactor_a,
         "readiness-driven reads must not move the FaultEngine step clock"
     );
+}
+
+#[test]
+fn reshard_survives_crash_during_migration() {
+    let seed = std::env::var("DISTA_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let mut cluster = Cluster::builder(Mode::Dista)
+        .nodes("r", 2)
+        .observability(ObsConfig::default())
+        .taint_map_shards(2)
+        .taint_map_snapshots(true)
+        .build()
+        .unwrap();
+    let taints: Vec<_> = (0..96)
+        .map(|i| cluster.vm(0).store().mint_source_taint(TagValue::Int(i)))
+        .collect();
+    let gids = cluster
+        .vm(0)
+        .taint_map()
+        .unwrap()
+        .global_ids_for(&taints)
+        .unwrap();
+
+    // Arm the schedule relative to the live step clock so both triggers
+    // land inside the migration's own transfer traffic: the first one
+    // kills the copy source almost immediately, the second the target
+    // (or fires as a no-op if every split already cut over).
+    let step = cluster.net().fault_step();
+    cluster.net().install_fault_plan(
+        FaultPlan::builder(seed)
+            .crash_during_migration_at(step + 2, MigrationVictim::Source)
+            .crash_during_migration_at(step + 12, MigrationVictim::Target)
+            .build(),
+    );
+
+    let new_servers = cluster
+        .reshard(&ReshardPlan::new().split(0).split(1).batch(4))
+        .unwrap();
+    assert_eq!(new_servers, vec![2, 3]);
+
+    // Lossless: every pre-split gid resolves from the other VM through
+    // the post-cutover topology to exactly its registration.
+    let resolved = cluster
+        .vm(1)
+        .taint_map()
+        .unwrap()
+        .taints_for(&gids)
+        .unwrap();
+    for (i, t) in resolved.iter().enumerate() {
+        assert_eq!(cluster.vm(1).store().tag_values(*t), vec![i.to_string()]);
+    }
+
+    // The arc is visible in the event stream: the scheduled crash bit a
+    // migration side, the split healed from its checkpoint, and both
+    // classes cut over.
+    let mut crashes = 0;
+    let mut heals = 0;
+    let mut splits = Vec::new();
+    for e in cluster.obs_events() {
+        match e.kind {
+            ObsEventKind::ShardCrashed { .. } => crashes += 1,
+            ObsEventKind::SplitHealed { .. } => heals += 1,
+            ObsEventKind::ShardSplit { class, epoch, .. } => splits.push((class, epoch)),
+            _ => {}
+        }
+    }
+    assert!(crashes >= 1, "the schedule crashed a migration side");
+    assert!(heals >= 1, "the interrupted split healed");
+    assert_eq!(splits, vec![(0, 1), (1, 1)]);
+
+    // Deployment-level counters are mirrored under node="taintmap".
+    let dump = cluster.metrics_dump();
+    assert_eq!(
+        dump.gauge_value("taintmap_splits_completed", &[("node", "taintmap")]),
+        Some(2.0)
+    );
+    assert!(
+        dump.gauge_value("taintmap_records_transferred", &[("node", "taintmap")])
+            .unwrap()
+            >= 48.0
+    );
+
+    // Compaction bounds the restart cost and surfaces its own events.
+    let folded = cluster.compact_taint_map().unwrap();
+    assert!(folded >= 96);
+    assert!(
+        cluster
+            .obs_events()
+            .iter()
+            .any(|e| matches!(e.kind, ObsEventKind::WalCompacted { .. })),
+        "compaction events recorded"
+    );
+    cluster.shutdown();
 }
 
 #[test]
