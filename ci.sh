@@ -112,4 +112,24 @@ grep -q '"parse_errors": 0' BENCH_cluster_load_scrape.json
 grep -q '"cost_attribution"' BENCH_cluster_load_scrape.json
 rm -f BENCH_cluster_load_scrape.json
 
+echo "==> pipeline scenario + chaos suites under fixed seeds"
+cargo test -q --offline --test pipeline_scenarios
+for seed in 7 42 1337; do
+    echo "    pipeline seed $seed"
+    DISTA_CHAOS_SEED="$seed" cargo test -q --offline --test pipeline_chaos
+done
+
+echo "==> pipeline --smoke (cross-system load: throughput + p99 per scenario, detection gates)"
+rm -f BENCH_pipeline_smoke.json
+cargo run -p dista-bench --bin pipeline --release --offline -- \
+    --smoke --out BENCH_pipeline_smoke.json
+test -s BENCH_pipeline_smoke.json
+grep -q '"systems_spanned": 3' BENCH_pipeline_smoke.json
+grep -q '"exact_traces": true' BENCH_pipeline_smoke.json
+grep -q '"cross_tenant_hits_clean": 0' BENCH_pipeline_smoke.json
+grep -q '"misroute_hits": 1' BENCH_pipeline_smoke.json
+grep -Eq '"throughput_records_per_sec": [1-9]' BENCH_pipeline_smoke.json
+grep -Eq '"throughput_messages_per_sec": [1-9]' BENCH_pipeline_smoke.json
+rm -f BENCH_pipeline_smoke.json
+
 echo "CI OK"

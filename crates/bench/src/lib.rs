@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pipeline;
 pub mod systems;
 pub mod table;
 

@@ -537,6 +537,41 @@ impl Cluster {
         reconstruct_inferred(&self.obs_events(), gid)
     }
 
+    /// The best available single trace for `gid`: the span-paired
+    /// reconstruction when every crossing paired exactly (homogeneous
+    /// v2 wire), otherwise the inferred view a v1 cluster gets. A
+    /// cross-system pipeline calls this to stitch one hop-by-hop
+    /// narrative across application boundaries without knowing which
+    /// wire protocol each leg negotiated.
+    pub fn provenance_stitched(&self, gid: u32) -> ProvenanceTrace {
+        let exact = self.provenance(gid);
+        if exact.exact {
+            exact
+        } else {
+            self.provenance_inferred(gid)
+        }
+    }
+
+    /// Records a [`ObsEventKind::PipelineStage`] flight event on the
+    /// named VM's recorder, marking that a cross-system pipeline stage
+    /// covering `records` records begins there, and marks the stage on
+    /// the fault engine so stage-keyed chaos entries
+    /// ([`dista_simnet::FaultPlanBuilder::crash_vm_at_stage`] and kin)
+    /// fire at this boundary. Drive the resulting triggers with
+    /// [`Cluster::poll_chaos`]. The flight event is a no-op when
+    /// observability is disabled or the node is unknown; the stage mark
+    /// always lands.
+    pub fn record_pipeline_stage(&self, node: &str, stage: &str, records: u64) {
+        if let Some(vm) = self.vms.iter().find(|vm| vm.name() == node) {
+            vm.flight_recorder()
+                .record_with(|| ObsEventKind::PipelineStage {
+                    stage: stage.to_string(),
+                    records,
+                });
+        }
+        self.net.mark_stage(stage);
+    }
+
     /// Snapshot of the cluster metrics registry, with point-in-time
     /// per-VM census families (taint-tree size, memo hit counts, shadow
     /// run counts, Taint Map client RPC totals) mirrored in first.

@@ -228,6 +228,185 @@ impl ObsReport {
     }
 }
 
+/// Stage label for the message-queue ingest leg of a pipeline.
+pub const STAGE_INGEST: &str = "ingest";
+/// Stage label for the storage-write leg (bridge consumer → table).
+pub const STAGE_STORE: &str = "store";
+/// Stage label for the batch-analysis leg (scan → job → sink).
+pub const STAGE_ANALYZE: &str = "analyze";
+/// Stage label for broker-fronted tenant delivery.
+pub const STAGE_DELIVER: &str = "deliver";
+
+/// Every pipeline stage, in report order.
+pub const PIPELINE_STAGES: &[&str] = &[STAGE_INGEST, STAGE_STORE, STAGE_ANALYZE, STAGE_DELIVER];
+
+/// Per-node pipeline stage timing, the cross-system sibling of
+/// [`PhaseSet`]: where [`PhaseSet`] attributes tracking cost to hot-path
+/// phases *within* a VM, a `StageSet` attributes wall time to the
+/// *application-boundary* stages of a composed pipeline. Counters land
+/// in the shared registry as `pipeline_stage_ns{node,stage}` /
+/// `pipeline_stage_ops{node,stage}`.
+#[derive(Debug, Clone, Default)]
+pub struct StageSet {
+    registry: Option<MetricsRegistry>,
+    node: String,
+}
+
+impl StageSet {
+    /// A set whose handles record nothing.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A set writing `pipeline_stage_ns` / `pipeline_stage_ops` members
+    /// labeled `{node=<node>, stage=<stage>}` into `registry`.
+    pub fn for_node(registry: &MetricsRegistry, node: &str) -> Self {
+        StageSet {
+            registry: Some(registry.clone()),
+            node: node.to_string(),
+        }
+    }
+
+    /// Whether stage handles record anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The counter pair for `stage`. Stage labels are open-ended (the
+    /// well-known ones are in [`PIPELINE_STAGES`]); repeated calls with
+    /// the same stage share the same underlying counters.
+    pub fn stage(&self, stage: &str) -> PhaseHandle {
+        match &self.registry {
+            Some(reg) => PhaseHandle {
+                enabled: true,
+                ns: reg.counter_with(
+                    "pipeline_stage_ns",
+                    &[("node", self.node.as_str()), ("stage", stage)],
+                ),
+                ops: reg.counter_with(
+                    "pipeline_stage_ops",
+                    &[("node", self.node.as_str()), ("stage", stage)],
+                ),
+            },
+            None => PhaseHandle::disabled(),
+        }
+    }
+}
+
+/// One stage's aggregated cost in a [`PipelineCostReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageCost {
+    /// Stage label (usually one of [`PIPELINE_STAGES`]).
+    pub stage: String,
+    /// Total attributed nanoseconds across all nodes.
+    pub ns: u64,
+    /// Total stage completions across all nodes.
+    pub ops: u64,
+}
+
+impl StageCost {
+    /// Mean nanoseconds per stage completion (0 when no ops).
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.ns as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Per-run pipeline cost rollup: wall time per cross-system stage,
+/// summed across nodes from `pipeline_stage_ns{node,stage}` samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineCostReport {
+    /// Cluster-total cost per stage. Well-known stages come first in
+    /// [`PIPELINE_STAGES`] order (always present, so field sets stay
+    /// stable); any extra stage labels follow alphabetically.
+    pub stages: Vec<StageCost>,
+}
+
+impl PipelineCostReport {
+    /// Folds a metrics dump into the report.
+    pub fn from_dump(dump: &MetricsDump) -> Self {
+        let stage_total = |family: &str, stage: &str| -> u64 {
+            dump.samples
+                .iter()
+                .filter(|s| {
+                    s.name == family && s.labels.iter().any(|(k, v)| k == "stage" && v == stage)
+                })
+                .filter_map(|s| match s.value {
+                    SampleValue::Counter(v) => Some(v),
+                    _ => None,
+                })
+                .sum()
+        };
+        let mut labels: Vec<String> = PIPELINE_STAGES.iter().map(|s| (*s).to_string()).collect();
+        let mut extras: Vec<String> = dump
+            .samples
+            .iter()
+            .filter(|s| s.name == "pipeline_stage_ns")
+            .filter_map(|s| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == "stage")
+                    .map(|(_, v)| v.clone())
+            })
+            .filter(|v| !labels.contains(v))
+            .collect();
+        extras.sort();
+        extras.dedup();
+        labels.extend(extras);
+        PipelineCostReport {
+            stages: labels
+                .into_iter()
+                .map(|stage| StageCost {
+                    ns: stage_total("pipeline_stage_ns", &stage),
+                    ops: stage_total("pipeline_stage_ops", &stage),
+                    stage,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total attributed nanoseconds across every stage.
+    pub fn total_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.ns).sum()
+    }
+
+    /// Human-readable stage table.
+    pub fn render(&self) -> String {
+        let total = self.total_ns().max(1);
+        let mut out = String::from("== pipeline stages ==\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<14} {:>12} ns  {:>10} ops  {:>10.1} ns/op  {:>5.1}%\n",
+                s.stage,
+                s.ns,
+                s.ops,
+                s.ns_per_op(),
+                100.0 * s.ns as f64 / total as f64,
+            ));
+        }
+        out
+    }
+
+    /// Hand-rolled JSON object:
+    /// `{"stages":[{"stage":…,"ns":…,"ops":…},…]}`.
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"stage\":\"{}\",\"ns\":{},\"ops\":{}}}",
+                    s.stage, s.ns, s.ops
+                )
+            })
+            .collect();
+        format!("{{\"stages\":[{}]}}", stages.join(","))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +453,46 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"phase\":\"map_rpc\",\"ns\":1000,\"ops\":1"));
         assert!(json.contains("\"flight_dropped_events\":3"));
+    }
+
+    #[test]
+    fn stage_set_sums_across_nodes_and_keeps_known_stage_order() {
+        let reg = MetricsRegistry::new();
+        let a = StageSet::for_node(&reg, "mq-producer");
+        let b = StageSet::for_node(&reg, "bridge");
+        assert!(a.is_enabled());
+        a.stage(STAGE_INGEST).record_ns(100);
+        b.stage(STAGE_INGEST).record_ns(40);
+        b.stage(STAGE_STORE).record_ns(700);
+        b.stage("custom_leg").record_ns(9);
+        let report = PipelineCostReport::from_dump(&reg.snapshot());
+        assert_eq!(report.stages[0].stage, STAGE_INGEST);
+        assert_eq!(report.stages[0].ns, 140);
+        assert_eq!(report.stages[0].ops, 2);
+        assert_eq!(report.stages[1].stage, STAGE_STORE);
+        assert_eq!(report.stages[1].ns, 700);
+        let custom = report
+            .stages
+            .iter()
+            .find(|s| s.stage == "custom_leg")
+            .unwrap();
+        assert_eq!(custom.ns, 9);
+        assert_eq!(report.total_ns(), 849);
+        assert!(report.render().contains("store"));
+        assert!(report
+            .to_json()
+            .contains("{\"stage\":\"store\",\"ns\":700,\"ops\":1}"));
+        // Zero-op known stages stay in the report for stable field sets.
+        assert!(report.stages.iter().any(|s| s.stage == STAGE_ANALYZE));
+    }
+
+    #[test]
+    fn disabled_stage_set_hands_out_disabled_handles() {
+        let set = StageSet::disabled();
+        assert!(!set.is_enabled());
+        let h = set.stage(STAGE_ANALYZE);
+        h.record_ns(5);
+        assert_eq!(h.total_ns(), 0);
     }
 
     #[test]

@@ -202,6 +202,16 @@ pub enum ObsEventKind {
         /// Records folded into the snapshot.
         records: u64,
     },
+    /// A cross-system pipeline harness completed a named stage on this
+    /// node (ingest → store → analyze, or tenant delivery). Stage
+    /// events let a trace reader segment one provenance narrative by
+    /// application boundary.
+    PipelineStage {
+        /// Stage label, e.g. `ingest`.
+        stage: String,
+        /// Records the stage handled.
+        records: u64,
+    },
 }
 
 impl ObsEventKind {
@@ -223,6 +233,7 @@ impl ObsEventKind {
             ObsEventKind::ShardSplit { .. } => "shard_split",
             ObsEventKind::SplitHealed { .. } => "split_healed",
             ObsEventKind::WalCompacted { .. } => "wal_compacted",
+            ObsEventKind::PipelineStage { .. } => "pipeline_stage",
         }
     }
 }
@@ -267,5 +278,10 @@ mod tests {
             records: 3,
         };
         assert_eq!(k.name(), "wal_compacted");
+        let k = ObsEventKind::PipelineStage {
+            stage: "ingest".into(),
+            records: 4,
+        };
+        assert_eq!(k.name(), "pipeline_stage");
     }
 }

@@ -124,6 +124,9 @@ fn kind_fields(kind: &ObsEventKind) -> String {
         ObsEventKind::WalCompacted { shard, records } => {
             format!("\"shard\":{shard},\"records\":{records}")
         }
+        ObsEventKind::PipelineStage { stage, records } => {
+            format!("\"stage\":{},\"records\":{records}", json_str(stage))
+        }
     }
 }
 

@@ -35,8 +35,9 @@ mod span;
 mod telemetry;
 
 pub use attribution::{
-    ObsReport, PhaseCost, PhaseHandle, PhaseSet, PHASES, PHASE_CODEC_DECODE, PHASE_CODEC_ENCODE,
-    PHASE_MAP_RPC, PHASE_TAINT_TREE,
+    ObsReport, PhaseCost, PhaseHandle, PhaseSet, PipelineCostReport, StageCost, StageSet, PHASES,
+    PHASE_CODEC_DECODE, PHASE_CODEC_ENCODE, PHASE_MAP_RPC, PHASE_TAINT_TREE, PIPELINE_STAGES,
+    STAGE_ANALYZE, STAGE_DELIVER, STAGE_INGEST, STAGE_STORE,
 };
 pub use event::{GidSpan, ObsEvent, ObsEventKind, Transport};
 pub use export::{to_chrome_trace, to_jsonl, to_text_report};
@@ -168,6 +169,15 @@ impl Observability {
         match self.registry() {
             Some(reg) => PhaseSet::for_node(reg, node),
             None => PhaseSet::disabled(),
+        }
+    }
+
+    /// A pipeline [`StageSet`] for VM `node`, wired into the shared
+    /// registry when enabled, disabled handles otherwise.
+    pub fn stages_for(&self, node: &str) -> StageSet {
+        match self.registry() {
+            Some(reg) => StageSet::for_node(reg, node),
+            None => StageSet::disabled(),
         }
     }
 }

@@ -154,6 +154,27 @@ pub struct FaultEvent {
     pub action: FaultAction,
 }
 
+/// One stage-keyed schedule entry: `action` applies the first time the
+/// workload reaches the named pipeline stage ([`crate::SimNet::mark_stage`]),
+/// whatever step count that turns out to be. Stage keying lets a chaos
+/// plan say "crash the broker when the store leg begins" against
+/// workloads whose exact operation counts the plan author cannot
+/// predict; determinism is preserved because a deterministic workload
+/// marks its stages at the same step every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageEvent {
+    /// Stage name the action waits for.
+    pub stage: String,
+    /// The fault to apply.
+    pub action: FaultAction,
+    /// Steps after the stage mark at which the action fires (0 = at the
+    /// mark itself). A crash keyed to a stage usually pairs with a
+    /// delayed restart keyed to the same stage, so the heal lands a
+    /// fixed number of workload operations into the outage regardless
+    /// of the absolute step count the stage begins at.
+    pub delay_steps: u64,
+}
+
 /// A fault that already applied, with the step it applied at. The
 /// engine's applied-fault log is the determinism witness: two runs of
 /// the same plan against the same workload produce identical logs.
@@ -190,6 +211,7 @@ pub enum FaultTrigger {
 pub struct FaultPlan {
     seed: u64,
     entries: Vec<FaultEvent>,
+    stage_entries: Vec<StageEvent>,
 }
 
 impl FaultPlan {
@@ -200,6 +222,7 @@ impl FaultPlan {
         FaultPlanBuilder {
             seed,
             entries: Vec::new(),
+            stage_entries: Vec::new(),
         }
     }
 
@@ -212,6 +235,11 @@ impl FaultPlan {
     pub fn entries(&self) -> &[FaultEvent] {
         &self.entries
     }
+
+    /// Stage-keyed entries, in insertion order.
+    pub fn stage_entries(&self) -> &[StageEvent] {
+        &self.stage_entries
+    }
 }
 
 /// Builder for [`FaultPlan`]; every `*_at` method schedules one action.
@@ -219,6 +247,7 @@ impl FaultPlan {
 pub struct FaultPlanBuilder {
     seed: u64,
     entries: Vec<FaultEvent>,
+    stage_entries: Vec<StageEvent>,
 }
 
 impl FaultPlanBuilder {
@@ -309,13 +338,90 @@ impl FaultPlanBuilder {
         self.push(step, FaultAction::CrashDuringMigration { victim })
     }
 
+    /// Schedules `action` to apply the first time the workload marks
+    /// pipeline stage `stage` (see [`crate::SimNet::mark_stage`]).
+    pub fn action_at_stage(self, stage: impl Into<String>, action: FaultAction) -> Self {
+        self.action_after_stage(stage, 0, action)
+    }
+
+    /// Schedules `action` to apply `delay_steps` workload operations
+    /// after stage `stage` is first marked. The delayed entry is armed
+    /// at the mark and fires from the ordinary step clock, so the same
+    /// seed and workload replay it at the same instant.
+    pub fn action_after_stage(
+        mut self,
+        stage: impl Into<String>,
+        delay_steps: u64,
+        action: FaultAction,
+    ) -> Self {
+        self.stage_entries.push(StageEvent {
+            stage: stage.into(),
+            action,
+            delay_steps,
+        });
+        self
+    }
+
+    /// Schedules a VM crash trigger at the start of pipeline stage
+    /// `stage`.
+    pub fn crash_vm_at_stage(self, stage: impl Into<String>, node: impl Into<String>) -> Self {
+        self.action_at_stage(stage, FaultAction::CrashVm { node: node.into() })
+    }
+
+    /// Schedules a VM restart trigger at the start of pipeline stage
+    /// `stage`.
+    pub fn restart_vm_at_stage(self, stage: impl Into<String>, node: impl Into<String>) -> Self {
+        self.action_at_stage(stage, FaultAction::RestartVm { node: node.into() })
+    }
+
+    /// Schedules a shard-primary crash trigger at the start of pipeline
+    /// stage `stage`.
+    pub fn crash_shard_at_stage(self, stage: impl Into<String>, shard: u32) -> Self {
+        self.action_at_stage(stage, FaultAction::CrashShard { shard })
+    }
+
+    /// Schedules a shard-primary restart trigger at the start of
+    /// pipeline stage `stage`.
+    pub fn restart_shard_at_stage(self, stage: impl Into<String>, shard: u32) -> Self {
+        self.action_at_stage(stage, FaultAction::RestartShard { shard })
+    }
+
+    /// Schedules a VM restart trigger `delay_steps` operations after
+    /// pipeline stage `stage` begins — the usual heal for a
+    /// [`FaultPlanBuilder::crash_vm_at_stage`] crash.
+    pub fn restart_vm_after_stage(
+        self,
+        stage: impl Into<String>,
+        delay_steps: u64,
+        node: impl Into<String>,
+    ) -> Self {
+        self.action_after_stage(
+            stage,
+            delay_steps,
+            FaultAction::RestartVm { node: node.into() },
+        )
+    }
+
+    /// Schedules a shard-primary restart trigger `delay_steps`
+    /// operations after pipeline stage `stage` begins.
+    pub fn restart_shard_after_stage(
+        self,
+        stage: impl Into<String>,
+        delay_steps: u64,
+        shard: u32,
+    ) -> Self {
+        self.action_after_stage(stage, delay_steps, FaultAction::RestartShard { shard })
+    }
+
     /// Finishes the plan; entries are ordered by step, preserving
-    /// insertion order within a step.
+    /// insertion order within a step. Stage-keyed entries keep insertion
+    /// order and fire when their stage is marked.
     pub fn build(mut self) -> FaultPlan {
         self.entries.sort_by_key(|e| e.at_step);
         FaultPlan {
             seed: self.seed,
             entries: self.entries,
+            stage_entries: self.stage_entries,
         }
     }
 }
@@ -324,6 +430,9 @@ impl FaultPlanBuilder {
 struct EngineState {
     step: u64,
     schedule: Vec<FaultEvent>,
+    stage_schedule: Vec<StageEvent>,
+    /// Stage-armed delayed entries, absolute-step resolved at the mark.
+    delayed: Vec<FaultEvent>,
     next: usize,
     rng: SmallRng,
     blocked: HashSet<(LinkIp, LinkIp)>,
@@ -391,6 +500,19 @@ impl EngineState {
             self.next += 1;
             self.apply(entry.at_step.min(self.step), entry.action);
         }
+        let step = self.step;
+        let mut due = Vec::new();
+        self.delayed.retain(|e| {
+            if e.at_step <= step {
+                due.push(e.action.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for action in due {
+            self.apply(step, action);
+        }
     }
 }
 
@@ -409,6 +531,8 @@ impl FaultEngine {
             state: Mutex::new(EngineState {
                 step: 0,
                 schedule: Vec::new(),
+                stage_schedule: Vec::new(),
+                delayed: Vec::new(),
                 next: 0,
                 rng: SmallRng::seed_from_u64(0),
                 blocked: HashSet::new(),
@@ -425,9 +549,43 @@ impl FaultEngine {
         let mut st = self.state.lock();
         st.rng = SmallRng::seed_from_u64(plan.seed);
         st.schedule = plan.entries;
+        st.stage_schedule = plan.stage_entries;
+        st.delayed.clear();
         st.next = 0;
         st.run_due(); // entries scheduled at the current step fire now
         self.armed.store(true, Ordering::Release);
+    }
+
+    /// Fires every stage-keyed entry waiting on `stage`, at the current
+    /// step. Each entry fires at most once (the first time its stage is
+    /// marked); unknown stages are a no-op.
+    pub(crate) fn mark_stage(&self, stage: &str) {
+        if !self.armed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = self.state.lock();
+        let step = st.step;
+        let mut due = Vec::new();
+        let mut armed = Vec::new();
+        st.stage_schedule.retain(|e| {
+            if e.stage == stage {
+                if e.delay_steps == 0 {
+                    due.push(e.action.clone());
+                } else {
+                    armed.push(FaultEvent {
+                        at_step: step + e.delay_steps,
+                        action: e.action.clone(),
+                    });
+                }
+                false
+            } else {
+                true
+            }
+        });
+        st.delayed.extend(armed);
+        for action in due {
+            st.apply(step, action);
+        }
     }
 
     pub(crate) fn inject(&self, action: FaultAction) {
@@ -601,6 +759,69 @@ mod tests {
         assert_eq!(sample(42), sample(42), "same seed, same jitter sequence");
         assert_ne!(sample(42), sample(43), "different seed diverges");
         assert!(sample(42).iter().all(|&ns| (100..=150).contains(&ns)));
+    }
+
+    #[test]
+    fn stage_keyed_entries_fire_once_when_marked() {
+        let engine = FaultEngine::new();
+        engine.install(
+            FaultPlan::builder(5)
+                .crash_vm_at_stage("store", "mq-broker")
+                .restart_vm_at_stage("analyze", "mq-broker")
+                .crash_shard_at_stage("store", 0)
+                .build(),
+        );
+        engine.advance();
+        engine.advance();
+        assert!(engine.take_triggers().is_empty(), "steps alone don't fire");
+        engine.mark_stage("store");
+        assert_eq!(
+            engine.take_triggers(),
+            vec![
+                FaultTrigger::CrashVm("mq-broker".into()),
+                FaultTrigger::CrashShard(0),
+            ]
+        );
+        engine.mark_stage("store");
+        assert!(engine.take_triggers().is_empty(), "each entry fires once");
+        engine.mark_stage("analyze");
+        assert_eq!(
+            engine.take_triggers(),
+            vec![FaultTrigger::RestartVm("mq-broker".into())]
+        );
+        // Applied log records the step each stage mark landed on.
+        let log = engine.log();
+        assert_eq!(log.len(), 3);
+        assert!(log.iter().all(|f| f.step == 2));
+    }
+
+    #[test]
+    fn delayed_stage_entries_arm_at_the_mark_and_fire_from_the_clock() {
+        let engine = FaultEngine::new();
+        engine.install(
+            FaultPlan::builder(5)
+                .crash_vm_at_stage("store", "mq-broker")
+                .restart_vm_after_stage("store", 3, "mq-broker")
+                .build(),
+        );
+        engine.advance(); // step 1
+        engine.mark_stage("store"); // crash now; restart armed for step 4
+        assert_eq!(
+            engine.take_triggers(),
+            vec![FaultTrigger::CrashVm("mq-broker".into())]
+        );
+        engine.advance(); // 2
+        engine.advance(); // 3
+        assert!(engine.take_triggers().is_empty(), "restart not due yet");
+        engine.advance(); // 4 — delay elapsed
+        assert_eq!(
+            engine.take_triggers(),
+            vec![FaultTrigger::RestartVm("mq-broker".into())]
+        );
+        let log = engine.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].step, 1);
+        assert_eq!(log[1].step, 4);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use addr::NodeAddr;
 pub use error::NetError;
 pub use fault::{
     AppliedFault, FaultAction, FaultEvent, FaultPlan, FaultPlanBuilder, FaultTrigger, LinkIp,
-    MigrationVictim,
+    MigrationVictim, StageEvent,
 };
 pub use fs::{FileNotFound, SimFs, SimFsError};
 pub use metrics::{MetricsSnapshot, NetMetrics};

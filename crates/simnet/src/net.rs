@@ -188,6 +188,14 @@ impl SimNet {
         self.inner.faults.engine().step()
     }
 
+    /// Marks that the workload reached pipeline stage `stage`: every
+    /// stage-keyed entry of the installed [`FaultPlan`] waiting on that
+    /// name fires now, at the current step. Unknown stages (and marks
+    /// with no plan installed) are a no-op.
+    pub fn mark_stage(&self, stage: &str) {
+        self.inner.faults.engine().mark_stage(stage);
+    }
+
     /// Drains pending process-level fault triggers (VM/shard
     /// crash-restart points) for the cluster layer to execute.
     pub fn take_fault_triggers(&self) -> Vec<FaultTrigger> {
